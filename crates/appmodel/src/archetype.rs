@@ -1,0 +1,93 @@
+//! Behaviour archetypes spanning the SPEC/PARSEC workload space.
+
+use dicer_cachesim::TraceGen;
+use serde::{Deserialize, Serialize};
+
+/// The four memory-behaviour archetypes the catalog draws from.
+///
+/// The classes follow the standard characterisation literature the paper
+/// builds on (contentiousness vs. sensitivity, Tang et al., reference 42): what
+/// matters for cache partitioning is (a) how much a workload's miss ratio
+/// reacts to cache space and (b) how much memory traffic it generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// High-bandwidth streaming with essentially no cache reuse beyond a
+    /// small stencil window (lbm, libquantum, bwaves, milc…). Insensitive to
+    /// allocation, very contentious on the memory link.
+    Streaming,
+    /// Large irregular working sets whose miss ratio keeps improving far
+    /// into the LLC (mcf, omnetpp, xalancbmk…). Sensitive to allocation.
+    CacheSensitive,
+    /// Moderate working sets that fit in a few ways (gcc, gobmk, bzip2,
+    /// hmmer…). Sensitive only at very small allocations.
+    CacheFriendly,
+    /// Core-bound codes with tiny memory footprints (namd, povray,
+    /// swaptions…). Neither sensitive nor contentious.
+    ComputeBound,
+}
+
+impl Archetype {
+    /// All archetypes, for iteration.
+    pub const ALL: [Archetype; 4] = [
+        Archetype::Streaming,
+        Archetype::CacheSensitive,
+        Archetype::CacheFriendly,
+        Archetype::ComputeBound,
+    ];
+
+    /// A representative synthetic address trace for this archetype, used to
+    /// cross-validate the parametric miss curves against the trace-driven
+    /// simulator. `sets` is the cache's set count (one way = `sets` lines).
+    pub fn representative_trace(&self, sets: u64, seed: u64) -> TraceGen {
+        match self {
+            Archetype::Streaming => TraceGen::Stream,
+            Archetype::CacheSensitive => {
+                TraceGen::Zipf { lines: sets * 30, s: 0.8, seed }
+            }
+            Archetype::CacheFriendly => {
+                TraceGen::WorkingSet { lines: sets * 2, seed }
+            }
+            Archetype::ComputeBound => {
+                TraceGen::WorkingSet { lines: sets / 4, seed }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Archetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Archetype::Streaming => "streaming",
+            Archetype::CacheSensitive => "cache-sensitive",
+            Archetype::CacheFriendly => "cache-friendly",
+            Archetype::ComputeBound => "compute-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_variant() {
+        assert_eq!(Archetype::ALL.len(), 4);
+    }
+
+    #[test]
+    fn display_is_kebab() {
+        assert_eq!(Archetype::CacheSensitive.to_string(), "cache-sensitive");
+    }
+
+    #[test]
+    fn representative_traces_differ_in_footprint() {
+        use std::collections::HashSet;
+        let sets = 512;
+        let friendly = Archetype::CacheFriendly.representative_trace(sets, 1).generate(20_000);
+        let compute = Archetype::ComputeBound.representative_trace(sets, 1).generate(20_000);
+        let f: HashSet<_> = friendly.into_iter().collect();
+        let c: HashSet<_> = compute.into_iter().collect();
+        assert!(f.len() > c.len(), "friendly footprint should exceed compute-bound");
+    }
+}

@@ -1,0 +1,109 @@
+//! Calibration bridge between the analytic miss curves and the
+//! trace-driven cache simulator.
+//!
+//! The experiment sweeps use closed-form [`MissCurve::Parametric`] shapes
+//! for speed; this module keeps them honest by (a) deriving *empirical*
+//! curves from archetype traces replayed through the real way-masked
+//! simulator and (b) quantifying the gap between a parametric curve and an
+//! empirical one.
+
+use crate::{archetype::Archetype, curve::MissCurve};
+use dicer_cachesim::{mrc, CacheConfig, ReplacementKind};
+
+/// Derives an empirical miss curve for an archetype by generating its
+/// representative trace (`accesses` line addresses, deterministic in
+/// `seed`) and replaying it through the trace-driven simulator at every way
+/// count of `cfg`.
+pub fn empirical_curve(
+    archetype: Archetype,
+    cfg: &CacheConfig,
+    accesses: u64,
+    seed: u64,
+) -> MissCurve {
+    let trace = archetype.representative_trace(cfg.sets(), seed).generate(accesses);
+    MissCurve::Empirical(mrc::by_simulation(&trace, cfg, ReplacementKind::Lru))
+}
+
+/// Mean absolute difference between two curves over the way range of `cfg`
+/// — the calibration error metric reported by `validate_model`.
+pub fn curve_distance(a: &MissCurve, b: &MissCurve, ways: u32) -> f64 {
+    assert!(ways >= 1);
+    (1..=ways).map(|w| (a.miss_ratio(w as f64) - b.miss_ratio(w as f64)).abs()).sum::<f64>()
+        / ways as f64
+}
+
+/// Fits the closest parametric curve to an empirical one by grid search
+/// over the four parameters. Coarse by design: it exists to show the
+/// parametric family is expressive enough, not to be a production fitter.
+pub fn fit_parametric(empirical: &MissCurve, ways: u32) -> MissCurve {
+    let ceil = empirical.miss_ratio(0.5);
+    let floor = empirical.miss_ratio(ways as f64);
+    let mut best = MissCurve::parametric(floor.min(ceil), ceil.max(floor), 1.0, 2.0);
+    let mut best_d = f64::INFINITY;
+    for wh_step in 1..=40 {
+        let w_half = wh_step as f64 * 0.5;
+        for steep in [1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+            let cand = MissCurve::parametric(floor.min(ceil), ceil.max(floor), w_half, steep);
+            let d = curve_distance(&cand, empirical, ways);
+            if d < best_d {
+                best_d = d;
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { size_bytes: 512 * 8 * 64, ways: 8, line_bytes: 64 }
+    }
+
+    #[test]
+    fn empirical_curves_are_deterministic() {
+        let a = empirical_curve(Archetype::CacheFriendly, &cfg(), 100_000, 7);
+        let b = empirical_curve(Archetype::CacheFriendly, &cfg(), 100_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_empirical_curve_is_flat_high() {
+        let c = empirical_curve(Archetype::Streaming, &cfg(), 100_000, 1);
+        assert!(c.miss_ratio(1.0) > 0.95);
+        assert!(c.miss_ratio(8.0) > 0.95);
+    }
+
+    #[test]
+    fn curve_distance_zero_on_identical() {
+        let c = MissCurve::parametric(0.1, 0.6, 2.0, 2.0);
+        assert_eq!(curve_distance(&c, &c.clone(), 8), 0.0);
+    }
+
+    #[test]
+    fn curve_distance_detects_difference() {
+        let a = MissCurve::flat(0.2);
+        let b = MissCurve::flat(0.7);
+        assert!((curve_distance(&a, &b, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_a_known_parametric_curve() {
+        let truth = MissCurve::parametric(0.05, 0.75, 3.0, 2.5);
+        let fitted = fit_parametric(&truth, 8);
+        assert!(
+            curve_distance(&truth, &fitted, 8) < 0.03,
+            "fit too far from truth: {fitted:?}"
+        );
+    }
+
+    #[test]
+    fn fit_approximates_empirical_friendly_curve() {
+        let emp = empirical_curve(Archetype::CacheFriendly, &cfg(), 200_000, 3);
+        let fitted = fit_parametric(&emp, 8);
+        let d = curve_distance(&emp, &fitted, 8);
+        assert!(d < 0.08, "parametric family should capture the shape, err {d}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The 59-entry workload catalog mirroring the paper's evaluation set.
+//!
+//! The paper uses 25 SPEC CPU 2006 applications (8 of them with multiple
+//! inputs) plus 9 serial PARSEC 3.0 applications, for 59 distinct workloads
+//! in total. This module reconstructs that set as named synthetic profiles:
+//!
+//! * multi-input SPEC: `gcc_base1..9`, `bzip21..6`, `gobmk1..4`,
+//!   `h264ref1..3`, `hmmer1..3`, `perlbench1..3`, `soplex1..3`, `astar1..2`
+//!   (33 instances from 8 applications);
+//! * single-input SPEC: 17 applications (`milc1`, `lbm1`, `mcf1`, …);
+//! * PARSEC: 9 applications (`blackscholes1`, …, `vips1`).
+//!
+//! Parameters per family were tuned against the paper's motivating
+//! observations (§2): compute-bound and streaming codes reach their peak
+//! performance with very few ways (Fig. 2), `gcc`-style BEs squeezed into
+//! one way generate enough miss traffic to saturate a 68.3 Gbps link when
+//! nine of them run together (Fig. 3), and `milc` is bandwidth-sensitive but
+//! cache-insensitive. Per-instance jitter is derived from a ChaCha8 stream
+//! seeded by the instance name, so the catalog is identical on every run.
+
+use crate::{archetype::Archetype, curve::MissCurve, phase::Phase, AppProfile};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Nominal core frequency used to size instruction counts (Table 1).
+pub const FREQ_HZ: f64 = 2.2e9;
+/// Unloaded memory latency in core cycles used to size instruction counts.
+pub const BASE_MEM_LATENCY_CYCLES: f64 = 198.0;
+/// LLC associativity of the reference machine.
+pub const TOTAL_WAYS: u32 = 20;
+
+/// Named, deterministic collection of [`AppProfile`]s.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    apps: BTreeMap<String, AppProfile>,
+}
+
+/// Family descriptor used to stamp out catalog instances.
+struct Family {
+    name: &'static str,
+    /// Number of instances (inputs); names get a 1-based suffix.
+    inputs: u32,
+    archetype: Archetype,
+    base_cpi: f64,
+    apki: f64,
+    floor: f64,
+    ceil: f64,
+    w_half: f64,
+    steepness: f64,
+    /// Memory-level parallelism (overlapping outstanding misses).
+    mlp: f64,
+    /// Target solo runtime in seconds (jittered per instance).
+    solo_s: f64,
+    /// Number of phases (>1 exercises DICER's phase-change detector).
+    phases: u32,
+}
+
+const FAMILIES: &[Family] = &[
+    // --- Streaming / bandwidth-bound (8 workloads) -----------------------
+    // milc is the paper's Fig. 3 example: bandwidth-sensitive, nearly
+    // cache-insensitive past ~2 ways.
+    Family { name: "milc", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.70, apki: 28.0, floor: 0.45, ceil: 0.62, w_half: 1.3, steepness: 2.0, mlp: 4.0, solo_s: 175.0, phases: 1 },
+    Family { name: "lbm", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.60, apki: 40.0, floor: 0.80, ceil: 0.86, w_half: 1.5, steepness: 2.0, mlp: 4.2, solo_s: 200.0, phases: 1 },
+    Family { name: "libquantum", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.55, apki: 34.0, floor: 0.72, ceil: 0.80, w_half: 1.5, steepness: 2.0, mlp: 4.0, solo_s: 187.5, phases: 1 },
+    Family { name: "bwaves", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.62, apki: 30.0, floor: 0.55, ceil: 0.70, w_half: 2.0, steepness: 2.0, mlp: 3.8, solo_s: 212.5, phases: 1 },
+    Family { name: "GemsFDTD", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.65, apki: 32.0, floor: 0.50, ceil: 0.72, w_half: 2.2, steepness: 2.0, mlp: 3.6, solo_s: 200.0, phases: 2 },
+    Family { name: "leslie3d", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.62, apki: 26.0, floor: 0.50, ceil: 0.64, w_half: 1.8, steepness: 2.0, mlp: 3.6, solo_s: 187.5, phases: 1 },
+    Family { name: "zeusmp", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.70, apki: 22.0, floor: 0.45, ceil: 0.58, w_half: 1.8, steepness: 2.0, mlp: 3.2, solo_s: 175.0, phases: 2 },
+    Family { name: "streamcluster", inputs: 1, archetype: Archetype::Streaming, base_cpi: 0.52, apki: 30.0, floor: 0.75, ceil: 0.82, w_half: 1.5, steepness: 2.0, mlp: 3.8, solo_s: 162.5, phases: 1 },
+    // --- Cache-sensitive (10 workloads) -----------------------------------
+    Family { name: "mcf", inputs: 1, archetype: Archetype::CacheSensitive, base_cpi: 0.95, apki: 22.0, floor: 0.08, ceil: 0.75, w_half: 10.0, steepness: 3.5, mlp: 1.1, solo_s: 225.0, phases: 1 },
+    Family { name: "omnetpp", inputs: 1, archetype: Archetype::CacheSensitive, base_cpi: 0.80, apki: 16.0, floor: 0.06, ceil: 0.70, w_half: 8.0, steepness: 3.5, mlp: 1.2, solo_s: 200.0, phases: 1 },
+    Family { name: "Xalan", inputs: 1, archetype: Archetype::CacheSensitive, base_cpi: 0.75, apki: 14.0, floor: 0.05, ceil: 0.65, w_half: 7.0, steepness: 3.5, mlp: 1.3, solo_s: 187.5, phases: 2 },
+    Family { name: "soplex", inputs: 3, archetype: Archetype::CacheSensitive, base_cpi: 0.85, apki: 18.0, floor: 0.07, ceil: 0.60, w_half: 6.0, steepness: 3.5, mlp: 1.4, solo_s: 175.0, phases: 1 },
+    Family { name: "astar", inputs: 2, archetype: Archetype::CacheSensitive, base_cpi: 0.90, apki: 13.0, floor: 0.06, ceil: 0.55, w_half: 6.5, steepness: 3.5, mlp: 1.2, solo_s: 162.5, phases: 1 },
+    Family { name: "sphinx", inputs: 1, archetype: Archetype::CacheSensitive, base_cpi: 0.78, apki: 12.0, floor: 0.05, ceil: 0.55, w_half: 5.5, steepness: 3.5, mlp: 1.4, solo_s: 175.0, phases: 2 },
+    Family { name: "canneal", inputs: 1, archetype: Archetype::CacheSensitive, base_cpi: 0.88, apki: 15.0, floor: 0.10, ceil: 0.60, w_half: 9.0, steepness: 3.5, mlp: 1.1, solo_s: 187.5, phases: 1 },
+    // --- Cache-friendly / moderate (32 workloads) -------------------------
+    // gcc is the paper's Fig. 3 BE: bad in one way, fine past two.
+    Family { name: "gcc_base", inputs: 9, archetype: Archetype::CacheFriendly, base_cpi: 0.65, apki: 24.0, floor: 0.07, ceil: 0.62, w_half: 1.0, steepness: 3.5, mlp: 3.2, solo_s: 137.5, phases: 1 },
+    Family { name: "bzip2", inputs: 6, archetype: Archetype::CacheFriendly, base_cpi: 0.70, apki: 14.0, floor: 0.06, ceil: 0.48, w_half: 1.0, steepness: 3.5, mlp: 3.0, solo_s: 150.0, phases: 1 },
+    Family { name: "gobmk", inputs: 4, archetype: Archetype::CacheFriendly, base_cpi: 0.85, apki: 9.0, floor: 0.04, ceil: 0.40, w_half: 0.9, steepness: 3.5, mlp: 2.6, solo_s: 137.5, phases: 1 },
+    Family { name: "h264ref", inputs: 3, archetype: Archetype::CacheFriendly, base_cpi: 0.65, apki: 11.0, floor: 0.05, ceil: 0.42, w_half: 1.0, steepness: 3.5, mlp: 3.0, solo_s: 150.0, phases: 1 },
+    Family { name: "hmmer", inputs: 3, archetype: Archetype::CacheFriendly, base_cpi: 0.60, apki: 8.0, floor: 0.04, ceil: 0.35, w_half: 0.9, steepness: 3.5, mlp: 2.8, solo_s: 137.5, phases: 1 },
+    Family { name: "perlbench", inputs: 3, archetype: Archetype::CacheFriendly, base_cpi: 0.72, apki: 12.0, floor: 0.05, ceil: 0.45, w_half: 1.1, steepness: 3.5, mlp: 2.6, solo_s: 150.0, phases: 2 },
+    Family { name: "dedup", inputs: 1, archetype: Archetype::CacheFriendly, base_cpi: 0.68, apki: 13.0, floor: 0.06, ceil: 0.44, w_half: 1.1, steepness: 3.5, mlp: 3.0, solo_s: 125.0, phases: 1 },
+    Family { name: "bodytrack", inputs: 1, archetype: Archetype::CacheFriendly, base_cpi: 0.66, apki: 10.0, floor: 0.05, ceil: 0.38, w_half: 1.0, steepness: 3.5, mlp: 2.8, solo_s: 137.5, phases: 1 },
+    Family { name: "ferret", inputs: 1, archetype: Archetype::CacheFriendly, base_cpi: 0.74, apki: 12.0, floor: 0.06, ceil: 0.42, w_half: 1.1, steepness: 3.5, mlp: 2.8, solo_s: 137.5, phases: 1 },
+    Family { name: "vips", inputs: 1, archetype: Archetype::CacheFriendly, base_cpi: 0.70, apki: 11.0, floor: 0.05, ceil: 0.40, w_half: 1.0, steepness: 3.5, mlp: 2.9, solo_s: 125.0, phases: 1 },
+    // --- Compute-bound (9 workloads) ---------------------------------------
+    Family { name: "namd", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.55, apki: 1.5, floor: 0.08, ceil: 0.18, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 175.0, phases: 1 },
+    Family { name: "povray", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.60, apki: 1.0, floor: 0.06, ceil: 0.15, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 162.5, phases: 1 },
+    Family { name: "gromacs", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.58, apki: 2.0, floor: 0.10, ceil: 0.20, w_half: 1.0, steepness: 2.0, mlp: 1.6, solo_s: 162.5, phases: 1 },
+    Family { name: "calculix", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.52, apki: 1.8, floor: 0.08, ceil: 0.18, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 175.0, phases: 1 },
+    Family { name: "sjeng", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.80, apki: 2.5, floor: 0.10, ceil: 0.25, w_half: 1.0, steepness: 2.0, mlp: 1.4, solo_s: 150.0, phases: 1 },
+    Family { name: "tonto", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.62, apki: 2.2, floor: 0.09, ceil: 0.20, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 150.0, phases: 1 },
+    Family { name: "blackscholes", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.50, apki: 0.8, floor: 0.05, ceil: 0.12, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 112.5, phases: 1 },
+    Family { name: "swaptions", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.48, apki: 0.6, floor: 0.05, ceil: 0.10, w_half: 1.0, steepness: 2.0, mlp: 1.5, solo_s: 112.5, phases: 1 },
+    Family { name: "fluidanimate", inputs: 1, archetype: Archetype::ComputeBound, base_cpi: 0.56, apki: 2.8, floor: 0.12, ceil: 0.24, w_half: 1.0, steepness: 2.0, mlp: 1.6, solo_s: 125.0, phases: 1 },
+];
+
+/// Stable 64-bit hash of a name (FNV-1a), used to seed per-instance jitter.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn jitter(rng: &mut ChaCha8Rng, base: f64, rel: f64) -> f64 {
+    base * (1.0 + rng.gen_range(-rel..=rel))
+}
+
+fn build_instance(f: &Family, input: u32) -> AppProfile {
+    let name = if f.inputs == 1 {
+        format!("{}1", f.name)
+    } else {
+        format!("{}{}", f.name, input)
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(name_seed(&name));
+
+    let base_cpi = jitter(&mut rng, f.base_cpi, 0.08);
+    let apki = jitter(&mut rng, f.apki, 0.10);
+    let w_half = jitter(&mut rng, f.w_half, 0.12).max(0.3);
+    let ceil = jitter(&mut rng, f.ceil, 0.06).clamp(0.0, 1.0);
+    let floor = jitter(&mut rng, f.floor, 0.06).clamp(0.0, ceil);
+    let solo_s = jitter(&mut rng, f.solo_s, 0.15);
+
+    let mlp = jitter(&mut rng, f.mlp, 0.08).max(1.0);
+    let curve = MissCurve::parametric(floor, ceil, w_half, f.steepness);
+    // Size the instruction budget so the solo run takes ~solo_s seconds.
+    let cpi_full = base_cpi
+        + apki / 1000.0 * curve.miss_ratio(TOTAL_WAYS as f64) * BASE_MEM_LATENCY_CYCLES / mlp;
+    let total_insns = (solo_s * FREQ_HZ / cpi_full) as u64;
+
+    let phases = if f.phases <= 1 {
+        vec![Phase { insns: total_insns, base_cpi, apki, mlp, curve }]
+    } else {
+        // Multi-phase: a second phase with noticeably higher memory traffic
+        // (paper Eq. 2 detects bandwidth jumps > 30 %), split 60/40.
+        let hot_apki = apki * 1.6;
+        let hot_curve = MissCurve::parametric(
+            (floor * 1.3).min(ceil),
+            (ceil * 1.15).min(1.0),
+            w_half * 1.5,
+            f.steepness,
+        );
+        vec![
+            Phase { insns: total_insns * 3 / 5, base_cpi, apki, mlp, curve },
+            Phase {
+                insns: total_insns * 2 / 5,
+                base_cpi,
+                apki: hot_apki,
+                mlp: mlp * 1.5,
+                curve: hot_curve,
+            },
+        ]
+    };
+
+    AppProfile::new(name, f.archetype, phases)
+}
+
+impl Catalog {
+    /// Builds the full 59-workload catalog used throughout the evaluation.
+    pub fn paper() -> Self {
+        let mut apps = BTreeMap::new();
+        for f in FAMILIES {
+            for input in 1..=f.inputs {
+                let p = build_instance(f, input);
+                apps.insert(p.name.clone(), p);
+            }
+        }
+        Self { apps }
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Looks up a workload by name (e.g. `"milc1"`, `"gcc_base4"`).
+    pub fn get(&self, name: &str) -> Option<&AppProfile> {
+        self.apps.get(name)
+    }
+
+    /// All workload names in deterministic (lexicographic) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.apps.keys().map(|s| s.as_str())
+    }
+
+    /// All profiles in deterministic order.
+    pub fn profiles(&self) -> impl Iterator<Item = &AppProfile> {
+        self.apps.values()
+    }
+
+    /// Profiles of a given archetype.
+    pub fn by_archetype(&self, a: Archetype) -> Vec<&AppProfile> {
+        self.apps.values().filter(|p| p.archetype == a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_exactly_59_workloads() {
+        assert_eq!(Catalog::paper().len(), 59);
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = Catalog::paper();
+        let b = Catalog::paper();
+        for (x, y) in a.profiles().zip(b.profiles()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn multi_input_families_present() {
+        let c = Catalog::paper();
+        for n in ["gcc_base1", "gcc_base9", "bzip21", "bzip26", "gobmk4", "h264ref3", "hmmer3", "perlbench3", "soplex3", "astar2"] {
+            assert!(c.get(n).is_some(), "missing {n}");
+        }
+        assert!(c.get("gcc_base10").is_none());
+    }
+
+    #[test]
+    fn paper_named_singletons_present() {
+        let c = Catalog::paper();
+        for n in ["milc1", "lbm1", "mcf1", "omnetpp1", "Xalan1", "GemsFDTD1", "namd1", "blackscholes1", "streamcluster1", "vips1"] {
+            assert!(c.get(n).is_some(), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn archetype_counts_match_design() {
+        let c = Catalog::paper();
+        assert_eq!(c.by_archetype(Archetype::Streaming).len(), 8);
+        assert_eq!(c.by_archetype(Archetype::CacheSensitive).len(), 10);
+        assert_eq!(c.by_archetype(Archetype::CacheFriendly).len(), 32);
+        assert_eq!(c.by_archetype(Archetype::ComputeBound).len(), 9);
+    }
+
+    #[test]
+    fn solo_times_land_in_simulation_friendly_band() {
+        let c = Catalog::paper();
+        for p in c.profiles() {
+            let t = p.solo_time_s(TOTAL_WAYS, BASE_MEM_LATENCY_CYCLES, FREQ_HZ);
+            assert!((60.0..400.0).contains(&t), "{}: solo time {t}", p.name);
+        }
+    }
+
+    #[test]
+    fn instances_of_a_family_differ_but_resemble() {
+        let c = Catalog::paper();
+        let g1 = c.get("gcc_base1").unwrap();
+        let g2 = c.get("gcc_base2").unwrap();
+        assert_ne!(g1.phases, g2.phases, "jitter must distinguish inputs");
+        let a1 = g1.mean_apki();
+        let a2 = g2.mean_apki();
+        assert!((a1 - a2).abs() / a1 < 0.35, "inputs should stay in-family");
+    }
+
+    #[test]
+    fn milc_is_bandwidth_heavy_and_cache_insensitive() {
+        let c = Catalog::paper();
+        let milc = c.get("milc1").unwrap();
+        let ph = &milc.phases[0];
+        // Nearly flat curve past 2 ways…
+        let m2 = ph.curve.miss_ratio(2.0);
+        let m20 = ph.curve.miss_ratio(20.0);
+        assert!(m2 - m20 < 0.12, "milc should be cache-insensitive: {m2} vs {m20}");
+        // …and a heavy solo bandwidth footprint.
+        let ipc = ph.ipc(20.0, BASE_MEM_LATENCY_CYCLES);
+        let d = ph.demand_gbps(ipc, 20.0, FREQ_HZ, 64);
+        assert!(d > 3.0, "milc solo demand too small: {d} Gbps");
+    }
+
+    #[test]
+    fn nine_starved_gcc_saturate_the_link() {
+        // The Fig. 3 mechanism: 9 gcc BEs in ~1/9 way each must offer more
+        // than the 50 Gbps saturation threshold.
+        let c = Catalog::paper();
+        let mut total = 0.0;
+        let gcc = c.get("gcc_base1").unwrap();
+        let ph = &gcc.phases[0];
+        for _ in 0..9 {
+            let ways = 1.0 / 9.0;
+            let ipc = ph.ipc(ways, BASE_MEM_LATENCY_CYCLES);
+            total += ph.demand_gbps(ipc, ways, FREQ_HZ, 64);
+        }
+        assert!(total > 50.0, "9 starved gcc offer only {total} Gbps");
+    }
+
+    #[test]
+    fn compute_bound_apps_insensitive_to_allocation() {
+        let c = Catalog::paper();
+        for p in c.by_archetype(Archetype::ComputeBound) {
+            let ipc1 = p.solo_ipc(1.0, BASE_MEM_LATENCY_CYCLES);
+            let ipc20 = p.solo_ipc(20.0, BASE_MEM_LATENCY_CYCLES);
+            assert!(ipc1 / ipc20 > 0.90, "{} too sensitive: {} vs {}", p.name, ipc1, ipc20);
+        }
+    }
+
+    #[test]
+    fn cache_sensitive_apps_reward_more_ways() {
+        let c = Catalog::paper();
+        for p in c.by_archetype(Archetype::CacheSensitive) {
+            let ipc2 = p.solo_ipc(2.0, BASE_MEM_LATENCY_CYCLES);
+            let ipc20 = p.solo_ipc(20.0, BASE_MEM_LATENCY_CYCLES);
+            assert!(ipc20 / ipc2 > 1.3, "{} not sensitive enough: {} vs {}", p.name, ipc2, ipc20);
+        }
+    }
+
+    #[test]
+    fn phased_apps_have_bandwidth_jump() {
+        let c = Catalog::paper();
+        let gems = c.get("GemsFDTD1").unwrap();
+        assert_eq!(gems.phases.len(), 2);
+        let p0 = &gems.phases[0];
+        let p1 = &gems.phases[1];
+        let ipc0 = p0.ipc(10.0, BASE_MEM_LATENCY_CYCLES);
+        let ipc1 = p1.ipc(10.0, BASE_MEM_LATENCY_CYCLES);
+        let d0 = p0.demand_gbps(ipc0, 10.0, FREQ_HZ, 64);
+        let d1 = p1.demand_gbps(ipc1, 10.0, FREQ_HZ, 64);
+        assert!(d1 > d0 * 1.3, "phase-2 bandwidth jump too small: {d0} -> {d1}");
+    }
+
+    #[test]
+    fn name_seed_is_stable_and_distinguishing() {
+        assert_eq!(name_seed("milc1"), name_seed("milc1"));
+        assert_ne!(name_seed("milc1"), name_seed("milc2"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Miss-ratio-vs-ways curves.
+
+use dicer_cachesim::MissRatioCurve;
+use serde::{Deserialize, Serialize};
+
+/// Miss ratio as a function of allocated LLC ways.
+///
+/// Two forms:
+///
+/// * [`MissCurve::Parametric`] — a smooth saturating shape
+///   `m(w) = floor + (ceil − floor) / (1 + (w / w_half)^steepness)`:
+///   `ceil` is the thrashing miss ratio (tiny allocation), `floor` the
+///   compulsory-miss residue (full cache), `w_half` the allocation at which
+///   half of the reducible misses are gone, and `steepness` how sharp the
+///   transition is. This is the standard concave working-set shape observed
+///   in measured MRCs.
+/// * [`MissCurve::Empirical`] — a per-way table, e.g. extracted from the
+///   trace-driven simulator in `dicer-cachesim`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MissCurve {
+    /// Smooth parametric curve (see type-level docs for the formula).
+    Parametric {
+        /// Asymptotic miss ratio with unbounded cache (compulsory misses).
+        floor: f64,
+        /// Miss ratio as the allocation approaches zero.
+        ceil: f64,
+        /// Ways at which half the reducible misses are eliminated.
+        w_half: f64,
+        /// Sharpness of the transition (≥ 1).
+        steepness: f64,
+    },
+    /// Tabulated per-way miss ratios.
+    Empirical(MissRatioCurve),
+}
+
+impl MissCurve {
+    /// Convenience constructor for the parametric form with validation.
+    pub fn parametric(floor: f64, ceil: f64, w_half: f64, steepness: f64) -> Self {
+        let c = MissCurve::Parametric { floor, ceil, w_half, steepness };
+        if let Err(e) = c.validate() {
+            panic!("invalid MissCurve: {e}");
+        }
+        c
+    }
+
+    /// A curve that ignores the allocation entirely (pure streaming).
+    pub fn flat(miss_ratio: f64) -> Self {
+        Self::parametric(miss_ratio, miss_ratio, 1.0, 2.0)
+    }
+
+    /// Checks parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            MissCurve::Parametric { floor, ceil, w_half, steepness } => {
+                if !(0.0..=1.0).contains(floor) || !(0.0..=1.0).contains(ceil) {
+                    return Err(format!("floor/ceil must be in [0,1]: {floor}, {ceil}"));
+                }
+                if floor > ceil {
+                    return Err(format!("floor {floor} exceeds ceil {ceil}"));
+                }
+                if !w_half.is_finite() || *w_half <= 0.0 {
+                    return Err(format!("w_half must be positive: {w_half}"));
+                }
+                if !steepness.is_finite() || *steepness < 1.0 {
+                    return Err(format!("steepness must be >= 1: {steepness}"));
+                }
+                Ok(())
+            }
+            MissCurve::Empirical(_) => Ok(()),
+        }
+    }
+
+    /// Miss ratio at a (possibly fractional) way allocation. Allocations are
+    /// clamped to a small positive minimum: even a process with no dedicated
+    /// way steals transient space.
+    pub fn miss_ratio(&self, ways: f64) -> f64 {
+        let w = ways.max(0.1);
+        match self {
+            MissCurve::Parametric { floor, ceil, w_half, steepness } => {
+                floor + (ceil - floor) / (1.0 + (w / w_half).powf(*steepness))
+            }
+            MissCurve::Empirical(t) => t.at_fractional(w),
+        }
+    }
+
+    /// Miss ratio when granted the entire LLC of `total_ways` ways.
+    pub fn best_case(&self, total_ways: u32) -> f64 {
+        self.miss_ratio(total_ways as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parametric_shape_endpoints() {
+        let c = MissCurve::parametric(0.05, 0.8, 4.0, 2.0);
+        assert!(c.miss_ratio(0.2) > 0.7, "tiny allocation near ceil");
+        assert!(c.miss_ratio(40.0) < 0.06, "huge allocation near floor");
+        // Half the reducible misses gone at w_half.
+        let mid = c.miss_ratio(4.0);
+        assert!((mid - (0.05 + 0.75 / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parametric_monotone_decreasing() {
+        let c = MissCurve::parametric(0.02, 0.9, 6.0, 2.5);
+        let mut prev = 1.0;
+        for i in 1..=200 {
+            let m = c.miss_ratio(i as f64 * 0.1);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn flat_curve_ignores_ways() {
+        let c = MissCurve::flat(0.7);
+        assert_eq!(c.miss_ratio(1.0), c.miss_ratio(20.0));
+        assert!((c.miss_ratio(5.0) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_curve_interpolates() {
+        let t = MissRatioCurve::new(vec![0.8, 0.4, 0.2, 0.1]);
+        let c = MissCurve::Empirical(t);
+        assert_eq!(c.miss_ratio(1.0), 0.8);
+        assert!((c.miss_ratio(1.5) - 0.6).abs() < 1e-12);
+        assert_eq!(c.miss_ratio(10.0), 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn floor_above_ceil_rejected() {
+        MissCurve::parametric(0.5, 0.2, 2.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_whalf_rejected() {
+        MissCurve::parametric(0.1, 0.5, 0.0, 2.0);
+    }
+
+    #[test]
+    fn miss_ratio_always_in_unit_interval() {
+        let c = MissCurve::parametric(0.0, 1.0, 3.0, 4.0);
+        for i in 0..1000 {
+            let m = c.miss_ratio(i as f64 * 0.05);
+            assert!((0.0..=1.0).contains(&m));
+        }
+    }
+}

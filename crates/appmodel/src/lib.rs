@@ -1,0 +1,37 @@
+//! Synthetic application behaviour models standing in for SPEC CPU 2006 and
+//! PARSEC 3.0.
+//!
+//! The paper evaluates DICER with 59 workloads (25 SPEC applications, 8 of
+//! them with multiple inputs, plus 9 serial PARSEC applications). The
+//! binaries and inputs are not redistributable, so this crate models each
+//! workload as a sequence of [`Phase`]s, each characterised by:
+//!
+//! * a **miss-ratio curve** ([`MissCurve`]) — miss ratio as a function of
+//!   allocated LLC ways, the quantity CAT actually changes;
+//! * **memory intensity** (APKI — LLC accesses per kilo-instruction);
+//! * a **base CPI** — cycles per instruction with a perfect LLC.
+//!
+//! Together with the memory-link model these determine IPC under any
+//! partitioning, which is all DICER and the paper's metrics observe.
+//!
+//! The [`Catalog`] contains 59 named entries grouped into four archetypes
+//! ([`Archetype`]) whose parameter ranges were tuned so the paper's
+//! motivating facts hold (see `DESIGN.md` §2 and the integration tests):
+//! streaming codes saturate the link when cache-starved, most applications
+//! reach 99 % of peak performance with a small fraction of the 20 ways, and
+//! `milc`-style HPs prefer small allocations when co-located with
+//! cache-hungry BEs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetype;
+pub mod calibrate;
+pub mod catalog;
+pub mod curve;
+pub mod phase;
+
+pub use archetype::Archetype;
+pub use catalog::Catalog;
+pub use curve::MissCurve;
+pub use phase::{AppProfile, Phase};

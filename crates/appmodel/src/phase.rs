@@ -1,0 +1,243 @@
+//! Phases and application profiles.
+
+use crate::{archetype::Archetype, curve::MissCurve};
+use serde::{Deserialize, Serialize};
+
+/// One execution phase of an application (Sherwood-style program phases,
+/// reference 40 of the paper). Within a phase the behaviour is stationary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Instructions retired in this phase.
+    pub insns: u64,
+    /// Cycles per instruction assuming every LLC access hits.
+    pub base_cpi: f64,
+    /// LLC accesses per kilo-instruction.
+    pub apki: f64,
+    /// Memory-level parallelism: average number of overlapping outstanding
+    /// misses. Streaming codes sustain 3–4; dependent pointer chases ~1.
+    /// Divides the *exposed* miss latency but not the traffic generated.
+    pub mlp: f64,
+    /// Miss ratio as a function of allocated ways.
+    pub curve: MissCurve,
+}
+
+impl Phase {
+    /// CPI under the given allocation and effective memory latency, per the
+    /// standard linear decomposition
+    /// `CPI = base + (APKI / 1000) · miss_ratio(ways) · latency_cycles / MLP`.
+    pub fn cpi(&self, ways: f64, mem_latency_cycles: f64) -> f64 {
+        self.base_cpi
+            + self.apki / 1000.0 * self.curve.miss_ratio(ways) * mem_latency_cycles / self.mlp
+    }
+
+    /// IPC under the given allocation and memory latency.
+    pub fn ipc(&self, ways: f64, mem_latency_cycles: f64) -> f64 {
+        1.0 / self.cpi(ways, mem_latency_cycles)
+    }
+
+    /// LLC misses per second at a given IPC and core frequency.
+    pub fn misses_per_second(&self, ipc: f64, ways: f64, freq_hz: f64) -> f64 {
+        ipc * freq_hz * self.apki / 1000.0 * self.curve.miss_ratio(ways)
+    }
+
+    /// Memory traffic in Gbps at a given IPC, allocation, frequency and line
+    /// size (each miss moves one line).
+    pub fn demand_gbps(&self, ipc: f64, ways: f64, freq_hz: f64, line_bytes: u32) -> f64 {
+        self.misses_per_second(ipc, ways, freq_hz) * line_bytes as f64 * 8.0 / 1e9
+    }
+
+    /// Validates phase parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.insns == 0 {
+            return Err("phase must retire at least one instruction".into());
+        }
+        if !self.base_cpi.is_finite() || self.base_cpi <= 0.0 {
+            return Err(format!("base_cpi must be positive: {}", self.base_cpi));
+        }
+        if !self.apki.is_finite() || self.apki < 0.0 {
+            return Err(format!("apki must be non-negative: {}", self.apki));
+        }
+        if !self.mlp.is_finite() || self.mlp < 1.0 {
+            return Err(format!("mlp must be >= 1: {}", self.mlp));
+        }
+        self.curve.validate()
+    }
+}
+
+/// A complete synthetic application: named, typed, phased.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Workload name, e.g. `"milc1"` or `"gcc_base4"`.
+    pub name: String,
+    /// Behaviour archetype this profile was drawn from.
+    pub archetype: Archetype,
+    /// Phase sequence, executed in order and then restarted.
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// Builds and validates a profile.
+    pub fn new(name: impl Into<String>, archetype: Archetype, phases: Vec<Phase>) -> Self {
+        let p = Self { name: name.into(), archetype, phases };
+        if let Err(e) = p.validate() {
+            panic!("invalid AppProfile {}: {e}", p.name);
+        }
+        p
+    }
+
+    /// Validates all phases.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("profile needs at least one phase".into());
+        }
+        for (i, ph) in self.phases.iter().enumerate() {
+            ph.validate().map_err(|e| format!("phase {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total instructions in one complete execution.
+    pub fn total_insns(&self) -> u64 {
+        self.phases.iter().map(|p| p.insns).sum()
+    }
+
+    /// Instruction-weighted mean APKI — a scalar memory-intensity summary.
+    pub fn mean_apki(&self) -> f64 {
+        let total = self.total_insns() as f64;
+        self.phases.iter().map(|p| p.apki * p.insns as f64).sum::<f64>() / total
+    }
+
+    /// Solo execution time in seconds on an otherwise idle machine with the
+    /// full LLC (`total_ways`) and unloaded memory latency.
+    pub fn solo_time_s(&self, total_ways: u32, mem_latency_cycles: f64, freq_hz: f64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.insns as f64 * p.cpi(total_ways as f64, mem_latency_cycles) / freq_hz)
+            .sum()
+    }
+
+    /// Instruction-weighted solo IPC with a fixed way allocation.
+    pub fn solo_ipc(&self, ways: f64, mem_latency_cycles: f64) -> f64 {
+        let total = self.total_insns() as f64;
+        let cycles: f64 =
+            self.phases.iter().map(|p| p.insns as f64 * p.cpi(ways, mem_latency_cycles)).sum();
+        total / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(insns: u64, base_cpi: f64, apki: f64, curve: MissCurve) -> Phase {
+        Phase { insns, base_cpi, apki, mlp: 1.0, curve }
+    }
+
+    #[test]
+    fn cpi_decomposition() {
+        let p = phase(1000, 0.5, 10.0, MissCurve::flat(0.5));
+        // CPI = 0.5 + 0.01 * 0.5 * 200 = 1.5
+        assert!((p.cpi(5.0, 200.0) - 1.5).abs() < 1e-12);
+        assert!((p.ipc(5.0, 200.0) - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_ways_never_slower() {
+        let p = phase(1, 0.6, 15.0, MissCurve::parametric(0.05, 0.7, 4.0, 2.0));
+        let mut prev = f64::INFINITY;
+        for w in 1..=20 {
+            let c = p.cpi(w as f64, 200.0);
+            assert!(c <= prev + 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn demand_scales_with_ipc_and_miss_ratio() {
+        let p = phase(1, 0.5, 20.0, MissCurve::flat(0.5));
+        let d = p.demand_gbps(1.0, 4.0, 2.2e9, 64);
+        // 1.0 * 2.2e9 * 0.02 * 0.5 = 2.2e7 misses/s * 512 bits = 11.264 Gbps
+        assert!((d - 11.264).abs() < 1e-6);
+        assert!(p.demand_gbps(0.5, 4.0, 2.2e9, 64) < d);
+    }
+
+    #[test]
+    fn profile_totals_and_means() {
+        let a = AppProfile::new(
+            "t",
+            Archetype::CacheFriendly,
+            vec![
+                phase(1000, 0.5, 10.0, MissCurve::flat(0.2)),
+                phase(3000, 0.5, 30.0, MissCurve::flat(0.2)),
+            ],
+        );
+        assert_eq!(a.total_insns(), 4000);
+        assert!((a.mean_apki() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solo_time_adds_phase_times() {
+        let a = AppProfile::new(
+            "t",
+            Archetype::ComputeBound,
+            vec![phase(2_200_000_000, 1.0, 0.0, MissCurve::flat(0.0))],
+        );
+        // 2.2e9 insns at CPI 1 on 2.2 GHz = 1 second.
+        assert!((a.solo_time_s(20, 200.0, 2.2e9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_profile_rejected() {
+        AppProfile::new("bad", Archetype::ComputeBound, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_insn_phase_rejected() {
+        AppProfile::new(
+            "bad",
+            Archetype::ComputeBound,
+            vec![phase(0, 1.0, 1.0, MissCurve::flat(0.1))],
+        );
+    }
+
+    #[test]
+    fn mlp_hides_latency_but_not_traffic() {
+        let slow = phase(1, 0.5, 20.0, MissCurve::flat(0.5));
+        let fast = Phase { mlp: 4.0, ..slow.clone() };
+        assert!(fast.cpi(4.0, 200.0) < slow.cpi(4.0, 200.0));
+        // At equal IPC the generated traffic is identical.
+        let d_slow = slow.demand_gbps(1.0, 4.0, 2.2e9, 64);
+        let d_fast = fast.demand_gbps(1.0, 4.0, 2.2e9, 64);
+        assert_eq!(d_slow, d_fast);
+        // But the higher IPC the MLP enables yields more traffic per second.
+        let ipc_fast = fast.ipc(4.0, 200.0);
+        let ipc_slow = slow.ipc(4.0, 200.0);
+        assert!(fast.demand_gbps(ipc_fast, 4.0, 2.2e9, 64) > slow.demand_gbps(ipc_slow, 4.0, 2.2e9, 64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_mlp_rejected() {
+        AppProfile::new(
+            "bad",
+            Archetype::ComputeBound,
+            vec![Phase { insns: 1, base_cpi: 1.0, apki: 1.0, mlp: 0.5, curve: MissCurve::flat(0.1) }],
+        );
+    }
+
+    #[test]
+    fn solo_ipc_weighted_by_instructions() {
+        let a = AppProfile::new(
+            "t",
+            Archetype::CacheFriendly,
+            vec![
+                phase(1000, 1.0, 0.0, MissCurve::flat(0.0)), // CPI 1
+                phase(1000, 3.0, 0.0, MissCurve::flat(0.0)), // CPI 3
+            ],
+        );
+        // 2000 insns / 4000 cycles.
+        assert!((a.solo_ipc(20.0, 200.0) - 0.5).abs() < 1e-12);
+    }
+}

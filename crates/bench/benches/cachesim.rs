@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks for the trace-driven LLC simulator — the
+//! substrate's raw throughput determines how large a trace the validation
+//! suite can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dicer_cachesim::{
+    AccessKind, CacheConfig, ReplacementKind, SetAssocCache, StackDistanceProfiler, TraceGen,
+    WriteBackCache,
+};
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig { size_bytes: 512 * 8 * 64, ways: 8, line_bytes: 64 }
+}
+
+fn bench_access_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    let trace = TraceGen::Zipf { lines: 512 * 16, s: 0.9, seed: 1 }.generate(100_000);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [ReplacementKind::Lru, ReplacementKind::Nru, ReplacementKind::Random] {
+        g.bench_with_input(
+            BenchmarkId::new("replacement", format!("{kind:?}")),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut cache = SetAssocCache::new(small_cfg(), *kind);
+                    let full = cache.config().full_mask();
+                    for &line in &trace {
+                        cache.access_line(line, 0, full);
+                    }
+                    cache.misses(0)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_masked_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access_masked");
+    let trace = TraceGen::WorkingSet { lines: 512 * 4, seed: 2 }.generate(100_000);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for ways in [1u32, 4, 8] {
+        let mask = (1u32 << ways) - 1;
+        g.bench_with_input(BenchmarkId::new("ways", ways), &mask, |b, &mask| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::new(small_cfg(), ReplacementKind::Lru);
+                for &line in &trace {
+                    cache.access_line(line, 0, mask);
+                }
+                cache.miss_ratio(0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_distance");
+    for lines in [256u64, 1024, 4096] {
+        let trace = TraceGen::WorkingSet { lines, seed: 3 }.generate(50_000);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::new("footprint_lines", lines), &trace, |b, trace| {
+            b.iter(|| {
+                let mut p = StackDistanceProfiler::new();
+                p.access_all(trace.iter().copied());
+                p.miss_ratio_at(1024)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("stream", |b| b.iter(|| TraceGen::Stream.generate(100_000)));
+    g.bench_function("working_set", |b| {
+        b.iter(|| TraceGen::WorkingSet { lines: 4096, seed: 4 }.generate(100_000))
+    });
+    g.bench_function("zipf", |b| {
+        b.iter(|| TraceGen::Zipf { lines: 8192, s: 1.0, seed: 5 }.generate(100_000))
+    });
+    g.finish();
+}
+
+fn bench_writeback_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writeback_cache");
+    let trace = TraceGen::Zipf { lines: 512 * 16, s: 0.9, seed: 6 }.generate(100_000);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for write_every in [0usize, 4, 1] {
+        let label = match write_every {
+            0 => "reads_only",
+            1 => "writes_only",
+            _ => "mixed_1_in_4",
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &write_every, |b, &we| {
+            b.iter(|| {
+                let mut cache = WriteBackCache::new(small_cfg());
+                let full = cache.config().full_mask();
+                for (i, &line) in trace.iter().enumerate() {
+                    let kind = if we != 0 && i % we.max(1) == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    cache.access_line(line, 0, full, kind);
+                }
+                cache.traffic_bytes(0)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_throughput,
+    bench_masked_access,
+    bench_stack_distance,
+    bench_trace_generation,
+    bench_writeback_cache
+);
+criterion_main!(benches);

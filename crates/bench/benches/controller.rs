@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the control plane: one simulated monitoring
+//! period (server step) and one DICER decision, plus a whole co-location
+//! run — the unit of cost behind every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dicer_appmodel::Catalog;
+use dicer_experiments::runner::run_colocation_with;
+use dicer_experiments::SoloTable;
+use dicer_policy::{Dicer, DicerConfig, Policy, PolicyKind};
+use dicer_rdt::{PartitionController, PerAppSample, PeriodSample};
+use dicer_server::{Server, ServerConfig};
+
+fn bench_server_period(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let mut g = c.benchmark_group("server_step_period");
+    for (label, hp, be) in
+        [("quiet", "namd1", "povray1"), ("contended", "milc1", "gcc_base1")]
+    {
+        let hp = catalog.get(hp).unwrap().clone();
+        let be = catalog.get(be).unwrap().clone();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(hp, be), |b, (hp, be)| {
+            let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); 9]);
+            b.iter(|| server.step_period())
+        });
+    }
+    g.finish();
+}
+
+fn bench_dicer_decision(c: &mut Criterion) {
+    let app = PerAppSample { ipc: 1.0, llc_occupancy_bytes: 0, mem_bw_gbps: 4.0, miss_ratio: 0.2 };
+    let sample = PeriodSample { time_s: 1.0, hp: app, bes: vec![app; 9], total_bw_gbps: 40.0 };
+    c.bench_function("dicer_on_period", |b| {
+        let mut d = Dicer::new(DicerConfig::default());
+        d.initial_plan(20);
+        b.iter(|| d.on_period(&sample, 20))
+    });
+}
+
+fn bench_full_colocation_run(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    let hp = catalog.get("gobmk1").unwrap();
+    let be = catalog.get("hmmer1").unwrap();
+    let mut g = c.benchmark_group("colocation_run");
+    g.sample_size(10);
+    for kind in [PolicyKind::Unmanaged, PolicyKind::CacheTakeover, PolicyKind::Dicer(DicerConfig::default())] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| run_colocation_with(&solo, hp, be, 10, kind)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_plan_application(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let hp = catalog.get("omnetpp1").unwrap().clone();
+    let be = catalog.get("gcc_base1").unwrap().clone();
+    c.bench_function("apply_plan_toggle", |b| {
+        let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); 9]);
+        let mut w = 1;
+        b.iter(|| {
+            w = w % 19 + 1;
+            server.apply_plan(dicer_rdt::PartitionPlan::Split { hp_ways: w });
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_server_period,
+    bench_dicer_decision,
+    bench_full_colocation_run,
+    bench_plan_application
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the analytic model: the equilibrium
+//! solver and the shared-cache contention solver are the inner loops of
+//! every experiment sweep (3481 workloads × policies × periods).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dicer_appmodel::{Catalog, MissCurve, Phase};
+use dicer_membw::{LinkConfig, LinkModel};
+use dicer_server::{contention, equilibrium, solo, ServerConfig};
+
+fn phase(base_cpi: f64, apki: f64, mlp: f64, curve: MissCurve) -> Phase {
+    Phase { insns: 1_000_000, base_cpi, apki, mlp, curve }
+}
+
+fn bench_equilibrium(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equilibrium_solve");
+    let link = LinkModel::new(LinkConfig::default());
+    for n in [2usize, 5, 10] {
+        let hog = phase(0.6, 30.0, 3.5, MissCurve::parametric(0.4, 0.7, 1.5, 2.0));
+        let apps: Vec<(&Phase, f64)> = (0..n).map(|_| (&hog, 2.0)).collect();
+        g.bench_with_input(BenchmarkId::new("apps", n), &apps, |b, apps| {
+            b.iter(|| equilibrium::solve(apps, &link, 198.0, 2.2e9, 64))
+        });
+    }
+    g.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention_shares");
+    for n in [2usize, 5, 9] {
+        let curves: Vec<MissCurve> = (0..n)
+            .map(|i| MissCurve::parametric(0.05, 0.6, 1.0 + i as f64, 2.5))
+            .collect();
+        let apps: Vec<(f64, &MissCurve)> =
+            curves.iter().enumerate().map(|(i, c)| (10.0 + i as f64, c)).collect();
+        g.bench_with_input(BenchmarkId::new("apps", n), &apps, |b, apps| {
+            b.iter(|| contention::shared_effective_ways(apps, 20.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solo_profile(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let milc = catalog.get("milc1").unwrap();
+    c.bench_function("solo_profile_one_app", |b| b.iter(|| solo::profile(milc, &cfg)));
+}
+
+fn bench_catalog_build(c: &mut Criterion) {
+    c.bench_function("catalog_paper_build", |b| b.iter(Catalog::paper));
+}
+
+criterion_group!(benches, bench_equilibrium, bench_contention, bench_solo_profile, bench_catalog_build);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation: DICER vs DICER+MBA (the paper's future-work extension) on the
+//! standard panel — does throttling the BEs' memory requests protect the HP
+//! further, and at what BE cost?
+
+use dicer_experiments::ablation;
+use dicer_policy::{DicerConfig, PolicyKind};
+
+fn main() {
+    dicer_bench::banner("Ablation: DICER vs DICER+MBA");
+    let (catalog, solo) = dicer_bench::setup();
+    let points = vec![
+        ablation::run_panel(&catalog, &solo, &PolicyKind::Dicer(DicerConfig::default()), "DICER"),
+        ablation::run_panel(
+            &catalog,
+            &solo,
+            &PolicyKind::DicerMba(DicerConfig::default()),
+            "DICER+MBA",
+        ),
+        ablation::run_panel(&catalog, &solo, &PolicyKind::CacheTakeover, "CT"),
+        ablation::run_panel(&catalog, &solo, &PolicyKind::Unmanaged, "UM"),
+    ];
+    let sweep = ablation::Ablation { knob: "bandwidth control (MBA)".into(), points };
+    print!("{}", sweep.render());
+    dicer_bench::write_json("ablate_mba", &sweep).expect("write results");
+}

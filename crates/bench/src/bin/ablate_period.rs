@@ -1,0 +1,11 @@
+//! Ablation: monitoring-period length `T` (Table 1 fixes T = 1 s).
+
+use dicer_experiments::ablation;
+
+fn main() {
+    dicer_bench::banner("Ablation: monitoring period T");
+    let (catalog, _solo) = dicer_bench::setup();
+    let sweep = ablation::sweep_period(&catalog, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+    print!("{}", sweep.render());
+    dicer_bench::write_json("ablate_period", &sweep).expect("write results");
+}

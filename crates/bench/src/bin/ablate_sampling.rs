@@ -1,0 +1,46 @@
+//! Ablation: the allocation-sampling ladder (the paper only prescribes
+//! "decreasing LLC partition sizes") and the post-sampling cool-down this
+//! implementation adds.
+
+use dicer_experiments::ablation;
+use dicer_policy::{DicerConfig, SamplingStrategy};
+
+fn main() {
+    dicer_bench::banner("Ablation: sampling strategy and cool-down");
+    let (catalog, solo) = dicer_bench::setup();
+
+    let strat = ablation::sweep_dicer_configs(
+        &catalog,
+        &solo,
+        "sampling ladder",
+        vec![
+            ("linear-1".into(), DicerConfig { sampling: SamplingStrategy::Linear { step: 1 }, ..Default::default() }),
+            ("linear-3".into(), DicerConfig { sampling: SamplingStrategy::Linear { step: 3 }, ..Default::default() }),
+            ("geometric".into(), DicerConfig { sampling: SamplingStrategy::Geometric, ..Default::default() }),
+            ("coarse".into(), DicerConfig { sampling: SamplingStrategy::Custom(vec![19, 10, 4, 1]), ..Default::default() }),
+        ],
+    );
+    print!("{}", strat.render());
+    dicer_bench::write_json("ablate_sampling", &strat).expect("write results");
+
+    let cooldown = ablation::sweep_dicer_configs(
+        &catalog,
+        &solo,
+        "sampling cool-down (this implementation's addition)",
+        [1u32, 5, 10, 40]
+            .into_iter()
+            .map(|p| {
+                (
+                    format!("cooldown={p}"),
+                    DicerConfig {
+                        sampling_cooldown_periods: p,
+                        max_cooldown_periods: (8 * p).max(80),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+    );
+    print!("{}", cooldown.render());
+    dicer_bench::write_json("ablate_cooldown", &cooldown).expect("write results");
+}

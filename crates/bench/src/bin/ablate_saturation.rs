@@ -1,0 +1,23 @@
+//! Ablation: the memory-bandwidth saturation threshold (Table 1 fixes it at
+//! 50 Gbps on a 68.3 Gbps link).
+
+use dicer_experiments::ablation;
+use dicer_policy::DicerConfig;
+
+fn main() {
+    dicer_bench::banner("Ablation: MemBW_threshold");
+    let (catalog, solo) = dicer_bench::setup();
+    let sweep = ablation::sweep_dicer_configs(
+        &catalog,
+        &solo,
+        "MemBW_threshold",
+        [40.0, 45.0, 50.0, 55.0, 60.0]
+            .into_iter()
+            .map(|g| {
+                (format!("{g:.0} Gbps"), DicerConfig { mem_bw_threshold_gbps: g, ..Default::default() })
+            })
+            .collect(),
+    );
+    print!("{}", sweep.render());
+    dicer_bench::write_json("ablate_saturation", &sweep).expect("write results");
+}

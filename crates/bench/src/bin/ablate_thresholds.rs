@@ -1,0 +1,38 @@
+//! Ablation: DICER's phase-detection threshold (Eq. 2) and IPC stability
+//! band `a` (Eq. 3).
+
+use dicer_experiments::ablation;
+use dicer_policy::DicerConfig;
+
+fn main() {
+    dicer_bench::banner("Ablation: phase threshold and stability band");
+    let (catalog, solo) = dicer_bench::setup();
+
+    let phase = ablation::sweep_dicer_configs(
+        &catalog,
+        &solo,
+        "phase_threshold (Eq. 2)",
+        [0.10, 0.20, 0.30, 0.50]
+            .into_iter()
+            .map(|t| {
+                (format!("phase={:.0}%", t * 100.0), DicerConfig { phase_threshold: t, ..Default::default() })
+            })
+            .collect(),
+    );
+    print!("{}", phase.render());
+    dicer_bench::write_json("ablate_phase_threshold", &phase).expect("write results");
+
+    let alpha = ablation::sweep_dicer_configs(
+        &catalog,
+        &solo,
+        "stability band a (Eq. 3)",
+        [0.01, 0.03, 0.05, 0.10]
+            .into_iter()
+            .map(|a| {
+                (format!("a={:.0}%", a * 100.0), DicerConfig { stability_alpha: a, ..Default::default() })
+            })
+            .collect(),
+    );
+    print!("{}", alpha.render());
+    dicer_bench::write_json("ablate_stability_alpha", &alpha).expect("write results");
+}

@@ -1,0 +1,65 @@
+//! Future-work study (paper §6): dynamically managing the number of
+//! co-located BEs. Compares the escalation ladder — DICER (cache only),
+//! DICER+MBA (cache + bandwidth), DICER+ADM (cache + bandwidth +
+//! admission) — on workloads whose BEs overwhelm every other actuator.
+
+use dicer_experiments::runner::run_colocation_with;
+use dicer_policy::{DicerConfig, PolicyKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    policy: String,
+    hp_norm: f64,
+    be_norm: f64,
+    efu: f64,
+    link_gbps: f64,
+}
+
+fn main() {
+    dicer_bench::banner("Future work: dynamic BE admission (paper section 6)");
+    let (catalog, solo) = dicer_bench::setup();
+    let cases = [
+        ("omnetpp1", "lbm1"),        // sensitive HP vs unthrottleable streams
+        ("mcf1", "libquantum1"),     // deep-working-set HP vs streams
+        ("milc1", "lbm1"),           // bandwidth HP vs bandwidth BEs
+    ];
+    let ladder = [
+        PolicyKind::Dicer(DicerConfig::default()),
+        PolicyKind::DicerMba(DicerConfig::default()),
+        PolicyKind::DicerAdmission(DicerConfig::default()),
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:<22} {:<10} {:>8} {:>8} {:>7} {:>10}",
+        "workload", "policy", "HP norm", "BE norm", "EFU", "link Gbps"
+    );
+    for (hp, be) in cases {
+        let hp_app = catalog.get(hp).unwrap();
+        let be_app = catalog.get(be).unwrap();
+        for kind in &ladder {
+            let out = run_colocation_with(&solo, hp_app, be_app, 10, kind);
+            println!(
+                "{:<22} {:<10} {:>8.3} {:>8.3} {:>7.3} {:>10.1}",
+                format!("{hp}+9x{be}"),
+                out.policy,
+                out.hp_norm_ipc,
+                out.be_norm_ipc_mean(),
+                out.efu,
+                out.mean_total_bw_gbps
+            );
+            rows.push(Row {
+                workload: format!("{hp}+{be}"),
+                policy: out.policy.clone(),
+                hp_norm: out.hp_norm_ipc,
+                be_norm: out.be_norm_ipc_mean(),
+                efu: out.efu,
+                link_gbps: out.mean_total_bw_gbps,
+            });
+        }
+    }
+    dicer_bench::write_json("admission_study", &rows).expect("write results");
+    println!("\nEach rung of the ladder trades BE throughput for HP protection;");
+    println!("admission is the last resort when cache and bandwidth control fail.");
+}

@@ -1,0 +1,77 @@
+//! Controller dynamics: how often DICER samples, shrinks, resets and
+//! detects phase changes across the ablation panel — the behavioural
+//! breakdown behind the end-to-end numbers.
+
+use dicer_appmodel::Catalog;
+use dicer_experiments::{ablation::PANEL, SoloTable};
+use dicer_policy::{Dicer, DicerConfig, Policy};
+use dicer_rdt::PartitionController;
+use dicer_server::{Server, ServerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    ct_favoured: bool,
+    final_hp_ways: u32,
+    periods: u32,
+    sampling_periods: u64,
+    shrinks: u64,
+    resets: u64,
+    phase_changes: u64,
+    saturated_periods: u64,
+}
+
+fn main() {
+    dicer_bench::banner("DICER controller dynamics across the panel");
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let _solo = SoloTable::build(&catalog, cfg);
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<28} {:>5} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
+        "workload", "class", "periods", "sampled", "shrinks", "resets", "phases", "saturated"
+    );
+    for (hp, be) in PANEL {
+        let hp_app = catalog.get(hp).unwrap().clone();
+        let be_app = catalog.get(be).unwrap().clone();
+        let mut server = Server::new(cfg, hp_app, vec![be_app; 9]);
+        let mut dicer = Dicer::new(DicerConfig::default());
+        server.apply_plan(dicer.initial_plan(cfg.cache.ways));
+        let mut periods = 0u32;
+        while periods < 6000 {
+            let s = server.step_period();
+            periods += 1;
+            let plan = dicer.on_period(&s, cfg.cache.ways);
+            server.apply_plan(plan);
+            if server.progress().all_done() {
+                break;
+            }
+        }
+        let st = dicer.stats;
+        println!(
+            "{:<28} {:>5} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
+            format!("{hp}+9x{be}"),
+            if dicer.ct_favoured() { "CT-F" } else { "CT-T" },
+            periods,
+            st.sampling_periods,
+            st.shrinks,
+            st.resets,
+            st.phase_changes,
+            st.saturated_periods
+        );
+        rows.push(Row {
+            workload: format!("{hp}+{be}"),
+            ct_favoured: dicer.ct_favoured(),
+            final_hp_ways: dicer.hp_ways(),
+            periods,
+            sampling_periods: st.sampling_periods,
+            shrinks: st.shrinks,
+            resets: st.resets,
+            phase_changes: st.phase_changes,
+            saturated_periods: st.saturated_periods,
+        });
+    }
+    dicer_bench::write_json("controller_dynamics", &rows).expect("write results");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 1: CDF of HP slowdown under UM and CT, 9 BEs,
+//! over the full 59 x 59 workload space.
+
+use dicer_experiments::figures::fig1;
+
+fn main() {
+    dicer_bench::banner("Figure 1: HP slowdown CDF (UM vs CT)");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let fig = fig1::run(&set);
+    print!("{}", fig.render());
+    println!("CT-Thwarted fraction: {:.1}% (paper: ~60%)", set.ct_thwarted_fraction() * 100.0);
+    let path = dicer_bench::write_json("fig1", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 2: CDF of the minimum LLC ways needed, solo, for
+//! 90/95/99% of full-cache performance.
+
+use dicer_experiments::figures::fig2;
+
+fn main() {
+    dicer_bench::banner("Figure 2: minimum solo LLC allocation CDF");
+    let (catalog, solo) = dicer_bench::setup();
+    let fig = fig2::run(&catalog, &solo);
+    print!("{}", fig.render());
+    println!(
+        "at 6 ways: {:.0}% of apps reach 99% of peak (paper: ~50% with <=6 ways)",
+        fig.fraction_at(0.99, 6) * 100.0
+    );
+    println!(
+        "at 5 ways: {:.0}% of apps reach 90% of peak (paper: ~90% with <=5 ways)",
+        fig.fraction_at(0.90, 5) * 100.0
+    );
+    let path = dicer_bench::write_json("fig2", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: HP slowdown for every static LLC split,
+//! milc (HP) + 9 gcc (BEs).
+
+use dicer_experiments::figures::fig3;
+
+fn main() {
+    dicer_bench::banner("Figure 3: static partition sweep, milc + 9x gcc");
+    let (catalog, solo) = dicer_bench::setup();
+    let fig = fig3::run_default(&catalog, &solo);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig3", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4: EFU vs HP slowdown scatter (UM and CT) over the
+//! 120-workload sample.
+
+use dicer_experiments::figures::fig4;
+
+fn main() {
+    dicer_bench::banner("Figure 4: EFU vs slowdown scatter (UM, CT)");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let fig = fig4::run(&set);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig4", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

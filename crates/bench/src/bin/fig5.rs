@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: normalised HP and BE IPC per workload under
+//! UM / CT / DICER, split by CT-F / CT-T class, at full occupancy.
+
+use dicer_experiments::figures::fig5;
+
+fn main() {
+    dicer_bench::banner("Figure 5: per-workload HP/BE normalised IPC");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+    let fig = fig5::run(&matrix, solo.config().n_cores);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig5", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: geomean effective utilisation vs employed cores.
+
+use dicer_experiments::figures::fig6;
+
+fn main() {
+    dicer_bench::banner("Figure 6: geomean EFU vs cores");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+    let fig = fig6::run(&matrix);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig6", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: % of workloads achieving each HP SLO vs cores.
+
+use dicer_experiments::figures::fig7;
+
+fn main() {
+    dicer_bench::banner("Figure 7: SLO conformance vs cores");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+    let fig = fig7::run(&matrix);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig7", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 8: geomean SUCI vs cores for each SLO and lambda.
+
+use dicer_experiments::figures::fig8;
+
+fn main() {
+    dicer_bench::banner("Figure 8: geomean SUCI vs cores");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+    let fig = fig8::run(&matrix);
+    print!("{}", fig.render());
+    let path = dicer_bench::write_json("fig8", &fig).expect("write results");
+    println!("JSON: {}", path.display());
+}

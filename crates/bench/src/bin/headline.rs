@@ -1,0 +1,16 @@
+//! Regenerates the paper's headline claims from the Fig. 6/7 aggregates.
+
+use dicer_experiments::figures::{fig6, fig7, headline};
+
+fn main() {
+    dicer_bench::banner("Headline claims");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+    let f6 = fig6::run(&matrix);
+    let f7 = fig7::run(&matrix);
+    let h = headline::run(&f6, &f7, solo.config().n_cores);
+    print!("{}", h.render());
+    let path = dicer_bench::write_json("headline", &h).expect("write results");
+    println!("JSON: {}", path.display());
+}

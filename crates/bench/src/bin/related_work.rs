@@ -1,0 +1,36 @@
+//! Related-work comparison (paper §5): DICER vs DCP-QoS, its closest
+//! predecessor, which "lacks support for identifying and mitigating memory
+//! bandwidth saturation". The panel shows the two coincide on CT-Favoured
+//! dynamics and diverge exactly on saturating (CT-Thwarted) workloads.
+
+use dicer_experiments::ablation;
+use dicer_experiments::runner::run_colocation_with;
+use dicer_policy::{DicerConfig, PolicyKind};
+
+fn main() {
+    dicer_bench::banner("Related work: DICER vs DCP-QoS");
+    let (catalog, solo) = dicer_bench::setup();
+
+    let points = vec![
+        ablation::run_panel(&catalog, &solo, &PolicyKind::Dicer(DicerConfig::default()), "DICER"),
+        ablation::run_panel(&catalog, &solo, &PolicyKind::DcpQos, "DCP-QOS"),
+    ];
+    let sweep = ablation::Ablation { knob: "saturation handling (DICER vs DCP-QoS)".into(), points };
+    print!("{}", sweep.render());
+    dicer_bench::write_json("related_work", &sweep).expect("write results");
+
+    // The divergence case: the Fig. 3 saturating workload.
+    println!("\nFig. 3 workload (milc + 9x gcc — persistent bandwidth saturation):");
+    for kind in [PolicyKind::Dicer(DicerConfig::default()), PolicyKind::DcpQos] {
+        let hp = catalog.get("milc1").unwrap();
+        let be = catalog.get("gcc_base1").unwrap();
+        let out = run_colocation_with(&solo, hp, be, 10, &kind);
+        println!(
+            "  {:<8} HP norm {:.3}  BE norm {:.3}  EFU {:.3}",
+            out.policy,
+            out.hp_norm_ipc,
+            out.be_norm_ipc_mean(),
+            out.efu
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Assembles `REPORT.md` — the full evaluation, every figure and study —
+//! from the cached artifacts under `results/` (re-running anything that is
+//! missing). One command regenerates the whole paper evaluation:
+//!
+//! ```text
+//! cargo run --release -p dicer-bench --bin report
+//! ```
+
+use dicer_experiments::figures::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline, table1};
+use std::fmt::Write as _;
+
+fn main() {
+    dicer_bench::banner("Full evaluation report");
+    let (catalog, solo) = dicer_bench::setup();
+    let set = dicer_bench::load_or_classify(&catalog, &solo);
+    let matrix = dicer_bench::load_or_matrix(&catalog, &solo, &set);
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# DICER reproduction — generated evaluation report\n");
+    let _ = writeln!(
+        md,
+        "Deterministic output of `cargo run --release -p dicer-bench --bin report`.\n\
+         See `EXPERIMENTS.md` for the paper-vs-measured commentary.\n"
+    );
+
+    let mut section = |title: &str, body: String| {
+        let _ = writeln!(md, "## {title}\n\n```text\n{}```\n", body);
+    };
+
+    section("Table 1", table1::run().render());
+    let f1 = fig1::run(&set);
+    section("Figure 1 — HP slowdown CDF (UM vs CT)", {
+        let mut b = f1.render();
+        let _ = writeln!(b, "CT-Thwarted fraction: {:.1}%", set.ct_thwarted_fraction() * 100.0);
+        b
+    });
+    section("Figure 2 — minimum solo LLC allocation", fig2::run(&catalog, &solo).render());
+    section("Figure 3 — static sweep (milc + 9x gcc)", fig3::run_default(&catalog, &solo).render());
+    section("Figure 4 — EFU vs slowdown (UM, CT)", fig4::run(&set).render());
+    let f5 = fig5::run(&matrix, solo.config().n_cores);
+    // Fig. 5's per-workload block is long; keep the geomean summary only.
+    let f5_summary: String =
+        f5.render().lines().take(3).map(|l| format!("{l}\n")).collect();
+    section("Figure 5 — per-class geomeans (UM/CT/DICER)", f5_summary);
+    let f6 = fig6::run(&matrix);
+    section("Figure 6 — geomean EFU vs cores", f6.render());
+    let f7 = fig7::run(&matrix);
+    section("Figure 7 — SLO conformance vs cores", f7.render());
+    section("Figure 8 — geomean SUCI vs cores", fig8::run(&matrix).render());
+    section(
+        "Headline claims",
+        headline::run(&f6, &f7, solo.config().n_cores).render(),
+    );
+
+    std::fs::write("REPORT.md", &md).expect("write REPORT.md");
+    println!("wrote REPORT.md ({} bytes)", md.len());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1 (system configuration).
+
+use dicer_experiments::figures::table1;
+
+fn main() {
+    dicer_bench::banner("Table 1: system configuration");
+    let t = table1::run();
+    print!("{}", t.render());
+    let path = dicer_bench::write_json("table1", &t).expect("write results");
+    println!("JSON: {}", path.display());
+}

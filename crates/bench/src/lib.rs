@@ -1,0 +1,83 @@
+//! Shared plumbing for the figure-regeneration binaries and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory (under the invoking directory) where figure binaries drop
+/// their machine-readable JSON artifacts.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes a serialisable result next to the printed table, returning the
+/// path written.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(RESULTS_DIR);
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable result"))?;
+    Ok(path)
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(what: &str) {
+    println!("== DICER reproduction :: {what} ==");
+    println!("   (deterministic: fixed seeds, no wall-clock input)");
+}
+
+use dicer_appmodel::Catalog;
+use dicer_experiments::figures::{policies3, EvalMatrix};
+use dicer_experiments::{SoloTable, WorkloadSet};
+use dicer_server::ServerConfig;
+
+/// Builds the standard catalog + solo-table pair (Table 1 server).
+pub fn setup() -> (Catalog, SoloTable) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    (catalog, solo)
+}
+
+/// Classifies the full 59 × 59 workload space, reusing a cached
+/// `results/classification.json` when one exists (the classification runs
+/// 2 × 3481 co-location experiments — a couple of minutes on first run).
+pub fn load_or_classify(catalog: &Catalog, solo: &SoloTable) -> WorkloadSet {
+    let path = PathBuf::from(RESULTS_DIR).join("classification.json");
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(set) = serde_json::from_str::<WorkloadSet>(&text) {
+            if set.all.len() == catalog.len() * catalog.len() {
+                eprintln!("[bench] reusing cached classification ({})", path.display());
+                return set;
+            }
+        }
+    }
+    eprintln!("[bench] classifying {n} x {n} workloads ...", n = catalog.len());
+    let set = WorkloadSet::classify(catalog, solo);
+    let _ = write_json("classification", &set);
+    set
+}
+
+/// Runs (or reloads) the policy × cores × 120-workload evaluation matrix
+/// shared by Figs. 5–8.
+pub fn load_or_matrix(catalog: &Catalog, solo: &SoloTable, set: &WorkloadSet) -> EvalMatrix {
+    let path = PathBuf::from(RESULTS_DIR).join("matrix.json");
+    let cores: Vec<u32> = (2..=solo.config().n_cores).collect();
+    let sample = set.sample_120();
+    let expected = sample.len() * cores.len() * 3;
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(m) = serde_json::from_str::<EvalMatrix>(&text) {
+            if m.cells.len() == expected {
+                eprintln!("[bench] reusing cached matrix ({})", path.display());
+                return m;
+            }
+        }
+    }
+    eprintln!(
+        "[bench] running evaluation matrix: {} workloads x {} core counts x 3 policies ...",
+        sample.len(),
+        cores.len()
+    );
+    let m = EvalMatrix::run(catalog, solo, &sample, &cores, &policies3());
+    let _ = write_json("matrix", &m);
+    m
+}

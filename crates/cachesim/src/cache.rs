@@ -1,0 +1,431 @@
+//! The set-associative cache with CAT way masks and CMT/MBM counters.
+
+use crate::{config::CacheConfig, Rmid};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was found (in any way — CAT masks only constrain
+    /// insertion, not lookup).
+    pub hit: bool,
+    /// RMID whose line was evicted to make room, if an eviction happened.
+    pub evicted: Option<Rmid>,
+}
+
+/// Replacement policy used to pick a victim among the ways allowed by the
+/// accessor's CAT mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementKind {
+    /// True least-recently-used via global access stamps.
+    #[default]
+    Lru,
+    /// Not-recently-used: one reference bit per line, cleared lazily when
+    /// every allowed way has been referenced.
+    Nru,
+    /// Uniform random victim among allowed ways (deterministic, seeded).
+    Random,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    rmid: Rmid,
+    valid: bool,
+    stamp: u64,
+    referenced: bool,
+}
+
+const INVALID: Line = Line { tag: 0, rmid: 0, valid: false, stamp: 0, referenced: false };
+
+/// A way-partitioned set-associative cache.
+///
+/// Lines are tagged with the RMID that inserted them; per-RMID occupancy
+/// (CMT) and miss traffic (MBM) counters are maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: u64,
+    ways: usize,
+    /// `sets * ways` lines, row-major by set.
+    lines: Vec<Line>,
+    clock: u64,
+    replacement: ReplacementKind,
+    rng: ChaCha8Rng,
+    /// CMT: lines currently held per RMID.
+    occupancy: HashMap<Rmid, u64>,
+    /// MBM: misses per RMID since construction (each miss = one line fill).
+    misses: HashMap<Rmid, u64>,
+    /// Total accesses per RMID.
+    accesses: HashMap<Rmid, u64>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache; panics on invalid geometry.
+    pub fn new(cfg: CacheConfig, replacement: ReplacementKind) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CacheConfig: {e}");
+        }
+        let sets = cfg.sets();
+        let ways = cfg.ways as usize;
+        Self {
+            cfg,
+            sets,
+            ways,
+            lines: vec![INVALID; (sets as usize) * ways],
+            clock: 0,
+            replacement,
+            rng: ChaCha8Rng::seed_from_u64(0x000D_1CEF_u64),
+            occupancy: HashMap::new(),
+            misses: HashMap::new(),
+            accesses: HashMap::new(),
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> u64 {
+        line_addr % self.sets
+    }
+
+    #[inline]
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr / self.sets
+    }
+
+    /// Accesses a *byte* address on behalf of `rmid`, restricted to insert
+    /// into ways set in `mask`.
+    pub fn access(&mut self, addr: u64, rmid: Rmid, mask: u32) -> AccessOutcome {
+        self.access_line(addr >> self.cfg.line_bytes.trailing_zeros(), rmid, mask)
+    }
+
+    /// Accesses a *line* address (byte address already divided by the line
+    /// size) on behalf of `rmid` with CAT mask `mask`.
+    pub fn access_line(&mut self, line_addr: u64, rmid: Rmid, mask: u32) -> AccessOutcome {
+        let mask = mask & self.cfg.full_mask();
+        assert!(mask != 0, "CAT mask must allow at least one way");
+        self.clock += 1;
+        *self.accesses.entry(rmid).or_insert(0) += 1;
+
+        let set = self.set_of(line_addr) as usize;
+        let tag = self.tag_of(line_addr);
+        let base = set * self.ways;
+
+        // Lookup: hits are allowed in ANY way, regardless of mask.
+        for w in 0..self.ways {
+            let line = &mut self.lines[base + w];
+            if line.valid && line.tag == tag {
+                line.stamp = self.clock;
+                line.referenced = true;
+                return AccessOutcome { hit: true, evicted: None };
+            }
+        }
+
+        // Miss: fill into an allowed way.
+        *self.misses.entry(rmid).or_insert(0) += 1;
+        let victim_way = self.pick_victim(base, mask);
+        let victim = &mut self.lines[base + victim_way];
+        let evicted = if victim.valid {
+            let prev = victim.rmid;
+            if let Some(o) = self.occupancy.get_mut(&prev) {
+                *o = o.saturating_sub(1);
+            }
+            Some(prev)
+        } else {
+            None
+        };
+        *victim = Line { tag, rmid, valid: true, stamp: self.clock, referenced: true };
+        *self.occupancy.entry(rmid).or_insert(0) += 1;
+        AccessOutcome { hit: false, evicted }
+    }
+
+    fn pick_victim(&mut self, base: usize, mask: u32) -> usize {
+        // Prefer an invalid allowed way.
+        for w in 0..self.ways {
+            if mask & (1 << w) != 0 && !self.lines[base + w].valid {
+                return w;
+            }
+        }
+        match self.replacement {
+            ReplacementKind::Lru => {
+                let mut best = usize::MAX;
+                let mut best_stamp = u64::MAX;
+                for w in 0..self.ways {
+                    if mask & (1 << w) != 0 {
+                        let s = self.lines[base + w].stamp;
+                        if s < best_stamp {
+                            best_stamp = s;
+                            best = w;
+                        }
+                    }
+                }
+                best
+            }
+            ReplacementKind::Nru => {
+                // First pass: any allowed way with the reference bit clear.
+                for w in 0..self.ways {
+                    if mask & (1 << w) != 0 && !self.lines[base + w].referenced {
+                        return w;
+                    }
+                }
+                // All referenced: clear bits of allowed ways, evict the first.
+                let mut first = usize::MAX;
+                for w in 0..self.ways {
+                    if mask & (1 << w) != 0 {
+                        self.lines[base + w].referenced = false;
+                        if first == usize::MAX {
+                            first = w;
+                        }
+                    }
+                }
+                first
+            }
+            ReplacementKind::Random => {
+                let allowed: Vec<usize> =
+                    (0..self.ways).filter(|w| mask & (1 << w) != 0).collect();
+                allowed[self.rng.gen_range(0..allowed.len())]
+            }
+        }
+    }
+
+    /// CMT read: bytes currently occupied by `rmid`.
+    pub fn occupancy_bytes(&self, rmid: Rmid) -> u64 {
+        self.occupancy.get(&rmid).copied().unwrap_or(0) * self.cfg.line_bytes as u64
+    }
+
+    /// MBM read: total bytes fetched from memory by `rmid` since
+    /// construction (misses × line size).
+    pub fn traffic_bytes(&self, rmid: Rmid) -> u64 {
+        self.misses.get(&rmid).copied().unwrap_or(0) * self.cfg.line_bytes as u64
+    }
+
+    /// Misses recorded for `rmid`.
+    pub fn misses(&self, rmid: Rmid) -> u64 {
+        self.misses.get(&rmid).copied().unwrap_or(0)
+    }
+
+    /// Accesses recorded for `rmid`.
+    pub fn accesses(&self, rmid: Rmid) -> u64 {
+        self.accesses.get(&rmid).copied().unwrap_or(0)
+    }
+
+    /// Miss ratio observed for `rmid` (0 if it never accessed the cache).
+    pub fn miss_ratio(&self, rmid: Rmid) -> f64 {
+        let a = self.accesses(rmid);
+        if a == 0 {
+            0.0
+        } else {
+            self.misses(rmid) as f64 / a as f64
+        }
+    }
+
+    /// Clears the per-RMID miss/access counters (occupancy and contents are
+    /// left untouched), as a monitoring-period boundary would.
+    pub fn reset_event_counters(&mut self) {
+        self.misses.clear();
+        self.accesses.clear();
+    }
+
+    /// Total valid lines across all RMIDs (for invariant checking).
+    pub fn total_valid_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Sum of per-RMID occupancy counters (must equal
+    /// [`Self::total_valid_lines`]).
+    pub fn total_occupancy_lines(&self) -> u64 {
+        self.occupancy.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 4 ways x 64B = 1 KiB
+        let cfg = CacheConfig { size_bytes: 1024, ways: 4, line_bytes: 64 };
+        SetAssocCache::new(cfg, ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        assert!(!c.access_line(0, 1, full).hit);
+        assert!(c.access_line(0, 1, full).hit);
+        assert_eq!(c.misses(1), 1);
+        assert_eq!(c.accesses(1), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_mask() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        // Fill set 0 (addresses congruent mod 4): lines 0,4,8,12.
+        for l in [0u64, 4, 8, 12] {
+            c.access_line(l, 1, full);
+        }
+        // Touch 0 to refresh it; insert a 5th line -> victim should be 4.
+        c.access_line(0, 1, full);
+        c.access_line(16, 1, full);
+        assert!(c.access_line(0, 1, full).hit, "refreshed line survived");
+        assert!(!c.access_line(4, 1, full).hit, "LRU line was evicted");
+    }
+
+    #[test]
+    fn mask_restricts_insertion_not_lookup() {
+        let mut c = tiny();
+        // RMID 1 inserts into way 0 only.
+        c.access_line(0, 1, 0b0001);
+        // RMID 2, masked to ways 2-3, still HITS on the line in way 0.
+        assert!(c.access_line(0, 2, 0b1100).hit);
+    }
+
+    #[test]
+    fn masked_rmid_cannot_evict_outside_mask() {
+        let mut c = tiny();
+        // RMID 1 fills ways 0-3 of set 0 using the full mask.
+        for l in [0u64, 4, 8, 12] {
+            c.access_line(l, 1, 0b1111);
+        }
+        // RMID 2 restricted to way 3 thrashes through many lines of set 0.
+        for l in (16..16 + 40).step_by(4) {
+            c.access_line(l as u64, 2, 0b1000);
+        }
+        // RMID 2 can hold at most 1 line (way 3 of its only set touched).
+        assert!(c.occupancy_bytes(2) <= 64);
+        // RMID 1 lost at most the line that lived in way 3.
+        assert!(c.occupancy_bytes(1) >= 3 * 64);
+    }
+
+    #[test]
+    fn repartitioning_does_not_flush() {
+        let mut c = tiny();
+        c.access_line(0, 1, 0b0011);
+        // "Re-partition": RMID 1 now owns only way 2; its old line still hits.
+        assert!(c.access_line(0, 1, 0b0100).hit);
+    }
+
+    #[test]
+    fn occupancy_tracks_insertions_and_evictions() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        for l in 0..16u64 {
+            c.access_line(l, 7, full);
+        }
+        assert_eq!(c.occupancy_bytes(7), 1024); // cache fully owned
+        // A different RMID steals lines; occupancy must shift.
+        for l in 16..24u64 {
+            c.access_line(l, 9, full);
+        }
+        assert_eq!(c.occupancy_bytes(7) + c.occupancy_bytes(9), 1024);
+        assert_eq!(c.occupancy_bytes(9), 8 * 64);
+    }
+
+    #[test]
+    fn occupancy_invariant_holds_under_random_traffic() {
+        use rand::RngCore;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for kind in [ReplacementKind::Lru, ReplacementKind::Nru, ReplacementKind::Random] {
+            let cfg = CacheConfig { size_bytes: 2048, ways: 8, line_bytes: 64 };
+            let mut c = SetAssocCache::new(cfg, kind);
+            for _ in 0..5000 {
+                let addr = rng.next_u64() % 512;
+                let rmid = (rng.next_u32() % 4) as Rmid;
+                let mask = 1u32 << (rng.next_u32() % 8) | 1;
+                c.access_line(addr, rmid, mask);
+                assert_eq!(c.total_valid_lines(), c.total_occupancy_lines());
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_counts_fill_bytes() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        for l in 0..10u64 {
+            c.access_line(l, 3, full);
+        }
+        assert_eq!(c.traffic_bytes(3), 10 * 64);
+        // Re-touching is free.
+        for l in 0..10u64 {
+            c.access_line(l, 3, full);
+        }
+        assert_eq!(c.traffic_bytes(3), 10 * 64);
+    }
+
+    #[test]
+    fn miss_ratio_streaming_is_one() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        for l in 0..1000u64 {
+            c.access_line(l, 5, full);
+        }
+        assert_eq!(c.miss_ratio(5), 1.0);
+    }
+
+    #[test]
+    fn reset_event_counters_keeps_contents() {
+        let mut c = tiny();
+        let full = c.config().full_mask();
+        c.access_line(0, 1, full);
+        c.reset_event_counters();
+        assert_eq!(c.misses(1), 0);
+        assert!(c.access_line(0, 1, full).hit, "contents survived counter reset");
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced_victims() {
+        let cfg = CacheConfig { size_bytes: 256, ways: 4, line_bytes: 64 }; // 1 set
+        let mut c = SetAssocCache::new(cfg, ReplacementKind::Nru);
+        for l in 0..4u64 {
+            c.access_line(l, 1, 0b1111);
+        }
+        // All referenced; next miss clears bits and evicts way 0 (line 0).
+        c.access_line(4, 1, 0b1111);
+        assert!(!c.access_line(0, 1, 0b1111).hit);
+    }
+
+    #[test]
+    fn random_replacement_stays_within_mask() {
+        let cfg = CacheConfig { size_bytes: 256, ways: 4, line_bytes: 64 }; // 1 set
+        let mut c = SetAssocCache::new(cfg, ReplacementKind::Random);
+        // Owner fills everything.
+        for l in 0..4u64 {
+            c.access_line(l, 1, 0b1111);
+        }
+        // Intruder restricted to way 1 cannot destroy more than one line.
+        for l in 10..60u64 {
+            c.access_line(l, 2, 0b0010);
+        }
+        assert!(c.occupancy_bytes(1) >= 3 * 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mask_panics() {
+        let mut c = tiny();
+        c.access_line(0, 1, 0);
+    }
+
+    #[test]
+    fn working_set_fits_after_warmup() {
+        // Working set of 8 lines in a 16-line cache: zero misses after warmup.
+        let cfg = CacheConfig { size_bytes: 1024, ways: 4, line_bytes: 64 };
+        let mut c = SetAssocCache::new(cfg, ReplacementKind::Lru);
+        let full = c.config().full_mask();
+        for _ in 0..3 {
+            for l in 0..8u64 {
+                c.access_line(l, 1, full);
+            }
+        }
+        assert_eq!(c.misses(1), 8, "only cold misses");
+    }
+}

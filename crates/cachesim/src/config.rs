@@ -1,0 +1,100 @@
+//! Geometry of the simulated last-level cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache geometry. The default mirrors the paper's evaluation machine
+/// (Table 1): a 25 MB, 20-way set-associative LLC with 64-byte lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (number of ways).
+    pub ways: u32,
+    /// Cache-line size in bytes; must be a power of two.
+    pub line_bytes: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { size_bytes: 25 * 1024 * 1024, ways: 20, line_bytes: 64 }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+
+    /// Capacity of a single way, in bytes.
+    pub fn way_bytes(&self) -> u64 {
+        self.size_bytes / self.ways as u64
+    }
+
+    /// Bitmask with all ways allowed.
+    pub fn full_mask(&self) -> u32 {
+        if self.ways == 32 { u32::MAX } else { (1u32 << self.ways) - 1 }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.ways > 32 {
+            return Err(format!("ways must be in 1..=32, got {}", self.ways));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size must be a power of two, got {}", self.line_bytes));
+        }
+        let denom = self.ways as u64 * self.line_bytes as u64;
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(denom) {
+            return Err(format!(
+                "size {} not divisible by ways*line ({} bytes)",
+                self.size_bytes, denom
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_geometry() {
+        let c = CacheConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.sets(), 20480);
+        assert_eq!(c.lines(), 409_600);
+        assert_eq!(c.way_bytes(), 25 * 1024 * 1024 / 20);
+        assert_eq!(c.full_mask(), 0xF_FFFF);
+    }
+
+    #[test]
+    fn rejects_zero_ways() {
+        let c = CacheConfig { ways: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_pow2_line() {
+        let c = CacheConfig { line_bytes: 48, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_indivisible_size() {
+        let c = CacheConfig { size_bytes: 1000, ways: 3, line_bytes: 64 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn full_mask_32_ways() {
+        let c = CacheConfig { size_bytes: 64 * 32 * 4, ways: 32, line_bytes: 64 };
+        assert_eq!(c.full_mask(), u32::MAX);
+    }
+}

@@ -1,0 +1,47 @@
+//! Trace-driven, way-partitioned, set-associative LLC simulator.
+//!
+//! This crate models the hardware substrate DICER actuates: an Intel-style
+//! last-level cache with **Cache Allocation Technology (CAT)** semantics,
+//! **Cache Monitoring Technology (CMT)** occupancy counters and **Memory
+//! Bandwidth Monitoring (MBM)** traffic counters.
+//!
+//! CAT semantics faithfully reproduced (paper §3.3):
+//!
+//! * A class of service is a *way bitmask*. The mask restricts where a
+//!   request may **insert** (and thus whom it may victimise) — lookups hit
+//!   in *any* way.
+//! * Re-partitioning does not flush anything: lines outside the new mask
+//!   stay valid until naturally evicted by future misses.
+//!
+//! Components:
+//!
+//! * [`SetAssocCache`] — the cache proper, with pluggable replacement
+//!   ([`ReplacementKind`]), per-RMID occupancy and miss/traffic counters.
+//! * [`StackDistanceProfiler`] — exact LRU reuse-distance histograms.
+//! * [`mrc`] — miss-ratio-curve extraction, both analytic (from stack
+//!   distances) and empirical (by re-simulating at every way count).
+//! * [`trace`] — deterministic synthetic address-trace generators used to
+//!   stand in for SPEC/PARSEC memory behaviour.
+//! * [`WriteBackCache`] — a write-allocate/write-back variant with dirty
+//!   bits and per-RMID writeback accounting (MBM's "total" counter).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod mrc;
+pub mod stackdist;
+pub mod trace;
+pub mod write;
+
+pub use cache::{AccessOutcome, ReplacementKind, SetAssocCache};
+pub use config::CacheConfig;
+pub use mrc::MissRatioCurve;
+pub use stackdist::StackDistanceProfiler;
+pub use trace::TraceGen;
+pub use write::{AccessKind, WriteBackCache};
+
+/// Resource monitoring ID tagging cache lines with their owner, mirroring
+/// Intel RDT RMIDs.
+pub type Rmid = u16;

@@ -1,0 +1,179 @@
+//! Miss-ratio-curve (MRC) extraction.
+//!
+//! Two independent routes to a curve of miss ratio vs. allocated ways:
+//!
+//! * **Analytic** — a single stack-distance pass gives the fully-associative
+//!   LRU miss ratio at *every* capacity at once ([`from_stack_distances`]).
+//! * **Empirical** — re-simulate the trace through [`SetAssocCache`] once per
+//!   way count ([`by_simulation`]), capturing set-conflict effects and the
+//!   exact CAT insertion semantics.
+//!
+//! The app model (`dicer-appmodel`) uses parametric curves for speed but is
+//! validated against these extractors in integration tests.
+
+use crate::{
+    cache::{ReplacementKind, SetAssocCache},
+    config::CacheConfig,
+    stackdist::StackDistanceProfiler,
+};
+use serde::{Deserialize, Serialize};
+
+/// Miss ratio per way allocation: `ratios[w - 1]` is the miss ratio with
+/// `w` ways.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    ratios: Vec<f64>,
+}
+
+impl MissRatioCurve {
+    /// Builds a curve from per-way ratios (`ratios[0]` = 1 way). Enforces
+    /// values in `[0, 1]`.
+    pub fn new(ratios: Vec<f64>) -> Self {
+        assert!(!ratios.is_empty(), "curve needs at least one point");
+        assert!(
+            ratios.iter().all(|r| (0.0..=1.0).contains(r)),
+            "miss ratios must lie in [0, 1]"
+        );
+        Self { ratios }
+    }
+
+    /// Number of way points tabulated.
+    pub fn ways(&self) -> u32 {
+        self.ratios.len() as u32
+    }
+
+    /// Miss ratio at an integral way count (clamped to the tabulated range).
+    pub fn at(&self, ways: u32) -> f64 {
+        let idx = (ways.max(1) as usize - 1).min(self.ratios.len() - 1);
+        self.ratios[idx]
+    }
+
+    /// Miss ratio at a fractional way count, by linear interpolation. Values
+    /// below 1 way extrapolate towards the 1-way ratio; above the tabulated
+    /// maximum they clamp.
+    pub fn at_fractional(&self, ways: f64) -> f64 {
+        let w = ways.max(1.0);
+        let lo = (w.floor() as usize - 1).min(self.ratios.len() - 1);
+        let hi = (lo + 1).min(self.ratios.len() - 1);
+        let frac = (w - w.floor()).clamp(0.0, 1.0);
+        self.ratios[lo] * (1.0 - frac) + self.ratios[hi] * frac
+    }
+
+    /// Raw per-way ratios.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// Whether the curve is monotonically non-increasing (more cache never
+    /// hurts under LRU inclusion).
+    pub fn is_monotone(&self) -> bool {
+        self.ratios.windows(2).all(|w| w[1] <= w[0] + 1e-9)
+    }
+}
+
+/// Builds an MRC from a stack-distance profile for a cache with the given
+/// geometry: way `w` corresponds to a fully-associative capacity of
+/// `w × sets` lines.
+pub fn from_stack_distances(profile: &StackDistanceProfiler, cfg: &CacheConfig) -> MissRatioCurve {
+    let sets = cfg.sets();
+    let ratios = (1..=cfg.ways).map(|w| profile.miss_ratio_at(w as u64 * sets)).collect();
+    MissRatioCurve::new(ratios)
+}
+
+/// Builds an MRC by exact simulation: the trace is replayed once per way
+/// count with the accessor confined to the lowest `w` ways.
+pub fn by_simulation(trace: &[u64], cfg: &CacheConfig, replacement: ReplacementKind) -> MissRatioCurve {
+    let ratios = (1..=cfg.ways)
+        .map(|w| {
+            let mut cache = SetAssocCache::new(*cfg, replacement);
+            let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+            for &line in trace {
+                cache.access_line(line, 0, mask);
+            }
+            cache.miss_ratio(0)
+        })
+        .collect();
+    MissRatioCurve::new(ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGen;
+
+    fn small_cfg() -> CacheConfig {
+        // 64 sets x 8 ways.
+        CacheConfig { size_bytes: 64 * 8 * 64, ways: 8, line_bytes: 64 }
+    }
+
+    #[test]
+    fn curve_accessors() {
+        let c = MissRatioCurve::new(vec![0.9, 0.5, 0.1]);
+        assert_eq!(c.ways(), 3);
+        assert_eq!(c.at(1), 0.9);
+        assert_eq!(c.at(3), 0.1);
+        assert_eq!(c.at(10), 0.1, "clamps above range");
+        assert!((c.at_fractional(1.5) - 0.7).abs() < 1e-12);
+        assert_eq!(c.at_fractional(0.2), 0.9, "clamps below 1 way");
+    }
+
+    #[test]
+    #[should_panic]
+    fn curve_rejects_out_of_range() {
+        MissRatioCurve::new(vec![1.5]);
+    }
+
+    #[test]
+    fn streaming_trace_has_flat_high_mrc() {
+        let cfg = small_cfg();
+        let trace = TraceGen::Stream.generate(50_000);
+        let mrc = by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        // Streaming never reuses: miss ratio 1.0 regardless of ways.
+        for w in 1..=8 {
+            assert!(mrc.at(w) > 0.99, "way {w}: {}", mrc.at(w));
+        }
+    }
+
+    #[test]
+    fn working_set_mrc_drops_once_it_fits() {
+        let cfg = small_cfg(); // way = 64 lines
+        // Working set of 200 lines: fits at >= 4 ways (256 lines).
+        let trace = TraceGen::WorkingSet { lines: 200, seed: 9 }.generate(200_000);
+        let mrc = by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        assert!(mrc.at(1) > 0.5, "1 way thrashes: {}", mrc.at(1));
+        assert!(mrc.at(8) < 0.05, "8 ways fit: {}", mrc.at(8));
+        assert!(mrc.at(8) < mrc.at(2));
+    }
+
+    #[test]
+    fn analytic_and_simulated_mrc_agree_for_uniform_reuse() {
+        let cfg = small_cfg();
+        let trace = TraceGen::WorkingSet { lines: 150, seed: 5 }.generate(100_000);
+        let mut prof = StackDistanceProfiler::new();
+        prof.access_all(trace.iter().copied());
+        let analytic = from_stack_distances(&prof, &cfg);
+        let simulated = by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        for w in 1..=8u32 {
+            let d = (analytic.at(w) - simulated.at(w)).abs();
+            assert!(d < 0.12, "way {w}: analytic {} vs sim {}", analytic.at(w), simulated.at(w));
+        }
+    }
+
+    #[test]
+    fn simulated_mrc_is_monotone_for_lru_uniform() {
+        let cfg = small_cfg();
+        let trace = TraceGen::WorkingSet { lines: 300, seed: 11 }.generate(80_000);
+        let mrc = by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        assert!(mrc.is_monotone(), "{:?}", mrc.ratios());
+    }
+
+    #[test]
+    fn zipf_mrc_has_diminishing_returns() {
+        let cfg = small_cfg();
+        let trace = TraceGen::Zipf { lines: 2000, s: 1.0, seed: 2 }.generate(100_000);
+        let mrc = by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        let gain_early = mrc.at(1) - mrc.at(4);
+        let gain_late = mrc.at(5) - mrc.at(8);
+        assert!(gain_early > gain_late, "early {gain_early} vs late {gain_late}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Deterministic synthetic address-trace generators.
+//!
+//! Each generator produces a stream of *line* addresses that reproduces a
+//! memory-behaviour archetype found in SPEC CPU 2006 / PARSEC 3.0:
+//!
+//! * [`TraceGen::Stream`] — pure streaming (lbm, libquantum): never reuses.
+//! * [`TraceGen::Strided`] — regular stride over a large footprint.
+//! * [`TraceGen::WorkingSet`] — uniform reuse inside a fixed working set
+//!   (cache-friendly codes).
+//! * [`TraceGen::Zipf`] — skewed reuse over a large footprint
+//!   (cache-sensitive pointer codes: mcf, omnetpp).
+//! * [`TraceGen::Phased`] — concatenation of sub-traces, modelling program
+//!   phases (Sherwood et al., reference 40 of the paper).
+//!
+//! All randomness is ChaCha8-seeded: the same generator yields the same
+//! trace on every run and platform.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A synthetic trace description. Call [`TraceGen::generate`] to materialise
+/// `n` line addresses.
+#[derive(Debug, Clone)]
+pub enum TraceGen {
+    /// Monotone streaming: address `i` at step `i`, no reuse.
+    Stream,
+    /// Strided scan with the given stride (in lines) over `footprint` lines,
+    /// wrapping around.
+    Strided {
+        /// Stride between consecutive accesses, in lines.
+        stride: u64,
+        /// Total distinct lines, after which the scan wraps.
+        footprint: u64,
+    },
+    /// Uniform random accesses within a working set of `lines` lines.
+    WorkingSet {
+        /// Working-set size in lines.
+        lines: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Zipf-distributed accesses over `lines` lines with exponent `s`.
+    Zipf {
+        /// Footprint in lines.
+        lines: u64,
+        /// Skew exponent (`s = 0` is uniform; larger = more skewed).
+        s: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Concatenated phases, each `(gen, n_accesses)`.
+    Phased(Vec<(TraceGen, u64)>),
+}
+
+impl TraceGen {
+    /// Materialises `n` line addresses.
+    pub fn generate(&self, n: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n as usize);
+        self.generate_into(n, &mut out);
+        out
+    }
+
+    fn generate_into(&self, n: u64, out: &mut Vec<u64>) {
+        match self {
+            TraceGen::Stream => {
+                let start = out.len() as u64;
+                out.extend((start..start + n).map(|i| i.wrapping_mul(1)));
+            }
+            TraceGen::Strided { stride, footprint } => {
+                assert!(*footprint > 0 && *stride > 0, "stride/footprint must be positive");
+                let mut pos = 0u64;
+                for _ in 0..n {
+                    out.push(pos);
+                    pos = (pos + stride) % footprint;
+                }
+            }
+            TraceGen::WorkingSet { lines, seed } => {
+                assert!(*lines > 0, "working set must be non-empty");
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                for _ in 0..n {
+                    out.push(rng.gen_range(0..*lines));
+                }
+            }
+            TraceGen::Zipf { lines, s, seed } => {
+                assert!(*lines > 0, "footprint must be non-empty");
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                let zipf = ZipfSampler::new(*lines, *s);
+                for _ in 0..n {
+                    out.push(zipf.sample(&mut rng));
+                }
+            }
+            TraceGen::Phased(phases) => {
+                assert!(!phases.is_empty(), "phased trace needs at least one phase");
+                let total: u64 = phases.iter().map(|(_, c)| *c).sum();
+                assert!(total > 0, "phased trace needs accesses");
+                for (g, count) in phases {
+                    // Scale each phase so the whole trace has n accesses.
+                    let take = (n as u128 * *count as u128 / total as u128) as u64;
+                    g.generate_into(take, out);
+                }
+                // Rounding remainder goes to the last phase.
+                let missing = n as usize - out.len().min(n as usize);
+                if missing > 0 {
+                    phases.last().unwrap().0.generate_into(missing as u64, out);
+                }
+                out.truncate(n as usize);
+            }
+        }
+    }
+}
+
+/// Inverse-CDF Zipf sampler via binary search on precomputed cumulative
+/// weights (footprints used here are small enough to tabulate).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0);
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i as u64).min(self.cdf.len() as u64 - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_never_reuses() {
+        let t = TraceGen::Stream.generate(1000);
+        let distinct: HashSet<_> = t.iter().collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn strided_wraps_at_footprint() {
+        let t = TraceGen::Strided { stride: 3, footprint: 10 }.generate(20);
+        assert!(t.iter().all(|&l| l < 10));
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1], 3);
+        assert_eq!(t[4], 2); // 12 % 10
+    }
+
+    #[test]
+    fn working_set_stays_in_bounds_and_reuses() {
+        let t = TraceGen::WorkingSet { lines: 64, seed: 7 }.generate(10_000);
+        assert!(t.iter().all(|&l| l < 64));
+        let distinct: HashSet<_> = t.iter().collect();
+        assert!(distinct.len() <= 64);
+        assert!(distinct.len() > 32, "should cover most of the working set");
+    }
+
+    #[test]
+    fn working_set_is_deterministic() {
+        let a = TraceGen::WorkingSet { lines: 128, seed: 1 }.generate(1000);
+        let b = TraceGen::WorkingSet { lines: 128, seed: 1 }.generate(1000);
+        assert_eq!(a, b);
+        let c = TraceGen::WorkingSet { lines: 128, seed: 2 }.generate(1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_ranks() {
+        let t = TraceGen::Zipf { lines: 1000, s: 1.2, seed: 3 }.generate(50_000);
+        let head = t.iter().filter(|&&l| l < 10).count() as f64 / t.len() as f64;
+        let tail = t.iter().filter(|&&l| l >= 500).count() as f64 / t.len() as f64;
+        assert!(head > 0.3, "zipf head too light: {head}");
+        assert!(tail < head, "zipf tail heavier than head");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let t = TraceGen::Zipf { lines: 100, s: 0.0, seed: 4 }.generate(100_000);
+        let head = t.iter().filter(|&&l| l < 50).count() as f64 / t.len() as f64;
+        assert!((head - 0.5).abs() < 0.02, "uniform split off: {head}");
+    }
+
+    #[test]
+    fn phased_emits_requested_length_and_phases() {
+        let t = TraceGen::Phased(vec![
+            (TraceGen::WorkingSet { lines: 8, seed: 1 }, 500),
+            (TraceGen::WorkingSet { lines: 100_000, seed: 2 }, 500),
+        ])
+        .generate(1000);
+        assert_eq!(t.len(), 1000);
+        // First half tight, second half wide.
+        assert!(t[..500].iter().all(|&l| l < 8));
+        let distinct_late: HashSet<_> = t[500..].iter().collect();
+        assert!(distinct_late.len() > 300);
+    }
+
+    #[test]
+    fn phased_rounding_remainder_filled() {
+        let t = TraceGen::Phased(vec![
+            (TraceGen::Stream, 1),
+            (TraceGen::Stream, 1),
+            (TraceGen::Stream, 1),
+        ])
+        .generate(100);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_footprint_rejected() {
+        TraceGen::Strided { stride: 1, footprint: 0 }.generate(1);
+    }
+}

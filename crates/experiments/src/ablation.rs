@@ -1,0 +1,171 @@
+//! Ablation harness for DICER's design choices (DESIGN.md §5).
+//!
+//! Each ablation sweeps one knob of [`DicerConfig`] (or of the server
+//! configuration) across a fixed, class-balanced workload panel and reports
+//! the metrics the paper optimises: HP QoS, BE progress, EFU and SLO
+//! conformance.
+
+use crate::{runner, solo_table::SoloTable};
+use dicer_appmodel::Catalog;
+use dicer_metrics::{geomean, slo_achieved};
+use dicer_policy::{DicerConfig, PolicyKind};
+use dicer_server::ServerConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A fixed panel of workloads spanning the archetype matrix: streaming,
+/// cache-sensitive, cache-friendly and compute-bound HPs against
+/// contentious and quiet BEs. Balanced so that both CT-F and CT-T dynamics
+/// are represented.
+pub const PANEL: [(&str, &str); 12] = [
+    ("milc1", "gcc_base1"),      // Fig. 3: CT-T, bandwidth saturation
+    ("lbm1", "bzip21"),          // streaming HP, moderate BEs
+    ("omnetpp1", "gcc_base1"),   // CT-F: sensitive HP, hungry BEs
+    ("mcf1", "lbm1"),            // sensitive HP, saturating BEs
+    ("Xalan1", "gobmk1"),        // sensitive HP (phased), quiet-ish BEs
+    ("soplex1", "hmmer1"),       // sensitive HP, friendly BEs
+    ("gcc_base1", "bzip21"),     // friendly vs friendly
+    ("h264ref1", "libquantum1"), // friendly HP, streaming BEs
+    ("perlbench1", "namd1"),     // friendly HP (phased), quiet BEs
+    ("namd1", "gcc_base1"),      // compute HP, hungry BEs
+    ("povray1", "lbm1"),         // compute HP, streaming BEs
+    ("GemsFDTD1", "gobmk1"),     // phased streaming HP, quiet BEs
+];
+
+/// Aggregate metrics of one configuration over the panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Human-readable knob setting, e.g. `"T=0.5s"` or `"alpha=1%"`.
+    pub label: String,
+    /// Geometric-mean HP normalised IPC over the panel.
+    pub hp_norm_geomean: f64,
+    /// Geometric-mean of per-workload mean BE normalised IPC.
+    pub be_norm_geomean: f64,
+    /// Geometric-mean EFU.
+    pub efu_geomean: f64,
+    /// Fraction of the panel meeting the 80 % SLO.
+    pub slo80: f64,
+    /// Fraction of the panel meeting the 90 % SLO.
+    pub slo90: f64,
+}
+
+/// A completed ablation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Knob being swept.
+    pub knob: String,
+    /// One point per setting, in sweep order.
+    pub points: Vec<AblationPoint>,
+}
+
+/// Runs the panel under one policy on one platform configuration.
+pub fn run_panel(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    policy: &PolicyKind,
+    label: &str,
+) -> AblationPoint {
+    let outcomes: Vec<_> = PANEL
+        .par_iter()
+        .map(|(hp, be)| {
+            let hp = catalog.get(hp).expect("panel app in catalog");
+            let be = catalog.get(be).expect("panel app in catalog");
+            runner::run_colocation_with(solo, hp, be, solo.config().n_cores, policy)
+        })
+        .collect();
+    let hp_norms: Vec<f64> = outcomes.iter().map(|o| o.hp_norm_ipc).collect();
+    let be_norms: Vec<f64> = outcomes.iter().map(|o| o.be_norm_ipc_mean()).collect();
+    let efus: Vec<f64> = outcomes.iter().map(|o| o.efu).collect();
+    let frac = |slo: f64| {
+        outcomes.iter().filter(|o| slo_achieved(o.hp_norm_ipc, slo)).count() as f64
+            / outcomes.len() as f64
+    };
+    AblationPoint {
+        label: label.to_string(),
+        hp_norm_geomean: geomean(&hp_norms),
+        be_norm_geomean: geomean(&be_norms),
+        efu_geomean: geomean(&efus),
+        slo80: frac(0.80),
+        slo90: frac(0.90),
+    }
+}
+
+/// Sweeps a set of [`DicerConfig`] variants on the standard platform.
+pub fn sweep_dicer_configs(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    knob: &str,
+    variants: Vec<(String, DicerConfig)>,
+) -> Ablation {
+    let points = variants
+        .into_iter()
+        .map(|(label, cfg)| run_panel(catalog, solo, &PolicyKind::Dicer(cfg), &label))
+        .collect();
+    Ablation { knob: knob.to_string(), points }
+}
+
+/// Sweeps the monitoring-period length `T` (which lives in the *server*
+/// configuration, so each point gets its own solo table).
+pub fn sweep_period(catalog: &Catalog, periods_s: &[f64]) -> Ablation {
+    let points = periods_s
+        .iter()
+        .map(|t| {
+            let cfg = ServerConfig { period_s: *t, ..ServerConfig::table1() };
+            let solo = SoloTable::build(catalog, cfg);
+            run_panel(
+                catalog,
+                &solo,
+                &PolicyKind::Dicer(DicerConfig::default()),
+                &format!("T={t}s"),
+            )
+        })
+        .collect();
+    Ablation { knob: "monitoring period T".into(), points }
+}
+
+impl Ablation {
+    /// Renders the sweep as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!("Ablation: {} ({} panel workloads)\n", self.knob, PANEL.len());
+        out.push_str(&format!(
+            "  {:<14} {:>8} {:>8} {:>7} {:>7} {:>7}\n",
+            "setting", "HPnorm", "BEnorm", "EFU", "SLO80", "SLO90"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<14} {:>8.3} {:>8.3} {:>7.3} {:>6.0}% {:>6.0}%\n",
+                p.label,
+                p.hp_norm_geomean,
+                p.be_norm_geomean,
+                p.efu_geomean,
+                p.slo80 * 100.0,
+                p.slo90 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_names_exist_in_catalog() {
+        let catalog = Catalog::paper();
+        for (hp, be) in PANEL {
+            assert!(catalog.get(hp).is_some(), "missing {hp}");
+            assert!(catalog.get(be).is_some(), "missing {be}");
+        }
+    }
+
+    #[test]
+    fn panel_run_produces_sane_point() {
+        let catalog = Catalog::paper();
+        let solo = SoloTable::build(&catalog, ServerConfig::table1());
+        let p = run_panel(&catalog, &solo, &PolicyKind::CacheTakeover, "ct");
+        assert!(p.hp_norm_geomean > 0.3 && p.hp_norm_geomean <= 1.01);
+        assert!(p.be_norm_geomean > 0.01 && p.be_norm_geomean <= 1.01);
+        assert!(p.slo80 >= p.slo90, "SLO80 can only be easier than SLO90");
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 1: cumulative distribution of HP slowdown under UM and CT with
+//! 9 co-located BEs, over the full workload space.
+
+use crate::workloads::WorkloadSet;
+use dicer_metrics::Cdf;
+use serde::{Deserialize, Serialize};
+
+/// The paper's x-axis grid for Fig. 1.
+pub const GRID: [f64; 10] = [1.0, 1.1, 1.2, 1.3, 1.5, 1.7, 2.0, 3.0, 4.0, 5.0];
+
+/// Fig. 1 result: the two slowdown CDFs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// `(slowdown, fraction of workloads ≤ slowdown)` for UM.
+    pub um: Vec<(f64, f64)>,
+    /// Same series for CT.
+    pub ct: Vec<(f64, f64)>,
+    /// Workloads evaluated.
+    pub n_workloads: usize,
+}
+
+/// Builds Fig. 1 from a classified workload set (classification already ran
+/// the required UM and CT experiments).
+pub fn run(set: &WorkloadSet) -> Fig1 {
+    let um = Cdf::new(set.all.iter().map(|w| w.um_slowdown).collect());
+    let ct = Cdf::new(set.all.iter().map(|w| w.ct_slowdown).collect());
+    Fig1 { um: um.series(&GRID), ct: ct.series(&GRID), n_workloads: set.all.len() }
+}
+
+impl Fig1 {
+    /// Fraction of workloads with slowdown ≤ `x` for a series.
+    fn at(series: &[(f64, f64)], x: f64) -> f64 {
+        series.iter().find(|(g, _)| (*g - x).abs() < 1e-12).map(|(_, f)| *f).unwrap_or(f64::NAN)
+    }
+
+    /// Renders the CDF rows.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 1: CDF of HP slowdown with 9 BEs (% of workloads at or below)\n",
+        );
+        out.push_str("  slowdown     UM      CT\n");
+        for (x, _) in &self.um {
+            out.push_str(&format!(
+                "  {:>7.1}x {:>6.1}% {:>6.1}%\n",
+                x,
+                Self::at(&self.um, *x) * 100.0,
+                Self::at(&self.ct, *x) * 100.0
+            ));
+        }
+        out.push_str(&format!("  ({} multiprogrammed workloads)\n", self.n_workloads));
+        out
+    }
+}

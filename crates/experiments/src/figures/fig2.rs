@@ -1,0 +1,75 @@
+//! Figure 2: cumulative distribution over applications of the minimum LLC
+//! allocation needed, running alone, to reach 90 %/95 %/99 % of the
+//! performance achieved with all 20 ways.
+
+use crate::solo_table::SoloTable;
+use dicer_appmodel::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// Performance targets plotted in the paper.
+pub const TARGETS: [f64; 3] = [0.90, 0.95, 0.99];
+
+/// Fig. 2 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Per target: fraction of applications whose minimum allocation is
+    /// `<= w` ways, indexed by `w - 1`.
+    pub cdf_by_target: Vec<(f64, Vec<f64>)>,
+    /// Per-application minimum ways at each target, for the JSON artifact.
+    pub per_app: Vec<(String, Vec<u32>)>,
+}
+
+/// Computes the figure from solo profiles.
+pub fn run(catalog: &Catalog, solo: &SoloTable) -> Fig2 {
+    let ways = solo.config().cache.ways;
+    let per_app: Vec<(String, Vec<u32>)> = catalog
+        .names()
+        .map(|name| {
+            let p = solo.get(name);
+            (name.to_string(), TARGETS.iter().map(|t| p.min_ways_for(*t)).collect())
+        })
+        .collect();
+    let n = per_app.len() as f64;
+    let cdf_by_target = TARGETS
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            let cdf: Vec<f64> = (1..=ways)
+                .map(|w| per_app.iter().filter(|(_, m)| m[ti] <= w).count() as f64 / n)
+                .collect();
+            (*t, cdf)
+        })
+        .collect();
+    Fig2 { cdf_by_target, per_app }
+}
+
+impl Fig2 {
+    /// Fraction of applications needing `<= w` ways at `target`.
+    pub fn fraction_at(&self, target: f64, w: u32) -> f64 {
+        self.cdf_by_target
+            .iter()
+            .find(|(t, _)| (*t - target).abs() < 1e-9)
+            .map(|(_, cdf)| cdf[(w as usize).min(cdf.len()) - 1])
+            .expect("unknown target")
+    }
+
+    /// Renders the CDF rows.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 2: CDF of minimum LLC ways for a fraction of solo performance\n  ways",
+        );
+        for (t, _) in &self.cdf_by_target {
+            out.push_str(&format!("   {:>4.0}%", t * 100.0));
+        }
+        out.push('\n');
+        let n_ways = self.cdf_by_target[0].1.len();
+        for w in 1..=n_ways {
+            out.push_str(&format!("  {w:>4}"));
+            for (_, cdf) in &self.cdf_by_target {
+                out.push_str(&format!("  {:>5.1}%", cdf[w - 1] * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

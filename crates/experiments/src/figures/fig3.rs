@@ -1,0 +1,78 @@
+//! Figure 3: HP slowdown across all static LLC partitions for the paper's
+//! motivating workload — milc (HP) with 9 gcc BEs.
+
+use crate::{runner, solo_table::SoloTable};
+use dicer_appmodel::Catalog;
+use dicer_policy::PolicyKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// HP application name (milc1).
+    pub hp: String,
+    /// BE application name (gcc_base1).
+    pub be: String,
+    /// `(hp_ways, slowdown)` for every static split.
+    pub static_sweep: Vec<(u32, f64)>,
+    /// HP slowdown under UM, the paper's reference point.
+    pub um_slowdown: f64,
+}
+
+/// Runs the static sweep. `hp`/`be` default to the paper's pair via
+/// [`run_default`].
+pub fn run(catalog: &Catalog, solo: &SoloTable, hp: &str, be: &str) -> Fig3 {
+    let hp_app = catalog.get(hp).expect("hp in catalog");
+    let be_app = catalog.get(be).expect("be in catalog");
+    let n_cores = solo.config().n_cores;
+    let ways = solo.config().cache.ways;
+    let static_sweep: Vec<(u32, f64)> = (1..ways)
+        .collect::<Vec<u32>>()
+        .par_iter()
+        .map(|w| {
+            let out =
+                runner::run_colocation_with(solo, hp_app, be_app, n_cores, &PolicyKind::Static(*w));
+            (*w, out.hp_slowdown)
+        })
+        .collect();
+    let um = runner::run_colocation_with(solo, hp_app, be_app, n_cores, &PolicyKind::Unmanaged);
+    Fig3 { hp: hp.into(), be: be.into(), static_sweep, um_slowdown: um.hp_slowdown }
+}
+
+/// The paper's workload: milc (HP) and gcc (BEs).
+pub fn run_default(catalog: &Catalog, solo: &SoloTable) -> Fig3 {
+    run(catalog, solo, "milc1", "gcc_base1")
+}
+
+impl Fig3 {
+    /// The best static allocation `(hp_ways, slowdown)`.
+    pub fn best(&self) -> (u32, f64) {
+        self.static_sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty sweep")
+    }
+
+    /// Slowdown at the CT allocation (`n_ways - 1` HP ways).
+    pub fn ct_slowdown(&self) -> f64 {
+        self.static_sweep.last().expect("non-empty sweep").1
+    }
+
+    /// Renders the sweep rows.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 3: HP slowdown vs static LLC split — {} (HP) + 9x {} (BEs)\n",
+            self.hp, self.be
+        );
+        out.push_str("  HP ways  slowdown\n");
+        for (w, s) in &self.static_sweep {
+            out.push_str(&format!("  {w:>7}  {s:>7.3}x\n"));
+        }
+        out.push_str(&format!("  UM       {:>7.3}x\n", self.um_slowdown));
+        let (bw, bs) = self.best();
+        out.push_str(&format!("  best: {bw} ways at {bs:.3}x; CT: {:.3}x\n", self.ct_slowdown()));
+        out
+    }
+}

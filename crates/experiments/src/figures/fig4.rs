@@ -1,0 +1,67 @@
+//! Figure 4: scatter of effective utilisation vs HP slowdown for the
+//! 120-workload sample under UM and CT.
+
+use crate::workloads::{ClassifiedWorkload, WorkloadSet};
+use serde::{Deserialize, Serialize};
+
+/// One scatter point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// HP slowdown (x axis).
+    pub slowdown: f64,
+    /// Effective utilisation (y axis).
+    pub efu: f64,
+}
+
+/// Fig. 4 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// UM points, one per sampled workload.
+    pub um: Vec<Point>,
+    /// CT points, aligned with `um`.
+    pub ct: Vec<Point>,
+    /// Workload labels aligned with the point vectors.
+    pub labels: Vec<String>,
+}
+
+/// Builds the scatter from the classified sample (classification already
+/// carries EFU and slowdown for both baselines).
+pub fn run(set: &WorkloadSet) -> Fig4 {
+    let sample = set.sample_120();
+    build(&sample)
+}
+
+/// Builds the scatter from an arbitrary slice of classified workloads.
+pub fn build(sample: &[&ClassifiedWorkload]) -> Fig4 {
+    Fig4 {
+        um: sample.iter().map(|w| Point { slowdown: w.um_slowdown, efu: w.um_efu }).collect(),
+        ct: sample.iter().map(|w| Point { slowdown: w.ct_slowdown, efu: w.ct_efu }).collect(),
+        labels: sample.iter().map(|w| format!("{} {}", w.hp, w.be)).collect(),
+    }
+}
+
+impl Fig4 {
+    /// Mean EFU of one series.
+    pub fn mean_efu(points: &[Point]) -> f64 {
+        points.iter().map(|p| p.efu).sum::<f64>() / points.len() as f64
+    }
+
+    /// Renders summary rows plus the scatter data.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 4: effective utilisation vs HP slowdown (UM and CT)\n");
+        out.push_str(&format!(
+            "  mean EFU: UM {:.3}  CT {:.3}\n",
+            Self::mean_efu(&self.um),
+            Self::mean_efu(&self.ct)
+        ));
+        out.push_str("  workload                         UM(slow,efu)      CT(slow,efu)\n");
+        for (i, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:<32} ({:>5.2}, {:>5.3})   ({:>5.2}, {:>5.3})\n",
+                label, self.um[i].slowdown, self.um[i].efu, self.ct[i].slowdown, self.ct[i].efu
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 5: per-workload normalised HP and BE IPC under UM, CT and DICER,
+//! split into the CT-F and CT-T classes, at full occupancy.
+
+use crate::figures::matrix::EvalMatrix;
+use crate::workloads::WorkloadClass;
+use dicer_metrics::geomean;
+use serde::{Deserialize, Serialize};
+
+/// One workload row of the figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Workload label (`hp be`).
+    pub label: String,
+    /// Class of the workload.
+    pub class: WorkloadClass,
+    /// Per policy: `(policy, hp_norm_ipc, be_norm_ipc_mean)`.
+    pub per_policy: Vec<(String, f64, f64)>,
+}
+
+/// Fig. 5 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// All rows, CT-F first (as in the paper's layout).
+    pub rows: Vec<Row>,
+}
+
+/// Builds the figure from a matrix evaluated at one core count.
+pub fn run(matrix: &EvalMatrix, n_cores: u32) -> Fig5 {
+    let policies = matrix.policies();
+    let mut labels: Vec<(String, WorkloadClass)> = Vec::new();
+    for c in &matrix.cells {
+        if c.n_cores == n_cores {
+            let l = format!("{} {}", c.hp, c.be);
+            if !labels.iter().any(|(x, _)| *x == l) {
+                labels.push((l, c.class));
+            }
+        }
+    }
+    // CT-F block first, like the paper.
+    labels.sort_by_key(|(_, class)| match class {
+        WorkloadClass::CtFavoured => 0,
+        WorkloadClass::CtThwarted => 1,
+    });
+
+    let rows = labels
+        .into_iter()
+        .map(|(label, class)| {
+            let per_policy = policies
+                .iter()
+                .map(|p| {
+                    let cell = matrix
+                        .cells
+                        .iter()
+                        .find(|c| {
+                            c.policy == *p
+                                && c.n_cores == n_cores
+                                && format!("{} {}", c.hp, c.be) == label
+                        })
+                        .expect("matrix covers every (workload, policy)");
+                    (p.clone(), cell.hp_norm_ipc, cell.be_norm_ipc_mean)
+                })
+                .collect();
+            Row { label, class, per_policy }
+        })
+        .collect();
+    Fig5 { rows }
+}
+
+impl Fig5 {
+    /// Geometric-mean HP normalised IPC for one policy within one class.
+    pub fn geomean_hp(&self, policy: &str, class: WorkloadClass) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.per_policy.iter().find(|(p, _, _)| p == policy).unwrap().1)
+            .collect();
+        geomean(&v)
+    }
+
+    /// Geometric-mean BE normalised IPC for one policy within one class.
+    pub fn geomean_be(&self, policy: &str, class: WorkloadClass) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.per_policy.iter().find(|(p, _, _)| p == policy).unwrap().2)
+            .collect();
+        geomean(&v)
+    }
+
+    /// Renders summary plus per-workload rows.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 5: normalised HP IPC (top) and BE IPC (bottom) per workload\n",
+        );
+        for class in [WorkloadClass::CtFavoured, WorkloadClass::CtThwarted] {
+            let tag = match class {
+                WorkloadClass::CtFavoured => "CT-F",
+                WorkloadClass::CtThwarted => "CT-T",
+            };
+            out.push_str(&format!("  [{tag}] geomeans:"));
+            if let Some(first) = self.rows.first() {
+                for (p, _, _) in &first.per_policy {
+                    out.push_str(&format!(
+                        "  {p}: HP {:.3} BE {:.3}",
+                        self.geomean_hp(p, class),
+                        self.geomean_be(p, class)
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str("  workload                          class  policy  HPnorm  BEnorm\n");
+        for r in &self.rows {
+            let tag = match r.class {
+                WorkloadClass::CtFavoured => "CT-F",
+                WorkloadClass::CtThwarted => "CT-T",
+            };
+            for (p, hp, be) in &r.per_policy {
+                out.push_str(&format!(
+                    "  {:<32}  {tag}   {:<6}  {hp:>5.3}  {be:>5.3}\n",
+                    r.label, p
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 6: geometric mean of effective utilisation vs employed cores, for
+//! UM, CT and DICER.
+
+use crate::figures::matrix::EvalMatrix;
+use dicer_metrics::geomean;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 6 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Per policy: `(policy, Vec<(n_cores, geomean EFU)>)`.
+    pub series: Vec<(String, Vec<(u32, f64)>)>,
+}
+
+/// Aggregates the evaluation matrix into the figure's series.
+pub fn run(matrix: &EvalMatrix) -> Fig6 {
+    let series = matrix
+        .policies()
+        .into_iter()
+        .map(|p| {
+            let pts = matrix
+                .core_counts()
+                .into_iter()
+                .map(|c| {
+                    let efus: Vec<f64> =
+                        matrix.slice(&p, c).iter().map(|cell| cell.efu).collect();
+                    (c, geomean(&efus))
+                })
+                .collect();
+            (p, pts)
+        })
+        .collect();
+    Fig6 { series }
+}
+
+impl Fig6 {
+    /// Geomean EFU for one policy at one core count.
+    pub fn at(&self, policy: &str, n_cores: u32) -> f64 {
+        self.series
+            .iter()
+            .find(|(p, _)| p == policy)
+            .and_then(|(_, pts)| pts.iter().find(|(c, _)| *c == n_cores))
+            .map(|(_, v)| *v)
+            .expect("policy/cores present in matrix")
+    }
+
+    /// Renders the series table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 6: geomean effective utilisation vs employed cores\n");
+        out.push_str("  cores");
+        for (p, _) in &self.series {
+            out.push_str(&format!("  {p:>6}"));
+        }
+        out.push('\n');
+        if let Some((_, pts)) = self.series.first() {
+            for (i, (c, _)) in pts.iter().enumerate() {
+                out.push_str(&format!("  {c:>5}"));
+                for (_, s) in &self.series {
+                    out.push_str(&format!("  {:>6.3}", s[i].1));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 7: percentage of workloads achieving a given HP SLO vs employed
+//! cores, for UM, CT and DICER, at SLO targets 80/85/90/95 %.
+
+use crate::figures::{matrix::EvalMatrix, SLOS};
+use dicer_metrics::slo_achieved;
+use serde::{Deserialize, Serialize};
+
+/// Per-policy series of `(n_cores, value)` points.
+pub type PolicySeries = Vec<(String, Vec<(u32, f64)>)>;
+
+
+/// Fig. 7 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// Per SLO target: per policy: `Vec<(n_cores, % achieved)>`.
+    pub panels: Vec<(f64, PolicySeries)>,
+}
+
+/// Aggregates the matrix into the four SLO panels.
+pub fn run(matrix: &EvalMatrix) -> Fig7 {
+    let panels = SLOS
+        .iter()
+        .map(|slo| {
+            let per_policy: PolicySeries = matrix
+                .policies()
+                .into_iter()
+                .map(|p| {
+                    let pts = matrix
+                        .core_counts()
+                        .into_iter()
+                        .map(|c| {
+                            let cells = matrix.slice(&p, c);
+                            let ok = cells
+                                .iter()
+                                .filter(|cell| slo_achieved(cell.hp_norm_ipc, *slo))
+                                .count();
+                            (c, 100.0 * ok as f64 / cells.len() as f64)
+                        })
+                        .collect();
+                    (p, pts)
+                })
+                .collect();
+            (*slo, per_policy)
+        })
+        .collect();
+    Fig7 { panels }
+}
+
+impl Fig7 {
+    /// % of workloads achieving `slo` under `policy` at `n_cores`.
+    pub fn at(&self, slo: f64, policy: &str, n_cores: u32) -> f64 {
+        self.panels
+            .iter()
+            .find(|(s, _)| (*s - slo).abs() < 1e-9)
+            .and_then(|(_, pp)| pp.iter().find(|(p, _)| p == policy))
+            .and_then(|(_, pts)| pts.iter().find(|(c, _)| *c == n_cores))
+            .map(|(_, v)| *v)
+            .expect("panel present")
+    }
+
+    /// Renders all four panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 7: % of workloads achieving the HP SLO\n");
+        for (slo, per_policy) in &self.panels {
+            out.push_str(&format!("  SLO = {:.0}%\n  cores", slo * 100.0));
+            for (p, _) in per_policy {
+                out.push_str(&format!("  {p:>6}"));
+            }
+            out.push('\n');
+            if let Some((_, pts)) = per_policy.first() {
+                for (i, (c, _)) in pts.iter().enumerate() {
+                    out.push_str(&format!("  {c:>5}"));
+                    for (_, s) in per_policy {
+                        out.push_str(&format!("  {:>5.1}%", s[i].1));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 8: geometric mean of SUCI (Eq. 4) vs employed cores, for UM, CT
+//! and DICER, at SLO targets 80/85/90/95 % and λ ∈ {0.5, 1, 2}.
+//!
+//! SUCI is exactly 0 on an SLA violation, so the geometric mean is computed
+//! with a small floor (`GEOMEAN_FLOOR`) — otherwise one violated workload
+//! would zero an entire series.
+
+use crate::figures::{matrix::EvalMatrix, LAMBDAS, SLOS};
+use dicer_metrics::{stats::geomean_floored, suci};
+use serde::{Deserialize, Serialize};
+
+/// Per-policy series of `(n_cores, value)` points.
+pub type PolicySeries = Vec<(String, Vec<(u32, f64)>)>;
+
+
+/// Floor applied to per-workload SUCI values inside the geometric mean.
+pub const GEOMEAN_FLOOR: f64 = 0.01;
+
+/// Fig. 8 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Per (λ, SLO): per policy: `Vec<(n_cores, geomean SUCI)>`.
+    pub panels: Vec<(f64, f64, PolicySeries)>,
+}
+
+/// Aggregates the matrix into all (λ, SLO) panels.
+pub fn run(matrix: &EvalMatrix) -> Fig8 {
+    let mut panels = Vec::new();
+    for lambda in LAMBDAS {
+        for slo in SLOS {
+            let per_policy: PolicySeries = matrix
+                .policies()
+                .into_iter()
+                .map(|p| {
+                    let pts = matrix
+                        .core_counts()
+                        .into_iter()
+                        .map(|c| {
+                            let vals: Vec<f64> = matrix
+                                .slice(&p, c)
+                                .iter()
+                                .map(|cell| suci(cell.hp_norm_ipc, cell.efu, slo, lambda))
+                                .collect();
+                            (c, geomean_floored(&vals, GEOMEAN_FLOOR))
+                        })
+                        .collect();
+                    (p, pts)
+                })
+                .collect();
+            panels.push((lambda, slo, per_policy));
+        }
+    }
+    Fig8 { panels }
+}
+
+impl Fig8 {
+    /// Geomean SUCI for `(lambda, slo, policy, n_cores)`.
+    pub fn at(&self, lambda: f64, slo: f64, policy: &str, n_cores: u32) -> f64 {
+        self.panels
+            .iter()
+            .find(|(l, s, _)| (*l - lambda).abs() < 1e-9 && (*s - slo).abs() < 1e-9)
+            .and_then(|(_, _, pp)| pp.iter().find(|(p, _)| p == policy))
+            .and_then(|(_, pts)| pts.iter().find(|(c, _)| *c == n_cores))
+            .map(|(_, v)| *v)
+            .expect("panel present")
+    }
+
+    /// Renders every panel.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 8: geomean SUCI vs employed cores\n");
+        for (lambda, slo, per_policy) in &self.panels {
+            out.push_str(&format!("  lambda = {lambda}, SLO = {:.0}%\n  cores", slo * 100.0));
+            for (p, _) in per_policy {
+                out.push_str(&format!("  {p:>6}"));
+            }
+            out.push('\n');
+            if let Some((_, pts)) = per_policy.first() {
+                for (i, (c, _)) in pts.iter().enumerate() {
+                    out.push_str(&format!("  {c:>5}"));
+                    for (_, s) in per_policy {
+                        out.push_str(&format!("  {:>6.3}", s[i].1));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}

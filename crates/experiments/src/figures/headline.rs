@@ -1,0 +1,52 @@
+//! The paper's headline claims (§1 and §4.2), derived from the Fig. 6/7
+//! aggregates:
+//!
+//! * DICER achieves an SLO of 80 % for more than 90 % of workloads;
+//! * DICER achieves an SLO of 90 % for ~74 % of workloads;
+//! * DICER keeps effective utilisation of a full server around 0.6.
+
+use crate::figures::{fig6::Fig6, fig7::Fig7};
+use serde::{Deserialize, Serialize};
+
+/// Headline numbers at full occupancy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// % of workloads meeting the 80 % SLO under DICER at 10 cores.
+    pub dicer_slo80_pct: f64,
+    /// % of workloads meeting the 90 % SLO under DICER at 10 cores.
+    pub dicer_slo90_pct: f64,
+    /// Geomean EFU under DICER at 10 cores.
+    pub dicer_efu_full: f64,
+    /// Geomean EFU under UM at 10 cores (upper reference).
+    pub um_efu_full: f64,
+    /// Geomean EFU under CT at 10 cores (lower reference).
+    pub ct_efu_full: f64,
+}
+
+/// Extracts the headline numbers.
+pub fn run(fig6: &Fig6, fig7: &Fig7, full_cores: u32) -> Headline {
+    Headline {
+        dicer_slo80_pct: fig7.at(0.80, "DICER", full_cores),
+        dicer_slo90_pct: fig7.at(0.90, "DICER", full_cores),
+        dicer_efu_full: fig6.at("DICER", full_cores),
+        um_efu_full: fig6.at("UM", full_cores),
+        ct_efu_full: fig6.at("CT", full_cores),
+    }
+}
+
+impl Headline {
+    /// Renders the claim-vs-measured block.
+    pub fn render(&self) -> String {
+        format!(
+            "Headline (full server):\n\
+             \x20 SLO 80% achieved under DICER: {:.1}% of workloads (paper: >90%)\n\
+             \x20 SLO 90% achieved under DICER: {:.1}% of workloads (paper: ~74%)\n\
+             \x20 geomean EFU: DICER {:.3} (paper ~0.6), UM {:.3}, CT {:.3}\n",
+            self.dicer_slo80_pct,
+            self.dicer_slo90_pct,
+            self.dicer_efu_full,
+            self.um_efu_full,
+            self.ct_efu_full
+        )
+    }
+}

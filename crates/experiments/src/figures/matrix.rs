@@ -1,0 +1,108 @@
+//! The policy × cores × workload evaluation matrix shared by Figs. 5–8.
+
+use crate::{
+    runner::{self},
+    solo_table::SoloTable,
+    workloads::{ClassifiedWorkload, WorkloadClass},
+};
+use dicer_appmodel::Catalog;
+use dicer_policy::PolicyKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One (workload, policy, cores) evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// HP application name.
+    pub hp: String,
+    /// BE application name.
+    pub be: String,
+    /// CT-F/CT-T class of the workload.
+    pub class: WorkloadClass,
+    /// Policy display name ("UM", "CT", "DICER").
+    pub policy: String,
+    /// Employed cores.
+    pub n_cores: u32,
+    /// HP IPC normalised to solo.
+    pub hp_norm_ipc: f64,
+    /// Mean BE IPC normalised to solo.
+    pub be_norm_ipc_mean: f64,
+    /// Effective Utilisation (Eq. 1).
+    pub efu: f64,
+    /// HP slowdown.
+    pub hp_slowdown: f64,
+}
+
+/// All cells for a sample of workloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalMatrix {
+    /// Every evaluated cell.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl EvalMatrix {
+    /// Runs every (workload, policy, cores) combination in parallel.
+    pub fn run(
+        catalog: &Catalog,
+        solo: &SoloTable,
+        sample: &[&ClassifiedWorkload],
+        cores: &[u32],
+        policies: &[PolicyKind],
+    ) -> Self {
+        let jobs: Vec<(&ClassifiedWorkload, u32, &PolicyKind)> = sample
+            .iter()
+            .flat_map(|w| {
+                cores
+                    .iter()
+                    .flat_map(move |c| policies.iter().map(move |p| (*w, *c, p)))
+            })
+            .collect();
+        let cells: Vec<MatrixCell> = jobs
+            .par_iter()
+            .map(|(w, n_cores, policy)| {
+                let hp = catalog.get(&w.hp).expect("catalog hp");
+                let be = catalog.get(&w.be).expect("catalog be");
+                let out = runner::run_colocation_with(solo, hp, be, *n_cores, policy);
+                MatrixCell {
+                    hp: w.hp.clone(),
+                    be: w.be.clone(),
+                    class: w.class,
+                    policy: out.policy.clone(),
+                    n_cores: *n_cores,
+                    hp_norm_ipc: out.hp_norm_ipc,
+                    be_norm_ipc_mean: out.be_norm_ipc_mean(),
+                    efu: out.efu,
+                    hp_slowdown: out.hp_slowdown,
+                }
+            })
+            .collect();
+        Self { cells }
+    }
+
+    /// Cells for one policy at one core count.
+    pub fn slice(&self, policy: &str, n_cores: u32) -> Vec<&MatrixCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.policy == policy && c.n_cores == n_cores)
+            .collect()
+    }
+
+    /// Distinct policy names, in first-seen order.
+    pub fn policies(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.policy) {
+                seen.push(c.policy.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct core counts, ascending.
+    pub fn core_counts(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.cells.iter().map(|c| c.n_cores).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}

@@ -1,0 +1,35 @@
+//! One module per paper artefact. Every module exposes a `run(...)`
+//! returning a serialisable result struct with a `render()` method printing
+//! the same rows/series the paper's figure or table reports.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+pub mod matrix;
+pub mod table1;
+
+#[cfg(test)]
+mod tests;
+
+pub use matrix::{EvalMatrix, MatrixCell};
+
+/// The three co-location policies every comparison figure sweeps.
+pub fn policies3() -> Vec<dicer_policy::PolicyKind> {
+    vec![
+        dicer_policy::PolicyKind::Unmanaged,
+        dicer_policy::PolicyKind::CacheTakeover,
+        dicer_policy::PolicyKind::Dicer(dicer_policy::DicerConfig::default()),
+    ]
+}
+
+/// SLO targets plotted in Figs. 7 and 8.
+pub const SLOS: [f64; 4] = [0.80, 0.85, 0.90, 0.95];
+
+/// λ values plotted in Fig. 8.
+pub const LAMBDAS: [f64; 3] = [0.5, 1.0, 2.0];

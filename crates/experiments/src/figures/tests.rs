@@ -1,0 +1,165 @@
+//! Unit tests for the figure aggregators, on hand-built inputs (no
+//! simulation runs — those are covered by the integration tests).
+
+use super::*;
+use crate::workloads::{ClassifiedWorkload, WorkloadClass, WorkloadSet};
+use matrix::{EvalMatrix, MatrixCell};
+
+fn wl(hp: &str, be: &str, um: f64, ct: f64, um_efu: f64, ct_efu: f64) -> ClassifiedWorkload {
+    let class = if ct < um * 0.95 { WorkloadClass::CtFavoured } else { WorkloadClass::CtThwarted };
+    ClassifiedWorkload {
+        hp: hp.into(),
+        be: be.into(),
+        um_slowdown: um,
+        ct_slowdown: ct,
+        um_efu,
+        ct_efu,
+        class,
+    }
+}
+
+fn cell(
+    hp: &str,
+    policy: &str,
+    cores: u32,
+    hp_norm: f64,
+    be_norm: f64,
+    efu: f64,
+    class: WorkloadClass,
+) -> MatrixCell {
+    MatrixCell {
+        hp: hp.into(),
+        be: "be".into(),
+        class,
+        policy: policy.into(),
+        n_cores: cores,
+        hp_norm_ipc: hp_norm,
+        be_norm_ipc_mean: be_norm,
+        efu,
+        hp_slowdown: 1.0 / hp_norm,
+    }
+}
+
+#[test]
+fn fig1_cdf_fractions() {
+    let set = WorkloadSet {
+        all: vec![
+            wl("a", "x", 1.05, 1.0, 0.9, 0.5),
+            wl("b", "x", 1.5, 1.1, 0.8, 0.5),
+            wl("c", "x", 2.5, 1.4, 0.7, 0.4),
+            wl("d", "x", 1.05, 1.2, 0.9, 0.6),
+        ],
+    };
+    let f = fig1::run(&set);
+    // UM: 2 of 4 workloads at <= 1.1.
+    let um_11 = f.um.iter().find(|(x, _)| (*x - 1.1).abs() < 1e-9).unwrap().1;
+    assert!((um_11 - 0.5).abs() < 1e-12);
+    // CT: 2 of 4 at <= 1.1 (1.0 and 1.1).
+    let ct_11 = f.ct.iter().find(|(x, _)| (*x - 1.1).abs() < 1e-9).unwrap().1;
+    assert!((ct_11 - 0.5).abs() < 1e-12);
+    assert_eq!(f.n_workloads, 4);
+    assert!(f.render().contains("Figure 1"));
+}
+
+#[test]
+fn fig4_points_align_with_sample() {
+    let a = wl("a", "x", 1.2, 1.05, 0.8, 0.5);
+    let b = wl("b", "y", 1.4, 1.5, 0.85, 0.45);
+    let f = fig4::build(&[&a, &b]);
+    assert_eq!(f.um.len(), 2);
+    assert_eq!(f.um[0].slowdown, 1.2);
+    assert_eq!(f.ct[1].efu, 0.45);
+    assert!(fig4::Fig4::mean_efu(&f.um) > fig4::Fig4::mean_efu(&f.ct));
+    assert!(f.render().contains("a x"));
+}
+
+fn synthetic_matrix() -> EvalMatrix {
+    let mut cells = Vec::new();
+    for cores in [2u32, 10] {
+        for (hp, class, um, ct, dicer) in [
+            ("s1", WorkloadClass::CtFavoured, 0.6, 0.95, 0.92),
+            ("s2", WorkloadClass::CtThwarted, 0.92, 0.85, 0.93),
+        ] {
+            cells.push(cell(hp, "UM", cores, um, 0.9, 0.85, class));
+            cells.push(cell(hp, "CT", cores, ct, 0.4, 0.55, class));
+            cells.push(cell(hp, "DICER", cores, dicer, 0.7, 0.75, class));
+        }
+    }
+    EvalMatrix { cells }
+}
+
+#[test]
+fn matrix_slicing_and_metadata() {
+    let m = synthetic_matrix();
+    assert_eq!(m.policies(), vec!["UM".to_string(), "CT".into(), "DICER".into()]);
+    assert_eq!(m.core_counts(), vec![2, 10]);
+    assert_eq!(m.slice("CT", 10).len(), 2);
+    assert!(m.slice("CT", 5).is_empty());
+}
+
+#[test]
+fn fig5_splits_classes_and_averages() {
+    let m = synthetic_matrix();
+    let f = fig5::run(&m, 10);
+    assert_eq!(f.rows.len(), 2);
+    // CT-F block first.
+    assert_eq!(f.rows[0].class, WorkloadClass::CtFavoured);
+    let hp_ct_f = f.geomean_hp("CT", WorkloadClass::CtFavoured);
+    assert!((hp_ct_f - 0.95).abs() < 1e-9);
+    let be_dicer_t = f.geomean_be("DICER", WorkloadClass::CtThwarted);
+    assert!((be_dicer_t - 0.7).abs() < 1e-9);
+    assert!(f.render().contains("CT-F"));
+}
+
+#[test]
+fn fig6_geomeans_per_policy_and_cores() {
+    let m = synthetic_matrix();
+    let f = fig6::run(&m);
+    // Both UM cells have EFU 0.85 -> geomean 0.85.
+    assert!((f.at("UM", 10) - 0.85).abs() < 1e-9);
+    assert!((f.at("CT", 2) - 0.55).abs() < 1e-9);
+    assert!(f.render().contains("cores"));
+}
+
+#[test]
+fn fig7_counts_slo_conformance() {
+    let m = synthetic_matrix();
+    let f = fig7::run(&m);
+    // At SLO 90%: UM passes 1 of 2 (0.92), CT 1 of 2 (0.95), DICER 2 of 2.
+    assert!((f.at(0.90, "UM", 10) - 50.0).abs() < 1e-9);
+    assert!((f.at(0.90, "CT", 10) - 50.0).abs() < 1e-9);
+    assert!((f.at(0.90, "DICER", 10) - 100.0).abs() < 1e-9);
+    // At SLO 95%: only CT's 0.95 passes.
+    assert!((f.at(0.95, "DICER", 10) - 0.0).abs() < 1e-9);
+    assert!((f.at(0.95, "CT", 10) - 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig8_suci_gates_and_aggregates() {
+    let m = synthetic_matrix();
+    let f = fig8::run(&m);
+    // DICER passes SLO 90% on both workloads with EFU 0.75 -> geomean 0.75.
+    assert!((f.at(1.0, 0.90, "DICER", 10) - 0.75).abs() < 1e-9);
+    // UM violates on one workload -> floored geomean sqrt(0.85 * 0.01).
+    let expect = (0.85f64 * fig8::GEOMEAN_FLOOR).sqrt();
+    assert!((f.at(1.0, 0.90, "UM", 10) - expect).abs() < 1e-9);
+    // Lambda reweights: for EFU < 1, higher lambda lowers the index.
+    assert!(f.at(2.0, 0.90, "DICER", 10) < f.at(0.5, 0.90, "DICER", 10));
+}
+
+#[test]
+fn headline_pulls_full_occupancy_numbers() {
+    let m = synthetic_matrix();
+    let f6 = fig6::run(&m);
+    let f7 = fig7::run(&m);
+    let h = headline::run(&f6, &f7, 10);
+    assert!((h.dicer_slo90_pct - 100.0).abs() < 1e-9);
+    assert!((h.dicer_efu_full - 0.75).abs() < 1e-9);
+    assert!(h.render().contains("SLO 80%"));
+}
+
+#[test]
+fn policies3_is_um_ct_dicer() {
+    let names: Vec<&str> = policies3().iter().map(|p| p.name()).collect();
+    assert_eq!(names, vec!["UM", "CT", "DICER"]);
+}

@@ -1,0 +1,29 @@
+//! Experiment harness: reproduces every table and figure of the paper's
+//! evaluation (§2 and §4).
+//!
+//! * [`runner`] — drives one co-location run (HP + BEs under a policy) on
+//!   the simulated server and extracts the paper's metrics.
+//! * [`solo_table`] — memoised solo profiles (`IPC_alone`, solo times,
+//!   per-way solo IPC) for a whole catalog.
+//! * [`workloads`] — the 59 × 59 multiprogrammed workload space, CT-F/CT-T
+//!   classification, and the deterministic 120-workload evaluation sample
+//!   (50 CT-F + 70 CT-T, mirroring §4.1).
+//! * [`ablation`] — sweeps over DICER's design knobs (DESIGN.md §5).
+//! * [`trace`] — per-period run recording and timeline rendering.
+//! * [`figures`] — one module per paper artefact (`fig1` … `fig8`,
+//!   `table1`, `headline`), each returning a serialisable result struct and
+//!   printing the same rows/series the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod runner;
+pub mod solo_table;
+pub mod trace;
+pub mod workloads;
+
+pub use runner::{run_colocation, ColocationOutcome};
+pub use solo_table::SoloTable;
+pub use workloads::{WorkloadClass, WorkloadSet};

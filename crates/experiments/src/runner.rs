@@ -1,0 +1,245 @@
+//! One co-location run: HP + n BEs under a policy, to completion.
+
+use crate::solo_table::SoloTable;
+use dicer_appmodel::{AppProfile, Catalog};
+use dicer_metrics as metrics;
+use dicer_policy::PolicyKind;
+use dicer_rdt::{MbaController, PartitionController};
+use dicer_server::{Server, ServerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Safety cap on run length (periods). At `T = 1 s` this is over half an
+/// hour of simulated time — any workload still incomplete is pathological.
+pub const MAX_PERIODS: u32 = 6000;
+
+/// Metrics extracted from one co-location run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationOutcome {
+    /// HP application name.
+    pub hp_name: String,
+    /// BE application name (all BEs are instances of it, per §4.1).
+    pub be_name: String,
+    /// Employed cores (1 HP + n−1 BEs).
+    pub n_cores: u32,
+    /// Policy display name.
+    pub policy: String,
+    /// HP slowdown vs. running alone (≥ ~1).
+    pub hp_slowdown: f64,
+    /// HP IPC normalised to solo (QoS level, ≤ ~1).
+    pub hp_norm_ipc: f64,
+    /// Per-BE IPC normalised to solo.
+    pub be_norm_ipc: Vec<f64>,
+    /// Effective Utilisation (Eq. 1) over the whole run.
+    pub efu: f64,
+    /// Periods simulated.
+    pub periods: u32,
+    /// Whether every application completed at least once before the cap.
+    pub completed: bool,
+    /// Mean total link traffic over the run, Gbps.
+    pub mean_total_bw_gbps: f64,
+}
+
+impl ColocationOutcome {
+    /// Mean normalised BE IPC (0 when the run had no BEs — impossible here).
+    pub fn be_norm_ipc_mean(&self) -> f64 {
+        self.be_norm_ipc.iter().sum::<f64>() / self.be_norm_ipc.len() as f64
+    }
+}
+
+/// Runs `hp` against `n_cores − 1` instances of `be` under `policy`,
+/// using pre-computed solo references.
+pub fn run_colocation_with(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+) -> ColocationOutcome {
+    let cfg = *solo.config();
+    assert!(
+        (2..=cfg.n_cores).contains(&n_cores),
+        "employed cores {n_cores} out of range 2..={}",
+        cfg.n_cores
+    );
+    let n_bes = (n_cores - 1) as usize;
+    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut pol = policy.build();
+    server.apply_plan(pol.initial_plan(cfg.cache.ways));
+
+    let mut periods = 0;
+    let mut bw_acc = 0.0;
+    while periods < MAX_PERIODS {
+        let sample = server.step_period();
+        periods += 1;
+        bw_acc += sample.total_bw_gbps;
+        let next = pol.on_period(&sample, cfg.cache.ways);
+        if next != server.current_plan() {
+            server.apply_plan(next);
+        }
+        if pol.mba_level() != server.be_throttle() {
+            server.set_be_throttle(pol.mba_level());
+        }
+        if let Some(n) = pol.admitted_bes() {
+            if n != server.admitted_bes() {
+                server.set_admitted_bes(n);
+            }
+        }
+        if server.progress().all_done() {
+            break;
+        }
+    }
+
+    let elapsed = server.time_s();
+    let cycles = cfg.freq_hz * elapsed;
+    let hp_solo = solo.get(&hp.name);
+    let be_solo = solo.get(&be.name);
+
+    let hp_ipc = server.hp().retired_insns / cycles;
+    let hp_norm_ipc = metrics::normalised_ipc(hp_ipc, hp_solo.ipc_alone);
+    let be_norm_ipc: Vec<f64> = server
+        .bes()
+        .iter()
+        .map(|b| metrics::normalised_ipc(b.retired_insns / cycles, be_solo.ipc_alone))
+        .collect();
+
+    let mut normalised = vec![hp_norm_ipc];
+    normalised.extend(be_norm_ipc.iter().copied());
+
+    ColocationOutcome {
+        hp_name: hp.name.clone(),
+        be_name: be.name.clone(),
+        n_cores,
+        policy: policy.name().to_string(),
+        // HP executes continuously, so its sustained time-per-instruction
+        // inflation equals the inverse of its normalised IPC.
+        hp_slowdown: 1.0 / hp_norm_ipc,
+        hp_norm_ipc,
+        be_norm_ipc,
+        efu: metrics::efu(&normalised),
+        periods,
+        completed: server.progress().all_done(),
+        mean_total_bw_gbps: bw_acc / periods as f64,
+    }
+}
+
+/// Convenience wrapper building a single-use solo table. Prefer
+/// [`run_colocation_with`] (with a shared [`SoloTable`]) inside sweeps.
+pub fn run_colocation(
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: PolicyKind,
+) -> ColocationOutcome {
+    let mut catalog_like = std::collections::BTreeMap::new();
+    catalog_like.insert(hp.name.clone(), hp.clone());
+    catalog_like.insert(be.name.clone(), be.clone());
+    // Build a tiny ad-hoc catalog via the public Catalog of the two apps is
+    // not constructible; profile directly instead.
+    let cfg = ServerConfig::table1();
+    let solo = SoloTable::build_from_profiles(catalog_like.values(), cfg);
+    run_colocation_with(&solo, hp, be, n_cores, &policy)
+}
+
+impl SoloTable {
+    /// Builds a table from an explicit profile iterator (used by
+    /// [`run_colocation`] and tests that don't need the full catalog).
+    pub fn build_from_profiles<'a, I: IntoIterator<Item = &'a AppProfile>>(
+        apps: I,
+        cfg: ServerConfig,
+    ) -> Self {
+        let mut map = std::collections::HashMap::new();
+        for app in apps {
+            map.insert(app.name.clone(), dicer_server::solo::profile(app, &cfg));
+        }
+        Self::from_parts(map, cfg)
+    }
+}
+
+/// Builds the standard catalog + solo table pair used by every figure.
+pub fn standard_setup() -> (Catalog, SoloTable) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    (catalog, solo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, SoloTable) {
+        standard_setup()
+    }
+
+    #[test]
+    fn um_run_completes_and_reports_sane_metrics() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gobmk1").unwrap();
+        let out = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        assert!(out.completed, "run hit the period cap");
+        assert!(out.hp_slowdown >= 0.99, "slowdown {}", out.hp_slowdown);
+        assert!(out.hp_slowdown < 5.0);
+        assert!(out.hp_norm_ipc <= 1.01);
+        assert_eq!(out.be_norm_ipc.len(), 9);
+        assert!(out.efu > 0.0 && out.efu <= 1.01);
+    }
+
+    #[test]
+    fn ct_protects_cache_sensitive_hp_better_than_um() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("lbm1").unwrap(); // streaming BEs trash the cache
+        let um = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        let ct = run_colocation_with(&solo, hp, be, 10, &PolicyKind::CacheTakeover);
+        assert!(
+            ct.hp_slowdown < um.hp_slowdown,
+            "CT {} should beat UM {}",
+            ct.hp_slowdown,
+            um.hp_slowdown
+        );
+    }
+
+    #[test]
+    fn ct_starves_bes() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gcc_base1").unwrap();
+        let um = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        let ct = run_colocation_with(&solo, hp, be, 10, &PolicyKind::CacheTakeover);
+        assert!(ct.be_norm_ipc_mean() < um.be_norm_ipc_mean());
+        assert!(ct.efu < um.efu, "CT must waste utilisation: {} vs {}", ct.efu, um.efu);
+    }
+
+    #[test]
+    fn dicer_runs_to_completion() {
+        let (cat, solo) = setup();
+        let hp = cat.get("milc1").unwrap();
+        let be = cat.get("gcc_base1").unwrap();
+        let out = run_colocation_with(
+            &solo,
+            hp,
+            be,
+            10,
+            &PolicyKind::Dicer(dicer_policy::DicerConfig::default()),
+        );
+        assert!(out.completed);
+        assert!(out.hp_norm_ipc > 0.3);
+    }
+
+    #[test]
+    fn fewer_cores_fewer_bes() {
+        let (cat, solo) = setup();
+        let hp = cat.get("namd1").unwrap();
+        let be = cat.get("povray1").unwrap();
+        let out = run_colocation_with(&solo, hp, be, 4, &PolicyKind::Unmanaged);
+        assert_eq!(out.be_norm_ipc.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_core_rejected() {
+        let (cat, solo) = setup();
+        let hp = cat.get("namd1").unwrap();
+        run_colocation_with(&solo, hp, hp, 1, &PolicyKind::Unmanaged);
+    }
+}

@@ -1,0 +1,79 @@
+//! Memoised solo profiles for a catalog of applications.
+
+use dicer_appmodel::Catalog;
+use dicer_server::{solo, ServerConfig, SoloProfile};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Solo characterisation (`IPC_alone`, solo time, per-way IPC) for every
+/// catalog entry, computed once and shared across experiment runs.
+#[derive(Debug, Clone)]
+pub struct SoloTable {
+    profiles: Arc<HashMap<String, SoloProfile>>,
+    cfg: ServerConfig,
+}
+
+impl SoloTable {
+    /// Profiles every catalog entry in parallel.
+    pub fn build(catalog: &Catalog, cfg: ServerConfig) -> Self {
+        let profiles: HashMap<String, SoloProfile> = catalog
+            .profiles()
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|app| (app.name.clone(), solo::profile(app, &cfg)))
+            .collect();
+        Self { profiles: Arc::new(profiles), cfg }
+    }
+
+    /// Assembles a table from already-computed profiles.
+    pub fn from_parts(profiles: HashMap<String, SoloProfile>, cfg: ServerConfig) -> Self {
+        Self { profiles: Arc::new(profiles), cfg }
+    }
+
+    /// Server configuration the profiles were measured on.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Solo profile of a named app; panics if the app is unknown (the table
+    /// is always built from the same catalog the experiment iterates).
+    pub fn get(&self, name: &str) -> &SoloProfile {
+        self.profiles
+            .get(name)
+            .unwrap_or_else(|| panic!("no solo profile for {name}"))
+    }
+
+    /// Number of profiled applications.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_for_full_catalog() {
+        let cat = Catalog::paper();
+        let t = SoloTable::build(&cat, ServerConfig::table1());
+        assert_eq!(t.len(), 59);
+        let milc = t.get("milc1");
+        assert!(milc.ipc_alone > 0.1 && milc.ipc_alone < 3.0);
+        assert!(milc.time_alone_s > 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_app_panics() {
+        let cat = Catalog::paper();
+        let t = SoloTable::build(&cat, ServerConfig::table1());
+        t.get("nonexistent");
+    }
+}

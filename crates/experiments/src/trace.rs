@@ -1,0 +1,191 @@
+//! Per-period run traces: record what the controller did and render a
+//! human-readable timeline (used by the CLI and the quickstart example).
+
+use crate::solo_table::SoloTable;
+use dicer_appmodel::AppProfile;
+use dicer_policy::PolicyKind;
+use dicer_rdt::{MbaController, PartitionController};
+use dicer_server::Server;
+use serde::{Deserialize, Serialize};
+
+/// One monitoring period's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// Simulation time at period end, seconds.
+    pub time_s: f64,
+    /// Ways available to HP under the plan in force during the period.
+    pub hp_ways: u32,
+    /// HP IPC over the period.
+    pub hp_ipc: f64,
+    /// HP memory traffic, Gbps.
+    pub hp_bw_gbps: f64,
+    /// Total link traffic, Gbps.
+    pub total_bw_gbps: f64,
+    /// MBA throttle programmed on the BEs during the period, percent.
+    pub be_mba_percent: u8,
+    /// BEs admitted (scheduled) during the period.
+    pub admitted_bes: u32,
+}
+
+/// A complete recorded run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Workload label.
+    pub label: String,
+    /// Policy name.
+    pub policy: String,
+    /// Per-period records, in order.
+    pub periods: Vec<PeriodRecord>,
+}
+
+/// Runs `hp` + `(n_cores - 1) × be` under `policy`, recording every period,
+/// until all applications complete (or `max_periods`).
+pub fn run_traced(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+    max_periods: u32,
+) -> RunTrace {
+    let cfg = *solo.config();
+    let n_bes = (n_cores - 1) as usize;
+    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut pol = policy.build();
+    server.apply_plan(pol.initial_plan(cfg.cache.ways));
+
+    let mut periods = Vec::new();
+    for _ in 0..max_periods {
+        let in_force = server.current_plan();
+        let mba = server.be_throttle();
+        let admitted = server.admitted_bes();
+        let sample = server.step_period();
+        periods.push(PeriodRecord {
+            time_s: sample.time_s,
+            hp_ways: in_force.hp_ways(cfg.cache.ways),
+            hp_ipc: sample.hp.ipc,
+            hp_bw_gbps: sample.hp.mem_bw_gbps,
+            total_bw_gbps: sample.total_bw_gbps,
+            be_mba_percent: mba.percent(),
+            admitted_bes: admitted,
+        });
+        let next = pol.on_period(&sample, cfg.cache.ways);
+        if next != server.current_plan() {
+            server.apply_plan(next);
+        }
+        if pol.mba_level() != server.be_throttle() {
+            server.set_be_throttle(pol.mba_level());
+        }
+        if let Some(n) = pol.admitted_bes() {
+            if n != server.admitted_bes() {
+                server.set_admitted_bes(n);
+            }
+        }
+        if server.progress().all_done() {
+            break;
+        }
+    }
+    RunTrace {
+        label: format!("{} + {}x {}", hp.name, n_bes, be.name),
+        policy: policy.name().to_string(),
+        periods,
+    }
+}
+
+/// Glyph ramp for the sparklines.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(values: &[f64], max: f64) -> String {
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max.max(1e-12)) * (RAMP.len() as f64 - 1.0)).round() as usize;
+            RAMP[idx.min(RAMP.len() - 1)]
+        })
+        .collect()
+}
+
+impl RunTrace {
+    /// Downsamples the trace to at most `n` points (mean within buckets).
+    fn downsample(&self, n: usize, f: impl Fn(&PeriodRecord) -> f64) -> Vec<f64> {
+        let len = self.periods.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let buckets = n.min(len);
+        (0..buckets)
+            .map(|b| {
+                let lo = b * len / buckets;
+                let hi = ((b + 1) * len / buckets).max(lo + 1);
+                self.periods[lo..hi].iter().map(&f).sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    }
+
+    /// Renders a compact timeline: HP-ways, HP-IPC and total-bandwidth
+    /// sparklines over the whole run.
+    pub fn render(&self, width: usize) -> String {
+        let ways = self.downsample(width, |p| p.hp_ways as f64);
+        let ipc = self.downsample(width, |p| p.hp_ipc);
+        let bw = self.downsample(width, |p| p.total_bw_gbps);
+        let max_ipc = ipc.iter().cloned().fold(0.0, f64::max);
+        let max_bw = bw.iter().cloned().fold(0.0, f64::max);
+        let mut out = format!(
+            "{} under {} — {} periods\n",
+            self.label,
+            self.policy,
+            self.periods.len()
+        );
+        out.push_str(&format!("  HP ways (max 20) {}\n", sparkline(&ways, 20.0)));
+        out.push_str(&format!("  HP IPC (max {max_ipc:.2}) {}\n", sparkline(&ipc, max_ipc)));
+        out.push_str(&format!("  link Gbps (max {max_bw:.0}) {}\n", sparkline(&bw, max_bw)));
+        if self.periods.iter().any(|p| p.be_mba_percent < 100) {
+            let mba = self.downsample(width, |p| p.be_mba_percent as f64);
+            out.push_str(&format!("  BE MBA %  (max 100) {}\n", sparkline(&mba, 100.0)));
+        }
+        let max_adm = self.periods.iter().map(|p| p.admitted_bes).max().unwrap_or(0);
+        if self.periods.iter().any(|p| p.admitted_bes < max_adm) {
+            let adm = self.downsample(width, |p| p.admitted_bes as f64);
+            out.push_str(&format!(
+                "  BEs admitted (max {max_adm}) {}\n",
+                sparkline(&adm, max_adm as f64)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_appmodel::Catalog;
+    use dicer_policy::DicerConfig;
+    use dicer_server::ServerConfig;
+
+    #[test]
+    fn traced_run_records_every_period() {
+        let catalog = Catalog::paper();
+        let solo = SoloTable::build(&catalog, ServerConfig::table1());
+        let hp = catalog.get("gobmk1").unwrap();
+        let be = catalog.get("hmmer1").unwrap();
+        let trace =
+            run_traced(&solo, hp, be, 4, &PolicyKind::Dicer(DicerConfig::default()), 50);
+        assert!(!trace.periods.is_empty());
+        assert!(trace.periods.len() <= 50);
+        // Time is strictly increasing by one period.
+        for w in trace.periods.windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+        // DICER starts at CT: the first period runs with 19 HP ways.
+        assert_eq!(trace.periods[0].hp_ways, 19);
+        let rendered = trace.render(40);
+        assert!(rendered.contains("HP ways"));
+    }
+
+    #[test]
+    fn sparkline_is_width_bounded() {
+        let v: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let s = sparkline(&v, 500.0);
+        assert_eq!(s.chars().count(), 500);
+    }
+}

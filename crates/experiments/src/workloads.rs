@@ -1,0 +1,220 @@
+//! The multiprogrammed workload space and its CT-F/CT-T classification.
+//!
+//! §4.1 of the paper: 59 applications give 59 × 59 = 3481 multiprogrammed
+//! workloads (one HP + multiple instances of one BE). §2.3.3 classifies each
+//! workload by whether CT improves HP's performance over UM (**CT-Favoured**)
+//! or not (**CT-Thwarted**); ~60 % of the paper's workloads are CT-T. The
+//! evaluation then uses a representative sample of 120 workloads (50 CT-F +
+//! 70 CT-T).
+
+use crate::{runner, solo_table::SoloTable};
+use dicer_appmodel::Catalog;
+use dicer_policy::PolicyKind;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// §2.3.3 workload classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// CT improves HP's performance over UM.
+    CtFavoured,
+    /// CT offers no improvement, or degrades HP vs. UM.
+    CtThwarted,
+}
+
+/// One HP/BE pairing with its classification data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedWorkload {
+    /// HP application name.
+    pub hp: String,
+    /// BE application name.
+    pub be: String,
+    /// HP slowdown under UM with 9 BEs.
+    pub um_slowdown: f64,
+    /// HP slowdown under CT with 9 BEs.
+    pub ct_slowdown: f64,
+    /// EFU under UM.
+    pub um_efu: f64,
+    /// EFU under CT.
+    pub ct_efu: f64,
+    /// Resulting class.
+    pub class: WorkloadClass,
+}
+
+/// The full classified workload space plus the deterministic 120-sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSet {
+    /// Every classified pair (3481 for the full catalog).
+    pub all: Vec<ClassifiedWorkload>,
+}
+
+/// Seed for the deterministic evaluation sample.
+const SAMPLE_SEED: u64 = 0x5EED_D1CE;
+
+/// Relative improvement CT must show over UM to count as CT-Favoured: the
+/// paper's "offers no improvement" boundary. Differences inside the paper's
+/// own IPC-stability noise band (`a = 5 %`, Eq. 3) do not count as
+/// improvement — on the paper's real hardware they are measurement noise.
+const IMPROVEMENT_EPS: f64 = 0.05;
+
+impl WorkloadSet {
+    /// Classifies every HP × BE pair at full occupancy (9 BEs), in parallel.
+    pub fn classify(catalog: &Catalog, solo: &SoloTable) -> Self {
+        let names: Vec<&str> = catalog.names().collect();
+        let pairs: Vec<(&str, &str)> = names
+            .iter()
+            .flat_map(|hp| names.iter().map(move |be| (*hp, *be)))
+            .collect();
+        let all: Vec<ClassifiedWorkload> = pairs
+            .par_iter()
+            .map(|(hp_name, be_name)| {
+                let hp = catalog.get(hp_name).expect("catalog name");
+                let be = catalog.get(be_name).expect("catalog name");
+                let n_cores = solo.config().n_cores;
+                let um =
+                    runner::run_colocation_with(solo, hp, be, n_cores, &PolicyKind::Unmanaged);
+                let ct =
+                    runner::run_colocation_with(solo, hp, be, n_cores, &PolicyKind::CacheTakeover);
+                let class = if ct.hp_slowdown < um.hp_slowdown * (1.0 - IMPROVEMENT_EPS) {
+                    WorkloadClass::CtFavoured
+                } else {
+                    WorkloadClass::CtThwarted
+                };
+                ClassifiedWorkload {
+                    hp: hp.name.clone(),
+                    be: be.name.clone(),
+                    um_slowdown: um.hp_slowdown,
+                    ct_slowdown: ct.hp_slowdown,
+                    um_efu: um.efu,
+                    ct_efu: ct.efu,
+                    class,
+                }
+            })
+            .collect();
+        Self { all }
+    }
+
+    /// Workloads of one class.
+    pub fn of_class(&self, class: WorkloadClass) -> Vec<&ClassifiedWorkload> {
+        self.all.iter().filter(|w| w.class == class).collect()
+    }
+
+    /// Fraction of workloads in the CT-Thwarted class (paper: ~60 %).
+    pub fn ct_thwarted_fraction(&self) -> f64 {
+        self.of_class(WorkloadClass::CtThwarted).len() as f64 / self.all.len() as f64
+    }
+
+    /// The paper's representative evaluation sample: `n_ctf` CT-Favoured +
+    /// `n_ctt` CT-Thwarted workloads (50 + 70 in §4.1), drawn
+    /// deterministically. If a class has fewer members than requested, the
+    /// deficit is filled from the other class.
+    pub fn sample(&self, n_ctf: usize, n_ctt: usize) -> Vec<&ClassifiedWorkload> {
+        let mut rng = ChaCha8Rng::seed_from_u64(SAMPLE_SEED);
+        let mut ctf = self.of_class(WorkloadClass::CtFavoured);
+        let mut ctt = self.of_class(WorkloadClass::CtThwarted);
+        ctf.shuffle(&mut rng);
+        ctt.shuffle(&mut rng);
+
+        let take_ctf = n_ctf.min(ctf.len());
+        let take_ctt = n_ctt.min(ctt.len());
+        let mut out: Vec<&ClassifiedWorkload> = Vec::with_capacity(n_ctf + n_ctt);
+        out.extend(ctf.iter().take(take_ctf));
+        out.extend(ctt.iter().take(take_ctt));
+        // Fill deficits from the other class's remainder.
+        let deficit = (n_ctf - take_ctf) + (n_ctt - take_ctt);
+        if deficit > 0 {
+            out.extend(ctf.iter().skip(take_ctf).take(deficit));
+            let still = (n_ctf + n_ctt).saturating_sub(out.len());
+            out.extend(ctt.iter().skip(take_ctt).take(still));
+        }
+        out
+    }
+
+    /// The standard 120-workload evaluation sample (50 CT-F + 70 CT-T).
+    pub fn sample_120(&self) -> Vec<&ClassifiedWorkload> {
+        self.sample(50, 70)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_server::ServerConfig;
+
+    /// A small catalog slice keeps the classification test fast.
+    fn small_set() -> WorkloadSet {
+        let catalog = Catalog::paper();
+        let solo = SoloTable::build(&catalog, ServerConfig::table1());
+        // Classify a sub-square by filtering pairs through a reduced catalog
+        // is not expressible via the public API; classify the full catalog
+        // but on a trimmed name list instead.
+        let names = ["milc1", "gcc_base1", "omnetpp1", "lbm1", "namd1"];
+        let pairs: Vec<ClassifiedWorkload> = names
+            .iter()
+            .flat_map(|hp| names.iter().map(move |be| (*hp, *be)))
+            .map(|(hp, be)| {
+                let h = catalog.get(hp).unwrap();
+                let b = catalog.get(be).unwrap();
+                let um = runner::run_colocation_with(&solo, h, b, 10, &PolicyKind::Unmanaged);
+                let ct = runner::run_colocation_with(&solo, h, b, 10, &PolicyKind::CacheTakeover);
+                let class = if ct.hp_slowdown < um.hp_slowdown * (1.0 - IMPROVEMENT_EPS) {
+                    WorkloadClass::CtFavoured
+                } else {
+                    WorkloadClass::CtThwarted
+                };
+                ClassifiedWorkload {
+                    hp: hp.to_string(),
+                    be: be.to_string(),
+                    um_slowdown: um.hp_slowdown,
+                    ct_slowdown: ct.hp_slowdown,
+                    um_efu: um.efu,
+                    ct_efu: ct.efu,
+                    class,
+                }
+            })
+            .collect();
+        WorkloadSet { all: pairs }
+    }
+
+    #[test]
+    fn both_classes_appear_in_small_square() {
+        let set = small_set();
+        assert_eq!(set.all.len(), 25);
+        let f = set.ct_thwarted_fraction();
+        assert!(f > 0.0 && f < 1.0, "both classes expected, CT-T fraction {f}");
+    }
+
+    #[test]
+    fn milc_on_gcc_is_ct_thwarted() {
+        let set = small_set();
+        let w = set.all.iter().find(|w| w.hp == "milc1" && w.be == "gcc_base1").unwrap();
+        assert_eq!(w.class, WorkloadClass::CtThwarted, "Fig. 3's example: {w:?}");
+    }
+
+    #[test]
+    fn cache_sensitive_on_streaming_is_ct_favoured() {
+        let set = small_set();
+        let w = set.all.iter().find(|w| w.hp == "omnetpp1" && w.be == "lbm1").unwrap();
+        assert_eq!(w.class, WorkloadClass::CtFavoured, "{w:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let set = small_set();
+        let a: Vec<String> = set.sample(3, 4).iter().map(|w| format!("{}+{}", w.hp, w.be)).collect();
+        let b: Vec<String> = set.sample(3, 4).iter().map(|w| format!("{}+{}", w.hp, w.be)).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn sample_fills_deficit_from_other_class() {
+        let set = small_set();
+        let total = set.all.len();
+        let s = set.sample(total, 0);
+        assert_eq!(s.len(), total, "deficit must be filled");
+    }
+}

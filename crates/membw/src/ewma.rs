@@ -1,0 +1,91 @@
+//! Exponentially weighted moving average for noisy per-period counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponentially weighted moving average.
+///
+/// `alpha` is the weight given to the newest observation; `alpha = 1`
+/// disables smoothing entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        Self { alpha, value: None }
+    }
+
+    /// Feeds one observation, returning the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Discards accumulated history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_passes_through() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.update(10.0), 10.0);
+    }
+
+    #[test]
+    fn smooths_towards_new_values() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        assert_eq!(e.update(10.0), 5.0);
+        assert_eq!(e.update(10.0), 7.5);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let mut e = Ewma::new(1.0);
+        e.update(3.0);
+        assert_eq!(e.update(7.0), 7.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(100.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(4.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.update(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-9);
+    }
+}

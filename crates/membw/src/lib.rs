@@ -1,0 +1,26 @@
+//! Memory-link bandwidth model for the DICER server simulator.
+//!
+//! The paper's Key Observation 2 hinges on *memory bandwidth saturation*:
+//! when Cache-Takeover squeezes all best-effort applications into a single
+//! LLC way, their miss traffic saturates the memory link and a
+//! bandwidth-sensitive high-priority application slows down even though it
+//! owns almost the whole cache. This crate models that mechanism:
+//!
+//! * [`LinkConfig`] — capacity and latency parameters of the memory link
+//!   (defaults follow Table 1 of the paper: 68.3 Gbps capacity, 50 Gbps
+//!   saturation threshold).
+//! * [`LinkModel`] — queueing-style latency inflation as a function of link
+//!   utilisation, plus proportional throughput sharing under overload.
+//! * [`SaturationDetector`] — the per-period threshold test DICER uses.
+//! * [`Ewma`] — exponentially weighted smoothing for noisy counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ewma;
+pub mod link;
+pub mod saturation;
+
+pub use ewma::Ewma;
+pub use link::{LinkConfig, LinkModel, ShareOutcome};
+pub use saturation::SaturationDetector;

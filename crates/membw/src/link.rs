@@ -1,0 +1,278 @@
+//! Memory-link capacity, latency inflation, and overload sharing.
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the memory link.
+///
+/// Defaults mirror Table 1 of the paper: the evaluation machine exposes
+/// 68.3 Gbps of memory bandwidth and DICER flags saturation above 50 Gbps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Peak deliverable bandwidth of the link in Gbps.
+    pub capacity_gbps: f64,
+    /// Unloaded (idle-link) memory access latency in nanoseconds.
+    pub base_latency_ns: f64,
+    /// Utilisation at which queueing delay starts to be noticeable.
+    /// Below this point the latency multiplier is exactly 1.
+    pub knee_utilisation: f64,
+    /// Utilisation cap used by the latency model; demand beyond this point
+    /// saturates the multiplier instead of diverging.
+    pub max_utilisation: f64,
+    /// Exponent on the queueing growth term: latency multiplies like
+    /// `((1-knee)/(1-u))^p`. `p = 1` is M/M/1; larger values model the
+    /// super-linear collapse real memory controllers exhibit once row-buffer
+    /// locality and bank parallelism are exhausted.
+    pub contention_exponent: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            capacity_gbps: 68.3,
+            base_latency_ns: 90.0,
+            knee_utilisation: 0.65,
+            max_utilisation: 0.97,
+            contention_exponent: 2.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Validates the configuration, returning a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.capacity_gbps.is_finite() || self.capacity_gbps <= 0.0 {
+            return Err(format!("capacity must be positive, got {}", self.capacity_gbps));
+        }
+        if !self.base_latency_ns.is_finite() || self.base_latency_ns <= 0.0 {
+            return Err(format!("base latency must be positive, got {}", self.base_latency_ns));
+        }
+        if !(0.0..1.0).contains(&self.knee_utilisation) {
+            return Err(format!("knee utilisation must be in [0,1), got {}", self.knee_utilisation));
+        }
+        if self.knee_utilisation >= self.max_utilisation || self.max_utilisation >= 1.0 {
+            return Err(format!(
+                "need knee < max_utilisation < 1, got knee={} max={}",
+                self.knee_utilisation, self.max_utilisation
+            ));
+        }
+        if !self.contention_exponent.is_finite() || self.contention_exponent < 1.0 {
+            return Err(format!(
+                "contention exponent must be >= 1, got {}",
+                self.contention_exponent
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of resolving concurrent demands against the link capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareOutcome {
+    /// Achieved bandwidth per stream, in Gbps, same order as the demands.
+    pub achieved_gbps: Vec<f64>,
+    /// Total achieved bandwidth in Gbps (capped at capacity).
+    pub total_gbps: f64,
+    /// Link utilisation computed from *offered* demand (may exceed 1).
+    pub offered_utilisation: f64,
+    /// Latency multiplier implied by the offered utilisation.
+    pub latency_multiplier: f64,
+}
+
+/// Queueing-style model of a shared memory link.
+///
+/// The model has two effects:
+///
+/// 1. **Latency inflation** — below the knee utilisation the access latency
+///    equals [`LinkConfig::base_latency_ns`]; above it, latency grows like a
+///    single-server queue, `1 / (1 - u)` (normalised to be continuous at the
+///    knee). Offered demand above [`LinkConfig::max_utilisation`] pins the
+///    multiplier at its maximum instead of diverging.
+/// 2. **Throughput sharing** — when offered demand exceeds capacity, each
+///    stream receives bandwidth proportional to its demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    cfg: LinkConfig,
+}
+
+impl LinkModel {
+    /// Builds a model; panics if `cfg` is invalid (use
+    /// [`LinkConfig::validate`] first for fallible construction).
+    pub fn new(cfg: LinkConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid LinkConfig: {e}");
+        }
+        Self { cfg }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Latency multiplier for a given offered utilisation (`demand /
+    /// capacity`). Always `>= 1`, monotonically non-decreasing, and equal to
+    /// 1 below the knee.
+    pub fn latency_multiplier(&self, offered_utilisation: f64) -> f64 {
+        let u = offered_utilisation.clamp(0.0, self.cfg.max_utilisation);
+        let knee = self.cfg.knee_utilisation;
+        if u <= knee {
+            return 1.0;
+        }
+        // M/M/1-style growth, renormalised to equal 1 exactly at the knee so
+        // the curve is continuous, raised to the configured exponent.
+        ((1.0 - knee) / (1.0 - u)).powf(self.cfg.contention_exponent)
+    }
+
+    /// Effective memory latency in nanoseconds at the given offered
+    /// utilisation.
+    pub fn effective_latency_ns(&self, offered_utilisation: f64) -> f64 {
+        self.cfg.base_latency_ns * self.latency_multiplier(offered_utilisation)
+    }
+
+    /// Resolves a set of offered per-stream demands (Gbps) against the link.
+    ///
+    /// Returns achieved bandwidths (proportionally scaled if the sum exceeds
+    /// capacity), the total, the offered utilisation, and the latency
+    /// multiplier implied by that utilisation.
+    pub fn share(&self, demands_gbps: &[f64]) -> ShareOutcome {
+        debug_assert!(
+            demands_gbps.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "demands must be finite and non-negative"
+        );
+        let offered: f64 = demands_gbps.iter().sum();
+        let offered_utilisation = offered / self.cfg.capacity_gbps;
+        let scale = if offered > self.cfg.capacity_gbps {
+            self.cfg.capacity_gbps / offered
+        } else {
+            1.0
+        };
+        let achieved_gbps: Vec<f64> = demands_gbps.iter().map(|d| d * scale).collect();
+        let total_gbps = offered.min(self.cfg.capacity_gbps);
+        ShareOutcome {
+            achieved_gbps,
+            total_gbps,
+            offered_utilisation,
+            latency_multiplier: self.latency_multiplier(offered_utilisation),
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::new(LinkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinkModel {
+        LinkModel::default()
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        LinkConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_capacity() {
+        let cfg = LinkConfig { capacity_gbps: 0.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knee_ordering() {
+        let cfg = LinkConfig { knee_utilisation: 0.99, max_utilisation: 0.97, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_negative_latency() {
+        let cfg = LinkConfig { base_latency_ns: -1.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn multiplier_is_one_below_knee() {
+        let m = model();
+        assert_eq!(m.latency_multiplier(0.0), 1.0);
+        assert_eq!(m.latency_multiplier(0.3), 1.0);
+        assert_eq!(m.latency_multiplier(0.65), 1.0);
+    }
+
+    #[test]
+    fn multiplier_continuous_at_knee() {
+        let m = model();
+        let just_above = m.latency_multiplier(0.650001);
+        assert!((just_above - 1.0).abs() < 1e-4, "multiplier jumped at knee: {just_above}");
+    }
+
+    #[test]
+    fn multiplier_grows_monotonically() {
+        let m = model();
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            let v = m.latency_multiplier(u);
+            assert!(v >= prev, "non-monotone at u={u}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn multiplier_saturates_at_cap() {
+        let m = model();
+        assert_eq!(m.latency_multiplier(0.97), m.latency_multiplier(5.0));
+        // At the cap, ((1 - knee) / (1 - max))^p: ((1-0.65)/0.03)^2.
+        let expect = ((1.0 - 0.65f64) / (1.0 - 0.97)).powi(2);
+        assert!((m.latency_multiplier(5.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_latency_scales_base() {
+        let m = model();
+        assert_eq!(m.effective_latency_ns(0.0), 90.0);
+        assert!(m.effective_latency_ns(0.9) > 90.0);
+    }
+
+    #[test]
+    fn share_under_capacity_passes_through() {
+        let m = model();
+        let out = m.share(&[10.0, 20.0]);
+        assert_eq!(out.achieved_gbps, vec![10.0, 20.0]);
+        assert!((out.total_gbps - 30.0).abs() < 1e-12);
+        assert!(out.offered_utilisation < 0.5);
+        assert_eq!(out.latency_multiplier, 1.0);
+    }
+
+    #[test]
+    fn share_over_capacity_scales_proportionally() {
+        let m = model();
+        let out = m.share(&[68.3, 68.3]);
+        assert!((out.total_gbps - 68.3).abs() < 1e-9);
+        assert!((out.achieved_gbps[0] - 34.15).abs() < 1e-9);
+        assert!((out.achieved_gbps[1] - 34.15).abs() < 1e-9);
+        assert!((out.offered_utilisation - 2.0).abs() < 1e-12);
+        assert!(out.latency_multiplier > 10.0);
+    }
+
+    #[test]
+    fn share_empty_demands() {
+        let m = model();
+        let out = m.share(&[]);
+        assert!(out.achieved_gbps.is_empty());
+        assert_eq!(out.total_gbps, 0.0);
+        assert_eq!(out.latency_multiplier, 1.0);
+    }
+
+    #[test]
+    fn share_preserves_ordering_of_streams() {
+        let m = model();
+        let out = m.share(&[50.0, 25.0, 5.0]);
+        assert!(out.achieved_gbps[0] > out.achieved_gbps[1]);
+        assert!(out.achieved_gbps[1] > out.achieved_gbps[2]);
+    }
+}

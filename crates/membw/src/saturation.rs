@@ -1,0 +1,74 @@
+//! Bandwidth-saturation detection (Listing 1 of the paper).
+//!
+//! DICER's `monitor()` step flags `BW_saturated` whenever the total memory
+//! traffic observed during the last monitoring period exceeds
+//! `MemBW_threshold` (50 Gbps in Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Threshold detector over total link traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationDetector {
+    /// Saturation threshold in Gbps (`MemBW_threshold` in the paper).
+    pub threshold_gbps: f64,
+}
+
+impl Default for SaturationDetector {
+    fn default() -> Self {
+        Self { threshold_gbps: 50.0 }
+    }
+}
+
+impl SaturationDetector {
+    /// Builds a detector with the given threshold.
+    pub fn new(threshold_gbps: f64) -> Self {
+        assert!(threshold_gbps > 0.0, "threshold must be positive");
+        Self { threshold_gbps }
+    }
+
+    /// Returns `true` if the observed total bandwidth exceeds the threshold.
+    pub fn is_saturated(&self, total_bw_gbps: f64) -> bool {
+        total_bw_gbps > self.threshold_gbps
+    }
+
+    /// Convenience: detect saturation from per-stream traffic.
+    pub fn is_saturated_by(&self, per_stream_gbps: &[f64]) -> bool {
+        self.is_saturated(per_stream_gbps.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        assert_eq!(SaturationDetector::default().threshold_gbps, 50.0);
+    }
+
+    #[test]
+    fn below_threshold_not_saturated() {
+        let d = SaturationDetector::default();
+        assert!(!d.is_saturated(49.9));
+        assert!(!d.is_saturated(50.0)); // strictly greater, per Listing 1
+    }
+
+    #[test]
+    fn above_threshold_saturated() {
+        let d = SaturationDetector::default();
+        assert!(d.is_saturated(50.01));
+    }
+
+    #[test]
+    fn per_stream_sum_detection() {
+        let d = SaturationDetector::new(30.0);
+        assert!(d.is_saturated_by(&[10.0, 10.0, 10.5]));
+        assert!(!d.is_saturated_by(&[10.0, 10.0, 9.5]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        SaturationDetector::new(0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Additional multi-programmed consolidation metrics from the literature
+//! the paper builds on (Eyerman & Eeckhout's system-level metrics), used by
+//! the report tooling alongside the paper's EFU/SUCI.
+
+/// Weighted speedup (a.k.a. system throughput): the arithmetic mean of
+/// normalised IPCs. Unlike EFU's harmonic mean it rewards total progress
+/// even when one application starves.
+pub fn weighted_speedup(normalised: &[f64]) -> f64 {
+    assert!(!normalised.is_empty(), "weighted speedup needs at least one app");
+    assert!(normalised.iter().all(|v| v.is_finite() && *v >= 0.0));
+    normalised.iter().sum::<f64>() / normalised.len() as f64
+}
+
+/// Fairness: the minimum over the maximum normalised IPC (1 = perfectly
+/// fair, → 0 as one application starves relative to another).
+pub fn fairness(normalised: &[f64]) -> f64 {
+    assert!(!normalised.is_empty(), "fairness needs at least one app");
+    assert!(normalised.iter().all(|v| v.is_finite() && *v > 0.0));
+    let min = normalised.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = normalised.iter().cloned().fold(0.0f64, f64::max);
+    min / max
+}
+
+/// Maximum slowdown across the co-scheduled applications — the worst-case
+/// guarantee a provider could advertise.
+pub fn max_slowdown(normalised: &[f64]) -> f64 {
+    assert!(!normalised.is_empty());
+    assert!(normalised.iter().all(|v| v.is_finite() && *v > 0.0));
+    1.0 / normalised.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{efu, hmean};
+
+    #[test]
+    fn weighted_speedup_is_arithmetic_mean() {
+        assert!((weighted_speedup(&[1.0, 0.5]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_at_least_efu() {
+        // AM >= HM always.
+        let v = [0.9, 0.4, 0.7, 0.2];
+        assert!(weighted_speedup(&v) >= efu(&v));
+        assert!((efu(&v) - hmean(&v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_bounds() {
+        assert_eq!(fairness(&[0.8, 0.8, 0.8]), 1.0);
+        assert!((fairness(&[1.0, 0.25]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_order_invariant() {
+        assert_eq!(fairness(&[0.2, 0.9]), fairness(&[0.9, 0.2]));
+    }
+
+    #[test]
+    fn max_slowdown_tracks_the_victim() {
+        assert!((max_slowdown(&[1.0, 0.5, 0.8]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fairness_rejects_zero() {
+        fairness(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Evaluation metrics from the paper (§2.4, §4.1, §4.2).
+//!
+//! * [`efu`] — Effective Utilisation, Eq. 1: the harmonic mean of IPCs
+//!   normalised to solo execution (`IPC_norm_hmean`, Nesbit et al., reference 37).
+//! * [`slo_achieved`] — Eq. 5: an application meets an SLO of `q` when its
+//!   co-located IPC is at least `q × IPC_alone`.
+//! * [`suci`] — Eq. 4: the SLO-Effective-Utilisation Combined Index
+//!   `c_SLO · EFU^λ`.
+//! * [`slowdown`] — HP execution-time inflation relative to running alone.
+//! * [`stats`] — geometric/harmonic means and empirical CDFs used by every
+//!   figure.
+//! * [`consolidation`] — complementary system-level metrics (weighted
+//!   speedup, fairness, worst-case slowdown).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consolidation;
+pub mod stats;
+
+pub use consolidation::{fairness, max_slowdown, weighted_speedup};
+pub use stats::{geomean, hmean, Cdf};
+
+/// HP slowdown: co-located completion time over solo completion time.
+/// Always ≥ 0; a value of 1 means unaffected.
+pub fn slowdown(time_colocated_s: f64, time_alone_s: f64) -> f64 {
+    assert!(time_alone_s > 0.0, "solo time must be positive");
+    time_colocated_s / time_alone_s
+}
+
+/// Normalised IPC (aka QoS level): co-located IPC over solo IPC.
+pub fn normalised_ipc(ipc: f64, ipc_alone: f64) -> f64 {
+    assert!(ipc_alone > 0.0, "solo IPC must be positive");
+    ipc / ipc_alone
+}
+
+/// Effective Utilisation (Eq. 1): harmonic mean of normalised IPCs across
+/// the HP and all BEs. 1 = no performance loss from co-location.
+///
+/// `normalised` holds `IPC_i / IPC_alone_i` for every co-located app.
+pub fn efu(normalised: &[f64]) -> f64 {
+    assert!(!normalised.is_empty(), "EFU needs at least one application");
+    assert!(
+        normalised.iter().all(|v| *v > 0.0 && v.is_finite()),
+        "normalised IPCs must be positive and finite"
+    );
+    hmean(normalised)
+}
+
+/// Eq. 5: whether an SLO of `slo` (e.g. 0.9) is achieved given the
+/// normalised IPC of the HP.
+pub fn slo_achieved(hp_normalised_ipc: f64, slo: f64) -> bool {
+    assert!((0.0..=1.0).contains(&slo), "SLO must be a fraction");
+    hp_normalised_ipc >= slo
+}
+
+/// Eq. 4: SLO-Effective-Utilisation Combined Index, `c_SLO · EFU^λ`.
+///
+/// Zero when the SLO is missed (an SLA violation disregards any BE gains);
+/// otherwise EFU raised to λ — λ > 1 weights utilisation more, λ < 1 weights
+/// SLO conformance more.
+pub fn suci(hp_normalised_ipc: f64, efu_value: f64, slo: f64, lambda: f64) -> f64 {
+    assert!(efu_value >= 0.0 && lambda > 0.0);
+    if slo_achieved(hp_normalised_ipc, slo) {
+        efu_value.powf(lambda)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_of_equal_times_is_one() {
+        assert_eq!(slowdown(10.0, 10.0), 1.0);
+        assert_eq!(slowdown(15.0, 10.0), 1.5);
+    }
+
+    #[test]
+    fn efu_of_perfect_run_is_one() {
+        assert!((efu(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efu_matches_eq1_by_hand() {
+        // n / sum(1/norm_i): 3 / (2 + 1 + 4) = 3/7.
+        let v = efu(&[0.5, 1.0, 0.25]);
+        assert!((v - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efu_punishes_a_single_starved_app() {
+        let balanced = efu(&[0.8, 0.8, 0.8]);
+        let skewed = efu(&[1.0, 1.0, 0.1]);
+        assert!(balanced > skewed, "harmonic mean must punish starvation");
+    }
+
+    #[test]
+    fn slo_boundary_inclusive() {
+        assert!(slo_achieved(0.9, 0.9));
+        assert!(!slo_achieved(0.8999, 0.9));
+    }
+
+    #[test]
+    fn suci_zero_on_violation() {
+        assert_eq!(suci(0.5, 0.9, 0.8, 1.0), 0.0);
+    }
+
+    #[test]
+    fn suci_equals_efu_at_unit_lambda() {
+        assert!((suci(0.95, 0.7, 0.8, 1.0) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suci_lambda_reweights_utilisation() {
+        // EFU < 1, so λ=2 penalises low utilisation, λ=0.5 forgives it.
+        let low = suci(1.0, 0.5, 0.8, 2.0);
+        let mid = suci(1.0, 0.5, 0.8, 1.0);
+        let high = suci(1.0, 0.5, 0.8, 0.5);
+        assert!(low < mid && mid < high);
+    }
+
+    #[test]
+    #[should_panic]
+    fn efu_rejects_empty() {
+        efu(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn efu_rejects_nonpositive() {
+        efu(&[1.0, 0.0]);
+    }
+}

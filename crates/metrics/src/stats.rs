@@ -1,0 +1,145 @@
+//! Statistical helpers: means and empirical CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric mean of strictly positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    assert!(values.iter().all(|v| *v > 0.0 && v.is_finite()), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Geometric mean that tolerates zeros by flooring at `eps` — used for SUCI,
+/// which is exactly 0 on SLA violations.
+pub fn geomean_floored(values: &[f64], eps: f64) -> f64 {
+    assert!(!values.is_empty());
+    assert!(eps > 0.0);
+    (values.iter().map(|v| v.max(eps).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Harmonic mean of strictly positive values.
+pub fn hmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "hmean of empty slice");
+    assert!(values.iter().all(|v| *v > 0.0 && v.is_finite()), "hmean needs positive values");
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// An empirical cumulative distribution over observed samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs rejected).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "CDF needs samples");
+        assert!(samples.iter().all(|s| !s.is_nan()), "CDF rejects NaN");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: samples }
+    }
+
+    /// Fraction of samples `<= x` (in `[0, 1]`).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction requires samples); for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `(x, fraction)` pairs for plotting the CDF at the given x grid.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_at(x))).collect()
+    }
+
+    /// Minimum observed sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observed sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_floored_tolerates_zero() {
+        let v = geomean_floored(&[0.0, 1.0], 1e-3);
+        assert!(v > 0.0 && v < 0.1);
+    }
+
+    #[test]
+    fn hmean_basics() {
+        // hmean(1, 1/3) = 2 / (1 + 3) = 0.5
+        assert!((hmean(&[1.0, 1.0 / 3.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmean_below_geomean_below_amean() {
+        let v = [0.3, 0.9, 0.7];
+        let am = v.iter().sum::<f64>() / 3.0;
+        assert!(hmean(&v) < geomean(&v));
+        assert!(geomean(&v) < am);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 4.0);
+    }
+
+    #[test]
+    fn cdf_series_matches_fractions() {
+        let c = Cdf::new(vec![1.0, 2.0]);
+        assert_eq!(c.series(&[1.0, 1.5, 2.0]), vec![(1.0, 0.5), (1.5, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_handles_duplicates() {
+        let c = Cdf::new(vec![1.0; 10]);
+        assert_eq!(c.fraction_at(1.0), 1.0);
+        assert_eq!(c.fraction_at(0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cdf_rejects_nan() {
+        Cdf::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,209 @@
+//! DICER+ADM: the paper's second future-work extension — "extend DICER to
+//! dynamically manage the number of co-located BEs".
+//!
+//! [`DicerAdmission`] stacks a BE admission loop on top of [`DicerMba`]:
+//! when even maximum MBA throttling leaves the link saturated for several
+//! consecutive periods, one BE is evicted from the server; once the
+//! throttle has fully relaxed and the link has stayed calm, a BE is
+//! re-admitted. Escalation order is deliberate — cache first (DICER), then
+//! bandwidth (MBA), then parallelism (admission) — since each next actuator
+//! costs the BEs more throughput.
+
+use crate::{mba::DicerMba, DicerConfig, Policy};
+use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+
+/// Consecutive periods of throttled near-saturation hovering before a BE is
+/// evicted. Long enough that the MBA loop has clearly reached its stable
+/// hover rather than a transient.
+const EVICT_AFTER: u32 = 15;
+/// Fraction of the saturation threshold above which the link counts as
+/// "hovering": the MBA loop pins traffic just around the threshold, so the
+/// eviction detector must look slightly below it.
+const HOVER_FRACTION: f64 = 0.9;
+/// Re-admission hysteresis: the link must sit below this fraction of the
+/// threshold, unthrottled, before a BE returns — otherwise the controller
+/// would oscillate between eviction and re-admission.
+const READMIT_FRACTION: f64 = 0.7;
+/// Consecutive calm, unthrottled periods before re-admitting a BE.
+const READMIT_AFTER: u32 = 10;
+
+/// DICER with MBA throttling and dynamic BE admission.
+#[derive(Debug, Clone)]
+pub struct DicerAdmission {
+    inner: DicerMba,
+    threshold_gbps: f64,
+    /// BEs currently admitted (`None` until the first period reveals the
+    /// workload size).
+    admitted: Option<u32>,
+    total_bes: u32,
+    hot_periods: u32,
+    calm_periods: u32,
+    /// Evictions and re-admissions performed (for introspection).
+    pub admission_changes: u64,
+}
+
+impl DicerAdmission {
+    /// Builds the stacked controller.
+    pub fn new(cfg: DicerConfig) -> Self {
+        let threshold_gbps = cfg.mem_bw_threshold_gbps;
+        Self {
+            inner: DicerMba::new(cfg),
+            threshold_gbps,
+            admitted: None,
+            total_bes: 0,
+            hot_periods: 0,
+            calm_periods: 0,
+            admission_changes: 0,
+        }
+    }
+
+    /// Currently admitted BE count (`None` before the first observation).
+    pub fn admitted(&self) -> Option<u32> {
+        self.admitted
+    }
+}
+
+impl Policy for DicerAdmission {
+    fn name(&self) -> &'static str {
+        "DICER+ADM"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        self.inner.initial_plan(n_ways)
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        let plan = self.inner.on_period(sample, n_ways);
+        self.total_bes = sample.bes.len() as u32;
+        let admitted = *self.admitted.get_or_insert(self.total_bes);
+
+        // "Hovering": bandwidth control is engaged yet the link still sits
+        // at (or just below — the loop pins it there) the threshold, so the
+        // HP keeps paying the queueing penalty.
+        let hovering = self.inner.level().is_throttled()
+            && sample.total_bw_gbps > HOVER_FRACTION * self.threshold_gbps;
+        let calm = !self.inner.level().is_throttled()
+            && sample.total_bw_gbps < READMIT_FRACTION * self.threshold_gbps;
+        if hovering {
+            self.hot_periods += 1;
+            self.calm_periods = 0;
+            if self.hot_periods >= EVICT_AFTER && admitted > 1 {
+                self.admitted = Some(admitted - 1);
+                self.admission_changes += 1;
+                self.hot_periods = 0;
+            }
+        } else if calm {
+            self.calm_periods += 1;
+            self.hot_periods = 0;
+            if self.calm_periods >= READMIT_AFTER && admitted < self.total_bes {
+                self.admitted = Some(admitted + 1);
+                self.admission_changes += 1;
+                self.calm_periods = 0;
+            }
+        } else {
+            self.hot_periods = 0;
+            self.calm_periods = 0;
+        }
+        plan
+    }
+
+    fn mba_level(&self) -> MbaLevel {
+        self.inner.mba_level()
+    }
+
+    fn admitted_bes(&self) -> Option<u32> {
+        self.admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_rdt::PerAppSample;
+
+    const N: u32 = 20;
+
+    fn sample(hp_ipc: f64, be_bw_total: f64, n_bes: usize) -> PeriodSample {
+        let hp = PerAppSample { ipc: hp_ipc, llc_occupancy_bytes: 0, mem_bw_gbps: 5.0, miss_ratio: 0.1 };
+        let be = PerAppSample {
+            ipc: 0.5,
+            llc_occupancy_bytes: 0,
+            mem_bw_gbps: be_bw_total / n_bes as f64,
+            miss_ratio: 0.4,
+        };
+        PeriodSample { time_s: 0.0, hp, bes: vec![be; n_bes], total_bw_gbps: 5.0 + be_bw_total }
+    }
+
+    /// Drives the controller into the throttled near-saturation hover.
+    fn drive_to_hover(d: &mut DicerAdmission) {
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 55.0, 9), N); // -> sampling
+        for _ in 0..7 {
+            d.on_period(&sample(1.0, 20.0, 9), N); // sweep, calm readings
+        }
+        // Persistent saturation engages the throttle.
+        for _ in 0..3 {
+            d.on_period(&sample(1.0, 60.0, 9), N);
+        }
+        assert!(d.mba_level().is_throttled());
+    }
+
+    #[test]
+    fn starts_with_everything_admitted() {
+        let mut d = DicerAdmission::new(DicerConfig::default());
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 10.0, 9), N);
+        assert_eq!(d.admitted(), Some(9));
+    }
+
+    #[test]
+    fn evicts_after_sustained_throttled_hover() {
+        let mut d = DicerAdmission::new(DicerConfig::default());
+        drive_to_hover(&mut d);
+        let before = d.admitted().unwrap();
+        // Traffic hovers just below the threshold while throttled.
+        for _ in 0..EVICT_AFTER {
+            d.on_period(&sample(1.0, 47.0, 9), N);
+        }
+        assert_eq!(d.admitted(), Some(before - 1), "one BE evicted");
+        assert!(d.admission_changes >= 1);
+    }
+
+    #[test]
+    fn never_evicts_below_one_be() {
+        let mut d = DicerAdmission::new(DicerConfig::default());
+        drive_to_hover(&mut d);
+        for _ in 0..20 * EVICT_AFTER {
+            d.on_period(&sample(1.0, 60.0, 9), N);
+        }
+        assert_eq!(d.admitted(), Some(1), "floor is one BE");
+    }
+
+    #[test]
+    fn readmits_after_sustained_calm() {
+        let mut d = DicerAdmission::new(DicerConfig::default());
+        drive_to_hover(&mut d);
+        for _ in 0..EVICT_AFTER {
+            d.on_period(&sample(1.0, 47.0, 9), N);
+        }
+        let evicted_to = d.admitted().unwrap();
+        assert!(evicted_to < 9);
+        // Calm traffic (below the re-admission hysteresis) long enough to
+        // fully relax MBA and pass the re-admission bar.
+        for _ in 0..100 {
+            d.on_period(&sample(1.0, 5.0, 9), N);
+        }
+        assert!(d.admitted().unwrap() > evicted_to, "BE re-admitted after calm");
+    }
+
+    #[test]
+    fn no_admission_changes_on_quiet_workloads() {
+        let mut d = DicerAdmission::new(DicerConfig::default());
+        d.initial_plan(N);
+        for _ in 0..50 {
+            d.on_period(&sample(1.0, 10.0, 9), N);
+        }
+        assert_eq!(d.admitted(), Some(9));
+        assert_eq!(d.admission_changes, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's baseline co-location policies (§2.2) plus static splits.
+
+use crate::Policy;
+use dicer_rdt::{PartitionPlan, PeriodSample};
+
+/// **UM** — unmanaged: no CAT control, no QoS enforcement; all applications
+/// contend freely for the LLC and the memory link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unmanaged;
+
+impl Policy for Unmanaged {
+    fn name(&self) -> &'static str {
+        "UM"
+    }
+
+    fn initial_plan(&self, _n_ways: u32) -> PartitionPlan {
+        PartitionPlan::Unmanaged
+    }
+
+    fn on_period(&mut self, _sample: &PeriodSample, _n_ways: u32) -> PartitionPlan {
+        PartitionPlan::Unmanaged
+    }
+}
+
+/// **CT** — cache takeover: HP statically owns the maximum isolatable LLC
+/// portion (all ways but one); every BE shares the single remaining way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheTakeover;
+
+impl Policy for CacheTakeover {
+    fn name(&self) -> &'static str {
+        "CT"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        PartitionPlan::cache_takeover(n_ways)
+    }
+
+    fn on_period(&mut self, _sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        PartitionPlan::cache_takeover(n_ways)
+    }
+}
+
+/// A fixed `Split { hp_ways }` for the static-sweep analysis of Fig. 3.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPartition {
+    hp_ways: u32,
+}
+
+impl StaticPartition {
+    /// Fixed split granting `hp_ways` exclusive ways to HP.
+    pub fn new(hp_ways: u32) -> Self {
+        assert!(hp_ways >= 1, "HP needs at least one way");
+        Self { hp_ways }
+    }
+
+    /// The configured HP allocation.
+    pub fn hp_ways(&self) -> u32 {
+        self.hp_ways
+    }
+}
+
+impl Policy for StaticPartition {
+    fn name(&self) -> &'static str {
+        "STATIC"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        let p = PartitionPlan::Split { hp_ways: self.hp_ways };
+        p.validate(n_ways).expect("static split must fit the cache");
+        p
+    }
+
+    fn on_period(&mut self, _sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.initial_plan(n_ways)
+    }
+}
+
+/// A fixed overlapping plan for the paper's §6 open question: HP keeps
+/// `hp_exclusive` private ways and contests a `shared` middle region with
+/// the BEs.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticOverlap {
+    hp_exclusive: u32,
+    shared: u32,
+}
+
+impl StaticOverlap {
+    /// Fixed overlap plan.
+    pub fn new(hp_exclusive: u32, shared: u32) -> Self {
+        assert!(hp_exclusive >= 1 && shared >= 1);
+        Self { hp_exclusive, shared }
+    }
+}
+
+impl Policy for StaticOverlap {
+    fn name(&self) -> &'static str {
+        "OVERLAP"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        let p = PartitionPlan::Overlapping { hp_exclusive: self.hp_exclusive, shared: self.shared };
+        p.validate(n_ways).expect("overlap plan must fit the cache");
+        p
+    }
+
+    fn on_period(&mut self, _sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.initial_plan(n_ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_rdt::PerAppSample;
+
+    fn sample() -> PeriodSample {
+        let app = PerAppSample { ipc: 1.0, llc_occupancy_bytes: 0, mem_bw_gbps: 1.0, miss_ratio: 0.1 };
+        PeriodSample { time_s: 1.0, hp: app, bes: vec![app], total_bw_gbps: 2.0 }
+    }
+
+    #[test]
+    fn um_never_partitions() {
+        let mut p = Unmanaged;
+        assert_eq!(p.initial_plan(20), PartitionPlan::Unmanaged);
+        assert_eq!(p.on_period(&sample(), 20), PartitionPlan::Unmanaged);
+    }
+
+    #[test]
+    fn ct_takes_all_but_one() {
+        let mut p = CacheTakeover;
+        assert_eq!(p.initial_plan(20), PartitionPlan::Split { hp_ways: 19 });
+        assert_eq!(p.on_period(&sample(), 20), PartitionPlan::Split { hp_ways: 19 });
+    }
+
+    #[test]
+    fn static_holds_its_split() {
+        let mut p = StaticPartition::new(7);
+        assert_eq!(p.initial_plan(20), PartitionPlan::Split { hp_ways: 7 });
+        assert_eq!(p.on_period(&sample(), 20), PartitionPlan::Split { hp_ways: 7 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn static_rejects_oversized_split() {
+        StaticPartition::new(20).initial_plan(20);
+    }
+
+    #[test]
+    fn overlap_holds_its_plan() {
+        let mut p = StaticOverlap::new(4, 6);
+        assert_eq!(
+            p.on_period(&sample(), 20),
+            PartitionPlan::Overlapping { hp_exclusive: 4, shared: 6 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_rejects_oversized_plan() {
+        StaticOverlap::new(15, 6).initial_plan(20);
+    }
+}

@@ -1,0 +1,719 @@
+//! The DICER controller (paper §3, Listings 1–3).
+//!
+//! DICER starts like CT (HP owns all ways but one) and then, at every
+//! monitoring-period boundary:
+//!
+//! 1. **Saturation** — if total link traffic exceeded `MemBW_threshold`, the
+//!    workload is (re)classified CT-Thwarted and DICER *samples* decreasing
+//!    HP allocations, one per period, keeping the one with the best HP IPC
+//!    (`optimal_allocation`, `IPC_opt`).
+//! 2. **Phase change** (Eq. 2) — if HP's bandwidth jumped more than
+//!    `phase_threshold` above the geometric mean of its previous three
+//!    periods, the optimisation is *reset*.
+//! 3. **Optimisation** (Listing 2) — with stable HP IPC (Eq. 3) DICER takes
+//!    one way from HP and gives it to the BEs; with improved IPC it holds;
+//!    with degraded IPC it *resets*.
+//! 4. **Reset** (Listing 3) — return to the best-known allocation (CT for
+//!    CT-Favoured workloads, `optimal_allocation` for CT-Thwarted ones) and
+//!    validate the outcome over the following period, falling back to
+//!    rollback or to fresh sampling as the listing prescribes.
+
+use crate::Policy;
+use dicer_rdt::{PartitionPlan, PeriodSample};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the sampler chooses candidate HP allocations (the paper only says
+/// "decreasing LLC partition sizes"; the default geometric ladder is the
+/// variant evaluated in EXPERIMENTS.md, the others feed the ablation bench).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Decreasing from `n_ways − 1` in fixed steps.
+    Linear {
+        /// Step size in ways (≥ 1).
+        step: u32,
+    },
+    /// A geometric ladder: 19, 14, 10, 7, 5, 3, 2, 1 on a 20-way cache.
+    Geometric,
+    /// An explicit candidate list (strictly decreasing HP ways).
+    Custom(Vec<u32>),
+}
+
+impl SamplingStrategy {
+    /// Candidate HP allocations, in the order they will be applied.
+    pub fn candidates(&self, n_ways: u32) -> Vec<u32> {
+        match self {
+            SamplingStrategy::Linear { step } => {
+                assert!(*step >= 1);
+                let mut v: Vec<u32> = (1..n_ways).rev().step_by(*step as usize).collect();
+                if v.last() != Some(&1) {
+                    v.push(1);
+                }
+                v
+            }
+            SamplingStrategy::Geometric => {
+                let mut v = Vec::new();
+                let mut w = n_ways - 1;
+                while w > 1 {
+                    v.push(w);
+                    // ~30% shrink per sample, always at least one way.
+                    w = (w as f64 * 0.7).floor().max(1.0) as u32;
+                }
+                v.push(1);
+                v
+            }
+            SamplingStrategy::Custom(v) => {
+                assert!(!v.is_empty(), "custom sampling needs candidates");
+                assert!(
+                    v.windows(2).all(|w| w[1] < w[0]),
+                    "custom candidates must be strictly decreasing"
+                );
+                assert!(v.iter().all(|w| *w >= 1 && *w < n_ways));
+                v.clone()
+            }
+        }
+    }
+}
+
+/// DICER configuration (defaults from Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DicerConfig {
+    /// `MemBW_threshold`: total-traffic saturation threshold in Gbps.
+    pub mem_bw_threshold_gbps: f64,
+    /// `phase_threshold` of Eq. 2 (0.30 = 30 %).
+    pub phase_threshold: f64,
+    /// `a` of Eq. 3: the IPC stability band (0.05 = ±5 %).
+    pub stability_alpha: f64,
+    /// Candidate ladder used during allocation sampling.
+    pub sampling: SamplingStrategy,
+    /// Periods after a completed sampling pass during which saturation does
+    /// not re-trigger sampling. Listing 1 as written resamples on *every*
+    /// saturated period; when the BEs saturate the link at any partition
+    /// (e.g. nine streaming apps), that loops forever and the HP spends
+    /// almost all its time at probe allocations. A cool-down bounds the
+    /// probing duty cycle without changing any other decision.
+    pub sampling_cooldown_periods: u32,
+    /// Cap for the exponential cool-down backoff used when sampling keeps
+    /// concluding that partitioning cannot fix the saturation (the optimum
+    /// is the largest candidate).
+    pub max_cooldown_periods: u32,
+}
+
+impl Default for DicerConfig {
+    fn default() -> Self {
+        Self {
+            mem_bw_threshold_gbps: 50.0,
+            phase_threshold: 0.30,
+            stability_alpha: 0.05,
+            sampling: SamplingStrategy::Geometric,
+            sampling_cooldown_periods: 10,
+            max_cooldown_periods: 80,
+        }
+    }
+}
+
+impl DicerConfig {
+    /// A configuration approximating **DCP-QoS** (Papadakis et al., the
+    /// paper's closest related work, §5): the same black-box dynamic cache
+    /// partitioning loop but *without* bandwidth-saturation detection — the
+    /// threshold is pushed beyond any achievable link traffic, so sampling
+    /// never triggers and CT-Thwarted workloads are never recognised.
+    pub fn dcp_qos() -> Self {
+        Self { mem_bw_threshold_gbps: 1e9, ..Default::default() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.mem_bw_threshold_gbps.is_finite() || self.mem_bw_threshold_gbps <= 0.0 {
+            return Err("saturation threshold must be positive".into());
+        }
+        if !self.phase_threshold.is_finite() || self.phase_threshold <= 0.0 {
+            return Err("phase threshold must be positive".into());
+        }
+        if !(0.0 < self.stability_alpha && self.stability_alpha < 1.0) {
+            return Err("stability alpha must be in (0,1)".into());
+        }
+        if self.max_cooldown_periods < self.sampling_cooldown_periods {
+            return Err("max cooldown must be >= base cooldown".into());
+        }
+        Ok(())
+    }
+}
+
+/// Which controller activity is in progress (exposed for tests, tracing and
+/// the ablation benches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DicerState {
+    /// Sweeping candidate allocations, one per period.
+    Sampling,
+    /// Normal steady-state optimisation (Listing 2).
+    Optimising,
+    /// A reset was applied last period and is being validated (Listing 3).
+    ValidatingReset,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Sampling {
+        /// Candidates not yet applied.
+        queue: VecDeque<u32>,
+        /// Allocation applied during the period being measured next.
+        current: u32,
+        /// Best (ways, ipc) observed so far.
+        best: Option<(u32, f64)>,
+    },
+    Optimising,
+    ValidatingReset {
+        ct_favoured: bool,
+        /// Allocation to fall back to if the reset did not help (CT-F path).
+        rollback: u32,
+        /// HP IPC of the period that triggered the reset.
+        trigger_ipc: f64,
+    },
+}
+
+/// The DICER dynamic cache-partitioning controller.
+#[derive(Debug, Clone)]
+pub struct Dicer {
+    cfg: DicerConfig,
+    name: &'static str,
+    state: State,
+    /// Current HP allocation in ways (the plan in force).
+    hp_ways: u32,
+    /// HP bandwidth of up to the last three periods (Eq. 2 window).
+    bw_history: VecDeque<f64>,
+    /// HP IPC of the previous period (Eq. 3 reference).
+    prev_ipc: Option<f64>,
+    /// Best-known allocation for CT-T workloads.
+    optimal_allocation: u32,
+    /// HP IPC measured at `optimal_allocation` during the last sampling.
+    ipc_opt: Option<f64>,
+    /// Whether the workload is still presumed CT-Favoured.
+    ct_favoured: bool,
+    /// Periods remaining before saturation may re-trigger sampling.
+    sampling_cooldown: u32,
+    /// Cool-down to impose after the next sampling pass (backs off
+    /// exponentially while sampling keeps blaming unfixable saturation).
+    next_cooldown: u32,
+    /// Decision counters for introspection/ablation.
+    pub stats: DicerStats,
+}
+
+/// Decision counters for introspection and the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DicerStats {
+    /// Periods spent sampling.
+    pub sampling_periods: u64,
+    /// One-way shrink steps taken.
+    pub shrinks: u64,
+    /// Resets triggered (either path).
+    pub resets: u64,
+    /// Phase changes detected (Eq. 2).
+    pub phase_changes: u64,
+    /// Periods in which saturation was observed.
+    pub saturated_periods: u64,
+}
+
+impl Dicer {
+    /// Builds the controller; panics on invalid configuration.
+    pub fn new(cfg: DicerConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DicerConfig: {e}");
+        }
+        Self::with_name(cfg, "DICER")
+    }
+
+    /// Builds the controller with an alternate display name (used for the
+    /// DCP-QoS related-work variant, which shares the state machine).
+    pub fn with_name(cfg: DicerConfig, name: &'static str) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DicerConfig: {e}");
+        }
+        let next_cooldown = cfg.sampling_cooldown_periods;
+        Self {
+            cfg,
+            name,
+            state: State::Optimising,
+            hp_ways: 0, // set by initial_plan
+            bw_history: VecDeque::with_capacity(3),
+            prev_ipc: None,
+            optimal_allocation: 0,
+            ipc_opt: None,
+            ct_favoured: true,
+            sampling_cooldown: 0,
+            next_cooldown,
+            stats: DicerStats::default(),
+        }
+    }
+
+    /// Current coarse state (for tests and tracing).
+    pub fn state(&self) -> DicerState {
+        match self.state {
+            State::Sampling { .. } => DicerState::Sampling,
+            State::Optimising => DicerState::Optimising,
+            State::ValidatingReset { .. } => DicerState::ValidatingReset,
+        }
+    }
+
+    /// Whether the workload is currently classified CT-Favoured.
+    pub fn ct_favoured(&self) -> bool {
+        self.ct_favoured
+    }
+
+    /// Current HP allocation in ways.
+    pub fn hp_ways(&self) -> u32 {
+        self.hp_ways
+    }
+
+    fn saturated(&self, sample: &PeriodSample) -> bool {
+        sample.total_bw_gbps > self.cfg.mem_bw_threshold_gbps
+    }
+
+    /// Eq. 2: HP bandwidth exceeds `(1 + phase_threshold) ×` the geometric
+    /// mean of the previous three periods. Requires a full window.
+    fn phase_change(&self, hp_bw: f64) -> bool {
+        if self.bw_history.len() < 3 {
+            return false;
+        }
+        let gm = self.bw_history.iter().map(|b| b.max(1e-9).ln()).sum::<f64>() / 3.0;
+        hp_bw > (1.0 + self.cfg.phase_threshold) * gm.exp()
+    }
+
+    fn push_bw(&mut self, hp_bw: f64) {
+        if self.bw_history.len() == 3 {
+            self.bw_history.pop_front();
+        }
+        self.bw_history.push_back(hp_bw);
+    }
+
+    fn begin_sampling(&mut self, n_ways: u32) -> PartitionPlan {
+        self.ct_favoured = false;
+        let mut queue: VecDeque<u32> = self.cfg.sampling.candidates(n_ways).into();
+        let first = queue.pop_front().expect("sampling ladder is never empty");
+        self.state = State::Sampling { queue, current: first, best: None };
+        self.bw_history.clear();
+        self.enforce(first)
+    }
+
+    /// Listing 3 entry point: apply the reset allocation and move to the
+    /// validation state.
+    fn reset(&mut self, n_ways: u32, trigger_ipc: f64) -> PartitionPlan {
+        self.stats.resets += 1;
+        let rollback = self.hp_ways;
+        let target = if self.ct_favoured { n_ways - 1 } else { self.optimal_allocation.max(1) };
+        self.state =
+            State::ValidatingReset { ct_favoured: self.ct_favoured, rollback, trigger_ipc };
+        self.bw_history.clear();
+        self.enforce(target)
+    }
+
+    fn enforce(&mut self, hp_ways: u32) -> PartitionPlan {
+        self.hp_ways = hp_ways;
+        PartitionPlan::Split { hp_ways }
+    }
+}
+
+impl Policy for Dicer {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// DICER begins exactly like CT (Listing 1 preamble): HP gets `N − 1`
+    /// ways, all BEs share one, and the workload is presumed CT-Favoured.
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        PartitionPlan::cache_takeover(n_ways)
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        if self.hp_ways == 0 {
+            self.hp_ways = n_ways - 1; // first period ran under initial_plan
+            self.optimal_allocation = n_ways - 1;
+        }
+        let ipc = sample.hp.ipc;
+        let hp_bw = sample.hp.mem_bw_gbps;
+        let saturated_now = self.saturated(sample);
+        if saturated_now {
+            self.stats.saturated_periods += 1;
+        }
+        // A cool-down after each completed sampling pass keeps persistent
+        // (partitioning-proof) saturation from re-triggering the sweep every
+        // single period; see `DicerConfig::sampling_cooldown_periods`.
+        let saturated = saturated_now && self.sampling_cooldown == 0;
+        self.sampling_cooldown = self.sampling_cooldown.saturating_sub(1);
+
+        let plan = match std::mem::replace(&mut self.state, State::Optimising) {
+            State::Sampling { mut queue, current, best } => {
+                self.stats.sampling_periods += 1;
+                // Associate the measured IPC with the allocation in force.
+                let best = match best {
+                    Some((bw_ways, bi)) if bi >= ipc => Some((bw_ways, bi)),
+                    _ => Some((current, ipc)),
+                };
+                match queue.pop_front() {
+                    Some(next) => {
+                        self.state = State::Sampling { queue, current: next, best };
+                        self.enforce(next)
+                    }
+                    None => {
+                        let (opt, ipc_opt) = best.expect("at least one sample measured");
+                        self.optimal_allocation = opt;
+                        self.ipc_opt = Some(ipc_opt);
+                        self.prev_ipc = Some(ipc_opt);
+                        self.state = State::Optimising;
+                        // Arm the post-sampling cool-down. If the sweep
+                        // concluded that the largest allocation is best, the
+                        // saturation is not fixable by partitioning — back
+                        // off exponentially before probing again.
+                        self.sampling_cooldown = self.next_cooldown;
+                        let largest = self.cfg.sampling.candidates(n_ways)[0];
+                        self.next_cooldown = if opt == largest {
+                            (self.next_cooldown * 2).min(self.cfg.max_cooldown_periods)
+                        } else {
+                            self.cfg.sampling_cooldown_periods
+                        };
+                        self.enforce(opt)
+                    }
+                }
+            }
+
+            State::ValidatingReset { ct_favoured, rollback, trigger_ipc } => {
+                if saturated {
+                    self.begin_sampling(n_ways)
+                } else if ct_favoured {
+                    let a = self.cfg.stability_alpha;
+                    if ipc > (1.0 + a) * trigger_ipc {
+                        // Reset was right: continue optimising from CT.
+                        self.state = State::Optimising;
+                        PartitionPlan::Split { hp_ways: self.hp_ways }
+                    } else {
+                        // The dip was a phase with lower IPC, not our doing:
+                        // revert to the allocation that triggered the reset.
+                        self.state = State::Optimising;
+                        self.enforce(rollback)
+                    }
+                } else {
+                    let a = self.cfg.stability_alpha;
+                    let near_opt = self
+                        .ipc_opt
+                        .map(|opt| ipc >= (1.0 - a) * opt)
+                        .unwrap_or(false);
+                    if near_opt {
+                        self.state = State::Optimising;
+                        PartitionPlan::Split { hp_ways: self.hp_ways }
+                    } else {
+                        // The optimum moved: sample afresh.
+                        self.begin_sampling(n_ways)
+                    }
+                }
+            }
+
+            State::Optimising => {
+                if saturated {
+                    self.begin_sampling(n_ways)
+                } else if saturated_now {
+                    // Saturated but inside the sampling cool-down: Listing 2's
+                    // optimisation assumes an unsaturated link, so hold the
+                    // allocation rather than misreading bandwidth noise as
+                    // cache headroom.
+                    self.state = State::Optimising;
+                    PartitionPlan::Split { hp_ways: self.hp_ways }
+                } else if self.phase_change(hp_bw) {
+                    self.stats.phase_changes += 1;
+                    self.reset(n_ways, ipc)
+                } else {
+                    match self.prev_ipc {
+                        None => {
+                            // First observation: just hold.
+                            self.state = State::Optimising;
+                            PartitionPlan::Split { hp_ways: self.hp_ways }
+                        }
+                        Some(prev) => {
+                            let a = self.cfg.stability_alpha;
+                            if ipc >= (1.0 - a) * prev && ipc <= (1.0 + a) * prev {
+                                // Stable: give one way to the BEs.
+                                self.state = State::Optimising;
+                                if self.hp_ways > 1 {
+                                    self.stats.shrinks += 1;
+                                    let w = self.hp_ways - 1;
+                                    self.enforce(w)
+                                } else {
+                                    PartitionPlan::Split { hp_ways: 1 }
+                                }
+                            } else if ipc > (1.0 + a) * prev {
+                                // Better: same cache needs, higher-IPC phase.
+                                self.state = State::Optimising;
+                                PartitionPlan::Split { hp_ways: self.hp_ways }
+                            } else {
+                                // Worse: our shrink (or a slow phase) hurt.
+                                self.reset(n_ways, ipc)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        self.push_bw(hp_bw);
+        self.prev_ipc = Some(ipc);
+        debug_assert!(plan.validate(n_ways).is_ok());
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_rdt::PerAppSample;
+
+    const N: u32 = 20;
+
+    fn sample(hp_ipc: f64, hp_bw: f64, total_bw: f64) -> PeriodSample {
+        let hp = PerAppSample { ipc: hp_ipc, llc_occupancy_bytes: 0, mem_bw_gbps: hp_bw, miss_ratio: 0.1 };
+        let be = PerAppSample { ipc: 0.5, llc_occupancy_bytes: 0, mem_bw_gbps: (total_bw - hp_bw) / 9.0, miss_ratio: 0.3 };
+        PeriodSample { time_s: 0.0, hp, bes: vec![be; 9], total_bw_gbps: total_bw }
+    }
+
+    fn dicer() -> Dicer {
+        Dicer::new(DicerConfig::default())
+    }
+
+    #[test]
+    fn starts_like_ct() {
+        let d = dicer();
+        assert_eq!(d.initial_plan(N), PartitionPlan::Split { hp_ways: 19 });
+        assert!(d.ct_favoured());
+    }
+
+    #[test]
+    fn stable_ipc_shrinks_hp_one_way_per_period() {
+        let mut d = dicer();
+        let mut plan = d.initial_plan(N);
+        // The first observed period only primes prev_ipc (hold at 19).
+        for expected in [19, 19, 18, 17] {
+            assert_eq!(plan, PartitionPlan::Split { hp_ways: expected });
+            plan = d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        assert_eq!(d.stats.shrinks, 3, "first period only primes prev_ipc");
+    }
+
+    #[test]
+    fn shrink_floors_at_one_way() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        for _ in 0..40 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        assert_eq!(d.hp_ways(), 1);
+    }
+
+    #[test]
+    fn improvement_holds_allocation() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // prime
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // stable -> 18
+        let w = d.hp_ways();
+        let plan = d.on_period(&sample(1.3, 5.0, 20.0), N); // +30% better
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: w }, "hold on improvement");
+    }
+
+    #[test]
+    fn degradation_resets_to_ct_when_ct_favoured() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // 18
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // 17
+        let plan = d.on_period(&sample(0.8, 5.0, 20.0), N); // -20%: worse
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 }, "reset to CT");
+        assert_eq!(d.state(), DicerState::ValidatingReset);
+        assert_eq!(d.stats.resets, 1);
+    }
+
+    #[test]
+    fn ct_favoured_reset_validation_keeps_ct_on_recovery() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(0.8, 5.0, 20.0), N); // reset to 19
+        let plan = d.on_period(&sample(1.0, 5.0, 20.0), N); // recovered > (1+a)*0.8
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 });
+        assert_eq!(d.state(), DicerState::Optimising);
+    }
+
+    #[test]
+    fn ct_favoured_reset_rolls_back_when_no_recovery() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // 18
+        d.on_period(&sample(0.8, 5.0, 20.0), N); // reset: rollback = 18
+        let plan = d.on_period(&sample(0.8, 5.0, 20.0), N); // no recovery
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 18 }, "roll back");
+    }
+
+    #[test]
+    fn saturation_triggers_sampling_and_clears_ct_favoured() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        let plan = d.on_period(&sample(1.0, 5.0, 60.0), N);
+        assert_eq!(d.state(), DicerState::Sampling);
+        assert!(!d.ct_favoured());
+        // First candidate of the geometric ladder is 19.
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 });
+    }
+
+    #[test]
+    fn sampling_sweeps_ladder_then_picks_argmax() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 60.0), N); // -> sampling, applying 19
+        let ladder = SamplingStrategy::Geometric.candidates(N);
+        assert_eq!(ladder, vec![19, 13, 9, 6, 4, 2, 1]);
+        // Feed IPCs that peak at candidate "6".
+        let ipc_for = |w: u32| match w {
+            6 => 1.5,
+            4 => 1.2,
+            _ => 0.9,
+        };
+        let mut plan = PartitionPlan::Split { hp_ways: 19 };
+        for &w in &ladder {
+            // Period running at `w` just ended; report its IPC (unsaturated).
+            plan = d.on_period(&sample(ipc_for(w), 5.0, 20.0), N);
+        }
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 }, "argmax enforced");
+        assert_eq!(d.state(), DicerState::Optimising);
+        assert_eq!(d.hp_ways(), 6);
+    }
+
+    #[test]
+    fn phase_change_detected_by_bandwidth_jump() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        // Three stable periods to fill the Eq. 2 window. Keep IPC identical
+        // so only a bandwidth jump can trigger the reset.
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        assert_eq!(d.stats.phase_changes, 0);
+        // 40% bandwidth jump with stable IPC -> phase change -> reset to CT.
+        let plan = d.on_period(&sample(1.0, 7.0, 22.0), N);
+        assert_eq!(d.stats.phase_changes, 1);
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 });
+    }
+
+    #[test]
+    fn small_bandwidth_noise_is_not_a_phase_change() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.1, 20.0), N);
+        d.on_period(&sample(1.0, 4.9, 20.0), N);
+        d.on_period(&sample(1.0, 5.5, 20.0), N); // +10%: below 30% threshold
+        assert_eq!(d.stats.phase_changes, 0);
+    }
+
+    #[test]
+    fn ct_thwarted_reset_returns_to_sampled_optimum() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 60.0), N); // begin sampling
+        let ladder = SamplingStrategy::Geometric.candidates(N);
+        for &w in &ladder {
+            d.on_period(&sample(if w == 4 { 1.4 } else { 1.0 }, 5.0, 20.0), N);
+        }
+        assert_eq!(d.hp_ways(), 4);
+        // Stable periods shrink below the optimum…
+        d.on_period(&sample(1.4, 5.0, 20.0), N); // prime/stable -> 3
+        // …then a degradation resets to optimal_allocation (4), not CT.
+        let plan = d.on_period(&sample(0.9, 5.0, 20.0), N);
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 4 });
+        assert_eq!(d.state(), DicerState::ValidatingReset);
+        // Validation: IPC near IPC_opt (1.4) -> proceed optimising.
+        let plan = d.on_period(&sample(1.38, 5.0, 20.0), N);
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 4 });
+        assert_eq!(d.state(), DicerState::Optimising);
+    }
+
+    #[test]
+    fn ct_thwarted_validation_failure_resamples() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 60.0), N);
+        let ladder = SamplingStrategy::Geometric.candidates(N);
+        for &w in &ladder {
+            d.on_period(&sample(if w == 4 { 1.4 } else { 1.0 }, 5.0, 20.0), N);
+        }
+        d.on_period(&sample(1.4, 5.0, 20.0), N);
+        d.on_period(&sample(0.9, 5.0, 20.0), N); // reset -> validating
+        // Far from IPC_opt: the optimum moved; sampling restarts.
+        d.on_period(&sample(0.9, 5.0, 20.0), N);
+        assert_eq!(d.state(), DicerState::Sampling);
+    }
+
+    #[test]
+    fn saturation_during_validation_resamples() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        d.on_period(&sample(0.8, 5.0, 20.0), N); // reset (CT-F path)
+        d.on_period(&sample(0.8, 5.0, 60.0), N); // saturated during validation
+        assert_eq!(d.state(), DicerState::Sampling);
+        assert!(!d.ct_favoured());
+    }
+
+    #[test]
+    fn persistent_saturation_is_rate_limited_by_cooldown() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        // Saturated forever; IPC is best at the largest allocation.
+        d.on_period(&sample(1.0, 5.0, 60.0), N); // enter sampling
+        let ladder = SamplingStrategy::Geometric.candidates(N);
+        for &w in &ladder {
+            d.on_period(&sample(w as f64, 5.0, 60.0), N); // ipc grows with ways
+        }
+        assert_eq!(d.hp_ways(), 19, "argmax is the largest candidate");
+        let sampled_before = d.stats.sampling_periods;
+        // For the next `sampling_cooldown_periods` periods saturation must
+        // NOT re-trigger sampling.
+        for _ in 0..DicerConfig::default().sampling_cooldown_periods {
+            d.on_period(&sample(19.0, 5.0, 60.0), N);
+            assert_eq!(d.stats.sampling_periods, sampled_before, "resampled inside cooldown");
+        }
+        // After the cooldown it may sample again...
+        d.on_period(&sample(19.0, 5.0, 60.0), N);
+        assert_eq!(d.state(), DicerState::Sampling);
+        // ...and because the last sweep blamed unfixable saturation, the
+        // *next* cooldown is twice as long (exponential backoff).
+        for &w in &ladder {
+            d.on_period(&sample(w as f64, 5.0, 60.0), N);
+        }
+        let sampled_mid = d.stats.sampling_periods;
+        for _ in 0..2 * DicerConfig::default().sampling_cooldown_periods {
+            d.on_period(&sample(19.0, 5.0, 60.0), N);
+        }
+        assert_eq!(d.stats.sampling_periods, sampled_mid, "backoff not applied");
+    }
+
+    #[test]
+    fn linear_ladder_structure() {
+        let v = SamplingStrategy::Linear { step: 3 }.candidates(20);
+        assert_eq!(v.first(), Some(&19));
+        assert_eq!(v.last(), Some(&1));
+        assert!(v.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_ladder_must_decrease() {
+        SamplingStrategy::Custom(vec![5, 7]).candidates(20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        Dicer::new(DicerConfig { stability_alpha: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,99 @@
+//! Co-location policies: the DICER controller and the paper's baselines.
+//!
+//! All policies implement [`Policy`]: once per monitoring period they
+//! receive the period's counters ([`dicer_rdt::PeriodSample`]) and return
+//! the [`dicer_rdt::PartitionPlan`] to enforce for the next period.
+//!
+//! * [`Unmanaged`] — the UM baseline: no control at all.
+//! * [`CacheTakeover`] — the CT baseline: HP statically owns all but one way.
+//! * [`StaticPartition`] — any fixed split (used for the Fig. 3 sweep).
+//! * [`Dicer`] — the paper's contribution (Listings 1–3): adapts HP's
+//!   allocation every period, samples allocations under bandwidth
+//!   saturation, detects phase changes, and resets when its last move hurt.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod baseline;
+pub mod dicer;
+pub mod mba;
+
+pub use baseline::{CacheTakeover, StaticOverlap, StaticPartition, Unmanaged};
+pub use dicer::{Dicer, DicerConfig, DicerState, SamplingStrategy};
+pub use admission::DicerAdmission;
+pub use mba::DicerMba;
+
+use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+
+/// A cache-partitioning policy driven once per monitoring period.
+pub trait Policy {
+    /// Short, stable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+    /// Plan to enforce for the very first period.
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan;
+    /// Observe one period's counters and return the plan for the next.
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan;
+    /// MBA throttle to program on the BE class for the next period.
+    /// Policies without a bandwidth loop leave it unthrottled.
+    fn mba_level(&self) -> MbaLevel {
+        MbaLevel::FULL
+    }
+    /// Number of BEs that should stay scheduled next period (`None` = all).
+    /// Only admission-controlling policies override this.
+    fn admitted_bes(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Value-level policy selector, convenient for experiment matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Unmanaged sharing.
+    Unmanaged,
+    /// Static cache takeover.
+    CacheTakeover,
+    /// Fixed HP allocation of the given ways.
+    Static(u32),
+    /// Fixed overlapping plan `(hp_exclusive, shared)` — §6 future work.
+    Overlap(u32, u32),
+    /// The DICER controller.
+    Dicer(DicerConfig),
+    /// DICER plus dynamic memory-bandwidth throttling (future work of the
+    /// paper, §6).
+    DicerMba(DicerConfig),
+    /// DCP-QoS (related work, §5): DICER's loop without saturation handling.
+    DcpQos,
+    /// DICER with MBA throttling and dynamic BE admission (future work, §6).
+    DicerAdmission(DicerConfig),
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn Policy + Send> {
+        match self {
+            PolicyKind::Unmanaged => Box::new(Unmanaged),
+            PolicyKind::CacheTakeover => Box::new(CacheTakeover),
+            PolicyKind::Static(w) => Box::new(StaticPartition::new(*w)),
+            PolicyKind::Overlap(e, s) => Box::new(StaticOverlap::new(*e, *s)),
+            PolicyKind::Dicer(cfg) => Box::new(Dicer::new(cfg.clone())),
+            PolicyKind::DicerMba(cfg) => Box::new(DicerMba::new(cfg.clone())),
+            PolicyKind::DcpQos => Box::new(Dicer::with_name(DicerConfig::dcp_qos(), "DCP-QOS")),
+            PolicyKind::DicerAdmission(cfg) => Box::new(DicerAdmission::new(cfg.clone())),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Unmanaged => "UM",
+            PolicyKind::CacheTakeover => "CT",
+            PolicyKind::Static(_) => "STATIC",
+            PolicyKind::Overlap(..) => "OVERLAP",
+            PolicyKind::Dicer(_) => "DICER",
+            PolicyKind::DicerMba(_) => "DICER+MBA",
+            PolicyKind::DcpQos => "DCP-QOS",
+            PolicyKind::DicerAdmission(_) => "DICER+ADM",
+        }
+    }
+}

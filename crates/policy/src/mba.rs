@@ -1,0 +1,190 @@
+//! DICER+MBA: the paper's future-work extension ("We are extending DICER to
+//! explicitly, dynamically control the memory bandwidth, using Intel's
+//! MBA").
+//!
+//! [`DicerMba`] wraps the stock [`Dicer`] cache controller and adds a
+//! bandwidth loop: when the link stays saturated even though sampling
+//! already concluded that no partitioning fixes it, the BE class's MBA
+//! level is tightened one step per period; once the link has been below the
+//! threshold for a few consecutive periods, the throttle is relaxed again.
+//! Cache decisions are unchanged — the two actuators compose.
+
+use crate::{dicer::Dicer, DicerConfig, Policy};
+use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+
+/// Consecutive unsaturated periods required before relaxing the throttle.
+const RELAX_AFTER: u32 = 3;
+
+/// DICER with dynamic Memory Bandwidth Allocation on the BE class.
+#[derive(Debug, Clone)]
+pub struct DicerMba {
+    inner: Dicer,
+    threshold_gbps: f64,
+    level: MbaLevel,
+    calm_periods: u32,
+    /// Throttle adjustments performed (for introspection/ablation).
+    pub throttle_changes: u64,
+}
+
+impl DicerMba {
+    /// Builds the extended controller from a stock DICER configuration.
+    pub fn new(cfg: DicerConfig) -> Self {
+        let threshold_gbps = cfg.mem_bw_threshold_gbps;
+        Self {
+            inner: Dicer::new(cfg),
+            threshold_gbps,
+            level: MbaLevel::FULL,
+            calm_periods: 0,
+            throttle_changes: 0,
+        }
+    }
+
+    /// The underlying cache controller.
+    pub fn cache_controller(&self) -> &Dicer {
+        &self.inner
+    }
+
+    /// Currently requested BE throttle.
+    pub fn level(&self) -> MbaLevel {
+        self.level
+    }
+}
+
+impl Policy for DicerMba {
+    fn name(&self) -> &'static str {
+        "DICER+MBA"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        self.inner.initial_plan(n_ways)
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        let plan = self.inner.on_period(sample, n_ways);
+        let saturated = sample.total_bw_gbps > self.threshold_gbps;
+        if saturated {
+            self.calm_periods = 0;
+            // Only throttle when the cache loop has already given up on
+            // fixing the saturation by partitioning (it is not sampling) and
+            // the BEs are the dominant consumers.
+            let bes_dominate = sample.be_bw_gbps() > sample.hp.mem_bw_gbps;
+            if self.inner.state() != crate::DicerState::Sampling && bes_dominate {
+                let next = self.level.tighten();
+                if next != self.level {
+                    self.level = next;
+                    self.throttle_changes += 1;
+                }
+            }
+        } else {
+            self.calm_periods += 1;
+            if self.calm_periods >= RELAX_AFTER {
+                let next = self.level.relax();
+                if next != self.level {
+                    self.level = next;
+                    self.throttle_changes += 1;
+                }
+                self.calm_periods = 0;
+            }
+        }
+        plan
+    }
+
+    fn mba_level(&self) -> MbaLevel {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_rdt::PerAppSample;
+
+    const N: u32 = 20;
+
+    fn sample(hp_ipc: f64, hp_bw: f64, be_bw_total: f64) -> PeriodSample {
+        let hp = PerAppSample { ipc: hp_ipc, llc_occupancy_bytes: 0, mem_bw_gbps: hp_bw, miss_ratio: 0.1 };
+        let be = PerAppSample { ipc: 0.5, llc_occupancy_bytes: 0, mem_bw_gbps: be_bw_total / 9.0, miss_ratio: 0.4 };
+        PeriodSample { time_s: 0.0, hp, bes: vec![be; 9], total_bw_gbps: hp_bw + be_bw_total }
+    }
+
+    #[test]
+    fn starts_unthrottled() {
+        let d = DicerMba::new(DicerConfig::default());
+        assert_eq!(d.mba_level(), MbaLevel::FULL);
+    }
+
+    #[test]
+    fn does_not_throttle_while_sampling() {
+        let mut d = DicerMba::new(DicerConfig::default());
+        d.initial_plan(N);
+        // First saturated period sends the cache loop into sampling; the
+        // bandwidth loop must hold off while probes are in flight.
+        d.on_period(&sample(1.0, 5.0, 55.0), N);
+        assert_eq!(d.mba_level(), MbaLevel::FULL);
+    }
+
+    #[test]
+    fn tightens_under_persistent_saturation() {
+        let mut d = DicerMba::new(DicerConfig::default());
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 55.0), N); // -> sampling
+        // Finish the sampling sweep (7 candidates), unsaturated readings.
+        for _ in 0..7 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        // Persistent saturation afterwards (cache loop is in cool-down).
+        for _ in 0..4 {
+            d.on_period(&sample(1.0, 5.0, 60.0), N);
+        }
+        assert!(d.mba_level().is_throttled(), "should have tightened: {}", d.mba_level());
+        assert!(d.throttle_changes >= 3);
+    }
+
+    #[test]
+    fn relaxes_after_calm_periods() {
+        let mut d = DicerMba::new(DicerConfig::default());
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 55.0), N);
+        for _ in 0..7 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        for _ in 0..3 {
+            d.on_period(&sample(1.0, 5.0, 60.0), N);
+        }
+        let tightened = d.mba_level();
+        assert!(tightened.is_throttled());
+        // Calm traffic: relaxes one step per RELAX_AFTER periods.
+        for _ in 0..3 * RELAX_AFTER {
+            d.on_period(&sample(1.0, 5.0, 10.0), N);
+        }
+        assert!(d.mba_level() > tightened, "should relax: {}", d.mba_level());
+    }
+
+    #[test]
+    fn never_throttles_an_hp_dominated_link() {
+        let mut d = DicerMba::new(DicerConfig::default());
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 40.0, 12.0), N); // HP is the heavy one -> sampling
+        for _ in 0..7 {
+            d.on_period(&sample(1.0, 40.0, 5.0), N);
+        }
+        for _ in 0..5 {
+            d.on_period(&sample(1.0, 40.0, 12.0), N); // saturated, HP-dominated
+        }
+        assert_eq!(d.mba_level(), MbaLevel::FULL, "must not punish BEs for HP traffic");
+    }
+
+    #[test]
+    fn cache_decisions_match_stock_dicer() {
+        // With an unsaturated trace, DICER+MBA must emit exactly the same
+        // partition plans as stock DICER.
+        let mut a = DicerMba::new(DicerConfig::default());
+        let mut b = Dicer::new(DicerConfig::default());
+        a.initial_plan(N);
+        b.initial_plan(N);
+        for i in 0..30 {
+            let s = sample(1.0 + (i % 3) as f64 * 0.01, 5.0, 20.0);
+            assert_eq!(a.on_period(&s, N), b.on_period(&s, N));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! CLOS allocation table with isolation checking.
+
+use crate::{mask::WayMask, ClosId};
+use std::collections::BTreeMap;
+
+/// The CLOS → capacity-mask table a CAT-capable cache maintains.
+///
+/// DICER uses *isolated* partitioning (paper §3.3): no two classes may share
+/// a way. The table enforces that mode when `isolated` is set; overlapping
+/// masks are permitted otherwise (real CAT allows overlap, e.g. for the
+/// default CLOS0).
+#[derive(Debug, Clone)]
+pub struct AllocationTable {
+    n_ways: u32,
+    isolated: bool,
+    masks: BTreeMap<ClosId, WayMask>,
+}
+
+/// Errors from table updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Mask does not fit the cache's way count.
+    MaskTooWide {
+        /// The rejected mask.
+        mask: WayMask,
+        /// The cache's way count.
+        ways: u32,
+    },
+    /// Isolation violated: the mask overlaps another class's allocation.
+    Overlap {
+        /// The class whose existing allocation overlaps.
+        with: ClosId,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::MaskTooWide { mask, ways } => {
+                write!(f, "mask {mask} too wide for {ways} ways")
+            }
+            AllocError::Overlap { with } => write!(f, "mask overlaps CLOS {}", with.0),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl AllocationTable {
+    /// Creates an empty table for an `n_ways` cache.
+    pub fn new(n_ways: u32, isolated: bool) -> Self {
+        assert!((1..=32).contains(&n_ways));
+        Self { n_ways, isolated, masks: BTreeMap::new() }
+    }
+
+    /// Sets (or replaces) the mask of a class.
+    pub fn set(&mut self, clos: ClosId, mask: WayMask) -> Result<(), AllocError> {
+        if !mask.fits(self.n_ways) {
+            return Err(AllocError::MaskTooWide { mask, ways: self.n_ways });
+        }
+        if self.isolated {
+            for (c, m) in &self.masks {
+                if *c != clos && m.overlaps(mask) {
+                    return Err(AllocError::Overlap { with: *c });
+                }
+            }
+        }
+        self.masks.insert(clos, mask);
+        Ok(())
+    }
+
+    /// Mask of a class, if assigned.
+    pub fn get(&self, clos: ClosId) -> Option<WayMask> {
+        self.masks.get(&clos).copied()
+    }
+
+    /// Removes a class's allocation.
+    pub fn remove(&mut self, clos: ClosId) -> Option<WayMask> {
+        self.masks.remove(&clos)
+    }
+
+    /// Number of classes with an allocation.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True when no class is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Ways not granted to any class.
+    pub fn unallocated_ways(&self) -> u32 {
+        let used: u32 = self.masks.values().fold(0, |acc, m| acc | m.bits());
+        self.n_ways - used.count_ones()
+    }
+
+    /// Iterates allocations in CLOS order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClosId, WayMask)> + '_ {
+        self.masks.iter().map(|(c, m)| (*c, *m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = AllocationTable::new(20, true);
+        let m = WayMask::from_range(10, 5).unwrap();
+        t.set(ClosId(1), m).unwrap();
+        assert_eq!(t.get(ClosId(1)), Some(m));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn isolated_mode_rejects_overlap() {
+        let mut t = AllocationTable::new(20, true);
+        t.set(ClosId(1), WayMask::from_range(0, 10).unwrap()).unwrap();
+        let err = t.set(ClosId(2), WayMask::from_range(9, 5).unwrap()).unwrap_err();
+        assert_eq!(err, AllocError::Overlap { with: ClosId(1) });
+    }
+
+    #[test]
+    fn shared_mode_allows_overlap() {
+        let mut t = AllocationTable::new(20, false);
+        t.set(ClosId(1), WayMask::low(20).unwrap()).unwrap();
+        t.set(ClosId(2), WayMask::low(20).unwrap()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replacing_own_mask_is_not_overlap() {
+        let mut t = AllocationTable::new(20, true);
+        t.set(ClosId(1), WayMask::from_range(0, 10).unwrap()).unwrap();
+        t.set(ClosId(1), WayMask::from_range(5, 10).unwrap()).unwrap();
+        assert_eq!(t.get(ClosId(1)).unwrap().first_way(), 5);
+    }
+
+    #[test]
+    fn too_wide_mask_rejected() {
+        let mut t = AllocationTable::new(8, true);
+        let m = WayMask::from_range(4, 8).unwrap();
+        assert!(matches!(t.set(ClosId(0), m), Err(AllocError::MaskTooWide { .. })));
+    }
+
+    #[test]
+    fn unallocated_ways_accounts_for_grants() {
+        let mut t = AllocationTable::new(20, true);
+        assert_eq!(t.unallocated_ways(), 20);
+        t.set(ClosId(0), WayMask::from_range(19, 1).unwrap()).unwrap();
+        t.set(ClosId(1), WayMask::from_range(0, 4).unwrap()).unwrap();
+        assert_eq!(t.unallocated_ways(), 15);
+    }
+
+    #[test]
+    fn remove_frees_ways() {
+        let mut t = AllocationTable::new(20, true);
+        t.set(ClosId(0), WayMask::low(20).unwrap()).unwrap();
+        assert_eq!(t.unallocated_ways(), 0);
+        t.remove(ClosId(0));
+        assert!(t.is_empty());
+        assert_eq!(t.unallocated_ways(), 20);
+    }
+}

@@ -1,0 +1,219 @@
+//! A resctrl-backed host platform: the same [`PartitionController`] /
+//! [`MbaController`] surface the simulator exposes, implemented by writing
+//! Linux `resctrl` schemata files.
+//!
+//! Point [`HostPlatform::new`] at `/sys/fs/resctrl` on a CAT-capable Xeon
+//! (mounted with `mount -t resctrl resctrl /sys/fs/resctrl`) and every
+//! policy in `dicer-policy` can drive real hardware; point it at a temp
+//! directory and the full write path is unit-testable, which is what this
+//! repository's tests do (no RDT hardware in CI).
+//!
+//! Monitoring is *not* implemented here: reading CMT/MBM counters and IPC
+//! requires perf/resctrl `mon_data` plumbing that cannot be exercised
+//! without the hardware. A production deployment would fill a
+//! [`crate::PeriodSample`] from `mon_data/*/llc_occupancy`,
+//! `mbm_total_bytes` and `perf` IPC, then feed the policy exactly like the
+//! simulator does.
+
+use crate::{
+    mba::{MbaController, MbaLevel},
+    plan::PartitionPlan,
+    resctrl::{ResctrlFs, BE_GROUP, HP_GROUP},
+    PartitionController,
+};
+use std::io;
+use std::path::PathBuf;
+
+/// Renders an MBA schemata line, e.g. `MB:0=50`.
+pub fn format_mb_schemata(cache_id: u32, level: MbaLevel) -> String {
+    format!("MB:{cache_id}={}", level.percent())
+}
+
+/// Parses an `MB:` schemata line back into a level.
+pub fn parse_mb_schemata(line: &str) -> Result<(u32, MbaLevel), String> {
+    let rest = line
+        .trim()
+        .strip_prefix("MB:")
+        .ok_or_else(|| format!("missing MB prefix in {line:?}"))?;
+    let (id, pct) = rest
+        .split_once('=')
+        .ok_or_else(|| format!("malformed MB fragment {rest:?}"))?;
+    let id: u32 = id.trim().parse().map_err(|e| format!("bad cache id: {e}"))?;
+    let pct: u8 = pct.trim().parse().map_err(|e| format!("bad percentage: {e}"))?;
+    Ok((id, MbaLevel::new(pct)?))
+}
+
+/// A CAT/MBA actuator over a resctrl filesystem root.
+#[derive(Debug)]
+pub struct HostPlatform {
+    fs: ResctrlFs,
+    n_ways: u32,
+    cache_id: u32,
+    plan: PartitionPlan,
+    throttle: MbaLevel,
+}
+
+impl HostPlatform {
+    /// Opens a platform over `root` for a cache with `n_ways` ways. Creates
+    /// the HP/BE control groups and programs an unmanaged initial state.
+    pub fn new(root: impl Into<PathBuf>, n_ways: u32, cache_id: u32) -> io::Result<Self> {
+        assert!((2..=32).contains(&n_ways));
+        let fs = ResctrlFs::new(root);
+        let mut p = Self {
+            fs,
+            n_ways,
+            cache_id,
+            plan: PartitionPlan::Unmanaged,
+            throttle: MbaLevel::FULL,
+        };
+        p.write_plan()?;
+        p.write_throttle()?;
+        Ok(p)
+    }
+
+    /// The backing filesystem wrapper.
+    pub fn fs(&self) -> &ResctrlFs {
+        &self.fs
+    }
+
+    fn write_plan(&mut self) -> io::Result<()> {
+        self.fs.apply_plan(self.plan, self.n_ways, self.cache_id)
+    }
+
+    fn write_throttle(&mut self) -> io::Result<()> {
+        use std::fs;
+        let dir = self.fs.create_group(BE_GROUP)?;
+        fs::write(dir.join("schemata_mb"), format_mb_schemata(self.cache_id, self.throttle) + "\n")
+    }
+
+    /// Pins the HP task and the BE tasks into their control groups.
+    pub fn assign_tasks(&self, hp_pid: u32, be_pids: &[u32]) -> io::Result<()> {
+        self.fs.assign_task(HP_GROUP, hp_pid)?;
+        for pid in be_pids {
+            self.fs.assign_task(BE_GROUP, *pid)?;
+        }
+        Ok(())
+    }
+}
+
+impl PartitionController for HostPlatform {
+    fn n_ways(&self) -> u32 {
+        self.n_ways
+    }
+
+    fn apply_plan(&mut self, plan: PartitionPlan) {
+        plan.validate(self.n_ways).expect("invalid partition plan");
+        self.plan = plan;
+        self.write_plan().expect("resctrl schemata write failed");
+    }
+
+    fn current_plan(&self) -> PartitionPlan {
+        self.plan
+    }
+}
+
+impl MbaController for HostPlatform {
+    fn set_be_throttle(&mut self, level: MbaLevel) {
+        self.throttle = level;
+        self.write_throttle().expect("resctrl MB schemata write failed");
+    }
+
+    fn be_throttle(&self) -> MbaLevel {
+        self.throttle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dicer_host_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mb_schemata_roundtrip() {
+        let line = format_mb_schemata(0, MbaLevel::new(50).unwrap());
+        assert_eq!(line, "MB:0=50");
+        let (id, level) = parse_mb_schemata(&line).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(level.percent(), 50);
+    }
+
+    #[test]
+    fn mb_parse_rejects_garbage() {
+        assert!(parse_mb_schemata("L3:0=fffff").is_err());
+        assert!(parse_mb_schemata("MB:0=55").is_err(), "55 is not a valid MBA step");
+        assert!(parse_mb_schemata("MB:x=50").is_err());
+    }
+
+    #[test]
+    fn platform_writes_groups_on_creation() {
+        let root = tmp_root("create");
+        let p = HostPlatform::new(&root, 20, 0).unwrap();
+        assert!(root.join(HP_GROUP).join("schemata").exists());
+        assert!(root.join(BE_GROUP).join("schemata").exists());
+        assert_eq!(p.current_plan(), PartitionPlan::Unmanaged);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn apply_plan_updates_schemata_files() {
+        let root = tmp_root("plan");
+        let mut p = HostPlatform::new(&root, 20, 0).unwrap();
+        p.apply_plan(PartitionPlan::Split { hp_ways: 5 });
+        let hp = p.fs().read_schemata(HP_GROUP).unwrap()[0].1;
+        let be = p.fs().read_schemata(BE_GROUP).unwrap()[0].1;
+        assert_eq!(hp.count(), 5);
+        assert_eq!(be.count(), 15);
+        assert!(!hp.overlaps(be));
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn overlapping_plan_writes_overlapping_masks() {
+        let root = tmp_root("overlap");
+        let mut p = HostPlatform::new(&root, 20, 0).unwrap();
+        p.apply_plan(PartitionPlan::Overlapping { hp_exclusive: 4, shared: 6 });
+        let hp = p.fs().read_schemata(HP_GROUP).unwrap()[0].1;
+        let be = p.fs().read_schemata(BE_GROUP).unwrap()[0].1;
+        assert!(hp.overlaps(be));
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn throttle_writes_mb_line() {
+        let root = tmp_root("mba");
+        let mut p = HostPlatform::new(&root, 20, 0).unwrap();
+        p.set_be_throttle(MbaLevel::new(30).unwrap());
+        let text = fs::read_to_string(root.join(BE_GROUP).join("schemata_mb")).unwrap();
+        assert_eq!(text.trim(), "MB:0=30");
+        assert_eq!(p.be_throttle().percent(), 30);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn tasks_are_pinned_to_groups() {
+        let root = tmp_root("tasks");
+        let p = HostPlatform::new(&root, 20, 0).unwrap();
+        p.assign_tasks(100, &[200, 201]).unwrap();
+        let hp = fs::read_to_string(root.join(HP_GROUP).join("tasks")).unwrap();
+        let be = fs::read_to_string(root.join(BE_GROUP).join("tasks")).unwrap();
+        assert_eq!(hp.trim(), "100");
+        assert_eq!(be, "200\n201\n");
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_plan_still_rejected() {
+        let root = tmp_root("invalid");
+        let mut p = HostPlatform::new(&root, 20, 0).unwrap();
+        p.apply_plan(PartitionPlan::Split { hp_ways: 20 });
+    }
+}

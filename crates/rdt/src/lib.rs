@@ -1,0 +1,61 @@
+//! Intel-RDT-style control and monitoring abstraction.
+//!
+//! The paper implements DICER on top of the Intel RDT Software Package
+//! (`intel-cmt-cat`), using three mechanisms: **CAT** (way-granular LLC
+//! allocation per class of service), **CMT** (per-RMID LLC occupancy) and
+//! **MBM** (per-RMID memory bandwidth). This crate reproduces that control
+//! surface:
+//!
+//! * [`WayMask`] — validated, contiguous CAT capacity bitmasks;
+//! * [`ClosId`] / [`Rmid`] — class-of-service and monitoring IDs;
+//! * [`AllocationTable`] — the CLOS→mask table with overlap checking for
+//!   the isolated partitioning mode DICER uses (paper §3.3);
+//! * [`PartitionPlan`] — the HP/BE split DICER actuates each period;
+//! * [`PeriodSample`] — the per-period counters DICER consumes;
+//! * [`PartitionController`] — the trait a platform (the simulator in this
+//!   repository, or a real resctrl host) implements;
+//! * [`MbaLevel`] / [`MbaController`] — Memory Bandwidth Allocation levels
+//!   for the paper's future-work MBA extension;
+//! * [`resctrl`] — Linux `resctrl` filesystem formatting/IO against an
+//!   arbitrary root, so the exact same plan can drive real hardware;
+//! * [`HostPlatform`] — a resctrl-backed actuator implementing the same
+//!   controller traits as the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod host;
+pub mod mask;
+pub mod mba;
+pub mod plan;
+pub mod resctrl;
+pub mod sample;
+
+pub use alloc::AllocationTable;
+pub use host::HostPlatform;
+pub use mask::WayMask;
+pub use mba::{MbaController, MbaLevel};
+pub use plan::PartitionPlan;
+pub use sample::{PerAppSample, PeriodSample};
+
+/// Class-of-service identifier (CAT allocation class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClosId(pub u8);
+
+/// Resource monitoring identifier (CMT/MBM counter tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rmid(pub u16);
+
+/// A platform that can enforce HP/BE cache partitions and expose per-period
+/// monitoring. Implemented by the server simulator; a resctrl-backed
+/// implementation would drive real hardware through the same interface.
+pub trait PartitionController {
+    /// Number of ways in the managed LLC.
+    fn n_ways(&self) -> u32;
+    /// Enforce a partition plan, effective from the next period. Contents of
+    /// the LLC are not flushed (CAT semantics).
+    fn apply_plan(&mut self, plan: PartitionPlan);
+    /// The plan currently in force.
+    fn current_plan(&self) -> PartitionPlan;
+}

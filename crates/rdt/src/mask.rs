@@ -1,0 +1,169 @@
+//! CAT capacity bitmasks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CAT way bitmask.
+///
+/// Real CAT implementations require capacity masks to be **non-empty and
+/// contiguous**; both invariants are enforced at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WayMask(u32);
+
+/// Errors from mask construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskError {
+    /// The mask had no bits set.
+    Empty,
+    /// The set bits were not contiguous.
+    NotContiguous(u32),
+    /// The mask used bits beyond the cache's way count.
+    OutOfRange {
+        /// Offending raw bits.
+        bits: u32,
+        /// Way count of the cache.
+        ways: u32,
+    },
+}
+
+impl fmt::Display for MaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskError::Empty => write!(f, "CAT mask must have at least one way"),
+            MaskError::NotContiguous(b) => write!(f, "CAT mask {b:#x} is not contiguous"),
+            MaskError::OutOfRange { bits, ways } => {
+                write!(f, "CAT mask {bits:#x} exceeds {ways} ways")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskError {}
+
+impl WayMask {
+    /// Builds a mask from raw bits, enforcing non-emptiness and contiguity.
+    pub fn from_bits(bits: u32) -> Result<Self, MaskError> {
+        if bits == 0 {
+            return Err(MaskError::Empty);
+        }
+        // Contiguous iff after shifting out trailing zeros the value is of
+        // the form 2^k - 1.
+        let shifted = bits >> bits.trailing_zeros();
+        if shifted & shifted.wrapping_add(1) != 0 {
+            return Err(MaskError::NotContiguous(bits));
+        }
+        Ok(Self(bits))
+    }
+
+    /// Mask covering `count` ways starting at `start` (bit `start` .. bit
+    /// `start + count - 1`).
+    pub fn from_range(start: u32, count: u32) -> Result<Self, MaskError> {
+        if count == 0 {
+            return Err(MaskError::Empty);
+        }
+        if start + count > 32 {
+            return Err(MaskError::OutOfRange { bits: 0, ways: 32 });
+        }
+        let bits = if count == 32 { u32::MAX } else { ((1u32 << count) - 1) << start };
+        Ok(Self(bits))
+    }
+
+    /// Mask covering the lowest `ways` ways.
+    pub fn low(ways: u32) -> Result<Self, MaskError> {
+        Self::from_range(0, ways)
+    }
+
+    /// Raw bits.
+    pub fn bits(&self) -> u32 {
+        self.0
+    }
+
+    /// Number of ways granted.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether this mask shares any way with `other`.
+    pub fn overlaps(&self, other: WayMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the mask fits a cache with `ways` ways.
+    pub fn fits(&self, ways: u32) -> bool {
+        u64::from(self.0) < (1u64 << ways)
+    }
+
+    /// Index of the lowest way granted.
+    pub fn first_way(&self) -> u32 {
+        self.0.trailing_zeros()
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_masks_accepted() {
+        assert_eq!(WayMask::from_bits(0b1).unwrap().count(), 1);
+        assert_eq!(WayMask::from_bits(0b1110).unwrap().count(), 3);
+        assert_eq!(WayMask::from_bits(u32::MAX).unwrap().count(), 32);
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        assert_eq!(WayMask::from_bits(0), Err(MaskError::Empty));
+    }
+
+    #[test]
+    fn gappy_mask_rejected() {
+        assert!(matches!(WayMask::from_bits(0b101), Err(MaskError::NotContiguous(_))));
+        assert!(matches!(WayMask::from_bits(0b11011), Err(MaskError::NotContiguous(_))));
+    }
+
+    #[test]
+    fn from_range_places_bits() {
+        let m = WayMask::from_range(4, 3).unwrap();
+        assert_eq!(m.bits(), 0b111_0000);
+        assert_eq!(m.first_way(), 4);
+    }
+
+    #[test]
+    fn from_range_full_width() {
+        assert_eq!(WayMask::from_range(0, 32).unwrap().bits(), u32::MAX);
+        assert!(WayMask::from_range(1, 32).is_err());
+    }
+
+    #[test]
+    fn low_builds_lsb_mask() {
+        assert_eq!(WayMask::low(5).unwrap().bits(), 0b11111);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = WayMask::from_range(0, 4).unwrap();
+        let b = WayMask::from_range(4, 4).unwrap();
+        let c = WayMask::from_range(3, 2).unwrap();
+        assert!(!a.overlaps(b));
+        assert!(a.overlaps(c));
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn fits_respects_way_count() {
+        let m = WayMask::from_range(18, 2).unwrap();
+        assert!(m.fits(20));
+        assert!(!m.fits(19));
+    }
+
+    #[test]
+    fn display_is_hex_like_resctrl() {
+        assert_eq!(WayMask::low(20).unwrap().to_string(), "fffff");
+    }
+}

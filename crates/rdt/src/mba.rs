@@ -1,0 +1,111 @@
+//! Memory Bandwidth Allocation (MBA) levels.
+//!
+//! Intel MBA exposes a per-CLOS *delay value*: a percentage throttle on the
+//! request rate a class may present to the memory controller, programmable
+//! in steps of 10 % from 10 % to 100 % (unthrottled). The paper names MBA
+//! as the mechanism its future-work extension would use to "explicitly,
+//! dynamically control the memory bandwidth".
+
+use serde::{Deserialize, Serialize};
+
+/// An MBA throttle level in percent (10–100, multiples of 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MbaLevel(u8);
+
+impl MbaLevel {
+    /// Unthrottled (100 %).
+    pub const FULL: MbaLevel = MbaLevel(100);
+    /// Maximum throttling the hardware supports (10 %).
+    pub const MIN: MbaLevel = MbaLevel(10);
+
+    /// Builds a level, validating the hardware constraints.
+    pub fn new(percent: u8) -> Result<Self, String> {
+        if !(10..=100).contains(&percent) || !percent.is_multiple_of(10) {
+            return Err(format!("MBA level must be 10..=100 in steps of 10, got {percent}"));
+        }
+        Ok(Self(percent))
+    }
+
+    /// The raw percentage.
+    pub fn percent(&self) -> u8 {
+        self.0
+    }
+
+    /// Fraction of the unthrottled request rate this level permits.
+    pub fn fraction(&self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// One step more aggressive (clamped at [`MbaLevel::MIN`]).
+    pub fn tighten(&self) -> MbaLevel {
+        MbaLevel((self.0 - 10).max(10))
+    }
+
+    /// One step less aggressive (clamped at [`MbaLevel::FULL`]).
+    pub fn relax(&self) -> MbaLevel {
+        MbaLevel((self.0 + 10).min(100))
+    }
+
+    /// Whether this level throttles at all.
+    pub fn is_throttled(&self) -> bool {
+        self.0 < 100
+    }
+}
+
+impl Default for MbaLevel {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+impl std::fmt::Display for MbaLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}%", self.0)
+    }
+}
+
+/// A platform that can throttle the BE class's memory request rate.
+pub trait MbaController {
+    /// Sets the throttle applied to every BE, effective next period.
+    fn set_be_throttle(&mut self, level: MbaLevel);
+    /// Currently programmed throttle.
+    fn be_throttle(&self) -> MbaLevel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_levels() {
+        assert!(MbaLevel::new(10).is_ok());
+        assert!(MbaLevel::new(100).is_ok());
+        assert_eq!(MbaLevel::new(50).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        assert!(MbaLevel::new(0).is_err());
+        assert!(MbaLevel::new(105).is_err());
+        assert!(MbaLevel::new(55).is_err());
+    }
+
+    #[test]
+    fn tighten_and_relax_clamp() {
+        assert_eq!(MbaLevel::MIN.tighten(), MbaLevel::MIN);
+        assert_eq!(MbaLevel::FULL.relax(), MbaLevel::FULL);
+        assert_eq!(MbaLevel::new(50).unwrap().tighten().percent(), 40);
+        assert_eq!(MbaLevel::new(50).unwrap().relax().percent(), 60);
+    }
+
+    #[test]
+    fn throttled_predicate() {
+        assert!(!MbaLevel::FULL.is_throttled());
+        assert!(MbaLevel::new(90).unwrap().is_throttled());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MbaLevel::FULL.to_string(), "100%");
+    }
+}

@@ -1,0 +1,238 @@
+//! HP/BE partition plans.
+
+use crate::mask::WayMask;
+use serde::{Deserialize, Serialize};
+
+/// The cache-allocation decision DICER (or a baseline policy) enforces.
+///
+/// The paper's schemes only ever need two shapes:
+///
+/// * [`PartitionPlan::Unmanaged`] — no CAT control at all (the UM baseline);
+/// * [`PartitionPlan::Split`] — HP owns the **top** `hp_ways` ways
+///   exclusively and every BE shares the remaining low ways (CT is
+///   `Split { hp_ways: n_ways - 1 }`; DICER moves `hp_ways` around).
+///
+/// Partitions are isolated — HP and BE masks never overlap (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionPlan {
+    /// Every application may use the whole LLC.
+    Unmanaged,
+    /// HP gets `hp_ways` exclusive ways; BEs share the rest.
+    Split {
+        /// Ways granted exclusively to the HP application.
+        hp_ways: u32,
+    },
+    /// HP gets `hp_exclusive` private top ways plus a `shared` middle region
+    /// it contests with the BEs; BEs additionally own the remaining low
+    /// ways. The paper's §6 asks "whether assigning overlapping cache
+    /// partitions to the HP and the BEs can benefit some workloads" — this
+    /// variant (CAT permits overlapping masks) lets the question be tested.
+    Overlapping {
+        /// Ways private to the HP application (≥ 1).
+        hp_exclusive: u32,
+        /// Ways accessible to both classes (≥ 1).
+        shared: u32,
+    },
+}
+
+impl PartitionPlan {
+    /// The Cache-Takeover plan for an `n_ways` cache: all but one way to HP.
+    pub fn cache_takeover(n_ways: u32) -> Self {
+        assert!(n_ways >= 2, "CT needs at least two ways");
+        PartitionPlan::Split { hp_ways: n_ways - 1 }
+    }
+
+    /// Validates the plan against a cache with `n_ways` ways: a split must
+    /// leave at least one way on each side.
+    pub fn validate(&self, n_ways: u32) -> Result<(), String> {
+        match self {
+            PartitionPlan::Unmanaged => Ok(()),
+            PartitionPlan::Split { hp_ways } => {
+                if *hp_ways == 0 {
+                    Err("HP must keep at least one way".into())
+                } else if *hp_ways >= n_ways {
+                    Err(format!("HP ways {hp_ways} leaves no way for BEs (cache has {n_ways})"))
+                } else {
+                    Ok(())
+                }
+            }
+            PartitionPlan::Overlapping { hp_exclusive, shared } => {
+                if *hp_exclusive == 0 {
+                    Err("HP must keep at least one private way".into())
+                } else if *shared == 0 {
+                    Err("overlapping plan needs a shared region; use Split".into())
+                } else if hp_exclusive + shared > n_ways {
+                    Err(format!(
+                        "exclusive {hp_exclusive} + shared {shared} exceed {n_ways} ways"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// CAT mask for the HP application (`None` when unmanaged: full access).
+    pub fn hp_mask(&self, n_ways: u32) -> WayMask {
+        match self {
+            PartitionPlan::Unmanaged => WayMask::low(n_ways).expect("n_ways >= 1"),
+            PartitionPlan::Split { hp_ways } => {
+                WayMask::from_range(n_ways - hp_ways, *hp_ways).expect("validated split")
+            }
+            PartitionPlan::Overlapping { hp_exclusive, shared } => {
+                WayMask::from_range(n_ways - hp_exclusive - shared, hp_exclusive + shared)
+                    .expect("validated overlap")
+            }
+        }
+    }
+
+    /// CAT mask shared by all BE applications.
+    pub fn be_mask(&self, n_ways: u32) -> WayMask {
+        match self {
+            PartitionPlan::Unmanaged => WayMask::low(n_ways).expect("n_ways >= 1"),
+            PartitionPlan::Split { hp_ways } => {
+                WayMask::from_range(0, n_ways - hp_ways).expect("validated split")
+            }
+            PartitionPlan::Overlapping { hp_exclusive, .. } => {
+                WayMask::from_range(0, n_ways - hp_exclusive).expect("validated overlap")
+            }
+        }
+    }
+
+    /// Ways available to HP under this plan.
+    pub fn hp_ways(&self, n_ways: u32) -> u32 {
+        match self {
+            PartitionPlan::Unmanaged => n_ways,
+            PartitionPlan::Split { hp_ways } => *hp_ways,
+            PartitionPlan::Overlapping { hp_exclusive, shared } => hp_exclusive + shared,
+        }
+    }
+
+    /// Ways shared by the BEs under this plan.
+    pub fn be_ways(&self, n_ways: u32) -> u32 {
+        match self {
+            PartitionPlan::Unmanaged => n_ways,
+            PartitionPlan::Split { hp_ways } => n_ways - hp_ways,
+            PartitionPlan::Overlapping { hp_exclusive, .. } => n_ways - hp_exclusive,
+        }
+    }
+
+    /// Shrinks HP's share by one way (the DICER optimisation step), pinned
+    /// at one way.
+    pub fn shrink_hp(&self, n_ways: u32) -> Self {
+        match self {
+            PartitionPlan::Unmanaged => PartitionPlan::Unmanaged,
+            PartitionPlan::Split { hp_ways } => {
+                PartitionPlan::Split { hp_ways: (*hp_ways).saturating_sub(1).max(1) }
+            }
+            PartitionPlan::Overlapping { hp_exclusive, shared } => PartitionPlan::Overlapping {
+                hp_exclusive: (*hp_exclusive).saturating_sub(1).max(1),
+                shared: *shared,
+            },
+        }
+        .tap_validate(n_ways)
+    }
+
+    fn tap_validate(self, n_ways: u32) -> Self {
+        debug_assert!(self.validate(n_ways).is_ok());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_is_all_but_one() {
+        let p = PartitionPlan::cache_takeover(20);
+        assert_eq!(p, PartitionPlan::Split { hp_ways: 19 });
+        assert_eq!(p.hp_ways(20), 19);
+        assert_eq!(p.be_ways(20), 1);
+    }
+
+    #[test]
+    fn split_masks_are_disjoint_and_cover() {
+        for hp in 1..20 {
+            let p = PartitionPlan::Split { hp_ways: hp };
+            p.validate(20).unwrap();
+            let h = p.hp_mask(20);
+            let b = p.be_mask(20);
+            assert!(!h.overlaps(b), "hp={hp}");
+            assert_eq!(h.count() + b.count(), 20);
+            assert!(h.fits(20) && b.fits(20));
+        }
+    }
+
+    #[test]
+    fn hp_owns_top_ways() {
+        let p = PartitionPlan::Split { hp_ways: 3 };
+        assert_eq!(p.hp_mask(20).first_way(), 17);
+        assert_eq!(p.be_mask(20).first_way(), 0);
+    }
+
+    #[test]
+    fn unmanaged_masks_are_full() {
+        let p = PartitionPlan::Unmanaged;
+        assert_eq!(p.hp_mask(20).count(), 20);
+        assert_eq!(p.be_mask(20).count(), 20);
+        assert_eq!(p.hp_ways(20), 20);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_splits() {
+        assert!(PartitionPlan::Split { hp_ways: 0 }.validate(20).is_err());
+        assert!(PartitionPlan::Split { hp_ways: 20 }.validate(20).is_err());
+        assert!(PartitionPlan::Split { hp_ways: 19 }.validate(20).is_ok());
+    }
+
+    #[test]
+    fn shrink_stops_at_one_way() {
+        let mut p = PartitionPlan::Split { hp_ways: 3 };
+        p = p.shrink_hp(20);
+        assert_eq!(p.hp_ways(20), 2);
+        p = p.shrink_hp(20);
+        p = p.shrink_hp(20);
+        assert_eq!(p.hp_ways(20), 1, "never shrinks to zero");
+    }
+
+    #[test]
+    fn shrink_unmanaged_is_identity() {
+        assert_eq!(PartitionPlan::Unmanaged.shrink_hp(20), PartitionPlan::Unmanaged);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ct_needs_two_ways() {
+        PartitionPlan::cache_takeover(1);
+    }
+
+    #[test]
+    fn overlapping_masks_share_the_middle() {
+        let p = PartitionPlan::Overlapping { hp_exclusive: 4, shared: 6 };
+        p.validate(20).unwrap();
+        let h = p.hp_mask(20);
+        let b = p.be_mask(20);
+        assert!(h.overlaps(b), "overlap region must be shared");
+        assert_eq!(h.count(), 10);
+        assert_eq!(b.count(), 16);
+        assert_eq!(h.bits() & b.bits(), 0b1111_1100_0000_0000, "middle six ways");
+        assert_eq!(p.hp_ways(20), 10);
+        assert_eq!(p.be_ways(20), 16);
+    }
+
+    #[test]
+    fn overlapping_validation() {
+        assert!(PartitionPlan::Overlapping { hp_exclusive: 0, shared: 5 }.validate(20).is_err());
+        assert!(PartitionPlan::Overlapping { hp_exclusive: 5, shared: 0 }.validate(20).is_err());
+        assert!(PartitionPlan::Overlapping { hp_exclusive: 15, shared: 6 }.validate(20).is_err());
+        assert!(PartitionPlan::Overlapping { hp_exclusive: 14, shared: 6 }.validate(20).is_ok());
+    }
+
+    #[test]
+    fn overlapping_shrink_reduces_exclusive_region() {
+        let p = PartitionPlan::Overlapping { hp_exclusive: 3, shared: 4 };
+        let q = p.shrink_hp(20);
+        assert_eq!(q, PartitionPlan::Overlapping { hp_exclusive: 2, shared: 4 });
+    }
+}

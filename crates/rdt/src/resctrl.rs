@@ -1,0 +1,185 @@
+//! Linux `resctrl` filesystem formatting and IO.
+//!
+//! On a real RDT-capable host, cache partitions are enforced by writing
+//! `schemata` files under `/sys/fs/resctrl/<group>/`. This module renders
+//! and parses those lines and can materialise a [`PartitionPlan`] as a
+//! directory tree under an arbitrary root — the unit tests drive a temp
+//! directory, and pointing [`ResctrlFs::new`] at `/sys/fs/resctrl` on a
+//! Xeon with CAT would drive the real kernel interface.
+
+use crate::{mask::WayMask, plan::PartitionPlan};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders one `L3` schemata line, e.g. `L3:0=fffff` or
+/// `L3:0=c0000;1=3ffff` for multi-socket masks.
+pub fn format_l3_schemata(masks_by_cache_id: &[(u32, WayMask)]) -> String {
+    let body: Vec<String> =
+        masks_by_cache_id.iter().map(|(id, m)| format!("{id}={m}")).collect();
+    format!("L3:{}", body.join(";"))
+}
+
+/// Parses an `L3` schemata line produced by [`format_l3_schemata`] (or read
+/// back from the kernel). Returns `(cache_id, mask)` pairs.
+pub fn parse_l3_schemata(line: &str) -> Result<Vec<(u32, WayMask)>, String> {
+    let rest = line
+        .trim()
+        .strip_prefix("L3:")
+        .ok_or_else(|| format!("missing L3 prefix in {line:?}"))?;
+    rest.split(';')
+        .map(|part| {
+            let (id, mask) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed schemata fragment {part:?}"))?;
+            let id: u32 = id.trim().parse().map_err(|e| format!("bad cache id {id:?}: {e}"))?;
+            let bits = u32::from_str_radix(mask.trim(), 16)
+                .map_err(|e| format!("bad mask {mask:?}: {e}"))?;
+            let mask = WayMask::from_bits(bits).map_err(|e| e.to_string())?;
+            Ok((id, mask))
+        })
+        .collect()
+}
+
+/// A resctrl-style filesystem rooted at an arbitrary directory.
+#[derive(Debug, Clone)]
+pub struct ResctrlFs {
+    root: PathBuf,
+}
+
+/// Group names used for the HP/BE split.
+pub const HP_GROUP: &str = "dicer_hp";
+/// BE control-group name.
+pub const BE_GROUP: &str = "dicer_be";
+
+impl ResctrlFs {
+    /// Opens (without touching) a resctrl root.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn group_dir(&self, group: &str) -> PathBuf {
+        self.root.join(group)
+    }
+
+    /// Creates a control group (idempotent).
+    pub fn create_group(&self, group: &str) -> io::Result<PathBuf> {
+        let dir = self.group_dir(group);
+        fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+
+    /// Writes a group's schemata line.
+    pub fn write_schemata(&self, group: &str, cache_id: u32, mask: WayMask) -> io::Result<()> {
+        let dir = self.create_group(group)?;
+        fs::write(dir.join("schemata"), format_l3_schemata(&[(cache_id, mask)]) + "\n")
+    }
+
+    /// Reads a group's schemata back.
+    pub fn read_schemata(&self, group: &str) -> io::Result<Vec<(u32, WayMask)>> {
+        let text = fs::read_to_string(self.group_dir(group).join("schemata"))?;
+        parse_l3_schemata(text.lines().next().unwrap_or_default())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Assigns a task (by pid) to a group by appending to its `tasks` file.
+    pub fn assign_task(&self, group: &str, pid: u32) -> io::Result<()> {
+        use std::io::Write;
+        let dir = self.create_group(group)?;
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(dir.join("tasks"))?;
+        writeln!(f, "{pid}")
+    }
+
+    /// Materialises a [`PartitionPlan`] as the HP/BE group pair on cache
+    /// `cache_id` of an `n_ways` LLC.
+    pub fn apply_plan(&self, plan: PartitionPlan, n_ways: u32, cache_id: u32) -> io::Result<()> {
+        plan.validate(n_ways).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        self.write_schemata(HP_GROUP, cache_id, plan.hp_mask(n_ways))?;
+        self.write_schemata(BE_GROUP, cache_id, plan.be_mask(n_ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dicer_resctrl_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn format_single_socket() {
+        let m = WayMask::low(20).unwrap();
+        assert_eq!(format_l3_schemata(&[(0, m)]), "L3:0=fffff");
+    }
+
+    #[test]
+    fn format_multi_socket() {
+        let a = WayMask::from_range(18, 2).unwrap();
+        let b = WayMask::low(18).unwrap();
+        assert_eq!(format_l3_schemata(&[(0, a), (1, b)]), "L3:0=c0000;1=3ffff");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let masks = vec![(0, WayMask::from_range(16, 4).unwrap()), (1, WayMask::low(16).unwrap())];
+        let line = format_l3_schemata(&masks);
+        assert_eq!(parse_l3_schemata(&line).unwrap(), masks);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_l3_schemata("MB:0=100").is_err());
+        assert!(parse_l3_schemata("L3:0").is_err());
+        assert!(parse_l3_schemata("L3:x=fffff").is_err());
+        assert!(parse_l3_schemata("L3:0=zz").is_err());
+        assert!(parse_l3_schemata("L3:0=0").is_err(), "empty mask");
+    }
+
+    #[test]
+    fn fs_write_and_read_schemata() {
+        let fs_ = ResctrlFs::new(tmp_root("rw"));
+        let m = WayMask::from_range(10, 10).unwrap();
+        fs_.write_schemata("grp", 0, m).unwrap();
+        assert_eq!(fs_.read_schemata("grp").unwrap(), vec![(0, m)]);
+        fs::remove_dir_all(fs_.root()).unwrap();
+    }
+
+    #[test]
+    fn fs_apply_plan_creates_disjoint_groups() {
+        let fs_ = ResctrlFs::new(tmp_root("plan"));
+        fs_.apply_plan(PartitionPlan::Split { hp_ways: 5 }, 20, 0).unwrap();
+        let hp = fs_.read_schemata(HP_GROUP).unwrap()[0].1;
+        let be = fs_.read_schemata(BE_GROUP).unwrap()[0].1;
+        assert!(!hp.overlaps(be));
+        assert_eq!(hp.count(), 5);
+        assert_eq!(be.count(), 15);
+        fs::remove_dir_all(fs_.root()).unwrap();
+    }
+
+    #[test]
+    fn fs_apply_invalid_plan_errors() {
+        let fs_ = ResctrlFs::new(tmp_root("bad"));
+        let err = fs_.apply_plan(PartitionPlan::Split { hp_ways: 20 }, 20, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(fs_.root()).unwrap();
+    }
+
+    #[test]
+    fn fs_assign_tasks_appends() {
+        let fs_ = ResctrlFs::new(tmp_root("tasks"));
+        fs_.assign_task("grp", 100).unwrap();
+        fs_.assign_task("grp", 200).unwrap();
+        let text = fs::read_to_string(fs_.root().join("grp/tasks")).unwrap();
+        assert_eq!(text, "100\n200\n");
+        fs::remove_dir_all(fs_.root()).unwrap();
+    }
+}

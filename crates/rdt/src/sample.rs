@@ -1,0 +1,74 @@
+//! Per-period monitoring samples (what CMT/MBM + perf counters expose).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for a single application over one monitoring period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerAppSample {
+    /// Instructions per cycle over the period.
+    pub ipc: f64,
+    /// LLC occupancy at period end, in bytes (CMT).
+    pub llc_occupancy_bytes: u64,
+    /// Memory traffic over the period, in Gbps (MBM).
+    pub mem_bw_gbps: f64,
+    /// LLC miss ratio over the period (perf counters).
+    pub miss_ratio: f64,
+}
+
+/// The full monitoring snapshot DICER consumes at the end of each period
+/// (Listing 1: `measure_IPC_HP`, `measure_MemBW_HP`, `measure_MemBW`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodSample {
+    /// Simulation (or wall-clock) time at period end, seconds.
+    pub time_s: f64,
+    /// HP's counters.
+    pub hp: PerAppSample,
+    /// Each BE's counters, in core order.
+    pub bes: Vec<PerAppSample>,
+    /// Total traffic on the memory link, Gbps (`MemBW` in Listing 1).
+    pub total_bw_gbps: f64,
+}
+
+impl PeriodSample {
+    /// Aggregate BE traffic in Gbps.
+    pub fn be_bw_gbps(&self) -> f64 {
+        self.bes.iter().map(|b| b.mem_bw_gbps).sum()
+    }
+
+    /// Mean BE IPC (0 when there are no BEs).
+    pub fn be_mean_ipc(&self) -> f64 {
+        if self.bes.is_empty() {
+            0.0
+        } else {
+            self.bes.iter().map(|b| b.ipc).sum::<f64>() / self.bes.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(ipc: f64, bw: f64) -> PerAppSample {
+        PerAppSample { ipc, llc_occupancy_bytes: 0, mem_bw_gbps: bw, miss_ratio: 0.1 }
+    }
+
+    #[test]
+    fn be_aggregates() {
+        let s = PeriodSample {
+            time_s: 1.0,
+            hp: app(1.0, 5.0),
+            bes: vec![app(0.5, 2.0), app(1.5, 4.0)],
+            total_bw_gbps: 11.0,
+        };
+        assert!((s.be_bw_gbps() - 6.0).abs() < 1e-12);
+        assert!((s.be_mean_ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bes() {
+        let s = PeriodSample { time_s: 0.0, hp: app(1.0, 1.0), bes: vec![], total_bw_gbps: 1.0 };
+        assert_eq!(s.be_bw_gbps(), 0.0);
+        assert_eq!(s.be_mean_ipc(), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Server configuration (Table 1 of the paper).
+
+use dicer_cachesim::CacheConfig;
+use dicer_membw::LinkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full platform configuration. [`ServerConfig::table1`] reproduces the
+/// paper's evaluation machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Cores available for pinning applications.
+    pub n_cores: u32,
+    /// Core frequency in Hz.
+    pub freq_hz: f64,
+    /// LLC geometry.
+    pub cache: CacheConfig,
+    /// Memory-link model parameters.
+    pub link: LinkConfig,
+    /// Monitoring-period length `T` in seconds.
+    pub period_s: f64,
+}
+
+impl ServerConfig {
+    /// The Intel Xeon E5-2630 v4 configuration from Table 1: 10 cores at
+    /// 2.2 GHz, 25 MB 20-way LLC, 68.3 Gbps memory link, `T = 1 s`.
+    pub fn table1() -> Self {
+        Self {
+            n_cores: 10,
+            freq_hz: 2.2e9,
+            cache: CacheConfig::default(),
+            link: LinkConfig::default(),
+            period_s: 1.0,
+        }
+    }
+
+    /// Unloaded memory latency expressed in core cycles.
+    pub fn base_latency_cycles(&self) -> f64 {
+        self.link.base_latency_ns * 1e-9 * self.freq_hz
+    }
+
+    /// Validates all nested configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores < 2 {
+            return Err(format!("need >= 2 cores for consolidation, got {}", self.n_cores));
+        }
+        if !self.freq_hz.is_finite() || self.freq_hz <= 0.0 {
+            return Err(format!("frequency must be positive: {}", self.freq_hz));
+        }
+        if !self.period_s.is_finite() || self.period_s <= 0.0 {
+            return Err(format!("period must be positive: {}", self.period_s));
+        }
+        self.cache.validate()?;
+        self.link.validate()
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_valid_and_matches_paper() {
+        let c = ServerConfig::table1();
+        c.validate().unwrap();
+        assert_eq!(c.n_cores, 10);
+        assert_eq!(c.cache.ways, 20);
+        assert_eq!(c.cache.size_bytes, 25 * 1024 * 1024);
+        assert!((c.link.capacity_gbps - 68.3).abs() < 1e-12);
+        assert_eq!(c.period_s, 1.0);
+    }
+
+    #[test]
+    fn base_latency_in_cycles() {
+        let c = ServerConfig::table1();
+        // 90 ns at 2.2 GHz = 198 cycles.
+        assert!((c.base_latency_cycles() - 198.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_rejected() {
+        let c = ServerConfig { n_cores: 1, ..ServerConfig::table1() };
+        assert!(c.validate().is_err());
+    }
+}

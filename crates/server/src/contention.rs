@@ -1,0 +1,195 @@
+//! Shared-cache contention model.
+//!
+//! When several applications share a group of ways without CAT isolation
+//! (all ten under UM, or the BEs inside their common partition), each ends
+//! up with an *effective* fraction of the group proportional to the rate at
+//! which it inserts lines — i.e. its miss pressure. This is the standard
+//! demand-driven occupancy model behind UCP-style partitioning analyses
+//! (Qureshi & Patt, reference 37 of the paper): insertion pressure
+//! `p_i = APKI_i · miss_ratio_i(e_i)` and occupancy `e_i ∝ p_i`, solved as
+//! a fixed point because the miss ratio itself depends on the share.
+
+use dicer_appmodel::MissCurve;
+
+/// Minimum effective share (in ways) any running application retains; even
+/// a fully thrashed app keeps transient lines in flight.
+pub const MIN_EFFECTIVE_WAYS: f64 = 0.05;
+
+/// Damped fixed-point iterations used by [`shared_effective_ways`].
+const ITERATIONS: usize = 40;
+const DAMPING: f64 = 0.5;
+
+/// Solves the effective per-app way shares inside a shared group of
+/// `group_ways` ways. `apps` supplies `(apki, curve)` per application.
+///
+/// Invariants: the shares are positive, sum to `group_ways` (when at least
+/// one app has positive pressure), and an app with higher insertion
+/// pressure never receives a smaller share than a lower-pressure peer.
+pub fn shared_effective_ways(apps: &[(f64, &MissCurve)], group_ways: f64) -> Vec<f64> {
+    assert!(group_ways > 0.0, "group must have positive capacity");
+    let n = apps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![group_ways];
+    }
+    let mut shares = vec![group_ways / n as f64; n];
+    for _ in 0..ITERATIONS {
+        let pressures: Vec<f64> = apps
+            .iter()
+            .zip(&shares)
+            .map(|((apki, curve), &e)| (apki * curve.miss_ratio(e)).max(1e-6))
+            .collect();
+        let total: f64 = pressures.iter().sum();
+        for i in 0..n {
+            let target = (group_ways * pressures[i] / total).max(MIN_EFFECTIVE_WAYS);
+            shares[i] = DAMPING * shares[i] + (1.0 - DAMPING) * target;
+        }
+        // Renormalise to the group capacity after clamping.
+        let sum: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s *= group_ways / sum;
+        }
+    }
+    shares
+}
+
+/// Solves the contested shares of an *overlap* region: each participant
+/// already owns `floor` exclusive ways and additionally competes for
+/// `overlap` shared ways. Pressure is evaluated at the participant's total
+/// effective allocation (`floor + share`), so an app whose working set is
+/// already satisfied by its private region exerts little pressure on the
+/// overlap — the behaviour the paper's §6 overlap question hinges on.
+pub fn overlap_shares(participants: &[(f64, &MissCurve, f64)], overlap: f64) -> Vec<f64> {
+    assert!(overlap > 0.0, "overlap region must have positive capacity");
+    let n = participants.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![overlap];
+    }
+    let mut shares = vec![overlap / n as f64; n];
+    for _ in 0..ITERATIONS {
+        let pressures: Vec<f64> = participants
+            .iter()
+            .zip(&shares)
+            .map(|((apki, curve, floor), &s)| (apki * curve.miss_ratio(floor + s)).max(1e-6))
+            .collect();
+        let total: f64 = pressures.iter().sum();
+        for i in 0..n {
+            let target = (overlap * pressures[i] / total).max(0.0);
+            shares[i] = DAMPING * shares[i] + (1.0 - DAMPING) * target;
+        }
+        let sum: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s *= overlap / sum;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(floor: f64, ceil: f64, w_half: f64) -> MissCurve {
+        MissCurve::parametric(floor, ceil, w_half, 2.0)
+    }
+
+    #[test]
+    fn single_app_takes_everything() {
+        let c = curve(0.05, 0.8, 4.0);
+        assert_eq!(shared_effective_ways(&[(10.0, &c)], 20.0), vec![20.0]);
+    }
+
+    #[test]
+    fn shares_sum_to_group_capacity() {
+        let a = curve(0.05, 0.8, 4.0);
+        let b = curve(0.1, 0.9, 8.0);
+        let c = curve(0.02, 0.3, 1.0);
+        let shares = shared_effective_ways(&[(10.0, &a), (25.0, &b), (3.0, &c)], 20.0);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 20.0).abs() < 1e-6, "sum {sum}");
+        assert!(shares.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn identical_apps_split_evenly() {
+        let c = curve(0.05, 0.7, 3.0);
+        let apps = vec![(12.0, &c); 4];
+        let shares = shared_effective_ways(&apps, 20.0);
+        for s in &shares {
+            assert!((s - 5.0).abs() < 1e-6, "uneven split: {shares:?}");
+        }
+    }
+
+    #[test]
+    fn hungrier_app_gets_more() {
+        let stream = curve(0.7, 0.8, 1.0); // high persistent pressure
+        let quiet = curve(0.02, 0.2, 1.0); // low pressure
+        let shares = shared_effective_ways(&[(30.0, &stream), (2.0, &quiet)], 20.0);
+        assert!(shares[0] > shares[1] * 3.0, "streaming app should dominate: {shares:?}");
+    }
+
+    #[test]
+    fn milc_like_hp_claims_about_a_quarter_under_um() {
+        // The paper observes milc grabbing ~26% of the LLC under UM when
+        // co-located with 9 gcc instances (§2.3.2 item iv).
+        let milc = curve(0.45, 0.62, 1.3);
+        let gcc = MissCurve::parametric(0.07, 0.62, 1.2, 3.0);
+        let mut apps: Vec<(f64, &MissCurve)> = vec![(28.0, &milc)];
+        for _ in 0..9 {
+            apps.push((24.0, &gcc));
+        }
+        let shares = shared_effective_ways(&apps, 20.0);
+        let milc_frac = shares[0] / 20.0;
+        assert!((0.10..0.45).contains(&milc_frac), "milc UM share: {milc_frac}");
+    }
+
+    #[test]
+    fn empty_group_is_empty() {
+        assert!(shared_effective_ways(&[], 20.0).is_empty());
+    }
+
+    #[test]
+    fn min_share_respected_under_extreme_skew() {
+        let hog = curve(0.9, 0.95, 1.0);
+        let tiny = curve(0.0, 0.01, 1.0);
+        let shares = shared_effective_ways(&[(50.0, &hog), (0.01, &tiny)], 20.0);
+        assert!(shares[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let c = curve(0.1, 0.5, 2.0);
+        shared_effective_ways(&[(1.0, &c)], 0.0);
+    }
+
+    #[test]
+    fn overlap_shares_sum_to_region() {
+        let a = curve(0.05, 0.8, 4.0);
+        let b = curve(0.1, 0.9, 8.0);
+        let shares = overlap_shares(&[(10.0, &a, 5.0), (20.0, &b, 1.0)], 6.0);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn satisfied_participant_cedes_the_overlap() {
+        // A participant whose private floor already covers its working set
+        // exerts almost no pressure; the hungry one takes the overlap.
+        let satisfied = curve(0.02, 0.8, 2.0); // floor 10 ways -> miss ~0.02
+        let hungry = curve(0.1, 0.9, 8.0); // floor 0.5 -> miss ~0.9
+        let shares = overlap_shares(&[(15.0, &satisfied, 10.0), (15.0, &hungry, 0.5)], 8.0);
+        assert!(shares[1] > shares[0] * 2.0, "hungry should dominate: {shares:?}");
+    }
+
+    #[test]
+    fn single_overlap_participant_takes_all() {
+        let c = curve(0.1, 0.5, 2.0);
+        assert_eq!(overlap_shares(&[(1.0, &c, 3.0)], 4.0), vec![4.0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Fixed-point IPC ⇄ bandwidth equilibrium solver.
+//!
+//! IPC determines memory traffic; total traffic determines link latency;
+//! latency determines IPC. The solver damps the latency multiplier until the
+//! loop converges — the mechanism by which cache-starved BEs slow down a
+//! bandwidth-sensitive HP (the paper's Key Observation 2).
+
+use dicer_appmodel::Phase;
+use dicer_membw::LinkModel;
+
+/// Converged per-period operating point for a set of co-running phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibrium {
+    /// Converged IPC per app (same order as the input).
+    pub ipc: Vec<f64>,
+    /// Offered traffic per app in Gbps.
+    pub demand_gbps: Vec<f64>,
+    /// Achieved traffic per app in Gbps (proportionally shared if the link
+    /// is overcommitted).
+    pub achieved_gbps: Vec<f64>,
+    /// Total achieved traffic in Gbps.
+    pub total_gbps: f64,
+    /// Converged latency multiplier.
+    pub latency_mult: f64,
+    /// Iterations used.
+    pub iterations: u32,
+}
+
+const MAX_ITER: u32 = 100;
+const TOLERANCE: f64 = 1e-12;
+
+/// Solves the equilibrium for apps running concurrently, where app `i`
+/// executes `phases[i].0` with an effective allocation of `phases[i].1`
+/// ways. `base_latency_cycles` is the unloaded memory latency in core
+/// cycles; `freq_hz` and `line_bytes` size the traffic.
+pub fn solve(
+    phases: &[(&Phase, f64)],
+    link: &LinkModel,
+    base_latency_cycles: f64,
+    freq_hz: f64,
+    line_bytes: u32,
+) -> Equilibrium {
+    let with_scales: Vec<(&Phase, f64, f64)> =
+        phases.iter().map(|(p, w)| (*p, *w, 1.0)).collect();
+    solve_throttled(&with_scales, link, base_latency_cycles, freq_hz, line_bytes)
+}
+
+/// Like [`solve`], but each app additionally carries a *latency scale*
+/// (`>= 1`) modelling an MBA throttle: a class programmed to level `L`
+/// percent experiences its memory latency inflated by `100 / L`, which both
+/// slows it down and shrinks the traffic it can offer — the delay-on-request
+/// semantics of the real mechanism.
+pub fn solve_throttled(
+    phases: &[(&Phase, f64, f64)],
+    link: &LinkModel,
+    base_latency_cycles: f64,
+    freq_hz: f64,
+    line_bytes: u32,
+) -> Equilibrium {
+    debug_assert!(phases.iter().all(|(_, _, s)| *s >= 1.0), "latency scales must be >= 1");
+    let n = phases.len();
+    if n == 0 {
+        return Equilibrium {
+            ipc: vec![],
+            demand_gbps: vec![],
+            achieved_gbps: vec![],
+            total_gbps: 0.0,
+            latency_mult: 1.0,
+            iterations: 0,
+        };
+    }
+
+    let mut ipc = vec![0.0; n];
+    let mut demands = vec![0.0; n];
+
+    // Residual g(mult) = L(U(mult)) − mult. Offered demand falls as latency
+    // rises and L is non-decreasing in utilisation, so g is strictly
+    // decreasing: a unique root exists in [1, mult_max] whenever g(1) > 0.
+    // Bisection is unconditionally stable where plain damped fixed-point
+    // iteration can oscillate (the feedback slope is steep near the knee).
+    let eval = |mult: f64, ipc: &mut [f64], demands: &mut [f64]| -> f64 {
+        for (i, (phase, ways, scale)) in phases.iter().enumerate() {
+            ipc[i] = phase.ipc(*ways, base_latency_cycles * mult * scale);
+            demands[i] = phase.demand_gbps(ipc[i], *ways, freq_hz, line_bytes);
+        }
+        let offered: f64 = demands.iter().sum();
+        link.latency_multiplier(offered / link.config().capacity_gbps) - mult
+    };
+
+    let cfg = link.config();
+    let mult_max = link.latency_multiplier(cfg.max_utilisation);
+    let mut lo = 1.0f64;
+    let mut hi = mult_max;
+    let mut mult = 1.0;
+    let mut iterations = 1;
+    if eval(1.0, &mut ipc, &mut demands) <= 0.0 {
+        // Link unloaded at base latency: the trivial fixed point.
+        mult = 1.0;
+    } else if eval(mult_max, &mut ipc, &mut demands) >= 0.0 {
+        // Demand exceeds the modelled range even at the latency cap.
+        mult = mult_max;
+        eval(mult, &mut ipc, &mut demands);
+        iterations = 2;
+    } else {
+        for it in 1..=MAX_ITER {
+            iterations = it;
+            mult = 0.5 * (lo + hi);
+            let g = eval(mult, &mut ipc, &mut demands);
+            if g > 0.0 {
+                lo = mult;
+            } else {
+                hi = mult;
+            }
+            if hi - lo < TOLERANCE {
+                break;
+            }
+        }
+        // Leave `ipc`/`demands` consistent with the returned multiplier.
+        eval(mult, &mut ipc, &mut demands);
+    }
+
+    let outcome = link.share(&demands);
+    Equilibrium {
+        ipc,
+        demand_gbps: demands,
+        achieved_gbps: outcome.achieved_gbps,
+        total_gbps: outcome.total_gbps,
+        latency_mult: mult,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_appmodel::MissCurve;
+    use dicer_membw::LinkConfig;
+
+    const FREQ: f64 = 2.2e9;
+    const LAT: f64 = 198.0;
+
+    fn phase(base_cpi: f64, apki: f64, mlp: f64, curve: MissCurve) -> Phase {
+        Phase { insns: 1_000_000, base_cpi, apki, mlp, curve }
+    }
+
+    fn link() -> LinkModel {
+        LinkModel::new(LinkConfig::default())
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let e = solve(&[], &link(), LAT, FREQ, 64);
+        assert_eq!(e.latency_mult, 1.0);
+        assert_eq!(e.total_gbps, 0.0);
+    }
+
+    #[test]
+    fn light_load_keeps_unit_latency() {
+        let p = phase(0.5, 1.0, 1.5, MissCurve::flat(0.1));
+        let e = solve(&[(&p, 10.0)], &link(), LAT, FREQ, 64);
+        assert_eq!(e.latency_mult, 1.0);
+        // IPC matches the closed form at base latency.
+        assert!((e.ipc[0] - p.ipc(10.0, LAT)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_load_inflates_latency_and_reduces_ipc() {
+        let hog = phase(0.6, 40.0, 4.2, MissCurve::flat(0.85));
+        let apps: Vec<(&Phase, f64)> = (0..10).map(|_| (&hog, 2.0)).collect();
+        let e = solve(&apps, &link(), LAT, FREQ, 64);
+        assert!(e.latency_mult > 1.2, "latency mult {}", e.latency_mult);
+        assert!(e.ipc[0] < hog.ipc(2.0, LAT), "contended IPC must drop");
+    }
+
+    #[test]
+    fn converges_to_self_consistent_point() {
+        let hog = phase(0.6, 35.0, 4.0, MissCurve::flat(0.8));
+        let apps: Vec<(&Phase, f64)> = (0..10).map(|_| (&hog, 2.0)).collect();
+        let e = solve(&apps, &link(), LAT, FREQ, 64);
+        // Recompute by hand from the converged multiplier.
+        let ipc = hog.ipc(2.0, LAT * e.latency_mult);
+        assert!((ipc - e.ipc[0]).abs() < 1e-6);
+        let offered: f64 = e.demand_gbps.iter().sum();
+        let mult = link().latency_multiplier(offered / 68.3);
+        assert!((mult - e.latency_mult).abs() < 1e-6, "fixed point violated");
+    }
+
+    #[test]
+    fn achieved_never_exceeds_capacity() {
+        let hog = phase(0.5, 45.0, 4.5, MissCurve::flat(0.9));
+        let apps: Vec<(&Phase, f64)> = (0..10).map(|_| (&hog, 1.0)).collect();
+        let e = solve(&apps, &link(), LAT, FREQ, 64);
+        assert!(e.total_gbps <= 68.3 + 1e-9);
+    }
+
+    #[test]
+    fn victim_suffers_from_contention_it_did_not_create() {
+        // A latency-sensitive app (low MLP) sharing the link with hogs.
+        let victim = phase(0.7, 28.0, 4.0, MissCurve::parametric(0.45, 0.62, 1.3, 2.0));
+        let hog = phase(0.65, 24.0, 2.4, MissCurve::parametric(0.07, 0.62, 1.2, 3.0));
+
+        // Alone, with plenty of cache.
+        let alone = solve(&[(&victim, 19.0)], &link(), LAT, FREQ, 64);
+        // With nine cache-starved hogs.
+        let mut apps: Vec<(&Phase, f64)> = vec![(&victim, 19.0)];
+        for _ in 0..9 {
+            apps.push((&hog, 0.11));
+        }
+        let contended = solve(&apps, &link(), LAT, FREQ, 64);
+        let slowdown = alone.ipc[0] / contended.ipc[0];
+        assert!(slowdown > 1.15, "bandwidth contention too weak: {slowdown}");
+    }
+
+    #[test]
+    fn starved_bes_offer_less_when_granted_more_cache() {
+        // Key Fig. 3 mechanism: granting the hogs cache REDUCES total traffic.
+        let hog = phase(0.65, 24.0, 2.4, MissCurve::parametric(0.07, 0.62, 1.2, 3.0));
+        let starved: Vec<(&Phase, f64)> = (0..9).map(|_| (&hog, 0.11)).collect();
+        let granted: Vec<(&Phase, f64)> = (0..9).map(|_| (&hog, 2.0)).collect();
+        let e_starved = solve(&starved, &link(), LAT, FREQ, 64);
+        let e_granted = solve(&granted, &link(), LAT, FREQ, 64);
+        let offered_starved: f64 = e_starved.demand_gbps.iter().sum();
+        let offered_granted: f64 = e_granted.demand_gbps.iter().sum();
+        assert!(
+            offered_starved > offered_granted,
+            "starving must raise traffic: {offered_starved} vs {offered_granted}"
+        );
+        // The DICER saturation threshold (50 Gbps) separates the two states.
+        assert!(offered_starved > 50.0, "starved BEs must saturate: {offered_starved}");
+        assert!(offered_granted < 50.0, "granted BEs must not saturate: {offered_granted}");
+    }
+
+    #[test]
+    fn throttled_class_slows_down_and_offers_less() {
+        let hog = phase(0.6, 30.0, 3.5, MissCurve::flat(0.8));
+        let free = solve_throttled(&[(&hog, 2.0, 1.0)], &link(), LAT, FREQ, 64);
+        let throttled = solve_throttled(&[(&hog, 2.0, 2.0)], &link(), LAT, FREQ, 64);
+        assert!(throttled.ipc[0] < free.ipc[0]);
+        assert!(throttled.demand_gbps[0] < free.demand_gbps[0]);
+    }
+
+    #[test]
+    fn throttling_bes_relieves_the_victim() {
+        // MBA's raison d'être: delaying the hogs' requests lowers link
+        // utilisation, so the unthrottled victim speeds up.
+        let victim = phase(0.7, 28.0, 4.0, MissCurve::flat(0.5));
+        let hog = phase(0.6, 35.0, 4.0, MissCurve::flat(0.8));
+        let build = |scale: f64| {
+            let mut apps: Vec<(&Phase, f64, f64)> = vec![(&victim, 10.0, 1.0)];
+            for _ in 0..9 {
+                apps.push((&hog, 1.0, scale));
+            }
+            solve_throttled(&apps, &link(), LAT, FREQ, 64)
+        };
+        let unthrottled = build(1.0);
+        let throttled = build(4.0); // MBA 25%
+        assert!(
+            throttled.ipc[0] > unthrottled.ipc[0] * 1.05,
+            "victim should gain: {} vs {}",
+            throttled.ipc[0],
+            unthrottled.ipc[0]
+        );
+        assert!(throttled.latency_mult < unthrottled.latency_mult);
+    }
+
+    #[test]
+    fn iterations_bounded() {
+        let hog = phase(0.6, 40.0, 4.0, MissCurve::flat(0.85));
+        let apps: Vec<(&Phase, f64)> = (0..10).map(|_| (&hog, 1.0)).collect();
+        let e = solve(&apps, &link(), LAT, FREQ, 64);
+        assert!(e.iterations <= MAX_ITER);
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-time multicore server simulator.
+//!
+//! Stands in for the paper's Intel Xeon E5-2630 v4 testbed (Table 1):
+//! 10 cores at 2.2 GHz sharing a 25 MB 20-way LLC and a 68.3 Gbps memory
+//! link. The simulator advances in monitoring periods of `T` seconds and
+//! exposes exactly the observables DICER uses on real hardware — per-app
+//! IPC, per-app memory bandwidth (MBM), LLC occupancy (CMT) — plus the
+//! CAT-shaped actuation surface ([`dicer_rdt::PartitionController`]).
+//!
+//! Per period, the simulator solves a **fixed-point equilibrium** between
+//! three mutually dependent quantities:
+//!
+//! 1. each app's *effective cache share* — its CAT partition if isolated, or
+//!    a miss-pressure-proportional share of its group's ways when the group
+//!    is shared ([`contention`]);
+//! 2. each app's IPC, via the linear CPI model
+//!    `CPI = base + (APKI/1000) · miss_ratio(ways) · latency / MLP`;
+//! 3. the memory-link latency, which inflates with total offered traffic
+//!    ([`dicer_membw::LinkModel`]) — the feedback loop that makes
+//!    Cache-Takeover *hurt* bandwidth-sensitive HPs (Key Observation 2).
+//!
+//! Phase boundaries and application completion/restart (the paper restarts
+//! every application until all have finished at least once) are handled at
+//! exact sub-period times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contention;
+pub mod equilibrium;
+pub mod sim;
+pub mod solo;
+
+pub use config::ServerConfig;
+pub use equilibrium::Equilibrium;
+pub use sim::{AppInstance, RunProgress, Server};
+pub use solo::SoloProfile;

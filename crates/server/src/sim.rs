@@ -1,0 +1,665 @@
+//! The server: instances, periods, monitoring, partition enforcement.
+
+use crate::{config::ServerConfig, contention, equilibrium};
+use dicer_appmodel::{AppProfile, Phase};
+use dicer_membw::LinkModel;
+use dicer_rdt::{MbaController, MbaLevel, PartitionController, PartitionPlan, PerAppSample, PeriodSample};
+
+/// A running (and restarting) application pinned to one core.
+#[derive(Debug, Clone)]
+pub struct AppInstance {
+    /// The behaviour model this instance executes.
+    pub profile: AppProfile,
+    phase_idx: usize,
+    insns_into_phase: f64,
+    /// Completed full executions so far.
+    pub completions: u32,
+    /// Simulation time of the first completion, if any.
+    pub first_completion_s: Option<f64>,
+    /// Instructions retired since the run began.
+    pub retired_insns: f64,
+    /// Whether the instance is currently descheduled by admission control.
+    pub paused: bool,
+}
+
+impl AppInstance {
+    fn new(profile: AppProfile) -> Self {
+        Self {
+            profile,
+            phase_idx: 0,
+            insns_into_phase: 0.0,
+            completions: 0,
+            first_completion_s: None,
+            retired_insns: 0.0,
+            paused: false,
+        }
+    }
+
+    /// Phase currently executing.
+    pub fn current_phase(&self) -> &Phase {
+        &self.profile.phases[self.phase_idx]
+    }
+
+    fn insns_left_in_phase(&self) -> f64 {
+        self.current_phase().insns as f64 - self.insns_into_phase
+    }
+
+    /// Advances by `insns`, handling phase transitions and restart. `now_s`
+    /// stamps a completion if one occurs.
+    fn retire(&mut self, mut insns: f64, now_s: f64) {
+        self.retired_insns += insns;
+        // A single `retire` call never spans more than one boundary because
+        // the caller clamps dt to the nearest boundary, but loop defensively.
+        loop {
+            let left = self.insns_left_in_phase();
+            if insns < left - 0.5 {
+                self.insns_into_phase += insns;
+                return;
+            }
+            insns -= left;
+            self.insns_into_phase = 0.0;
+            self.phase_idx += 1;
+            if self.phase_idx >= self.profile.phases.len() {
+                self.phase_idx = 0;
+                self.completions += 1;
+                if self.first_completion_s.is_none() {
+                    self.first_completion_s = Some(now_s);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate progress of a co-location run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Whether the HP application has completed at least once.
+    pub hp_done: bool,
+    /// Whether every BE has completed at least once.
+    pub all_bes_done: bool,
+}
+
+impl RunProgress {
+    /// The paper's stopping rule: every application executed at least once.
+    pub fn all_done(&self) -> bool {
+        self.hp_done && self.all_bes_done
+    }
+}
+
+/// Cap on the latency scale an MBA throttle can impose. Real MBA delay
+/// values reduce effective bandwidth sub-linearly and bottom out well above
+/// the nominal 10 % request rate (the mapping is documented as approximate
+/// and platform-dependent); a 3x ceiling keeps the modelled actuator
+/// conservatively weak.
+pub const MAX_MBA_LATENCY_SCALE: f64 = 3.0;
+
+/// The simulated server: one HP instance, `n` BE instances, a partition
+/// plan, and a clock advancing in monitoring periods.
+#[derive(Debug, Clone)]
+pub struct Server {
+    cfg: ServerConfig,
+    link: LinkModel,
+    plan: PartitionPlan,
+    be_throttle: MbaLevel,
+    time_s: f64,
+    hp: AppInstance,
+    bes: Vec<AppInstance>,
+    /// BEs allowed to run concurrently (admission control).
+    admitted_target: usize,
+    /// Rotation offset so descheduled BEs take turns (round-robin).
+    admit_offset: usize,
+}
+
+impl Server {
+    /// Builds a server with the HP on core 0 and one BE instance per
+    /// remaining employed core. Panics if the workload over-subscribes the
+    /// core count or any configuration is invalid.
+    pub fn new(cfg: ServerConfig, hp: AppProfile, bes: Vec<AppProfile>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ServerConfig: {e}");
+        }
+        assert!(
+            (bes.len() as u32) < cfg.n_cores,
+            "{} BEs + 1 HP exceed {} cores",
+            bes.len(),
+            cfg.n_cores
+        );
+        assert!(!bes.is_empty(), "consolidation needs at least one BE");
+        Self {
+            link: LinkModel::new(cfg.link),
+            cfg,
+            plan: PartitionPlan::Unmanaged,
+            be_throttle: MbaLevel::FULL,
+            time_s: 0.0,
+            admitted_target: bes.len(),
+            admit_offset: 0,
+            hp: AppInstance::new(hp),
+            bes: bes.into_iter().map(AppInstance::new).collect(),
+        }
+    }
+
+    /// Server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// The HP instance.
+    pub fn hp(&self) -> &AppInstance {
+        &self.hp
+    }
+
+    /// The BE instances.
+    pub fn bes(&self) -> &[AppInstance] {
+        &self.bes
+    }
+
+    /// Limits the number of concurrently scheduled BEs (admission control —
+    /// the paper's §6 future work of "dynamically managing the number of
+    /// co-located BEs"). Descheduled BEs hold their progress; the paused
+    /// set rotates round-robin every period so every BE keeps making
+    /// progress at a `n / total` duty cycle.
+    pub fn set_admitted_bes(&mut self, n: u32) {
+        self.admitted_target = (n as usize).clamp(1, self.bes.len());
+        self.apply_admission();
+    }
+
+    fn apply_admission(&mut self) {
+        let total = self.bes.len();
+        let n = self.admitted_target;
+        for (i, be) in self.bes.iter_mut().enumerate() {
+            // Admitted window [offset, offset + n), modulo total.
+            let rel = (i + total - self.admit_offset % total) % total;
+            be.paused = rel >= n;
+        }
+    }
+
+    fn rotate_admission(&mut self) {
+        if self.admitted_target < self.bes.len() {
+            self.admit_offset = (self.admit_offset + 1) % self.bes.len();
+            self.apply_admission();
+        }
+    }
+
+    /// Number of currently admitted (running) BEs.
+    pub fn admitted_bes(&self) -> u32 {
+        self.bes.iter().filter(|b| !b.paused).count() as u32
+    }
+
+    /// Run progress against the paper's stopping rule.
+    pub fn progress(&self) -> RunProgress {
+        RunProgress {
+            hp_done: self.hp.completions > 0,
+            all_bes_done: self.bes.iter().all(|b| b.completions > 0),
+        }
+    }
+
+    /// Effective ways per app (HP first, then BEs) under the current plan.
+    /// Paused BEs take no part in cache contention and get a 0.0
+    /// placeholder (they retire nothing, so the value is never read).
+    fn effective_ways(&self) -> Vec<f64> {
+        let w = self.cfg.cache.ways;
+        let active_bes: Vec<&AppInstance> = self.bes.iter().filter(|b| !b.paused).collect();
+        let scatter = |hp_share: f64, be_shares: Vec<f64>| -> Vec<f64> {
+            let mut out = vec![0.0; 1 + self.bes.len()];
+            out[0] = hp_share;
+            let mut it = be_shares.into_iter();
+            for (slot, be) in out[1..].iter_mut().zip(self.bes.iter()) {
+                if !be.paused {
+                    *slot = it.next().expect("one share per active BE");
+                }
+            }
+            out
+        };
+        match self.plan {
+            PartitionPlan::Unmanaged => {
+                let apps: Vec<(f64, &dicer_appmodel::MissCurve)> =
+                    std::iter::once(&self.hp)
+                        .chain(active_bes.iter().copied())
+                        .map(|a| {
+                            let p = a.current_phase();
+                            (p.apki, &p.curve)
+                        })
+                        .collect();
+                let mut shares = contention::shared_effective_ways(&apps, w as f64);
+                let hp_share = shares.remove(0);
+                scatter(hp_share, shares)
+            }
+            PartitionPlan::Split { hp_ways } => {
+                let be_group = (w - hp_ways) as f64;
+                let be_apps: Vec<(f64, &dicer_appmodel::MissCurve)> = active_bes
+                    .iter()
+                    .map(|a| {
+                        let p = a.current_phase();
+                        (p.apki, &p.curve)
+                    })
+                    .collect();
+                scatter(hp_ways as f64, contention::shared_effective_ways(&be_apps, be_group))
+            }
+            PartitionPlan::Overlapping { hp_exclusive, shared } => {
+                // BE-only region split among the active BEs first; then the
+                // shared middle region is contested by HP (floored by its
+                // private ways) and the BEs (floored by their shares).
+                let be_only = (w - hp_exclusive - shared) as f64;
+                let be_apps: Vec<(f64, &dicer_appmodel::MissCurve)> = active_bes
+                    .iter()
+                    .map(|a| {
+                        let p = a.current_phase();
+                        (p.apki, &p.curve)
+                    })
+                    .collect();
+                let be_floors = if be_only > 0.0 && !be_apps.is_empty() {
+                    contention::shared_effective_ways(&be_apps, be_only)
+                } else {
+                    vec![0.0; be_apps.len()]
+                };
+                let hp_phase = self.hp.current_phase();
+                let mut participants: Vec<(f64, &dicer_appmodel::MissCurve, f64)> =
+                    vec![(hp_phase.apki, &hp_phase.curve, hp_exclusive as f64)];
+                participants.extend(
+                    be_apps.iter().zip(&be_floors).map(|((apki, curve), &f)| (*apki, *curve, f)),
+                );
+                let ovl = contention::overlap_shares(&participants, shared as f64);
+                let be_shares: Vec<f64> =
+                    be_floors.iter().zip(ovl.iter().skip(1)).map(|(&f, &o)| f + o).collect();
+                scatter(hp_exclusive as f64 + ovl[0], be_shares)
+            }
+        }
+    }
+
+    /// Advances one monitoring period and returns its counters.
+    ///
+    /// Within the period the simulator re-solves the equilibrium whenever an
+    /// application crosses a phase boundary (or completes and restarts), so
+    /// period counters are exact time-weighted averages.
+    pub fn step_period(&mut self) -> PeriodSample {
+        self.rotate_admission();
+        let n = 1 + self.bes.len();
+        let mut remaining = self.cfg.period_s;
+        let mut insns_acc = vec![0.0f64; n];
+        let mut bw_acc = vec![0.0f64; n];
+        let mut miss_acc = vec![0.0f64; n];
+        let mut occupancy = vec![0u64; n];
+        let mut total_bw_acc = 0.0f64;
+        let mut guard = 0;
+
+        while remaining > 1e-12 {
+            guard += 1;
+            assert!(guard < 10_000, "period subdivided too finely — model bug");
+
+            let ways = self.effective_ways();
+            // Active instances only take part in the equilibrium; paused
+            // BEs retire nothing and generate no traffic.
+            let active: Vec<usize> = std::iter::once(0usize)
+                .chain(self.bes.iter().enumerate().filter(|(_, b)| !b.paused).map(|(i, _)| i + 1))
+                .collect();
+            // MBA: the BE class's requests are delayed by the programmed
+            // level, modelled as a latency scale of 100 / level, capped at
+            // the hardware's real effectiveness ceiling.
+            let be_scale = (1.0 / self.be_throttle.fraction()).min(MAX_MBA_LATENCY_SCALE);
+            let instance = |i: usize| -> &AppInstance {
+                if i == 0 { &self.hp } else { &self.bes[i - 1] }
+            };
+            let phases: Vec<(&Phase, f64, f64)> = active
+                .iter()
+                .map(|&i| {
+                    let scale = if i == 0 { 1.0 } else { be_scale };
+                    (instance(i).current_phase(), ways[i], scale)
+                })
+                .collect();
+            let eq = equilibrium::solve_throttled(
+                &phases,
+                &self.link,
+                self.cfg.base_latency_cycles(),
+                self.cfg.freq_hz,
+                self.cfg.cache.line_bytes,
+            );
+            let miss_now: Vec<f64> = phases
+                .iter()
+                .map(|(p, w, _)| p.curve.miss_ratio(*w))
+                .collect();
+            drop(phases);
+
+            // Time until the nearest phase boundary among running apps.
+            let mut dt = remaining;
+            for (k, &i) in active.iter().enumerate() {
+                let rate = eq.ipc[k] * self.cfg.freq_hz; // insns per second
+                if rate > 0.0 {
+                    let t = instance(i).insns_left_in_phase() / rate;
+                    if t < dt {
+                        dt = t;
+                    }
+                }
+            }
+            // Ensure forward progress even when a boundary is (numerically)
+            // exactly at the current instant.
+            dt = dt.max(remaining * 1e-9).min(remaining);
+
+            let now = self.time_s + (self.cfg.period_s - remaining) + dt;
+            for (k, &i) in active.iter().enumerate() {
+                let insns = eq.ipc[k] * self.cfg.freq_hz * dt;
+                let inst =
+                    if i == 0 { &mut self.hp } else { &mut self.bes[i - 1] };
+                inst.retire(insns, now);
+                insns_acc[i] += insns;
+                bw_acc[i] += eq.achieved_gbps[k] * dt;
+                miss_acc[i] += miss_now[k] * dt;
+                occupancy[i] = (ways[i] * self.cfg.cache.way_bytes() as f64) as u64;
+            }
+            total_bw_acc += eq.total_gbps * dt;
+            remaining -= dt;
+        }
+
+        self.time_s += self.cfg.period_s;
+        let t = self.cfg.period_s;
+        let cycles = self.cfg.freq_hz * t;
+        let mk = |i: usize| PerAppSample {
+            ipc: insns_acc[i] / cycles,
+            llc_occupancy_bytes: occupancy[i],
+            mem_bw_gbps: bw_acc[i] / t,
+            miss_ratio: miss_acc[i] / t,
+        };
+        PeriodSample {
+            time_s: self.time_s,
+            hp: mk(0),
+            bes: (1..n).map(mk).collect(),
+            total_bw_gbps: total_bw_acc / t,
+        }
+    }
+
+    /// Runs periods until every application has completed at least once (the
+    /// paper's rule) or `max_periods` elapses. Returns all period samples.
+    pub fn run_to_completion(&mut self, max_periods: u32) -> Vec<PeriodSample> {
+        let mut out = Vec::new();
+        for _ in 0..max_periods {
+            out.push(self.step_period());
+            if self.progress().all_done() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl MbaController for Server {
+    fn set_be_throttle(&mut self, level: MbaLevel) {
+        self.be_throttle = level;
+    }
+
+    fn be_throttle(&self) -> MbaLevel {
+        self.be_throttle
+    }
+}
+
+impl PartitionController for Server {
+    fn n_ways(&self) -> u32 {
+        self.cfg.cache.ways
+    }
+
+    fn apply_plan(&mut self, plan: PartitionPlan) {
+        plan.validate(self.n_ways()).expect("invalid partition plan");
+        self.plan = plan;
+    }
+
+    fn current_plan(&self) -> PartitionPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_appmodel::{Archetype, MissCurve};
+
+    fn profile(name: &str, insns: u64, base_cpi: f64, apki: f64, mlp: f64, curve: MissCurve) -> AppProfile {
+        AppProfile::new(
+            name,
+            Archetype::CacheFriendly,
+            vec![Phase { insns, base_cpi, apki, mlp, curve }],
+        )
+    }
+
+    fn quiet(insns: u64) -> AppProfile {
+        profile("quiet", insns, 0.5, 1.0, 1.5, MissCurve::flat(0.05))
+    }
+
+    fn cfg() -> ServerConfig {
+        ServerConfig::table1()
+    }
+
+    #[test]
+    fn period_advances_clock() {
+        let mut s = Server::new(cfg(), quiet(10_000_000_000), vec![quiet(10_000_000_000)]);
+        let sample = s.step_period();
+        assert!((s.time_s() - 1.0).abs() < 1e-12);
+        assert!((sample.time_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_apps_run_at_base_ipc() {
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2)]);
+        let sample = s.step_period();
+        // CPI = 0.5 + 0.001*0.05*198/1.5 = 0.5066 -> IPC ~1.974
+        assert!((sample.hp.ipc - 1.974).abs() < 0.01, "ipc {}", sample.hp.ipc);
+    }
+
+    #[test]
+    fn completion_and_restart() {
+        // 2.2e9 insns at IPC ~1.97 completes in ~0.51 s.
+        let mut s = Server::new(cfg(), quiet(2_200_000_000), vec![quiet(u64::MAX / 2)]);
+        s.step_period();
+        assert_eq!(s.hp().completions, 1);
+        let t1 = s.hp().first_completion_s.unwrap();
+        assert!((0.4..0.7).contains(&t1), "completion at {t1}");
+        s.step_period();
+        assert!(s.hp().completions >= 2, "restarted and completed again");
+        assert!((s.hp().first_completion_s.unwrap() - t1).abs() < 1e-12, "first stamp fixed");
+    }
+
+    #[test]
+    fn progress_tracks_all_apps() {
+        let mut s = Server::new(cfg(), quiet(2_200_000_000), vec![quiet(200_000_000_000)]);
+        s.step_period();
+        let p = s.progress();
+        assert!(p.hp_done && !p.all_bes_done && !p.all_done());
+    }
+
+    #[test]
+    fn run_to_completion_stops_when_done() {
+        let mut s = Server::new(cfg(), quiet(2_200_000_000), vec![quiet(4_400_000_000)]);
+        let samples = s.run_to_completion(100);
+        assert!(s.progress().all_done());
+        assert!(samples.len() < 10, "should finish quickly, took {}", samples.len());
+    }
+
+    #[test]
+    fn partition_plan_is_enforced_next_period() {
+        let streamy = profile("hog", u64::MAX / 2, 0.6, 30.0, 3.5, MissCurve::flat(0.8));
+        let sensitive = profile(
+            "sens",
+            u64::MAX / 2,
+            0.8,
+            16.0,
+            1.2,
+            MissCurve::parametric(0.06, 0.7, 8.0, 2.0),
+        );
+        let mut s = Server::new(cfg(), sensitive, vec![streamy; 9]);
+        s.apply_plan(PartitionPlan::cache_takeover(20));
+        let sample = s.step_period();
+        // HP owns 19 ways: occupancy reflects it.
+        assert!(sample.hp.llc_occupancy_bytes > 18 * s.config().cache.way_bytes());
+        // BEs squeezed into one shared way.
+        for be in &sample.bes {
+            assert!(be.llc_occupancy_bytes <= s.config().cache.way_bytes());
+        }
+    }
+
+    #[test]
+    fn ct_improves_cache_sensitive_hp_vs_unmanaged() {
+        let hog = profile("hog", u64::MAX / 2, 0.6, 20.0, 3.0, MissCurve::flat(0.55));
+        let sensitive = profile(
+            "sens",
+            u64::MAX / 2,
+            0.8,
+            16.0,
+            1.2,
+            MissCurve::parametric(0.06, 0.7, 8.0, 2.0),
+        );
+        let mut um = Server::new(cfg(), sensitive.clone(), vec![hog.clone(); 9]);
+        let um_ipc = um.step_period().hp.ipc;
+        let mut ct = Server::new(cfg(), sensitive, vec![hog; 9]);
+        ct.apply_plan(PartitionPlan::cache_takeover(20));
+        let ct_ipc = ct.step_period().hp.ipc;
+        assert!(ct_ipc > um_ipc * 1.1, "CT should shield the HP: {ct_ipc} vs {um_ipc}");
+    }
+
+    #[test]
+    fn ct_hurts_bandwidth_sensitive_hp_with_hungry_bes() {
+        // Fig. 3: milc-like HP + gcc-like BEs.
+        let milc = profile(
+            "milc",
+            u64::MAX / 2,
+            0.70,
+            28.0,
+            4.0,
+            MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+        );
+        let gcc = profile(
+            "gcc",
+            u64::MAX / 2,
+            0.65,
+            24.0,
+            2.4,
+            MissCurve::parametric(0.07, 0.62, 1.2, 3.0),
+        );
+        let ipc_at = |hp_ways: u32| {
+            let mut s = Server::new(cfg(), milc.clone(), vec![gcc.clone(); 9]);
+            s.apply_plan(PartitionPlan::Split { hp_ways });
+            s.step_period().hp.ipc
+        };
+        let ct = ipc_at(19);
+        let small = ipc_at(2);
+        assert!(small > ct * 1.1, "small HP allocation should win: 2-way {small} vs CT {ct}");
+    }
+
+    #[test]
+    fn total_bw_respects_link_capacity() {
+        let hog = profile("hog", u64::MAX / 2, 0.6, 40.0, 4.2, MissCurve::flat(0.85));
+        let mut s = Server::new(cfg(), hog.clone(), vec![hog; 9]);
+        let sample = s.step_period();
+        assert!(sample.total_bw_gbps <= 68.3 + 1e-9);
+        assert!(sample.total_bw_gbps > 40.0, "hogs should load the link");
+    }
+
+    #[test]
+    fn phase_boundary_mid_period_blends_counters() {
+        // Phase 1: memory-quiet; phase 2: memory-heavy. One period spans both.
+        let two_phase = AppProfile::new(
+            "twophase",
+            Archetype::Streaming,
+            vec![
+                Phase { insns: 1_100_000_000, base_cpi: 0.5, apki: 0.5, mlp: 1.5, curve: MissCurve::flat(0.05) },
+                Phase { insns: 50_000_000_000, base_cpi: 0.5, apki: 30.0, mlp: 4.0, curve: MissCurve::flat(0.8) },
+            ],
+        );
+        let mut s = Server::new(cfg(), two_phase, vec![quiet(u64::MAX / 2)]);
+        let s1 = s.step_period();
+        // Quiet phase lasts ~0.25 s; blended bandwidth sits between the two.
+        let mut s2 = s.step_period();
+        for _ in 0..3 {
+            s2 = s.step_period();
+        }
+        assert!(s1.hp.mem_bw_gbps > 1.0, "period 1 already includes heavy phase");
+        assert!(s2.hp.mem_bw_gbps > s1.hp.mem_bw_gbps * 1.1, "steady heavy phase is hotter");
+    }
+
+    #[test]
+    fn admission_limits_concurrency_each_period() {
+        let hog = profile("hog", u64::MAX / 2, 0.6, 30.0, 3.5, MissCurve::flat(0.8));
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![hog; 9]);
+        s.set_admitted_bes(3);
+        assert_eq!(s.admitted_bes(), 3);
+        let sample = s.step_period();
+        let ran = sample.bes.iter().filter(|b| b.ipc > 0.0).count();
+        let idle = sample.bes.iter().filter(|b| b.ipc == 0.0 && b.mem_bw_gbps == 0.0).count();
+        assert_eq!(ran, 3, "exactly the admitted count runs");
+        assert_eq!(idle, 6);
+    }
+
+    #[test]
+    fn admission_rotates_so_every_be_progresses() {
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2); 9]);
+        s.set_admitted_bes(3);
+        for _ in 0..9 {
+            s.step_period();
+        }
+        for (i, be) in s.bes().iter().enumerate() {
+            assert!(be.retired_insns > 0.0, "BE {i} never got a turn");
+        }
+        // Duty cycle ~3/9: each BE retired roughly a third of what the HP did.
+        let hp = s.hp().retired_insns;
+        for be in s.bes() {
+            let duty = be.retired_insns / hp;
+            assert!((0.15..0.55).contains(&duty), "duty cycle off: {duty}");
+        }
+    }
+
+    #[test]
+    fn pausing_bes_relieves_link_pressure() {
+        let hog = profile("hog", u64::MAX / 2, 0.6, 35.0, 4.0, MissCurve::flat(0.85));
+        let mut all = Server::new(cfg(), quiet(u64::MAX / 2), vec![hog.clone(); 9]);
+        let bw_all = all.step_period().total_bw_gbps;
+        let mut few = Server::new(cfg(), quiet(u64::MAX / 2), vec![hog; 9]);
+        few.set_admitted_bes(2);
+        let bw_few = few.step_period().total_bw_gbps;
+        assert!(bw_few < bw_all * 0.6, "2 admitted hogs should load far less: {bw_few} vs {bw_all}");
+    }
+
+    #[test]
+    fn descheduled_bes_hold_progress_until_their_turn() {
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2); 3]);
+        s.step_period();
+        s.set_admitted_bes(1);
+        // Over any single period, exactly one BE advances.
+        let before: Vec<f64> = s.bes().iter().map(|b| b.retired_insns).collect();
+        s.step_period();
+        let advanced = s
+            .bes()
+            .iter()
+            .zip(&before)
+            .filter(|(b, &x)| b.retired_insns > x)
+            .count();
+        assert_eq!(advanced, 1, "one admitted slot");
+        // Full re-admission resumes everyone.
+        s.set_admitted_bes(3);
+        let before: Vec<f64> = s.bes().iter().map(|b| b.retired_insns).collect();
+        s.step_period();
+        assert!(s.bes().iter().zip(&before).all(|(b, &x)| b.retired_insns > x));
+    }
+
+    #[test]
+    fn admission_clamps_to_at_least_one_be() {
+        let mut s = Server::new(cfg(), quiet(1000), vec![quiet(1000); 4]);
+        s.set_admitted_bes(0);
+        assert_eq!(s.admitted_bes(), 1);
+        s.set_admitted_bes(99);
+        assert_eq!(s.admitted_bes(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscription_rejected() {
+        Server::new(cfg(), quiet(1_000), vec![quiet(1_000); 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_plan_rejected() {
+        let mut s = Server::new(cfg(), quiet(1_000), vec![quiet(1_000)]);
+        s.apply_plan(PartitionPlan::Split { hp_ways: 20 });
+    }
+}

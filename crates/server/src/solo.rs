@@ -1,0 +1,148 @@
+//! Solo (isolated) profiling of applications.
+//!
+//! The paper's metrics are all normalised to each application's behaviour
+//! when *running alone on the system occupying the entire cache*
+//! (`IPC_alone`, solo execution time). Fig. 2 additionally needs, per
+//! application, the minimum LLC allocation at which solo performance reaches
+//! a fraction of its full-cache maximum.
+
+use crate::{config::ServerConfig, equilibrium};
+use dicer_appmodel::AppProfile;
+use dicer_membw::LinkModel;
+
+/// Solo characterisation of one application on a given server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoloProfile {
+    /// Instruction-weighted IPC with the full cache, accounting for the
+    /// app's own link load.
+    pub ipc_alone: f64,
+    /// Solo execution time in seconds with the full cache.
+    pub time_alone_s: f64,
+    /// Instruction-weighted solo IPC at each way allocation
+    /// (`ipc_by_ways[w-1]` = IPC with `w` ways).
+    pub ipc_by_ways: Vec<f64>,
+}
+
+/// Profiles `app` alone on `cfg`'s server.
+pub fn profile(app: &AppProfile, cfg: &ServerConfig) -> SoloProfile {
+    let link = LinkModel::new(cfg.link);
+    let ways_max = cfg.cache.ways;
+    let ipc_by_ways: Vec<f64> =
+        (1..=ways_max).map(|w| solo_ipc_at(app, w as f64, cfg, &link)).collect();
+    let ipc_alone = ipc_by_ways[ways_max as usize - 1];
+    let time_alone_s = solo_time_at(app, ways_max as f64, cfg, &link);
+    SoloProfile { ipc_alone, time_alone_s, ipc_by_ways }
+}
+
+/// Instruction-weighted solo IPC at a given allocation, including the app's
+/// own bandwidth feedback (a lone streaming app can load the link).
+pub fn solo_ipc_at(app: &AppProfile, ways: f64, cfg: &ServerConfig, link: &LinkModel) -> f64 {
+    let total: f64 = app.phases.iter().map(|p| p.insns as f64).sum();
+    let cycles: f64 = app
+        .phases
+        .iter()
+        .map(|p| {
+            let eq = equilibrium::solve(
+                &[(p, ways)],
+                link,
+                cfg.base_latency_cycles(),
+                cfg.freq_hz,
+                cfg.cache.line_bytes,
+            );
+            p.insns as f64 / eq.ipc[0]
+        })
+        .sum();
+    total / cycles
+}
+
+fn solo_time_at(app: &AppProfile, ways: f64, cfg: &ServerConfig, link: &LinkModel) -> f64 {
+    let total: f64 = app.phases.iter().map(|p| p.insns as f64).sum();
+    total / (solo_ipc_at(app, ways, cfg, link) * cfg.freq_hz)
+}
+
+impl SoloProfile {
+    /// Minimum number of ways at which solo IPC reaches `target_frac` of the
+    /// full-cache IPC (Fig. 2's quantity). Always succeeds at the full way
+    /// count by construction.
+    pub fn min_ways_for(&self, target_frac: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&target_frac));
+        let target = self.ipc_alone * target_frac;
+        for (i, ipc) in self.ipc_by_ways.iter().enumerate() {
+            if *ipc >= target - 1e-12 {
+                return i as u32 + 1;
+            }
+        }
+        self.ipc_by_ways.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_appmodel::{Archetype, MissCurve, Phase};
+
+    fn cfg() -> ServerConfig {
+        ServerConfig::table1()
+    }
+
+    fn app(base_cpi: f64, apki: f64, mlp: f64, curve: MissCurve) -> AppProfile {
+        AppProfile::new(
+            "t",
+            Archetype::CacheFriendly,
+            vec![Phase { insns: 22_000_000_000, base_cpi, apki, mlp, curve }],
+        )
+    }
+
+    #[test]
+    fn compute_bound_needs_one_way() {
+        let a = app(0.5, 0.5, 1.5, MissCurve::flat(0.05));
+        let p = profile(&a, &cfg());
+        assert_eq!(p.min_ways_for(0.99), 1);
+        assert_eq!(p.min_ways_for(0.90), 1);
+    }
+
+    #[test]
+    fn cache_sensitive_needs_many_ways() {
+        let a = app(0.9, 20.0, 1.2, MissCurve::parametric(0.05, 0.75, 10.0, 2.0));
+        let p = profile(&a, &cfg());
+        assert!(p.min_ways_for(0.99) > 10, "got {}", p.min_ways_for(0.99));
+        assert!(p.min_ways_for(0.90) > 4);
+        assert!(p.min_ways_for(0.90) <= p.min_ways_for(0.99));
+    }
+
+    #[test]
+    fn ipc_by_ways_is_monotone() {
+        let a = app(0.7, 15.0, 2.0, MissCurve::parametric(0.05, 0.6, 4.0, 2.0));
+        let p = profile(&a, &cfg());
+        for w in p.ipc_by_ways.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn time_is_insns_over_rate() {
+        let a = app(1.0, 0.0, 1.0, MissCurve::flat(0.0));
+        let p = profile(&a, &cfg());
+        // CPI 1 at 2.2 GHz: 22e9 insns = 10 s.
+        assert!((p.time_alone_s - 10.0).abs() < 1e-6);
+        assert!((p.ipc_alone - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_solo_ipc_accounts_for_own_bandwidth() {
+        // A lone hog heavy enough to cross the link knee must see its solo
+        // IPC reduced relative to the unloaded-latency closed form.
+        let hog = app(0.5, 150.0, 12.0, MissCurve::flat(0.9));
+        let closed_form = hog.phases[0].ipc(20.0, cfg().base_latency_cycles());
+        let p = profile(&hog, &cfg());
+        assert!(p.ipc_alone < closed_form, "{} !< {closed_form}", p.ipc_alone);
+    }
+
+    #[test]
+    fn min_ways_boundaries() {
+        let a = app(0.5, 0.5, 1.5, MissCurve::flat(0.05));
+        let p = profile(&a, &cfg());
+        assert_eq!(p.min_ways_for(0.0), 1);
+        assert!(p.min_ways_for(1.0) <= 20);
+    }
+}

@@ -1,0 +1,60 @@
+//! Trace-driven cache-simulator demo: extract miss-ratio curves from
+//! synthetic address traces and watch CAT way-masks isolate a victim from a
+//! streaming aggressor — the hardware mechanism DICER actuates.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cachesim_demo
+//! ```
+
+use dicer::cachesim::{mrc, CacheConfig, ReplacementKind, SetAssocCache, TraceGen};
+
+fn main() {
+    // A scaled-down LLC keeps the demo fast: 512 sets x 8 ways x 64 B.
+    let cfg = CacheConfig { size_bytes: 512 * 8 * 64, ways: 8, line_bytes: 64 };
+
+    println!("1) Miss-ratio curves by archetype (trace-driven, LRU)");
+    let traces = [
+        ("streaming", TraceGen::Stream),
+        ("working-set (2 ways)", TraceGen::WorkingSet { lines: 512 * 2, seed: 7 }),
+        ("zipf pointer-chase", TraceGen::Zipf { lines: 512 * 24, s: 0.9, seed: 9 }),
+    ];
+    print!("   ways:");
+    for w in 1..=cfg.ways {
+        print!("  {w:>5}");
+    }
+    println!();
+    for (name, gen) in &traces {
+        let trace = gen.generate(300_000);
+        let curve = mrc::by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        print!("   {name:<22}");
+        for w in 1..=cfg.ways {
+            print!(" {:>5.2}", curve.at(w));
+        }
+        println!();
+    }
+
+    println!();
+    println!("2) CAT isolation: victim (working set) vs streaming aggressor");
+    for (label, victim_mask, aggressor_mask) in [
+        ("shared cache (no CAT)  ", 0xFFu32, 0xFFu32),
+        ("CAT split 6+2          ", 0xFCu32, 0x03u32),
+    ] {
+        let mut cache = SetAssocCache::new(cfg, ReplacementKind::Lru);
+        let victim_trace = TraceGen::WorkingSet { lines: 512 * 3, seed: 1 }.generate(400_000);
+        let aggressor_trace = TraceGen::Stream.generate(400_000);
+        // Interleave accesses 1:1, as two cores would.
+        for (v, a) in victim_trace.iter().zip(&aggressor_trace) {
+            cache.access_line(*v, 1, victim_mask);
+            cache.access_line(*a, 2, aggressor_mask);
+        }
+        println!(
+            "   {label} victim miss ratio {:.3}, victim occupancy {:>5} KiB",
+            cache.miss_ratio(1),
+            cache.occupancy_bytes(1) / 1024,
+        );
+    }
+    println!();
+    println!("The split raises the victim's hit rate by fencing the stream into");
+    println!("two ways — cache contents migrate lazily, exactly like real CAT.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: co-locate one HP with nine BEs under DICER and watch the
+//! controller adapt the LLC partition period by period.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dicer::policy::{Dicer, DicerConfig, Policy};
+use dicer::prelude::*;
+use dicer::rdt::PartitionController;
+
+fn main() {
+    // The paper's evaluation machine (Table 1): 10 cores, 25 MB 20-way LLC,
+    // 68.3 Gbps memory link, 1-second monitoring periods.
+    let cfg = ServerConfig::table1();
+
+    // The paper's Fig. 3 workload: milc (bandwidth-sensitive HP) against
+    // nine gcc instances (cache-hungry BEs).
+    let catalog = Catalog::paper();
+    let hp = catalog.get("milc1").expect("milc in catalog").clone();
+    let be = catalog.get("gcc_base1").expect("gcc in catalog").clone();
+
+    let mut server = Server::new(cfg, hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    server.apply_plan(dicer.initial_plan(cfg.cache.ways));
+
+    println!("period |  HP ways | state            |  HP IPC | total BW (Gbps)");
+    println!("-------+----------+------------------+---------+----------------");
+    for period in 1..=40 {
+        let sample = server.step_period();
+        let plan = dicer.on_period(&sample, cfg.cache.ways);
+        println!(
+            "{:>6} | {:>8} | {:<16} | {:>7.3} | {:>9.1}",
+            period,
+            server.current_plan().hp_ways(cfg.cache.ways),
+            format!("{:?}", dicer.state()),
+            sample.hp.ipc,
+            sample.total_bw_gbps,
+        );
+        server.apply_plan(plan);
+    }
+
+    println!();
+    println!(
+        "DICER settled on {} HP ways (CT would pin 19; the workload is {}).",
+        dicer.hp_ways(),
+        if dicer.ct_favoured() { "CT-Favoured" } else { "CT-Thwarted" }
+    );
+    println!(
+        "Decisions: {} sampling periods, {} shrinks, {} resets, {} phase changes.",
+        dicer.stats.sampling_periods, dicer.stats.shrinks, dicer.stats.resets, dicer.stats.phase_changes
+    );
+}

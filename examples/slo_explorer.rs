@@ -1,0 +1,63 @@
+//! SLO explorer: for one workload, sweep the number of employed cores and
+//! report which SLO targets each policy can hold, plus the combined SUCI
+//! score a provider would optimise.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example slo_explorer [HP] [BE]
+//! ```
+
+use dicer::experiments::runner::run_colocation_with;
+use dicer::experiments::SoloTable;
+use dicer::metrics::{slo_achieved, suci};
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hp_name = args.get(1).map(String::as_str).unwrap_or("omnetpp1");
+    let be_name = args.get(2).map(String::as_str).unwrap_or("gcc_base1");
+
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let solo = SoloTable::build(&catalog, cfg);
+    let hp = catalog
+        .get(hp_name)
+        .unwrap_or_else(|| panic!("unknown HP {hp_name}; try e.g. omnetpp1, milc1, mcf1"));
+    let be = catalog
+        .get(be_name)
+        .unwrap_or_else(|| panic!("unknown BE {be_name}; try e.g. gcc_base1, lbm1"));
+
+    let policies = [
+        PolicyKind::Unmanaged,
+        PolicyKind::CacheTakeover,
+        PolicyKind::Dicer(DicerConfig::default()),
+    ];
+    let slos = [0.80, 0.90, 0.95];
+
+    println!("workload: {hp_name} (HP) + (cores-1) x {be_name} (BEs)\n");
+    println!(
+        "{:>5} {:<7} {:>8} {:>7}  {:<17} {:>10}",
+        "cores", "policy", "HP norm", "EFU", "SLOs held", "SUCI@90%"
+    );
+    for n_cores in (2..=cfg.n_cores).step_by(2) {
+        for p in &policies {
+            let out = run_colocation_with(&solo, hp, be, n_cores, p);
+            let held: Vec<String> = slos
+                .iter()
+                .filter(|s| slo_achieved(out.hp_norm_ipc, **s))
+                .map(|s| format!("{:.0}%", s * 100.0))
+                .collect();
+            println!(
+                "{:>5} {:<7} {:>8.3} {:>7.3}  {:<17} {:>10.3}",
+                n_cores,
+                out.policy,
+                out.hp_norm_ipc,
+                out.efu,
+                if held.is_empty() { "none".to_string() } else { held.join(" ") },
+                suci(out.hp_norm_ipc, out.efu, 0.90, 1.0),
+            );
+        }
+    }
+    println!("\nSUCI (Eq. 4) is zero whenever the 90% SLO is violated, otherwise EFU.");
+}

@@ -1,0 +1,145 @@
+//! `dicer-sim` — command-line front end for the DICER reproduction.
+//!
+//! ```text
+//! dicer-sim catalog                      # list the 59 workloads
+//! dicer-sim solo <APP>                   # solo profile of one workload
+//! dicer-sim run --hp milc1 --be gcc_base1 [--cores 10] [--policy dicer]
+//! dicer-sim compare --hp milc1 --be gcc_base1 [--cores 10]
+//! ```
+//!
+//! Policies: `um`, `ct`, `dicer`, `dicer-mba`, `dicer-adm`, `dcp-qos`,
+//! `static:<ways>`, `overlap:<exclusive>:<shared>`.
+
+use dicer::appmodel::Catalog;
+use dicer::cli::{parse_flags, parse_policy};
+use dicer::experiments::runner::run_colocation_with;
+use dicer::experiments::{trace, SoloTable};
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::server::ServerConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dicer-sim catalog\n  dicer-sim solo <APP>\n  \
+         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline]\n  \
+         dicer-sim compare --hp <APP> --be <APP> [--cores N]\n\
+         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+
+    let catalog = Catalog::paper();
+    match cmd {
+        "catalog" => {
+            println!("{:<18} {:<16} {:>8} {:>9} {:>7}", "name", "archetype", "APKI", "solo IPC", "phases");
+            let cfg = ServerConfig::table1();
+            let solo = SoloTable::build(&catalog, cfg);
+            for app in catalog.profiles() {
+                println!(
+                    "{:<18} {:<16} {:>8.1} {:>9.3} {:>7}",
+                    app.name,
+                    app.archetype.to_string(),
+                    app.mean_apki(),
+                    solo.get(&app.name).ipc_alone,
+                    app.phases.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "solo" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(app) = catalog.get(name) else {
+                eprintln!("unknown app {name:?} — try `dicer-sim catalog`");
+                return ExitCode::FAILURE;
+            };
+            let cfg = ServerConfig::table1();
+            let solo = SoloTable::build(&catalog, cfg);
+            let p = solo.get(name);
+            println!("{name}: {} ({} phases)", app.archetype, app.phases.len());
+            println!("  solo IPC (full LLC): {:.3}", p.ipc_alone);
+            println!("  solo time:           {:.1} s", p.time_alone_s);
+            println!("  IPC by ways:");
+            for (i, ipc) in p.ipc_by_ways.iter().enumerate() {
+                println!("    {:>2} ways: {:.3} ({:.1}% of peak)", i + 1, ipc, 100.0 * ipc / p.ipc_alone);
+            }
+            for target in [0.90, 0.95, 0.99] {
+                println!(
+                    "  min ways for {:>2.0}% of peak: {}",
+                    target * 100.0,
+                    p.min_ways_for(target)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" | "compare" => {
+            let flags = match parse_flags(&args[1..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let (Some(hp_name), Some(be_name)) = (flags.get("hp"), flags.get("be")) else {
+                return usage();
+            };
+            let cores: u32 = flags.get("cores").map(|c| c.parse().unwrap_or(10)).unwrap_or(10);
+            let (Some(hp), Some(be)) = (catalog.get(hp_name), catalog.get(be_name)) else {
+                eprintln!("unknown app — try `dicer-sim catalog`");
+                return ExitCode::FAILURE;
+            };
+            let cfg = ServerConfig::table1();
+            let solo = SoloTable::build(&catalog, cfg);
+
+            let policies: Vec<PolicyKind> = if cmd == "compare" {
+                vec![
+                    PolicyKind::Unmanaged,
+                    PolicyKind::CacheTakeover,
+                    PolicyKind::Dicer(DicerConfig::default()),
+                    PolicyKind::DicerMba(DicerConfig::default()),
+                    PolicyKind::DicerAdmission(DicerConfig::default()),
+                ]
+            } else {
+                let p = flags.get("policy").map(String::as_str).unwrap_or("dicer");
+                match parse_policy(p) {
+                    Ok(k) => vec![k],
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+            };
+
+            println!(
+                "{:<10} {:>8} {:>9} {:>8} {:>7} {:>9} {:>8}",
+                "policy", "HP norm", "HP slow", "BE norm", "EFU", "link Gbps", "periods"
+            );
+            for kind in &policies {
+                let out = run_colocation_with(&solo, hp, be, cores, kind);
+                println!(
+                    "{:<10} {:>8.3} {:>8.2}x {:>8.3} {:>7.3} {:>9.1} {:>8}",
+                    out.policy,
+                    out.hp_norm_ipc,
+                    out.hp_slowdown,
+                    out.be_norm_ipc_mean(),
+                    out.efu,
+                    out.mean_total_bw_gbps,
+                    out.periods
+                );
+            }
+            if flags.contains_key("timeline") {
+                for kind in &policies {
+                    let t = trace::run_traced(&solo, hp, be, cores, kind, 2000);
+                    println!("\n{}", t.render(72));
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

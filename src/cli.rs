@@ -1,0 +1,103 @@
+//! Argument parsing for the `dicer-sim` CLI (kept in the library so it is
+//! unit-testable without spawning the binary).
+
+use dicer_policy::{DicerConfig, PolicyKind};
+use std::collections::HashMap;
+
+/// Parses a policy spec: `um`, `ct`, `dicer`, `dicer-mba`, `dicer-adm`,
+/// `dcp-qos`, `static:<ways>`, `overlap:<exclusive>:<shared>`.
+pub fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "um" => Ok(PolicyKind::Unmanaged),
+        "ct" => Ok(PolicyKind::CacheTakeover),
+        "dicer" => Ok(PolicyKind::Dicer(DicerConfig::default())),
+        "dicer-mba" => Ok(PolicyKind::DicerMba(DicerConfig::default())),
+        "dicer-adm" => Ok(PolicyKind::DicerAdmission(DicerConfig::default())),
+        "dcp-qos" => Ok(PolicyKind::DcpQos),
+        other => {
+            if let Some(w) = other.strip_prefix("static:") {
+                let w: u32 = w.parse().map_err(|e| format!("bad static ways: {e}"))?;
+                return Ok(PolicyKind::Static(w));
+            }
+            if let Some(rest) = other.strip_prefix("overlap:") {
+                let (e, s) = rest
+                    .split_once(':')
+                    .ok_or_else(|| "overlap needs <exclusive>:<shared>".to_string())?;
+                let e: u32 = e.parse().map_err(|x| format!("bad exclusive: {x}"))?;
+                let s: u32 = s.parse().map_err(|x| format!("bad shared: {x}"))?;
+                return Ok(PolicyKind::Overlap(e, s));
+            }
+            Err(format!("unknown policy {other:?}"))
+        }
+    }
+}
+
+/// Boolean flags that take no value.
+const SWITCHES: [&str; 1] = ["timeline"];
+
+/// Parses `--key value` pairs (plus bare switches) into a map.
+pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+        if SWITCHES.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), v.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_policies_parse() {
+        for (s, name) in [
+            ("um", "UM"),
+            ("ct", "CT"),
+            ("dicer", "DICER"),
+            ("dicer-mba", "DICER+MBA"),
+            ("dicer-adm", "DICER+ADM"),
+            ("dcp-qos", "DCP-QOS"),
+        ] {
+            assert_eq!(parse_policy(s).unwrap().name(), name, "{s}");
+        }
+    }
+
+    #[test]
+    fn parameterised_policies_parse() {
+        assert_eq!(parse_policy("static:7").unwrap(), PolicyKind::Static(7));
+        assert_eq!(parse_policy("overlap:4:6").unwrap(), PolicyKind::Overlap(4, 6));
+    }
+
+    #[test]
+    fn bad_policies_rejected() {
+        assert!(parse_policy("herakles").is_err());
+        assert!(parse_policy("static:x").is_err());
+        assert!(parse_policy("overlap:4").is_err());
+        assert!(parse_policy("overlap:a:b").is_err());
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let args: Vec<String> =
+            ["--hp", "milc1", "--timeline", "--cores", "8"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["hp"], "milc1");
+        assert_eq!(f["timeline"], "true");
+        assert_eq!(f["cores"], "8");
+    }
+
+    #[test]
+    fn flags_reject_missing_values_and_bare_words() {
+        assert!(parse_flags(&["--hp".to_string()]).is_err());
+        assert!(parse_flags(&["milc1".to_string()]).is_err());
+    }
+}

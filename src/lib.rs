@@ -1,0 +1,52 @@
+//! # DICER — Diligent Cache Partitioning for Efficient Workload Consolidation
+//!
+//! A from-scratch Rust reproduction of the ICPP 2019 paper by Nikas et al.
+//! This facade crate re-exports the whole workspace; see the individual
+//! crates for the subsystems:
+//!
+//! * [`cachesim`] — way-partitioned set-associative LLC simulator (CAT/CMT/MBM).
+//! * [`membw`] — memory-link bandwidth and latency-inflation model.
+//! * [`appmodel`] — synthetic SPEC/PARSEC-style application catalog.
+//! * [`rdt`] — Intel-RDT-style control/monitoring abstraction.
+//! * [`server`] — the 10-core server simulator (Table 1 configuration).
+//! * [`policy`] — co-location policies: UM, CT, static partitions, DICER.
+//! * [`metrics`] — EFU, SLO conformance, SUCI, CDFs.
+//! * [`experiments`] — figure/table runners for the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dicer::prelude::*;
+//! use dicer::policy::PolicyKind;
+//!
+//! // Build the Table-1 server, co-locate one HP with three BEs, run DICER.
+//! let catalog = Catalog::paper();
+//! let hp = catalog.get("milc1").unwrap();
+//! let be = catalog.get("gcc_base1").unwrap();
+//! let outcome = run_colocation(hp, be, 4, PolicyKind::Dicer(DicerConfig::default()));
+//! assert!(outcome.hp_slowdown >= 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use dicer_appmodel as appmodel;
+pub use dicer_cachesim as cachesim;
+pub use dicer_experiments as experiments;
+pub use dicer_membw as membw;
+pub use dicer_metrics as metrics;
+pub use dicer_policy as policy;
+pub use dicer_rdt as rdt;
+pub use dicer_server as server;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use dicer_appmodel::{AppProfile, Catalog};
+    pub use dicer_experiments::runner::{run_colocation, ColocationOutcome};
+    pub use dicer_membw::{LinkConfig, SaturationDetector};
+    pub use dicer_metrics::{efu, suci};
+    pub use dicer_policy::{CacheTakeover, Dicer, DicerConfig, Policy, PolicyKind, Unmanaged};
+    pub use dicer_rdt::{PartitionPlan, WayMask};
+    pub use dicer_server::{Server, ServerConfig};
+}

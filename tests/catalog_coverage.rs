@@ -1,0 +1,146 @@
+//! Catalog-wide coverage: every one of the 59 workloads satisfies the
+//! global invariants the evaluation relies on. These run over the *whole*
+//! catalog so that a future retuning of any family cannot silently violate
+//! them.
+
+use dicer::appmodel::{Archetype, Catalog};
+use dicer::experiments::SoloTable;
+use dicer::server::ServerConfig;
+
+#[test]
+fn every_profile_validates_and_has_sane_parameters() {
+    let catalog = Catalog::paper();
+    assert_eq!(catalog.len(), 59);
+    for app in catalog.profiles() {
+        app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        for (i, ph) in app.phases.iter().enumerate() {
+            assert!(
+                (0.2..2.0).contains(&ph.base_cpi),
+                "{} phase {i}: base_cpi {} out of band",
+                app.name,
+                ph.base_cpi
+            );
+            assert!(ph.apki < 80.0, "{} phase {i}: APKI {} implausible", app.name, ph.apki);
+            assert!(
+                (1.0..8.0).contains(&ph.mlp),
+                "{} phase {i}: MLP {} out of band",
+                app.name,
+                ph.mlp
+            );
+        }
+    }
+}
+
+#[test]
+fn solo_profiles_are_monotone_and_bounded_for_all_apps() {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    for app in catalog.profiles() {
+        let p = solo.get(&app.name);
+        assert!(
+            (0.05..4.0).contains(&p.ipc_alone),
+            "{}: solo IPC {} implausible",
+            app.name,
+            p.ipc_alone
+        );
+        for w in p.ipc_by_ways.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{}: solo IPC not monotone in ways", app.name);
+        }
+        // The full-cache point is the best point.
+        assert!((p.ipc_by_ways[19] - p.ipc_alone).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn solo_bandwidth_never_saturates_the_link() {
+    // A single app alone must not trip DICER's saturation threshold —
+    // otherwise "solo" baselines would themselves be contended.
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let link = dicer::membw::LinkModel::new(cfg.link);
+    for app in catalog.profiles() {
+        for ph in &app.phases {
+            let eq = dicer::server::equilibrium::solve(
+                &[(ph, 20.0)],
+                &link,
+                cfg.base_latency_cycles(),
+                cfg.freq_hz,
+                cfg.cache.line_bytes,
+            );
+            assert!(
+                eq.total_gbps < 50.0,
+                "{}: a lone phase saturates the link ({:.1} Gbps)",
+                app.name,
+                eq.total_gbps
+            );
+        }
+    }
+}
+
+#[test]
+fn archetype_bandwidth_ordering_holds_in_aggregate() {
+    // Streaming apps must dominate the solo-bandwidth ranking; compute-bound
+    // apps must sit at the bottom.
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let link = dicer::membw::LinkModel::new(cfg.link);
+    let solo_bw = |a: &dicer::appmodel::AppProfile| -> f64 {
+        a.phases
+            .iter()
+            .map(|ph| {
+                dicer::server::equilibrium::solve(
+                    &[(ph, 20.0)],
+                    &link,
+                    cfg.base_latency_cycles(),
+                    cfg.freq_hz,
+                    cfg.cache.line_bytes,
+                )
+                .total_gbps
+            })
+            .fold(0.0, f64::max)
+    };
+    let mean = |arch: Archetype| {
+        let v: Vec<f64> = catalog.by_archetype(arch).iter().map(|a| solo_bw(a)).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let streaming = mean(Archetype::Streaming);
+    let friendly = mean(Archetype::CacheFriendly);
+    let compute = mean(Archetype::ComputeBound);
+    assert!(streaming > 2.0 * friendly, "streaming {streaming} vs friendly {friendly}");
+    assert!(friendly > compute, "friendly {friendly} vs compute {compute}");
+    assert!(compute < 1.0, "compute-bound apps should be near-silent: {compute}");
+}
+
+#[test]
+fn nine_instances_of_any_streaming_app_saturate_when_starved() {
+    // The CT-T mechanism must be reachable from every streaming BE family.
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let link = dicer::membw::LinkModel::new(cfg.link);
+    for app in catalog.by_archetype(Archetype::Streaming) {
+        let ph = &app.phases[0];
+        let apps: Vec<(&dicer::appmodel::Phase, f64)> = (0..9).map(|_| (ph, 0.11)).collect();
+        let eq = dicer::server::equilibrium::solve(
+            &apps,
+            &link,
+            cfg.base_latency_cycles(),
+            cfg.freq_hz,
+            cfg.cache.line_bytes,
+        );
+        let offered: f64 = eq.demand_gbps.iter().sum();
+        assert!(
+            offered > 50.0,
+            "{}: nine starved instances offer only {offered:.1} Gbps",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn names_follow_the_paper_labelling_scheme() {
+    let catalog = Catalog::paper();
+    for name in catalog.names() {
+        let trailing_digit = name.chars().last().unwrap().is_ascii_digit();
+        assert!(trailing_digit, "{name}: instances carry a 1-based input suffix");
+    }
+}

@@ -1,0 +1,153 @@
+//! DICER controller dynamics on the live simulated server (not just on
+//! synthetic counter streams): classification pivots, sampling, drift and
+//! reset behaviour, end to end.
+
+use dicer::appmodel::{AppProfile, Archetype, Catalog, MissCurve, Phase};
+use dicer::policy::{Dicer, DicerConfig, DicerState, Policy};
+use dicer::rdt::PartitionController;
+use dicer::server::{Server, ServerConfig};
+
+fn cfg() -> ServerConfig {
+    ServerConfig::table1()
+}
+
+fn drive(server: &mut Server, dicer: &mut Dicer, periods: u32) {
+    server.apply_plan(dicer.initial_plan(server.config().cache.ways));
+    for _ in 0..periods {
+        let s = server.step_period();
+        let plan = dicer.on_period(&s, server.config().cache.ways);
+        server.apply_plan(plan);
+    }
+}
+
+#[test]
+fn dicer_detects_ct_thwarted_and_samples() {
+    // The Fig. 3 workload saturates the link under CT, so DICER must drop
+    // its CT-Favoured assumption within the first few periods and sample.
+    let catalog = Catalog::paper();
+    let hp = catalog.get("milc1").unwrap().clone();
+    let be = catalog.get("gcc_base1").unwrap().clone();
+    let mut server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    drive(&mut server, &mut dicer, 20);
+    assert!(!dicer.ct_favoured(), "milc+gcc must be recognised as CT-T");
+    assert!(dicer.stats.sampling_periods > 0, "sampling must have run");
+    assert!(
+        dicer.hp_ways() <= 8,
+        "DICER should settle on a small HP allocation, got {}",
+        dicer.hp_ways()
+    );
+}
+
+#[test]
+fn dicer_stays_ct_favoured_for_cache_sensitive_hp() {
+    let catalog = Catalog::paper();
+    let hp = catalog.get("omnetpp1").unwrap().clone();
+    let be = catalog.get("gobmk1").unwrap().clone();
+    let mut server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    drive(&mut server, &mut dicer, 30);
+    assert!(dicer.ct_favoured(), "quiet BEs never saturate: stays CT-F");
+    assert_eq!(dicer.stats.sampling_periods, 0);
+}
+
+#[test]
+fn dicer_reclaims_ways_for_bes_when_hp_is_insensitive() {
+    // A compute-bound HP doesn't care about cache: DICER should walk its
+    // allocation down and hand ways to the BEs.
+    let catalog = Catalog::paper();
+    let hp = catalog.get("namd1").unwrap().clone();
+    let be = catalog.get("gobmk1").unwrap().clone();
+    let mut server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    drive(&mut server, &mut dicer, 25);
+    assert!(
+        dicer.hp_ways() <= 5,
+        "insensitive HP should shed ways, still at {}",
+        dicer.hp_ways()
+    );
+    assert!(dicer.stats.shrinks >= 10);
+}
+
+#[test]
+fn dicer_resets_on_a_real_phase_change() {
+    // Two-phase HP: quiet then memory-hot, with a > 30% bandwidth jump at
+    // the boundary. DICER must log a phase change and reset.
+    let hp = AppProfile::new(
+        "phasey",
+        Archetype::Streaming,
+        vec![
+            Phase {
+                insns: 30_000_000_000,
+                base_cpi: 0.6,
+                apki: 6.0,
+                mlp: 3.0,
+                curve: MissCurve::parametric(0.1, 0.3, 2.0, 2.0),
+            },
+            Phase {
+                insns: 30_000_000_000,
+                base_cpi: 0.6,
+                apki: 20.0,
+                mlp: 3.5,
+                curve: MissCurve::parametric(0.3, 0.6, 3.0, 2.0),
+            },
+        ],
+    );
+    let catalog = Catalog::paper();
+    let be = catalog.get("povray1").unwrap().clone(); // quiet BEs
+    let mut server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    drive(&mut server, &mut dicer, 60);
+    assert!(
+        dicer.stats.phase_changes >= 1,
+        "the apki jump must register as a phase change: {:?}",
+        dicer.stats
+    );
+    assert!(dicer.stats.resets >= 1);
+}
+
+#[test]
+fn dicer_survives_a_long_run_without_wedging() {
+    // Soak: a contentious mix for 300 periods; the controller must keep
+    // emitting valid plans and end in a coherent state.
+    let catalog = Catalog::paper();
+    let hp = catalog.get("mcf1").unwrap().clone();
+    let be = catalog.get("lbm1").unwrap().clone();
+    let mut server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut dicer = Dicer::new(DicerConfig::default());
+    server.apply_plan(dicer.initial_plan(20));
+    for _ in 0..300 {
+        let s = server.step_period();
+        let plan = dicer.on_period(&s, 20);
+        plan.validate(20).unwrap();
+        server.apply_plan(plan);
+    }
+    assert!(matches!(
+        dicer.state(),
+        DicerState::Optimising | DicerState::Sampling | DicerState::ValidatingReset
+    ));
+    // The server clock must equal the period count exactly.
+    assert!((server.time_s() - 300.0).abs() < 1e-9);
+}
+
+#[test]
+fn tighter_stability_band_resets_more() {
+    // Ablation sanity: a 1% band flags far more "degradations" than the
+    // default 5% band on the same workload.
+    let catalog = Catalog::paper();
+    let hp = catalog.get("soplex1").unwrap().clone();
+    let be = catalog.get("hmmer1").unwrap().clone();
+
+    let run = |alpha: f64| {
+        let mut server = Server::new(cfg(), hp.clone(), vec![be.clone(); 9]);
+        let mut dicer = Dicer::new(DicerConfig { stability_alpha: alpha, ..Default::default() });
+        drive(&mut server, &mut dicer, 80);
+        dicer.stats
+    };
+    let tight = run(0.01);
+    let loose = run(0.10);
+    assert!(
+        tight.resets > loose.resets,
+        "1% band should reset more than 10%: {tight:?} vs {loose:?}"
+    );
+}

@@ -1,0 +1,132 @@
+//! Integration tests for the future-work extensions (paper §6): DICER+MBA
+//! and overlapping partitions, exercised end-to-end on the simulated
+//! server.
+
+use dicer::appmodel::Catalog;
+use dicer::experiments::runner::run_colocation_with;
+use dicer::experiments::{trace, SoloTable};
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::server::ServerConfig;
+
+fn setup() -> (Catalog, SoloTable) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    (catalog, solo)
+}
+
+/// On a persistently saturating workload, DICER+MBA must protect the HP at
+/// least as well as stock DICER.
+#[test]
+fn mba_extension_helps_on_saturating_workloads() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("omnetpp1").unwrap();
+    let be = catalog.get("lbm1").unwrap();
+    let dicer =
+        run_colocation_with(&solo, hp, be, 10, &PolicyKind::Dicer(DicerConfig::default()));
+    let mba =
+        run_colocation_with(&solo, hp, be, 10, &PolicyKind::DicerMba(DicerConfig::default()));
+    assert!(
+        mba.hp_norm_ipc >= dicer.hp_norm_ipc - 0.01,
+        "MBA must not hurt the HP: {:.3} vs {:.3}",
+        mba.hp_norm_ipc,
+        dicer.hp_norm_ipc
+    );
+}
+
+/// On quiet workloads the bandwidth loop must stay out of the way: MBA and
+/// stock DICER coincide.
+#[test]
+fn mba_extension_is_a_noop_without_saturation() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("gobmk1").unwrap();
+    let be = catalog.get("povray1").unwrap();
+    let dicer =
+        run_colocation_with(&solo, hp, be, 10, &PolicyKind::Dicer(DicerConfig::default()));
+    let mba =
+        run_colocation_with(&solo, hp, be, 10, &PolicyKind::DicerMba(DicerConfig::default()));
+    assert!((dicer.hp_norm_ipc - mba.hp_norm_ipc).abs() < 1e-6);
+    assert!((dicer.efu - mba.efu).abs() < 1e-6);
+}
+
+/// The MBA timeline actually shows the throttle engaging on a saturating
+/// workload.
+#[test]
+fn mba_timeline_records_throttling() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("omnetpp1").unwrap();
+    let be = catalog.get("lbm1").unwrap();
+    let t = trace::run_traced(
+        &solo,
+        hp,
+        be,
+        10,
+        &PolicyKind::DicerMba(DicerConfig::default()),
+        300,
+    );
+    assert!(
+        t.periods.iter().any(|p| p.be_mba_percent < 100),
+        "the BE throttle never engaged"
+    );
+    // And it is rendered in the timeline.
+    assert!(t.render(60).contains("BE MBA"));
+}
+
+/// Overlapping plans interpolate between isolation and sharing: the HP's
+/// outcome with `overlap e+s` must lie between the pure split (`e` ways)
+/// and the generous split (`e+s` ways).
+#[test]
+fn overlap_interpolates_between_splits() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("omnetpp1").unwrap();
+    let be = catalog.get("gcc_base1").unwrap();
+    let tight = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Static(4));
+    let generous = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Static(12));
+    let overlap = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Overlap(4, 8));
+    assert!(
+        overlap.hp_norm_ipc >= tight.hp_norm_ipc - 0.02,
+        "overlap ({:.3}) must not be worse than its exclusive floor ({:.3})",
+        overlap.hp_norm_ipc,
+        tight.hp_norm_ipc
+    );
+    assert!(
+        overlap.hp_norm_ipc <= generous.hp_norm_ipc + 0.02,
+        "overlap ({:.3}) cannot beat owning the whole region ({:.3})",
+        overlap.hp_norm_ipc,
+        generous.hp_norm_ipc
+    );
+    // The BEs must do at least as well as under the generous split, since
+    // they can steal slack from the shared region.
+    assert!(overlap.be_norm_ipc_mean() >= generous.be_norm_ipc_mean() - 0.02);
+}
+
+/// An overlap plan with a satisfied HP effectively donates the shared
+/// region: BEs approach their unmanaged performance.
+#[test]
+fn overlap_donates_slack_of_satisfied_hp() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("namd1").unwrap(); // compute-bound, tiny footprint
+    let be = catalog.get("gcc_base1").unwrap();
+    let split = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Static(10));
+    let overlap = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Overlap(2, 8));
+    assert!(
+        overlap.be_norm_ipc_mean() > split.be_norm_ipc_mean(),
+        "BEs should profit from the donated overlap: {:.3} vs {:.3}",
+        overlap.be_norm_ipc_mean(),
+        split.be_norm_ipc_mean()
+    );
+    assert!(overlap.hp_norm_ipc > 0.9, "satisfied HP stays near peak");
+}
+
+/// The traced runner and the plain runner agree on the outcome.
+#[test]
+fn traced_and_plain_runner_agree() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("hmmer1").unwrap();
+    let be = catalog.get("gobmk1").unwrap();
+    let kind = PolicyKind::Dicer(DicerConfig::default());
+    let plain = run_colocation_with(&solo, hp, be, 6, &kind);
+    let traced = trace::run_traced(&solo, hp, be, 6, &kind, 6000);
+    assert_eq!(plain.periods as usize, traced.periods.len());
+    let last = traced.periods.last().unwrap();
+    assert!((last.time_s - plain.periods as f64).abs() < 1e-9);
+}

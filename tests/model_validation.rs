@@ -1,0 +1,137 @@
+//! Cross-validation between the fast analytic model (parametric miss
+//! curves + equilibrium solver) and the trace-driven cache simulator. The
+//! analytic path powers the 3481-workload sweeps; these tests pin it to the
+//! mechanism-level substrate.
+
+use dicer::appmodel::{Archetype, Catalog};
+use dicer::cachesim::{mrc, CacheConfig, ReplacementKind, SetAssocCache, StackDistanceProfiler};
+
+/// A scaled-down LLC with the same associativity ratio as the Table 1
+/// machine keeps trace-driven runs fast.
+fn small_cfg() -> CacheConfig {
+    CacheConfig { size_bytes: 512 * 8 * 64, ways: 8, line_bytes: 64 }
+}
+
+/// The archetypes' representative traces must reproduce their defining
+/// miss-curve shapes in the *trace-driven* simulator.
+#[test]
+fn archetype_traces_match_curve_shapes() {
+    let cfg = small_cfg();
+    let sets = cfg.sets();
+
+    // Streaming: flat and high.
+    let t = Archetype::Streaming.representative_trace(sets, 1).generate(200_000);
+    let curve = mrc::by_simulation(&t, &cfg, ReplacementKind::Lru);
+    assert!(curve.at(1) > 0.95 && curve.at(8) > 0.95, "streaming must stay high");
+
+    // Cache-friendly: collapses within a couple of ways.
+    let t = Archetype::CacheFriendly.representative_trace(sets, 2).generate(400_000);
+    let curve = mrc::by_simulation(&t, &cfg, ReplacementKind::Lru);
+    assert!(curve.at(1) > 0.3, "friendly thrashes in one way: {}", curve.at(1));
+    assert!(curve.at(4) < 0.05, "friendly fits in half the cache: {}", curve.at(4));
+
+    // Cache-sensitive: keeps improving deep into the cache.
+    let t = Archetype::CacheSensitive.representative_trace(sets, 3).generate(400_000);
+    let curve = mrc::by_simulation(&t, &cfg, ReplacementKind::Lru);
+    assert!(
+        curve.at(8) < curve.at(4) - 0.02,
+        "sensitive still gains in the second half: {} vs {}",
+        curve.at(8),
+        curve.at(4)
+    );
+
+    // Compute-bound: negligible traffic shape — tiny footprint fits anywhere.
+    let t = Archetype::ComputeBound.representative_trace(sets, 4).generate(200_000);
+    let curve = mrc::by_simulation(&t, &cfg, ReplacementKind::Lru);
+    assert!(curve.at(2) < 0.05, "compute-bound footprint fits trivially");
+}
+
+/// Analytic (stack-distance) and empirical (simulated) MRCs agree for
+/// reuse-dominated traces — the justification for using closed-form curves
+/// in the big sweeps.
+#[test]
+fn stack_distance_mrc_matches_simulation() {
+    let cfg = small_cfg();
+    for seed in [11u64, 12, 13] {
+        let trace = Archetype::CacheFriendly
+            .representative_trace(cfg.sets(), seed)
+            .generate(300_000);
+        let mut prof = StackDistanceProfiler::new();
+        prof.access_all(trace.iter().copied());
+        let analytic = mrc::from_stack_distances(&prof, &cfg);
+        let simulated = mrc::by_simulation(&trace, &cfg, ReplacementKind::Lru);
+        for w in 1..=cfg.ways {
+            let d = (analytic.at(w) - simulated.at(w)).abs();
+            assert!(
+                d < 0.15,
+                "seed {seed} way {w}: analytic {:.3} vs simulated {:.3}",
+                analytic.at(w),
+                simulated.at(w)
+            );
+        }
+    }
+}
+
+/// CAT semantics in the trace-driven simulator: squeezing an aggressor into
+/// fewer ways monotonically protects a cache-fitting victim — the physical
+/// effect the whole policy layer relies on.
+#[test]
+fn smaller_aggressor_partitions_protect_the_victim() {
+    let cfg = small_cfg();
+    let victim_trace =
+        Archetype::CacheFriendly.representative_trace(cfg.sets(), 21).generate(200_000);
+    let aggressor_trace = Archetype::Streaming.representative_trace(cfg.sets(), 22).generate(200_000);
+
+    let mut prev_victim_miss = 1.0f64;
+    for aggressor_ways in [7u32, 4, 2, 1] {
+        let mut cache = SetAssocCache::new(cfg, ReplacementKind::Lru);
+        let victim_mask = cfg.full_mask() & !((1u32 << aggressor_ways) - 1);
+        let aggressor_mask = (1u32 << aggressor_ways) - 1;
+        for (v, a) in victim_trace.iter().zip(&aggressor_trace) {
+            cache.access_line(*v, 1, victim_mask);
+            cache.access_line(*a, 2, aggressor_mask);
+        }
+        let miss = cache.miss_ratio(1);
+        assert!(
+            miss <= prev_victim_miss + 0.02,
+            "victim should not get worse as the aggressor shrinks: {miss} after {prev_victim_miss}"
+        );
+        prev_victim_miss = miss;
+    }
+    assert!(prev_victim_miss < 0.1, "fully-fenced victim must mostly hit: {prev_victim_miss}");
+}
+
+/// The catalog's parametric curves behave like their archetypes claim at
+/// the two extremes of the allocation range.
+#[test]
+fn catalog_curves_respect_archetype_contracts() {
+    let catalog = Catalog::paper();
+    for app in catalog.profiles() {
+        for phase in &app.phases {
+            let tight = phase.curve.miss_ratio(1.0);
+            let full = phase.curve.miss_ratio(20.0);
+            assert!(tight >= full, "{}: curve not monotone", app.name);
+            match app.archetype {
+                Archetype::Streaming => {
+                    assert!(full > 0.4, "{}: streaming floor too low ({full})", app.name)
+                }
+                Archetype::CacheSensitive => assert!(
+                    tight - full > 0.3,
+                    "{}: sensitive curve too flat ({tight} -> {full})",
+                    app.name
+                ),
+                Archetype::CacheFriendly => assert!(
+                    tight > 2.0 * full,
+                    "{}: friendly curve should collapse ({tight} -> {full})",
+                    app.name
+                ),
+                Archetype::ComputeBound => assert!(
+                    phase.apki < 5.0,
+                    "{}: compute-bound APKI too high ({})",
+                    app.name,
+                    phase.apki
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end checks that the paper's qualitative results hold in this
+//! reproduction. Each test asserts a *shape* (who wins, roughly by how
+//! much, where crossovers fall) rather than an absolute number.
+
+use dicer::appmodel::Catalog;
+use dicer::experiments::figures::{fig2, fig3};
+use dicer::experiments::runner::run_colocation_with;
+use dicer::experiments::SoloTable;
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::server::ServerConfig;
+
+fn setup() -> (Catalog, SoloTable) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    (catalog, solo)
+}
+
+/// Fig. 2: most applications reach near-peak solo performance with a small
+/// fraction of the 20 ways (paper: ~50 % reach 99 % with ≤ 6 ways; ~90 %
+/// reach 90 % with ≤ 5 ways).
+#[test]
+fn fig2_most_apps_need_few_ways() {
+    let (catalog, solo) = setup();
+    let f = fig2::run(&catalog, &solo);
+    let frac99_at6 = f.fraction_at(0.99, 6);
+    assert!(
+        (0.35..=0.90).contains(&frac99_at6),
+        "99%-of-peak at <=6 ways should cover roughly half the catalog, got {frac99_at6}"
+    );
+    let frac90_at5 = f.fraction_at(0.90, 5);
+    assert!(frac90_at5 >= 0.70, "90%-of-peak at <=5 ways too rare: {frac90_at5}");
+    // Nobody needs more ways for a looser target.
+    for (name, mins) in &f.per_app {
+        assert!(mins[0] <= mins[2], "{name}: min ways not monotone in target: {mins:?}");
+    }
+}
+
+/// Fig. 3: for milc (HP) + 9 gcc (BEs), a small static HP allocation beats
+/// CT, and UM sits near the best static configuration.
+#[test]
+fn fig3_u_shape_and_ct_penalty() {
+    let (catalog, solo) = setup();
+    let f = fig3::run_default(&catalog, &solo);
+    let (best_ways, best) = f.best();
+    assert!(best_ways <= 6, "best allocation should be small, got {best_ways}");
+    let ct = f.ct_slowdown();
+    assert!(ct > best * 1.1, "CT ({ct:.3}) must clearly lose to best ({best:.3})");
+    assert!(
+        f.um_slowdown < best * 1.15,
+        "UM ({:.3}) should sit near the best static split ({best:.3})",
+        f.um_slowdown
+    );
+    // The sweep should be (weakly) increasing from the best point to CT.
+    let after_best: Vec<f64> = f
+        .static_sweep
+        .iter()
+        .filter(|(w, _)| *w >= best_ways)
+        .map(|(_, s)| *s)
+        .collect();
+    let violations = after_best.windows(2).filter(|w| w[1] < w[0] - 0.02).count();
+    assert!(violations <= 1, "right arm of the U should rise: {after_best:?}");
+}
+
+/// Key Observation 1+2 combined, on the Fig. 3 workload: DICER must land
+/// within a few percent of the best policy for the HP while leaving the BEs
+/// far better off than CT does.
+#[test]
+fn dicer_tracks_best_of_um_and_ct() {
+    let (catalog, solo) = setup();
+    let cases = [
+        ("omnetpp1", "lbm1"),  // CT-F: CT is the right answer
+        ("milc1", "gcc_base1"), // CT-T: UM is the right answer
+    ];
+    for (hp_name, be_name) in cases {
+        let hp = catalog.get(hp_name).unwrap();
+        let be = catalog.get(be_name).unwrap();
+        let um = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        let ct = run_colocation_with(&solo, hp, be, 10, &PolicyKind::CacheTakeover);
+        let dicer = run_colocation_with(
+            &solo,
+            hp,
+            be,
+            10,
+            &PolicyKind::Dicer(DicerConfig::default()),
+        );
+        let best = um.hp_norm_ipc.max(ct.hp_norm_ipc);
+        assert!(
+            dicer.hp_norm_ipc > best * 0.90,
+            "{hp_name}+{be_name}: DICER HP {:.3} too far from best {best:.3}",
+            dicer.hp_norm_ipc
+        );
+        // And DICER must beat CT for the BEs (it returns spare ways).
+        assert!(
+            dicer.be_norm_ipc_mean() > ct.be_norm_ipc_mean(),
+            "{hp_name}+{be_name}: DICER BEs {:.3} not better than CT {:.3}",
+            dicer.be_norm_ipc_mean(),
+            ct.be_norm_ipc_mean()
+        );
+    }
+}
+
+/// Fig. 6 ordering at full occupancy: UM ≥ DICER ≥ CT on effective
+/// utilisation, with a real gap between DICER and CT.
+#[test]
+fn efu_ordering_um_dicer_ct() {
+    let (catalog, solo) = setup();
+    let pairs = [("omnetpp1", "gcc_base1"), ("gcc_base1", "bzip21"), ("mcf1", "gobmk1")];
+    let mut efus = [0.0f64; 3];
+    for (hp_name, be_name) in pairs {
+        let hp = catalog.get(hp_name).unwrap();
+        let be = catalog.get(be_name).unwrap();
+        let um = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        let ct = run_colocation_with(&solo, hp, be, 10, &PolicyKind::CacheTakeover);
+        let dicer = run_colocation_with(
+            &solo,
+            hp,
+            be,
+            10,
+            &PolicyKind::Dicer(DicerConfig::default()),
+        );
+        efus[0] += um.efu;
+        efus[1] += dicer.efu;
+        efus[2] += ct.efu;
+    }
+    assert!(efus[1] > efus[2] * 1.05, "DICER EFU {} must clearly beat CT {}", efus[1], efus[2]);
+    assert!(efus[0] >= efus[1] * 0.98, "UM {} should top DICER {}", efus[0], efus[1]);
+}
+
+/// §2.3.2 (bandwidth saturation): under CT, the milc+gcc workload must
+/// actually exceed DICER's 50 Gbps saturation threshold — the signal the
+/// whole controller pivots on.
+#[test]
+fn ct_saturates_the_link_for_the_fig3_workload() {
+    let (catalog, solo) = setup();
+    let hp = catalog.get("milc1").unwrap();
+    let be = catalog.get("gcc_base1").unwrap();
+    let ct = run_colocation_with(&solo, hp, be, 10, &PolicyKind::CacheTakeover);
+    assert!(
+        ct.mean_total_bw_gbps > 50.0,
+        "CT should saturate the link: {:.1} Gbps",
+        ct.mean_total_bw_gbps
+    );
+    let um = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+    assert!(
+        um.mean_total_bw_gbps < ct.mean_total_bw_gbps,
+        "UM ({:.1}) should load the link less than CT ({:.1})",
+        um.mean_total_bw_gbps,
+        ct.mean_total_bw_gbps
+    );
+}

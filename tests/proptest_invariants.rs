@@ -1,0 +1,300 @@
+//! Property-based tests over the core data structures and models.
+
+use dicer::appmodel::{MissCurve, Phase};
+use dicer::cachesim::{AccessKind, CacheConfig, ReplacementKind, SetAssocCache, WriteBackCache};
+use dicer::membw::{LinkConfig, LinkModel};
+use dicer::metrics::{efu, fairness, stats::Cdf, suci, weighted_speedup};
+use dicer::policy::{Dicer, DicerConfig, Policy};
+use dicer::rdt::{MbaLevel, PartitionPlan, PerAppSample, PeriodSample, WayMask};
+use dicer::server::{contention, equilibrium};
+use proptest::prelude::*;
+
+fn arb_curve() -> impl Strategy<Value = MissCurve> {
+    (0.0f64..0.5, 0.5f64..1.0, 0.3f64..12.0, 1.0f64..4.0)
+        .prop_map(|(floor, ceil, w_half, steep)| MissCurve::parametric(floor, ceil, w_half, steep))
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    (0.3f64..1.5, 0.0f64..50.0, 1.0f64..5.0, arb_curve()).prop_map(
+        |(base_cpi, apki, mlp, curve)| Phase { insns: 1_000_000, base_cpi, apki, mlp, curve },
+    )
+}
+
+proptest! {
+    /// Miss curves always produce ratios in [0, 1] and never increase with
+    /// more cache.
+    #[test]
+    fn miss_curves_bounded_and_monotone(curve in arb_curve(), w in 0.1f64..40.0) {
+        let m = curve.miss_ratio(w);
+        prop_assert!((0.0..=1.0).contains(&m));
+        let m2 = curve.miss_ratio(w + 0.5);
+        prop_assert!(m2 <= m + 1e-12);
+    }
+
+    /// CPI decreases (weakly) with more ways and increases (weakly) with
+    /// higher memory latency.
+    #[test]
+    fn cpi_monotonicity(phase in arb_phase(), w in 1.0f64..19.0, lat in 50.0f64..400.0) {
+        prop_assert!(phase.cpi(w + 1.0, lat) <= phase.cpi(w, lat) + 1e-12);
+        prop_assert!(phase.cpi(w, lat + 50.0) >= phase.cpi(w, lat) - 1e-12);
+    }
+
+    /// Contiguous masks round-trip through bits; [`WayMask::from_range`]
+    /// always yields `count` ways starting at `start`.
+    #[test]
+    fn waymask_range_roundtrip(start in 0u32..31, count in 1u32..32) {
+        prop_assume!(start + count <= 32);
+        let m = WayMask::from_range(start, count).unwrap();
+        prop_assert_eq!(m.count(), count);
+        prop_assert_eq!(m.first_way(), start);
+        prop_assert_eq!(WayMask::from_bits(m.bits()).unwrap(), m);
+    }
+
+    /// Any valid split yields disjoint HP/BE masks that cover the cache.
+    #[test]
+    fn split_masks_partition_the_cache(hp_ways in 1u32..20) {
+        let p = PartitionPlan::Split { hp_ways };
+        p.validate(20).unwrap();
+        let h = p.hp_mask(20);
+        let b = p.be_mask(20);
+        prop_assert!(!h.overlaps(b));
+        prop_assert_eq!(h.count() + b.count(), 20);
+    }
+
+    /// The shared-cache solver conserves capacity and keeps every share
+    /// positive.
+    #[test]
+    fn contention_shares_conserve_capacity(
+        seeds in prop::collection::vec((1.0f64..50.0, 0.0f64..0.5, 0.5f64..1.0, 0.5f64..10.0), 1..10),
+        group in 1.0f64..20.0,
+    ) {
+        let curves: Vec<(f64, MissCurve)> = seeds
+            .iter()
+            .map(|(apki, floor, ceil, wh)| {
+                (*apki, MissCurve::parametric(*floor, *ceil, *wh, 2.0))
+            })
+            .collect();
+        let apps: Vec<(f64, &MissCurve)> = curves.iter().map(|(a, c)| (*a, c)).collect();
+        let shares = contention::shared_effective_ways(&apps, group);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - group).abs() < 1e-6, "sum {} != {}", sum, group);
+        prop_assert!(shares.iter().all(|s| *s > 0.0));
+    }
+
+    /// The equilibrium solver produces positive IPCs, never exceeds link
+    /// capacity, and reports a self-consistent latency multiplier.
+    #[test]
+    fn equilibrium_self_consistent(phases in prop::collection::vec(arb_phase(), 1..10)) {
+        let link = LinkModel::new(LinkConfig::default());
+        let inputs: Vec<(&Phase, f64)> = phases.iter().map(|p| (p, 2.0)).collect();
+        let eq = equilibrium::solve(&inputs, &link, 198.0, 2.2e9, 64);
+        prop_assert!(eq.ipc.iter().all(|i| *i > 0.0 && i.is_finite()));
+        prop_assert!(eq.total_gbps <= link.config().capacity_gbps + 1e-9);
+        // Fixed point: recompute the multiplier from the reported demands.
+        let offered: f64 = eq.demand_gbps.iter().sum();
+        let mult = link.latency_multiplier(offered / link.config().capacity_gbps);
+        prop_assert!((mult - eq.latency_mult).abs() < 1e-5,
+            "multiplier {} vs recomputed {}", eq.latency_mult, mult);
+    }
+
+    /// EFU is a mean: it lies between the minimum and maximum normalised
+    /// IPC, and equals the common value for uniform inputs.
+    #[test]
+    fn efu_between_min_and_max(values in prop::collection::vec(0.01f64..1.5, 1..12)) {
+        let e = efu(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
+    }
+
+    /// SUCI is zero exactly when the SLO is missed, and monotone in EFU.
+    #[test]
+    fn suci_gating_and_monotonicity(
+        norm in 0.0f64..1.2,
+        efu_a in 0.01f64..1.0,
+        efu_b in 0.01f64..1.0,
+        slo in 0.5f64..1.0,
+    ) {
+        let a = suci(norm, efu_a, slo, 1.0);
+        let b = suci(norm, efu_b, slo, 1.0);
+        if norm < slo {
+            prop_assert_eq!(a, 0.0);
+            prop_assert_eq!(b, 0.0);
+        } else if efu_a <= efu_b {
+            prop_assert!(a <= b + 1e-12);
+        }
+    }
+
+    /// CDF fractions are monotone in x and bounded by [0, 1].
+    #[test]
+    fn cdf_monotone(samples in prop::collection::vec(-100.0f64..100.0, 1..50), x in -120.0f64..120.0) {
+        let c = Cdf::new(samples);
+        let f1 = c.fraction_at(x);
+        let f2 = c.fraction_at(x + 1.0);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!(f2 >= f1);
+    }
+
+    /// Whatever sample sequence DICER observes, the plan it emits is always
+    /// valid for the cache, and its HP allocation stays in [1, n_ways-1].
+    #[test]
+    fn dicer_always_emits_valid_plans(
+        samples in prop::collection::vec((0.01f64..3.0, 0.0f64..30.0, 0.0f64..80.0), 1..60),
+    ) {
+        let mut d = Dicer::new(DicerConfig::default());
+        let n_ways = 20;
+        let mut plan = d.initial_plan(n_ways);
+        prop_assert!(plan.validate(n_ways).is_ok());
+        for (ipc, hp_bw, be_bw) in samples {
+            let hp = PerAppSample {
+                ipc,
+                llc_occupancy_bytes: 0,
+                mem_bw_gbps: hp_bw,
+                miss_ratio: 0.2,
+            };
+            let be = PerAppSample {
+                ipc: 0.5,
+                llc_occupancy_bytes: 0,
+                mem_bw_gbps: be_bw / 9.0,
+                miss_ratio: 0.4,
+            };
+            let sample = PeriodSample {
+                time_s: 0.0,
+                hp,
+                bes: vec![be; 9],
+                total_bw_gbps: hp_bw + be_bw,
+            };
+            plan = d.on_period(&sample, n_ways);
+            prop_assert!(plan.validate(n_ways).is_ok(), "invalid plan {:?}", plan);
+            match plan {
+                PartitionPlan::Split { hp_ways } => {
+                    prop_assert!((1..n_ways).contains(&hp_ways));
+                }
+                other => prop_assert!(false, "DICER only emits splits, got {other:?}"),
+            }
+        }
+    }
+
+    /// A full simulated period preserves the physical invariants for any
+    /// workload mix and any valid partition plan: time advances exactly one
+    /// period, every running app retires work, total traffic respects the
+    /// link, and per-app occupancy fits the cache.
+    #[test]
+    fn server_period_invariants(
+        hp in arb_phase(),
+        bes in prop::collection::vec(arb_phase(), 1..9),
+        hp_ways in 1u32..20,
+    ) {
+        use dicer::appmodel::{AppProfile, Archetype};
+        use dicer::rdt::PartitionController;
+        use dicer::server::{Server, ServerConfig};
+        let mk = |name: String, ph: &Phase| {
+            AppProfile::new(
+                name,
+                Archetype::CacheFriendly,
+                vec![Phase { insns: u64::MAX / 2, ..ph.clone() }],
+            )
+        };
+        let cfg = ServerConfig::table1();
+        let bes_profiles: Vec<_> =
+            bes.iter().enumerate().map(|(i, p)| mk(format!("be{i}"), p)).collect();
+        let mut server = Server::new(cfg, mk("hp".into(), &hp), bes_profiles);
+        server.apply_plan(PartitionPlan::Split { hp_ways });
+        let sample = server.step_period();
+        prop_assert!((server.time_s() - 1.0).abs() < 1e-9);
+        prop_assert!(sample.hp.ipc > 0.0);
+        prop_assert!(sample.total_bw_gbps <= cfg.link.capacity_gbps + 1e-9);
+        prop_assert!(sample.hp.llc_occupancy_bytes <= cfg.cache.size_bytes);
+        for be in &sample.bes {
+            prop_assert!(be.ipc > 0.0);
+            prop_assert!(be.llc_occupancy_bytes <= cfg.cache.size_bytes);
+        }
+        // HP's occupancy reflects its exclusive partition.
+        let expected = hp_ways as u64 * cfg.cache.way_bytes();
+        prop_assert_eq!(sample.hp.llc_occupancy_bytes, expected);
+    }
+
+    /// The overlap-share solver conserves the overlap region's capacity.
+    #[test]
+    fn overlap_shares_conserve_region(
+        seeds in prop::collection::vec((1.0f64..40.0, 0.0f64..0.4, 0.5f64..1.0, 0.5f64..10.0, 0.0f64..10.0), 1..8),
+        region in 1.0f64..12.0,
+    ) {
+        let curves: Vec<(f64, MissCurve, f64)> = seeds
+            .iter()
+            .map(|(apki, floor, ceil, wh, excl)| {
+                (*apki, MissCurve::parametric(*floor, *ceil, *wh, 2.0), *excl)
+            })
+            .collect();
+        let apps: Vec<(f64, &MissCurve, f64)> =
+            curves.iter().map(|(a, c, e)| (*a, c, *e)).collect();
+        let shares = contention::overlap_shares(&apps, region);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - region).abs() < 1e-6);
+        prop_assert!(shares.iter().all(|s| *s >= 0.0));
+    }
+
+    /// MBA levels form a bounded lattice under tighten/relax.
+    #[test]
+    fn mba_tighten_relax_bounded(steps in prop::collection::vec(any::<bool>(), 0..100)) {
+        let mut level = MbaLevel::FULL;
+        for tighten in steps {
+            level = if tighten { level.tighten() } else { level.relax() };
+            let pct = level.percent();
+            prop_assert!((10..=100).contains(&pct) && pct.is_multiple_of(10));
+        }
+    }
+
+    /// Fairness and weighted speedup relate sanely to EFU: fairness is in
+    /// (0, 1], and EFU never exceeds the weighted speedup (HM <= AM).
+    #[test]
+    fn consolidation_metric_relations(values in prop::collection::vec(0.01f64..1.5, 1..12)) {
+        let f = fairness(&values);
+        prop_assert!(f > 0.0 && f <= 1.0 + 1e-12);
+        prop_assert!(efu(&values) <= weighted_speedup(&values) + 1e-12);
+    }
+
+    /// Writeback accounting: every line written is eventually written back
+    /// exactly once (evicted or flushed), never more.
+    #[test]
+    fn writeback_conservation(
+        ops in prop::collection::vec((0u64..128, 0u16..3, any::<bool>()), 1..300),
+    ) {
+        let cfg = CacheConfig { size_bytes: 4 * 64 * 4, ways: 4, line_bytes: 64 };
+        let mut cache = WriteBackCache::new(cfg);
+        let mut writes_per_rmid = [0u64; 3];
+        for (line, rmid, is_write) in &ops {
+            let kind = if *is_write { AccessKind::Write } else { AccessKind::Read };
+            cache.access_line(*line, *rmid, 0b1111, kind);
+            if *is_write {
+                writes_per_rmid[*rmid as usize] += 1;
+            }
+        }
+        cache.flush();
+        // Writebacks are charged to the RMID that *filled* the line (as on
+        // real hardware), so a write hit from another class can shift the
+        // charge — the conservation law only holds globally: at most one
+        // writeback per write access, none without any write.
+        let total_wb: u64 = (0u16..3).map(|r| cache.writebacks(r)).sum();
+        let total_writes: u64 = writes_per_rmid.iter().sum();
+        prop_assert!(total_wb <= total_writes);
+        if total_writes == 0 {
+            prop_assert_eq!(total_wb, 0);
+        }
+    }
+
+    /// Cache occupancy accounting matches the valid-line count under
+    /// arbitrary access interleavings and masks.
+    #[test]
+    fn cache_occupancy_invariant(
+        ops in prop::collection::vec((0u64..256, 0u16..4, 0u32..8), 1..300),
+    ) {
+        let cfg = CacheConfig { size_bytes: 8 * 64 * 64, ways: 8, line_bytes: 64 };
+        let mut cache = SetAssocCache::new(cfg, ReplacementKind::Lru);
+        for (line, rmid, way) in ops {
+            let mask = 1u32 << way;
+            cache.access_line(line, rmid, mask);
+            prop_assert_eq!(cache.total_valid_lines(), cache.total_occupancy_lines());
+        }
+    }
+}
