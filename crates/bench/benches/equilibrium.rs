@@ -1,0 +1,61 @@
+//! Criterion benches for the equilibrium solve engine: accelerated
+//! (memoized + warm-started) vs cold paths, at both the raw-solve level
+//! and the server-step level. `steady_state_replay` measures the
+//! steady-state colocation replay speedup (the ≥3x acceptance criterion):
+//! identical servers stepped repeatedly with acceleration on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dicer_appmodel::{Catalog, MissCurve, Phase};
+use dicer_membw::{LinkConfig, LinkModel};
+use dicer_server::{EquilibriumSolver, Server, ServerConfig};
+
+fn phase(base_cpi: f64, apki: f64, mlp: f64, curve: MissCurve) -> Phase {
+    Phase { insns: 1_000_000, base_cpi, apki, mlp, curve }
+}
+
+fn bench_raw_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equilibrium_engine_solve");
+    let hog = phase(0.6, 30.0, 3.5, MissCurve::parametric(0.4, 0.7, 1.5, 2.0));
+    for accelerated in [false, true] {
+        let label = if accelerated { "memoized" } else { "cold" };
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut solver =
+                EquilibriumSolver::new(LinkModel::new(LinkConfig::default()), 198.0, 2.2e9, 64);
+            solver.set_accelerated(accelerated);
+            let miss = hog.curve.miss_ratio(2.0);
+            b.iter(|| {
+                solver.begin();
+                for _ in 0..10 {
+                    solver.push(&hog, miss, 1.0);
+                }
+                solver.solve().latency_mult
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_steady_state_replay(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let hp = catalog.get("milc1").unwrap().clone();
+    let be = catalog.get("gcc_base1").unwrap().clone();
+    let mut g = c.benchmark_group("steady_state_replay");
+    for accelerated in [false, true] {
+        let label = if accelerated { "accelerated" } else { "cold" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &accelerated, |b, &on| {
+            let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); 9]);
+            server.set_acceleration(on);
+            // Reach the steady state (and, when on, populate the caches)
+            // before measuring.
+            for _ in 0..3 {
+                server.step_period();
+            }
+            b.iter(|| server.step_period())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_solve, bench_steady_state_replay);
+criterion_main!(benches);

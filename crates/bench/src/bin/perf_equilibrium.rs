@@ -1,0 +1,75 @@
+//! Perf tracking for the equilibrium solve engine: times a fixed
+//! classification slice (5 × 5 HP/BE pairs under UM and CT, run to
+//! completion) and writes `results/BENCH_equilibrium.json` — solves/sec,
+//! mean curve-evaluation rounds per solve, cache-hit rate — so the perf
+//! trajectory is visible across PRs.
+
+use dicer_appmodel::Catalog;
+use dicer_bench::{banner, write_json};
+use dicer_experiments::runner::run_colocation_with;
+use dicer_experiments::SoloTable;
+use dicer_policy::PolicyKind;
+use dicer_server::{ServerConfig, SolverStats};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The fixed slice: a bandwidth-sensitive HP, a hungry BE, a
+/// cache-sensitive HP, a streaming hog, and a compute-bound app.
+const NAMES: [&str; 5] = ["milc1", "gcc_base1", "omnetpp1", "lbm1", "namd1"];
+
+#[derive(Debug, Serialize)]
+struct Report {
+    wall_s: f64,
+    runs: u64,
+    solves: u64,
+    curve_evals: u64,
+    solves_per_sec: f64,
+    cache_hit_rate: f64,
+    mean_evals_per_solve: f64,
+    mean_evals_per_computed_solve: f64,
+}
+
+fn main() {
+    banner("equilibrium engine perf (fixed 5x5 classification slice)");
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    let profiles: Vec<_> = NAMES.iter().map(|n| catalog.get(n).expect("catalog name")).collect();
+    let solo = SoloTable::build_from_profiles(profiles.iter().copied(), cfg);
+
+    let mut stats = SolverStats::default();
+    let mut runs = 0u64;
+    let start = Instant::now();
+    for &hp in &profiles {
+        for &be in &profiles {
+            for policy in [PolicyKind::Unmanaged, PolicyKind::CacheTakeover] {
+                let out = run_colocation_with(&solo, hp, be, cfg.n_cores, &policy);
+                stats.merge(&out.solver_stats);
+                runs += 1;
+            }
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let report = Report {
+        wall_s,
+        runs,
+        solves: stats.solves,
+        curve_evals: stats.curve_evals,
+        solves_per_sec: stats.solves as f64 / wall_s,
+        cache_hit_rate: stats.cache_hit_rate(),
+        mean_evals_per_solve: stats.mean_evals_per_solve(),
+        mean_evals_per_computed_solve: stats.mean_evals_per_computed_solve(),
+    };
+    println!(
+        "{} runs in {:.2} s  |  {:.0} solves/s  |  hit rate {:.1}%  |  {:.2} rounds/solve",
+        report.runs,
+        report.wall_s,
+        report.solves_per_sec,
+        100.0 * report.cache_hit_rate,
+        report.mean_evals_per_solve
+    );
+    match write_json("BENCH_equilibrium", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write artifact: {e}"),
+    }
+}

@@ -4,7 +4,7 @@
 #![warn(missing_docs)]
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Directory (under the invoking directory) where figure binaries drop
 /// their machine-readable JSON artifacts.
@@ -29,7 +29,9 @@ pub fn banner(what: &str) {
 use dicer_appmodel::Catalog;
 use dicer_experiments::figures::{policies3, EvalMatrix};
 use dicer_experiments::{SoloTable, WorkloadSet};
+use dicer_policy::PolicyKind;
 use dicer_server::ServerConfig;
+use serde::{Deserialize, Serialize};
 
 /// Builds the standard catalog + solo-table pair (Table 1 server).
 pub fn setup() -> (Catalog, SoloTable) {
@@ -38,38 +40,100 @@ pub fn setup() -> (Catalog, SoloTable) {
     (catalog, solo)
 }
 
+/// A `results/*.json` artifact tagged with the fingerprint of everything
+/// that determined it, so a model/config/policy change invalidates the
+/// cache instead of silently reusing wrong data.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CachedArtifact<T> {
+    /// [`artifact_fingerprint`] of the inputs that produced `data`.
+    pub fingerprint: String,
+    /// The cached result.
+    pub data: T,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Deterministic fingerprint of an experiment's inputs: the server
+/// configuration, every catalog profile (the catalog iterates in sorted
+/// order), and the policy set that will run.
+pub fn artifact_fingerprint(cfg: &ServerConfig, catalog: &Catalog, policies: &[String]) -> String {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(serde_json::to_string(cfg).expect("config serialises").as_bytes(), h);
+    for name in catalog.names() {
+        h = fnv1a(name.as_bytes(), h);
+        let profile = catalog.get(name).expect("listed name resolves");
+        h = fnv1a(serde_json::to_string(profile).expect("profile serialises").as_bytes(), h);
+    }
+    for p in policies {
+        h = fnv1a(p.as_bytes(), h);
+    }
+    format!("{h:016x}")
+}
+
+/// Policy identity strings for fingerprinting — `Debug` includes tuning
+/// parameters (e.g. the DICER config), so retuning invalidates caches.
+fn policy_idents(policies: &[PolicyKind]) -> Vec<String> {
+    policies.iter().map(|p| format!("{p:?}")).collect()
+}
+
+fn load_cached<T: serde::de::DeserializeOwned>(path: &Path, fingerprint: &str) -> Option<T> {
+    let text = fs::read_to_string(path).ok()?;
+    // Pre-fingerprint artifacts fail to parse as `CachedArtifact` and are
+    // regenerated.
+    let artifact = serde_json::from_str::<CachedArtifact<T>>(&text).ok()?;
+    if artifact.fingerprint == fingerprint {
+        Some(artifact.data)
+    } else {
+        eprintln!("[bench] cached artifact {} is stale (fingerprint mismatch)", path.display());
+        None
+    }
+}
+
 /// Classifies the full 59 × 59 workload space, reusing a cached
-/// `results/classification.json` when one exists (the classification runs
+/// `results/classification.json` when it exists *and* its fingerprint
+/// matches the current config/catalog/policy set (the classification runs
 /// 2 × 3481 co-location experiments — a couple of minutes on first run).
 pub fn load_or_classify(catalog: &Catalog, solo: &SoloTable) -> WorkloadSet {
     let path = PathBuf::from(RESULTS_DIR).join("classification.json");
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(set) = serde_json::from_str::<WorkloadSet>(&text) {
-            if set.all.len() == catalog.len() * catalog.len() {
-                eprintln!("[bench] reusing cached classification ({})", path.display());
-                return set;
-            }
+    let fingerprint = artifact_fingerprint(
+        solo.config(),
+        catalog,
+        &policy_idents(&[PolicyKind::Unmanaged, PolicyKind::CacheTakeover]),
+    );
+    if let Some(set) = load_cached::<WorkloadSet>(&path, &fingerprint) {
+        if set.all.len() == catalog.len() * catalog.len() {
+            eprintln!("[bench] reusing cached classification ({})", path.display());
+            return set;
         }
     }
     eprintln!("[bench] classifying {n} x {n} workloads ...", n = catalog.len());
-    let set = WorkloadSet::classify(catalog, solo);
-    let _ = write_json("classification", &set);
-    set
+    let artifact =
+        CachedArtifact { fingerprint, data: WorkloadSet::classify(catalog, solo) };
+    let _ = write_json("classification", &artifact);
+    artifact.data
 }
 
 /// Runs (or reloads) the policy × cores × 120-workload evaluation matrix
-/// shared by Figs. 5–8.
+/// shared by Figs. 5–8, with the same fingerprint staleness check.
 pub fn load_or_matrix(catalog: &Catalog, solo: &SoloTable, set: &WorkloadSet) -> EvalMatrix {
     let path = PathBuf::from(RESULTS_DIR).join("matrix.json");
     let cores: Vec<u32> = (2..=solo.config().n_cores).collect();
     let sample = set.sample_120();
     let expected = sample.len() * cores.len() * 3;
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(m) = serde_json::from_str::<EvalMatrix>(&text) {
-            if m.cells.len() == expected {
-                eprintln!("[bench] reusing cached matrix ({})", path.display());
-                return m;
-            }
+    let fingerprint = artifact_fingerprint(solo.config(), catalog, &policy_idents(&policies3()));
+    if let Some(m) = load_cached::<EvalMatrix>(&path, &fingerprint) {
+        if m.cells.len() == expected {
+            eprintln!("[bench] reusing cached matrix ({})", path.display());
+            return m;
         }
     }
     eprintln!(
@@ -77,7 +141,51 @@ pub fn load_or_matrix(catalog: &Catalog, solo: &SoloTable, set: &WorkloadSet) ->
         sample.len(),
         cores.len()
     );
-    let m = EvalMatrix::run(catalog, solo, &sample, &cores, &policies3());
-    let _ = write_json("matrix", &m);
-    m
+    let artifact = CachedArtifact {
+        fingerprint,
+        data: EvalMatrix::run(catalog, solo, &sample, &cores, &policies3()),
+    };
+    let _ = write_json("matrix", &artifact);
+    artifact.data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let catalog = Catalog::paper();
+        let cfg = ServerConfig::table1();
+        let pols = policy_idents(&[PolicyKind::Unmanaged, PolicyKind::CacheTakeover]);
+        let a = artifact_fingerprint(&cfg, &catalog, &pols);
+        let b = artifact_fingerprint(&cfg, &catalog, &pols);
+        assert_eq!(a, b, "fingerprint must be deterministic");
+        assert_eq!(a.len(), 16);
+
+        let mut other_cfg = cfg;
+        other_cfg.freq_hz *= 2.0;
+        assert_ne!(a, artifact_fingerprint(&other_cfg, &catalog, &pols), "config change");
+
+        let fewer = policy_idents(&[PolicyKind::Unmanaged]);
+        assert_ne!(a, artifact_fingerprint(&cfg, &catalog, &fewer), "policy change");
+    }
+
+    #[test]
+    fn stale_or_legacy_artifacts_are_rejected() {
+        let dir = std::env::temp_dir().join("dicer_bench_cache_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+
+        // Legacy format (bare data, no fingerprint) must not load.
+        fs::write(&path, "[1, 2, 3]").unwrap();
+        assert!(load_cached::<Vec<u32>>(&path, "00").is_none());
+
+        // Matching fingerprint loads; mismatched does not.
+        let artifact = CachedArtifact { fingerprint: "abc".to_string(), data: vec![1u32, 2, 3] };
+        fs::write(&path, serde_json::to_string(&artifact).unwrap()).unwrap();
+        assert_eq!(load_cached::<Vec<u32>>(&path, "abc"), Some(vec![1, 2, 3]));
+        assert!(load_cached::<Vec<u32>>(&path, "xyz").is_none());
+        let _ = fs::remove_file(&path);
+    }
 }

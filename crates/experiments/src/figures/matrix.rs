@@ -7,6 +7,7 @@ use crate::{
 };
 use dicer_appmodel::Catalog;
 use dicer_policy::PolicyKind;
+use dicer_server::SolverStats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,11 @@ pub struct MatrixCell {
 pub struct EvalMatrix {
     /// Every evaluated cell.
     pub cells: Vec<MatrixCell>,
+    /// Aggregated equilibrium-solver counters across every evaluated cell.
+    /// Diagnostic only; skipped during serialization so cached artifacts
+    /// stay bit-identical across solver paths.
+    #[serde(skip)]
+    pub solver_stats: SolverStats,
 }
 
 impl EvalMatrix {
@@ -57,26 +63,37 @@ impl EvalMatrix {
                     .flat_map(move |c| policies.iter().map(move |p| (*w, *c, p)))
             })
             .collect();
-        let cells: Vec<MatrixCell> = jobs
+        let evaluated: Vec<(MatrixCell, SolverStats)> = jobs
             .par_iter()
             .map(|(w, n_cores, policy)| {
                 let hp = catalog.get(&w.hp).expect("catalog hp");
                 let be = catalog.get(&w.be).expect("catalog be");
                 let out = runner::run_colocation_with(solo, hp, be, *n_cores, policy);
-                MatrixCell {
-                    hp: w.hp.clone(),
-                    be: w.be.clone(),
-                    class: w.class,
-                    policy: out.policy.clone(),
-                    n_cores: *n_cores,
-                    hp_norm_ipc: out.hp_norm_ipc,
-                    be_norm_ipc_mean: out.be_norm_ipc_mean(),
-                    efu: out.efu,
-                    hp_slowdown: out.hp_slowdown,
-                }
+                (
+                    MatrixCell {
+                        hp: w.hp.clone(),
+                        be: w.be.clone(),
+                        class: w.class,
+                        policy: out.policy.clone(),
+                        n_cores: *n_cores,
+                        hp_norm_ipc: out.hp_norm_ipc,
+                        be_norm_ipc_mean: out.be_norm_ipc_mean(),
+                        efu: out.efu,
+                        hp_slowdown: out.hp_slowdown,
+                    },
+                    out.solver_stats,
+                )
             })
             .collect();
-        Self { cells }
+        let mut solver_stats = SolverStats::default();
+        let cells = evaluated
+            .into_iter()
+            .map(|(cell, stats)| {
+                solver_stats.merge(&stats);
+                cell
+            })
+            .collect();
+        Self { cells, solver_stats }
     }
 
     /// Cells for one policy at one core count.

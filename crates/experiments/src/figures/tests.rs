@@ -49,6 +49,7 @@ fn fig1_cdf_fractions() {
             wl("c", "x", 2.5, 1.4, 0.7, 0.4),
             wl("d", "x", 1.05, 1.2, 0.9, 0.6),
         ],
+        solver_stats: Default::default(),
     };
     let f = fig1::run(&set);
     // UM: 2 of 4 workloads at <= 1.1.
@@ -85,7 +86,7 @@ fn synthetic_matrix() -> EvalMatrix {
             cells.push(cell(hp, "DICER", cores, dicer, 0.7, 0.75, class));
         }
     }
-    EvalMatrix { cells }
+    EvalMatrix { cells, solver_stats: Default::default() }
 }
 
 #[test]

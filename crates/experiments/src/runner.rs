@@ -5,7 +5,7 @@ use dicer_appmodel::{AppProfile, Catalog};
 use dicer_metrics as metrics;
 use dicer_policy::PolicyKind;
 use dicer_rdt::{MbaController, PartitionController};
-use dicer_server::{Server, ServerConfig};
+use dicer_server::{Server, ServerConfig, SolverStats};
 use serde::{Deserialize, Serialize};
 
 /// Safety cap on run length (periods). At `T = 1 s` this is over half an
@@ -37,11 +37,19 @@ pub struct ColocationOutcome {
     pub completed: bool,
     /// Mean total link traffic over the run, Gbps.
     pub mean_total_bw_gbps: f64,
+    /// Equilibrium-solver counters for this run. Diagnostic only — skipped
+    /// during serialization so figure artifacts stay bit-identical across
+    /// solver paths (cold vs accelerated).
+    #[serde(skip)]
+    pub solver_stats: SolverStats,
 }
 
 impl ColocationOutcome {
     /// Mean normalised BE IPC (0 when the run had no BEs — impossible here).
     pub fn be_norm_ipc_mean(&self) -> f64 {
+        if self.be_norm_ipc.is_empty() {
+            return 0.0;
+        }
         self.be_norm_ipc.iter().sum::<f64>() / self.be_norm_ipc.len() as f64
     }
 }
@@ -119,6 +127,7 @@ pub fn run_colocation_with(
         periods,
         completed: server.progress().all_done(),
         mean_total_bw_gbps: bw_acc / periods as f64,
+        solver_stats: server.solver_stats(),
     }
 }
 
@@ -233,6 +242,25 @@ mod tests {
         let be = cat.get("povray1").unwrap();
         let out = run_colocation_with(&solo, hp, be, 4, &PolicyKind::Unmanaged);
         assert_eq!(out.be_norm_ipc.len(), 3);
+    }
+
+    #[test]
+    fn be_norm_ipc_mean_guards_empty() {
+        let out = ColocationOutcome {
+            hp_name: "hp".into(),
+            be_name: "be".into(),
+            n_cores: 2,
+            policy: "UM".into(),
+            hp_slowdown: 1.0,
+            hp_norm_ipc: 1.0,
+            be_norm_ipc: Vec::new(),
+            efu: 1.0,
+            periods: 1,
+            completed: true,
+            mean_total_bw_gbps: 0.0,
+            solver_stats: SolverStats::default(),
+        };
+        assert_eq!(out.be_norm_ipc_mean(), 0.0, "empty BE set must not yield NaN");
     }
 
     #[test]

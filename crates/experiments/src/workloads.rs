@@ -10,6 +10,7 @@
 use crate::{runner, solo_table::SoloTable};
 use dicer_appmodel::Catalog;
 use dicer_policy::PolicyKind;
+use dicer_server::SolverStats;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,6 +50,11 @@ pub struct ClassifiedWorkload {
 pub struct WorkloadSet {
     /// Every classified pair (3481 for the full catalog).
     pub all: Vec<ClassifiedWorkload>,
+    /// Aggregated equilibrium-solver counters across every run in the
+    /// classification. Diagnostic only; skipped during serialization so
+    /// cached artifacts stay bit-identical across solver paths.
+    #[serde(skip)]
+    pub solver_stats: SolverStats,
 }
 
 /// Seed for the deterministic evaluation sample.
@@ -68,7 +74,7 @@ impl WorkloadSet {
             .iter()
             .flat_map(|hp| names.iter().map(move |be| (*hp, *be)))
             .collect();
-        let all: Vec<ClassifiedWorkload> = pairs
+        let classified: Vec<(ClassifiedWorkload, SolverStats)> = pairs
             .par_iter()
             .map(|(hp_name, be_name)| {
                 let hp = catalog.get(hp_name).expect("catalog name");
@@ -83,18 +89,31 @@ impl WorkloadSet {
                 } else {
                     WorkloadClass::CtThwarted
                 };
-                ClassifiedWorkload {
-                    hp: hp.name.clone(),
-                    be: be.name.clone(),
-                    um_slowdown: um.hp_slowdown,
-                    ct_slowdown: ct.hp_slowdown,
-                    um_efu: um.efu,
-                    ct_efu: ct.efu,
-                    class,
-                }
+                let mut stats = um.solver_stats;
+                stats.merge(&ct.solver_stats);
+                (
+                    ClassifiedWorkload {
+                        hp: hp.name.clone(),
+                        be: be.name.clone(),
+                        um_slowdown: um.hp_slowdown,
+                        ct_slowdown: ct.hp_slowdown,
+                        um_efu: um.efu,
+                        ct_efu: ct.efu,
+                        class,
+                    },
+                    stats,
+                )
             })
             .collect();
-        Self { all }
+        let mut solver_stats = SolverStats::default();
+        let all = classified
+            .into_iter()
+            .map(|(cw, stats)| {
+                solver_stats.merge(&stats);
+                cw
+            })
+            .collect();
+        Self { all, solver_stats }
     }
 
     /// Workloads of one class.
@@ -176,7 +195,7 @@ mod tests {
                 }
             })
             .collect();
-        WorkloadSet { all: pairs }
+        WorkloadSet { all: pairs, solver_stats: SolverStats::default() }
     }
 
     #[test]

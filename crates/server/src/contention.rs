@@ -8,6 +8,10 @@
 //! (Qureshi & Patt, reference 37 of the paper): insertion pressure
 //! `p_i = APKI_i · miss_ratio_i(e_i)` and occupancy `e_i ∝ p_i`, solved as
 //! a fixed point because the miss ratio itself depends on the share.
+//!
+//! The `_into` variants write into caller-owned buffers so the simulator's
+//! period loop can run allocation-free; the by-value functions are thin
+//! wrappers and the two always produce bit-identical shares.
 
 use dicer_appmodel::MissCurve;
 
@@ -26,21 +30,39 @@ const DAMPING: f64 = 0.5;
 /// one app has positive pressure), and an app with higher insertion
 /// pressure never receives a smaller share than a lower-pressure peer.
 pub fn shared_effective_ways(apps: &[(f64, &MissCurve)], group_ways: f64) -> Vec<f64> {
+    let mut pressures = Vec::new();
+    let mut shares = Vec::new();
+    shared_effective_ways_into(apps, group_ways, &mut pressures, &mut shares);
+    shares
+}
+
+/// [`shared_effective_ways`] into caller-owned buffers: `shares` receives
+/// the result and `pressures` is scratch. Both are cleared first, so stale
+/// contents are harmless.
+pub fn shared_effective_ways_into(
+    apps: &[(f64, &MissCurve)],
+    group_ways: f64,
+    pressures: &mut Vec<f64>,
+    shares: &mut Vec<f64>,
+) {
     assert!(group_ways > 0.0, "group must have positive capacity");
     let n = apps.len();
+    shares.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n == 1 {
-        return vec![group_ways];
+        shares.push(group_ways);
+        return;
     }
-    let mut shares = vec![group_ways / n as f64; n];
+    shares.resize(n, group_ways / n as f64);
     for _ in 0..ITERATIONS {
-        let pressures: Vec<f64> = apps
-            .iter()
-            .zip(&shares)
-            .map(|((apki, curve), &e)| (apki * curve.miss_ratio(e)).max(1e-6))
-            .collect();
+        pressures.clear();
+        pressures.extend(
+            apps.iter()
+                .zip(shares.iter())
+                .map(|((apki, curve), &e)| (apki * curve.miss_ratio(e)).max(1e-6)),
+        );
         let total: f64 = pressures.iter().sum();
         for i in 0..n {
             let target = (group_ways * pressures[i] / total).max(MIN_EFFECTIVE_WAYS);
@@ -48,11 +70,10 @@ pub fn shared_effective_ways(apps: &[(f64, &MissCurve)], group_ways: f64) -> Vec
         }
         // Renormalise to the group capacity after clamping.
         let sum: f64 = shares.iter().sum();
-        for s in &mut shares {
+        for s in shares.iter_mut() {
             *s *= group_ways / sum;
         }
     }
-    shares
 }
 
 /// Solves the contested shares of an *overlap* region: each participant
@@ -62,32 +83,49 @@ pub fn shared_effective_ways(apps: &[(f64, &MissCurve)], group_ways: f64) -> Vec
 /// already satisfied by its private region exerts little pressure on the
 /// overlap — the behaviour the paper's §6 overlap question hinges on.
 pub fn overlap_shares(participants: &[(f64, &MissCurve, f64)], overlap: f64) -> Vec<f64> {
+    let mut pressures = Vec::new();
+    let mut shares = Vec::new();
+    overlap_shares_into(participants, overlap, &mut pressures, &mut shares);
+    shares
+}
+
+/// [`overlap_shares`] into caller-owned buffers: `shares` receives the
+/// result and `pressures` is scratch. Both are cleared first.
+pub fn overlap_shares_into(
+    participants: &[(f64, &MissCurve, f64)],
+    overlap: f64,
+    pressures: &mut Vec<f64>,
+    shares: &mut Vec<f64>,
+) {
     assert!(overlap > 0.0, "overlap region must have positive capacity");
     let n = participants.len();
+    shares.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n == 1 {
-        return vec![overlap];
+        shares.push(overlap);
+        return;
     }
-    let mut shares = vec![overlap / n as f64; n];
+    shares.resize(n, overlap / n as f64);
     for _ in 0..ITERATIONS {
-        let pressures: Vec<f64> = participants
-            .iter()
-            .zip(&shares)
-            .map(|((apki, curve, floor), &s)| (apki * curve.miss_ratio(floor + s)).max(1e-6))
-            .collect();
+        pressures.clear();
+        pressures.extend(
+            participants
+                .iter()
+                .zip(shares.iter())
+                .map(|((apki, curve, floor), &s)| (apki * curve.miss_ratio(floor + s)).max(1e-6)),
+        );
         let total: f64 = pressures.iter().sum();
         for i in 0..n {
             let target = (overlap * pressures[i] / total).max(0.0);
             shares[i] = DAMPING * shares[i] + (1.0 - DAMPING) * target;
         }
         let sum: f64 = shares.iter().sum();
-        for s in &mut shares {
+        for s in shares.iter_mut() {
             *s *= overlap / sum;
         }
     }
-    shares
 }
 
 #[cfg(test)]
@@ -191,5 +229,25 @@ mod tests {
     fn single_overlap_participant_takes_all() {
         let c = curve(0.1, 0.5, 2.0);
         assert_eq!(overlap_shares(&[(1.0, &c, 3.0)], 4.0), vec![4.0]);
+    }
+
+    #[test]
+    fn into_variants_match_and_tolerate_dirty_buffers() {
+        let a = curve(0.05, 0.8, 4.0);
+        let b = curve(0.1, 0.9, 8.0);
+        let apps: Vec<(f64, &MissCurve)> = vec![(10.0, &a), (25.0, &b)];
+        let fresh = shared_effective_ways(&apps, 20.0);
+        // Reused buffers pre-polluted with junk of the wrong length.
+        let mut pressures = vec![99.0; 7];
+        let mut shares = vec![-3.0; 2];
+        shared_effective_ways_into(&apps, 20.0, &mut pressures, &mut shares);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fresh), bits(&shares));
+
+        let parts: Vec<(f64, &MissCurve, f64)> = vec![(10.0, &a, 5.0), (20.0, &b, 1.0)];
+        let fresh_ovl = overlap_shares(&parts, 6.0);
+        let mut ovl = vec![123.0; 9];
+        overlap_shares_into(&parts, 6.0, &mut pressures, &mut ovl);
+        assert_eq!(bits(&fresh_ovl), bits(&ovl));
     }
 }

@@ -1,12 +1,43 @@
 //! Fixed-point IPC ⇄ bandwidth equilibrium solver.
 //!
 //! IPC determines memory traffic; total traffic determines link latency;
-//! latency determines IPC. The solver damps the latency multiplier until the
-//! loop converges — the mechanism by which cache-starved BEs slow down a
+//! latency determines IPC. The solver finds the latency multiplier at which
+//! the loop closes — the mechanism by which cache-starved BEs slow down a
 //! bandwidth-sensitive HP (the paper's Key Observation 2).
+//!
+//! # The solver engine
+//!
+//! [`EquilibriumSolver`] is a reusable engine designed for the simulator's
+//! inner loop (hundreds of thousands of solves per figure sweep):
+//!
+//! * **Scalar staging** — each pushed app is reduced to three constants
+//!   (`base_cpi`, `k_lat`, `k_bw`) so the inner iteration is pure
+//!   arithmetic: every `powf` in the miss curves is hoisted out of the
+//!   root-finding loop.
+//! * **Hybrid root finder** — an Illinois-style regula falsi with a
+//!   bisection fallback replaces pure bisection; typical interior solves
+//!   take a handful of curve-evaluation rounds instead of ~40.
+//! * **Warm starting** — consecutive solves of similar configurations
+//!   bracket the new root in a small window around the previous one.
+//! * **Per-run memoization** — solves are cached by the exact bit patterns
+//!   of the staged constants, so periods that repeat a configuration
+//!   (static plans, controller hold stretches) return the cached
+//!   equilibrium without re-solving.
+//!
+//! **Determinism.** The root is *defined* as a canonical point on a fixed
+//! grid: the smallest multiplier `k · 2⁻³²` (k integer) at which the
+//! residual `g(mult) = L(U(mult)) − mult` is ≤ 0, clamped to the modelled
+//! range. Because `g` is strictly decreasing, that grid point is unique,
+//! and every search path — cold, warm-started, or any bracketing sequence —
+//! terminates on it. Memoized, warm-started, and cold solves are therefore
+//! bit-identical (only the diagnostic [`Equilibrium::iterations`] count is
+//! path-dependent), preserving the repo's bit-for-bit figure
+//! reproducibility.
 
 use dicer_appmodel::Phase;
 use dicer_membw::LinkModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Converged per-period operating point for a set of co-running phases.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,17 +53,437 @@ pub struct Equilibrium {
     pub total_gbps: f64,
     /// Converged latency multiplier.
     pub latency_mult: f64,
-    /// Iterations used.
+    /// Curve-evaluation rounds used by the solve that produced this value.
+    /// Diagnostic only: a memoized hit reports the original solve's count,
+    /// and warm-started paths may use fewer rounds than cold ones.
     pub iterations: u32,
 }
 
-const MAX_ITER: u32 = 100;
-const TOLERANCE: f64 = 1e-12;
+impl Equilibrium {
+    fn empty() -> Self {
+        Self {
+            ipc: Vec::new(),
+            demand_gbps: Vec::new(),
+            achieved_gbps: Vec::new(),
+            total_gbps: 0.0,
+            latency_mult: 1.0,
+            iterations: 0,
+        }
+    }
+}
+
+/// Hard cap on curve-evaluation rounds per solve. The hybrid finder's worst
+/// case (Illinois budget exhausted, then pure integer bisection over the
+/// full grid) stays well under this.
+pub const MAX_EVALS: u32 = 200;
+
+/// Canonical multiplier grid spacing: roots snap to multiples of 2⁻³².
+/// Fine enough that the fixed-point residual at the snapped root is far
+/// below every tolerance in the test suite, coarse enough that integer
+/// indices over `[1, mult_max]` fit comfortably in `i64`/`f64`.
+const GRID: f64 = 1.0 / 4_294_967_296.0;
+/// Grid index of `mult = 1.0`.
+const KMIN: i64 = 1 << 32;
+/// Regula-falsi rounds before the finder falls back to pure bisection.
+const ILLINOIS_BUDGET: u32 = 60;
+/// Half-width (in grid points) of the initial warm-start bracket.
+const WARM_WINDOW: i64 = 1 << 12;
+/// Memoized solves kept before the cache is cleared wholesale.
+const MEMO_CAP: usize = 8192;
+
+/// Exact bit patterns of one staged app — the memoization key element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AppKey {
+    base_cpi: u64,
+    k_lat: u64,
+    k_bw: u64,
+}
+
+/// Scalar-reduced app: `ipc(mult) = 1 / (base_cpi + k_lat · mult)` and
+/// `demand_gbps(mult) = ipc(mult) · k_bw`.
+#[derive(Debug, Clone, Copy)]
+struct AppInput {
+    base_cpi: f64,
+    k_lat: f64,
+    k_bw: f64,
+}
+
+/// Counters exposing the engine's behaviour: how many solve requests were
+/// served from the memo, how many were warm-started, and how many
+/// curve-evaluation rounds they cost in total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Total [`EquilibriumSolver::solve`] requests.
+    pub solves: u64,
+    /// Requests answered from the memoization cache.
+    pub cache_hits: u64,
+    /// Computed solves that used a warm-start bracket.
+    pub warm_solves: u64,
+    /// Computed solves bracketed from the full range.
+    pub cold_solves: u64,
+    /// Total curve-evaluation rounds across all computed solves.
+    pub curve_evals: u64,
+}
+
+impl SolverStats {
+    /// Fraction of solve requests served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean curve-evaluation rounds per solve *request* (memo hits cost 0).
+    pub fn mean_evals_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.curve_evals as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean curve-evaluation rounds per *computed* (non-memoized) solve.
+    pub fn mean_evals_per_computed_solve(&self) -> f64 {
+        let computed = self.warm_solves + self.cold_solves;
+        if computed == 0 {
+            0.0
+        } else {
+            self.curve_evals as f64 / computed as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.cache_hits += other.cache_hits;
+        self.warm_solves += other.warm_solves;
+        self.cold_solves += other.cold_solves;
+        self.curve_evals += other.curve_evals;
+    }
+}
+
+/// Reusable equilibrium engine: stage apps with [`begin`]/[`push`], then
+/// [`solve`]. See the module docs for the acceleration strategies and the
+/// determinism guarantee.
+///
+/// [`begin`]: EquilibriumSolver::begin
+/// [`push`]: EquilibriumSolver::push
+/// [`solve`]: EquilibriumSolver::solve
+#[derive(Debug, Clone)]
+pub struct EquilibriumSolver {
+    link: LinkModel,
+    base_latency_cycles: f64,
+    freq_hz: f64,
+    /// `line_bytes · 8 / 1e9`: multiplies misses/sec into Gbps.
+    bytes_factor: f64,
+    /// Latency multiplier at the modelled utilisation cap.
+    mult_max: f64,
+    /// Sentinel grid index: evaluation at `k >= ksup` clamps to `mult_max`.
+    ksup: i64,
+    accelerated: bool,
+    apps: Vec<AppInput>,
+    key: Vec<AppKey>,
+    ipc: Vec<f64>,
+    demands: Vec<f64>,
+    last_offered: f64,
+    last_eval_mult: f64,
+    evals_this_solve: u32,
+    warm: Option<i64>,
+    memo: HashMap<Vec<AppKey>, Equilibrium>,
+    out: Equilibrium,
+    stats: SolverStats,
+}
+
+impl EquilibriumSolver {
+    /// Builds an engine for a given link and server geometry. Acceleration
+    /// (memoization + warm starts) is on by default.
+    pub fn new(link: LinkModel, base_latency_cycles: f64, freq_hz: f64, line_bytes: u32) -> Self {
+        let mult_max = link.latency_multiplier(link.config().max_utilisation);
+        let ksup = (mult_max / GRID).floor() as i64 + 1;
+        Self {
+            link,
+            base_latency_cycles,
+            freq_hz,
+            bytes_factor: line_bytes as f64 * 8.0 / 1e9,
+            mult_max,
+            ksup,
+            accelerated: true,
+            apps: Vec::new(),
+            key: Vec::new(),
+            ipc: Vec::new(),
+            demands: Vec::new(),
+            last_offered: 0.0,
+            last_eval_mult: f64::NAN,
+            evals_this_solve: 0,
+            warm: None,
+            memo: HashMap::new(),
+            out: Equilibrium::empty(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Enables or disables acceleration (memoization + warm starts). The
+    /// cache and warm hint are cleared either way, so `set_accelerated
+    /// (false)` yields a pristine cold reference path. Results are
+    /// bit-identical in both modes; only [`Equilibrium::iterations`] and the
+    /// [`SolverStats`] trajectory differ.
+    pub fn set_accelerated(&mut self, on: bool) {
+        self.accelerated = on;
+        self.memo.clear();
+        self.warm = None;
+    }
+
+    /// Whether memoization and warm starts are enabled.
+    pub fn accelerated(&self) -> bool {
+        self.accelerated
+    }
+
+    /// Counters accumulated since construction (or [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: EquilibriumSolver::reset_stats
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (the memo cache is left intact).
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Starts staging a new solve, discarding previously pushed apps.
+    pub fn begin(&mut self) {
+        self.apps.clear();
+        self.key.clear();
+    }
+
+    /// Stages one app: `phase` running with the given `miss_ratio` (already
+    /// evaluated at its effective way allocation) and an MBA-style latency
+    /// scale `>= 1`.
+    pub fn push(&mut self, phase: &Phase, miss_ratio: f64, latency_scale: f64) {
+        debug_assert!(latency_scale >= 1.0, "latency scales must be >= 1");
+        let traffic = phase.apki / 1000.0 * miss_ratio;
+        let k_lat = traffic * self.base_latency_cycles * latency_scale / phase.mlp;
+        let k_bw = traffic * self.freq_hz * self.bytes_factor;
+        self.apps.push(AppInput { base_cpi: phase.base_cpi, k_lat, k_bw });
+        self.key.push(AppKey {
+            base_cpi: phase.base_cpi.to_bits(),
+            k_lat: k_lat.to_bits(),
+            k_bw: k_bw.to_bits(),
+        });
+    }
+
+    /// Solves the equilibrium for the staged apps. The returned reference is
+    /// valid until the next call that mutates the solver.
+    pub fn solve(&mut self) -> &Equilibrium {
+        self.stats.solves += 1;
+        if self.accelerated {
+            if self.memo.contains_key(self.key.as_slice()) {
+                self.stats.cache_hits += 1;
+            } else {
+                self.run_solve();
+                if self.memo.len() >= MEMO_CAP {
+                    self.memo.clear();
+                }
+                self.memo.insert(self.key.clone(), self.out.clone());
+            }
+            self.memo.get(self.key.as_slice()).expect("present or just inserted")
+        } else {
+            self.run_solve();
+            &self.out
+        }
+    }
+
+    /// Multiplier at grid index `k`, clamped to the modelled range.
+    fn mult_at(&self, k: i64) -> f64 {
+        if k >= self.ksup {
+            self.mult_max
+        } else {
+            k as f64 * GRID
+        }
+    }
+
+    /// One curve-evaluation round: fills the per-app IPC/demand scratch at
+    /// `mult` and returns the residual `g(mult) = L(U(mult)) − mult`.
+    fn eval(&mut self, mult: f64) -> f64 {
+        self.evals_this_solve += 1;
+        self.stats.curve_evals += 1;
+        let mut offered = 0.0;
+        for (j, a) in self.apps.iter().enumerate() {
+            let ipc = 1.0 / (a.base_cpi + a.k_lat * mult);
+            self.ipc[j] = ipc;
+            let d = ipc * a.k_bw;
+            self.demands[j] = d;
+            offered += d;
+        }
+        self.last_offered = offered;
+        self.last_eval_mult = mult;
+        self.link.latency_multiplier(offered / self.link.config().capacity_gbps) - mult
+    }
+
+    fn run_solve(&mut self) {
+        let n = self.apps.len();
+        self.ipc.clear();
+        self.ipc.resize(n, 0.0);
+        self.demands.clear();
+        self.demands.resize(n, 0.0);
+        self.evals_this_solve = 0;
+        self.last_eval_mult = f64::NAN;
+        self.last_offered = 0.0;
+        if n == 0 {
+            self.out = Equilibrium::empty();
+            return;
+        }
+        let (mult, interior_hi) = if let Some(hint) = self.warm.filter(|_| self.accelerated) {
+            self.stats.warm_solves += 1;
+            self.solve_from_hint(hint)
+        } else {
+            self.stats.cold_solves += 1;
+            self.solve_cold()
+        };
+        if self.accelerated {
+            self.warm = interior_hi;
+        }
+        debug_assert!(self.evals_this_solve <= MAX_EVALS, "solver exceeded its round budget");
+        self.finalize(mult);
+    }
+
+    /// Residual `g` is strictly decreasing (offered demand falls as latency
+    /// rises, the latency curve is non-decreasing in utilisation, and the
+    /// `−mult` term is strict), so a unique root exists in `[1, mult_max]`
+    /// whenever `g(1) > 0`. Endpoint rules match [`solve_from_hint`]'s
+    /// exactly: `g(1) <= 0` is the trivial fixed point and `g(mult_max) >=
+    /// 0` pins the multiplier at the cap.
+    fn solve_cold(&mut self) -> (f64, Option<i64>) {
+        let g1 = self.eval(1.0);
+        if g1 <= 0.0 {
+            return (1.0, None);
+        }
+        let gmax = self.eval(self.mult_max);
+        if gmax >= 0.0 {
+            return (self.mult_max, None);
+        }
+        let hi = self.bracket_search(KMIN, g1, self.ksup, gmax);
+        (self.mult_at(hi), Some(hi))
+    }
+
+    /// Brackets the root in a geometrically expanding window around the
+    /// previous solve's grid index. Expansion that reaches an endpoint
+    /// evaluates the same point as the cold path and applies the same rule,
+    /// so both paths land on the same canonical grid index.
+    fn solve_from_hint(&mut self, hint: i64) -> (f64, Option<i64>) {
+        let mut step = WARM_WINDOW;
+        let mut lo = (hint - step).max(KMIN);
+        let mut glo = self.eval(self.mult_at(lo));
+        let mut hi;
+        let mut ghi;
+        if glo <= 0.0 {
+            // Root is below the window: walk down.
+            if lo == KMIN {
+                return (1.0, None);
+            }
+            hi = lo;
+            ghi = glo;
+            loop {
+                step *= 16;
+                lo = (hi - step).max(KMIN);
+                glo = self.eval(self.mult_at(lo));
+                if glo > 0.0 {
+                    break;
+                }
+                if lo == KMIN {
+                    return (1.0, None);
+                }
+                hi = lo;
+                ghi = glo;
+            }
+        } else {
+            // Root is above `lo`: walk up.
+            hi = (hint + step).min(self.ksup);
+            ghi = self.eval(self.mult_at(hi));
+            while ghi > 0.0 {
+                if hi == self.ksup {
+                    return (self.mult_max, None);
+                }
+                lo = hi;
+                glo = ghi;
+                step *= 16;
+                hi = (hi + step).min(self.ksup);
+                ghi = self.eval(self.mult_at(hi));
+            }
+        }
+        let hi_idx = self.bracket_search(lo, glo, hi, ghi);
+        (self.mult_at(hi_idx), Some(hi_idx))
+    }
+
+    /// Shrinks an integer bracket (`g(lo) > 0 >= g(hi)`) to adjacent grid
+    /// indices and returns the upper one — the canonical root. Illinois
+    /// regula falsi (the retained endpoint's residual is halved when the
+    /// same side wins twice) accelerates the typical case; a pure-bisection
+    /// fallback bounds the worst case. The result is the unique sign-flip
+    /// index, independent of the probing order.
+    fn bracket_search(&mut self, mut lo: i64, mut glo: f64, mut hi: i64, mut ghi: f64) -> i64 {
+        debug_assert!(glo > 0.0 && ghi <= 0.0 && lo < hi);
+        let mut side = 0i8;
+        let mut rounds = 0u32;
+        while hi - lo > 1 {
+            rounds += 1;
+            let k = if rounds <= ILLINOIS_BUDGET {
+                let denom = glo - ghi;
+                let frac = if denom > 0.0 { glo / denom } else { 0.5 };
+                let cand = lo + ((hi - lo) as f64 * frac) as i64;
+                cand.clamp(lo + 1, hi - 1)
+            } else {
+                lo + (hi - lo) / 2
+            };
+            let g = self.eval(self.mult_at(k));
+            if g > 0.0 {
+                lo = k;
+                glo = g;
+                if side == 1 {
+                    ghi *= 0.5;
+                }
+                side = 1;
+            } else {
+                hi = k;
+                ghi = g;
+                if side == -1 {
+                    glo *= 0.5;
+                }
+                side = -1;
+            }
+        }
+        hi
+    }
+
+    /// Leaves the scratch consistent with `mult` and fills the output.
+    fn finalize(&mut self, mult: f64) {
+        if self.last_eval_mult.to_bits() != mult.to_bits() {
+            self.eval(mult);
+        }
+        let cap = self.link.config().capacity_gbps;
+        let offered = self.last_offered;
+        let scale = if offered > cap { cap / offered } else { 1.0 };
+        self.out.ipc.clear();
+        self.out.ipc.extend_from_slice(&self.ipc);
+        self.out.demand_gbps.clear();
+        self.out.demand_gbps.extend_from_slice(&self.demands);
+        self.out.achieved_gbps.clear();
+        self.out.achieved_gbps.extend(self.demands.iter().map(|d| d * scale));
+        self.out.total_gbps = offered.min(cap);
+        self.out.latency_mult = mult;
+        self.out.iterations = self.evals_this_solve;
+    }
+}
 
 /// Solves the equilibrium for apps running concurrently, where app `i`
 /// executes `phases[i].0` with an effective allocation of `phases[i].1`
 /// ways. `base_latency_cycles` is the unloaded memory latency in core
 /// cycles; `freq_hz` and `line_bytes` size the traffic.
+///
+/// One-shot convenience over [`EquilibriumSolver`]; results are
+/// bit-identical to the engine's.
 pub fn solve(
     phases: &[(&Phase, f64)],
     link: &LinkModel,
@@ -40,9 +491,13 @@ pub fn solve(
     freq_hz: f64,
     line_bytes: u32,
 ) -> Equilibrium {
-    let with_scales: Vec<(&Phase, f64, f64)> =
-        phases.iter().map(|(p, w)| (*p, *w, 1.0)).collect();
-    solve_throttled(&with_scales, link, base_latency_cycles, freq_hz, line_bytes)
+    let mut solver = EquilibriumSolver::new(*link, base_latency_cycles, freq_hz, line_bytes);
+    solver.set_accelerated(false);
+    solver.begin();
+    for (phase, ways) in phases {
+        solver.push(phase, phase.curve.miss_ratio(*ways), 1.0);
+    }
+    solver.solve().clone()
 }
 
 /// Like [`solve`], but each app additionally carries a *latency scale*
@@ -57,77 +512,13 @@ pub fn solve_throttled(
     freq_hz: f64,
     line_bytes: u32,
 ) -> Equilibrium {
-    debug_assert!(phases.iter().all(|(_, _, s)| *s >= 1.0), "latency scales must be >= 1");
-    let n = phases.len();
-    if n == 0 {
-        return Equilibrium {
-            ipc: vec![],
-            demand_gbps: vec![],
-            achieved_gbps: vec![],
-            total_gbps: 0.0,
-            latency_mult: 1.0,
-            iterations: 0,
-        };
+    let mut solver = EquilibriumSolver::new(*link, base_latency_cycles, freq_hz, line_bytes);
+    solver.set_accelerated(false);
+    solver.begin();
+    for (phase, ways, scale) in phases {
+        solver.push(phase, phase.curve.miss_ratio(*ways), *scale);
     }
-
-    let mut ipc = vec![0.0; n];
-    let mut demands = vec![0.0; n];
-
-    // Residual g(mult) = L(U(mult)) − mult. Offered demand falls as latency
-    // rises and L is non-decreasing in utilisation, so g is strictly
-    // decreasing: a unique root exists in [1, mult_max] whenever g(1) > 0.
-    // Bisection is unconditionally stable where plain damped fixed-point
-    // iteration can oscillate (the feedback slope is steep near the knee).
-    let eval = |mult: f64, ipc: &mut [f64], demands: &mut [f64]| -> f64 {
-        for (i, (phase, ways, scale)) in phases.iter().enumerate() {
-            ipc[i] = phase.ipc(*ways, base_latency_cycles * mult * scale);
-            demands[i] = phase.demand_gbps(ipc[i], *ways, freq_hz, line_bytes);
-        }
-        let offered: f64 = demands.iter().sum();
-        link.latency_multiplier(offered / link.config().capacity_gbps) - mult
-    };
-
-    let cfg = link.config();
-    let mult_max = link.latency_multiplier(cfg.max_utilisation);
-    let mut lo = 1.0f64;
-    let mut hi = mult_max;
-    let mut mult = 1.0;
-    let mut iterations = 1;
-    if eval(1.0, &mut ipc, &mut demands) <= 0.0 {
-        // Link unloaded at base latency: the trivial fixed point.
-        mult = 1.0;
-    } else if eval(mult_max, &mut ipc, &mut demands) >= 0.0 {
-        // Demand exceeds the modelled range even at the latency cap.
-        mult = mult_max;
-        eval(mult, &mut ipc, &mut demands);
-        iterations = 2;
-    } else {
-        for it in 1..=MAX_ITER {
-            iterations = it;
-            mult = 0.5 * (lo + hi);
-            let g = eval(mult, &mut ipc, &mut demands);
-            if g > 0.0 {
-                lo = mult;
-            } else {
-                hi = mult;
-            }
-            if hi - lo < TOLERANCE {
-                break;
-            }
-        }
-        // Leave `ipc`/`demands` consistent with the returned multiplier.
-        eval(mult, &mut ipc, &mut demands);
-    }
-
-    let outcome = link.share(&demands);
-    Equilibrium {
-        ipc,
-        demand_gbps: demands,
-        achieved_gbps: outcome.achieved_gbps,
-        total_gbps: outcome.total_gbps,
-        latency_mult: mult,
-        iterations,
-    }
+    solver.solve().clone()
 }
 
 #[cfg(test)]
@@ -145,6 +536,21 @@ mod tests {
 
     fn link() -> LinkModel {
         LinkModel::new(LinkConfig::default())
+    }
+
+    fn engine() -> EquilibriumSolver {
+        EquilibriumSolver::new(link(), LAT, FREQ, 64)
+    }
+
+    /// Bitwise equality on everything except the path-dependent
+    /// `iterations` diagnostic.
+    fn assert_bit_identical(a: &Equilibrium, b: &Equilibrium) {
+        assert_eq!(a.latency_mult.to_bits(), b.latency_mult.to_bits(), "latency_mult differs");
+        assert_eq!(a.total_gbps.to_bits(), b.total_gbps.to_bits(), "total_gbps differs");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.ipc), bits(&b.ipc), "ipc differs");
+        assert_eq!(bits(&a.demand_gbps), bits(&b.demand_gbps), "demand differs");
+        assert_eq!(bits(&a.achieved_gbps), bits(&b.achieved_gbps), "achieved differs");
     }
 
     #[test]
@@ -268,6 +674,145 @@ mod tests {
         let hog = phase(0.6, 40.0, 4.0, MissCurve::flat(0.85));
         let apps: Vec<(&Phase, f64)> = (0..10).map(|_| (&hog, 1.0)).collect();
         let e = solve(&apps, &link(), LAT, FREQ, 64);
-        assert!(e.iterations <= MAX_ITER);
+        assert!(e.iterations <= MAX_EVALS);
+        // The hybrid finder should do far better than bisection's ~40
+        // rounds for a typical heavy interior root.
+        assert!(e.iterations <= 30, "cold solve took {} rounds", e.iterations);
+    }
+
+    #[test]
+    fn engine_matches_free_function_bitwise() {
+        let hog = phase(0.6, 35.0, 4.0, MissCurve::flat(0.8));
+        let quiet = phase(0.5, 1.0, 1.5, MissCurve::flat(0.1));
+        let mut solver = engine();
+        for ways in [0.5, 2.0, 10.0, 19.0] {
+            solver.begin();
+            solver.push(&hog, hog.curve.miss_ratio(ways), 1.0);
+            for _ in 0..4 {
+                solver.push(&hog, hog.curve.miss_ratio(1.0), 2.5);
+            }
+            solver.push(&quiet, quiet.curve.miss_ratio(ways), 1.0);
+            let fast = solver.solve().clone();
+            let mut inputs: Vec<(&Phase, f64, f64)> = vec![(&hog, ways, 1.0)];
+            for _ in 0..4 {
+                inputs.push((&hog, 1.0, 2.5));
+            }
+            inputs.push((&quiet, ways, 1.0));
+            let reference = solve_throttled(&inputs, &link(), LAT, FREQ, 64);
+            assert_bit_identical(&fast, &reference);
+        }
+    }
+
+    #[test]
+    fn memoized_solve_is_bit_identical_and_counted() {
+        let hog = phase(0.6, 30.0, 3.5, MissCurve::flat(0.8));
+        let mut solver = engine();
+        let run = |s: &mut EquilibriumSolver| {
+            s.begin();
+            for _ in 0..10 {
+                s.push(&hog, hog.curve.miss_ratio(2.0), 1.5);
+            }
+            s.solve().clone()
+        };
+        let first = run(&mut solver);
+        let evals_after_first = solver.stats().curve_evals;
+        let second = run(&mut solver);
+        assert_bit_identical(&first, &second);
+        let stats = solver.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.curve_evals, evals_after_first, "memo hit must not re-evaluate");
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold() {
+        // A drifting ways sequence keeps the root moving slightly, so the
+        // warm path is exercised (the memo never hits).
+        let hog = phase(0.6, 35.0, 4.0, MissCurve::parametric(0.2, 0.8, 3.0, 2.0));
+        let mut warm = engine();
+        for step in 0..40 {
+            let ways = 0.5 + step as f64 * 0.11;
+            warm.begin();
+            for _ in 0..9 {
+                warm.push(&hog, hog.curve.miss_ratio(ways), 1.0);
+            }
+            let fast = warm.solve().clone();
+            let inputs: Vec<(&Phase, f64)> = (0..9).map(|_| (&hog, ways)).collect();
+            let reference = solve(&inputs, &link(), LAT, FREQ, 64);
+            assert_bit_identical(&fast, &reference);
+        }
+        let stats = warm.stats();
+        assert!(stats.warm_solves >= 30, "warm path unused: {stats:?}");
+        assert_eq!(stats.cache_hits, 0, "drifting ways must not hit the memo");
+    }
+
+    #[test]
+    fn replayed_sequence_is_bit_identical_to_cold() {
+        // A pseudo-random replay mixing repeats (memo hits), drifts (warm
+        // solves) and endpoint cases, checked against fresh cold solves.
+        let hog = phase(0.6, 35.0, 4.0, MissCurve::parametric(0.2, 0.8, 3.0, 2.0));
+        let quiet = phase(0.5, 1.0, 1.5, MissCurve::flat(0.05));
+        let mut fast = engine();
+        let mut state = 0x5EED_D1CE_u64;
+        let mut rand = move || {
+            // xorshift64* — deterministic, no external crates.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let r = rand();
+            let n = 1 + (r % 10) as usize;
+            let ways = [0.11, 0.5, 2.0, 10.0, 19.0][(r >> 8) as usize % 5];
+            let scale = [1.0, 1.5, 3.0][(r >> 16) as usize % 3];
+            let heavy = (r >> 24) % 2 == 0;
+            let p = if heavy { &hog } else { &quiet };
+            fast.begin();
+            for _ in 0..n {
+                fast.push(p, p.curve.miss_ratio(ways), scale);
+            }
+            let got = fast.solve().clone();
+            let inputs: Vec<(&Phase, f64, f64)> = (0..n).map(|_| (p, ways, scale)).collect();
+            let reference = solve_throttled(&inputs, &link(), LAT, FREQ, 64);
+            assert_bit_identical(&got, &reference);
+        }
+        let stats = fast.stats();
+        assert!(stats.cache_hits > 0, "replay must hit the memo: {stats:?}");
+    }
+
+    #[test]
+    fn repeated_configuration_has_high_hit_rate_and_few_rounds() {
+        let hog = phase(0.6, 30.0, 3.5, MissCurve::flat(0.8));
+        let mut solver = engine();
+        for _ in 0..100 {
+            solver.begin();
+            for _ in 0..10 {
+                solver.push(&hog, hog.curve.miss_ratio(2.0), 1.0);
+            }
+            solver.solve();
+        }
+        let stats = solver.stats();
+        assert!(stats.cache_hit_rate() > 0.5, "hit rate {}", stats.cache_hit_rate());
+        assert!(
+            stats.mean_evals_per_solve() <= 10.0,
+            "mean rounds per solve {}",
+            stats.mean_evals_per_solve()
+        );
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SolverStats { solves: 2, cache_hits: 1, warm_solves: 0, cold_solves: 1, curve_evals: 9 };
+        let b = SolverStats { solves: 3, cache_hits: 0, warm_solves: 2, cold_solves: 1, curve_evals: 21 };
+        a.merge(&b);
+        assert_eq!(a.solves, 5);
+        assert_eq!(a.cache_hits, 1);
+        assert_eq!(a.warm_solves, 2);
+        assert_eq!(a.cold_solves, 2);
+        assert_eq!(a.curve_evals, 30);
+        assert!((a.cache_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((a.mean_evals_per_solve() - 6.0).abs() < 1e-12);
+        assert!((a.mean_evals_per_computed_solve() - 7.5).abs() < 1e-12);
     }
 }

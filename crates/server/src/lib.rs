@@ -22,6 +22,10 @@
 //! Phase boundaries and application completion/restart (the paper restarts
 //! every application until all have finished at least once) are handled at
 //! exact sub-period times.
+//!
+//! The equilibrium is found by a reusable [`EquilibriumSolver`] engine —
+//! hybrid root finding, warm starts, and per-run memoization, all
+//! bit-transparent with respect to a cold solve (see [`equilibrium`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,6 @@ pub mod sim;
 pub mod solo;
 
 pub use config::ServerConfig;
-pub use equilibrium::Equilibrium;
+pub use equilibrium::{Equilibrium, EquilibriumSolver, SolverStats};
 pub use sim::{AppInstance, RunProgress, Server};
 pub use solo::SoloProfile;

@@ -1,9 +1,10 @@
 //! The server: instances, periods, monitoring, partition enforcement.
 
-use crate::{config::ServerConfig, contention, equilibrium};
-use dicer_appmodel::{AppProfile, Phase};
+use crate::{config::ServerConfig, contention, equilibrium::EquilibriumSolver, SolverStats};
+use dicer_appmodel::{AppProfile, MissCurve, Phase};
 use dicer_membw::LinkModel;
 use dicer_rdt::{MbaController, MbaLevel, PartitionController, PartitionPlan, PerAppSample, PeriodSample};
+use std::collections::HashMap;
 
 /// A running (and restarting) application pinned to one core.
 #[derive(Debug, Clone)]
@@ -93,12 +94,71 @@ impl RunProgress {
 /// conservatively weak.
 pub const MAX_MBA_LATENCY_SCALE: f64 = 3.0;
 
+/// Cached effective-ways computations kept before the cache is cleared.
+const WAYS_MEMO_CAP: usize = 4096;
+
+/// Everything that determines the effective-ways vector: the plan, which
+/// instances are running, and which phase each one is in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WaysKey {
+    plan: PartitionPlan,
+    active_mask: u64,
+    phase_idx: Vec<usize>,
+}
+
+/// Memoized result of one effective-ways computation: the per-app way
+/// vector and the miss ratio of each active app's phase at those ways.
+#[derive(Debug, Clone)]
+struct WaysEntry {
+    ways: Vec<f64>,
+    miss: Vec<f64>,
+}
+
+/// Reusable per-period buffers so steady-state stepping allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    insns_acc: Vec<f64>,
+    bw_acc: Vec<f64>,
+    miss_acc: Vec<f64>,
+    occupancy: Vec<u64>,
+    /// App indices (0 = HP) taking part in this sub-period.
+    active: Vec<usize>,
+    /// Effective ways per app (0.0 placeholder for paused BEs).
+    ways: Vec<f64>,
+    /// Miss ratio per app at its effective ways (0.0 for paused BEs).
+    miss: Vec<f64>,
+    /// Contention-loop buffers, reused across sub-periods.
+    shares: Vec<f64>,
+    pressures: Vec<f64>,
+    floors: Vec<f64>,
+    ovl: Vec<f64>,
+}
+
+impl StepScratch {
+    fn reset_period(&mut self, n: usize) {
+        self.insns_acc.clear();
+        self.insns_acc.resize(n, 0.0);
+        self.bw_acc.clear();
+        self.bw_acc.resize(n, 0.0);
+        self.miss_acc.clear();
+        self.miss_acc.resize(n, 0.0);
+        self.occupancy.clear();
+        self.occupancy.resize(n, 0);
+    }
+}
+
 /// The simulated server: one HP instance, `n` BE instances, a partition
 /// plan, and a clock advancing in monitoring periods.
+///
+/// Stepping is built around a persistent [`EquilibriumSolver`] plus an
+/// effective-ways memo, so steady-state periods (same plan, phases and
+/// admission set) re-use both the cache-contention result and the
+/// bandwidth equilibrium without recomputing either. Acceleration is
+/// bit-transparent — see [`Server::set_acceleration`].
 #[derive(Debug, Clone)]
 pub struct Server {
     cfg: ServerConfig,
-    link: LinkModel,
+    solver: EquilibriumSolver,
     plan: PartitionPlan,
     be_throttle: MbaLevel,
     time_s: f64,
@@ -108,6 +168,10 @@ pub struct Server {
     admitted_target: usize,
     /// Rotation offset so descheduled BEs take turns (round-robin).
     admit_offset: usize,
+    scratch: StepScratch,
+    ways_memo: HashMap<WaysKey, WaysEntry>,
+    /// Persistent key buffer, mutated in place for alloc-free lookups.
+    ways_key: WaysKey,
 }
 
 impl Server {
@@ -125,8 +189,14 @@ impl Server {
             cfg.n_cores
         );
         assert!(!bes.is_empty(), "consolidation needs at least one BE");
+        assert!(bes.len() <= 63, "active-set bitmask supports at most 63 BEs");
         Self {
-            link: LinkModel::new(cfg.link),
+            solver: EquilibriumSolver::new(
+                LinkModel::new(cfg.link),
+                cfg.base_latency_cycles(),
+                cfg.freq_hz,
+                cfg.cache.line_bytes,
+            ),
             cfg,
             plan: PartitionPlan::Unmanaged,
             be_throttle: MbaLevel::FULL,
@@ -135,6 +205,13 @@ impl Server {
             admit_offset: 0,
             hp: AppInstance::new(hp),
             bes: bes.into_iter().map(AppInstance::new).collect(),
+            scratch: StepScratch::default(),
+            ways_memo: HashMap::new(),
+            ways_key: WaysKey {
+                plan: PartitionPlan::Unmanaged,
+                active_mask: 0,
+                phase_idx: Vec::new(),
+            },
         }
     }
 
@@ -156,6 +233,25 @@ impl Server {
     /// The BE instances.
     pub fn bes(&self) -> &[AppInstance] {
         &self.bes
+    }
+
+    /// Enables or disables solve acceleration (equilibrium memoization,
+    /// warm starts, and the effective-ways memo). On by default. Period
+    /// samples are bit-identical either way; disabling yields the cold
+    /// reference path used by determinism checks and benchmarks.
+    pub fn set_acceleration(&mut self, on: bool) {
+        self.solver.set_accelerated(on);
+        self.ways_memo.clear();
+    }
+
+    /// Whether solve acceleration is enabled.
+    pub fn acceleration(&self) -> bool {
+        self.solver.accelerated()
+    }
+
+    /// Equilibrium-solver counters accumulated over this server's lifetime.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 
     /// Limits the number of concurrently scheduled BEs (admission control —
@@ -198,75 +294,164 @@ impl Server {
         }
     }
 
-    /// Effective ways per app (HP first, then BEs) under the current plan.
-    /// Paused BEs take no part in cache contention and get a 0.0
-    /// placeholder (they retire nothing, so the value is never read).
-    fn effective_ways(&self) -> Vec<f64> {
+    /// Fills `scratch.active` with the indices (0 = HP) of running apps.
+    fn refresh_active(&mut self) {
+        self.scratch.active.clear();
+        self.scratch.active.push(0);
+        for (i, be) in self.bes.iter().enumerate() {
+            if !be.paused {
+                self.scratch.active.push(i + 1);
+            }
+        }
+    }
+
+    /// Fills `scratch.ways`/`scratch.miss` for the current plan, admission
+    /// set and phases — from the memo when acceleration is on and the
+    /// configuration repeats, computed (and cached) otherwise.
+    fn refresh_effective_ways(&mut self) {
+        if !self.solver.accelerated() {
+            self.compute_effective_ways();
+            return;
+        }
+        self.ways_key.plan = self.plan;
+        let mut mask = 1u64;
+        for (i, be) in self.bes.iter().enumerate() {
+            if !be.paused {
+                mask |= 1u64 << (i + 1);
+            }
+        }
+        self.ways_key.active_mask = mask;
+        self.ways_key.phase_idx.clear();
+        self.ways_key.phase_idx.push(self.hp.phase_idx);
+        self.ways_key.phase_idx.extend(self.bes.iter().map(|b| b.phase_idx));
+        if let Some(entry) = self.ways_memo.get(&self.ways_key) {
+            self.scratch.ways.clear();
+            self.scratch.ways.extend_from_slice(&entry.ways);
+            self.scratch.miss.clear();
+            self.scratch.miss.extend_from_slice(&entry.miss);
+            return;
+        }
+        self.compute_effective_ways();
+        if self.ways_memo.len() >= WAYS_MEMO_CAP {
+            self.ways_memo.clear();
+        }
+        self.ways_memo.insert(
+            self.ways_key.clone(),
+            WaysEntry { ways: self.scratch.ways.clone(), miss: self.scratch.miss.clone() },
+        );
+    }
+
+    /// Effective ways per app (HP first, then BEs) under the current plan,
+    /// written to `scratch.ways`, plus each app's phase miss ratio at that
+    /// allocation in `scratch.miss`. Paused BEs take no part in cache
+    /// contention and get a 0.0 placeholder (they retire nothing, so the
+    /// value is never read).
+    fn compute_effective_ways(&mut self) {
         let w = self.cfg.cache.ways;
+        let n = 1 + self.bes.len();
+        let scratch = &mut self.scratch;
+        scratch.ways.clear();
+        scratch.ways.resize(n, 0.0);
         let active_bes: Vec<&AppInstance> = self.bes.iter().filter(|b| !b.paused).collect();
-        let scatter = |hp_share: f64, be_shares: Vec<f64>| -> Vec<f64> {
-            let mut out = vec![0.0; 1 + self.bes.len()];
-            out[0] = hp_share;
-            let mut it = be_shares.into_iter();
-            for (slot, be) in out[1..].iter_mut().zip(self.bes.iter()) {
+        // Copies shares for the HP and the active BEs into `scratch.ways`.
+        let scatter = |ways: &mut [f64], hp_share: f64, be_shares: &[f64]| {
+            ways[0] = hp_share;
+            let mut it = be_shares.iter();
+            for (slot, be) in ways[1..].iter_mut().zip(self.bes.iter()) {
                 if !be.paused {
-                    *slot = it.next().expect("one share per active BE");
+                    *slot = *it.next().expect("one share per active BE");
                 }
             }
-            out
         };
         match self.plan {
             PartitionPlan::Unmanaged => {
-                let apps: Vec<(f64, &dicer_appmodel::MissCurve)> =
-                    std::iter::once(&self.hp)
-                        .chain(active_bes.iter().copied())
-                        .map(|a| {
-                            let p = a.current_phase();
-                            (p.apki, &p.curve)
-                        })
-                        .collect();
-                let mut shares = contention::shared_effective_ways(&apps, w as f64);
-                let hp_share = shares.remove(0);
-                scatter(hp_share, shares)
+                let apps: Vec<(f64, &MissCurve)> = std::iter::once(&self.hp)
+                    .chain(active_bes.iter().copied())
+                    .map(|a| {
+                        let p = a.current_phase();
+                        (p.apki, &p.curve)
+                    })
+                    .collect();
+                contention::shared_effective_ways_into(
+                    &apps,
+                    w as f64,
+                    &mut scratch.pressures,
+                    &mut scratch.shares,
+                );
+                let (hp_share, be_shares) =
+                    scratch.shares.split_first().map(|(h, t)| (*h, t)).unwrap_or((0.0, &[]));
+                scatter(&mut scratch.ways, hp_share, be_shares);
             }
             PartitionPlan::Split { hp_ways } => {
                 let be_group = (w - hp_ways) as f64;
-                let be_apps: Vec<(f64, &dicer_appmodel::MissCurve)> = active_bes
+                let be_apps: Vec<(f64, &MissCurve)> = active_bes
                     .iter()
                     .map(|a| {
                         let p = a.current_phase();
                         (p.apki, &p.curve)
                     })
                     .collect();
-                scatter(hp_ways as f64, contention::shared_effective_ways(&be_apps, be_group))
+                contention::shared_effective_ways_into(
+                    &be_apps,
+                    be_group,
+                    &mut scratch.pressures,
+                    &mut scratch.shares,
+                );
+                scatter(&mut scratch.ways, hp_ways as f64, &scratch.shares);
             }
             PartitionPlan::Overlapping { hp_exclusive, shared } => {
                 // BE-only region split among the active BEs first; then the
                 // shared middle region is contested by HP (floored by its
                 // private ways) and the BEs (floored by their shares).
                 let be_only = (w - hp_exclusive - shared) as f64;
-                let be_apps: Vec<(f64, &dicer_appmodel::MissCurve)> = active_bes
+                let be_apps: Vec<(f64, &MissCurve)> = active_bes
                     .iter()
                     .map(|a| {
                         let p = a.current_phase();
                         (p.apki, &p.curve)
                     })
                     .collect();
-                let be_floors = if be_only > 0.0 && !be_apps.is_empty() {
-                    contention::shared_effective_ways(&be_apps, be_only)
+                if be_only > 0.0 && !be_apps.is_empty() {
+                    contention::shared_effective_ways_into(
+                        &be_apps,
+                        be_only,
+                        &mut scratch.pressures,
+                        &mut scratch.floors,
+                    );
                 } else {
-                    vec![0.0; be_apps.len()]
-                };
+                    scratch.floors.clear();
+                    scratch.floors.resize(be_apps.len(), 0.0);
+                }
                 let hp_phase = self.hp.current_phase();
-                let mut participants: Vec<(f64, &dicer_appmodel::MissCurve, f64)> =
+                let mut participants: Vec<(f64, &MissCurve, f64)> =
                     vec![(hp_phase.apki, &hp_phase.curve, hp_exclusive as f64)];
                 participants.extend(
-                    be_apps.iter().zip(&be_floors).map(|((apki, curve), &f)| (*apki, *curve, f)),
+                    be_apps
+                        .iter()
+                        .zip(scratch.floors.iter())
+                        .map(|((apki, curve), &f)| (*apki, *curve, f)),
                 );
-                let ovl = contention::overlap_shares(&participants, shared as f64);
-                let be_shares: Vec<f64> =
-                    be_floors.iter().zip(ovl.iter().skip(1)).map(|(&f, &o)| f + o).collect();
-                scatter(hp_exclusive as f64 + ovl[0], be_shares)
+                contention::overlap_shares_into(
+                    &participants,
+                    shared as f64,
+                    &mut scratch.pressures,
+                    &mut scratch.ovl,
+                );
+                scratch.shares.clear();
+                scratch.shares.extend(
+                    scratch.floors.iter().zip(scratch.ovl.iter().skip(1)).map(|(&f, &o)| f + o),
+                );
+                let hp_share = hp_exclusive as f64 + scratch.ovl[0];
+                scatter(&mut scratch.ways, hp_share, &scratch.shares);
+            }
+        }
+        // Miss ratio of each running app's phase at its allocation.
+        scratch.miss.clear();
+        scratch.miss.resize(n, 0.0);
+        scratch.miss[0] = self.hp.current_phase().curve.miss_ratio(scratch.ways[0]);
+        for (i, be) in self.bes.iter().enumerate() {
+            if !be.paused {
+                scratch.miss[i + 1] = be.current_phase().curve.miss_ratio(scratch.ways[i + 1]);
             }
         }
     }
@@ -275,15 +460,14 @@ impl Server {
     ///
     /// Within the period the simulator re-solves the equilibrium whenever an
     /// application crosses a phase boundary (or completes and restarts), so
-    /// period counters are exact time-weighted averages.
+    /// period counters are exact time-weighted averages. Steady-state
+    /// sub-periods are served entirely from the effective-ways and
+    /// equilibrium memos without heap allocation.
     pub fn step_period(&mut self) -> PeriodSample {
         self.rotate_admission();
         let n = 1 + self.bes.len();
         let mut remaining = self.cfg.period_s;
-        let mut insns_acc = vec![0.0f64; n];
-        let mut bw_acc = vec![0.0f64; n];
-        let mut miss_acc = vec![0.0f64; n];
-        let mut occupancy = vec![0u64; n];
+        self.scratch.reset_period(n);
         let mut total_bw_acc = 0.0f64;
         let mut guard = 0;
 
@@ -291,45 +475,41 @@ impl Server {
             guard += 1;
             assert!(guard < 10_000, "period subdivided too finely — model bug");
 
-            let ways = self.effective_ways();
             // Active instances only take part in the equilibrium; paused
             // BEs retire nothing and generate no traffic.
-            let active: Vec<usize> = std::iter::once(0usize)
-                .chain(self.bes.iter().enumerate().filter(|(_, b)| !b.paused).map(|(i, _)| i + 1))
-                .collect();
+            self.refresh_active();
+            self.refresh_effective_ways();
             // MBA: the BE class's requests are delayed by the programmed
             // level, modelled as a latency scale of 100 / level, capped at
             // the hardware's real effectiveness ceiling.
             let be_scale = (1.0 / self.be_throttle.fraction()).min(MAX_MBA_LATENCY_SCALE);
-            let instance = |i: usize| -> &AppInstance {
-                if i == 0 { &self.hp } else { &self.bes[i - 1] }
-            };
-            let phases: Vec<(&Phase, f64, f64)> = active
-                .iter()
-                .map(|&i| {
-                    let scale = if i == 0 { 1.0 } else { be_scale };
-                    (instance(i).current_phase(), ways[i], scale)
-                })
-                .collect();
-            let eq = equilibrium::solve_throttled(
-                &phases,
-                &self.link,
-                self.cfg.base_latency_cycles(),
-                self.cfg.freq_hz,
-                self.cfg.cache.line_bytes,
-            );
-            let miss_now: Vec<f64> = phases
-                .iter()
-                .map(|(p, w, _)| p.curve.miss_ratio(*w))
-                .collect();
-            drop(phases);
+            let period_start = self.time_s;
+            let period_s = self.cfg.period_s;
+            let freq_hz = self.cfg.freq_hz;
+            let way_bytes = self.cfg.cache.way_bytes() as f64;
+
+            // Split the borrow: the solver is staged and queried while the
+            // instances and scratch buffers are updated through disjoint
+            // fields.
+            let Server { solver, scratch, hp, bes, .. } = self;
+            solver.begin();
+            for &i in &scratch.active {
+                let (phase, scale) = if i == 0 {
+                    (hp.current_phase(), 1.0)
+                } else {
+                    (bes[i - 1].current_phase(), be_scale)
+                };
+                solver.push(phase, scratch.miss[i], scale);
+            }
+            let eq = solver.solve();
 
             // Time until the nearest phase boundary among running apps.
             let mut dt = remaining;
-            for (k, &i) in active.iter().enumerate() {
-                let rate = eq.ipc[k] * self.cfg.freq_hz; // insns per second
+            for (k, &i) in scratch.active.iter().enumerate() {
+                let rate = eq.ipc[k] * freq_hz; // insns per second
                 if rate > 0.0 {
-                    let t = instance(i).insns_left_in_phase() / rate;
+                    let inst = if i == 0 { &*hp } else { &bes[i - 1] };
+                    let t = inst.insns_left_in_phase() / rate;
                     if t < dt {
                         dt = t;
                     }
@@ -339,16 +519,15 @@ impl Server {
             // exactly at the current instant.
             dt = dt.max(remaining * 1e-9).min(remaining);
 
-            let now = self.time_s + (self.cfg.period_s - remaining) + dt;
-            for (k, &i) in active.iter().enumerate() {
-                let insns = eq.ipc[k] * self.cfg.freq_hz * dt;
-                let inst =
-                    if i == 0 { &mut self.hp } else { &mut self.bes[i - 1] };
+            let now = period_start + (period_s - remaining) + dt;
+            for (k, &i) in scratch.active.iter().enumerate() {
+                let insns = eq.ipc[k] * freq_hz * dt;
+                let inst = if i == 0 { &mut *hp } else { &mut bes[i - 1] };
                 inst.retire(insns, now);
-                insns_acc[i] += insns;
-                bw_acc[i] += eq.achieved_gbps[k] * dt;
-                miss_acc[i] += miss_now[k] * dt;
-                occupancy[i] = (ways[i] * self.cfg.cache.way_bytes() as f64) as u64;
+                scratch.insns_acc[i] += insns;
+                scratch.bw_acc[i] += eq.achieved_gbps[k] * dt;
+                scratch.miss_acc[i] += scratch.miss[i] * dt;
+                scratch.occupancy[i] = (scratch.ways[i] * way_bytes) as u64;
             }
             total_bw_acc += eq.total_gbps * dt;
             remaining -= dt;
@@ -357,11 +536,12 @@ impl Server {
         self.time_s += self.cfg.period_s;
         let t = self.cfg.period_s;
         let cycles = self.cfg.freq_hz * t;
+        let scratch = &self.scratch;
         let mk = |i: usize| PerAppSample {
-            ipc: insns_acc[i] / cycles,
-            llc_occupancy_bytes: occupancy[i],
-            mem_bw_gbps: bw_acc[i] / t,
-            miss_ratio: miss_acc[i] / t,
+            ipc: scratch.insns_acc[i] / cycles,
+            llc_occupancy_bytes: scratch.occupancy[i],
+            mem_bw_gbps: scratch.bw_acc[i] / t,
+            miss_ratio: scratch.miss_acc[i] / t,
         };
         PeriodSample {
             time_s: self.time_s,
@@ -661,5 +841,77 @@ mod tests {
     fn invalid_plan_rejected() {
         let mut s = Server::new(cfg(), quiet(1_000), vec![quiet(1_000)]);
         s.apply_plan(PartitionPlan::Split { hp_ways: 20 });
+    }
+
+    #[test]
+    fn acceleration_does_not_change_period_samples() {
+        // The determinism guarantee, end to end: a server with memoization
+        // and warm starts produces bit-identical period samples to a cold
+        // one, across plan changes, throttle changes, admission changes and
+        // phase boundaries.
+        let milc = profile(
+            "milc",
+            3_000_000_000,
+            0.70,
+            28.0,
+            4.0,
+            MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+        );
+        let gcc = profile(
+            "gcc",
+            2_000_000_000,
+            0.65,
+            24.0,
+            2.4,
+            MissCurve::parametric(0.07, 0.62, 1.2, 3.0),
+        );
+        let mut fast = Server::new(cfg(), milc.clone(), vec![gcc.clone(); 9]);
+        let mut cold = Server::new(cfg(), milc, vec![gcc; 9]);
+        cold.set_acceleration(false);
+        assert!(fast.acceleration() && !cold.acceleration());
+        let plans = [
+            PartitionPlan::Unmanaged,
+            PartitionPlan::Unmanaged,
+            PartitionPlan::cache_takeover(20),
+            PartitionPlan::cache_takeover(20),
+            PartitionPlan::Split { hp_ways: 4 },
+            PartitionPlan::Overlapping { hp_exclusive: 4, shared: 6 },
+            PartitionPlan::Unmanaged,
+            PartitionPlan::Unmanaged,
+        ];
+        for (step, plan) in plans.iter().enumerate() {
+            for s in [&mut fast, &mut cold] {
+                s.apply_plan(*plan);
+                s.set_be_throttle(if step % 3 == 0 { MbaLevel::FULL } else { MbaLevel::new(40).unwrap() });
+                if step == 5 {
+                    s.set_admitted_bes(4);
+                }
+            }
+            let a = fast.step_period();
+            let b = cold.step_period();
+            assert_eq!(a, b, "samples diverged at period {step}");
+        }
+        let stats = fast.solver_stats();
+        assert!(stats.cache_hits > 0, "steady stretches should hit the memo: {stats:?}");
+    }
+
+    #[test]
+    fn solver_stats_report_cache_hits() {
+        // A static unmanaged run repeats its configuration every sub-period,
+        // so the memo should serve most solves and keep mean rounds low —
+        // the observability the perf claims rest on.
+        let hog = profile("hog", 4_000_000_000, 0.6, 24.0, 2.4, MissCurve::flat(0.55));
+        let mut s = Server::new(cfg(), quiet(6_000_000_000), vec![hog; 9]);
+        for _ in 0..20 {
+            s.step_period();
+        }
+        let stats = s.solver_stats();
+        assert!(stats.solves >= 20, "at least one solve per period: {stats:?}");
+        assert!(stats.cache_hit_rate() > 0.5, "hit rate {}", stats.cache_hit_rate());
+        assert!(
+            stats.mean_evals_per_solve() <= 10.0,
+            "mean rounds {}",
+            stats.mean_evals_per_solve()
+        );
     }
 }

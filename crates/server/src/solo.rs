@@ -6,7 +6,7 @@
 //! application, the minimum LLC allocation at which solo performance reaches
 //! a fraction of its full-cache maximum.
 
-use crate::{config::ServerConfig, equilibrium};
+use crate::{config::ServerConfig, equilibrium::EquilibriumSolver};
 use dicer_appmodel::AppProfile;
 use dicer_membw::LinkModel;
 
@@ -23,41 +23,52 @@ pub struct SoloProfile {
     pub ipc_by_ways: Vec<f64>,
 }
 
-/// Profiles `app` alone on `cfg`'s server.
+/// Profiles `app` alone on `cfg`'s server. One persistent solver serves the
+/// whole way sweep, so repeated phases at the same allocation are memoized.
 pub fn profile(app: &AppProfile, cfg: &ServerConfig) -> SoloProfile {
-    let link = LinkModel::new(cfg.link);
+    let mut solver = EquilibriumSolver::new(
+        LinkModel::new(cfg.link),
+        cfg.base_latency_cycles(),
+        cfg.freq_hz,
+        cfg.cache.line_bytes,
+    );
     let ways_max = cfg.cache.ways;
     let ipc_by_ways: Vec<f64> =
-        (1..=ways_max).map(|w| solo_ipc_at(app, w as f64, cfg, &link)).collect();
+        (1..=ways_max).map(|w| solo_ipc_with(&mut solver, app, w as f64)).collect();
     let ipc_alone = ipc_by_ways[ways_max as usize - 1];
-    let time_alone_s = solo_time_at(app, ways_max as f64, cfg, &link);
+    let total: f64 = app.phases.iter().map(|p| p.insns as f64).sum();
+    let time_alone_s = total / (ipc_alone * cfg.freq_hz);
     SoloProfile { ipc_alone, time_alone_s, ipc_by_ways }
 }
 
 /// Instruction-weighted solo IPC at a given allocation, including the app's
 /// own bandwidth feedback (a lone streaming app can load the link).
 pub fn solo_ipc_at(app: &AppProfile, ways: f64, cfg: &ServerConfig, link: &LinkModel) -> f64 {
+    let mut solver = EquilibriumSolver::new(
+        *link,
+        cfg.base_latency_cycles(),
+        cfg.freq_hz,
+        cfg.cache.line_bytes,
+    );
+    solo_ipc_with(&mut solver, app, ways)
+}
+
+/// [`solo_ipc_at`] against a caller-owned solver (engine geometry must
+/// match the server configuration). Equilibrium solves are bit-identical to
+/// [`crate::equilibrium::solve`] on the same phase, so results do not
+/// depend on how the solver is shared across calls.
+pub fn solo_ipc_with(solver: &mut EquilibriumSolver, app: &AppProfile, ways: f64) -> f64 {
     let total: f64 = app.phases.iter().map(|p| p.insns as f64).sum();
     let cycles: f64 = app
         .phases
         .iter()
         .map(|p| {
-            let eq = equilibrium::solve(
-                &[(p, ways)],
-                link,
-                cfg.base_latency_cycles(),
-                cfg.freq_hz,
-                cfg.cache.line_bytes,
-            );
-            p.insns as f64 / eq.ipc[0]
+            solver.begin();
+            solver.push(p, p.curve.miss_ratio(ways), 1.0);
+            p.insns as f64 / solver.solve().ipc[0]
         })
         .sum();
     total / cycles
-}
-
-fn solo_time_at(app: &AppProfile, ways: f64, cfg: &ServerConfig, link: &LinkModel) -> f64 {
-    let total: f64 = app.phases.iter().map(|p| p.insns as f64).sum();
-    total / (solo_ipc_at(app, ways, cfg, link) * cfg.freq_hz)
 }
 
 impl SoloProfile {

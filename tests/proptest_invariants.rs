@@ -9,6 +9,100 @@ use dicer::rdt::{MbaLevel, PartitionPlan, PerAppSample, PeriodSample, WayMask};
 use dicer::server::{contention, equilibrium};
 use proptest::prelude::*;
 
+/// Solves a throttled equilibrium and asserts the fixed-point contract:
+/// finite positive IPCs, capacity respected, and the returned multiplier
+/// reproduced by re-evaluating the latency curve at the returned demands.
+/// (At the clamped endpoints the residual is exactly zero by construction.)
+fn check_throttled_residual(phases: &[Phase], ways: f64, scale: f64) {
+    let link = LinkModel::new(LinkConfig::default());
+    let inputs: Vec<(&Phase, f64, f64)> = phases.iter().map(|p| (p, ways, scale)).collect();
+    let eq = equilibrium::solve_throttled(&inputs, &link, 198.0, 2.2e9, 64);
+    assert!(eq.ipc.iter().all(|i| *i > 0.0 && i.is_finite()));
+    assert!(eq.total_gbps <= link.config().capacity_gbps + 1e-9);
+    let offered: f64 = eq.demand_gbps.iter().sum();
+    let mult = link.latency_multiplier(offered / link.config().capacity_gbps);
+    assert!(
+        (mult - eq.latency_mult).abs() < 1e-5,
+        "fixed-point residual: returned {} vs recomputed {mult}",
+        eq.latency_mult
+    );
+}
+
+/// Replays a sequence of (ways, throttle-scale) configurations through one
+/// persistent accelerated engine — each configuration solved twice, so warm
+/// starts *and* memo hits are both exercised — and checks every answer is
+/// bit-identical to a fresh cold solve.
+fn check_replay_bit_identity(phases: &[Phase], steps: &[(f64, f64)]) {
+    use dicer::server::EquilibriumSolver;
+    let link = LinkModel::new(LinkConfig::default());
+    let mut engine = EquilibriumSolver::new(link, 198.0, 2.2e9, 64);
+    assert!(engine.accelerated(), "engines accelerate by default");
+    for &(ways, scale) in steps {
+        for repeat in 0..2 {
+            engine.begin();
+            for p in phases {
+                engine.push(p, p.curve.miss_ratio(ways), scale);
+            }
+            let fast = engine.solve().clone();
+            let inputs: Vec<(&Phase, f64, f64)> =
+                phases.iter().map(|p| (p, ways, scale)).collect();
+            let cold = equilibrium::solve_throttled(&inputs, &link, 198.0, 2.2e9, 64);
+            let ctx = format!("ways {ways}, scale {scale}, repeat {repeat}");
+            assert_eq!(
+                fast.latency_mult.to_bits(),
+                cold.latency_mult.to_bits(),
+                "latency_mult diverged ({ctx})"
+            );
+            assert_eq!(fast.total_gbps.to_bits(), cold.total_gbps.to_bits(), "total ({ctx})");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fast.ipc), bits(&cold.ipc), "ipc diverged ({ctx})");
+            assert_eq!(
+                bits(&fast.demand_gbps),
+                bits(&cold.demand_gbps),
+                "demand diverged ({ctx})"
+            );
+            assert_eq!(
+                bits(&fast.achieved_gbps),
+                bits(&cold.achieved_gbps),
+                "achieved diverged ({ctx})"
+            );
+        }
+    }
+}
+
+/// Deterministic smoke coverage for the helpers above (the property tests
+/// below drive them across random inputs).
+#[test]
+fn throttled_residual_smoke() {
+    let heavy = Phase {
+        insns: 1_000_000,
+        base_cpi: 0.6,
+        apki: 35.0,
+        mlp: 4.0,
+        curve: MissCurve::parametric(0.2, 0.8, 3.0, 2.0),
+    };
+    let phases = vec![heavy; 9];
+    check_throttled_residual(&phases, 0.5, 1.0); // saturated link, clamped root
+    check_throttled_residual(&phases, 2.0, 1.5); // interior root
+    check_throttled_residual(&phases[..1], 19.0, 1.0); // unit multiplier
+}
+
+#[test]
+fn replay_bit_identity_smoke() {
+    let heavy = Phase {
+        insns: 1_000_000,
+        base_cpi: 0.6,
+        apki: 35.0,
+        mlp: 4.0,
+        curve: MissCurve::parametric(0.2, 0.8, 3.0, 2.0),
+    };
+    let phases = vec![heavy; 6];
+    check_replay_bit_identity(
+        &phases,
+        &[(0.5, 1.0), (0.61, 1.0), (0.72, 1.5), (19.0, 3.0), (0.5, 1.0), (2.0, 1.0)],
+    );
+}
+
 fn arb_curve() -> impl Strategy<Value = MissCurve> {
     (0.0f64..0.5, 0.5f64..1.0, 0.3f64..12.0, 1.0f64..4.0)
         .prop_map(|(floor, ceil, w_half, steep)| MissCurve::parametric(floor, ceil, w_half, steep))
@@ -95,6 +189,28 @@ proptest! {
         let mult = link.latency_multiplier(offered / link.config().capacity_gbps);
         prop_assert!((mult - eq.latency_mult).abs() < 1e-5,
             "multiplier {} vs recomputed {}", eq.latency_mult, mult);
+    }
+
+    /// With per-app MBA throttles in play, the equilibrium still satisfies
+    /// the fixed-point residual contract `|L(U) − mult| < tol`.
+    #[test]
+    fn equilibrium_residual_with_throttles(
+        phases in prop::collection::vec(arb_phase(), 1..10),
+        ways in 0.5f64..20.0,
+        scale in 1.0f64..3.0,
+    ) {
+        check_throttled_residual(&phases, ways, scale);
+    }
+
+    /// Warm-started and memoized solves are bit-identical to cold solves on
+    /// replayed configuration sequences — the engine's determinism
+    /// guarantee.
+    #[test]
+    fn accelerated_solver_replay_is_bit_identical(
+        phases in prop::collection::vec(arb_phase(), 1..6),
+        steps in prop::collection::vec((0.5f64..20.0, 1.0f64..3.0), 1..12),
+    ) {
+        check_replay_bit_identity(&phases, &steps);
     }
 
     /// EFU is a mean: it lies between the minimum and maximum normalised
