@@ -9,6 +9,8 @@
 //!   classification, and the deterministic 120-workload evaluation sample
 //!   (50 CT-F + 70 CT-T, mirroring §4.1).
 //! * [`ablation`] — sweeps over DICER's design knobs (DESIGN.md §5).
+//! * [`scenarios`] — scripted fault-injection scenarios with JSONL
+//!   decision traces (DESIGN.md §8).
 //! * [`trace`] — per-period run recording and timeline rendering.
 //! * [`figures`] — one module per paper artefact (`fig1` … `fig8`,
 //!   `table1`, `headline`), each returning a serialisable result struct and
@@ -20,10 +22,12 @@
 pub mod ablation;
 pub mod figures;
 pub mod runner;
+pub mod scenarios;
 pub mod solo_table;
 pub mod trace;
 pub mod workloads;
 
 pub use runner::{run_colocation, ColocationOutcome};
+pub use scenarios::{run_scenario, DecisionRecord, FaultScenario, ScenarioResult};
 pub use solo_table::SoloTable;
 pub use workloads::{WorkloadClass, WorkloadSet};

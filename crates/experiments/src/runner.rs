@@ -55,7 +55,8 @@ impl ColocationOutcome {
 }
 
 /// Runs `hp` against `n_cores − 1` instances of `be` under `policy`,
-/// using pre-computed solo references.
+/// using pre-computed solo references. Runs to completion or
+/// [`MAX_PERIODS`], whichever comes first.
 pub fn run_colocation_with(
     solo: &SoloTable,
     hp: &AppProfile,
@@ -63,6 +64,21 @@ pub fn run_colocation_with(
     n_cores: u32,
     policy: &PolicyKind,
 ) -> ColocationOutcome {
+    run_colocation_capped(solo, hp, be, n_cores, policy, MAX_PERIODS)
+}
+
+/// [`run_colocation_with`] with an explicit period cap. A run cut short by
+/// the cap reports `completed == false` with metrics over the simulated
+/// prefix; tests use small caps to exercise the truncation path cheaply.
+pub fn run_colocation_capped(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+    max_periods: u32,
+) -> ColocationOutcome {
+    assert!(max_periods >= 1, "a run needs at least one period");
     let cfg = *solo.config();
     assert!(
         (2..=cfg.n_cores).contains(&n_cores),
@@ -76,7 +92,7 @@ pub fn run_colocation_with(
 
     let mut periods = 0;
     let mut bw_acc = 0.0;
-    while periods < MAX_PERIODS {
+    while periods < max_periods {
         let sample = server.step_period();
         periods += 1;
         bw_acc += sample.total_bw_gbps;
@@ -261,6 +277,39 @@ mod tests {
             solver_stats: SolverStats::default(),
         };
         assert_eq!(out.be_norm_ipc_mean(), 0.0, "empty BE set must not yield NaN");
+    }
+
+    #[test]
+    fn capped_run_reports_incomplete() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gobmk1").unwrap();
+        let out = run_colocation_capped(&solo, hp, be, 10, &PolicyKind::Unmanaged, 5);
+        assert_eq!(out.periods, 5, "must stop exactly at the cap");
+        assert!(!out.completed, "a 5-period prefix cannot have finished");
+        // Prefix metrics must still be well-defined (no NaN/zero-division).
+        assert!(out.hp_norm_ipc.is_finite() && out.hp_norm_ipc > 0.0);
+        assert!(out.mean_total_bw_gbps.is_finite() && out.mean_total_bw_gbps > 0.0);
+        assert!(out.efu.is_finite());
+    }
+
+    #[test]
+    fn cap_equal_to_full_run_matches_uncapped() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gobmk1").unwrap();
+        let full = run_colocation_with(&solo, hp, be, 10, &PolicyKind::Unmanaged);
+        let capped =
+            run_colocation_capped(&solo, hp, be, 10, &PolicyKind::Unmanaged, MAX_PERIODS);
+        assert_eq!(full, capped, "delegation must not change results");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_cap_rejected() {
+        let (cat, solo) = setup();
+        let hp = cat.get("namd1").unwrap();
+        run_colocation_capped(&solo, hp, hp, 2, &PolicyKind::Unmanaged, 0);
     }
 
     #[test]

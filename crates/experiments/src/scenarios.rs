@@ -1,0 +1,430 @@
+//! Scripted fault-injection scenarios against the DICER controller.
+//!
+//! A [`FaultScenario`] replays a perturbation schedule — sensor noise,
+//! dropped/stale samples, flaky partition applies — against [`Dicer`]
+//! driving a [`FaultyPlatform`]-wrapped server, and records every
+//! per-period decision as a [`DecisionRecord`]. Records serialise to JSONL
+//! for golden-file comparison: the whole pipeline is seeded, so the same
+//! scenario with the same seed produces a byte-identical trace.
+
+use crate::solo_table::SoloTable;
+use dicer_appmodel::Catalog;
+use dicer_membw::Ewma;
+use dicer_policy::{Dicer, DicerConfig, DicerStats, Policy};
+use dicer_rdt::{
+    FaultConfig, FaultStats, FaultyPlatform, PartitionController,
+};
+use dicer_server::Server;
+use serde::{Deserialize, Serialize};
+
+/// Smoothing factor for the total-link-bandwidth EWMA recorded in traces
+/// (diagnostic channel; holds over dropped samples).
+const TRACE_BW_ALPHA: f64 = 0.3;
+
+/// One scripted robustness scenario: a co-location, a controller
+/// configuration and a fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Scenario label (also the golden-trace file stem).
+    pub name: String,
+    /// HP application name (from the paper catalog).
+    pub hp: String,
+    /// BE application name; `n_cores − 1` instances run.
+    pub be: String,
+    /// Employed cores (1 HP + n−1 BEs).
+    pub n_cores: u32,
+    /// Controller configuration under test.
+    pub dicer: DicerConfig,
+    /// Fault regime in force from period 0.
+    pub faults: FaultConfig,
+    /// Scripted regime switches: at the start of period `p`, switch the
+    /// injector to the given configuration (ascending by period).
+    pub schedule: Vec<(u32, FaultConfig)>,
+    /// Periods to simulate (the run also stops when all apps complete).
+    pub periods: u32,
+}
+
+/// One period's controller decision under (possibly faulted) monitoring.
+///
+/// Sample-derived fields are `None` on a dropped period — the controller
+/// saw nothing, and the trace says so rather than inventing a value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Period index, from 0.
+    pub period: u32,
+    /// Simulation time at period end, seconds (ground truth).
+    pub time_s: f64,
+    /// Controller state after the decision ([`dicer_policy::DicerState`] label).
+    pub state: String,
+    /// Whether the workload is still classified CT-Favoured.
+    pub ct_favoured: bool,
+    /// HP ways the controller intends to be in force.
+    pub target_hp_ways: u32,
+    /// HP ways actually in force on the platform (differs from the target
+    /// while an apply is pending or was abandoned).
+    pub applied_hp_ways: u32,
+    /// HP IPC as delivered to the controller (post-injection).
+    pub hp_ipc: Option<f64>,
+    /// HP bandwidth as delivered, Gbps.
+    pub hp_bw_gbps: Option<f64>,
+    /// Total link traffic as delivered, Gbps.
+    pub total_bw_gbps: Option<f64>,
+    /// EWMA of delivered total traffic (holds over dropped periods).
+    pub total_bw_ewma_gbps: Option<f64>,
+    /// Whether this period's sample was dropped.
+    pub dropped: bool,
+    /// Fault events observed this period ([`dicer_rdt::FaultEvent`] labels).
+    pub events: Vec<String>,
+    /// Cumulative controller decision counters after this period.
+    pub stats: DicerStats,
+}
+
+/// A completed scenario run: the decision trace plus final counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario label.
+    pub scenario: String,
+    /// Per-period decisions, in order.
+    pub records: Vec<DecisionRecord>,
+    /// Final controller counters.
+    pub dicer_stats: DicerStats,
+    /// Final injector counters.
+    pub fault_stats: FaultStats,
+}
+
+/// Minimal JSON string escaping (labels in traces are plain ASCII, but the
+/// emitter must still be total).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number via Rust's shortest-roundtrip `Display` — deterministic for
+/// a given bit pattern, which is what the golden-trace contract needs.
+fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "traces never carry non-finite numbers");
+    format!("{x}")
+}
+
+fn json_opt_f64(x: Option<f64>) -> String {
+    match x {
+        Some(x) => json_f64(x),
+        None => "null".to_string(),
+    }
+}
+
+fn json_dicer_stats(s: &DicerStats) -> String {
+    format!(
+        "{{\"sampling_periods\":{},\"shrinks\":{},\"resets\":{},\
+         \"phase_changes\":{},\"saturated_periods\":{},\"missing_periods\":{}}}",
+        s.sampling_periods, s.shrinks, s.resets, s.phase_changes, s.saturated_periods,
+        s.missing_periods
+    )
+}
+
+fn json_fault_stats(s: &FaultStats) -> String {
+    format!(
+        "{{\"perturbed_samples\":{},\"dropped_samples\":{},\"stale_samples\":{},\
+         \"failed_applies\":{},\"delayed_applies\":{},\"retried_applies\":{},\
+         \"abandoned_applies\":{}}}",
+        s.perturbed_samples, s.dropped_samples, s.stale_samples, s.failed_applies,
+        s.delayed_applies, s.retried_applies, s.abandoned_applies
+    )
+}
+
+impl DecisionRecord {
+    /// One JSON object, fixed field order. Hand-emitted (rather than via a
+    /// serde backend) so the byte-identity contract depends only on this
+    /// crate and the stability of `f64`'s `Display`.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(|e| json_str(e)).collect();
+        format!(
+            "{{\"period\":{},\"time_s\":{},\"state\":{},\"ct_favoured\":{},\
+             \"target_hp_ways\":{},\"applied_hp_ways\":{},\"hp_ipc\":{},\
+             \"hp_bw_gbps\":{},\"total_bw_gbps\":{},\"total_bw_ewma_gbps\":{},\
+             \"dropped\":{},\"events\":[{}],\"stats\":{}}}",
+            self.period,
+            json_f64(self.time_s),
+            json_str(&self.state),
+            self.ct_favoured,
+            self.target_hp_ways,
+            self.applied_hp_ways,
+            json_opt_f64(self.hp_ipc),
+            json_opt_f64(self.hp_bw_gbps),
+            json_opt_f64(self.total_bw_gbps),
+            json_opt_f64(self.total_bw_ewma_gbps),
+            self.dropped,
+            events.join(","),
+            json_dicer_stats(&self.stats),
+        )
+    }
+}
+
+impl ScenarioResult {
+    /// Serialises the run as JSONL: one line per period, then one summary
+    /// line. Byte-stable for a fixed scenario and seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":{},\"periods\":{},\"dicer_stats\":{},\"fault_stats\":{}}}\n",
+            json_str(&self.scenario),
+            self.records.len(),
+            json_dicer_stats(&self.dicer_stats),
+            json_fault_stats(&self.fault_stats),
+        ));
+        out
+    }
+}
+
+/// Replays one scenario to completion (or its period budget), recording
+/// every controller decision.
+///
+/// The control loop mirrors [`crate::runner::run_colocation_with`], with
+/// the fault layer in between: samples arrive through
+/// [`FaultyPlatform::step_period_faulted`] (dropped periods reach the
+/// controller as [`Dicer::on_missing_period`]), and plan applies go back
+/// through the faulted [`PartitionController`] path.
+pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> ScenarioResult {
+    let cfg = *solo.config();
+    let n_ways = cfg.cache.ways;
+    sc.dicer.validate_for(n_ways).expect("scenario DicerConfig invalid");
+    sc.faults.validate().expect("scenario FaultConfig invalid");
+    let hp = catalog.get(&sc.hp).expect("unknown HP app in scenario");
+    let be = catalog.get(&sc.be).expect("unknown BE app in scenario");
+    assert!(
+        (2..=cfg.n_cores).contains(&sc.n_cores),
+        "employed cores {} out of range 2..={}",
+        sc.n_cores,
+        cfg.n_cores
+    );
+    debug_assert!(
+        sc.schedule.windows(2).all(|w| w[0].0 < w[1].0),
+        "fault schedule must be ascending by period"
+    );
+
+    let n_bes = (sc.n_cores - 1) as usize;
+    let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut plat = FaultyPlatform::new(server, sc.faults.clone());
+    let mut dicer = Dicer::new(sc.dicer.clone());
+    // Run setup is not part of the monitored path: the initial plan lands
+    // directly, exactly as in the clean runner.
+    plat.inner_mut().apply_plan(dicer.initial_plan(n_ways));
+
+    let mut bw_ewma = Ewma::new(TRACE_BW_ALPHA);
+    let mut schedule = sc.schedule.iter();
+    let mut next_switch = schedule.next();
+    let mut records = Vec::with_capacity(sc.periods as usize);
+
+    for period in 0..sc.periods {
+        if let Some((p, faults)) = next_switch {
+            if *p == period {
+                plat.set_faults(faults.clone());
+                next_switch = schedule.next();
+            }
+        }
+
+        let delivered = plat.step_period_faulted();
+        let plan = match &delivered {
+            Some(s) => dicer.on_period(s, n_ways),
+            None => dicer.on_missing_period(n_ways),
+        };
+        let ewma = bw_ewma.update_missing(delivered.as_ref().map(|s| s.total_bw_gbps));
+        if plan != plat.current_plan() {
+            plat.apply_plan(plan); // through the fault layer
+        }
+
+        records.push(DecisionRecord {
+            period,
+            time_s: plat.inner().time_s(),
+            state: dicer.state().as_str().to_string(),
+            ct_favoured: dicer.ct_favoured(),
+            target_hp_ways: dicer.hp_ways(),
+            applied_hp_ways: plat.current_plan().hp_ways(n_ways),
+            hp_ipc: delivered.as_ref().map(|s| s.hp.ipc),
+            hp_bw_gbps: delivered.as_ref().map(|s| s.hp.mem_bw_gbps),
+            total_bw_gbps: delivered.as_ref().map(|s| s.total_bw_gbps),
+            total_bw_ewma_gbps: ewma,
+            dropped: delivered.is_none(),
+            events: plat.events().iter().map(|e| e.as_str().to_string()).collect(),
+            stats: dicer.stats,
+        });
+
+        if plat.inner().progress().all_done() {
+            break;
+        }
+    }
+
+    ScenarioResult {
+        scenario: sc.name.clone(),
+        records,
+        dicer_stats: dicer.stats,
+        fault_stats: plat.fault_stats(),
+    }
+}
+
+/// The standard robustness suite: one clean control per workload class
+/// plus one scenario per fault family, all derived from `seed`.
+///
+/// Workloads follow the repo's canonical pairs: `milc1 + gcc_base1`
+/// saturates the link (CT-Thwarted — exercises sampling), while
+/// `omnetpp1 + gobmk1` stays CT-Favoured (exercises shrink/reset).
+pub fn standard_suite(seed: u64) -> Vec<FaultScenario> {
+    const PERIODS: u32 = 60;
+    const CORES: u32 = 10;
+    let scenario = |name: &str, hp: &str, be: &str, faults: FaultConfig| FaultScenario {
+        name: name.to_string(),
+        hp: hp.to_string(),
+        be: be.to_string(),
+        n_cores: CORES,
+        dicer: DicerConfig::default(),
+        faults,
+        schedule: Vec::new(),
+        periods: PERIODS,
+    };
+
+    let sensor_noise = FaultConfig {
+        ipc_noise: dicer_rdt::NoiseSpec::multiplicative(0.05),
+        bw_noise: dicer_rdt::NoiseSpec::multiplicative(0.10),
+        ..FaultConfig::none(seed)
+    };
+    let drop_storm = FaultConfig { drop_prob: 0.5, ..FaultConfig::none(seed) };
+    let stale = FaultConfig { stale_prob: 0.3, ..FaultConfig::none(seed) };
+    let flaky_actuator = FaultConfig {
+        apply_fail_prob: 0.3,
+        apply_delay_prob: 0.2,
+        max_apply_retries: 3,
+        ..FaultConfig::none(seed)
+    };
+    let quantised = FaultConfig {
+        occupancy_quantum_bytes: 64 * 1024,
+        ..FaultConfig::none(seed)
+    };
+    let kitchen_sink = FaultConfig {
+        ipc_noise: dicer_rdt::NoiseSpec::multiplicative(0.05),
+        bw_noise: dicer_rdt::NoiseSpec::multiplicative(0.10),
+        drop_prob: 0.1,
+        stale_prob: 0.1,
+        occupancy_quantum_bytes: 64 * 1024,
+        apply_fail_prob: 0.1,
+        apply_delay_prob: 0.1,
+        max_apply_retries: 2,
+        ..FaultConfig::none(seed)
+    };
+
+    let mut suite = vec![
+        scenario("clean_ctf", "omnetpp1", "gobmk1", FaultConfig::none(seed)),
+        scenario("clean_ctt", "milc1", "gcc_base1", FaultConfig::none(seed)),
+        scenario("sensor_noise", "milc1", "gcc_base1", sensor_noise),
+        scenario("stale_counters", "milc1", "gcc_base1", stale),
+        scenario("flaky_actuator", "omnetpp1", "gobmk1", flaky_actuator),
+        scenario("quantised_cmt", "milc1", "gcc_base1", quantised),
+        scenario("kitchen_sink", "omnetpp1", "gobmk1", kitchen_sink.clone()),
+    ];
+    // A bounded outage: clean warm-up, a 20-period drop storm, recovery.
+    let mut storm = scenario("drop_storm", "omnetpp1", "gobmk1", FaultConfig::none(seed));
+    storm.schedule = vec![(15, drop_storm), (35, FaultConfig::none(seed))];
+    suite.push(storm);
+    // The kitchen sink again with the faults lifted mid-run, checking the
+    // controller settles back into clean-stream behaviour.
+    let mut recovery = scenario("fault_recovery", "milc1", "gcc_base1", kitchen_sink);
+    recovery.schedule = vec![(30, FaultConfig::none(seed))];
+    suite.push(recovery);
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::standard_setup;
+
+    fn scenario_by_name(seed: u64, name: &str) -> FaultScenario {
+        standard_suite(seed)
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("scenario in suite")
+    }
+
+    #[test]
+    fn same_seed_reruns_are_byte_identical() {
+        let (cat, solo) = standard_setup();
+        let sc = scenario_by_name(7, "kitchen_sink");
+        let a = run_scenario(&cat, &solo, &sc).to_jsonl();
+        let b = run_scenario(&cat, &solo, &sc).to_jsonl();
+        assert_eq!(a, b, "same seed must reproduce the exact trace");
+    }
+
+    #[test]
+    fn different_seeds_diverge_under_noise() {
+        let (cat, solo) = standard_setup();
+        let a = run_scenario(&cat, &solo, &scenario_by_name(1, "sensor_noise"));
+        let b = run_scenario(&cat, &solo, &scenario_by_name(2, "sensor_noise"));
+        assert_ne!(a.to_jsonl(), b.to_jsonl(), "noise must depend on the seed");
+    }
+
+    #[test]
+    fn clean_scenario_reports_no_faults() {
+        let (cat, solo) = standard_setup();
+        let out = run_scenario(&cat, &solo, &scenario_by_name(7, "clean_ctf"));
+        assert_eq!(out.fault_stats, dicer_rdt::FaultStats::default());
+        assert_eq!(out.dicer_stats.missing_periods, 0);
+        assert!(out.records.iter().all(|r| !r.dropped && r.events.is_empty()));
+        assert!(out.records.iter().all(|r| r.target_hp_ways == r.applied_hp_ways));
+    }
+
+    #[test]
+    fn dropped_periods_match_missing_period_count() {
+        let (cat, solo) = standard_setup();
+        let out = run_scenario(&cat, &solo, &scenario_by_name(7, "drop_storm"));
+        let dropped = out.records.iter().filter(|r| r.dropped).count() as u64;
+        assert!(dropped > 0, "a 50% drop storm over 20 periods must drop something");
+        assert_eq!(out.dicer_stats.missing_periods, dropped);
+        assert_eq!(out.fault_stats.dropped_samples, dropped);
+    }
+
+    #[test]
+    fn schedule_confines_faults_to_their_window() {
+        let (cat, solo) = standard_setup();
+        let out = run_scenario(&cat, &solo, &scenario_by_name(7, "drop_storm"));
+        for r in &out.records {
+            if r.period < 15 || r.period >= 35 {
+                assert!(!r.dropped, "period {} outside the storm was dropped", r.period);
+            }
+        }
+    }
+
+    #[test]
+    fn ewma_holds_over_dropped_periods() {
+        let (cat, solo) = standard_setup();
+        let out = run_scenario(&cat, &solo, &scenario_by_name(7, "drop_storm"));
+        let mut prev = None;
+        for r in &out.records {
+            if r.dropped {
+                assert_eq!(r.total_bw_ewma_gbps, prev, "EWMA must hold on a drop");
+            }
+            prev = r.total_bw_ewma_gbps;
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_period_plus_summary() {
+        let (cat, solo) = standard_setup();
+        let out = run_scenario(&cat, &solo, &scenario_by_name(7, "clean_ctt"));
+        let jsonl = out.to_jsonl();
+        assert_eq!(jsonl.lines().count(), out.records.len() + 1);
+        assert!(jsonl.lines().last().unwrap().contains("clean_ctt"));
+    }
+}

@@ -29,6 +29,19 @@ impl Ewma {
         v
     }
 
+    /// Feeds a possibly-missing observation. On `Some(x)` this is exactly
+    /// [`Ewma::update`]; on `None` (a dropped monitoring sample) the average
+    /// holds its last value instead of decaying towards zero — a lost MBM
+    /// read means "no information", not "zero bandwidth". Returns the
+    /// post-update value, which is `None` only before the first real
+    /// observation.
+    pub fn update_missing(&mut self, x: Option<f64>) -> Option<f64> {
+        match x {
+            Some(x) => Some(self.update(x)),
+            None => self.value,
+        }
+    }
+
     /// Current smoothed value, or `None` before any observation.
     pub fn value(&self) -> Option<f64> {
         self.value
@@ -78,6 +91,33 @@ mod tests {
     #[should_panic]
     fn rejects_zero_alpha() {
         Ewma::new(0.0);
+    }
+
+    #[test]
+    fn missing_observation_holds_last_value() {
+        let mut e = Ewma::new(0.5);
+        e.update(10.0);
+        assert_eq!(e.update_missing(None), Some(10.0));
+        assert_eq!(e.value(), Some(10.0), "hold, do not decay");
+        // Smoothing resumes from the held value.
+        assert_eq!(e.update_missing(Some(20.0)), Some(15.0));
+    }
+
+    #[test]
+    fn missing_before_first_observation_stays_empty() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.update_missing(None), None);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update_missing(Some(4.0)), Some(4.0));
+    }
+
+    #[test]
+    fn update_missing_some_matches_update() {
+        let mut a = Ewma::new(0.3);
+        let mut b = Ewma::new(0.3);
+        for x in [1.0, 2.0, 8.0, 4.0] {
+            assert_eq!(a.update(x), b.update_missing(Some(x)).unwrap());
+        }
     }
 
     #[test]

@@ -40,12 +40,62 @@ pub enum SamplingStrategy {
 }
 
 impl SamplingStrategy {
-    /// Candidate HP allocations, in the order they will be applied.
-    pub fn candidates(&self, n_ways: u32) -> Vec<u32> {
+    /// Structural validation, independent of the cache geometry. Rejects
+    /// empty, non-decreasing or zero-way custom ladders and zero linear
+    /// steps — at configuration time, not mid-run.
+    pub fn validate(&self) -> Result<(), String> {
         match self {
             SamplingStrategy::Linear { step } => {
-                assert!(*step >= 1);
-                let mut v: Vec<u32> = (1..n_ways).rev().step_by(*step as usize).collect();
+                if *step < 1 {
+                    return Err("linear sampling step must be >= 1".into());
+                }
+            }
+            SamplingStrategy::Geometric => {}
+            SamplingStrategy::Custom(v) => {
+                if v.is_empty() {
+                    return Err("custom sampling needs at least one candidate".into());
+                }
+                if !v.windows(2).all(|w| w[1] < w[0]) {
+                    return Err("custom candidates must be strictly decreasing".into());
+                }
+                if v.iter().any(|w| *w < 1) {
+                    return Err("custom candidates must grant HP at least one way".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Geometry-aware validation: on top of [`SamplingStrategy::validate`],
+    /// every custom candidate must fit `1..n_ways` on the target cache.
+    pub fn validate_for(&self, n_ways: u32) -> Result<(), String> {
+        self.validate()?;
+        if n_ways < 2 {
+            return Err(format!("partitioning needs a cache of >= 2 ways, got {n_ways}"));
+        }
+        if let SamplingStrategy::Custom(v) = self {
+            if let Some(w) = v.iter().find(|w| **w >= n_ways) {
+                return Err(format!(
+                    "custom candidate {w} out of range 1..{n_ways} for this cache"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Candidate HP allocations, in the order they will be applied.
+    ///
+    /// Total for every structurally valid strategy: out-of-range custom
+    /// entries are dropped (and a fully out-of-range ladder degenerates to
+    /// `[1]`), oversized linear steps jump straight from `n_ways − 1` to 1,
+    /// and a 2-way cache yields the single candidate `[1]` under every
+    /// strategy — the sweep never panics mid-run.
+    pub fn candidates(&self, n_ways: u32) -> Vec<u32> {
+        debug_assert!(n_ways >= 2, "partitioning needs at least two ways");
+        match self {
+            SamplingStrategy::Linear { step } => {
+                let step = (*step).max(1) as usize;
+                let mut v: Vec<u32> = (1..n_ways).rev().step_by(step).collect();
                 if v.last() != Some(&1) {
                     v.push(1);
                 }
@@ -63,13 +113,12 @@ impl SamplingStrategy {
                 v
             }
             SamplingStrategy::Custom(v) => {
-                assert!(!v.is_empty(), "custom sampling needs candidates");
-                assert!(
-                    v.windows(2).all(|w| w[1] < w[0]),
-                    "custom candidates must be strictly decreasing"
-                );
-                assert!(v.iter().all(|w| *w >= 1 && *w < n_ways));
-                v.clone()
+                let mut out: Vec<u32> =
+                    v.iter().copied().filter(|w| (1..n_ways).contains(w)).collect();
+                if out.is_empty() {
+                    out.push(1);
+                }
+                out
             }
         }
     }
@@ -136,7 +185,15 @@ impl DicerConfig {
         if self.max_cooldown_periods < self.sampling_cooldown_periods {
             return Err("max cooldown must be >= base cooldown".into());
         }
+        self.sampling.validate()?;
         Ok(())
+    }
+
+    /// Validates the configuration against a concrete cache geometry (e.g.
+    /// custom sampling candidates must fit `1..n_ways`).
+    pub fn validate_for(&self, n_ways: u32) -> Result<(), String> {
+        self.validate()?;
+        self.sampling.validate_for(n_ways)
     }
 }
 
@@ -150,6 +207,17 @@ pub enum DicerState {
     Optimising,
     /// A reset was applied last period and is being validated (Listing 3).
     ValidatingReset,
+}
+
+impl DicerState {
+    /// Stable snake_case label, used in decision traces and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DicerState::Sampling => "sampling",
+            DicerState::Optimising => "optimising",
+            DicerState::ValidatingReset => "validating_reset",
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -212,6 +280,8 @@ pub struct DicerStats {
     pub phase_changes: u64,
     /// Periods in which saturation was observed.
     pub saturated_periods: u64,
+    /// Periods whose monitoring sample never arrived (holdover applied).
+    pub missing_periods: u64,
 }
 
 impl Dicer {
@@ -265,6 +335,23 @@ impl Dicer {
         self.hp_ways
     }
 
+    /// Holdover for a period whose monitoring sample never arrived (dropped
+    /// CMT/MBM read). A lost sample carries no information about the
+    /// workload, so the controller keeps its state machine, Eq. 2 window
+    /// and Eq. 3 reference untouched and re-enforces the plan already in
+    /// force — a dropped period can neither trigger a spurious phase change
+    /// nor feed a phantom IPC into the optimisation loop. Cool-downs still
+    /// tick: a period of wall-clock time did elapse.
+    pub fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        if self.hp_ways == 0 {
+            self.hp_ways = n_ways - 1; // first period ran under initial_plan
+            self.optimal_allocation = n_ways - 1;
+        }
+        self.stats.missing_periods += 1;
+        self.sampling_cooldown = self.sampling_cooldown.saturating_sub(1);
+        PartitionPlan::Split { hp_ways: self.hp_ways }
+    }
+
     fn saturated(&self, sample: &PeriodSample) -> bool {
         sample.total_bw_gbps > self.cfg.mem_bw_threshold_gbps
     }
@@ -275,7 +362,15 @@ impl Dicer {
         if self.bw_history.len() < 3 {
             return false;
         }
-        let gm = self.bw_history.iter().map(|b| b.max(1e-9).ln()).sum::<f64>() / 3.0;
+        // Eq. 2 is undefined over a window containing a zero (or garbage)
+        // bandwidth reading: the geometric mean collapses towards zero and
+        // the next ordinary period would register as a spurious phase
+        // change. Such readings come from dropped MBM samples or idle
+        // phases, not from the workload — hold until the window refills.
+        if self.bw_history.iter().any(|b| !b.is_finite() || *b <= 0.0) || !hp_bw.is_finite() {
+            return false;
+        }
+        let gm = self.bw_history.iter().map(|b| b.ln()).sum::<f64>() / 3.0;
         hp_bw > (1.0 + self.cfg.phase_threshold) * gm.exp()
     }
 
@@ -706,9 +801,215 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn custom_ladder_must_decrease() {
-        SamplingStrategy::Custom(vec![5, 7]).candidates(20);
+        assert!(SamplingStrategy::Custom(vec![5, 7]).validate().is_err());
+        assert!(SamplingStrategy::Custom(vec![7, 7]).validate().is_err());
+        assert!(SamplingStrategy::Custom(vec![7, 5, 2]).validate().is_ok());
+    }
+
+    #[test]
+    fn custom_ladder_rejected_at_construction_not_mid_run() {
+        // An invalid custom ladder is refused by `Dicer::new` via
+        // `DicerConfig::validate`, instead of panicking when saturation
+        // first triggers a sweep mid-run.
+        let cfg = DicerConfig {
+            sampling: SamplingStrategy::Custom(vec![5, 7]),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let empty = DicerConfig {
+            sampling: SamplingStrategy::Custom(vec![]),
+            ..Default::default()
+        };
+        assert!(empty.validate().is_err());
+        let zero_way = DicerConfig {
+            sampling: SamplingStrategy::Custom(vec![5, 0]),
+            ..Default::default()
+        };
+        assert!(zero_way.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dicer_new_panics_on_invalid_custom_ladder() {
+        Dicer::new(DicerConfig {
+            sampling: SamplingStrategy::Custom(vec![5, 7]),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn validate_for_checks_cache_geometry() {
+        let cfg = DicerConfig {
+            sampling: SamplingStrategy::Custom(vec![12, 6, 1]),
+            ..Default::default()
+        };
+        assert!(cfg.validate_for(20).is_ok());
+        // Candidate 12 does not fit an 8-way cache (range is 1..8).
+        assert!(cfg.validate_for(8).is_err());
+        // A 1-way cache cannot be partitioned at all.
+        assert!(DicerConfig::default().validate_for(1).is_err());
+    }
+
+    #[test]
+    fn custom_ladder_out_of_range_candidates_are_dropped() {
+        // Structurally valid but oversized for this cache: candidates are
+        // clamped into range rather than panicking the sweep.
+        let v = SamplingStrategy::Custom(vec![12, 6, 1]).candidates(8);
+        assert_eq!(v, vec![6, 1]);
+        let all_oversized = SamplingStrategy::Custom(vec![12, 10]).candidates(8);
+        assert_eq!(all_oversized, vec![1], "degenerates to the one-way ladder");
+    }
+
+    #[test]
+    fn linear_step_larger_than_cache_yields_two_point_ladder() {
+        // step > n_ways: one probe at N-1, then straight to the floor.
+        let v = SamplingStrategy::Linear { step: 30 }.candidates(20);
+        assert_eq!(v, vec![19, 1]);
+    }
+
+    #[test]
+    fn linear_zero_step_rejected_but_candidates_still_total() {
+        assert!(SamplingStrategy::Linear { step: 0 }.validate().is_err());
+        // Defence in depth: even if validation is bypassed, candidates()
+        // treats step 0 as 1 instead of looping or panicking.
+        let v = SamplingStrategy::Linear { step: 0 }.candidates(4);
+        assert_eq!(v, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn two_way_cache_ladders_are_single_candidate() {
+        assert_eq!(SamplingStrategy::Geometric.candidates(2), vec![1]);
+        assert_eq!(SamplingStrategy::Linear { step: 1 }.candidates(2), vec![1]);
+        assert_eq!(SamplingStrategy::Custom(vec![1]).candidates(2), vec![1]);
+    }
+
+    #[test]
+    fn two_way_cache_full_controller_round_trip() {
+        // The whole state machine must work on the smallest partitionable
+        // cache: initial CT split, a sampling sweep (single candidate) and
+        // return to optimising, without panics.
+        let mut d = dicer();
+        assert_eq!(d.initial_plan(2), PartitionPlan::Split { hp_ways: 1 });
+        d.on_period(&sample(1.0, 5.0, 60.0), 2); // saturated -> sampling
+        assert_eq!(d.state(), DicerState::Sampling);
+        d.on_period(&sample(1.0, 5.0, 20.0), 2); // sweep of [1] ends
+        assert_eq!(d.state(), DicerState::Optimising);
+        assert_eq!(d.hp_ways(), 1);
+    }
+
+    #[test]
+    fn phase_change_needs_full_window() {
+        // Fewer than three recorded periods: even a huge bandwidth jump
+        // must not register as an Eq. 2 phase change.
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // history: [5]
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // history: [5, 5]
+        d.on_period(&sample(1.0, 50.0, 20.0), N); // 10x jump, window short
+        assert_eq!(d.stats.phase_changes, 0);
+    }
+
+    #[test]
+    fn zero_bandwidth_period_suppresses_phase_change_until_window_refills() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        for _ in 0..3 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        // An idle (or dropped-MBM) period records 0 GB/s. Without the
+        // guard the geometric mean collapses and the next ordinary period
+        // reads as a phase change.
+        d.on_period(&sample(1.0, 0.0, 20.0), N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        assert_eq!(d.stats.phase_changes, 0, "zero-bw window must not fire Eq. 2");
+        // Once three positive periods refill the window, detection resumes.
+        for _ in 0..2 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        d.on_period(&sample(1.0, 8.0, 20.0), N); // +60% over geomean 5
+        assert_eq!(d.stats.phase_changes, 1);
+    }
+
+    #[test]
+    fn non_finite_bandwidth_never_fires_phase_change() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        for _ in 0..3 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        d.on_period(&sample(1.0, f64::NAN, 20.0), N);
+        d.on_period(&sample(1.0, 8.0, 20.0), N); // NaN still in window
+        assert_eq!(d.stats.phase_changes, 0);
+    }
+
+    #[test]
+    fn missing_period_holds_plan_and_state() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // prime
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // stable -> 18
+        let before_ways = d.hp_ways();
+        let before_state = d.state();
+        let plan = d.on_missing_period(N);
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: before_ways });
+        assert_eq!(d.state(), before_state);
+        assert_eq!(d.stats.missing_periods, 1);
+        // The next real period behaves exactly as if nothing was lost:
+        // same stable IPC against the same Eq. 3 reference -> shrink.
+        let shrinks = d.stats.shrinks;
+        d.on_period(&sample(1.0, 5.0, 20.0), N);
+        assert_eq!(d.stats.shrinks, shrinks + 1);
+        assert_eq!(d.stats.resets, 0, "holdover must not fake a degradation");
+    }
+
+    #[test]
+    fn missing_period_before_first_sample_enforces_ct_split() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        let plan = d.on_missing_period(N);
+        assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 });
+        assert_eq!(d.stats.missing_periods, 1);
+    }
+
+    #[test]
+    fn missing_period_does_not_poison_phase_window() {
+        // A dropped sample leaves the Eq. 2 window untouched, so a genuine
+        // bandwidth jump right after the gap is still detected.
+        let mut d = dicer();
+        d.initial_plan(N);
+        for _ in 0..3 {
+            d.on_period(&sample(1.0, 5.0, 20.0), N);
+        }
+        d.on_missing_period(N);
+        d.on_period(&sample(1.0, 8.0, 20.0), N); // +60% over geomean 5
+        assert_eq!(d.stats.phase_changes, 1);
+    }
+
+    #[test]
+    fn missing_period_still_ticks_sampling_cooldown() {
+        let mut d = dicer();
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 60.0), N); // saturated -> sampling
+        let ladder = SamplingStrategy::Geometric.candidates(N);
+        for &w in &ladder {
+            d.on_period(&sample(w as f64, 5.0, 60.0), N);
+        }
+        assert_eq!(d.state(), DicerState::Optimising);
+        // Burn the whole cooldown with missing periods; wall-clock elapsed,
+        // so saturation may trigger a fresh sweep immediately after.
+        for _ in 0..DicerConfig::default().sampling_cooldown_periods {
+            d.on_missing_period(N);
+        }
+        d.on_period(&sample(19.0, 5.0, 60.0), N);
+        assert_eq!(d.state(), DicerState::Sampling);
+    }
+
+    #[test]
+    fn dicer_state_labels_are_stable() {
+        assert_eq!(DicerState::Sampling.as_str(), "sampling");
+        assert_eq!(DicerState::Optimising.as_str(), "optimising");
+        assert_eq!(DicerState::ValidatingReset.as_str(), "validating_reset");
     }
 
     #[test]

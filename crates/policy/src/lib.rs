@@ -20,7 +20,7 @@ pub mod dicer;
 pub mod mba;
 
 pub use baseline::{CacheTakeover, StaticOverlap, StaticPartition, Unmanaged};
-pub use dicer::{Dicer, DicerConfig, DicerState, SamplingStrategy};
+pub use dicer::{Dicer, DicerConfig, DicerState, DicerStats, SamplingStrategy};
 pub use admission::DicerAdmission;
 pub use mba::DicerMba;
 

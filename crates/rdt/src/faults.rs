@@ -1,0 +1,821 @@
+//! Seeded, deterministic fault injection for the monitoring/actuation path.
+//!
+//! The DICER listings assume clean per-period CMT/MBM samples and instant
+//! CAT writes. Real RDT counters are noisy, lag the events they measure,
+//! and `resctrl` schemata writes can fail (EBUSY, EINVAL on contended
+//! hosts) or land a period late. This module models exactly those
+//! perturbations as **composable injectors** sitting between a platform
+//! ([`MonitoredPlatform`]) and a controller:
+//!
+//! * multiplicative/additive Gaussian **sensor noise** on IPC and bandwidth
+//!   channels ([`NoiseSpec`]);
+//! * **dropped** samples (a missed counter read — the controller sees
+//!   nothing this period) and **stale** samples (the previous period's
+//!   counters are re-delivered);
+//! * **quantised** CMT occupancy (real CMT reports in coarse granules);
+//! * **failed** and **delayed** partition-plan applies with a bounded
+//!   retry budget ([`FaultyPlatform`]).
+//!
+//! Every injector draws from one seeded [`FaultRng`] ([`FaultConfig::seed`]),
+//! and the draw order is fixed (drop → stale → noise → quantise per sample;
+//! one roll per apply), so a given seed + configuration + input stream
+//! yields a bit-identical fault sequence on every run. With all injectors
+//! disabled ([`FaultConfig::none`]) the layer is an exact passthrough: no
+//! RNG draws happen and samples are delivered verbatim.
+
+use crate::{MbaController, MbaLevel, MonitoredPlatform, PartitionController, PartitionPlan, PeriodSample};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The RNG every injector draws from. `ChaCha8Rng` is the workspace's
+/// deterministic generator (DESIGN.md §7): unlike `rand::rngs::StdRng`,
+/// its stream is guaranteed stable across `rand` releases, so seeded fault
+/// sequences stay bit-reproducible forever.
+pub type FaultRng = ChaCha8Rng;
+
+/// Gaussian perturbation of one sensor channel: the observed value is
+/// `x · (1 + N(0, mult_sigma)) + N(0, add_sigma)`, clamped at zero
+/// (counters never go negative).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Standard deviation of the multiplicative factor's deviation from 1.
+    pub mult_sigma: f64,
+    /// Standard deviation of the additive term, in the channel's unit.
+    pub add_sigma: f64,
+}
+
+impl NoiseSpec {
+    /// No noise at all (the passthrough spec).
+    pub const NONE: NoiseSpec = NoiseSpec { mult_sigma: 0.0, add_sigma: 0.0 };
+
+    /// Purely multiplicative noise of the given sigma.
+    pub fn multiplicative(sigma: f64) -> Self {
+        Self { mult_sigma: sigma, add_sigma: 0.0 }
+    }
+
+    /// Whether this spec perturbs anything.
+    pub fn is_none(&self) -> bool {
+        self.mult_sigma == 0.0 && self.add_sigma == 0.0
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, s) in [("mult_sigma", self.mult_sigma), ("add_sigma", self.add_sigma)] {
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("noise {name} must be finite and >= 0, got {s}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the noise. Draws exactly two Gaussians when enabled, none
+    /// otherwise, so the RNG stream is a pure function of the configuration.
+    fn apply(&self, rng: &mut FaultRng, x: f64) -> f64 {
+        if self.is_none() {
+            return x;
+        }
+        let m = 1.0 + self.mult_sigma * gaussian(rng);
+        let a = self.add_sigma * gaussian(rng);
+        (x * m + a).max(0.0)
+    }
+}
+
+/// One standard Gaussian via Box–Muller (exactly two uniform draws).
+fn gaussian(rng: &mut FaultRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Full fault-model configuration. [`FaultConfig::none`] disables every
+/// injector; individual fields compose freely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the injector's [`FaultRng`]. Identical seeds (with identical
+    /// configurations and input streams) reproduce identical faults.
+    pub seed: u64,
+    /// Sensor noise on every IPC channel (HP and BEs).
+    pub ipc_noise: NoiseSpec,
+    /// Sensor noise on every bandwidth channel (HP, BEs, total link).
+    pub bw_noise: NoiseSpec,
+    /// Probability that a period's sample is lost entirely.
+    pub drop_prob: f64,
+    /// Probability that the previous period's sample is re-delivered
+    /// instead of the current one (counters lagging the period boundary).
+    pub stale_prob: f64,
+    /// CMT occupancy reporting granule in bytes (0 disables quantisation).
+    /// Real CMT reports in multiples of a platform factor (tens of KiB).
+    pub occupancy_quantum_bytes: u64,
+    /// Probability that a partition-plan apply fails (the write is lost
+    /// until retried).
+    pub apply_fail_prob: f64,
+    /// Probability that an apply lands one period late instead of
+    /// immediately.
+    pub apply_delay_prob: f64,
+    /// Retry budget for failed applies: a pending plan is re-attempted at
+    /// up to this many subsequent period boundaries before being abandoned.
+    pub max_apply_retries: u32,
+}
+
+impl FaultConfig {
+    /// All injectors disabled; the layer is an exact passthrough.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            ipc_noise: NoiseSpec::NONE,
+            bw_noise: NoiseSpec::NONE,
+            drop_prob: 0.0,
+            stale_prob: 0.0,
+            occupancy_quantum_bytes: 0,
+            apply_fail_prob: 0.0,
+            apply_delay_prob: 0.0,
+            max_apply_retries: 0,
+        }
+    }
+
+    /// Whether every injector is disabled.
+    pub fn is_none(&self) -> bool {
+        self.ipc_noise.is_none()
+            && self.bw_noise.is_none()
+            && self.drop_prob == 0.0
+            && self.stale_prob == 0.0
+            && self.occupancy_quantum_bytes == 0
+            && self.apply_fail_prob == 0.0
+            && self.apply_delay_prob == 0.0
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.ipc_noise.validate()?;
+        self.bw_noise.validate()?;
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("stale_prob", self.stale_prob),
+            ("apply_fail_prob", self.apply_fail_prob),
+            ("apply_delay_prob", self.apply_delay_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.apply_fail_prob + self.apply_delay_prob > 1.0 {
+            return Err("apply_fail_prob + apply_delay_prob must not exceed 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One observable fault occurrence (recorded per period for traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The period's sample was lost.
+    SampleDropped,
+    /// The previous period's sample was re-delivered.
+    SampleStale,
+    /// Sensor noise perturbed the sample.
+    SampleNoised,
+    /// CMT occupancies were rounded down to the reporting granule.
+    OccupancyQuantised,
+    /// A plan apply failed and was queued for retry.
+    ApplyFailed,
+    /// A plan apply was postponed to the next period boundary.
+    ApplyDelayed,
+    /// A previously failed apply was re-attempted (and failed again).
+    ApplyRetried,
+    /// A failed apply exhausted its retry budget and was discarded.
+    ApplyAbandoned,
+}
+
+impl FaultEvent {
+    /// Stable, compact label (used in JSONL decision traces).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultEvent::SampleDropped => "sample_dropped",
+            FaultEvent::SampleStale => "sample_stale",
+            FaultEvent::SampleNoised => "sample_noised",
+            FaultEvent::OccupancyQuantised => "occupancy_quantised",
+            FaultEvent::ApplyFailed => "apply_failed",
+            FaultEvent::ApplyDelayed => "apply_delayed",
+            FaultEvent::ApplyRetried => "apply_retried",
+            FaultEvent::ApplyAbandoned => "apply_abandoned",
+        }
+    }
+}
+
+/// Cumulative fault counters (across fault-config switches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Samples perturbed (counted once per sample that saw any perturbation).
+    pub perturbed_samples: u64,
+    /// Samples dropped outright.
+    pub dropped_samples: u64,
+    /// Samples replaced by the previous period's counters.
+    pub stale_samples: u64,
+    /// Plan applies that failed on first attempt.
+    pub failed_applies: u64,
+    /// Plan applies postponed by one period.
+    pub delayed_applies: u64,
+    /// Retry attempts for previously failed applies.
+    pub retried_applies: u64,
+    /// Plans discarded after the retry budget ran out.
+    pub abandoned_applies: u64,
+}
+
+/// How a plan apply rolled.
+enum ApplyRoll {
+    Ok,
+    Fail,
+    Delay,
+}
+
+/// The seeded sensor-side injector: perturbs [`PeriodSample`]s.
+///
+/// The actuator side lives in [`FaultyPlatform`], which owns one of these
+/// and shares its RNG so a whole run's fault sequence derives from a single
+/// seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: FaultRng,
+    /// The previous period's *true* sample (replayed on a stale fault).
+    prev: Option<PeriodSample>,
+    /// Cumulative counters (preserved across [`FaultInjector::reconfigure`]).
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector; panics on invalid configuration (matching the
+    /// constructor convention of the rest of the workspace).
+    pub fn new(cfg: FaultConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FaultConfig: {e}");
+        }
+        let rng = FaultRng::seed_from_u64(cfg.seed);
+        Self { cfg, rng, prev: None, stats: FaultStats::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether the injector is an exact passthrough.
+    pub fn is_passthrough(&self) -> bool {
+        self.cfg.is_none()
+    }
+
+    /// Swaps in a new configuration (reseeding the RNG from its seed) while
+    /// keeping cumulative stats and the stale-replay history. This is how
+    /// scripted perturbation schedules switch fault regimes mid-run.
+    pub fn reconfigure(&mut self, cfg: FaultConfig) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FaultConfig: {e}");
+        }
+        self.rng = FaultRng::seed_from_u64(cfg.seed);
+        self.cfg = cfg;
+    }
+
+    /// Perturbs one sample. Returns `None` when the sample is dropped;
+    /// otherwise the (possibly noised/stale/quantised) sample to deliver.
+    /// Emitted [`FaultEvent`]s are appended to `events`.
+    pub fn perturb(
+        &mut self,
+        sample: &PeriodSample,
+        events: &mut Vec<FaultEvent>,
+    ) -> Option<PeriodSample> {
+        if self.is_passthrough() {
+            self.prev = Some(sample.clone());
+            return Some(sample.clone());
+        }
+        // Fixed roll order: drop, then stale, then noise, then quantise.
+        if self.cfg.drop_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_prob {
+            self.stats.dropped_samples += 1;
+            events.push(FaultEvent::SampleDropped);
+            self.prev = Some(sample.clone());
+            return None;
+        }
+        let mut out = sample.clone();
+        if self.cfg.stale_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.stale_prob {
+            if let Some(prev) = &self.prev {
+                out = prev.clone();
+                self.stats.stale_samples += 1;
+                events.push(FaultEvent::SampleStale);
+            }
+        }
+        let mut perturbed = false;
+        if !self.cfg.ipc_noise.is_none() || !self.cfg.bw_noise.is_none() {
+            out.hp.ipc = self.cfg.ipc_noise.apply(&mut self.rng, out.hp.ipc);
+            out.hp.mem_bw_gbps = self.cfg.bw_noise.apply(&mut self.rng, out.hp.mem_bw_gbps);
+            for be in &mut out.bes {
+                be.ipc = self.cfg.ipc_noise.apply(&mut self.rng, be.ipc);
+                be.mem_bw_gbps = self.cfg.bw_noise.apply(&mut self.rng, be.mem_bw_gbps);
+            }
+            out.total_bw_gbps = self.cfg.bw_noise.apply(&mut self.rng, out.total_bw_gbps);
+            events.push(FaultEvent::SampleNoised);
+            perturbed = true;
+        }
+        if self.cfg.occupancy_quantum_bytes > 0 {
+            let q = self.cfg.occupancy_quantum_bytes;
+            out.hp.llc_occupancy_bytes = (out.hp.llc_occupancy_bytes / q) * q;
+            for be in &mut out.bes {
+                be.llc_occupancy_bytes = (be.llc_occupancy_bytes / q) * q;
+            }
+            events.push(FaultEvent::OccupancyQuantised);
+            perturbed = true;
+        }
+        if perturbed {
+            self.stats.perturbed_samples += 1;
+        }
+        self.prev = Some(sample.clone());
+        Some(out)
+    }
+
+    /// Rolls the outcome of a fresh plan apply.
+    fn roll_apply(&mut self) -> ApplyRoll {
+        if self.cfg.apply_fail_prob == 0.0 && self.cfg.apply_delay_prob == 0.0 {
+            return ApplyRoll::Ok;
+        }
+        let r: f64 = self.rng.gen();
+        if r < self.cfg.apply_fail_prob {
+            ApplyRoll::Fail
+        } else if r < self.cfg.apply_fail_prob + self.cfg.apply_delay_prob {
+            ApplyRoll::Delay
+        } else {
+            ApplyRoll::Ok
+        }
+    }
+
+    /// Rolls whether a *retried* apply fails again.
+    fn roll_retry_fails(&mut self) -> bool {
+        self.cfg.apply_fail_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.apply_fail_prob
+    }
+}
+
+/// A [`MonitoredPlatform`] wrapper that injects sensor and actuator faults
+/// between the platform and whatever controller drives it.
+///
+/// * Sensor side: every [`FaultyPlatform::step_period_faulted`] perturbs
+///   the platform's true sample through the [`FaultInjector`]; `None`
+///   means the controller sees nothing this period.
+/// * Actuator side: [`PartitionController::apply_plan`] may fail (the plan
+///   is queued and retried at up to `max_apply_retries` subsequent period
+///   boundaries, then abandoned) or land one period late. A newer apply
+///   always supersedes a pending older one — latest plan wins, matching
+///   resctrl semantics where the file holds only the last write attempted.
+///
+/// The trait impls ([`PartitionController`], [`MbaController`],
+/// [`MonitoredPlatform`]) present the same control surface as the wrapped
+/// platform, so controllers and harnesses run unchanged on top of it.
+/// [`MonitoredPlatform::step_period`] applies *holdover* semantics on a
+/// dropped sample: the last successfully delivered sample is returned
+/// again, which is what a monitoring agent reading unrefreshed counters
+/// would observe. Harnesses that want the drop made explicit use
+/// [`FaultyPlatform::step_period_faulted`].
+#[derive(Debug, Clone)]
+pub struct FaultyPlatform<P> {
+    inner: P,
+    injector: FaultInjector,
+    /// A plan whose apply failed or was delayed, with retries remaining.
+    pending: Option<(PartitionPlan, u32)>,
+    /// Events emitted during the current period (cleared at each step).
+    events: Vec<FaultEvent>,
+    /// Last sample actually delivered to the controller (holdover source).
+    last_delivered: Option<PeriodSample>,
+}
+
+impl<P> FaultyPlatform<P> {
+    /// Wraps `inner` with the given fault configuration.
+    pub fn new(inner: P, cfg: FaultConfig) -> Self {
+        Self {
+            inner,
+            injector: FaultInjector::new(cfg),
+            pending: None,
+            events: Vec::new(),
+            last_delivered: None,
+        }
+    }
+
+    /// The wrapped platform (read-only).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped platform (mutable — bypasses all fault injection; meant
+    /// for run setup such as the initial plan apply).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwraps the platform.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Cumulative fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats
+    }
+
+    /// The sensor-side injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Events emitted during the most recent period.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Switches the fault regime (scripted schedules); cumulative stats and
+    /// the pending-apply state carry over.
+    pub fn set_faults(&mut self, cfg: FaultConfig) {
+        self.injector.reconfigure(cfg);
+    }
+
+    /// Whether an apply is still pending (failed or delayed).
+    pub fn apply_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+impl<P: MonitoredPlatform> FaultyPlatform<P> {
+    /// Settles any pending apply at a period boundary: delayed plans land
+    /// now; failed plans are retried against the failure roll until their
+    /// budget runs out.
+    fn tick_pending(&mut self) {
+        if let Some((plan, retries)) = self.pending.take() {
+            if self.injector.roll_retry_fails() {
+                if retries > 0 {
+                    self.injector.stats.retried_applies += 1;
+                    self.events.push(FaultEvent::ApplyRetried);
+                    self.pending = Some((plan, retries - 1));
+                } else {
+                    self.injector.stats.abandoned_applies += 1;
+                    self.events.push(FaultEvent::ApplyAbandoned);
+                }
+            } else {
+                self.inner.apply_plan(plan);
+            }
+        }
+    }
+
+    /// Advances one period, returning the sample the controller gets to
+    /// see — `None` when it was dropped. Pending applies settle first, so a
+    /// delayed plan takes effect for the period being stepped.
+    pub fn step_period_faulted(&mut self) -> Option<PeriodSample> {
+        self.events.clear();
+        self.tick_pending();
+        let s = self.inner.step_period();
+        let delivered = self.injector.perturb(&s, &mut self.events);
+        if let Some(d) = &delivered {
+            self.last_delivered = Some(d.clone());
+        }
+        delivered
+    }
+}
+
+impl<P: MonitoredPlatform> MonitoredPlatform for FaultyPlatform<P> {
+    /// Total-function stepping with holdover: a dropped sample re-delivers
+    /// the last successful one (unrefreshed counters), or the true sample
+    /// if nothing was ever delivered.
+    fn step_period(&mut self) -> PeriodSample {
+        self.events.clear();
+        self.tick_pending();
+        let s = self.inner.step_period();
+        match self.injector.perturb(&s, &mut self.events) {
+            Some(d) => {
+                self.last_delivered = Some(d.clone());
+                d
+            }
+            None => match &self.last_delivered {
+                Some(d) => d.clone(),
+                None => {
+                    // Nothing was ever delivered: the true sample stands in
+                    // (and becomes the holdover source for later drops).
+                    self.last_delivered = Some(s.clone());
+                    s
+                }
+            },
+        }
+    }
+}
+
+impl<P: MonitoredPlatform> PartitionController for FaultyPlatform<P> {
+    fn n_ways(&self) -> u32 {
+        self.inner.n_ways()
+    }
+
+    fn apply_plan(&mut self, plan: PartitionPlan) {
+        match self.injector.roll_apply() {
+            ApplyRoll::Ok => self.inner.apply_plan(plan),
+            ApplyRoll::Fail => {
+                self.injector.stats.failed_applies += 1;
+                self.events.push(FaultEvent::ApplyFailed);
+                self.pending = Some((plan, self.injector.cfg.max_apply_retries));
+            }
+            ApplyRoll::Delay => {
+                self.injector.stats.delayed_applies += 1;
+                self.events.push(FaultEvent::ApplyDelayed);
+                self.pending = Some((plan, self.injector.cfg.max_apply_retries));
+            }
+        }
+    }
+
+    /// The plan actually in force on the platform (ground truth — the
+    /// controller's intended plan may differ while an apply is pending).
+    fn current_plan(&self) -> PartitionPlan {
+        self.inner.current_plan()
+    }
+}
+
+impl<P: MonitoredPlatform> MbaController for FaultyPlatform<P> {
+    fn set_be_throttle(&mut self, level: MbaLevel) {
+        self.inner.set_be_throttle(level);
+    }
+
+    fn be_throttle(&self) -> MbaLevel {
+        self.inner.be_throttle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerAppSample;
+
+    fn sample(t: f64, hp_ipc: f64, hp_bw: f64) -> PeriodSample {
+        let hp = PerAppSample {
+            ipc: hp_ipc,
+            llc_occupancy_bytes: 1_234_567,
+            mem_bw_gbps: hp_bw,
+            miss_ratio: 0.1,
+        };
+        let be = PerAppSample {
+            ipc: 0.5,
+            llc_occupancy_bytes: 777_777,
+            mem_bw_gbps: 2.0,
+            miss_ratio: 0.3,
+        };
+        PeriodSample { time_s: t, hp, bes: vec![be; 3], total_bw_gbps: hp_bw + 6.0 }
+    }
+
+    /// A trivial in-memory platform for actuator-fault tests.
+    #[derive(Debug)]
+    struct FakePlatform {
+        plan: PartitionPlan,
+        throttle: MbaLevel,
+        t: f64,
+    }
+
+    impl FakePlatform {
+        fn new() -> Self {
+            Self { plan: PartitionPlan::Unmanaged, throttle: MbaLevel::FULL, t: 0.0 }
+        }
+    }
+
+    impl PartitionController for FakePlatform {
+        fn n_ways(&self) -> u32 {
+            20
+        }
+        fn apply_plan(&mut self, plan: PartitionPlan) {
+            self.plan = plan;
+        }
+        fn current_plan(&self) -> PartitionPlan {
+            self.plan
+        }
+    }
+
+    impl MbaController for FakePlatform {
+        fn set_be_throttle(&mut self, level: MbaLevel) {
+            self.throttle = level;
+        }
+        fn be_throttle(&self) -> MbaLevel {
+            self.throttle
+        }
+    }
+
+    impl MonitoredPlatform for FakePlatform {
+        fn step_period(&mut self) -> PeriodSample {
+            self.t += 1.0;
+            sample(self.t, 1.0, 5.0)
+        }
+    }
+
+    #[test]
+    fn passthrough_delivers_samples_verbatim() {
+        let mut inj = FaultInjector::new(FaultConfig::none(42));
+        assert!(inj.is_passthrough());
+        let s = sample(1.0, 1.0, 5.0);
+        let mut ev = Vec::new();
+        assert_eq!(inj.perturb(&s, &mut ev), Some(s));
+        assert!(ev.is_empty());
+        assert_eq!(inj.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let cfg = FaultConfig {
+            ipc_noise: NoiseSpec::multiplicative(0.05),
+            bw_noise: NoiseSpec::multiplicative(0.05),
+            drop_prob: 0.2,
+            stale_prob: 0.2,
+            ..FaultConfig::none(7)
+        };
+        let mut a = FaultInjector::new(cfg.clone());
+        let mut b = FaultInjector::new(cfg);
+        for i in 0..200 {
+            let s = sample(i as f64, 1.0 + i as f64 * 0.01, 5.0);
+            let mut ea = Vec::new();
+            let mut eb = Vec::new();
+            assert_eq!(a.perturb(&s, &mut ea), b.perturb(&s, &mut eb), "period {i}");
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mk = |seed| {
+            FaultInjector::new(FaultConfig {
+                ipc_noise: NoiseSpec::multiplicative(0.05),
+                ..FaultConfig::none(seed)
+            })
+        };
+        let (mut a, mut b) = (mk(1), mk(2));
+        let s = sample(0.0, 1.0, 5.0);
+        let mut ev = Vec::new();
+        let sa = a.perturb(&s, &mut ev).unwrap();
+        let sb = b.perturb(&s, &mut ev).unwrap();
+        assert_ne!(sa.hp.ipc, sb.hp.ipc);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut inj =
+            FaultInjector::new(FaultConfig { drop_prob: 0.3, ..FaultConfig::none(11) });
+        let mut ev = Vec::new();
+        let mut dropped = 0;
+        for i in 0..1000 {
+            if inj.perturb(&sample(i as f64, 1.0, 5.0), &mut ev).is_none() {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, inj.stats.dropped_samples);
+        assert!((200..400).contains(&dropped), "observed {dropped}/1000 at p=0.3");
+    }
+
+    #[test]
+    fn stale_replays_previous_true_sample() {
+        let mut inj =
+            FaultInjector::new(FaultConfig { stale_prob: 1.0, ..FaultConfig::none(3) });
+        let mut ev = Vec::new();
+        let s1 = sample(1.0, 1.0, 5.0);
+        let s2 = sample(2.0, 2.0, 9.0);
+        // First period: nothing to replay yet, the current sample passes.
+        assert_eq!(inj.perturb(&s1, &mut ev), Some(s1.clone()));
+        // Second period: the previous period's counters come back.
+        assert_eq!(inj.perturb(&s2, &mut ev), Some(s1));
+        assert_eq!(inj.stats.stale_samples, 1);
+        assert!(ev.contains(&FaultEvent::SampleStale));
+    }
+
+    #[test]
+    fn noise_is_zero_clamped_and_counted() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            ipc_noise: NoiseSpec { mult_sigma: 0.0, add_sigma: 100.0 },
+            ..FaultConfig::none(5)
+        });
+        let mut ev = Vec::new();
+        for i in 0..100 {
+            let out = inj.perturb(&sample(i as f64, 0.01, 5.0), &mut ev).unwrap();
+            assert!(out.hp.ipc >= 0.0, "ipc went negative");
+            // Bandwidth channels are untouched by an IPC-only spec.
+            assert_eq!(out.hp.mem_bw_gbps, 5.0);
+        }
+        assert_eq!(inj.stats.perturbed_samples, 100);
+    }
+
+    #[test]
+    fn occupancy_quantises_down_to_granule() {
+        let q = 512 * 1024;
+        let mut inj = FaultInjector::new(FaultConfig {
+            occupancy_quantum_bytes: q,
+            ..FaultConfig::none(9)
+        });
+        let mut ev = Vec::new();
+        let out = inj.perturb(&sample(0.0, 1.0, 5.0), &mut ev).unwrap();
+        assert_eq!(out.hp.llc_occupancy_bytes % q, 0);
+        assert!(out.hp.llc_occupancy_bytes <= 1_234_567);
+        for be in &out.bes {
+            assert_eq!(be.llc_occupancy_bytes % q, 0);
+        }
+        assert!(ev.contains(&FaultEvent::OccupancyQuantised));
+    }
+
+    #[test]
+    fn failed_apply_is_retried_and_lands() {
+        // Fail the first attempt deterministically, then succeed: with
+        // fail_prob = 1.0 every retry also fails, so use a seeded partial
+        // probability and scan for the pattern instead — simpler: fail_prob
+        // 1.0 and budget 2 shows retry + abandonment; landing is covered by
+        // the delay test below.
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { apply_fail_prob: 1.0, max_apply_retries: 2, ..FaultConfig::none(1) },
+        );
+        p.apply_plan(PartitionPlan::Split { hp_ways: 7 });
+        assert_eq!(p.current_plan(), PartitionPlan::Unmanaged, "apply must have failed");
+        assert!(p.apply_pending());
+        p.step_period_faulted(); // retry 1 fails
+        assert_eq!(p.events().first(), Some(&FaultEvent::ApplyRetried));
+        p.step_period_faulted(); // retry 2 fails
+        p.step_period_faulted(); // budget exhausted: abandoned
+        assert!(!p.apply_pending());
+        assert_eq!(p.fault_stats().abandoned_applies, 1);
+        assert_eq!(p.fault_stats().retried_applies, 2);
+        assert_eq!(p.current_plan(), PartitionPlan::Unmanaged);
+    }
+
+    #[test]
+    fn delayed_apply_lands_one_period_late() {
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { apply_delay_prob: 1.0, ..FaultConfig::none(1) },
+        );
+        p.apply_plan(PartitionPlan::Split { hp_ways: 5 });
+        assert_eq!(p.current_plan(), PartitionPlan::Unmanaged, "not yet in force");
+        assert_eq!(p.fault_stats().delayed_applies, 1);
+        p.step_period_faulted();
+        assert_eq!(p.current_plan(), PartitionPlan::Split { hp_ways: 5 }, "landed at boundary");
+        assert!(!p.apply_pending());
+    }
+
+    #[test]
+    fn newer_apply_supersedes_pending_plan() {
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { apply_delay_prob: 1.0, ..FaultConfig::none(1) },
+        );
+        p.apply_plan(PartitionPlan::Split { hp_ways: 5 });
+        p.apply_plan(PartitionPlan::Split { hp_ways: 9 });
+        p.step_period_faulted();
+        assert_eq!(p.current_plan(), PartitionPlan::Split { hp_ways: 9 }, "latest plan wins");
+    }
+
+    #[test]
+    fn holdover_redelivers_last_sample_on_drop() {
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { drop_prob: 1.0, ..FaultConfig::none(2) },
+        );
+        // First period drops with no history: the true sample passes through.
+        let s1 = p.step_period();
+        assert!((s1.time_s - 1.0).abs() < 1e-12);
+        // Subsequent drops re-deliver that sample (unrefreshed counters).
+        let s2 = p.step_period();
+        assert_eq!(s2, s1, "holdover must replay the last delivered sample");
+        assert_eq!(p.fault_stats().dropped_samples, 2);
+    }
+
+    #[test]
+    fn passthrough_platform_is_transparent() {
+        let mut faulty = FaultyPlatform::new(FakePlatform::new(), FaultConfig::none(0));
+        let mut bare = FakePlatform::new();
+        for _ in 0..10 {
+            assert_eq!(faulty.step_period_faulted(), Some(bare.step_period()));
+        }
+        faulty.apply_plan(PartitionPlan::Split { hp_ways: 3 });
+        bare.apply_plan(PartitionPlan::Split { hp_ways: 3 });
+        assert_eq!(faulty.current_plan(), bare.current_plan());
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn reconfigure_keeps_cumulative_stats() {
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { drop_prob: 1.0, ..FaultConfig::none(4) },
+        );
+        p.step_period_faulted();
+        assert_eq!(p.fault_stats().dropped_samples, 1);
+        p.set_faults(FaultConfig::none(4));
+        assert!(p.step_period_faulted().is_some(), "faults now off");
+        assert_eq!(p.fault_stats().dropped_samples, 1, "stats carried over");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        FaultInjector::new(FaultConfig { drop_prob: 1.5, ..FaultConfig::none(0) });
+    }
+
+    #[test]
+    #[should_panic]
+    fn fail_plus_delay_over_one_rejected() {
+        FaultInjector::new(FaultConfig {
+            apply_fail_prob: 0.7,
+            apply_delay_prob: 0.7,
+            ..FaultConfig::none(0)
+        });
+    }
+}

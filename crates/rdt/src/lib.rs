@@ -19,12 +19,15 @@
 //! * [`resctrl`] — Linux `resctrl` filesystem formatting/IO against an
 //!   arbitrary root, so the exact same plan can drive real hardware;
 //! * [`HostPlatform`] — a resctrl-backed actuator implementing the same
-//!   controller traits as the simulator.
+//!   controller traits as the simulator;
+//! * [`faults`] — seeded, deterministic fault injection on the whole
+//!   monitoring/actuation path ([`FaultInjector`], [`FaultyPlatform`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod faults;
 pub mod host;
 pub mod mask;
 pub mod mba;
@@ -33,6 +36,7 @@ pub mod resctrl;
 pub mod sample;
 
 pub use alloc::AllocationTable;
+pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultStats, FaultyPlatform, NoiseSpec};
 pub use host::HostPlatform;
 pub use mask::WayMask;
 pub use mba::{MbaController, MbaLevel};
@@ -58,4 +62,13 @@ pub trait PartitionController {
     fn apply_plan(&mut self, plan: PartitionPlan);
     /// The plan currently in force.
     fn current_plan(&self) -> PartitionPlan;
+}
+
+/// A platform that, on top of partition and MBA control, advances in
+/// monitoring periods and exposes each period's counters. The server
+/// simulator implements this; [`FaultyPlatform`] wraps any implementation
+/// to perturb the monitoring/actuation path.
+pub trait MonitoredPlatform: PartitionController + MbaController {
+    /// Advances one monitoring period and returns its counters.
+    fn step_period(&mut self) -> PeriodSample;
 }

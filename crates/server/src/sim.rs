@@ -575,6 +575,12 @@ impl MbaController for Server {
     }
 }
 
+impl dicer_rdt::MonitoredPlatform for Server {
+    fn step_period(&mut self) -> PeriodSample {
+        Server::step_period(self)
+    }
+}
+
 impl PartitionController for Server {
     fn n_ways(&self) -> u32 {
         self.cfg.cache.ways

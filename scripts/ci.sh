@@ -5,10 +5,27 @@
 # cargo itself needs, and CARGO_NET_OFFLINE forces cargo to fail fast
 # (with a clear message) instead of hanging on an unreachable registry.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--fast]
+#
+#   (default)  formatting, clippy, the full workspace test suite, and the
+#              fault-injection robustness suite (deterministic JSONL traces
+#              under results/robustness/).
+#   --fast     controller-stack unit tests plus the conformance and
+#              fault-injection suites only — the inner-loop tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+fast=0
+case "${1:-}" in
+    --fast) fast=1 ;;
+    "") ;;
+    *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+esac
+if [ "$#" -gt 1 ]; then
+    echo "usage: scripts/ci.sh [--fast]" >&2
+    exit 2
+fi
 
 export CARGO_NET_OFFLINE=true
 export CARGO_TERM_COLOR=${CARGO_TERM_COLOR:-always}
@@ -22,6 +39,22 @@ fail=0
 if ! command -v cargo >/dev/null 2>&1; then
     echo "error: cargo not found on PATH" >&2
     exit 1
+fi
+
+if [ "$fast" -eq 1 ]; then
+    step "cargo test (controller stack units)"
+    cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw --lib || fail=1
+
+    step "cargo test (conformance + fault injection)"
+    cargo test -q --test controller_conformance --test fault_injection || fail=1
+
+    step "result"
+    if [ "$fail" -ne 0 ]; then
+        echo "CI FAILED (fast tier)"
+        exit 1
+    fi
+    echo "CI OK (fast tier)"
+    exit 0
 fi
 
 # Advisory only: the tree predates any enforced rustfmt config, so
@@ -42,6 +75,9 @@ fi
 
 step "cargo test"
 cargo test --workspace -q || fail=1
+
+step "robustness suite (deterministic fault-injection traces)"
+cargo run -q --bin robustness_study || fail=1
 
 step "result"
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sync the repo into the stubbed shadow build tree (/tmp/shadow), keeping
+# the shadow's patched root Cargo.toml / Cargo.lock / stubs intact.
+set -euo pipefail
+SRC=/root/repo
+DST=/tmp/shadow
+cd "$SRC"
+git ls-files -co --exclude-standard | while read -r f; do
+  case "$f" in
+    Cargo.toml|Cargo.lock) continue ;;
+  esac
+  mkdir -p "$DST/$(dirname "$f")"
+  cp -p "$f" "$DST/$f"
+done
+# Remove files that vanished from the repo (tracked dirs only).
+(cd "$DST" && find crates src tests examples scripts -type f 2>/dev/null) | while read -r f; do
+  case "$f" in
+    */target/*) continue ;;
+  esac
+  if [ ! -e "$SRC/$f" ] && [ "$f" != "examples/speedup_check.rs" ]; then
+    rm -f "$DST/$f"
+  fi
+done

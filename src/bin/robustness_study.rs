@@ -1,0 +1,92 @@
+//! `robustness_study` — replays the standard fault-injection scenario
+//! suite against DICER, verifies trace determinism, and writes one JSONL
+//! decision trace per scenario for golden-file comparison.
+//!
+//! ```text
+//! robustness_study [--seed N] [--out DIR]
+//! ```
+//!
+//! Every scenario is run twice with the same seed; the run aborts if the
+//! two traces are not byte-identical (the determinism contract of
+//! DESIGN.md §8). Traces land in `results/robustness/<scenario>.jsonl`.
+
+use dicer::appmodel::Catalog;
+use dicer::cli::parse_flags;
+use dicer::experiments::scenarios::{run_scenario, standard_suite};
+use dicer::experiments::SoloTable;
+use dicer::server::ServerConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_SEED: u64 = 0xD1CE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\nusage: robustness_study [--seed N] [--out DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    let seed: u64 = match flags.get("seed").map(|s| s.parse()) {
+        None => DEFAULT_SEED,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--seed takes an unsigned integer\nusage: robustness_study [--seed N] [--out DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    let out_dir = PathBuf::from(
+        flags.get("out").map(String::as_str).unwrap_or("results/robustness"),
+    );
+
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    let suite = standard_suite(seed);
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>9} {:>9}",
+        "scenario", "periods", "dropped", "perturb", "resets", "samples", "failedapp", "abandoned"
+    );
+    for sc in &suite {
+        let a = run_scenario(&catalog, &solo, sc);
+        let b = run_scenario(&catalog, &solo, sc);
+        let jsonl = a.to_jsonl();
+        if jsonl != b.to_jsonl() {
+            eprintln!(
+                "DETERMINISM VIOLATION: scenario {:?} (seed {seed}) diverged between reruns",
+                sc.name
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = out_dir.join(format!("{}.jsonl", sc.name));
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let fs = a.fault_stats;
+        println!(
+            "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>9} {:>9}",
+            sc.name,
+            a.records.len(),
+            fs.dropped_samples,
+            fs.perturbed_samples,
+            a.dicer_stats.resets,
+            a.dicer_stats.sampling_periods,
+            fs.failed_applies,
+            fs.abandoned_applies,
+        );
+    }
+    println!(
+        "\n{} scenarios, seed {seed}: all traces deterministic; JSONL in {}",
+        suite.len(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

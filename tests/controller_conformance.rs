@@ -1,0 +1,431 @@
+//! Controller-conformance suite: table-driven checks that DICER's state
+//! machine takes exactly the transitions of the paper's Listings 1–3 —
+//! sample, hold, shrink, reset, validate, rollback — under both clean and
+//! perturbed (noisy / gappy) counter streams.
+//!
+//! Each test is a script of per-period feeds with the expected plan and
+//! coarse state after every decision, run through one shared engine. A lost
+//! sample is fed as [`Feed::Missing`] (the controller's holdover path).
+
+use dicer::policy::{Dicer, DicerConfig, DicerState, Policy, SamplingStrategy};
+use dicer::rdt::{PartitionPlan, PerAppSample, PeriodSample};
+
+/// Cache ways of the Table-1 server.
+const N: u32 = 20;
+
+fn sample(hp_ipc: f64, hp_bw: f64, total_bw: f64) -> PeriodSample {
+    let hp = PerAppSample {
+        ipc: hp_ipc,
+        llc_occupancy_bytes: 0,
+        mem_bw_gbps: hp_bw,
+        miss_ratio: 0.1,
+    };
+    let be = PerAppSample {
+        ipc: 0.5,
+        llc_occupancy_bytes: 0,
+        mem_bw_gbps: (total_bw - hp_bw) / 9.0,
+        miss_ratio: 0.3,
+    };
+    PeriodSample { time_s: 0.0, hp, bes: vec![be; 9], total_bw_gbps: total_bw }
+}
+
+/// One period's input to the controller.
+enum Feed {
+    /// A delivered sample: `(hp_ipc, hp_bw_gbps, total_bw_gbps)`.
+    S(f64, f64, f64),
+    /// A dropped sample (holdover period).
+    Missing,
+}
+
+/// One scripted step: the feed, then the expected decision.
+struct Step {
+    feed: Feed,
+    /// Expected HP ways of the plan returned for the next period.
+    hp_ways: u32,
+    /// Expected coarse state after the decision.
+    state: DicerState,
+}
+
+/// Shorthand constructors keep the tables readable.
+fn s(ipc: f64, hp_bw: f64, total: f64, hp_ways: u32, state: DicerState) -> Step {
+    Step { feed: Feed::S(ipc, hp_bw, total), hp_ways, state }
+}
+fn miss(hp_ways: u32, state: DicerState) -> Step {
+    Step { feed: Feed::Missing, hp_ways, state }
+}
+
+/// Runs a script against a fresh controller, asserting plan and state at
+/// every step; returns the controller for final-stat assertions.
+fn conform(cfg: DicerConfig, steps: &[Step]) -> Dicer {
+    let mut d = Dicer::new(cfg);
+    assert_eq!(d.initial_plan(N), PartitionPlan::Split { hp_ways: N - 1 });
+    for (i, step) in steps.iter().enumerate() {
+        let plan = match step.feed {
+            Feed::S(ipc, hp_bw, total) => d.on_period(&sample(ipc, hp_bw, total), N),
+            Feed::Missing => d.on_missing_period(N),
+        };
+        assert_eq!(
+            plan,
+            PartitionPlan::Split { hp_ways: step.hp_ways },
+            "step {i}: wrong plan"
+        );
+        assert_eq!(d.state(), step.state, "step {i}: wrong state");
+    }
+    d
+}
+
+fn conform_default(steps: &[Step]) -> Dicer {
+    conform(DicerConfig::default(), steps)
+}
+
+use DicerState::{Optimising as O, Sampling as Sa, ValidatingReset as V};
+
+// ---------------------------------------------------------------------------
+// Listing 1 preamble + Listing 2: hold / shrink / improvement.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn preamble_starts_at_cache_takeover() {
+    let d = Dicer::new(DicerConfig::default());
+    assert_eq!(d.initial_plan(N), PartitionPlan::Split { hp_ways: 19 });
+    assert!(d.ct_favoured(), "workloads are presumed CT-Favoured at start");
+    assert_eq!(d.state(), DicerState::Optimising);
+}
+
+#[test]
+fn first_sample_primes_the_reference_and_holds() {
+    conform_default(&[s(1.0, 5.0, 20.0, 19, O)]);
+}
+
+#[test]
+fn stable_band_shrinks_one_way_per_period() {
+    let d = conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O), // prime
+        s(1.0, 5.0, 20.0, 18, O),
+        s(1.0, 5.0, 20.0, 17, O),
+        s(1.0, 5.0, 20.0, 16, O),
+    ]);
+    assert_eq!(d.stats.shrinks, 3);
+}
+
+#[test]
+fn improvement_holds_the_allocation() {
+    conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(1.2, 5.0, 20.0, 18, O), // +20% is outside the band: hold, no shrink
+    ]);
+}
+
+// ---------------------------------------------------------------------------
+// Listing 2 → Listing 3: degradation reset, validation, rollback.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degradation_resets_to_ct_and_validates() {
+    let d = conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(1.0, 5.0, 20.0, 17, O),
+        s(0.8, 5.0, 20.0, 19, V), // -20%: blame the shrink, reset to CT
+    ]);
+    assert_eq!(d.stats.resets, 1);
+}
+
+#[test]
+fn validation_recovery_confirms_the_reset() {
+    conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(0.8, 5.0, 20.0, 19, V), // trigger IPC 0.8
+        s(1.0, 5.0, 20.0, 19, O), // recovered above (1+a) x 0.8: stay at CT
+    ]);
+}
+
+#[test]
+fn validation_failure_rolls_back() {
+    conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O), // rollback point
+        s(0.8, 5.0, 20.0, 19, V),
+        s(0.8, 5.0, 20.0, 18, O), // no recovery: the dip was a phase; roll back
+    ]);
+}
+
+#[test]
+fn bandwidth_jump_is_a_phase_change_reset() {
+    let d = conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(1.0, 5.0, 20.0, 17, O),
+        s(1.0, 7.0, 22.0, 19, V), // +40% over the 3-period geomean (Eq. 2)
+    ]);
+    assert_eq!(d.stats.phase_changes, 1);
+    assert_eq!(d.stats.resets, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Listing 1: saturation-triggered sampling and the sweep itself.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn saturation_enters_sampling_and_clears_ct_flag() {
+    let d = conform_default(&[
+        s(1.0, 5.0, 60.0, 19, Sa), // above the 50 Gbps threshold
+    ]);
+    assert!(!d.ct_favoured(), "saturation reclassifies the workload CT-T");
+    assert_eq!(d.stats.saturated_periods, 1);
+}
+
+#[test]
+fn sampling_sweeps_the_ladder_then_enforces_argmax() {
+    // Geometric ladder on 20 ways: [19, 13, 9, 6, 4, 2, 1]; peak IPC at 6.
+    let ipc = |w: u32| if w == 6 { 1.5 } else { 0.9 };
+    let d = conform_default(&[
+        s(1.0, 5.0, 60.0, 19, Sa), // enter sampling, first candidate applied
+        s(ipc(19), 5.0, 20.0, 13, Sa),
+        s(ipc(13), 5.0, 20.0, 9, Sa),
+        s(ipc(9), 5.0, 20.0, 6, Sa),
+        s(ipc(6), 5.0, 20.0, 4, Sa),
+        s(ipc(4), 5.0, 20.0, 2, Sa),
+        s(ipc(2), 5.0, 20.0, 1, Sa),
+        s(ipc(1), 5.0, 20.0, 6, O), // sweep done: argmax (6 ways) enforced
+    ]);
+    assert_eq!(d.hp_ways(), 6);
+    assert_eq!(d.stats.sampling_periods, 7);
+}
+
+#[test]
+fn custom_ladder_is_swept_in_given_order() {
+    let cfg = DicerConfig {
+        sampling: SamplingStrategy::Custom(vec![10, 5, 2]),
+        ..Default::default()
+    };
+    conform(
+        cfg,
+        &[
+            s(1.0, 5.0, 60.0, 10, Sa),
+            s(0.9, 5.0, 20.0, 5, Sa),
+            s(1.4, 5.0, 20.0, 2, Sa), // best so far: 5 ways
+            s(0.8, 5.0, 20.0, 5, O),  // argmax of {10: .9, 5: 1.4, 2: .8}
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Listing 3, CT-Thwarted path: validate against the sampled optimum.
+// ---------------------------------------------------------------------------
+
+/// Drives a controller through a full sweep with the optimum at 6 ways
+/// (IPC 1.5), ending in Optimising at 6 ways.
+fn swept_to_optimum() -> Dicer {
+    let ipc = |w: u32| if w == 6 { 1.5 } else { 0.9 };
+    let mut d = Dicer::new(DicerConfig::default());
+    d.initial_plan(N);
+    d.on_period(&sample(1.0, 5.0, 60.0), N);
+    for &w in &SamplingStrategy::Geometric.candidates(N) {
+        d.on_period(&sample(ipc(w), 5.0, 20.0), N);
+    }
+    assert_eq!(d.state(), DicerState::Optimising);
+    assert_eq!(d.hp_ways(), 6);
+    d
+}
+
+#[test]
+fn ct_thwarted_degradation_resets_to_sampled_optimum() {
+    let mut d = swept_to_optimum();
+    d.on_period(&sample(1.5, 5.0, 20.0), N); // above band: hold at 6
+    d.on_period(&sample(1.5, 5.0, 20.0), N); // stable: shrink to 5
+    let plan = d.on_period(&sample(1.2, 5.0, 20.0), N); // -20%: reset
+    assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 }, "CT-T resets to the optimum");
+    assert_eq!(d.state(), DicerState::ValidatingReset);
+}
+
+#[test]
+fn ct_thwarted_validation_near_optimum_holds() {
+    let mut d = swept_to_optimum();
+    d.on_period(&sample(1.5, 5.0, 20.0), N);
+    d.on_period(&sample(1.5, 5.0, 20.0), N);
+    d.on_period(&sample(1.2, 5.0, 20.0), N); // reset to 6
+    // Back within (1 - a) of IPC_opt = 1.5: the optimum still stands.
+    let plan = d.on_period(&sample(1.45, 5.0, 20.0), N);
+    assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 });
+    assert_eq!(d.state(), DicerState::Optimising);
+}
+
+#[test]
+fn ct_thwarted_validation_far_from_optimum_resamples() {
+    let mut d = swept_to_optimum();
+    d.on_period(&sample(1.5, 5.0, 20.0), N);
+    d.on_period(&sample(1.5, 5.0, 20.0), N);
+    d.on_period(&sample(1.2, 5.0, 20.0), N); // reset to 6
+    // Still far below IPC_opt: the optimum moved; sample afresh.
+    let plan = d.on_period(&sample(1.2, 5.0, 20.0), N);
+    assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 }, "sweep restarts at ladder head");
+    assert_eq!(d.state(), DicerState::Sampling);
+}
+
+#[test]
+fn saturation_during_validation_restarts_sampling() {
+    conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(0.8, 5.0, 20.0, 19, V),  // degradation reset, validating
+        s(1.0, 5.0, 60.0, 19, Sa), // link saturates mid-validation: sample
+    ]);
+}
+
+// ---------------------------------------------------------------------------
+// Cool-down and exponential backoff around repeated sampling.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn saturation_inside_cooldown_holds_the_allocation() {
+    let mut d = swept_to_optimum();
+    // The sweep armed the cool-down; saturation must neither resample nor
+    // let Listing 2 misread bandwidth noise as cache headroom.
+    let plan = d.on_period(&sample(1.5, 5.0, 60.0), N);
+    assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 }, "hold during cool-down");
+    assert_eq!(d.state(), DicerState::Optimising);
+    assert_eq!(d.stats.sampling_periods, 7, "no new sampling inside cool-down");
+}
+
+#[test]
+fn persistent_saturation_backs_off_exponentially() {
+    // Saturation that partitioning cannot fix (argmax = largest candidate)
+    // must double the cool-down after each sweep, capped by the config.
+    let base = DicerConfig::default().sampling_cooldown_periods;
+    let mut d = Dicer::new(DicerConfig::default());
+    d.initial_plan(N);
+    d.on_period(&sample(19.0, 5.0, 60.0), N); // enter sampling
+    let ladder = SamplingStrategy::Geometric.candidates(N);
+    for &w in &ladder {
+        d.on_period(&sample(w as f64, 5.0, 60.0), N); // IPC peaks at 19 ways
+    }
+    assert_eq!(d.state(), DicerState::Optimising);
+    // First cool-down: base periods of saturated holds, no sampling.
+    let sampled = d.stats.sampling_periods;
+    for _ in 0..base {
+        d.on_period(&sample(19.0, 5.0, 60.0), N);
+        assert_eq!(d.state(), DicerState::Optimising);
+    }
+    assert_eq!(d.stats.sampling_periods, sampled);
+    // Cool-down expired: saturation resamples, and the sweep again blames
+    // unfixable saturation...
+    d.on_period(&sample(19.0, 5.0, 60.0), N);
+    assert_eq!(d.state(), DicerState::Sampling);
+    for &w in &ladder {
+        d.on_period(&sample(w as f64, 5.0, 60.0), N);
+    }
+    // ...so the next cool-down is twice as long.
+    let sampled = d.stats.sampling_periods;
+    for _ in 0..2 * base {
+        d.on_period(&sample(19.0, 5.0, 60.0), N);
+    }
+    assert_eq!(d.stats.sampling_periods, sampled, "backoff must double the cool-down");
+    d.on_period(&sample(19.0, 5.0, 60.0), N);
+    assert_eq!(d.state(), DicerState::Sampling);
+}
+
+#[test]
+fn fixable_saturation_resets_backoff_to_base() {
+    // When a sweep finds a non-largest optimum, the next cool-down returns
+    // to the configured base rather than staying doubled.
+    let mut d = Dicer::new(DicerConfig::default());
+    d.initial_plan(N);
+    d.on_period(&sample(1.0, 5.0, 60.0), N);
+    let ladder = SamplingStrategy::Geometric.candidates(N);
+    for &w in &ladder {
+        // Peak at 6 ways: partitioning helps, saturation is "fixable".
+        d.on_period(&sample(if w == 6 { 1.5 } else { 0.9 }, 5.0, 20.0), N);
+    }
+    assert_eq!(d.hp_ways(), 6);
+    let base = DicerConfig::default().sampling_cooldown_periods;
+    for _ in 0..base {
+        d.on_period(&sample(1.5, 5.0, 60.0), N); // saturated holds
+    }
+    d.on_period(&sample(1.5, 5.0, 60.0), N);
+    assert_eq!(d.state(), DicerState::Sampling, "base cool-down, not doubled");
+    assert_eq!(d.hp_ways(), 19, "a fresh sweep restarts at the ladder head");
+}
+
+// ---------------------------------------------------------------------------
+// Conformance under faulted streams: gaps and bounded sensor noise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_periods_do_not_perturb_transitions() {
+    // Holdover periods slot anywhere into a script without changing any
+    // decision around them: plans hold, references and windows survive.
+    let d = conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        miss(19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        miss(18, O),
+        miss(18, O),
+        s(1.0, 5.0, 20.0, 17, O),
+        s(1.0, 5.0, 20.0, 16, O),
+    ]);
+    assert_eq!(d.stats.missing_periods, 3);
+    assert_eq!(d.stats.shrinks, 3);
+    assert_eq!(d.stats.resets, 0);
+}
+
+#[test]
+fn dropped_sample_before_degradation_still_resets() {
+    // The Eq. 3 reference survives a gap: a genuine degradation right
+    // after a dropped period is still recognised against the last real IPC.
+    conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        miss(18, O),
+        s(0.8, 5.0, 20.0, 19, V),
+    ]);
+}
+
+#[test]
+fn missing_period_during_sampling_keeps_the_sweep_position() {
+    // A drop mid-sweep re-enforces the candidate under test instead of
+    // skipping it; the next real sample resumes the ladder.
+    conform_default(&[
+        s(1.0, 5.0, 60.0, 19, Sa),
+        s(0.9, 5.0, 20.0, 13, Sa),
+        miss(13, Sa),
+        s(0.9, 5.0, 20.0, 9, Sa),
+    ]);
+}
+
+#[test]
+fn noise_inside_stability_band_matches_clean_stream() {
+    // Multiplicative sensor jitter within +/- alpha on IPC and small
+    // bandwidth wobble must produce the same transition sequence as the
+    // clean stream: shrink every period, no resets, no phase changes.
+    let d = conform_default(&[
+        s(1.00, 5.00, 20.0, 19, O),
+        s(1.02, 4.90, 20.3, 18, O),
+        s(0.99, 5.10, 19.8, 17, O),
+        s(1.01, 4.95, 20.1, 16, O),
+        s(0.98, 5.05, 20.2, 15, O),
+    ]);
+    assert_eq!(d.stats.shrinks, 4);
+    assert_eq!(d.stats.resets, 0);
+    assert_eq!(d.stats.phase_changes, 0);
+}
+
+#[test]
+fn zero_bandwidth_glitch_does_not_fake_a_phase_change() {
+    // A glitched 0 Gbps reading enters the Eq. 2 window; the recovery back
+    // to normal traffic must not read as a phase change (the geometric
+    // mean would otherwise collapse).
+    let d = conform_default(&[
+        s(1.0, 5.0, 20.0, 19, O),
+        s(1.0, 5.0, 20.0, 18, O),
+        s(1.0, 5.0, 20.0, 17, O),
+        s(1.0, 0.0, 20.0, 16, O), // glitch: zero HP bandwidth
+        s(1.0, 5.0, 20.0, 15, O), // recovery: NOT a jump over the geomean
+        s(1.0, 5.0, 20.0, 14, O),
+        s(1.0, 5.0, 20.0, 13, O), // window clean again from here
+        s(1.0, 7.0, 22.0, 19, V), // a genuine +40% jump still detected
+    ]);
+    assert_eq!(d.stats.phase_changes, 1);
+}

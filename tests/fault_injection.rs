@@ -1,0 +1,263 @@
+//! Fault-injection layer against the live simulated server: determinism,
+//! passthrough transparency, holdover semantics and actuator flakiness,
+//! end to end through [`FaultyPlatform<Server>`].
+
+use dicer::appmodel::Catalog;
+use dicer::experiments::scenarios::{run_scenario, standard_suite, FaultScenario};
+use dicer::experiments::SoloTable;
+use dicer::policy::{Dicer, DicerConfig, Policy};
+use dicer::rdt::{
+    FaultConfig, FaultyPlatform, MonitoredPlatform, NoiseSpec, PartitionController, PeriodSample,
+};
+use dicer::server::{Server, ServerConfig};
+
+const PERIODS: u32 = 30;
+
+fn server(hp: &str, be: &str) -> Server {
+    let catalog = Catalog::paper();
+    let cfg = ServerConfig::table1();
+    Server::new(
+        cfg,
+        catalog.get(hp).unwrap().clone(),
+        vec![catalog.get(be).unwrap().clone(); 9],
+    )
+}
+
+/// Steps a DICER loop over any monitored platform, collecting the samples
+/// the controller saw.
+fn drive<P: MonitoredPlatform>(plat: &mut P, periods: u32) -> Vec<PeriodSample> {
+    let n_ways = plat.n_ways();
+    let mut dicer = Dicer::new(DicerConfig::default());
+    plat.apply_plan(dicer.initial_plan(n_ways));
+    let mut seen = Vec::new();
+    for _ in 0..periods {
+        let s = plat.step_period();
+        let plan = dicer.on_period(&s, n_ways);
+        seen.push(s);
+        if plan != plat.current_plan() {
+            plat.apply_plan(plan);
+        }
+    }
+    seen
+}
+
+#[test]
+fn disabled_faults_are_bit_identical_to_the_bare_server() {
+    // With every injector off the wrapper must be a perfect no-op: same
+    // delivered samples, same plans in force, same simulated time.
+    let bare = drive(&mut server("milc1", "gcc_base1"), PERIODS);
+    let mut wrapped = FaultyPlatform::new(server("milc1", "gcc_base1"), FaultConfig::none(1));
+    let through = drive(&mut wrapped, PERIODS);
+    assert_eq!(bare, through, "passthrough must not alter a single bit");
+    assert_eq!(wrapped.fault_stats(), Default::default());
+    assert!(wrapped.injector().is_passthrough());
+}
+
+#[test]
+fn same_seed_delivers_identical_faulted_streams() {
+    let faults = FaultConfig {
+        ipc_noise: NoiseSpec::multiplicative(0.05),
+        bw_noise: NoiseSpec::multiplicative(0.10),
+        drop_prob: 0.1,
+        stale_prob: 0.1,
+        ..FaultConfig::none(42)
+    };
+    let mut a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults.clone());
+    let mut b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
+    assert_eq!(drive(&mut a, PERIODS), drive(&mut b, PERIODS));
+    assert_eq!(a.fault_stats(), b.fault_stats());
+}
+
+#[test]
+fn different_seeds_deliver_different_faulted_streams() {
+    let faults = |seed| FaultConfig {
+        ipc_noise: NoiseSpec::multiplicative(0.05),
+        ..FaultConfig::none(seed)
+    };
+    let mut a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(1));
+    let mut b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(2));
+    assert_ne!(drive(&mut a, PERIODS), drive(&mut b, PERIODS));
+}
+
+#[test]
+fn sensor_noise_leaves_ground_truth_untouched() {
+    // Noise perturbs what the controller sees, never what the server did:
+    // wrapped and bare servers advance through identical simulated time as
+    // long as the (noise-driven) plans coincide — so compare ground truth
+    // after a run whose plans are pinned (no controller in the loop).
+    let faults = FaultConfig {
+        ipc_noise: NoiseSpec::multiplicative(0.05),
+        bw_noise: NoiseSpec::multiplicative(0.10),
+        ..FaultConfig::none(9)
+    };
+    let mut bare = server("milc1", "gcc_base1");
+    let mut wrapped = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    let mut perturbed = 0;
+    for _ in 0..PERIODS {
+        let t = bare.step_period();
+        let f = wrapped.step_period();
+        assert_eq!(t.time_s, f.time_s, "noise must not bend simulated time");
+        if (t.hp.ipc - f.hp.ipc).abs() > 0.0 {
+            perturbed += 1;
+        }
+        assert_eq!(
+            bare.hp().retired_insns,
+            wrapped.inner().hp().retired_insns,
+            "ground-truth progress must match under identical plans"
+        );
+    }
+    assert!(perturbed > PERIODS / 2, "5% sigma noise should touch most periods");
+}
+
+#[test]
+fn drop_storm_triggers_holdover_and_missing_period_accounting() {
+    let faults = FaultConfig { drop_prob: 0.4, ..FaultConfig::none(3) };
+    let mut plat = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
+    let n_ways = plat.n_ways();
+    let mut dicer = Dicer::new(DicerConfig::default());
+    plat.inner_mut().apply_plan(dicer.initial_plan(n_ways));
+    let mut dropped = 0;
+    for _ in 0..PERIODS {
+        let plan = match plat.step_period_faulted() {
+            Some(s) => dicer.on_period(&s, n_ways),
+            None => {
+                dropped += 1;
+                dicer.on_missing_period(n_ways)
+            }
+        };
+        if plan != plat.current_plan() {
+            plat.apply_plan(plan);
+        }
+    }
+    assert!(dropped > 0, "40% drops over 30 periods must lose something");
+    assert_eq!(dicer.stats.missing_periods, dropped);
+    assert_eq!(plat.fault_stats().dropped_samples, dropped);
+}
+
+#[test]
+fn stale_counters_redeliver_the_previous_true_sample() {
+    let faults = FaultConfig { stale_prob: 0.5, ..FaultConfig::none(5) };
+    let mut truth = server("milc1", "gcc_base1");
+    let mut wrapped = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    let mut prev_true: Option<PeriodSample> = None;
+    let mut stale_seen = 0;
+    for _ in 0..PERIODS {
+        let t = truth.step_period();
+        let f = wrapped.step_period();
+        if f != t {
+            // A stale delivery must equal the previous period's true
+            // counters — except its timestamp, which the agent reads from
+            // its own clock.
+            let p = prev_true.as_ref().expect("stale cannot fire before any sample");
+            assert_eq!(f.hp.ipc, p.hp.ipc, "stale sample must replay the previous IPC");
+            assert_eq!(f.total_bw_gbps, p.total_bw_gbps);
+            stale_seen += 1;
+        }
+        prev_true = Some(t);
+    }
+    assert!(stale_seen > 0, "50% staleness over 30 periods must fire");
+    assert_eq!(wrapped.fault_stats().stale_samples, stale_seen);
+}
+
+#[test]
+fn occupancy_quantisation_rounds_down_to_the_granule() {
+    const Q: u64 = 64 * 1024;
+    let faults = FaultConfig { occupancy_quantum_bytes: Q, ..FaultConfig::none(11) };
+    let mut plat = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    for _ in 0..PERIODS {
+        let s = plat.step_period();
+        assert_eq!(s.hp.llc_occupancy_bytes % Q, 0);
+        for be in &s.bes {
+            assert_eq!(be.llc_occupancy_bytes % Q, 0);
+        }
+    }
+}
+
+#[test]
+fn delayed_apply_lands_exactly_one_period_late() {
+    // A certain delay with no failures: the plan is pending for the period
+    // being stepped and in force from the next boundary on.
+    let faults = FaultConfig { apply_delay_prob: 1.0, ..FaultConfig::none(13) };
+    let mut plat = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    let before = plat.current_plan();
+    let target = dicer::rdt::PartitionPlan::Split { hp_ways: 5 };
+    plat.apply_plan(target);
+    assert_eq!(plat.current_plan(), before, "delayed apply must not take effect yet");
+    assert!(plat.apply_pending());
+    plat.step_period();
+    assert_eq!(plat.current_plan(), target, "the delayed plan lands one boundary later");
+    assert!(!plat.apply_pending());
+    assert_eq!(plat.fault_stats().delayed_applies, 1);
+}
+
+#[test]
+fn failed_apply_burns_its_retry_budget_then_is_abandoned() {
+    // A certain failure (retries fail too): the retry budget bounds how
+    // long the stale partitioning can persist, then the plan is dropped.
+    let faults = FaultConfig {
+        apply_fail_prob: 1.0,
+        max_apply_retries: 2,
+        ..FaultConfig::none(13)
+    };
+    let mut plat = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    let before = plat.current_plan();
+    plat.apply_plan(dicer::rdt::PartitionPlan::Split { hp_ways: 5 });
+    assert!(plat.apply_pending());
+    plat.step_period(); // retry 1 fails
+    plat.step_period(); // retry 2 fails
+    assert!(plat.apply_pending(), "budget not yet exhausted");
+    plat.step_period(); // budget gone: abandoned
+    assert!(!plat.apply_pending());
+    assert_eq!(plat.current_plan(), before, "ground truth keeps the old plan");
+    let fs = plat.fault_stats();
+    assert_eq!(fs.failed_applies, 1);
+    assert_eq!(fs.retried_applies, 2);
+    assert_eq!(fs.abandoned_applies, 1);
+}
+
+#[test]
+fn exhausted_retry_budget_abandons_the_plan() {
+    // Zero retries and a certain failure: the plan is dropped at the next
+    // period boundary and ground truth keeps the old partitioning.
+    let faults =
+        FaultConfig { apply_fail_prob: 1.0, max_apply_retries: 0, ..FaultConfig::none(17) };
+    let mut plat = FaultyPlatform::new(server("milc1", "gcc_base1"), faults);
+    let before = plat.current_plan();
+    plat.apply_plan(dicer::rdt::PartitionPlan::Split { hp_ways: 3 });
+    plat.step_period();
+    assert_eq!(plat.current_plan(), before);
+    assert!(!plat.apply_pending(), "no budget: the plan must be abandoned");
+    assert_eq!(plat.fault_stats().abandoned_applies, 1);
+}
+
+#[test]
+fn whole_standard_suite_is_deterministic() {
+    // The robustness suite's contract: every scenario, same seed, same
+    // bytes. (The `robustness_study` binary enforces the same invariant at
+    // full length; short periods keep this test cheap.)
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    for sc in standard_suite(1234) {
+        let short = FaultScenario { periods: 25, ..sc };
+        let a = run_scenario(&catalog, &solo, &short).to_jsonl();
+        let b = run_scenario(&catalog, &solo, &short).to_jsonl();
+        assert_eq!(a, b, "scenario {} diverged between reruns", short.name);
+        assert!(!a.is_empty() && a.lines().count() == 26);
+    }
+}
+
+#[test]
+fn clean_scenario_trace_is_independent_of_the_fault_seed() {
+    // With all injectors disabled the seed must be irrelevant: the JSONL
+    // trace is a function of the workload and controller alone.
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    let clean = |seed| {
+        let sc = standard_suite(seed)
+            .into_iter()
+            .find(|s| s.name == "clean_ctt")
+            .unwrap();
+        run_scenario(&catalog, &solo, &sc).to_jsonl()
+    };
+    assert_eq!(clean(1), clean(999));
+}
