@@ -78,6 +78,31 @@ pub fn run_colocation_capped(
     policy: &PolicyKind,
     max_periods: u32,
 ) -> ColocationOutcome {
+    run_colocation_instrumented(
+        solo,
+        hp,
+        be,
+        n_cores,
+        policy,
+        max_periods,
+        &dicer_telemetry::Telemetry::off(),
+    )
+}
+
+/// [`run_colocation_capped`] with a telemetry bus wired into both the
+/// server (period samples, partition applies) and the policy (controller
+/// state transitions). Emission is observational only: outcomes are
+/// bit-identical with or without an attached sink. This is the loop the
+/// `dicerd` daemon runs continuously.
+pub fn run_colocation_instrumented(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+    max_periods: u32,
+    telemetry: &dicer_telemetry::Telemetry,
+) -> ColocationOutcome {
     assert!(max_periods >= 1, "a run needs at least one period");
     let cfg = *solo.config();
     assert!(
@@ -87,7 +112,9 @@ pub fn run_colocation_capped(
     );
     let n_bes = (n_cores - 1) as usize;
     let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    server.set_telemetry(telemetry.clone());
     let mut pol = policy.build();
+    pol.set_telemetry(telemetry.clone());
     server.apply_plan(pol.initial_plan(cfg.cache.ways));
 
     let mut periods = 0;
@@ -302,6 +329,33 @@ mod tests {
         let capped =
             run_colocation_capped(&solo, hp, be, 10, &PolicyKind::Unmanaged, MAX_PERIODS);
         assert_eq!(full, capped, "delegation must not change results");
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_feeds_the_bus() {
+        use dicer_telemetry::{CollectingSink, Telemetry};
+        use std::sync::Arc;
+        let (cat, solo) = setup();
+        let hp = cat.get("milc1").unwrap();
+        let be = cat.get("gcc_base1").unwrap();
+        let policy = PolicyKind::Dicer(dicer_policy::DicerConfig::default());
+        let plain = run_colocation_capped(&solo, hp, be, 10, &policy, 30);
+        let bus = Arc::new(CollectingSink::new());
+        let wired = run_colocation_instrumented(
+            &solo,
+            hp,
+            be,
+            10,
+            &policy,
+            30,
+            &Telemetry::new(bus.clone()),
+        );
+        assert_eq!(plain, wired, "telemetry must not change outcomes");
+        let events = bus.take();
+        let periods = events.iter().filter(|e| e.kind() == "period").count();
+        assert_eq!(periods as u32, wired.periods, "one period event per period");
+        assert!(events.iter().any(|e| e.kind() == "partition_applied"));
+        assert!(events.iter().any(|e| e.kind() == "controller"));
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! per-period decision as a [`DecisionRecord`]. Records serialise to JSONL
 //! for golden-file comparison: the whole pipeline is seeded, so the same
 //! scenario with the same seed produces a byte-identical trace.
+//!
+//! Trace rendering is delegated to `dicer-telemetry`: each record maps to a
+//! [`dicer_telemetry::DecisionEvent`] and the run summary to a
+//! [`dicer_telemetry::ScenarioSummaryEvent`], emitted through a
+//! [`dicer_telemetry::TelemetrySink`]. The JSONL a golden file holds and
+//! the JSONL a live sink (or the `dicerd` daemon) sees are the same bytes
+//! from the same renderer.
 
 use crate::solo_table::SoloTable;
 use dicer_appmodel::Catalog;
@@ -15,7 +22,11 @@ use dicer_rdt::{
     FaultConfig, FaultStats, FaultyPlatform, PartitionController,
 };
 use dicer_server::Server;
+use dicer_telemetry::{
+    DecisionEvent, JsonlSink, ScenarioSummaryEvent, Telemetry, TelemetryEvent,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Smoothing factor for the total-link-bandwidth EWMA recorded in traces
 /// (diagnostic channel; holds over dropped samples).
@@ -92,101 +103,63 @@ pub struct ScenarioResult {
     pub fault_stats: FaultStats,
 }
 
-/// Minimal JSON string escaping (labels in traces are plain ASCII, but the
-/// emitter must still be total).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+impl DecisionRecord {
+    /// The telemetry-bus view of this record. Field-for-field; the event is
+    /// what actually renders to JSON.
+    pub fn to_event(&self) -> DecisionEvent {
+        DecisionEvent {
+            period: self.period,
+            time_s: self.time_s,
+            state: self.state.clone(),
+            ct_favoured: self.ct_favoured,
+            target_hp_ways: self.target_hp_ways,
+            applied_hp_ways: self.applied_hp_ways,
+            hp_ipc: self.hp_ipc,
+            hp_bw_gbps: self.hp_bw_gbps,
+            total_bw_gbps: self.total_bw_gbps,
+            total_bw_ewma_gbps: self.total_bw_ewma_gbps,
+            dropped: self.dropped,
+            events: self.events.clone(),
+            stats: self.stats.into(),
         }
     }
-    out.push('"');
-    out
-}
 
-/// JSON number via Rust's shortest-roundtrip `Display` — deterministic for
-/// a given bit pattern, which is what the golden-trace contract needs.
-fn json_f64(x: f64) -> String {
-    debug_assert!(x.is_finite(), "traces never carry non-finite numbers");
-    format!("{x}")
-}
-
-fn json_opt_f64(x: Option<f64>) -> String {
-    match x {
-        Some(x) => json_f64(x),
-        None => "null".to_string(),
-    }
-}
-
-fn json_dicer_stats(s: &DicerStats) -> String {
-    format!(
-        "{{\"sampling_periods\":{},\"shrinks\":{},\"resets\":{},\
-         \"phase_changes\":{},\"saturated_periods\":{},\"missing_periods\":{}}}",
-        s.sampling_periods, s.shrinks, s.resets, s.phase_changes, s.saturated_periods,
-        s.missing_periods
-    )
-}
-
-fn json_fault_stats(s: &FaultStats) -> String {
-    format!(
-        "{{\"perturbed_samples\":{},\"dropped_samples\":{},\"stale_samples\":{},\
-         \"failed_applies\":{},\"delayed_applies\":{},\"retried_applies\":{},\
-         \"abandoned_applies\":{}}}",
-        s.perturbed_samples, s.dropped_samples, s.stale_samples, s.failed_applies,
-        s.delayed_applies, s.retried_applies, s.abandoned_applies
-    )
-}
-
-impl DecisionRecord {
-    /// One JSON object, fixed field order. Hand-emitted (rather than via a
-    /// serde backend) so the byte-identity contract depends only on this
-    /// crate and the stability of `f64`'s `Display`.
+    /// One JSON object, fixed field order, rendered by the telemetry crate's
+    /// hand-rolled emitter so the byte-identity contract depends only on
+    /// that crate and the stability of `f64`'s `Display`.
     pub fn to_json(&self) -> String {
-        let events: Vec<String> = self.events.iter().map(|e| json_str(e)).collect();
-        format!(
-            "{{\"period\":{},\"time_s\":{},\"state\":{},\"ct_favoured\":{},\
-             \"target_hp_ways\":{},\"applied_hp_ways\":{},\"hp_ipc\":{},\
-             \"hp_bw_gbps\":{},\"total_bw_gbps\":{},\"total_bw_ewma_gbps\":{},\
-             \"dropped\":{},\"events\":[{}],\"stats\":{}}}",
-            self.period,
-            json_f64(self.time_s),
-            json_str(&self.state),
-            self.ct_favoured,
-            self.target_hp_ways,
-            self.applied_hp_ways,
-            json_opt_f64(self.hp_ipc),
-            json_opt_f64(self.hp_bw_gbps),
-            json_opt_f64(self.total_bw_gbps),
-            json_opt_f64(self.total_bw_ewma_gbps),
-            self.dropped,
-            events.join(","),
-            json_dicer_stats(&self.stats),
-        )
+        self.to_event().to_json()
     }
 }
 
 impl ScenarioResult {
-    /// Serialises the run as JSONL: one line per period, then one summary
-    /// line. Byte-stable for a fixed scenario and seed.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for r in &self.records {
-            out.push_str(&r.to_json());
-            out.push('\n');
+    /// The telemetry-bus view of the run summary.
+    pub fn summary_event(&self) -> ScenarioSummaryEvent {
+        ScenarioSummaryEvent {
+            scenario: self.scenario.clone(),
+            periods: self.records.len(),
+            dicer_stats: self.dicer_stats.into(),
+            fault_stats: self.fault_stats.into(),
         }
-        out.push_str(&format!(
-            "{{\"scenario\":{},\"periods\":{},\"dicer_stats\":{},\"fault_stats\":{}}}\n",
-            json_str(&self.scenario),
-            self.records.len(),
-            json_dicer_stats(&self.dicer_stats),
-            json_fault_stats(&self.fault_stats),
-        ));
-        out
+    }
+
+    /// Re-emits the decision trace — one [`TelemetryEvent::Decision`] per
+    /// record, then one [`TelemetryEvent::ScenarioSummary`] — into `trace`.
+    pub fn emit_trace(&self, trace: &Telemetry) {
+        for r in &self.records {
+            trace.emit(&TelemetryEvent::Decision(r.to_event()));
+        }
+        trace.emit(&TelemetryEvent::ScenarioSummary(self.summary_event()));
+    }
+
+    /// Serialises the run as JSONL: one line per period, then one summary
+    /// line. Byte-stable for a fixed scenario and seed. Runs through a
+    /// [`JsonlSink`] — the golden files exercise the same sink code path a
+    /// live consumer attaches.
+    pub fn to_jsonl(&self) -> String {
+        let sink = Arc::new(JsonlSink::new());
+        self.emit_trace(&Telemetry::new(sink.clone()));
+        sink.take()
     }
 }
 
@@ -199,6 +172,31 @@ impl ScenarioResult {
 /// controller as [`Dicer::on_missing_period`]), and plan applies go back
 /// through the faulted [`PartitionController`] path.
 pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> ScenarioResult {
+    run_scenario_with(catalog, solo, sc, &Telemetry::off(), &Telemetry::off())
+}
+
+/// [`run_scenario`] with live telemetry.
+///
+/// Two channels, because they serve different consumers:
+/// - `trace` receives the byte-stable decision trace — one
+///   [`TelemetryEvent::Decision`] per period and a final
+///   [`TelemetryEvent::ScenarioSummary`] — exactly the lines
+///   [`ScenarioResult::to_jsonl`] renders. Attach a [`JsonlSink`] here and
+///   the stream is the golden-file format, produced as the run happens.
+/// - `bus` is wired into the controller, the fault layer and the server, so
+///   it sees the full-fidelity event stream (state transitions, fault
+///   injections, period samples, partition applies). The `dicerd` daemon
+///   feeds its ring buffer and metrics from this channel.
+///
+/// Both channels are observational: decisions are bit-identical whether or
+/// not sinks are attached.
+pub fn run_scenario_with(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    sc: &FaultScenario,
+    trace: &Telemetry,
+    bus: &Telemetry,
+) -> ScenarioResult {
     let cfg = *solo.config();
     let n_ways = cfg.cache.ways;
     sc.dicer.validate_for(n_ways).expect("scenario DicerConfig invalid");
@@ -217,9 +215,12 @@ pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> 
     );
 
     let n_bes = (sc.n_cores - 1) as usize;
-    let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    server.set_telemetry(bus.clone());
     let mut plat = FaultyPlatform::new(server, sc.faults.clone());
+    plat.set_telemetry(bus.clone());
     let mut dicer = Dicer::new(sc.dicer.clone());
+    dicer.set_telemetry(bus.clone());
     // Run setup is not part of the monitored path: the initial plan lands
     // directly, exactly as in the clean runner.
     plat.inner_mut().apply_plan(dicer.initial_plan(n_ways));
@@ -247,7 +248,7 @@ pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> 
             plat.apply_plan(plan); // through the fault layer
         }
 
-        records.push(DecisionRecord {
+        let record = DecisionRecord {
             period,
             time_s: plat.inner().time_s(),
             state: dicer.state().as_str().to_string(),
@@ -261,19 +262,23 @@ pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> 
             dropped: delivered.is_none(),
             events: plat.events().iter().map(|e| e.as_str().to_string()).collect(),
             stats: dicer.stats,
-        });
+        };
+        trace.emit_with(|| TelemetryEvent::Decision(record.to_event()));
+        records.push(record);
 
         if plat.inner().progress().all_done() {
             break;
         }
     }
 
-    ScenarioResult {
+    let result = ScenarioResult {
         scenario: sc.name.clone(),
         records,
         dicer_stats: dicer.stats,
         fault_stats: plat.fault_stats(),
-    }
+    };
+    trace.emit_with(|| TelemetryEvent::ScenarioSummary(result.summary_event()));
+    result
 }
 
 /// The standard robustness suite: one clean control per workload class
@@ -417,6 +422,44 @@ mod tests {
             }
             prev = r.total_bw_ewma_gbps;
         }
+    }
+
+    #[test]
+    fn live_trace_sink_matches_post_hoc_jsonl() {
+        let (cat, solo) = standard_setup();
+        let sc = scenario_by_name(7, "kitchen_sink");
+        let sink = Arc::new(JsonlSink::new());
+        let out =
+            run_scenario_with(&cat, &solo, &sc, &Telemetry::new(sink.clone()), &Telemetry::off());
+        assert_eq!(sink.take(), out.to_jsonl(), "live stream and post-hoc render must agree");
+    }
+
+    #[test]
+    fn bus_channel_carries_full_fidelity_events() {
+        let (cat, solo) = standard_setup();
+        let sc = scenario_by_name(7, "kitchen_sink");
+        let bus = Arc::new(dicer_telemetry::CollectingSink::new());
+        run_scenario_with(&cat, &solo, &sc, &Telemetry::off(), &Telemetry::new(bus.clone()));
+        let events = bus.take();
+        let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+        for k in ["period", "controller", "fault", "partition_applied"] {
+            assert!(kinds.contains(k), "bus missing {k} events, saw {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn attached_sinks_leave_the_trace_byte_identical() {
+        let (cat, solo) = standard_setup();
+        let sc = scenario_by_name(7, "kitchen_sink");
+        let plain = run_scenario(&cat, &solo, &sc);
+        let wired = run_scenario_with(
+            &cat,
+            &solo,
+            &sc,
+            &Telemetry::new(Arc::new(JsonlSink::new())),
+            &Telemetry::new(Arc::new(dicer_telemetry::CollectingSink::new())),
+        );
+        assert_eq!(plain.to_jsonl(), wired.to_jsonl(), "telemetry must be observational only");
     }
 
     #[test]

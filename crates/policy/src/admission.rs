@@ -114,6 +114,10 @@ impl Policy for DicerAdmission {
     fn admitted_bes(&self) -> Option<u32> {
         self.admitted
     }
+
+    fn set_telemetry(&mut self, telemetry: dicer_telemetry::Telemetry) {
+        self.inner.set_telemetry(telemetry);
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@
 
 use crate::Policy;
 use dicer_rdt::{PartitionPlan, PeriodSample};
+use dicer_telemetry::{
+    ControllerCounters, ControllerEvent, HoldReason, ResetCause, Telemetry, TelemetryEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -263,6 +266,11 @@ pub struct Dicer {
     /// Cool-down to impose after the next sampling pass (backs off
     /// exponentially while sampling keeps blaming unfixable saturation).
     next_cooldown: u32,
+    /// Periods observed so far (missing ones included) — the timestamp on
+    /// emitted controller events.
+    periods_seen: u64,
+    /// Telemetry handle; off by default.
+    telemetry: Telemetry,
     /// Decision counters for introspection/ablation.
     pub stats: DicerStats,
 }
@@ -282,6 +290,19 @@ pub struct DicerStats {
     pub saturated_periods: u64,
     /// Periods whose monitoring sample never arrived (holdover applied).
     pub missing_periods: u64,
+}
+
+impl From<DicerStats> for ControllerCounters {
+    fn from(s: DicerStats) -> Self {
+        ControllerCounters {
+            sampling_periods: s.sampling_periods,
+            shrinks: s.shrinks,
+            resets: s.resets,
+            phase_changes: s.phase_changes,
+            saturated_periods: s.saturated_periods,
+            missing_periods: s.missing_periods,
+        }
+    }
 }
 
 impl Dicer {
@@ -312,6 +333,8 @@ impl Dicer {
             ct_favoured: true,
             sampling_cooldown: 0,
             next_cooldown,
+            periods_seen: 0,
+            telemetry: Telemetry::off(),
             stats: DicerStats::default(),
         }
     }
@@ -335,6 +358,11 @@ impl Dicer {
         self.hp_ways
     }
 
+    /// Emit a controller event stamped with the current period counter.
+    fn note(&self, event: ControllerEvent) {
+        self.telemetry.emit(&TelemetryEvent::Controller { period: self.periods_seen, event });
+    }
+
     /// Holdover for a period whose monitoring sample never arrived (dropped
     /// CMT/MBM read). A lost sample carries no information about the
     /// workload, so the controller keeps its state machine, Eq. 2 window
@@ -347,8 +375,10 @@ impl Dicer {
             self.hp_ways = n_ways - 1; // first period ran under initial_plan
             self.optimal_allocation = n_ways - 1;
         }
+        self.periods_seen += 1;
         self.stats.missing_periods += 1;
         self.sampling_cooldown = self.sampling_cooldown.saturating_sub(1);
+        self.note(ControllerEvent::MissingPeriod);
         PartitionPlan::Split { hp_ways: self.hp_ways }
     }
 
@@ -387,18 +417,20 @@ impl Dicer {
         let first = queue.pop_front().expect("sampling ladder is never empty");
         self.state = State::Sampling { queue, current: first, best: None };
         self.bw_history.clear();
+        self.note(ControllerEvent::SamplingStarted { first_ways: first });
         self.enforce(first)
     }
 
     /// Listing 3 entry point: apply the reset allocation and move to the
     /// validation state.
-    fn reset(&mut self, n_ways: u32, trigger_ipc: f64) -> PartitionPlan {
+    fn reset(&mut self, n_ways: u32, trigger_ipc: f64, cause: ResetCause) -> PartitionPlan {
         self.stats.resets += 1;
         let rollback = self.hp_ways;
         let target = if self.ct_favoured { n_ways - 1 } else { self.optimal_allocation.max(1) };
         self.state =
             State::ValidatingReset { ct_favoured: self.ct_favoured, rollback, trigger_ipc };
         self.bw_history.clear();
+        self.note(ControllerEvent::Reset { target_ways: target, cause });
         self.enforce(target)
     }
 
@@ -419,11 +451,16 @@ impl Policy for Dicer {
         PartitionPlan::cache_takeover(n_ways)
     }
 
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         if self.hp_ways == 0 {
             self.hp_ways = n_ways - 1; // first period ran under initial_plan
             self.optimal_allocation = n_ways - 1;
         }
+        self.periods_seen += 1;
         let ipc = sample.hp.ipc;
         let hp_bw = sample.hp.mem_bw_gbps;
         let saturated_now = self.saturated(sample);
@@ -447,6 +484,7 @@ impl Policy for Dicer {
                 match queue.pop_front() {
                     Some(next) => {
                         self.state = State::Sampling { queue, current: next, best };
+                        self.note(ControllerEvent::SamplingProbe { ways: next });
                         self.enforce(next)
                     }
                     None => {
@@ -466,6 +504,11 @@ impl Policy for Dicer {
                         } else {
                             self.cfg.sampling_cooldown_periods
                         };
+                        self.note(ControllerEvent::SamplingConcluded {
+                            optimal_ways: opt,
+                            ipc_opt,
+                            cooldown: self.sampling_cooldown,
+                        });
                         self.enforce(opt)
                     }
                 }
@@ -479,11 +522,16 @@ impl Policy for Dicer {
                     if ipc > (1.0 + a) * trigger_ipc {
                         // Reset was right: continue optimising from CT.
                         self.state = State::Optimising;
+                        self.note(ControllerEvent::Hold {
+                            ways: self.hp_ways,
+                            reason: HoldReason::ResetValidated,
+                        });
                         PartitionPlan::Split { hp_ways: self.hp_ways }
                     } else {
                         // The dip was a phase with lower IPC, not our doing:
                         // revert to the allocation that triggered the reset.
                         self.state = State::Optimising;
+                        self.note(ControllerEvent::Rollback { ways: rollback });
                         self.enforce(rollback)
                     }
                 } else {
@@ -494,6 +542,10 @@ impl Policy for Dicer {
                         .unwrap_or(false);
                     if near_opt {
                         self.state = State::Optimising;
+                        self.note(ControllerEvent::Hold {
+                            ways: self.hp_ways,
+                            reason: HoldReason::NearOptimum,
+                        });
                         PartitionPlan::Split { hp_ways: self.hp_ways }
                     } else {
                         // The optimum moved: sample afresh.
@@ -511,15 +563,24 @@ impl Policy for Dicer {
                     // allocation rather than misreading bandwidth noise as
                     // cache headroom.
                     self.state = State::Optimising;
+                    self.note(ControllerEvent::Hold {
+                        ways: self.hp_ways,
+                        reason: HoldReason::SaturatedCooldown,
+                    });
                     PartitionPlan::Split { hp_ways: self.hp_ways }
                 } else if self.phase_change(hp_bw) {
                     self.stats.phase_changes += 1;
-                    self.reset(n_ways, ipc)
+                    self.note(ControllerEvent::PhaseChange { hp_bw_gbps: hp_bw });
+                    self.reset(n_ways, ipc, ResetCause::PhaseChange)
                 } else {
                     match self.prev_ipc {
                         None => {
                             // First observation: just hold.
                             self.state = State::Optimising;
+                            self.note(ControllerEvent::Hold {
+                                ways: self.hp_ways,
+                                reason: HoldReason::Priming,
+                            });
                             PartitionPlan::Split { hp_ways: self.hp_ways }
                         }
                         Some(prev) => {
@@ -530,17 +591,29 @@ impl Policy for Dicer {
                                 if self.hp_ways > 1 {
                                     self.stats.shrinks += 1;
                                     let w = self.hp_ways - 1;
+                                    self.note(ControllerEvent::Shrink {
+                                        from_ways: self.hp_ways,
+                                        to_ways: w,
+                                    });
                                     self.enforce(w)
                                 } else {
+                                    self.note(ControllerEvent::Hold {
+                                        ways: 1,
+                                        reason: HoldReason::Floor,
+                                    });
                                     PartitionPlan::Split { hp_ways: 1 }
                                 }
                             } else if ipc > (1.0 + a) * prev {
                                 // Better: same cache needs, higher-IPC phase.
                                 self.state = State::Optimising;
+                                self.note(ControllerEvent::Hold {
+                                    ways: self.hp_ways,
+                                    reason: HoldReason::Improved,
+                                });
                                 PartitionPlan::Split { hp_ways: self.hp_ways }
                             } else {
                                 // Worse: our shrink (or a slow phase) hurt.
-                                self.reset(n_ways, ipc)
+                                self.reset(n_ways, ipc, ResetCause::Degradation)
                             }
                         }
                     }
@@ -1016,5 +1089,66 @@ mod tests {
     #[should_panic]
     fn invalid_config_rejected() {
         Dicer::new(DicerConfig { stability_alpha: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn telemetry_narrates_every_decision() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(CollectingSink::new());
+        let mut d = dicer();
+        d.set_telemetry(Telemetry::new(sink.clone()));
+        d.initial_plan(N);
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // prime -> hold
+        d.on_period(&sample(1.0, 5.0, 20.0), N); // stable -> shrink
+        d.on_missing_period(N);
+        d.on_period(&sample(0.5, 5.0, 20.0), N); // degraded -> reset
+        d.on_period(&sample(1.0, 5.0, 60.0), N); // saturated validation -> sampling
+
+        let kinds: Vec<&'static str> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TelemetryEvent::Controller { event, .. } => event.kind(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["hold", "shrink", "missing_period", "reset", "sampling_started"]
+        );
+        // Events are stamped with the 1-based period counter, missing
+        // periods included.
+        match &sink.events()[3] {
+            TelemetryEvent::Controller { period, event: ControllerEvent::Reset { cause, .. } } => {
+                assert_eq!(*period, 4);
+                assert_eq!(*cause, ResetCause::Degradation);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detached_telemetry_changes_no_decision() {
+        use dicer_telemetry::{CollectingSink, Telemetry};
+        use std::sync::Arc;
+
+        // An attached sink must be purely observational: plans are
+        // identical with and without it, decision for decision.
+        let mut plain = dicer();
+        let mut instrumented = dicer();
+        instrumented.set_telemetry(Telemetry::new(Arc::new(CollectingSink::new())));
+        plain.initial_plan(N);
+        instrumented.initial_plan(N);
+        for i in 0..60u32 {
+            let s = match i % 9 {
+                0..=5 => sample(1.0, 5.0, 20.0),
+                6 => sample(0.7, 5.0, 20.0),
+                _ => sample(1.0, 5.0, 60.0),
+            };
+            assert_eq!(plain.on_period(&s, N), instrumented.on_period(&s, N));
+        }
+        assert_eq!(plain.stats, instrumented.stats);
     }
 }

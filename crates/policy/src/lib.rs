@@ -25,6 +25,7 @@ pub use admission::DicerAdmission;
 pub use mba::DicerMba;
 
 use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+use dicer_telemetry::Telemetry;
 
 /// A cache-partitioning policy driven once per monitoring period.
 pub trait Policy {
@@ -34,6 +35,10 @@ pub trait Policy {
     fn initial_plan(&self, n_ways: u32) -> PartitionPlan;
     /// Observe one period's counters and return the plan for the next.
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan;
+    /// Attach a telemetry handle: instrumented policies emit a structured
+    /// event for every decision they take. The static baselines take no
+    /// decisions, so the default implementation ignores the handle.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
     /// MBA throttle to program on the BE class for the next period.
     /// Policies without a bandwidth loop leave it unthrottled.
     fn mba_level(&self) -> MbaLevel {

@@ -92,6 +92,10 @@ impl Policy for DicerMba {
     fn mba_level(&self) -> MbaLevel {
         self.level
     }
+
+    fn set_telemetry(&mut self, telemetry: dicer_telemetry::Telemetry) {
+        self.inner.set_telemetry(telemetry);
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! RNG draws happen and samples are delivered verbatim.
 
 use crate::{MbaController, MbaLevel, MonitoredPlatform, PartitionController, PartitionPlan, PeriodSample};
+use dicer_telemetry::{FaultCounters, Telemetry, TelemetryEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -221,6 +222,20 @@ pub struct FaultStats {
     pub abandoned_applies: u64,
 }
 
+impl From<FaultStats> for FaultCounters {
+    fn from(s: FaultStats) -> Self {
+        FaultCounters {
+            perturbed_samples: s.perturbed_samples,
+            dropped_samples: s.dropped_samples,
+            stale_samples: s.stale_samples,
+            failed_applies: s.failed_applies,
+            delayed_applies: s.delayed_applies,
+            retried_applies: s.retried_applies,
+            abandoned_applies: s.abandoned_applies,
+        }
+    }
+}
+
 /// How a plan apply rolled.
 enum ApplyRoll {
     Ok,
@@ -381,6 +396,8 @@ pub struct FaultyPlatform<P> {
     events: Vec<FaultEvent>,
     /// Last sample actually delivered to the controller (holdover source).
     last_delivered: Option<PeriodSample>,
+    /// Telemetry handle; every recorded [`FaultEvent`] is mirrored to it.
+    telemetry: Telemetry,
 }
 
 impl<P> FaultyPlatform<P> {
@@ -392,6 +409,29 @@ impl<P> FaultyPlatform<P> {
             pending: None,
             events: Vec::new(),
             last_delivered: None,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attach a telemetry handle: every fault recorded from here on is
+    /// also emitted as a [`TelemetryEvent::Fault`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Record one fault event (period trace + telemetry bus).
+    fn record(&mut self, ev: FaultEvent) {
+        self.telemetry.emit(&TelemetryEvent::Fault { label: ev.as_str() });
+        self.events.push(ev);
+    }
+
+    /// Mirror to telemetry the events the sensor-side injector appended
+    /// (it pushes into `events` directly and has no bus handle).
+    fn mirror_from(&self, from: usize) {
+        if self.telemetry.enabled() {
+            for ev in &self.events[from..] {
+                self.telemetry.emit(&TelemetryEvent::Fault { label: ev.as_str() });
+            }
         }
     }
 
@@ -447,11 +487,11 @@ impl<P: MonitoredPlatform> FaultyPlatform<P> {
             if self.injector.roll_retry_fails() {
                 if retries > 0 {
                     self.injector.stats.retried_applies += 1;
-                    self.events.push(FaultEvent::ApplyRetried);
+                    self.record(FaultEvent::ApplyRetried);
                     self.pending = Some((plan, retries - 1));
                 } else {
                     self.injector.stats.abandoned_applies += 1;
-                    self.events.push(FaultEvent::ApplyAbandoned);
+                    self.record(FaultEvent::ApplyAbandoned);
                 }
             } else {
                 self.inner.apply_plan(plan);
@@ -466,7 +506,9 @@ impl<P: MonitoredPlatform> FaultyPlatform<P> {
         self.events.clear();
         self.tick_pending();
         let s = self.inner.step_period();
+        let before = self.events.len();
         let delivered = self.injector.perturb(&s, &mut self.events);
+        self.mirror_from(before);
         if let Some(d) = &delivered {
             self.last_delivered = Some(d.clone());
         }
@@ -482,7 +524,10 @@ impl<P: MonitoredPlatform> MonitoredPlatform for FaultyPlatform<P> {
         self.events.clear();
         self.tick_pending();
         let s = self.inner.step_period();
-        match self.injector.perturb(&s, &mut self.events) {
+        let before = self.events.len();
+        let delivered = self.injector.perturb(&s, &mut self.events);
+        self.mirror_from(before);
+        match delivered {
             Some(d) => {
                 self.last_delivered = Some(d.clone());
                 d
@@ -510,12 +555,12 @@ impl<P: MonitoredPlatform> PartitionController for FaultyPlatform<P> {
             ApplyRoll::Ok => self.inner.apply_plan(plan),
             ApplyRoll::Fail => {
                 self.injector.stats.failed_applies += 1;
-                self.events.push(FaultEvent::ApplyFailed);
+                self.record(FaultEvent::ApplyFailed);
                 self.pending = Some((plan, self.injector.cfg.max_apply_retries));
             }
             ApplyRoll::Delay => {
                 self.injector.stats.delayed_applies += 1;
-                self.events.push(FaultEvent::ApplyDelayed);
+                self.record(FaultEvent::ApplyDelayed);
                 self.pending = Some((plan, self.injector.cfg.max_apply_retries));
             }
         }
@@ -801,6 +846,33 @@ mod tests {
         p.set_faults(FaultConfig::none(4));
         assert!(p.step_period_faulted().is_some(), "faults now off");
         assert_eq!(p.fault_stats().dropped_samples, 1, "stats carried over");
+    }
+
+    #[test]
+    fn telemetry_mirrors_every_fault_event() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(CollectingSink::new());
+        let mut p = FaultyPlatform::new(
+            FakePlatform::new(),
+            FaultConfig { drop_prob: 1.0, apply_delay_prob: 1.0, ..FaultConfig::none(6) },
+        );
+        p.set_telemetry(Telemetry::new(sink.clone()));
+        p.apply_plan(PartitionPlan::Split { hp_ways: 5 }); // delayed
+        p.step_period_faulted(); // delayed plan lands; sample dropped
+        let labels: Vec<&str> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TelemetryEvent::Fault { label } => *label,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(labels, vec!["apply_delayed", "sample_dropped"]);
+        // The bus mirrors the per-period trace exactly.
+        let traced: Vec<&str> = p.events().iter().map(|e| e.as_str()).collect();
+        assert_eq!(traced, vec!["sample_dropped"], "trace cleared per step");
     }
 
     #[test]

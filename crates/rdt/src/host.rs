@@ -145,11 +145,65 @@ mod tests {
         assert_eq!(level.percent(), 50);
     }
 
+    /// `parse_mb_schemata ∘ format_mb_schemata == id` for one pair.
+    fn check_mb_roundtrip(cache_id: u32, level: MbaLevel) {
+        let line = format_mb_schemata(cache_id, level);
+        let (id, parsed) = parse_mb_schemata(&line).expect("formatted line must parse");
+        assert_eq!(id, cache_id, "cache id mangled through {line:?}");
+        assert_eq!(parsed, level, "level mangled through {line:?}");
+    }
+
+    #[test]
+    fn mb_roundtrip_exhaustive_over_levels() {
+        // Every valid MBA level against cache ids spanning the u32 range
+        // (multi-socket ids are small, but the codec must not care).
+        for cache_id in [0, 1, 7, 63, 255, 1024, u32::MAX] {
+            for pct in (10..=100).step_by(10) {
+                check_mb_roundtrip(cache_id, MbaLevel::new(pct as u8).unwrap());
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Same law across the whole (cache id × level) space.
+        #[test]
+        fn mb_roundtrip_prop(cache_id in proptest::prelude::any::<u32>(), step in 1u8..=10) {
+            check_mb_roundtrip(cache_id, MbaLevel::new(step * 10).unwrap());
+        }
+    }
+
     #[test]
     fn mb_parse_rejects_garbage() {
         assert!(parse_mb_schemata("L3:0=fffff").is_err());
         assert!(parse_mb_schemata("MB:0=55").is_err(), "55 is not a valid MBA step");
         assert!(parse_mb_schemata("MB:x=50").is_err());
+    }
+
+    #[test]
+    fn mb_parse_rejects_malformed_structure() {
+        assert!(parse_mb_schemata("").is_err(), "empty line");
+        assert!(parse_mb_schemata("MB:").is_err(), "no id=pct fragment");
+        assert!(parse_mb_schemata("MB:0").is_err(), "missing '='");
+        assert!(parse_mb_schemata("MB:=50").is_err(), "empty cache id");
+        assert!(parse_mb_schemata("MB:0=").is_err(), "empty percentage");
+        assert!(parse_mb_schemata("MB:0=0").is_err(), "0 below the MBA floor");
+        assert!(parse_mb_schemata("MB:0=110").is_err(), "110 above the MBA ceiling");
+        assert!(parse_mb_schemata("MB:0=-10").is_err(), "negative percentage");
+        assert!(parse_mb_schemata("MB:-1=50").is_err(), "negative cache id");
+        assert!(parse_mb_schemata("MB:4294967296=50").is_err(), "cache id > u32::MAX");
+        assert!(parse_mb_schemata("mb:0=50").is_err(), "prefix is case-sensitive");
+        assert!(parse_mb_schemata("MB:0=50=60").is_err(), "trailing '=' garbage");
+    }
+
+    #[test]
+    fn mb_parse_tolerates_surrounding_whitespace() {
+        // resctrl schemata reads come with trailing newlines and padding.
+        let (id, level) = parse_mb_schemata("  MB:3=70\n").unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(level.percent(), 70);
+        let (id, level) = parse_mb_schemata("MB: 3 = 70").unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(level.percent(), 70);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::{config::ServerConfig, contention, equilibrium::EquilibriumSolver, So
 use dicer_appmodel::{AppProfile, MissCurve, Phase};
 use dicer_membw::LinkModel;
 use dicer_rdt::{MbaController, MbaLevel, PartitionController, PartitionPlan, PerAppSample, PeriodSample};
+use dicer_telemetry::{PeriodEvent, Telemetry, TelemetryEvent};
 use std::collections::HashMap;
 
 /// A running (and restarting) application pinned to one core.
@@ -172,6 +173,7 @@ pub struct Server {
     ways_memo: HashMap<WaysKey, WaysEntry>,
     /// Persistent key buffer, mutated in place for alloc-free lookups.
     ways_key: WaysKey,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -212,7 +214,15 @@ impl Server {
                 active_mask: 0,
                 phase_idx: Vec::new(),
             },
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry sink. The server emits a [`TelemetryEvent::Period`]
+    /// per monitoring period and a [`TelemetryEvent::PartitionApplied`] per
+    /// plan change; emission is observational only and never alters stepping.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Server configuration.
@@ -543,12 +553,23 @@ impl Server {
             mem_bw_gbps: scratch.bw_acc[i] / t,
             miss_ratio: scratch.miss_acc[i] / t,
         };
-        PeriodSample {
+        let sample = PeriodSample {
             time_s: self.time_s,
             hp: mk(0),
             bes: (1..n).map(mk).collect(),
             total_bw_gbps: total_bw_acc / t,
-        }
+        };
+        self.telemetry.emit_with(|| {
+            TelemetryEvent::Period(PeriodEvent {
+                time_s: sample.time_s,
+                hp_ipc: sample.hp.ipc,
+                hp_bw_gbps: sample.hp.mem_bw_gbps,
+                total_bw_gbps: sample.total_bw_gbps,
+                hp_ways: self.plan.hp_ways(self.cfg.cache.ways),
+                n_bes: self.bes.len() as u32,
+            })
+        });
+        sample
     }
 
     /// Runs periods until every application has completed at least once (the
@@ -589,6 +610,11 @@ impl PartitionController for Server {
     fn apply_plan(&mut self, plan: PartitionPlan) {
         plan.validate(self.n_ways()).expect("invalid partition plan");
         self.plan = plan;
+        self.telemetry.emit_with(|| TelemetryEvent::PartitionApplied {
+            time_s: self.time_s,
+            hp_ways: plan.hp_ways(self.cfg.cache.ways),
+            n_ways: self.cfg.cache.ways,
+        });
     }
 
     fn current_plan(&self) -> PartitionPlan {
@@ -899,6 +925,53 @@ mod tests {
         }
         let stats = fast.solver_stats();
         assert!(stats.cache_hits > 0, "steady stretches should hit the memo: {stats:?}");
+    }
+
+    #[test]
+    fn telemetry_reports_periods_and_partition_applies() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent};
+        use std::sync::Arc;
+        let sink = Arc::new(CollectingSink::new());
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2); 3]);
+        s.set_telemetry(Telemetry::new(sink.clone()));
+        s.apply_plan(PartitionPlan::Split { hp_ways: 6 });
+        s.step_period();
+        s.step_period();
+        let events = sink.take();
+        assert_eq!(
+            events.iter().map(|e| e.kind()).collect::<Vec<_>>(),
+            ["partition_applied", "period", "period"]
+        );
+        match &events[0] {
+            TelemetryEvent::PartitionApplied { time_s, hp_ways, n_ways } => {
+                assert_eq!(*time_s, 0.0);
+                assert_eq!(*hp_ways, 6);
+                assert_eq!(*n_ways, 20);
+            }
+            other => panic!("expected partition_applied, got {other:?}"),
+        }
+        match &events[2] {
+            TelemetryEvent::Period(p) => {
+                assert!((p.time_s - 2.0).abs() < 1e-12);
+                assert!(p.hp_ipc > 0.0);
+                assert_eq!(p.hp_ways, 6);
+                assert_eq!(p.n_bes, 3);
+            }
+            other => panic!("expected period, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detached_telemetry_leaves_samples_bit_identical() {
+        use dicer_telemetry::{CollectingSink, Telemetry};
+        use std::sync::Arc;
+        let hog = profile("hog", 4_000_000_000, 0.6, 24.0, 2.4, MissCurve::flat(0.55));
+        let mut plain = Server::new(cfg(), quiet(6_000_000_000), vec![hog.clone(); 9]);
+        let mut instr = Server::new(cfg(), quiet(6_000_000_000), vec![hog; 9]);
+        instr.set_telemetry(Telemetry::new(Arc::new(CollectingSink::new())));
+        for _ in 0..5 {
+            assert_eq!(plain.step_period(), instr.step_period());
+        }
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! The structured event vocabulary of the telemetry bus.
+//!
+//! Every observable moment in a DICER run — a monitoring period elapsing,
+//! a controller state transition, a partition apply landing, a fault being
+//! injected — is one [`TelemetryEvent`]. Producers construct events on the
+//! stack (every variant is allocation-free except the scenario-trace
+//! variants, which are off the hot path) and hand them to a
+//! [`crate::TelemetrySink`] by reference.
+//!
+//! Events render to JSON through [`TelemetryEvent::to_json`]. The encoding
+//! is hand-rolled on purpose: golden-trace byte-identity must depend only
+//! on this crate and the stability of `f64`'s shortest-roundtrip
+//! `Display`, not on a serde backend's formatting choices (DESIGN.md §9).
+
+/// Cumulative DICER decision counters, mirrored from
+/// `dicer_policy::DicerStats` (the `From` impl lives in `dicer-policy`;
+/// this crate sits below the policy layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerCounters {
+    /// Periods spent sampling.
+    pub sampling_periods: u64,
+    /// One-way shrink steps taken.
+    pub shrinks: u64,
+    /// Resets triggered (either path).
+    pub resets: u64,
+    /// Phase changes detected (Eq. 2).
+    pub phase_changes: u64,
+    /// Periods in which saturation was observed.
+    pub saturated_periods: u64,
+    /// Periods whose monitoring sample never arrived.
+    pub missing_periods: u64,
+}
+
+/// Cumulative fault-injection counters, mirrored from
+/// `dicer_rdt::FaultStats` (the `From` impl lives in `dicer-rdt`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Samples perturbed (once per sample that saw any perturbation).
+    pub perturbed_samples: u64,
+    /// Samples dropped outright.
+    pub dropped_samples: u64,
+    /// Samples replaced by the previous period's counters.
+    pub stale_samples: u64,
+    /// Plan applies that failed on first attempt.
+    pub failed_applies: u64,
+    /// Plan applies postponed by one period.
+    pub delayed_applies: u64,
+    /// Retry attempts for previously failed applies.
+    pub retried_applies: u64,
+    /// Plans discarded after the retry budget ran out.
+    pub abandoned_applies: u64,
+}
+
+/// One monitoring period's headline numbers, emitted by the server after
+/// each `step_period`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodEvent {
+    /// Simulation time at period end, seconds.
+    pub time_s: f64,
+    /// HP IPC over the period.
+    pub hp_ipc: f64,
+    /// HP memory bandwidth over the period, Gbps.
+    pub hp_bw_gbps: f64,
+    /// Total link traffic over the period, Gbps.
+    pub total_bw_gbps: f64,
+    /// HP ways in force during the period.
+    pub hp_ways: u32,
+    /// Number of BE slots (paused or not).
+    pub n_bes: u32,
+}
+
+/// Why the controller held its allocation this period (stable labels; used
+/// in traces and as a metric label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldReason {
+    /// First observation after (re)priming: no Eq. 3 reference yet.
+    Priming,
+    /// IPC improved beyond the stability band: same needs, faster phase.
+    Improved,
+    /// Already at the one-way floor; nothing left to give.
+    Floor,
+    /// Link saturated but the sampling cool-down is still running.
+    SaturatedCooldown,
+    /// A CT-favoured reset was validated: stay at the reset allocation.
+    ResetValidated,
+    /// A CT-thwarted reset landed near `IPC_opt`: stay at the optimum.
+    NearOptimum,
+}
+
+impl HoldReason {
+    /// Stable snake_case label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HoldReason::Priming => "priming",
+            HoldReason::Improved => "improved",
+            HoldReason::Floor => "floor",
+            HoldReason::SaturatedCooldown => "saturated_cooldown",
+            HoldReason::ResetValidated => "reset_validated",
+            HoldReason::NearOptimum => "near_optimum",
+        }
+    }
+}
+
+/// What pushed the controller into a Listing 3 reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetCause {
+    /// HP IPC fell below the Eq. 3 stability band.
+    Degradation,
+    /// An Eq. 2 phase change fired.
+    PhaseChange,
+}
+
+impl ResetCause {
+    /// Stable snake_case label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResetCause::Degradation => "degradation",
+            ResetCause::PhaseChange => "phase_change",
+        }
+    }
+}
+
+/// One DICER state transition (Listings 1–3), stamped with the
+/// controller's period counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControllerEvent {
+    /// Saturation (re)triggered an allocation sweep; the first candidate
+    /// is now in force.
+    SamplingStarted {
+        /// First candidate allocation (HP ways).
+        first_ways: u32,
+    },
+    /// The sweep advanced to its next candidate.
+    SamplingProbe {
+        /// Candidate allocation now in force (HP ways).
+        ways: u32,
+    },
+    /// The sweep finished: the argmax allocation is enforced and a
+    /// cool-down armed.
+    SamplingConcluded {
+        /// `optimal_allocation` (HP ways).
+        optimal_ways: u32,
+        /// `IPC_opt` measured at that allocation.
+        ipc_opt: f64,
+        /// Periods of cool-down armed before saturation may resample.
+        cooldown: u32,
+    },
+    /// Listing 2 stable step: one way moved from HP to the BEs.
+    Shrink {
+        /// HP ways before the step.
+        from_ways: u32,
+        /// HP ways after the step.
+        to_ways: u32,
+    },
+    /// The allocation was held.
+    Hold {
+        /// HP ways held.
+        ways: u32,
+        /// Why.
+        reason: HoldReason,
+    },
+    /// Listing 3 entry: the reset allocation is now in force and under
+    /// validation.
+    Reset {
+        /// Allocation reset to (CT for CT-F, the sampled optimum for CT-T).
+        target_ways: u32,
+        /// What triggered it.
+        cause: ResetCause,
+    },
+    /// A CT-favoured reset did not recover: reverted to the allocation
+    /// that triggered it.
+    Rollback {
+        /// Allocation rolled back to (HP ways).
+        ways: u32,
+    },
+    /// An Eq. 2 phase change was detected (always followed by a `Reset`).
+    PhaseChange {
+        /// HP bandwidth that fired the detector, Gbps.
+        hp_bw_gbps: f64,
+    },
+    /// The period's monitoring sample never arrived; holdover applied.
+    MissingPeriod,
+}
+
+impl ControllerEvent {
+    /// Stable snake_case label naming the transition (used as the JSON
+    /// `kind` and as a metric label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ControllerEvent::SamplingStarted { .. } => "sampling_started",
+            ControllerEvent::SamplingProbe { .. } => "sampling_probe",
+            ControllerEvent::SamplingConcluded { .. } => "sampling_concluded",
+            ControllerEvent::Shrink { .. } => "shrink",
+            ControllerEvent::Hold { .. } => "hold",
+            ControllerEvent::Reset { .. } => "reset",
+            ControllerEvent::Rollback { .. } => "rollback",
+            ControllerEvent::PhaseChange { .. } => "phase_change",
+            ControllerEvent::MissingPeriod => "missing_period",
+        }
+    }
+}
+
+/// One per-period decision record of a scenario run — the telemetry-bus
+/// form of `experiments::scenarios::DecisionRecord`. Renders to the exact
+/// golden-trace JSON line format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Period index, from 0.
+    pub period: u32,
+    /// Simulation time at period end, seconds (ground truth).
+    pub time_s: f64,
+    /// Controller state label after the decision.
+    pub state: String,
+    /// Whether the workload is still classified CT-Favoured.
+    pub ct_favoured: bool,
+    /// HP ways the controller intends to be in force.
+    pub target_hp_ways: u32,
+    /// HP ways actually in force on the platform.
+    pub applied_hp_ways: u32,
+    /// HP IPC as delivered to the controller (`None` on a drop).
+    pub hp_ipc: Option<f64>,
+    /// HP bandwidth as delivered, Gbps.
+    pub hp_bw_gbps: Option<f64>,
+    /// Total link traffic as delivered, Gbps.
+    pub total_bw_gbps: Option<f64>,
+    /// EWMA of delivered total traffic.
+    pub total_bw_ewma_gbps: Option<f64>,
+    /// Whether this period's sample was dropped.
+    pub dropped: bool,
+    /// Fault-event labels observed this period.
+    pub events: Vec<String>,
+    /// Cumulative controller counters after this period.
+    pub stats: ControllerCounters,
+}
+
+/// The end-of-run summary line of a scenario trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummaryEvent {
+    /// Scenario label.
+    pub scenario: String,
+    /// Periods recorded.
+    pub periods: usize,
+    /// Final controller counters.
+    pub dicer_stats: ControllerCounters,
+    /// Final injector counters.
+    pub fault_stats: FaultCounters,
+}
+
+/// One structured telemetry event. The bus vocabulary covers the whole
+/// stack: server periods, controller transitions, partition applies,
+/// fault injections, and the scenario-trace records whose JSONL rendering
+/// the golden files pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A monitoring period elapsed on the server.
+    Period(PeriodEvent),
+    /// A DICER state transition, stamped with the controller's period
+    /// counter (periods observed so far, missing ones included).
+    Controller {
+        /// Controller period counter at emission.
+        period: u64,
+        /// The transition.
+        event: ControllerEvent,
+    },
+    /// A partition plan landed on the platform.
+    PartitionApplied {
+        /// Simulation time of the apply, seconds.
+        time_s: f64,
+        /// HP ways of the plan (for `Unmanaged`, the full cache).
+        hp_ways: u32,
+        /// Cache ways.
+        n_ways: u32,
+    },
+    /// A fault injector fired.
+    Fault {
+        /// Stable `dicer_rdt::FaultEvent` label.
+        label: &'static str,
+    },
+    /// A scenario-trace decision record (golden JSONL line format).
+    Decision(DecisionEvent),
+    /// A scenario-trace summary (golden JSONL final line format).
+    ScenarioSummary(ScenarioSummaryEvent),
+}
+
+/// Minimal JSON string escaping (labels in traces are plain ASCII, but the
+/// emitter must still be total).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number via Rust's shortest-roundtrip `Display` — deterministic for
+/// a given bit pattern, which is what the golden-trace contract needs.
+pub fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "traces never carry non-finite numbers");
+    format!("{x}")
+}
+
+/// `null` for a missing value, [`json_f64`] otherwise.
+pub fn json_opt_f64(x: Option<f64>) -> String {
+    match x {
+        Some(x) => json_f64(x),
+        None => "null".to_string(),
+    }
+}
+
+fn json_controller_counters(s: &ControllerCounters) -> String {
+    format!(
+        "{{\"sampling_periods\":{},\"shrinks\":{},\"resets\":{},\
+         \"phase_changes\":{},\"saturated_periods\":{},\"missing_periods\":{}}}",
+        s.sampling_periods, s.shrinks, s.resets, s.phase_changes, s.saturated_periods,
+        s.missing_periods
+    )
+}
+
+fn json_fault_counters(s: &FaultCounters) -> String {
+    format!(
+        "{{\"perturbed_samples\":{},\"dropped_samples\":{},\"stale_samples\":{},\
+         \"failed_applies\":{},\"delayed_applies\":{},\"retried_applies\":{},\
+         \"abandoned_applies\":{}}}",
+        s.perturbed_samples, s.dropped_samples, s.stale_samples, s.failed_applies,
+        s.delayed_applies, s.retried_applies, s.abandoned_applies
+    )
+}
+
+impl DecisionEvent {
+    /// The golden-trace line format: one JSON object, fixed field order,
+    /// no `event` discriminator. Byte-compatible with the pre-telemetry
+    /// hand-rolled emitter in `experiments::scenarios` — the committed
+    /// `results/robustness/*.jsonl` files pin this rendering down.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(|e| json_str(e)).collect();
+        format!(
+            "{{\"period\":{},\"time_s\":{},\"state\":{},\"ct_favoured\":{},\
+             \"target_hp_ways\":{},\"applied_hp_ways\":{},\"hp_ipc\":{},\
+             \"hp_bw_gbps\":{},\"total_bw_gbps\":{},\"total_bw_ewma_gbps\":{},\
+             \"dropped\":{},\"events\":[{}],\"stats\":{}}}",
+            self.period,
+            json_f64(self.time_s),
+            json_str(&self.state),
+            self.ct_favoured,
+            self.target_hp_ways,
+            self.applied_hp_ways,
+            json_opt_f64(self.hp_ipc),
+            json_opt_f64(self.hp_bw_gbps),
+            json_opt_f64(self.total_bw_gbps),
+            json_opt_f64(self.total_bw_ewma_gbps),
+            self.dropped,
+            events.join(","),
+            json_controller_counters(&self.stats),
+        )
+    }
+}
+
+impl ScenarioSummaryEvent {
+    /// The golden-trace summary line format (fixed field order, no
+    /// discriminator).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":{},\"periods\":{},\"dicer_stats\":{},\"fault_stats\":{}}}",
+            json_str(&self.scenario),
+            self.periods,
+            json_controller_counters(&self.dicer_stats),
+            json_fault_counters(&self.fault_stats),
+        )
+    }
+}
+
+impl ControllerEvent {
+    fn detail_json(&self) -> String {
+        match self {
+            ControllerEvent::SamplingStarted { first_ways } => {
+                format!(",\"first_ways\":{first_ways}")
+            }
+            ControllerEvent::SamplingProbe { ways } => format!(",\"ways\":{ways}"),
+            ControllerEvent::SamplingConcluded { optimal_ways, ipc_opt, cooldown } => format!(
+                ",\"optimal_ways\":{optimal_ways},\"ipc_opt\":{},\"cooldown\":{cooldown}",
+                json_f64(*ipc_opt)
+            ),
+            ControllerEvent::Shrink { from_ways, to_ways } => {
+                format!(",\"from_ways\":{from_ways},\"to_ways\":{to_ways}")
+            }
+            ControllerEvent::Hold { ways, reason } => {
+                format!(",\"ways\":{ways},\"reason\":{}", json_str(reason.as_str()))
+            }
+            ControllerEvent::Reset { target_ways, cause } => {
+                format!(",\"target_ways\":{target_ways},\"cause\":{}", json_str(cause.as_str()))
+            }
+            ControllerEvent::Rollback { ways } => format!(",\"ways\":{ways}"),
+            ControllerEvent::PhaseChange { hp_bw_gbps } => {
+                format!(",\"hp_bw_gbps\":{}", json_f64(*hp_bw_gbps))
+            }
+            ControllerEvent::MissingPeriod => String::new(),
+        }
+    }
+}
+
+impl TelemetryEvent {
+    /// Coarse event-family label (used as the JSON `event` field and as a
+    /// metric label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Period(_) => "period",
+            TelemetryEvent::Controller { .. } => "controller",
+            TelemetryEvent::PartitionApplied { .. } => "partition_applied",
+            TelemetryEvent::Fault { .. } => "fault",
+            TelemetryEvent::Decision(_) => "decision",
+            TelemetryEvent::ScenarioSummary(_) => "scenario_summary",
+        }
+    }
+
+    /// One JSON object, no trailing newline. Decision and summary events
+    /// render in the legacy golden-trace format (no discriminator); every
+    /// other family renders as `{"event":"<kind>",...}`.
+    pub fn to_json(&self) -> String {
+        match self {
+            TelemetryEvent::Decision(d) => d.to_json(),
+            TelemetryEvent::ScenarioSummary(s) => s.to_json(),
+            TelemetryEvent::Period(p) => format!(
+                "{{\"event\":\"period\",\"time_s\":{},\"hp_ipc\":{},\"hp_bw_gbps\":{},\
+                 \"total_bw_gbps\":{},\"hp_ways\":{},\"n_bes\":{}}}",
+                json_f64(p.time_s),
+                json_f64(p.hp_ipc),
+                json_f64(p.hp_bw_gbps),
+                json_f64(p.total_bw_gbps),
+                p.hp_ways,
+                p.n_bes,
+            ),
+            TelemetryEvent::Controller { period, event } => format!(
+                "{{\"event\":\"controller\",\"period\":{},\"kind\":{}{}}}",
+                period,
+                json_str(event.kind()),
+                event.detail_json(),
+            ),
+            TelemetryEvent::PartitionApplied { time_s, hp_ways, n_ways } => format!(
+                "{{\"event\":\"partition_applied\",\"time_s\":{},\"hp_ways\":{},\"n_ways\":{}}}",
+                json_f64(*time_s),
+                hp_ways,
+                n_ways,
+            ),
+            TelemetryEvent::Fault { label } => {
+                format!("{{\"event\":\"fault\",\"kind\":{}}}", json_str(label))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_str_escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\u000ab\"");
+    }
+
+    #[test]
+    fn json_f64_is_shortest_roundtrip() {
+        assert_eq!(json_f64(1.0), "1");
+        assert_eq!(json_f64(0.30000000000000004), "0.30000000000000004");
+        assert_eq!(json_opt_f64(None), "null");
+        assert_eq!(json_opt_f64(Some(2.5)), "2.5");
+    }
+
+    #[test]
+    fn decision_event_renders_golden_line_format() {
+        let d = DecisionEvent {
+            period: 3,
+            time_s: 4.0,
+            state: "optimising".into(),
+            ct_favoured: true,
+            target_hp_ways: 17,
+            applied_hp_ways: 18,
+            hp_ipc: Some(1.25),
+            hp_bw_gbps: Some(5.5),
+            total_bw_gbps: None,
+            total_bw_ewma_gbps: Some(20.25),
+            dropped: false,
+            events: vec!["apply_delayed".into()],
+            stats: ControllerCounters { shrinks: 2, ..Default::default() },
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"period\":3,\"time_s\":4,\"state\":\"optimising\",\"ct_favoured\":true,\
+             \"target_hp_ways\":17,\"applied_hp_ways\":18,\"hp_ipc\":1.25,\
+             \"hp_bw_gbps\":5.5,\"total_bw_gbps\":null,\"total_bw_ewma_gbps\":20.25,\
+             \"dropped\":false,\"events\":[\"apply_delayed\"],\
+             \"stats\":{\"sampling_periods\":0,\"shrinks\":2,\"resets\":0,\
+             \"phase_changes\":0,\"saturated_periods\":0,\"missing_periods\":0}}"
+        );
+    }
+
+    #[test]
+    fn summary_event_renders_golden_summary_format() {
+        let s = ScenarioSummaryEvent {
+            scenario: "clean_ctf".into(),
+            periods: 60,
+            dicer_stats: ControllerCounters::default(),
+            fault_stats: FaultCounters { dropped_samples: 4, ..Default::default() },
+        };
+        let json = s.to_json();
+        assert!(json.starts_with("{\"scenario\":\"clean_ctf\",\"periods\":60,"));
+        assert!(json.contains("\"dropped_samples\":4"));
+        assert!(!json.contains("\"event\""), "summary lines carry no discriminator");
+    }
+
+    #[test]
+    fn bus_events_carry_a_discriminator() {
+        let p = TelemetryEvent::Period(PeriodEvent {
+            time_s: 1.0,
+            hp_ipc: 1.5,
+            hp_bw_gbps: 5.0,
+            total_bw_gbps: 30.0,
+            hp_ways: 19,
+            n_bes: 9,
+        });
+        assert!(p.to_json().starts_with("{\"event\":\"period\","));
+        let f = TelemetryEvent::Fault { label: "sample_dropped" };
+        assert_eq!(f.to_json(), "{\"event\":\"fault\",\"kind\":\"sample_dropped\"}");
+        let c = TelemetryEvent::Controller {
+            period: 7,
+            event: ControllerEvent::Shrink { from_ways: 18, to_ways: 17 },
+        };
+        assert_eq!(
+            c.to_json(),
+            "{\"event\":\"controller\",\"period\":7,\"kind\":\"shrink\",\
+             \"from_ways\":18,\"to_ways\":17}"
+        );
+    }
+
+    #[test]
+    fn controller_event_kinds_are_stable() {
+        let cases: [(ControllerEvent, &str); 9] = [
+            (ControllerEvent::SamplingStarted { first_ways: 19 }, "sampling_started"),
+            (ControllerEvent::SamplingProbe { ways: 13 }, "sampling_probe"),
+            (
+                ControllerEvent::SamplingConcluded { optimal_ways: 6, ipc_opt: 1.0, cooldown: 10 },
+                "sampling_concluded",
+            ),
+            (ControllerEvent::Shrink { from_ways: 5, to_ways: 4 }, "shrink"),
+            (ControllerEvent::Hold { ways: 5, reason: HoldReason::Priming }, "hold"),
+            (
+                ControllerEvent::Reset { target_ways: 19, cause: ResetCause::Degradation },
+                "reset",
+            ),
+            (ControllerEvent::Rollback { ways: 17 }, "rollback"),
+            (ControllerEvent::PhaseChange { hp_bw_gbps: 8.0 }, "phase_change"),
+            (ControllerEvent::MissingPeriod, "missing_period"),
+        ];
+        for (ev, kind) in cases {
+            assert_eq!(ev.kind(), kind);
+            let wrapped = TelemetryEvent::Controller { period: 0, event: ev };
+            assert!(wrapped.to_json().contains(&format!("\"kind\":\"{kind}\"")));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Telemetry subsystem for the DICER reproduction: a structured event bus,
+//! pluggable sinks, and a metrics registry with Prometheus exposition.
+//!
+//! Three pieces:
+//!
+//! * **Events** ([`event`]) — [`TelemetryEvent`] covers the whole stack:
+//!   server period samples, every DICER state transition, partition
+//!   applies, fault injections, and the scenario-trace record/summary
+//!   lines whose byte format the golden files under `results/robustness/`
+//!   pin down.
+//! * **Sinks** ([`sink`], [`ring`]) — producers hold a cloneable
+//!   [`Telemetry`] handle (off by default, one branch of overhead) that
+//!   forwards to a [`TelemetrySink`]: an in-memory [`CollectingSink`], a
+//!   byte-stable [`JsonlSink`], a bounded drop-oldest [`RingRecorder`],
+//!   or a [`FanoutSink`] combining several.
+//! * **Metrics** ([`metrics`]) — [`MetricsRegistry`] hands out lock-free
+//!   [`Counter`]/[`Gauge`]/[`Histogram`] handles and renders deterministic
+//!   Prometheus text format for the `dicerd` daemon's `/metrics` endpoint.
+//!
+//! This crate is a workspace leaf: it depends on nothing above the
+//! platform layer, so `dicer-rdt`, `dicer-policy`, `dicer-server`, and
+//! `dicer-experiments` can all emit into it without cycles. The mirror
+//! counter structs ([`ControllerCounters`], [`FaultCounters`]) exist here
+//! for that reason — the `From` conversions from the upstream types live
+//! in the crates that own those types.
+
+pub mod event;
+pub mod metrics;
+pub mod ring;
+pub mod sink;
+
+pub use event::{
+    json_f64, json_opt_f64, json_str, ControllerCounters, ControllerEvent, DecisionEvent,
+    FaultCounters, HoldReason, PeriodEvent, ResetCause, ScenarioSummaryEvent, TelemetryEvent,
+};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ring::RingRecorder;
+pub use sink::{CollectingSink, FanoutSink, JsonlSink, Telemetry, TelemetrySink};

@@ -1,0 +1,403 @@
+//! Metrics registry with deterministic Prometheus text exposition.
+//!
+//! Register once, record forever: [`MetricsRegistry::counter`] /
+//! [`gauge`](MetricsRegistry::gauge) / [`histogram`](MetricsRegistry::histogram)
+//! return cheap `Arc`-backed handles whose record paths are single atomic
+//! operations (a bounds scan for histograms) — no locking, no allocation.
+//! [`MetricsRegistry::render`] produces Prometheus text format 0.0.4 with
+//! a fully deterministic layout: metric families sorted by name, label
+//! sets sorted by key, one `# HELP`/`# TYPE` header per family.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Monotone counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge handle (an `f64` stored as bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. The
+    /// implicit `+Inf` bucket is `count`.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (not cumulative; cumulated at render).
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations, as f64 bits, updated by CAS.
+    sum_bits: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Record one observation: one atomic per-bucket increment, one CAS
+    /// loop for the sum, one count increment. No locks, no allocation.
+    pub fn observe(&self, v: f64) {
+        let core = &self.core;
+        if let Some(i) = core.bounds.iter().position(|&b| v <= b) {
+            core.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut old = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => old = actual,
+            }
+        }
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_str(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// Registry of metric families. Registration takes a short lock; the
+/// returned handles are lock-free. Re-registering the same name + label
+/// set returns a handle to the existing series, so components can look up
+/// their metrics idempotently.
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry { families: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Register (or look up) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let handle = Counter { value: Arc::new(AtomicU64::new(0)) };
+        let mut families = self.families.lock();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        match fam
+            .series
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Metric::Counter(handle.clone()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!(
+                "metric {name} already registered as {}, requested counter",
+                other.type_str()
+            ),
+        }
+    }
+
+    /// Register (or look up) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let handle = Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())) };
+        let mut families = self.families.lock();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        match fam
+            .series
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Metric::Gauge(handle.clone()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!(
+                "metric {name} already registered as {}, requested gauge",
+                other.type_str()
+            ),
+        }
+    }
+
+    /// Register (or look up) a histogram series with the given finite
+    /// bucket upper bounds (must be strictly increasing; `+Inf` implicit).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let handle = Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        };
+        let mut families = self.families.lock();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        match fam
+            .series
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Metric::Histogram(handle.clone()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!(
+                "metric {name} already registered as {}, requested histogram",
+                other.type_str()
+            ),
+        }
+    }
+
+    /// Prometheus text exposition format 0.0.4. Deterministic: families in
+    /// name order, series in sorted-label order, `le` labels rendered via
+    /// shortest-roundtrip `Display`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock();
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            let ty = fam
+                .series
+                .values()
+                .next()
+                .map(Metric::type_str)
+                .unwrap_or("untyped");
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            for (labels, metric) in fam.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, &[]), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, &[]), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let core = &h.core;
+                        let mut cum = 0u64;
+                        for (i, b) in core.bounds.iter().enumerate() {
+                            cum += core.buckets[i].load(Ordering::Relaxed);
+                            let le = format!("{b}");
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                name,
+                                render_labels(labels, &[("le", &le)]),
+                                cum
+                            );
+                        }
+                        let total = core.count.load(Ordering::Relaxed);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            render_labels(labels, &[("le", "+Inf")]),
+                            total
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            name,
+                            render_labels(labels, &[]),
+                            h.sum()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            name,
+                            render_labels(labels, &[]),
+                            total
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))));
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("dicer_test_total", "Test counter.", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("dicer_test_ways", "Test gauge.", &[]);
+        g.set(17.0);
+        assert_eq!(g.get(), 17.0);
+    }
+
+    #[test]
+    fn reregistering_returns_the_same_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("dicer_x_total", "X.", &[("policy", "dicer")]);
+        let b = reg.counter("dicer_x_total", "X.", &[("policy", "dicer")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "both handles hit one series");
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate_at_render() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("dicer_ipc", "HP IPC.", &[], &[0.5, 1.0, 2.0]);
+        for v in [0.2, 0.7, 0.9, 1.5, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 12.3).abs() < 1e-9);
+        let text = reg.render();
+        assert!(text.contains("dicer_ipc_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("dicer_ipc_bucket{le=\"1\"} 3"));
+        assert!(text.contains("dicer_ipc_bucket{le=\"2\"} 4"));
+        assert!(text.contains("dicer_ipc_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("dicer_ipc_count 5"));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            // Register in shuffled order with shuffled label order.
+            reg.counter("dicer_b_total", "B.", &[("z", "1"), ("a", "2")]).inc();
+            reg.gauge("dicer_a_ways", "A.", &[]).set(3.0);
+            reg.counter("dicer_b_total", "B.", &[("a", "1"), ("z", "1")]).add(2);
+            reg.render()
+        };
+        let text = build();
+        assert_eq!(text, build(), "same registrations render identically");
+        let a_pos = text.find("dicer_a_ways").unwrap();
+        let b_pos = text.find("dicer_b_total").unwrap();
+        assert!(a_pos < b_pos, "families sorted by name");
+        // Labels sorted by key regardless of registration order.
+        assert!(text.contains("dicer_b_total{a=\"2\",z=\"1\"} 1"));
+        assert!(text.contains("dicer_b_total{a=\"1\",z=\"1\"} 2"));
+        // One header pair per family.
+        assert_eq!(text.matches("# TYPE dicer_b_total").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("dicer_esc", "Esc.", &[("w", "a\"b\\c")]).set(1.0);
+        assert!(reg.render().contains("w=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dicer_clash", "C.", &[]);
+        reg.gauge("dicer_clash", "C.", &[]);
+    }
+}

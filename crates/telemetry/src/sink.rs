@@ -1,0 +1,233 @@
+//! Sink trait and the basic sink implementations.
+//!
+//! A [`TelemetrySink`] receives every [`TelemetryEvent`] a producer emits.
+//! Producers never talk to sinks directly; they hold a cheap, cloneable
+//! [`Telemetry`] handle that is either *off* (the default — a no-op with
+//! one branch of overhead) or wraps an `Arc<dyn TelemetrySink>`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::TelemetryEvent;
+
+/// Receives telemetry events. Implementations must be cheap and must not
+/// block for long: `emit` is called from simulation hot paths.
+pub trait TelemetrySink: Send + Sync {
+    /// Deliver one event. Borrowed so disabled/filtering sinks pay no
+    /// clone; sinks that retain events clone internally.
+    fn emit(&self, event: &TelemetryEvent);
+}
+
+/// A cheap, cloneable producer handle: either disabled (default) or a
+/// shared reference to a sink. Every instrumented component stores one of
+/// these; the disabled path is a single `Option` branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl Telemetry {
+    /// The disabled handle: `emit` is a no-op.
+    pub fn off() -> Self {
+        Telemetry { sink: None }
+    }
+
+    /// A handle delivering to `sink`.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        Telemetry { sink: Some(sink) }
+    }
+
+    /// Whether events go anywhere. Producers can skip constructing
+    /// expensive events when this is false.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Deliver `event` to the sink, if any.
+    pub fn emit(&self, event: &TelemetryEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(event);
+        }
+    }
+
+    /// Deliver an event built only if a sink is attached — use when
+    /// constructing the event allocates.
+    pub fn emit_with(&self, build: impl FnOnce() -> TelemetryEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&build());
+        }
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+/// Test/inspection sink: retains every event in order.
+pub struct CollectingSink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl Default for CollectingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingSink { events: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Remove and return everything emitted so far.
+    pub fn take(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl TelemetrySink for CollectingSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Renders each event as one JSON line into an in-memory buffer. The
+/// byte-stable JSONL encoder behind scenario traces and the
+/// `dicer-sim --telemetry jsonl` flag: decision and summary events render
+/// in the legacy golden format, so a trace produced through this sink is
+/// byte-identical to the pre-telemetry hand-rolled writer.
+pub struct JsonlSink {
+    buf: Mutex<String>,
+}
+
+impl Default for JsonlSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonlSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        JsonlSink { buf: Mutex::new(String::new()) }
+    }
+
+    /// Snapshot of the buffered JSONL text.
+    pub fn contents(&self) -> String {
+        self.buf.lock().clone()
+    }
+
+    /// Remove and return the buffered JSONL text.
+    pub fn take(&self) -> String {
+        std::mem::take(&mut *self.buf.lock())
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        let line = event.to_json();
+        let mut buf = self.buf.lock();
+        buf.push_str(&line);
+        buf.push('\n');
+    }
+}
+
+/// Delivers every event to each of a fixed set of sinks, in order.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// Fan out to `sinks` (delivery order = vector order).
+    pub fn new(sinks: Vec<Arc<dyn TelemetrySink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ControllerEvent, TelemetryEvent};
+
+    fn fault(label: &'static str) -> TelemetryEvent {
+        TelemetryEvent::Fault { label }
+    }
+
+    #[test]
+    fn off_handle_is_disabled_and_silent() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        t.emit(&fault("sample_dropped")); // must not panic
+        assert!(!format!("{t:?}").contains("true"));
+    }
+
+    #[test]
+    fn collecting_sink_retains_order() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        assert!(t.enabled());
+        t.emit(&fault("a"));
+        t.emit(&fault("b"));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], fault("a"));
+        assert_eq!(events[1], fault("b"));
+        assert!(sink.events().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn emit_with_skips_builder_when_off() {
+        let t = Telemetry::off();
+        t.emit_with(|| unreachable!("builder must not run on a disabled handle"));
+
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        t.emit_with(|| fault("built"));
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new();
+        sink.emit(&fault("sample_stale"));
+        sink.emit(&TelemetryEvent::Controller {
+            period: 1,
+            event: ControllerEvent::MissingPeriod,
+        });
+        let text = sink.take();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"event\":\"fault\",\"kind\":\"sample_stale\"}");
+        assert!(text.ends_with('\n'));
+        assert!(sink.contents().is_empty());
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_sinks_in_order() {
+        let a = Arc::new(CollectingSink::new());
+        let b = Arc::new(CollectingSink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        let t = Telemetry::new(Arc::new(fan));
+        t.emit(&fault("x"));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -7,11 +7,11 @@
 #
 # Usage: scripts/ci.sh [--fast]
 #
-#   (default)  formatting, clippy, the full workspace test suite, and the
+#   (default)  formatting, clippy, the full workspace test suite, the
 #              fault-injection robustness suite (deterministic JSONL traces
-#              under results/robustness/).
-#   --fast     controller-stack unit tests plus the conformance and
-#              fault-injection suites only — the inner-loop tier.
+#              under results/robustness/), and a dicerd daemon smoke test.
+#   --fast     clippy plus controller-stack unit tests, the conformance and
+#              fault-injection suites — the inner-loop tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,8 +42,19 @@ if ! command -v cargo >/dev/null 2>&1; then
 fi
 
 if [ "$fast" -eq 1 ]; then
+    # Scoped to the controller-stack crates the fast tier tests; the
+    # workspace-wide sweep (which also lints the proptest suites) runs in
+    # the full tier.
+    step "cargo clippy -D warnings (controller stack)"
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry \
+            --all-targets -- -D warnings || fail=1
+    else
+        echo "skipped: clippy not installed"
+    fi
+
     step "cargo test (controller stack units)"
-    cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw --lib || fail=1
+    cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry --lib || fail=1
 
     step "cargo test (conformance + fault injection)"
     cargo test -q --test controller_conformance --test fault_injection || fail=1
@@ -78,6 +89,45 @@ cargo test --workspace -q || fail=1
 
 step "robustness suite (deterministic fault-injection traces)"
 cargo run -q --bin robustness_study || fail=1
+
+step "dicerd smoke test (start, scrape, shut down)"
+DICERD_PORT="${DICERD_PORT:-18950}"
+if command -v curl >/dev/null 2>&1; then
+    cargo build -q --bin dicerd || fail=1
+    if [ "$fail" -eq 0 ]; then
+        ./target/debug/dicerd --port "$DICERD_PORT" --max-runs 1 &
+        dicerd_pid=$!
+        up=0
+        for _ in $(seq 1 50); do
+            if curl -sf "http://127.0.0.1:$DICERD_PORT/healthz" >/dev/null 2>&1; then
+                up=1
+                break
+            fi
+            sleep 0.2
+        done
+        if [ "$up" -ne 1 ]; then
+            echo "dicerd never became healthy on port $DICERD_PORT" >&2
+            fail=1
+        else
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^# TYPE dicer_hp_ipc histogram$' || { echo "missing hp_ipc histogram" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^dicer_runs_total ' || { echo "missing runs counter" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/events?n=5" \
+                | grep -q '^\[' || { echo "bad /events payload" >&2; fail=1; }
+        fi
+        # Clean shutdown via /quit; escalate to kill if it lingers.
+        curl -s "http://127.0.0.1:$DICERD_PORT/quit" >/dev/null 2>&1 || true
+        for _ in $(seq 1 25); do
+            kill -0 "$dicerd_pid" 2>/dev/null || break
+            sleep 0.2
+        done
+        kill "$dicerd_pid" 2>/dev/null || true
+        wait "$dicerd_pid" 2>/dev/null || true
+    fi
+else
+    echo "skipped: curl not installed"
+fi
 
 step "result"
 if [ "$fail" -ne 0 ]; then

@@ -3,25 +3,31 @@
 //! ```text
 //! dicer-sim catalog                      # list the 59 workloads
 //! dicer-sim solo <APP>                   # solo profile of one workload
-//! dicer-sim run --hp milc1 --be gcc_base1 [--cores 10] [--policy dicer]
+//! dicer-sim run --hp milc1 --be gcc_base1 [--cores 10] [--policy dicer] [--telemetry jsonl]
 //! dicer-sim compare --hp milc1 --be gcc_base1 [--cores 10]
 //! ```
+//!
+//! `--telemetry jsonl` streams the run's full event bus (period samples,
+//! controller transitions, partition applies) as JSON lines on stdout
+//! after the summary table; `off` (the default) disables it.
 //!
 //! Policies: `um`, `ct`, `dicer`, `dicer-mba`, `dicer-adm`, `dcp-qos`,
 //! `static:<ways>`, `overlap:<exclusive>:<shared>`.
 
 use dicer::appmodel::Catalog;
 use dicer::cli::{parse_flags, parse_policy};
-use dicer::experiments::runner::run_colocation_with;
+use dicer::experiments::runner::{run_colocation_instrumented, run_colocation_with, MAX_PERIODS};
 use dicer::experiments::{trace, SoloTable};
 use dicer::policy::{DicerConfig, PolicyKind};
 use dicer::server::ServerConfig;
+use dicer::telemetry::{JsonlSink, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dicer-sim catalog\n  dicer-sim solo <APP>\n  \
-         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline]\n  \
+         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off]\n  \
          dicer-sim compare --hp <APP> --be <APP> [--cores N]\n\
          policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
     );
@@ -115,12 +121,37 @@ fn main() -> ExitCode {
                 }
             };
 
+            let telemetry_jsonl = match flags.get("telemetry").map(String::as_str) {
+                None | Some("off") => false,
+                Some("jsonl") => true,
+                Some(other) => {
+                    eprintln!("--telemetry must be jsonl or off, got {other:?}");
+                    return usage();
+                }
+            };
+
             println!(
                 "{:<10} {:>8} {:>9} {:>8} {:>7} {:>9} {:>8}",
                 "policy", "HP norm", "HP slow", "BE norm", "EFU", "link Gbps", "periods"
             );
+            let mut jsonl_out = String::new();
             for kind in &policies {
-                let out = run_colocation_with(&solo, hp, be, cores, kind);
+                let out = if telemetry_jsonl {
+                    let sink = Arc::new(JsonlSink::new());
+                    let out = run_colocation_instrumented(
+                        &solo,
+                        hp,
+                        be,
+                        cores,
+                        kind,
+                        MAX_PERIODS,
+                        &Telemetry::new(sink.clone()),
+                    );
+                    jsonl_out.push_str(&sink.take());
+                    out
+                } else {
+                    run_colocation_with(&solo, hp, be, cores, kind)
+                };
                 println!(
                     "{:<10} {:>8.3} {:>8.2}x {:>8.3} {:>7.3} {:>9.1} {:>8}",
                     out.policy,
@@ -131,6 +162,9 @@ fn main() -> ExitCode {
                     out.mean_total_bw_gbps,
                     out.periods
                 );
+            }
+            if !jsonl_out.is_empty() {
+                print!("{jsonl_out}");
             }
             if flags.contains_key("timeline") {
                 for kind in &policies {

@@ -1,0 +1,403 @@
+//! `dicerd` — a long-running consolidation daemon over the simulator.
+//!
+//! Runs one co-location (HP + BEs under a policy) to completion, then
+//! starts it again, forever — a stand-in for the control loop a production
+//! DICER deployment would run against resctrl. Every run is wired to the
+//! telemetry bus: a bounded ring buffer retains recent events and a
+//! metrics sink folds the stream into Prometheus series, served over a
+//! small built-in HTTP endpoint (std `TcpListener`; no external deps).
+//!
+//! ```text
+//! dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]
+//!        [--ring-cap N] [--max-runs N] [--pause-ms N]
+//! ```
+//!
+//! Routes:
+//! - `GET /healthz`         — liveness; `ok` once the listener is up.
+//! - `GET /metrics`         — Prometheus text format 0.0.4, deterministic layout.
+//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array.
+//! - `GET /quit`            — clean shutdown (used by the CI smoke test).
+//!
+//! Defaults: `milc1` vs 9× `gcc_base1` on 10 cores under `dicer`,
+//! port 9090, 1024-event ring, unbounded runs, no pause between runs.
+
+use dicer::appmodel::Catalog;
+use dicer::cli::{parse_flags, parse_policy};
+use dicer::experiments::runner::{run_colocation_instrumented, MAX_PERIODS};
+use dicer::experiments::SoloTable;
+use dicer::server::ServerConfig;
+use dicer::telemetry::{
+    Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
+    TelemetryEvent, TelemetrySink,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Folds the telemetry stream into the metrics registry. Period-sample
+/// fields land in pre-registered histograms (lock-free observes);
+/// controller and fault events count into labelled counter series.
+struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    hp_solo_ipc: f64,
+    periods_total: Counter,
+    applies_total: Counter,
+    hp_ipc: Histogram,
+    hp_norm_ipc: Histogram,
+    total_bw: Histogram,
+    hp_ways: Histogram,
+    hp_ways_now: Gauge,
+}
+
+impl MetricsSink {
+    fn new(registry: Arc<MetricsRegistry>, hp_solo_ipc: f64, link_gbps: f64) -> Self {
+        let ipc_bounds = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0];
+        let norm_bounds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05];
+        let bw_bounds: Vec<f64> =
+            (1..=10).map(|i| link_gbps * i as f64 / 10.0).collect();
+        let way_bounds: Vec<f64> = (1..=20).map(|w| w as f64).collect();
+        MetricsSink {
+            periods_total: registry.counter(
+                "dicer_periods_total",
+                "Monitoring periods simulated",
+                &[],
+            ),
+            applies_total: registry.counter(
+                "dicer_partition_applies_total",
+                "Partition plans programmed onto the platform",
+                &[],
+            ),
+            hp_ipc: registry.histogram(
+                "dicer_hp_ipc",
+                "HP IPC per monitoring period",
+                &[],
+                &ipc_bounds,
+            ),
+            hp_norm_ipc: registry.histogram(
+                "dicer_hp_norm_ipc",
+                "HP IPC per period, normalised to the solo reference",
+                &[],
+                &norm_bounds,
+            ),
+            total_bw: registry.histogram(
+                "dicer_total_bw_gbps",
+                "Total link traffic per period, Gbps",
+                &[],
+                &bw_bounds,
+            ),
+            hp_ways: registry.histogram(
+                "dicer_hp_ways",
+                "HP cache ways in force per period",
+                &[],
+                &way_bounds,
+            ),
+            hp_ways_now: registry.gauge(
+                "dicer_hp_ways_current",
+                "HP cache ways of the most recently applied plan",
+                &[],
+            ),
+            registry,
+            hp_solo_ipc,
+        }
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Period(p) => {
+                self.periods_total.inc();
+                self.hp_ipc.observe(p.hp_ipc);
+                self.hp_norm_ipc.observe(p.hp_ipc / self.hp_solo_ipc);
+                self.total_bw.observe(p.total_bw_gbps);
+                self.hp_ways.observe(p.hp_ways as f64);
+            }
+            TelemetryEvent::Controller { event, .. } => {
+                self.registry
+                    .counter(
+                        "dicer_controller_events_total",
+                        "Controller state-machine events by kind",
+                        &[("event", event.kind())],
+                    )
+                    .inc();
+            }
+            TelemetryEvent::PartitionApplied { hp_ways, .. } => {
+                self.applies_total.inc();
+                self.hp_ways_now.set(*hp_ways as f64);
+            }
+            TelemetryEvent::Fault { label } => {
+                self.registry
+                    .counter(
+                        "dicer_fault_events_total",
+                        "Injected fault events by kind",
+                        &[("event", label)],
+                    )
+                    .inc();
+            }
+            // Scenario-trace events are not produced on the daemon's path.
+            TelemetryEvent::Decision(_) | TelemetryEvent::ScenarioSummary(_) => {}
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]\n\
+         \x20             [--ring-cap N] [--max-runs N] [--pause-ms N]\n\
+         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let uint_flag = |key: &str, default: u64| -> Result<u64, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    };
+    let hp_name = flags.get("hp").map(String::as_str).unwrap_or("milc1");
+    let be_name = flags.get("be").map(String::as_str).unwrap_or("gcc_base1");
+    let policy = match parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dicer")) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let (cores, port, ring_cap, max_runs, pause_ms) = match (
+        uint_flag("cores", 10),
+        uint_flag("port", 9090),
+        uint_flag("ring-cap", 1024),
+        uint_flag("max-runs", 0),
+        uint_flag("pause-ms", 0),
+    ) {
+        (Ok(c), Ok(p), Ok(r), Ok(m), Ok(w)) => (c as u32, p as u16, r as usize, m, w),
+        _ => {
+            eprintln!("numeric flags take unsigned integers");
+            return usage();
+        }
+    };
+    if ring_cap == 0 {
+        eprintln!("--ring-cap must be at least 1");
+        return usage();
+    }
+
+    let catalog = Catalog::paper();
+    let (Some(hp), Some(be)) = (catalog.get(hp_name), catalog.get(be_name)) else {
+        eprintln!("unknown app — try `dicer-sim catalog`");
+        return ExitCode::FAILURE;
+    };
+    let cfg = ServerConfig::table1();
+    let solo = SoloTable::build(&catalog, cfg);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let ring = Arc::new(RingRecorder::new(ring_cap));
+    let metrics_sink = Arc::new(MetricsSink::new(
+        registry.clone(),
+        solo.get(hp_name).ipc_alone,
+        cfg.link.capacity_gbps,
+    ));
+    let telemetry = Telemetry::new(Arc::new(FanoutSink::new(vec![
+        ring.clone() as Arc<dyn TelemetrySink>,
+        metrics_sink,
+    ])));
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("cannot set listener non-blocking: {e}");
+        return ExitCode::FAILURE;
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    println!(
+        "dicerd on 127.0.0.1:{port}: {hp_name} + {}x {be_name} under {} \
+         (ring {ring_cap}, {})",
+        cores - 1,
+        policy.name(),
+        if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} runs") },
+    );
+
+    // Simulation thread: back-to-back co-location runs, each one feeding
+    // the shared telemetry bus plus run-level metrics.
+    let sim = {
+        let registry = registry.clone();
+        let shutdown = shutdown.clone();
+        let hp = hp.clone();
+        let be = be.clone();
+        std::thread::spawn(move || {
+            let runs_total =
+                registry.counter("dicer_runs_total", "Co-location runs started", &[]);
+            let runs_completed = registry.counter(
+                "dicer_runs_completed_total",
+                "Runs in which every application finished at least once",
+                &[],
+            );
+            let run_norm_ipc = registry.histogram(
+                "dicer_run_hp_norm_ipc",
+                "Whole-run HP IPC normalised to solo",
+                &[],
+                &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05],
+            );
+            let step_seconds = registry.histogram(
+                "dicer_period_step_seconds",
+                "Mean wall-clock seconds per simulated period, one observation per run",
+                &[],
+                &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+            );
+            let efu = registry.gauge("dicer_run_efu", "Effective Utilisation of the last run", &[]);
+            let solver = [
+                ("solves", "Equilibrium solve requests"),
+                ("cache_hits", "Solves served from the memo"),
+                ("warm_solves", "Computed solves with a warm-start bracket"),
+                ("cold_solves", "Computed solves bracketed from scratch"),
+                ("curve_evals", "Curve-evaluation rounds across computed solves"),
+            ]
+            .map(|(kind, help)| {
+                (kind, registry.counter("dicer_solver_events_total", help, &[("kind", kind)]))
+            });
+
+            let mut runs = 0u64;
+            while !shutdown.load(Ordering::Relaxed) {
+                runs_total.inc();
+                let t0 = Instant::now();
+                let out = run_colocation_instrumented(
+                    &solo,
+                    &hp,
+                    &be,
+                    cores,
+                    &policy,
+                    MAX_PERIODS,
+                    &telemetry,
+                );
+                let dt = t0.elapsed().as_secs_f64();
+                if out.completed {
+                    runs_completed.inc();
+                }
+                run_norm_ipc.observe(out.hp_norm_ipc);
+                step_seconds.observe(dt / out.periods as f64);
+                efu.set(out.efu);
+                let s = out.solver_stats;
+                for (kind, counter) in &solver {
+                    counter.add(match *kind {
+                        "solves" => s.solves,
+                        "cache_hits" => s.cache_hits,
+                        "warm_solves" => s.warm_solves,
+                        "cold_solves" => s.cold_solves,
+                        _ => s.curve_evals,
+                    });
+                }
+                runs += 1;
+                if max_runs > 0 && runs >= max_runs {
+                    break;
+                }
+                if pause_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(pause_ms));
+                }
+            }
+        })
+    };
+
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let registry = registry.clone();
+                let ring = ring.clone();
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || handle(stream, &registry, &ring, &shutdown));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                break;
+            }
+        }
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    let _ = sim.join();
+    ExitCode::SUCCESS
+}
+
+/// Serves one connection: a single HTTP/1.1 request, then close.
+fn handle(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    ring: &RingRecorder,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request headers (the routes take no body).
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let Some(line) = request.lines().next() else { return };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        return;
+    };
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    match path {
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &registry.render(),
+        ),
+        "/events" => {
+            let n = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100usize);
+            let lines: Vec<String> =
+                ring.recent(n).iter().map(TelemetryEvent::to_json).collect();
+            let body = format!("[{}]\n", lines.join(","));
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/quit" => {
+            shutdown.store(true, Ordering::Relaxed);
+            respond(&mut stream, "200 OK", "text/plain", "shutting down\n");
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}

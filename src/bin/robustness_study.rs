@@ -9,14 +9,21 @@
 //! Every scenario is run twice with the same seed; the run aborts if the
 //! two traces are not byte-identical (the determinism contract of
 //! DESIGN.md §8). Traces land in `results/robustness/<scenario>.jsonl`.
+//!
+//! Traces are captured live through a telemetry [`JsonlSink`] attached to
+//! the scenario runner — the same sink code path the `dicerd` daemon and
+//! any other consumer use — so the golden files certify the production
+//! serialisation path, not a separate formatter.
 
 use dicer::appmodel::Catalog;
 use dicer::cli::parse_flags;
-use dicer::experiments::scenarios::{run_scenario, standard_suite};
+use dicer::experiments::scenarios::{run_scenario_with, standard_suite, ScenarioResult};
 use dicer::experiments::SoloTable;
 use dicer::server::ServerConfig;
+use dicer::telemetry::{JsonlSink, Telemetry};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const DEFAULT_SEED: u64 = 0xD1CE;
 
@@ -54,11 +61,17 @@ fn main() -> ExitCode {
         "{:<16} {:>7} {:>8} {:>8} {:>7} {:>8} {:>9} {:>9}",
         "scenario", "periods", "dropped", "perturb", "resets", "samples", "failedapp", "abandoned"
     );
+    // One scenario run, decision trace streamed live into a JSONL sink.
+    let run_traced = |sc| {
+        let sink = Arc::new(JsonlSink::new());
+        let result: ScenarioResult =
+            run_scenario_with(&catalog, &solo, sc, &Telemetry::new(sink.clone()), &Telemetry::off());
+        (result, sink.take())
+    };
     for sc in &suite {
-        let a = run_scenario(&catalog, &solo, sc);
-        let b = run_scenario(&catalog, &solo, sc);
-        let jsonl = a.to_jsonl();
-        if jsonl != b.to_jsonl() {
+        let (a, jsonl) = run_traced(sc);
+        let (_, jsonl_b) = run_traced(sc);
+        if jsonl != jsonl_b {
             eprintln!(
                 "DETERMINISM VIOLATION: scenario {:?} (seed {seed}) diverged between reruns",
                 sc.name

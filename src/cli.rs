@@ -35,7 +35,10 @@ pub fn parse_policy(s: &str) -> Result<PolicyKind, String> {
 /// Boolean flags that take no value.
 const SWITCHES: [&str; 1] = ["timeline"];
 
-/// Parses `--key value` pairs (plus bare switches) into a map.
+/// Parses `--key value` pairs (plus bare switches) into a map. A flag given
+/// twice is an error — silently keeping one occurrence would make the
+/// command line order-sensitive in a way users only discover from wrong
+/// results.
 pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
@@ -43,12 +46,14 @@ pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
-        if SWITCHES.contains(&key) {
-            out.insert(key.to_string(), "true".to_string());
-            continue;
+        let value = if SWITCHES.contains(&key) {
+            "true".to_string()
+        } else {
+            it.next().ok_or_else(|| format!("--{key} needs a value"))?.clone()
+        };
+        if out.insert(key.to_string(), value).is_some() {
+            return Err(format!("--{key} given more than once"));
         }
-        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        out.insert(key.to_string(), v.clone());
     }
     Ok(out)
 }
@@ -99,5 +104,21 @@ mod tests {
     fn flags_reject_missing_values_and_bare_words() {
         assert!(parse_flags(&["--hp".to_string()]).is_err());
         assert!(parse_flags(&["milc1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        let args: Vec<String> =
+            ["--hp", "milc1", "--hp", "lbm1"].iter().map(|s| s.to_string()).collect();
+        let err = parse_flags(&args).unwrap_err();
+        assert!(err.contains("--hp"), "error should name the flag: {err}");
+        // Switches too, and mixed switch/value duplication.
+        let args: Vec<String> =
+            ["--timeline", "--timeline"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+        // Distinct flags still fine.
+        let args: Vec<String> =
+            ["--hp", "milc1", "--be", "milc1"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_ok());
     }
 }

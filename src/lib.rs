@@ -12,6 +12,7 @@
 //! * [`policy`] — co-location policies: UM, CT, static partitions, DICER.
 //! * [`metrics`] — EFU, SLO conformance, SUCI, CDFs.
 //! * [`experiments`] — figure/table runners for the paper's evaluation.
+//! * [`telemetry`] — structured event bus, metrics registry, JSONL sinks.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use dicer_metrics as metrics;
 pub use dicer_policy as policy;
 pub use dicer_rdt as rdt;
 pub use dicer_server as server;
+pub use dicer_telemetry as telemetry;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {

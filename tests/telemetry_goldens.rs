@@ -1,0 +1,69 @@
+//! Golden-equivalence: the telemetry JSONL sink reproduces the committed
+//! robustness traces byte-for-byte.
+//!
+//! `results/robustness/*.jsonl` was written by `robustness_study` with the
+//! default seed. Re-running the standard suite with a live
+//! [`JsonlSink`] attached to the scenario runner must regenerate every
+//! file exactly — proving the sink-based serialisation path (the one the
+//! `dicerd` daemon and any live consumer use) is the same renderer the
+//! goldens were cut from, and that the whole pipeline is still
+//! deterministic.
+
+use dicer::appmodel::Catalog;
+use dicer::experiments::scenarios::{run_scenario_with, standard_suite};
+use dicer::experiments::SoloTable;
+use dicer::server::ServerConfig;
+use dicer::telemetry::{JsonlSink, Telemetry};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Must match `robustness_study`'s default.
+const GOLDEN_SEED: u64 = 0xD1CE;
+
+#[test]
+fn jsonl_sink_reproduces_committed_goldens_byte_for_byte() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/robustness");
+    assert!(
+        golden_dir.is_dir(),
+        "golden traces missing at {} — run `cargo run --bin robustness_study`",
+        golden_dir.display()
+    );
+
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    let suite = standard_suite(GOLDEN_SEED);
+    assert!(!suite.is_empty());
+
+    for sc in &suite {
+        let path = golden_dir.join(format!("{}.jsonl", sc.name));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+
+        let sink = Arc::new(JsonlSink::new());
+        run_scenario_with(&catalog, &solo, sc, &Telemetry::new(sink.clone()), &Telemetry::off());
+        let live = sink.take();
+
+        assert_eq!(
+            live, golden,
+            "scenario {:?}: live JSONL sink diverged from the committed golden",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn every_committed_golden_belongs_to_the_suite() {
+    // No orphans: a stale file under results/robustness would silently
+    // stop being checked by the test above.
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/robustness");
+    let suite: std::collections::BTreeSet<String> =
+        standard_suite(GOLDEN_SEED).into_iter().map(|s| s.name).collect();
+    for entry in std::fs::read_dir(&golden_dir).expect("golden dir readable") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name.strip_suffix(".jsonl") else {
+            panic!("unexpected non-JSONL file in goldens: {name}");
+        };
+        assert!(suite.contains(stem), "golden {name} matches no scenario in the standard suite");
+    }
+}
