@@ -3,9 +3,8 @@
 //! breakdown behind the end-to-end numbers.
 
 use dicer_appmodel::Catalog;
-use dicer_experiments::{ablation::PANEL, SoloTable};
-use dicer_policy::{Dicer, DicerConfig, Policy};
-use dicer_rdt::PartitionController;
+use dicer_experiments::{ablation::PANEL, Session, SoloTable};
+use dicer_policy::{Dicer, DicerConfig};
 use dicer_server::{Server, ServerConfig};
 use serde::Serialize;
 
@@ -36,19 +35,11 @@ fn main() {
     for (hp, be) in PANEL {
         let hp_app = catalog.get(hp).unwrap().clone();
         let be_app = catalog.get(be).unwrap().clone();
-        let mut server = Server::new(cfg, hp_app, vec![be_app; 9]);
-        let mut dicer = Dicer::new(DicerConfig::default());
-        server.apply_plan(dicer.initial_plan(cfg.cache.ways));
-        let mut periods = 0u32;
-        while periods < 6000 {
-            let s = server.step_period();
-            periods += 1;
-            let plan = dicer.on_period(&s, cfg.cache.ways);
-            server.apply_plan(plan);
-            if server.progress().all_done() {
-                break;
-            }
-        }
+        let server = Server::new(cfg, hp_app, vec![be_app; 9]);
+        let mut session = Session::new(server, Dicer::new(DicerConfig::default()), 6000);
+        let end = session.run();
+        let periods = end.periods;
+        let (_server, dicer) = session.into_parts();
         let st = dicer.stats;
         println!(
             "{:<28} {:>5} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",

@@ -1,0 +1,76 @@
+//! Serial vs. parallel sweep benchmark: runs the panel evaluation matrix
+//! once on one worker and once on every available core, proves the two
+//! outputs byte-identical, and records the wall-clock speedup in
+//! `results/BENCH_sweep.json`.
+
+use dicer_appmodel::Catalog;
+use dicer_experiments::figures::EvalMatrix;
+use dicer_experiments::{ablation::PANEL, SoloTable, SweepRunner, WorkloadSet};
+use dicer_policy::{DicerConfig, PolicyKind};
+use dicer_server::ServerConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SweepBench {
+    /// Panel workloads × policies evaluated per run.
+    cells: usize,
+    /// Workers used by the parallel run.
+    jobs: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    speedup: f64,
+    /// Whether the parallel matrix serialised byte-identically to the
+    /// serial one (the run aborts before writing if it did not).
+    byte_identical: bool,
+}
+
+fn run_matrix(catalog: &Catalog, solo: &SoloTable, sweep: &SweepRunner) -> String {
+    let set = WorkloadSet::classify_pairs(catalog, solo, &PANEL, sweep);
+    let sample: Vec<_> = set.all.iter().collect();
+    let policies = [
+        PolicyKind::Unmanaged,
+        PolicyKind::CacheTakeover,
+        PolicyKind::Dicer(DicerConfig::default()),
+    ];
+    let m = EvalMatrix::run_with(catalog, solo, &sample, &[10], &policies, sweep);
+    serde_json::to_string(&m).expect("matrix serialises")
+}
+
+fn main() {
+    dicer_bench::banner("sweep determinism + speedup (panel matrix, serial vs parallel)");
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+
+    let serial = SweepRunner::serial();
+    let parallel = SweepRunner::auto();
+    println!("parallel run uses {} workers", parallel.jobs());
+
+    let t0 = Instant::now();
+    let serial_json = run_matrix(&catalog, &solo, &serial);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel_json = run_matrix(&catalog, &solo, &parallel);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep must serialise byte-identically to the serial one"
+    );
+
+    let out = SweepBench {
+        cells: PANEL.len() * 3,
+        jobs: parallel.jobs(),
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s,
+        byte_identical: true,
+    };
+    println!(
+        "serial {serial_s:.2}s, parallel {parallel_s:.2}s on {} workers -> {:.2}x, byte-identical",
+        out.jobs, out.speedup
+    );
+    dicer_bench::write_json("BENCH_sweep", &out).expect("write results");
+}

@@ -5,12 +5,11 @@
 //! the metrics the paper optimises: HP QoS, BE progress, EFU and SLO
 //! conformance.
 
-use crate::{runner, solo_table::SoloTable};
+use crate::{runner, solo_table::SoloTable, sweep::SweepRunner};
 use dicer_appmodel::Catalog;
 use dicer_metrics::{geomean, slo_achieved};
 use dicer_policy::{DicerConfig, PolicyKind};
 use dicer_server::ServerConfig;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A fixed panel of workloads spanning the archetype matrix: streaming,
@@ -58,21 +57,30 @@ pub struct Ablation {
     pub points: Vec<AblationPoint>,
 }
 
-/// Runs the panel under one policy on one platform configuration.
+/// Runs the panel under one policy on one platform configuration (default
+/// all-cores runner).
 pub fn run_panel(
     catalog: &Catalog,
     solo: &SoloTable,
     policy: &PolicyKind,
     label: &str,
 ) -> AblationPoint {
-    let outcomes: Vec<_> = PANEL
-        .par_iter()
-        .map(|(hp, be)| {
-            let hp = catalog.get(hp).expect("panel app in catalog");
-            let be = catalog.get(be).expect("panel app in catalog");
-            runner::run_colocation_with(solo, hp, be, solo.config().n_cores, policy)
-        })
-        .collect();
+    run_panel_with(catalog, solo, policy, label, &SweepRunner::auto())
+}
+
+/// [`run_panel`] on an explicit [`SweepRunner`] (`--jobs`).
+pub fn run_panel_with(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    policy: &PolicyKind,
+    label: &str,
+    sweep: &SweepRunner,
+) -> AblationPoint {
+    let outcomes: Vec<_> = sweep.map(&PANEL, |(hp, be)| {
+        let hp = catalog.get(hp).expect("panel app in catalog");
+        let be = catalog.get(be).expect("panel app in catalog");
+        runner::run_colocation_with(solo, hp, be, solo.config().n_cores, policy)
+    });
     let hp_norms: Vec<f64> = outcomes.iter().map(|o| o.hp_norm_ipc).collect();
     let be_norms: Vec<f64> = outcomes.iter().map(|o| o.be_norm_ipc_mean()).collect();
     let efus: Vec<f64> = outcomes.iter().map(|o| o.efu).collect();
@@ -97,9 +105,24 @@ pub fn sweep_dicer_configs(
     knob: &str,
     variants: Vec<(String, DicerConfig)>,
 ) -> Ablation {
+    sweep_dicer_configs_with(catalog, solo, knob, variants, &SweepRunner::auto())
+}
+
+/// [`sweep_dicer_configs`] on an explicit [`SweepRunner`]: the panel runs
+/// of every variant fan out on the same bounded pool, one variant at a
+/// time (points stay in sweep order).
+pub fn sweep_dicer_configs_with(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    knob: &str,
+    variants: Vec<(String, DicerConfig)>,
+    sweep: &SweepRunner,
+) -> Ablation {
     let points = variants
         .into_iter()
-        .map(|(label, cfg)| run_panel(catalog, solo, &PolicyKind::Dicer(cfg), &label))
+        .map(|(label, cfg)| {
+            run_panel_with(catalog, solo, &PolicyKind::Dicer(cfg), &label, sweep)
+        })
         .collect();
     Ablation { knob: knob.to_string(), points }
 }
@@ -107,16 +130,26 @@ pub fn sweep_dicer_configs(
 /// Sweeps the monitoring-period length `T` (which lives in the *server*
 /// configuration, so each point gets its own solo table).
 pub fn sweep_period(catalog: &Catalog, periods_s: &[f64]) -> Ablation {
+    sweep_period_with(catalog, periods_s, &SweepRunner::auto())
+}
+
+/// [`sweep_period`] on an explicit [`SweepRunner`].
+pub fn sweep_period_with(
+    catalog: &Catalog,
+    periods_s: &[f64],
+    sweep: &SweepRunner,
+) -> Ablation {
     let points = periods_s
         .iter()
         .map(|t| {
             let cfg = ServerConfig { period_s: *t, ..ServerConfig::table1() };
             let solo = SoloTable::build(catalog, cfg);
-            run_panel(
+            run_panel_with(
                 catalog,
                 &solo,
                 &PolicyKind::Dicer(DicerConfig::default()),
                 &format!("T={t}s"),
+                sweep,
             )
         })
         .collect();

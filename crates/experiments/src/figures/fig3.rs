@@ -1,10 +1,9 @@
 //! Figure 3: HP slowdown across all static LLC partitions for the paper's
 //! motivating workload — milc (HP) with 9 gcc BEs.
 
-use crate::{runner, solo_table::SoloTable};
+use crate::{runner, solo_table::SoloTable, sweep::SweepRunner};
 use dicer_appmodel::Catalog;
 use dicer_policy::PolicyKind;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Fig. 3 result.
@@ -23,19 +22,27 @@ pub struct Fig3 {
 /// Runs the static sweep. `hp`/`be` default to the paper's pair via
 /// [`run_default`].
 pub fn run(catalog: &Catalog, solo: &SoloTable, hp: &str, be: &str) -> Fig3 {
+    run_with(catalog, solo, hp, be, &SweepRunner::auto())
+}
+
+/// [`run`] on an explicit [`SweepRunner`] (`--jobs`).
+pub fn run_with(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    hp: &str,
+    be: &str,
+    sweep: &SweepRunner,
+) -> Fig3 {
     let hp_app = catalog.get(hp).expect("hp in catalog");
     let be_app = catalog.get(be).expect("be in catalog");
     let n_cores = solo.config().n_cores;
     let ways = solo.config().cache.ways;
-    let static_sweep: Vec<(u32, f64)> = (1..ways)
-        .collect::<Vec<u32>>()
-        .par_iter()
-        .map(|w| {
-            let out =
-                runner::run_colocation_with(solo, hp_app, be_app, n_cores, &PolicyKind::Static(*w));
-            (*w, out.hp_slowdown)
-        })
-        .collect();
+    let splits: Vec<u32> = (1..ways).collect();
+    let static_sweep: Vec<(u32, f64)> = sweep.map(&splits, |w| {
+        let out =
+            runner::run_colocation_with(solo, hp_app, be_app, n_cores, &PolicyKind::Static(*w));
+        (*w, out.hp_slowdown)
+    });
     let um = runner::run_colocation_with(solo, hp_app, be_app, n_cores, &PolicyKind::Unmanaged);
     Fig3 { hp: hp.into(), be: be.into(), static_sweep, um_slowdown: um.hp_slowdown }
 }

@@ -3,12 +3,12 @@
 use crate::{
     runner::{self},
     solo_table::SoloTable,
+    sweep::SweepRunner,
     workloads::{ClassifiedWorkload, WorkloadClass},
 };
 use dicer_appmodel::Catalog;
 use dicer_policy::PolicyKind;
 use dicer_server::SolverStats;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One (workload, policy, cores) evaluation.
@@ -47,13 +47,28 @@ pub struct EvalMatrix {
 }
 
 impl EvalMatrix {
-    /// Runs every (workload, policy, cores) combination in parallel.
+    /// Runs every (workload, policy, cores) combination on the default
+    /// (all-cores) [`SweepRunner`].
     pub fn run(
         catalog: &Catalog,
         solo: &SoloTable,
         sample: &[&ClassifiedWorkload],
         cores: &[u32],
         policies: &[PolicyKind],
+    ) -> Self {
+        Self::run_with(catalog, solo, sample, cores, policies, &SweepRunner::auto())
+    }
+
+    /// [`EvalMatrix::run`] on an explicit runner (`--jobs`). Cell order is
+    /// the (workload, cores, policy) cross product regardless of
+    /// parallelism — the sweep collects index-ordered.
+    pub fn run_with(
+        catalog: &Catalog,
+        solo: &SoloTable,
+        sample: &[&ClassifiedWorkload],
+        cores: &[u32],
+        policies: &[PolicyKind],
+        sweep: &SweepRunner,
     ) -> Self {
         let jobs: Vec<(&ClassifiedWorkload, u32, &PolicyKind)> = sample
             .iter()
@@ -63,9 +78,8 @@ impl EvalMatrix {
                     .flat_map(move |c| policies.iter().map(move |p| (*w, *c, p)))
             })
             .collect();
-        let evaluated: Vec<(MatrixCell, SolverStats)> = jobs
-            .par_iter()
-            .map(|(w, n_cores, policy)| {
+        let evaluated: Vec<(MatrixCell, SolverStats)> =
+            sweep.map(&jobs, |(w, n_cores, policy)| {
                 let hp = catalog.get(&w.hp).expect("catalog hp");
                 let be = catalog.get(&w.be).expect("catalog be");
                 let out = runner::run_colocation_with(solo, hp, be, *n_cores, policy);
@@ -83,8 +97,7 @@ impl EvalMatrix {
                     },
                     out.solver_stats,
                 )
-            })
-            .collect();
+            });
         let mut solver_stats = SolverStats::default();
         let cells = evaluated
             .into_iter()

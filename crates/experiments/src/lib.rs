@@ -11,6 +11,9 @@
 //! * [`ablation`] — sweeps over DICER's design knobs (DESIGN.md §5).
 //! * [`scenarios`] — scripted fault-injection scenarios with JSONL
 //!   decision traces (DESIGN.md §8).
+//! * [`session`] — the one period-loop runtime every run configures
+//!   (DESIGN.md §10).
+//! * [`sweep`] — deterministic parallel sweep execution (`--jobs`).
 //! * [`trace`] — per-period run recording and timeline rendering.
 //! * [`figures`] — one module per paper artefact (`fig1` … `fig8`,
 //!   `table1`, `headline`), each returning a serialisable result struct and
@@ -23,11 +26,15 @@ pub mod ablation;
 pub mod figures;
 pub mod runner;
 pub mod scenarios;
+pub mod session;
 pub mod solo_table;
+pub mod sweep;
 pub mod trace;
 pub mod workloads;
 
 pub use runner::{run_colocation, ColocationOutcome};
 pub use scenarios::{run_scenario, DecisionRecord, FaultScenario, ScenarioResult};
+pub use session::{Session, SessionEnd, SessionStep};
 pub use solo_table::SoloTable;
+pub use sweep::{Parallelism, SweepRunner};
 pub use workloads::{WorkloadClass, WorkloadSet};

@@ -1,10 +1,15 @@
 //! One co-location run: HP + n BEs under a policy, to completion.
+//!
+//! The four `run_colocation*` entrypoints are thin configurations of the
+//! [`Session`] runtime — they build the server and policy, let the
+//! session drive the period loop, and extract the paper's metrics from
+//! the final state.
 
+use crate::session::Session;
 use crate::solo_table::SoloTable;
 use dicer_appmodel::{AppProfile, Catalog};
 use dicer_metrics as metrics;
 use dicer_policy::PolicyKind;
-use dicer_rdt::{MbaController, PartitionController};
 use dicer_server::{Server, ServerConfig, SolverStats};
 use serde::{Deserialize, Serialize};
 
@@ -56,7 +61,8 @@ impl ColocationOutcome {
 
 /// Runs `hp` against `n_cores − 1` instances of `be` under `policy`,
 /// using pre-computed solo references. Runs to completion or
-/// [`MAX_PERIODS`], whichever comes first.
+/// [`MAX_PERIODS`], whichever comes first. Thin wrapper: delegates down
+/// to [`run_colocation_instrumented`], which configures a [`Session`].
 pub fn run_colocation_with(
     solo: &SoloTable,
     hp: &AppProfile,
@@ -93,7 +99,8 @@ pub fn run_colocation_capped(
 /// server (period samples, partition applies) and the policy (controller
 /// state transitions). Emission is observational only: outcomes are
 /// bit-identical with or without an attached sink. This is the loop the
-/// `dicerd` daemon runs continuously.
+/// `dicerd` daemon runs continuously — one [`Session`] over a clean
+/// [`Server`], observed only to accumulate mean link traffic.
 pub fn run_colocation_instrumented(
     solo: &SoloTable,
     hp: &AppProfile,
@@ -103,7 +110,6 @@ pub fn run_colocation_instrumented(
     max_periods: u32,
     telemetry: &dicer_telemetry::Telemetry,
 ) -> ColocationOutcome {
-    assert!(max_periods >= 1, "a run needs at least one period");
     let cfg = *solo.config();
     assert!(
         (2..=cfg.n_cores).contains(&n_cores),
@@ -111,34 +117,20 @@ pub fn run_colocation_instrumented(
         cfg.n_cores
     );
     let n_bes = (n_cores - 1) as usize;
-    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
-    server.set_telemetry(telemetry.clone());
-    let mut pol = policy.build();
-    pol.set_telemetry(telemetry.clone());
-    server.apply_plan(pol.initial_plan(cfg.cache.ways));
+    let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut session =
+        Session::new(server, policy.build(), max_periods).with_telemetry(telemetry);
 
-    let mut periods = 0;
     let mut bw_acc = 0.0;
-    while periods < max_periods {
-        let sample = server.step_period();
-        periods += 1;
-        bw_acc += sample.total_bw_gbps;
-        let next = pol.on_period(&sample, cfg.cache.ways);
-        if next != server.current_plan() {
-            server.apply_plan(next);
-        }
-        if pol.mba_level() != server.be_throttle() {
-            server.set_be_throttle(pol.mba_level());
-        }
-        if let Some(n) = pol.admitted_bes() {
-            if n != server.admitted_bes() {
-                server.set_admitted_bes(n);
+    let end = session.run_observed(
+        |_, _| (),
+        |step, _, _| {
+            if let Some(s) = step.delivered {
+                bw_acc += s.total_bw_gbps;
             }
-        }
-        if server.progress().all_done() {
-            break;
-        }
-    }
+        },
+    );
+    let (server, _) = session.into_parts();
 
     let elapsed = server.time_s();
     let cycles = cfg.freq_hz * elapsed;
@@ -167,9 +159,9 @@ pub fn run_colocation_instrumented(
         hp_norm_ipc,
         be_norm_ipc,
         efu: metrics::efu(&normalised),
-        periods,
-        completed: server.progress().all_done(),
-        mean_total_bw_gbps: bw_acc / periods as f64,
+        periods: end.periods,
+        completed: end.completed,
+        mean_total_bw_gbps: bw_acc / end.periods as f64,
         solver_stats: server.solver_stats(),
     }
 }

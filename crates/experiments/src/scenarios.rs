@@ -14,10 +14,11 @@
 //! the JSONL a live sink (or the `dicerd` daemon) sees are the same bytes
 //! from the same renderer.
 
+use crate::session::Session;
 use crate::solo_table::SoloTable;
 use dicer_appmodel::Catalog;
 use dicer_membw::Ewma;
-use dicer_policy::{Dicer, DicerConfig, DicerStats, Policy};
+use dicer_policy::{Dicer, DicerConfig, DicerStats};
 use dicer_rdt::{
     FaultConfig, FaultStats, FaultyPlatform, PartitionController,
 };
@@ -166,11 +167,14 @@ impl ScenarioResult {
 /// Replays one scenario to completion (or its period budget), recording
 /// every controller decision.
 ///
-/// The control loop mirrors [`crate::runner::run_colocation_with`], with
-/// the fault layer in between: samples arrive through
+/// The control loop **is** [`Session`] — the same runtime behind
+/// [`crate::runner::run_colocation_with`] — configured with the fault
+/// layer in between: samples arrive through
 /// [`FaultyPlatform::step_period_faulted`] (dropped periods reach the
 /// controller as [`Dicer::on_missing_period`]), and plan applies go back
-/// through the faulted [`PartitionController`] path.
+/// through the faulted [`PartitionController`] path. The scripted fault
+/// schedule runs as the session's pre-period hook; the decision trace is
+/// recorded by its observer.
 pub fn run_scenario(catalog: &Catalog, solo: &SoloTable, sc: &FaultScenario) -> ScenarioResult {
     run_scenario_with(catalog, solo, sc, &Telemetry::off(), &Telemetry::off())
 }
@@ -215,62 +219,52 @@ pub fn run_scenario_with(
     );
 
     let n_bes = (sc.n_cores - 1) as usize;
-    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
-    server.set_telemetry(bus.clone());
-    let mut plat = FaultyPlatform::new(server, sc.faults.clone());
-    plat.set_telemetry(bus.clone());
-    let mut dicer = Dicer::new(sc.dicer.clone());
-    dicer.set_telemetry(bus.clone());
-    // Run setup is not part of the monitored path: the initial plan lands
-    // directly, exactly as in the clean runner.
-    plat.inner_mut().apply_plan(dicer.initial_plan(n_ways));
+    let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let plat = FaultyPlatform::new(server, sc.faults.clone());
+    // The session wires `bus` through the whole stack (fault layer, server,
+    // controller) and lands the initial plan outside the monitored path,
+    // exactly as the clean runner does.
+    let mut session =
+        Session::new(plat, Dicer::new(sc.dicer.clone()), sc.periods).with_telemetry(bus);
 
     let mut bw_ewma = Ewma::new(TRACE_BW_ALPHA);
     let mut schedule = sc.schedule.iter();
     let mut next_switch = schedule.next();
     let mut records = Vec::with_capacity(sc.periods as usize);
 
-    for period in 0..sc.periods {
-        if let Some((p, faults)) = next_switch {
-            if *p == period {
-                plat.set_faults(faults.clone());
-                next_switch = schedule.next();
+    session.run_observed(
+        |period, plat| {
+            if let Some((p, faults)) = next_switch {
+                if *p == period {
+                    plat.set_faults(faults.clone());
+                    next_switch = schedule.next();
+                }
             }
-        }
+        },
+        |step, plat, dicer| {
+            let delivered = step.delivered;
+            let ewma = bw_ewma.update_missing(delivered.map(|s| s.total_bw_gbps));
+            let record = DecisionRecord {
+                period: step.period,
+                time_s: plat.inner().time_s(),
+                state: dicer.state().as_str().to_string(),
+                ct_favoured: dicer.ct_favoured(),
+                target_hp_ways: dicer.hp_ways(),
+                applied_hp_ways: plat.current_plan().hp_ways(n_ways),
+                hp_ipc: delivered.map(|s| s.hp.ipc),
+                hp_bw_gbps: delivered.map(|s| s.hp.mem_bw_gbps),
+                total_bw_gbps: delivered.map(|s| s.total_bw_gbps),
+                total_bw_ewma_gbps: ewma,
+                dropped: delivered.is_none(),
+                events: plat.events().iter().map(|e| e.as_str().to_string()).collect(),
+                stats: dicer.stats,
+            };
+            trace.emit_with(|| TelemetryEvent::Decision(record.to_event()));
+            records.push(record);
+        },
+    );
 
-        let delivered = plat.step_period_faulted();
-        let plan = match &delivered {
-            Some(s) => dicer.on_period(s, n_ways),
-            None => dicer.on_missing_period(n_ways),
-        };
-        let ewma = bw_ewma.update_missing(delivered.as_ref().map(|s| s.total_bw_gbps));
-        if plan != plat.current_plan() {
-            plat.apply_plan(plan); // through the fault layer
-        }
-
-        let record = DecisionRecord {
-            period,
-            time_s: plat.inner().time_s(),
-            state: dicer.state().as_str().to_string(),
-            ct_favoured: dicer.ct_favoured(),
-            target_hp_ways: dicer.hp_ways(),
-            applied_hp_ways: plat.current_plan().hp_ways(n_ways),
-            hp_ipc: delivered.as_ref().map(|s| s.hp.ipc),
-            hp_bw_gbps: delivered.as_ref().map(|s| s.hp.mem_bw_gbps),
-            total_bw_gbps: delivered.as_ref().map(|s| s.total_bw_gbps),
-            total_bw_ewma_gbps: ewma,
-            dropped: delivered.is_none(),
-            events: plat.events().iter().map(|e| e.as_str().to_string()).collect(),
-            stats: dicer.stats,
-        };
-        trace.emit_with(|| TelemetryEvent::Decision(record.to_event()));
-        records.push(record);
-
-        if plat.inner().progress().all_done() {
-            break;
-        }
-    }
-
+    let (plat, dicer) = session.into_parts();
     let result = ScenarioResult {
         scenario: sc.name.clone(),
         records,

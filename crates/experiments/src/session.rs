@@ -1,0 +1,317 @@
+//! The one period loop: a generic control-session runtime.
+//!
+//! Every consumer in this workspace used to hand-roll the same loop —
+//! step the platform, dispatch the policy, actuate the plan/MBA/admission
+//! deltas, check termination. [`Session`] owns that loop once, generic
+//! over the platform ([`MonitoredPlatform`]: the clean [`Server`], a
+//! [`FaultyPlatform`]-wrapped one, or a resctrl host) and the policy
+//! ([`Policy`]: DICER, the baselines, a boxed `PolicyKind::build()`
+//! product). The colocation runners, the scenario harness, the trace
+//! recorder, the examples and the `dicerd` replay loop are all thin
+//! configurations of it.
+//!
+//! The loop is **behaviour-preserving by construction** with respect to
+//! the hand-rolled originals, and the committed goldens prove it:
+//!
+//! 1. run setup — the policy's initial plan lands through
+//!    [`PartitionController::apply_plan_direct`], outside any fault
+//!    injection (telemetry, if wired, is attached first, so the setup
+//!    apply is on the bus exactly as before);
+//! 2. per period — an optional *pre-period hook* runs against the mutable
+//!    platform (fault-schedule switches, pre-step snapshots), then the
+//!    platform steps via [`MonitoredPlatform::step_period_monitored`];
+//! 3. the policy sees the delivered sample ([`Policy::on_period`]) or its
+//!    absence ([`Policy::on_missing_period`]);
+//! 4. the returned plan is applied only when it differs from the plan in
+//!    force; MBA throttle and BE admission are synced the same
+//!    delta-only way (no-ops for policies without those loops);
+//! 5. an *observer* sees the step — sample, pre-period carry value,
+//!    platform and policy state — and the loop terminates on workload
+//!    completion or the period cap.
+//!
+//! [`Server`]: dicer_server::Server
+//! [`FaultyPlatform`]: dicer_rdt::FaultyPlatform
+
+use dicer_policy::Policy;
+use dicer_rdt::{MonitoredPlatform, PeriodSample};
+use dicer_telemetry::Telemetry;
+
+/// One step of a running session, as handed to the observer.
+#[derive(Debug)]
+pub struct SessionStep<'a, S> {
+    /// Period index, from 0.
+    pub period: u32,
+    /// The sample delivered to the policy this period; `None` when the
+    /// monitoring path dropped it (the policy saw a missing period).
+    pub delivered: Option<&'a PeriodSample>,
+    /// Whatever the pre-period hook returned before the platform stepped
+    /// (pre-step snapshots; `()` when unused).
+    pub carry: S,
+}
+
+/// How a finished session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionEnd {
+    /// Periods actually simulated.
+    pub periods: u32,
+    /// Whether the platform reported workload completion (as opposed to
+    /// running into the period cap).
+    pub completed: bool,
+}
+
+/// A control session: one platform, one policy, one period loop.
+#[derive(Debug)]
+pub struct Session<P, C> {
+    platform: P,
+    policy: C,
+    max_periods: u32,
+}
+
+impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
+    /// Builds a session. `max_periods` caps the run (the loop also stops
+    /// as soon as [`MonitoredPlatform::workload_complete`] reports done).
+    pub fn new(platform: P, policy: C, max_periods: u32) -> Self {
+        assert!(max_periods >= 1, "a run needs at least one period");
+        Self { platform, policy, max_periods }
+    }
+
+    /// Wires one telemetry bus into the whole stack — platform (and
+    /// anything it wraps) plus policy — before the run starts. Emission is
+    /// observational only: decisions are bit-identical with or without
+    /// attached sinks.
+    pub fn with_telemetry(mut self, bus: &Telemetry) -> Self {
+        self.platform.set_telemetry(bus.clone());
+        self.policy.set_telemetry(bus.clone());
+        self
+    }
+
+    /// The platform (final state inspection after a run).
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// The policy (final state inspection after a run).
+    pub fn policy(&self) -> &C {
+        &self.policy
+    }
+
+    /// Consumes the session, returning platform and policy.
+    pub fn into_parts(self) -> (P, C) {
+        (self.platform, self.policy)
+    }
+
+    /// Runs the loop to completion (or the cap) with no hooks.
+    pub fn run(&mut self) -> SessionEnd {
+        self.run_observed(|_, _| (), |_, _, _| ())
+    }
+
+    /// Runs the loop with both hooks:
+    ///
+    /// * `pre_period(period, &mut platform) -> S` fires at the top of each
+    ///   period, before the platform steps — the place for scripted fault
+    ///   switches or snapshots of pre-step platform state (returned as the
+    ///   step's [`SessionStep::carry`]);
+    /// * `observe(step, &platform, &policy)` fires at the bottom, after
+    ///   plan/MBA/admission actuation — the place to record decisions or
+    ///   stream trace events.
+    pub fn run_observed<S>(
+        &mut self,
+        mut pre_period: impl FnMut(u32, &mut P) -> S,
+        mut observe: impl FnMut(SessionStep<'_, S>, &P, &C),
+    ) -> SessionEnd {
+        let n_ways = self.platform.n_ways();
+        // Run setup is not part of the monitored actuation path: the
+        // initial plan bypasses fault injection.
+        self.platform.apply_plan_direct(self.policy.initial_plan(n_ways));
+
+        let mut periods = 0;
+        while periods < self.max_periods {
+            let carry = pre_period(periods, &mut self.platform);
+            let delivered = self.platform.step_period_monitored();
+            let plan = match &delivered {
+                Some(s) => self.policy.on_period(s, n_ways),
+                None => self.policy.on_missing_period(n_ways),
+            };
+            if plan != self.platform.current_plan() {
+                self.platform.apply_plan(plan);
+            }
+            if self.policy.mba_level() != self.platform.be_throttle() {
+                self.platform.set_be_throttle(self.policy.mba_level());
+            }
+            if let Some(n) = self.policy.admitted_bes() {
+                if self.platform.admitted_bes() != Some(n) {
+                    self.platform.set_admitted_bes(n);
+                }
+            }
+            observe(
+                SessionStep { period: periods, delivered: delivered.as_ref(), carry },
+                &self.platform,
+                &self.policy,
+            );
+            periods += 1;
+            if self.platform.workload_complete() {
+                break;
+            }
+        }
+        SessionEnd { periods, completed: self.platform.workload_complete() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_policy::{PolicyKind, Unmanaged};
+    use dicer_rdt::{
+        FaultConfig, FaultyPlatform, MbaController, MbaLevel, PartitionController, PartitionPlan,
+    };
+
+    /// Minimal deterministic platform: completes after a fixed number of
+    /// periods, counts actuations.
+    #[derive(Debug)]
+    struct FakePlatform {
+        plan: PartitionPlan,
+        throttle: MbaLevel,
+        t: u32,
+        done_after: u32,
+        applies: u32,
+    }
+
+    impl FakePlatform {
+        fn new(done_after: u32) -> Self {
+            Self {
+                plan: PartitionPlan::Unmanaged,
+                throttle: MbaLevel::FULL,
+                t: 0,
+                done_after,
+                applies: 0,
+            }
+        }
+    }
+
+    impl PartitionController for FakePlatform {
+        fn n_ways(&self) -> u32 {
+            20
+        }
+        fn apply_plan(&mut self, plan: PartitionPlan) {
+            self.applies += 1;
+            self.plan = plan;
+        }
+        fn current_plan(&self) -> PartitionPlan {
+            self.plan
+        }
+    }
+
+    impl MbaController for FakePlatform {
+        fn set_be_throttle(&mut self, level: MbaLevel) {
+            self.throttle = level;
+        }
+        fn be_throttle(&self) -> MbaLevel {
+            self.throttle
+        }
+    }
+
+    impl MonitoredPlatform for FakePlatform {
+        fn step_period(&mut self) -> PeriodSample {
+            self.t += 1;
+            let app = dicer_rdt::PerAppSample {
+                ipc: 1.0,
+                llc_occupancy_bytes: 0,
+                mem_bw_gbps: 1.0,
+                miss_ratio: 0.1,
+            };
+            PeriodSample {
+                time_s: self.t as f64,
+                hp: app,
+                bes: vec![app],
+                total_bw_gbps: 2.0,
+            }
+        }
+        fn workload_complete(&self) -> bool {
+            self.t >= self.done_after
+        }
+    }
+
+    #[test]
+    fn stops_at_workload_completion() {
+        let mut s = Session::new(FakePlatform::new(7), Unmanaged, 100);
+        let end = s.run();
+        assert_eq!(end, SessionEnd { periods: 7, completed: true });
+    }
+
+    #[test]
+    fn stops_at_the_cap_when_incomplete() {
+        let mut s = Session::new(FakePlatform::new(1000), Unmanaged, 5);
+        let end = s.run();
+        assert_eq!(end, SessionEnd { periods: 5, completed: false });
+    }
+
+    #[test]
+    fn unchanged_plans_are_not_reapplied() {
+        let mut s = Session::new(FakePlatform::new(10), Unmanaged, 100);
+        s.run();
+        // UM's initial plan is Unmanaged, already in force on the fake:
+        // only the setup apply happens, never a per-period one.
+        assert_eq!(s.platform().applies, 1);
+    }
+
+    #[test]
+    fn observer_sees_every_period_in_order() {
+        let mut s = Session::new(FakePlatform::new(6), Unmanaged, 100);
+        let mut seen = Vec::new();
+        s.run_observed(
+            |_, _| (),
+            |step, _, _| {
+                assert!(step.delivered.is_some(), "clean platform always delivers");
+                seen.push(step.period);
+            },
+        );
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pre_period_carry_reaches_the_observer() {
+        let mut s = Session::new(FakePlatform::new(3), Unmanaged, 100);
+        s.run_observed(
+            |period, plat| (period, plat.t),
+            |step, _, _| {
+                let (p, t_before) = step.carry;
+                assert_eq!(p, step.period);
+                assert_eq!(t_before, step.period, "snapshot taken before the step");
+            },
+        );
+    }
+
+    #[test]
+    fn boxed_policies_drive_the_same_loop() {
+        let mut s =
+            Session::new(FakePlatform::new(4), PolicyKind::CacheTakeover.build(), 100);
+        let end = s.run();
+        assert!(end.completed);
+        assert_eq!(s.platform().current_plan(), PartitionPlan::cache_takeover(20));
+    }
+
+    #[test]
+    fn dropped_periods_reach_the_policy_as_missing() {
+        let plat = FaultyPlatform::new(
+            FakePlatform::new(u32::MAX),
+            FaultConfig { drop_prob: 1.0, ..FaultConfig::none(3) },
+        );
+        let mut s = Session::new(plat, PolicyKind::Unmanaged.build(), 10);
+        let mut dropped = 0;
+        s.run_observed(
+            |_, _| (),
+            |step, _, _| {
+                if step.delivered.is_none() {
+                    dropped += 1;
+                }
+            },
+        );
+        assert_eq!(dropped, 10, "every period of a p=1 drop storm is missing");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_cap_rejected() {
+        Session::new(FakePlatform::new(1), Unmanaged, 0);
+    }
+}

@@ -1,8 +1,8 @@
 //! Memoised solo profiles for a catalog of applications.
 
+use crate::sweep::SweepRunner;
 use dicer_appmodel::Catalog;
 use dicer_server::{solo, ServerConfig, SoloProfile};
-use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -15,13 +15,18 @@ pub struct SoloTable {
 }
 
 impl SoloTable {
-    /// Profiles every catalog entry in parallel.
+    /// Profiles every catalog entry on the default (all-cores) runner.
     pub fn build(catalog: &Catalog, cfg: ServerConfig) -> Self {
-        let profiles: HashMap<String, SoloProfile> = catalog
-            .profiles()
-            .collect::<Vec<_>>()
-            .par_iter()
-            .map(|app| (app.name.clone(), solo::profile(app, &cfg)))
+        Self::build_with(catalog, cfg, &SweepRunner::auto())
+    }
+
+    /// [`SoloTable::build`] on an explicit [`SweepRunner`] (`--jobs`). The
+    /// result is a map, so profiling order never matters.
+    pub fn build_with(catalog: &Catalog, cfg: ServerConfig, sweep: &SweepRunner) -> Self {
+        let apps: Vec<_> = catalog.profiles().collect();
+        let profiles: HashMap<String, SoloProfile> = sweep
+            .map(&apps, |app| (app.name.clone(), solo::profile(app, &cfg)))
+            .into_iter()
             .collect();
         Self { profiles: Arc::new(profiles), cfg }
     }

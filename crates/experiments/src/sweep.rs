@@ -1,0 +1,160 @@
+//! Deterministic parallel execution of experiment sweeps.
+//!
+//! The workload matrix, the figure sweeps and the ablation grids are all
+//! embarrassingly parallel: a list of independent, deterministic
+//! simulations whose outputs are committed as byte-stable artifacts.
+//! [`SweepRunner`] runs such a list on a bounded rayon thread pool with
+//! **index-ordered collection** — `map` returns results in input order no
+//! matter how the items were scheduled — so the parallel output is
+//! byte-identical to the serial one (`tests/sweep_determinism.rs` pins
+//! this).
+//!
+//! `--jobs 1` (or [`SweepRunner::serial`]) bypasses rayon entirely and
+//! runs on the calling thread; the default ([`SweepRunner::auto`]) uses
+//! the machine's available parallelism.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded worker pool for experiment sweeps.
+#[derive(Debug)]
+pub struct SweepRunner {
+    jobs: usize,
+    /// `None` on the serial path; a dedicated pool otherwise, so `--jobs`
+    /// bounds sweep concurrency without reconfiguring rayon's global pool.
+    pool: Option<rayon::ThreadPool>,
+}
+
+/// Degree of parallelism for a sweep, as selected on a command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Use every available core.
+    Auto,
+    /// Exactly this many workers (1 = serial).
+    Fixed(u32),
+}
+
+impl Parallelism {
+    /// Builds the runner this selection describes.
+    pub fn runner(self) -> SweepRunner {
+        match self {
+            Parallelism::Auto => SweepRunner::auto(),
+            Parallelism::Fixed(n) => SweepRunner::with_jobs(n as usize),
+        }
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl SweepRunner {
+    /// One worker per available core (the `--jobs` default).
+    pub fn auto() -> Self {
+        Self::with_jobs(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Exactly `jobs` workers; `1` forces the serial path.
+    pub fn with_jobs(jobs: usize) -> Self {
+        assert!(jobs >= 1, "a sweep needs at least one worker");
+        let pool = (jobs > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(jobs)
+                .build()
+                .expect("sweep thread pool")
+        });
+        Self { jobs, pool }
+    }
+
+    /// The serial runner (no rayon involvement at all).
+    pub fn serial() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether `map` will actually fan out.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// This is the determinism contract of every sweep in the workspace:
+    /// scheduling order is irrelevant because each item is independent and
+    /// collection is index-ordered, so serial and parallel runs of a
+    /// deterministic `f` produce identical vectors.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync + Send,
+    {
+        match &self.pool {
+            None => items.iter().map(f).collect(),
+            Some(pool) => {
+                use rayon::prelude::*;
+                pool.install(|| items.par_iter().map(|i| f(i)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let f = |x: &u64| x * x;
+        let serial = SweepRunner::serial().map(&items, f);
+        let parallel = SweepRunner::with_jobs(8).map(&items, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<u32> = (0..100).collect();
+        let calls = AtomicUsize::new(0);
+        let out = SweepRunner::with_jobs(4).map(&items, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn serial_runner_reports_itself() {
+        let r = SweepRunner::serial();
+        assert_eq!(r.jobs(), 1);
+        assert!(!r.is_parallel());
+        assert!(SweepRunner::auto().jobs() >= 1);
+    }
+
+    #[test]
+    fn parallelism_selector_builds_the_right_runner() {
+        assert!(!Parallelism::Fixed(1).runner().is_parallel());
+        assert_eq!(Parallelism::Fixed(6).runner().jobs(), 6);
+        assert_eq!(Parallelism::Auto.runner().jobs(), SweepRunner::auto().jobs());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_jobs_rejected() {
+        SweepRunner::with_jobs(0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let none: Vec<u8> = Vec::new();
+        assert!(SweepRunner::with_jobs(4).map(&none, |x| *x).is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! Per-period run traces: record what the controller did and render a
 //! human-readable timeline (used by the CLI and the quickstart example).
 
+use crate::session::Session;
 use crate::solo_table::SoloTable;
 use dicer_appmodel::AppProfile;
 use dicer_policy::PolicyKind;
@@ -39,7 +40,9 @@ pub struct RunTrace {
 }
 
 /// Runs `hp` + `(n_cores - 1) × be` under `policy`, recording every period,
-/// until all applications complete (or `max_periods`).
+/// until all applications complete (or `max_periods`). A [`Session`] whose
+/// pre-period hook snapshots the plan/MBA/admission *in force during* the
+/// period (the post-step platform state already reflects the next one).
 pub fn run_traced(
     solo: &SoloTable,
     hp: &AppProfile,
@@ -50,41 +53,26 @@ pub fn run_traced(
 ) -> RunTrace {
     let cfg = *solo.config();
     let n_bes = (n_cores - 1) as usize;
-    let mut server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
-    let mut pol = policy.build();
-    server.apply_plan(pol.initial_plan(cfg.cache.ways));
+    let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
+    let mut session = Session::new(server, policy.build(), max_periods);
 
     let mut periods = Vec::new();
-    for _ in 0..max_periods {
-        let in_force = server.current_plan();
-        let mba = server.be_throttle();
-        let admitted = server.admitted_bes();
-        let sample = server.step_period();
-        periods.push(PeriodRecord {
-            time_s: sample.time_s,
-            hp_ways: in_force.hp_ways(cfg.cache.ways),
-            hp_ipc: sample.hp.ipc,
-            hp_bw_gbps: sample.hp.mem_bw_gbps,
-            total_bw_gbps: sample.total_bw_gbps,
-            be_mba_percent: mba.percent(),
-            admitted_bes: admitted,
-        });
-        let next = pol.on_period(&sample, cfg.cache.ways);
-        if next != server.current_plan() {
-            server.apply_plan(next);
-        }
-        if pol.mba_level() != server.be_throttle() {
-            server.set_be_throttle(pol.mba_level());
-        }
-        if let Some(n) = pol.admitted_bes() {
-            if n != server.admitted_bes() {
-                server.set_admitted_bes(n);
-            }
-        }
-        if server.progress().all_done() {
-            break;
-        }
-    }
+    session.run_observed(
+        |_, server| (server.current_plan(), server.be_throttle(), server.admitted_bes()),
+        |step, _, _| {
+            let (in_force, mba, admitted) = step.carry;
+            let sample = step.delivered.expect("clean platform always delivers");
+            periods.push(PeriodRecord {
+                time_s: sample.time_s,
+                hp_ways: in_force.hp_ways(cfg.cache.ways),
+                hp_ipc: sample.hp.ipc,
+                hp_bw_gbps: sample.hp.mem_bw_gbps,
+                total_bw_gbps: sample.total_bw_gbps,
+                be_mba_percent: mba.percent(),
+                admitted_bes: admitted,
+            });
+        },
+    );
     RunTrace {
         label: format!("{} + {}x {}", hp.name, n_bes, be.name),
         policy: policy.name().to_string(),

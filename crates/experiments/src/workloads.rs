@@ -7,14 +7,13 @@
 //! evaluation then uses a representative sample of 120 workloads (50 CT-F +
 //! 70 CT-T).
 
-use crate::{runner, solo_table::SoloTable};
+use crate::{runner, solo_table::SoloTable, sweep::SweepRunner};
 use dicer_appmodel::Catalog;
 use dicer_policy::PolicyKind;
 use dicer_server::SolverStats;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// §2.3.3 workload classes.
@@ -67,16 +66,34 @@ const SAMPLE_SEED: u64 = 0x5EED_D1CE;
 const IMPROVEMENT_EPS: f64 = 0.05;
 
 impl WorkloadSet {
-    /// Classifies every HP × BE pair at full occupancy (9 BEs), in parallel.
+    /// Classifies every HP × BE pair at full occupancy (9 BEs) on the
+    /// default (all-cores) [`SweepRunner`].
     pub fn classify(catalog: &Catalog, solo: &SoloTable) -> Self {
+        Self::classify_with(catalog, solo, &SweepRunner::auto())
+    }
+
+    /// [`WorkloadSet::classify`] on an explicit runner (`--jobs`). Pair
+    /// order is the name-list cross product regardless of parallelism.
+    pub fn classify_with(catalog: &Catalog, solo: &SoloTable, sweep: &SweepRunner) -> Self {
         let names: Vec<&str> = catalog.names().collect();
         let pairs: Vec<(&str, &str)> = names
             .iter()
             .flat_map(|hp| names.iter().map(move |be| (*hp, *be)))
             .collect();
-        let classified: Vec<(ClassifiedWorkload, SolverStats)> = pairs
-            .par_iter()
-            .map(|(hp_name, be_name)| {
+        Self::classify_pairs(catalog, solo, &pairs, sweep)
+    }
+
+    /// Classifies an explicit list of (HP, BE) pairs — the building block
+    /// behind [`WorkloadSet::classify_with`], also used to label panel
+    /// subsets without paying for the full 59 × 59 square.
+    pub fn classify_pairs(
+        catalog: &Catalog,
+        solo: &SoloTable,
+        pairs: &[(&str, &str)],
+        sweep: &SweepRunner,
+    ) -> Self {
+        let classified: Vec<(ClassifiedWorkload, SolverStats)> =
+            sweep.map(pairs, |(hp_name, be_name)| {
                 let hp = catalog.get(hp_name).expect("catalog name");
                 let be = catalog.get(be_name).expect("catalog name");
                 let n_cores = solo.config().n_cores;
@@ -103,8 +120,7 @@ impl WorkloadSet {
                     },
                     stats,
                 )
-            })
-            .collect();
+            });
         let mut solver_stats = SolverStats::default();
         let all = classified
             .into_iter()

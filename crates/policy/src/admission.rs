@@ -72,6 +72,12 @@ impl Policy for DicerAdmission {
         self.inner.initial_plan(n_ways)
     }
 
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        // Admission state holds over a dropped sample (evicting a BE on no
+        // evidence would be destructive); the inner stack still advances.
+        Policy::on_missing_period(&mut self.inner, n_ways)
+    }
+
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         let plan = self.inner.on_period(sample, n_ways);
         self.total_bes = sample.bes.len() as u32;

@@ -455,6 +455,10 @@ impl Policy for Dicer {
         self.telemetry = telemetry;
     }
 
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        Dicer::on_missing_period(self, n_ways)
+    }
+
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         if self.hp_ways == 0 {
             self.hp_ways = n_ways - 1; // first period ran under initial_plan

@@ -35,6 +35,13 @@ pub trait Policy {
     fn initial_plan(&self, n_ways: u32) -> PartitionPlan;
     /// Observe one period's counters and return the plan for the next.
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan;
+    /// The period elapsed but no counters were delivered (a dropped CMT/MBM
+    /// read under fault injection). Stateless policies hold their course;
+    /// adaptive controllers override this to advance their period clock
+    /// without acting on invented data.
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.initial_plan(n_ways)
+    }
     /// Attach a telemetry handle: instrumented policies emit a structured
     /// event for every decision they take. The static baselines take no
     /// decisions, so the default implementation ignores the handle.
@@ -48,6 +55,33 @@ pub trait Policy {
     /// Only admission-controlling policies override this.
     fn admitted_bes(&self) -> Option<u32> {
         None
+    }
+}
+
+/// Boxed policies are policies too, so generic runtimes (the `Session`
+/// period loop) drive a `PolicyKind::build()` product and a concrete
+/// controller through the same code path.
+impl Policy for Box<dyn Policy + Send> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        (**self).initial_plan(n_ways)
+    }
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        (**self).on_period(sample, n_ways)
+    }
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        (**self).on_missing_period(n_ways)
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        (**self).set_telemetry(telemetry);
+    }
+    fn mba_level(&self) -> MbaLevel {
+        (**self).mba_level()
+    }
+    fn admitted_bes(&self) -> Option<u32> {
+        (**self).admitted_bes()
     }
 }
 

@@ -59,6 +59,12 @@ impl Policy for DicerMba {
         self.inner.initial_plan(n_ways)
     }
 
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        // No counters, no saturation verdict: the throttle holds while the
+        // cache controller advances its own missing-period bookkeeping.
+        self.inner.on_missing_period(n_ways)
+    }
+
     fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         let plan = self.inner.on_period(sample, n_ways);
         let saturated = sample.total_bw_gbps > self.threshold_gbps;

@@ -413,9 +413,12 @@ impl<P> FaultyPlatform<P> {
         }
     }
 
-    /// Attach a telemetry handle: every fault recorded from here on is
-    /// also emitted as a [`TelemetryEvent::Fault`].
-    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+    /// Attach a telemetry handle to the fault layer only: every fault
+    /// recorded from here on is also emitted as a
+    /// [`TelemetryEvent::Fault`]. The wrapped platform keeps whatever
+    /// handle it already has; use the [`MonitoredPlatform::set_telemetry`]
+    /// trait method to wire the whole stack at once.
+    pub fn set_fault_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
     }
 
@@ -543,6 +546,31 @@ impl<P: MonitoredPlatform> MonitoredPlatform for FaultyPlatform<P> {
             },
         }
     }
+
+    /// Drops stay explicit: a lost sample reaches the controller as `None`
+    /// rather than a holdover replay.
+    fn step_period_monitored(&mut self) -> Option<PeriodSample> {
+        self.step_period_faulted()
+    }
+
+    fn workload_complete(&self) -> bool {
+        self.inner.workload_complete()
+    }
+
+    fn admitted_bes(&self) -> Option<u32> {
+        self.inner.admitted_bes()
+    }
+
+    fn set_admitted_bes(&mut self, n: u32) {
+        self.inner.set_admitted_bes(n);
+    }
+
+    /// Wires the whole stack: the fault layer mirrors its events to the
+    /// bus, and the wrapped platform gets the same handle.
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.set_telemetry(telemetry);
+    }
 }
 
 impl<P: MonitoredPlatform> PartitionController for FaultyPlatform<P> {
@@ -564,6 +592,12 @@ impl<P: MonitoredPlatform> PartitionController for FaultyPlatform<P> {
                 self.pending = Some((plan, self.injector.cfg.max_apply_retries));
             }
         }
+    }
+
+    /// Bypasses the injector entirely (run setup — the initial plan is not
+    /// part of the monitored actuation path).
+    fn apply_plan_direct(&mut self, plan: PartitionPlan) {
+        self.inner.apply_plan(plan);
     }
 
     /// The plan actually in force on the platform (ground truth — the

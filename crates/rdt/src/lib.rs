@@ -60,6 +60,13 @@ pub trait PartitionController {
     /// Enforce a partition plan, effective from the next period. Contents of
     /// the LLC are not flushed (CAT semantics).
     fn apply_plan(&mut self, plan: PartitionPlan);
+    /// Enforce a plan outside the monitored actuation path (run setup — the
+    /// initial plan lands before monitoring starts). Fault-wrapping
+    /// platforms bypass their injector here; everything else actuates
+    /// normally.
+    fn apply_plan_direct(&mut self, plan: PartitionPlan) {
+        self.apply_plan(plan);
+    }
     /// The plan currently in force.
     fn current_plan(&self) -> PartitionPlan;
 }
@@ -68,7 +75,48 @@ pub trait PartitionController {
 /// monitoring periods and exposes each period's counters. The server
 /// simulator implements this; [`FaultyPlatform`] wraps any implementation
 /// to perturb the monitoring/actuation path.
+///
+/// Beyond raw stepping, the trait carries the full control surface a
+/// generic period-loop runtime (`dicer_experiments::session::Session`)
+/// needs: fallible delivery ([`step_period_monitored`]), run termination
+/// ([`workload_complete`]), BE admission control and telemetry wiring.
+/// Every extension has a conservative default so simple platforms (and the
+/// test fakes) implement only [`step_period`].
+///
+/// [`step_period_monitored`]: MonitoredPlatform::step_period_monitored
+/// [`workload_complete`]: MonitoredPlatform::workload_complete
 pub trait MonitoredPlatform: PartitionController + MbaController {
     /// Advances one monitoring period and returns its counters.
     fn step_period(&mut self) -> PeriodSample;
+
+    /// Advances one monitoring period, reporting whether the counters were
+    /// actually delivered. A clean platform always delivers; fault-wrapping
+    /// platforms return `None` for a dropped CMT/MBM read so the controller
+    /// can apply its missing-period holdover.
+    fn step_period_monitored(&mut self) -> Option<PeriodSample> {
+        Some(self.step_period())
+    }
+
+    /// Whether every workload hosted on the platform has completed at least
+    /// once (the paper's stopping rule). Platforms with no notion of
+    /// completion — a live resctrl host serves traffic forever — report
+    /// `false` and run until an external cap.
+    fn workload_complete(&self) -> bool {
+        false
+    }
+
+    /// Number of BEs currently scheduled, or `None` when the platform has
+    /// no admission control.
+    fn admitted_bes(&self) -> Option<u32> {
+        None
+    }
+
+    /// Limits the number of concurrently scheduled BEs. Platforms without
+    /// admission control ignore the request.
+    fn set_admitted_bes(&mut self, _n: u32) {}
+
+    /// Attaches a telemetry bus to the platform (and anything it wraps).
+    /// Emission is observational only; platforms without instrumentation
+    /// ignore the handle.
+    fn set_telemetry(&mut self, _telemetry: dicer_telemetry::Telemetry) {}
 }

@@ -600,6 +600,22 @@ impl dicer_rdt::MonitoredPlatform for Server {
     fn step_period(&mut self) -> PeriodSample {
         Server::step_period(self)
     }
+
+    fn workload_complete(&self) -> bool {
+        self.progress().all_done()
+    }
+
+    fn admitted_bes(&self) -> Option<u32> {
+        Some(Server::admitted_bes(self))
+    }
+
+    fn set_admitted_bes(&mut self, n: u32) {
+        Server::set_admitted_bes(self, n);
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        Server::set_telemetry(self, telemetry);
+    }
 }
 
 impl PartitionController for Server {

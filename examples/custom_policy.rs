@@ -59,20 +59,13 @@ fn race(
         &PolicyKind::Dicer(DicerConfig::default()),
     );
 
-    // ...and the custom policy driven by hand against the server.
-    use dicer::rdt::PartitionController;
-    let mut server = Server::new(cfg, hp_app.clone(), vec![be_app.clone(); 9]);
-    let mut pol = BandwidthNudge { threshold_gbps: 50.0 };
-    server.apply_plan(pol.initial_plan(cfg.cache.ways));
-    let mut periods = 0u32;
-    while periods < 6000 {
-        let s = server.step_period();
-        periods += 1;
-        server.apply_plan(pol.on_period(&s, cfg.cache.ways));
-        if server.progress().all_done() {
-            break;
-        }
-    }
+    // ...and the custom policy on the same `Session` runtime: any `Policy`
+    // implementor drives the identical period loop.
+    let server = Server::new(cfg, hp_app.clone(), vec![be_app.clone(); 9]);
+    let pol = BandwidthNudge { threshold_gbps: 50.0 };
+    let mut session = dicer::experiments::Session::new(server, pol, 6000);
+    session.run();
+    let (server, _pol) = session.into_parts();
     let elapsed = server.time_s();
     let hp_norm =
         server.hp().retired_insns / (cfg.freq_hz * elapsed) / solo.get(hp).ipc_alone;

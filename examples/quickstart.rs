@@ -6,7 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dicer::policy::{Dicer, DicerConfig, Policy};
+use dicer::experiments::Session;
+use dicer::policy::{Dicer, DicerConfig};
 use dicer::prelude::*;
 use dicer::rdt::PartitionController;
 
@@ -21,25 +22,28 @@ fn main() {
     let hp = catalog.get("milc1").expect("milc in catalog").clone();
     let be = catalog.get("gcc_base1").expect("gcc in catalog").clone();
 
-    let mut server = Server::new(cfg, hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    server.apply_plan(dicer.initial_plan(cfg.cache.ways));
+    let server = Server::new(cfg, hp, vec![be; 9]);
+    let mut session = Session::new(server, Dicer::new(DicerConfig::default()), 40);
 
     println!("period |  HP ways | state            |  HP IPC | total BW (Gbps)");
     println!("-------+----------+------------------+---------+----------------");
-    for period in 1..=40 {
-        let sample = server.step_period();
-        let plan = dicer.on_period(&sample, cfg.cache.ways);
-        println!(
-            "{:>6} | {:>8} | {:<16} | {:>7.3} | {:>9.1}",
-            period,
-            server.current_plan().hp_ways(cfg.cache.ways),
-            format!("{:?}", dicer.state()),
-            sample.hp.ipc,
-            sample.total_bw_gbps,
-        );
-        server.apply_plan(plan);
-    }
+    session.run_observed(
+        // Snapshot the plan in force *during* the upcoming period, before
+        // this period's decision replaces it.
+        |_, server| server.current_plan().hp_ways(cfg.cache.ways),
+        |step, _, dicer| {
+            let sample = step.delivered.expect("clean platform always delivers");
+            println!(
+                "{:>6} | {:>8} | {:<16} | {:>7.3} | {:>9.1}",
+                step.period + 1,
+                step.carry,
+                format!("{:?}", dicer.state()),
+                sample.hp.ipc,
+                sample.total_bw_gbps,
+            );
+        },
+    );
+    let (_server, dicer) = session.into_parts();
 
     println!();
     println!(

@@ -9,9 +9,12 @@
 #
 #   (default)  formatting, clippy, the full workspace test suite, the
 #              fault-injection robustness suite (deterministic JSONL traces
-#              under results/robustness/), and a dicerd daemon smoke test.
-#   --fast     clippy plus controller-stack unit tests, the conformance and
-#              fault-injection suites — the inner-loop tier.
+#              under results/robustness/), the serial-vs-parallel sweep
+#              benchmark (results/BENCH_sweep.json), and a dicerd daemon
+#              smoke test.
+#   --fast     clippy plus controller-stack unit tests, the conformance,
+#              fault-injection and sweep-determinism suites — the
+#              inner-loop tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +62,9 @@ if [ "$fast" -eq 1 ]; then
     step "cargo test (conformance + fault injection)"
     cargo test -q --test controller_conformance --test fault_injection || fail=1
 
+    step "cargo test (sweep determinism: parallel == serial, byte for byte)"
+    cargo test -q --release --test sweep_determinism || fail=1
+
     step "result"
     if [ "$fail" -ne 0 ]; then
         echo "CI FAILED (fast tier)"
@@ -89,6 +95,9 @@ cargo test --workspace -q || fail=1
 
 step "robustness suite (deterministic fault-injection traces)"
 cargo run -q --bin robustness_study || fail=1
+
+step "sweep benchmark (serial vs parallel matrix, results/BENCH_sweep.json)"
+cargo run -q --release -p dicer-bench --bin sweep_bench || fail=1
 
 step "dicerd smoke test (start, scrape, shut down)"
 DICERD_PORT="${DICERD_PORT:-18950}"

@@ -5,19 +5,28 @@
 //! dicer-sim solo <APP>                   # solo profile of one workload
 //! dicer-sim run --hp milc1 --be gcc_base1 [--cores 10] [--policy dicer] [--telemetry jsonl]
 //! dicer-sim compare --hp milc1 --be gcc_base1 [--cores 10]
+//! dicer-sim matrix [--jobs N]            # panel × policy evaluation matrix
 //! ```
 //!
 //! `--telemetry jsonl` streams the run's full event bus (period samples,
 //! controller transitions, partition applies) as JSON lines on stdout
 //! after the summary table; `off` (the default) disables it.
 //!
+//! `--jobs N` bounds sweep parallelism (`matrix`, and the solo-table
+//! profiling behind `run`/`compare`). The default is one worker per
+//! available core; `--jobs 1` forces the serial path. Parallel and serial
+//! runs produce identical output — sweeps collect in input order.
+//!
 //! Policies: `um`, `ct`, `dicer`, `dicer-mba`, `dicer-adm`, `dcp-qos`,
 //! `static:<ways>`, `overlap:<exclusive>:<shared>`.
 
 use dicer::appmodel::Catalog;
-use dicer::cli::{parse_flags, parse_policy};
+use dicer::cli::{parse_flags, parse_jobs, parse_policy};
+use dicer::experiments::figures::matrix::EvalMatrix;
 use dicer::experiments::runner::{run_colocation_instrumented, run_colocation_with, MAX_PERIODS};
-use dicer::experiments::{trace, SoloTable};
+use dicer::experiments::workloads::WorkloadSet;
+use dicer::experiments::{ablation, trace, SoloTable};
+use dicer::metrics::geomean;
 use dicer::policy::{DicerConfig, PolicyKind};
 use dicer::server::ServerConfig;
 use dicer::telemetry::{JsonlSink, Telemetry};
@@ -27,8 +36,9 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dicer-sim catalog\n  dicer-sim solo <APP>\n  \
-         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off]\n  \
-         dicer-sim compare --hp <APP> --be <APP> [--cores N]\n\
+         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off] [--jobs N]\n  \
+         dicer-sim compare --hp <APP> --be <APP> [--cores N] [--jobs N]\n  \
+         dicer-sim matrix [--cores N] [--jobs N]\n\
          policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
     );
     ExitCode::from(2)
@@ -99,8 +109,15 @@ fn main() -> ExitCode {
                 eprintln!("unknown app — try `dicer-sim catalog`");
                 return ExitCode::FAILURE;
             };
+            let sweep = match parse_jobs(&flags) {
+                Ok(p) => p.runner(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
             let cfg = ServerConfig::table1();
-            let solo = SoloTable::build(&catalog, cfg);
+            let solo = SoloTable::build_with(&catalog, cfg, &sweep);
 
             let policies: Vec<PolicyKind> = if cmd == "compare" {
                 vec![
@@ -171,6 +188,56 @@ fn main() -> ExitCode {
                     let t = trace::run_traced(&solo, hp, be, cores, kind, 2000);
                     println!("\n{}", t.render(72));
                 }
+            }
+            ExitCode::SUCCESS
+        }
+        "matrix" => {
+            let flags = match parse_flags(&args[1..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let sweep = match parse_jobs(&flags) {
+                Ok(p) => p.runner(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let cores: u32 = flags.get("cores").map(|c| c.parse().unwrap_or(10)).unwrap_or(10);
+            let cfg = ServerConfig::table1();
+            let solo = SoloTable::build_with(&catalog, cfg, &sweep);
+            // The class-balanced ablation panel keeps the matrix small
+            // enough for an interactive command; the full 120-workload
+            // sample is the figure runners' job.
+            let set = WorkloadSet::classify_pairs(&catalog, &solo, &ablation::PANEL, &sweep);
+            let sample: Vec<_> = set.all.iter().collect();
+            let policies = [
+                PolicyKind::Unmanaged,
+                PolicyKind::CacheTakeover,
+                PolicyKind::Dicer(DicerConfig::default()),
+            ];
+            let m = EvalMatrix::run_with(&catalog, &solo, &sample, &[cores], &policies, &sweep);
+            println!(
+                "panel matrix: {} workloads x {} policies on {cores} cores ({} workers)",
+                sample.len(),
+                policies.len(),
+                sweep.jobs()
+            );
+            println!("{:<10} {:>8} {:>8} {:>7}", "policy", "HP norm", "BE norm", "EFU");
+            for policy in m.policies() {
+                let cells = m.slice(&policy, cores);
+                let hp: Vec<f64> = cells.iter().map(|c| c.hp_norm_ipc).collect();
+                let be: Vec<f64> = cells.iter().map(|c| c.be_norm_ipc_mean).collect();
+                let efu: Vec<f64> = cells.iter().map(|c| c.efu).collect();
+                println!(
+                    "{policy:<10} {:>8.3} {:>8.3} {:>7.3}",
+                    geomean(&hp),
+                    geomean(&be),
+                    geomean(&efu)
+                );
             }
             ExitCode::SUCCESS
         }

@@ -15,14 +15,15 @@
 //! Routes:
 //! - `GET /healthz`         — liveness; `ok` once the listener is up.
 //! - `GET /metrics`         — Prometheus text format 0.0.4, deterministic layout.
-//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array.
+//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array;
+//!   a malformed or zero `K` is answered with `400 Bad Request`.
 //! - `GET /quit`            — clean shutdown (used by the CI smoke test).
 //!
 //! Defaults: `milc1` vs 9× `gcc_base1` on 10 cores under `dicer`,
 //! port 9090, 1024-event ring, unbounded runs, no pause between runs.
 
 use dicer::appmodel::Catalog;
-use dicer::cli::{parse_flags, parse_policy};
+use dicer::cli::{parse_events_n, parse_flags, parse_policy};
 use dicer::experiments::runner::{run_colocation_instrumented, MAX_PERIODS};
 use dicer::experiments::SoloTable;
 use dicer::server::ServerConfig;
@@ -374,17 +375,15 @@ fn handle(
             "text/plain; version=0.0.4",
             &registry.render(),
         ),
-        "/events" => {
-            let n = query
-                .split('&')
-                .find_map(|kv| kv.strip_prefix("n="))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100usize);
-            let lines: Vec<String> =
-                ring.recent(n).iter().map(TelemetryEvent::to_json).collect();
-            let body = format!("[{}]\n", lines.join(","));
-            respond(&mut stream, "200 OK", "application/json", &body);
-        }
+        "/events" => match parse_events_n(query) {
+            Ok(n) => {
+                let lines: Vec<String> =
+                    ring.recent(n).iter().map(TelemetryEvent::to_json).collect();
+                let body = format!("[{}]\n", lines.join(","));
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &format!("{e}\n")),
+        },
         "/quit" => {
             shutdown.store(true, Ordering::Relaxed);
             respond(&mut stream, "200 OK", "text/plain", "shutting down\n");

@@ -3,12 +3,15 @@
 //! decision trace per scenario for golden-file comparison.
 //!
 //! ```text
-//! robustness_study [--seed N] [--out DIR]
+//! robustness_study [--seed N] [--out DIR] [--jobs N]
 //! ```
 //!
 //! Every scenario is run twice with the same seed; the run aborts if the
 //! two traces are not byte-identical (the determinism contract of
 //! DESIGN.md §8). Traces land in `results/robustness/<scenario>.jsonl`.
+//! Scenarios fan out on a [`SweepRunner`] (`--jobs`, default one worker
+//! per core); results are collected and written in suite order, so the
+//! goldens are byte-identical at any parallelism.
 //!
 //! Traces are captured live through a telemetry [`JsonlSink`] attached to
 //! the scenario runner — the same sink code path the `dicerd` daemon and
@@ -16,9 +19,9 @@
 //! serialisation path, not a separate formatter.
 
 use dicer::appmodel::Catalog;
-use dicer::cli::parse_flags;
+use dicer::cli::{parse_flags, parse_jobs};
 use dicer::experiments::scenarios::{run_scenario_with, standard_suite, ScenarioResult};
-use dicer::experiments::SoloTable;
+use dicer::experiments::{SoloTable, SweepRunner};
 use dicer::server::ServerConfig;
 use dicer::telemetry::{JsonlSink, Telemetry};
 use std::path::PathBuf;
@@ -32,7 +35,7 @@ fn main() -> ExitCode {
     let flags = match parse_flags(&args) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\nusage: robustness_study [--seed N] [--out DIR]");
+            eprintln!("{e}\nusage: robustness_study [--seed N] [--out DIR] [--jobs N]");
             return ExitCode::from(2);
         }
     };
@@ -40,7 +43,14 @@ fn main() -> ExitCode {
         None => DEFAULT_SEED,
         Some(Ok(n)) => n,
         Some(Err(_)) => {
-            eprintln!("--seed takes an unsigned integer\nusage: robustness_study [--seed N] [--out DIR]");
+            eprintln!("--seed takes an unsigned integer\nusage: robustness_study [--seed N] [--out DIR] [--jobs N]");
+            return ExitCode::from(2);
+        }
+    };
+    let sweep: SweepRunner = match parse_jobs(&flags) {
+        Ok(p) => p.runner(),
+        Err(e) => {
+            eprintln!("{e}\nusage: robustness_study [--seed N] [--out DIR] [--jobs N]");
             return ExitCode::from(2);
         }
     };
@@ -62,15 +72,20 @@ fn main() -> ExitCode {
         "scenario", "periods", "dropped", "perturb", "resets", "samples", "failedapp", "abandoned"
     );
     // One scenario run, decision trace streamed live into a JSONL sink.
-    let run_traced = |sc| {
+    let run_traced = |sc: &dicer::experiments::FaultScenario| {
         let sink = Arc::new(JsonlSink::new());
         let result: ScenarioResult =
             run_scenario_with(&catalog, &solo, sc, &Telemetry::new(sink.clone()), &Telemetry::off());
         (result, sink.take())
     };
-    for sc in &suite {
+    // Scenarios fan out; the sweep collects in suite order, so validation,
+    // golden writes and the report are identical at any --jobs.
+    let traced = sweep.map(&suite, |sc| {
         let (a, jsonl) = run_traced(sc);
         let (_, jsonl_b) = run_traced(sc);
+        (a, jsonl, jsonl_b)
+    });
+    for (sc, (a, jsonl, jsonl_b)) in suite.iter().zip(traced) {
         if jsonl != jsonl_b {
             eprintln!(
                 "DETERMINISM VIOLATION: scenario {:?} (seed {seed}) diverged between reruns",

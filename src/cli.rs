@@ -1,6 +1,7 @@
 //! Argument parsing for the `dicer-sim` CLI (kept in the library so it is
 //! unit-testable without spawning the binary).
 
+use dicer_experiments::Parallelism;
 use dicer_policy::{DicerConfig, PolicyKind};
 use std::collections::HashMap;
 
@@ -58,6 +59,36 @@ pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
+/// Interprets the `--jobs` flag: absent means every available core, `N`
+/// means exactly N sweep workers (`1` forces the serial path). Malformed
+/// or zero values are errors, same as a duplicated flag — guessing a
+/// worker count the user didn't ask for hides typos.
+pub fn parse_jobs(flags: &HashMap<String, String>) -> Result<Parallelism, String> {
+    match flags.get("jobs") {
+        None => Ok(Parallelism::Auto),
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(Parallelism::Fixed(n)),
+            Ok(_) => Err("--jobs must be at least 1".to_string()),
+            Err(e) => Err(format!("--jobs: {e}")),
+        },
+    }
+}
+
+/// Interprets the `n=K` parameter of a `GET /events?n=K` query string.
+/// Absent means the default window of 100 events; present, it must be a
+/// positive integer — a malformed or zero `n` is a client error (HTTP
+/// 400), not a silent fallback to the default.
+pub fn parse_events_n(query: &str) -> Result<usize, String> {
+    match query.split('&').find_map(|kv| kv.strip_prefix("n=")) {
+        None => Ok(100),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("n must be at least 1".to_string()),
+            Err(e) => Err(format!("bad n {v:?}: {e}")),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +135,41 @@ mod tests {
     fn flags_reject_missing_values_and_bare_words() {
         assert!(parse_flags(&["--hp".to_string()]).is_err());
         assert!(parse_flags(&["milc1".to_string()]).is_err());
+    }
+
+    fn flags_of(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto_and_parses_fixed() {
+        assert_eq!(parse_jobs(&flags_of(&[])).unwrap(), Parallelism::Auto);
+        assert_eq!(parse_jobs(&flags_of(&["--jobs", "1"])).unwrap(), Parallelism::Fixed(1));
+        assert_eq!(parse_jobs(&flags_of(&["--jobs", "8"])).unwrap(), Parallelism::Fixed(8));
+    }
+
+    #[test]
+    fn malformed_jobs_rejected() {
+        for bad in ["0", "-2", "four", "2.5", ""] {
+            let err = parse_jobs(&flags_of(&["--jobs", bad])).unwrap_err();
+            assert!(err.contains("--jobs") || err.contains("at least 1"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn events_n_defaults_and_parses() {
+        assert_eq!(parse_events_n(""), Ok(100));
+        assert_eq!(parse_events_n("verbose"), Ok(100));
+        assert_eq!(parse_events_n("n=1"), Ok(1));
+        assert_eq!(parse_events_n("n=250"), Ok(250));
+        assert_eq!(parse_events_n("a=b&n=7"), Ok(7));
+    }
+
+    #[test]
+    fn malformed_events_n_is_an_error_not_a_fallback() {
+        for bad in ["n=0", "n=", "n=-3", "n=ten", "n=1.5"] {
+            assert!(parse_events_n(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! reset behaviour, end to end.
 
 use dicer::appmodel::{AppProfile, Archetype, Catalog, MissCurve, Phase};
-use dicer::policy::{Dicer, DicerConfig, DicerState, Policy};
+use dicer::experiments::Session;
+use dicer::policy::{Dicer, DicerConfig, DicerState};
 use dicer::rdt::PartitionController;
 use dicer::server::{Server, ServerConfig};
 
@@ -11,13 +12,13 @@ fn cfg() -> ServerConfig {
     ServerConfig::table1()
 }
 
-fn drive(server: &mut Server, dicer: &mut Dicer, periods: u32) {
-    server.apply_plan(dicer.initial_plan(server.config().cache.ways));
-    for _ in 0..periods {
-        let s = server.step_period();
-        let plan = dicer.on_period(&s, server.config().cache.ways);
-        server.apply_plan(plan);
-    }
+/// Runs the workload on the standard [`Session`] runtime for up to
+/// `periods` periods, handing platform and controller back for
+/// inspection.
+fn drive(server: Server, dicer: Dicer, periods: u32) -> (Server, Dicer) {
+    let mut session = Session::new(server, dicer, periods);
+    session.run();
+    session.into_parts()
 }
 
 #[test]
@@ -27,9 +28,8 @@ fn dicer_detects_ct_thwarted_and_samples() {
     let catalog = Catalog::paper();
     let hp = catalog.get("milc1").unwrap().clone();
     let be = catalog.get("gcc_base1").unwrap().clone();
-    let mut server = Server::new(cfg(), hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    drive(&mut server, &mut dicer, 20);
+    let server = Server::new(cfg(), hp, vec![be; 9]);
+    let (_server, dicer) = drive(server, Dicer::new(DicerConfig::default()), 20);
     assert!(!dicer.ct_favoured(), "milc+gcc must be recognised as CT-T");
     assert!(dicer.stats.sampling_periods > 0, "sampling must have run");
     assert!(
@@ -44,9 +44,8 @@ fn dicer_stays_ct_favoured_for_cache_sensitive_hp() {
     let catalog = Catalog::paper();
     let hp = catalog.get("omnetpp1").unwrap().clone();
     let be = catalog.get("gobmk1").unwrap().clone();
-    let mut server = Server::new(cfg(), hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    drive(&mut server, &mut dicer, 30);
+    let server = Server::new(cfg(), hp, vec![be; 9]);
+    let (_server, dicer) = drive(server, Dicer::new(DicerConfig::default()), 30);
     assert!(dicer.ct_favoured(), "quiet BEs never saturate: stays CT-F");
     assert_eq!(dicer.stats.sampling_periods, 0);
 }
@@ -58,9 +57,8 @@ fn dicer_reclaims_ways_for_bes_when_hp_is_insensitive() {
     let catalog = Catalog::paper();
     let hp = catalog.get("namd1").unwrap().clone();
     let be = catalog.get("gobmk1").unwrap().clone();
-    let mut server = Server::new(cfg(), hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    drive(&mut server, &mut dicer, 25);
+    let server = Server::new(cfg(), hp, vec![be; 9]);
+    let (_server, dicer) = drive(server, Dicer::new(DicerConfig::default()), 25);
     assert!(
         dicer.hp_ways() <= 5,
         "insensitive HP should shed ways, still at {}",
@@ -95,9 +93,8 @@ fn dicer_resets_on_a_real_phase_change() {
     );
     let catalog = Catalog::paper();
     let be = catalog.get("povray1").unwrap().clone(); // quiet BEs
-    let mut server = Server::new(cfg(), hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    drive(&mut server, &mut dicer, 60);
+    let server = Server::new(cfg(), hp, vec![be; 9]);
+    let (_server, dicer) = drive(server, Dicer::new(DicerConfig::default()), 60);
     assert!(
         dicer.stats.phase_changes >= 1,
         "the apki jump must register as a phase change: {:?}",
@@ -113,20 +110,23 @@ fn dicer_survives_a_long_run_without_wedging() {
     let catalog = Catalog::paper();
     let hp = catalog.get("mcf1").unwrap().clone();
     let be = catalog.get("lbm1").unwrap().clone();
-    let mut server = Server::new(cfg(), hp, vec![be; 9]);
-    let mut dicer = Dicer::new(DicerConfig::default());
-    server.apply_plan(dicer.initial_plan(20));
-    for _ in 0..300 {
-        let s = server.step_period();
-        let plan = dicer.on_period(&s, 20);
-        plan.validate(20).unwrap();
-        server.apply_plan(plan);
-    }
+    let server = Server::new(cfg(), hp, vec![be; 9]);
+    let mut session = Session::new(server, Dicer::new(DicerConfig::default()), 300);
+    let end = session.run_observed(
+        |_, _| (),
+        |_, platform, dicer| {
+            // Every plan the session put in force must be a valid one.
+            platform.current_plan().validate(20).unwrap();
+            let _ = dicer;
+        },
+    );
+    let (server, dicer) = session.into_parts();
     assert!(matches!(
         dicer.state(),
         DicerState::Optimising | DicerState::Sampling | DicerState::ValidatingReset
     ));
     // The server clock must equal the period count exactly.
+    assert_eq!(end.periods, 300, "soak workload must not finish early");
     assert!((server.time_s() - 300.0).abs() < 1e-9);
 }
 
@@ -139,9 +139,9 @@ fn tighter_stability_band_resets_more() {
     let be = catalog.get("hmmer1").unwrap().clone();
 
     let run = |alpha: f64| {
-        let mut server = Server::new(cfg(), hp.clone(), vec![be.clone(); 9]);
-        let mut dicer = Dicer::new(DicerConfig { stability_alpha: alpha, ..Default::default() });
-        drive(&mut server, &mut dicer, 80);
+        let server = Server::new(cfg(), hp.clone(), vec![be.clone(); 9]);
+        let cfg = DicerConfig { stability_alpha: alpha, ..Default::default() };
+        let (_server, dicer) = drive(server, Dicer::new(cfg), 80);
         dicer.stats
     };
     let tight = run(0.01);

@@ -4,8 +4,8 @@
 
 use dicer::appmodel::Catalog;
 use dicer::experiments::scenarios::{run_scenario, standard_suite, FaultScenario};
-use dicer::experiments::SoloTable;
-use dicer::policy::{Dicer, DicerConfig, Policy};
+use dicer::experiments::{Session, SoloTable};
+use dicer::policy::{Dicer, DicerConfig};
 use dicer::rdt::{
     FaultConfig, FaultyPlatform, MonitoredPlatform, NoiseSpec, PartitionController, PeriodSample,
 };
@@ -23,31 +23,28 @@ fn server(hp: &str, be: &str) -> Server {
     )
 }
 
-/// Steps a DICER loop over any monitored platform, collecting the samples
-/// the controller saw.
-fn drive<P: MonitoredPlatform>(plat: &mut P, periods: u32) -> Vec<PeriodSample> {
-    let n_ways = plat.n_ways();
-    let mut dicer = Dicer::new(DicerConfig::default());
-    plat.apply_plan(dicer.initial_plan(n_ways));
+/// Runs a DICER loop over any monitored platform on the standard
+/// [`Session`] runtime, collecting what each period delivered to the
+/// controller (`None` where the sample was dropped) and handing the
+/// platform back for inspection.
+fn drive<P: MonitoredPlatform>(plat: P, periods: u32) -> (P, Vec<Option<PeriodSample>>) {
+    let mut session = Session::new(plat, Dicer::new(DicerConfig::default()), periods);
     let mut seen = Vec::new();
-    for _ in 0..periods {
-        let s = plat.step_period();
-        let plan = dicer.on_period(&s, n_ways);
-        seen.push(s);
-        if plan != plat.current_plan() {
-            plat.apply_plan(plan);
-        }
-    }
-    seen
+    session.run_observed(
+        |_, _| (),
+        |step, _, _| seen.push(step.delivered.cloned()),
+    );
+    let (plat, _dicer) = session.into_parts();
+    (plat, seen)
 }
 
 #[test]
 fn disabled_faults_are_bit_identical_to_the_bare_server() {
     // With every injector off the wrapper must be a perfect no-op: same
     // delivered samples, same plans in force, same simulated time.
-    let bare = drive(&mut server("milc1", "gcc_base1"), PERIODS);
-    let mut wrapped = FaultyPlatform::new(server("milc1", "gcc_base1"), FaultConfig::none(1));
-    let through = drive(&mut wrapped, PERIODS);
+    let (_, bare) = drive(server("milc1", "gcc_base1"), PERIODS);
+    let wrapped = FaultyPlatform::new(server("milc1", "gcc_base1"), FaultConfig::none(1));
+    let (wrapped, through) = drive(wrapped, PERIODS);
     assert_eq!(bare, through, "passthrough must not alter a single bit");
     assert_eq!(wrapped.fault_stats(), Default::default());
     assert!(wrapped.injector().is_passthrough());
@@ -62,9 +59,11 @@ fn same_seed_delivers_identical_faulted_streams() {
         stale_prob: 0.1,
         ..FaultConfig::none(42)
     };
-    let mut a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults.clone());
-    let mut b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
-    assert_eq!(drive(&mut a, PERIODS), drive(&mut b, PERIODS));
+    let a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults.clone());
+    let b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
+    let (a, seen_a) = drive(a, PERIODS);
+    let (b, seen_b) = drive(b, PERIODS);
+    assert_eq!(seen_a, seen_b);
     assert_eq!(a.fault_stats(), b.fault_stats());
 }
 
@@ -74,9 +73,9 @@ fn different_seeds_deliver_different_faulted_streams() {
         ipc_noise: NoiseSpec::multiplicative(0.05),
         ..FaultConfig::none(seed)
     };
-    let mut a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(1));
-    let mut b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(2));
-    assert_ne!(drive(&mut a, PERIODS), drive(&mut b, PERIODS));
+    let a = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(1));
+    let b = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults(2));
+    assert_ne!(drive(a, PERIODS).1, drive(b, PERIODS).1);
 }
 
 #[test]
@@ -112,23 +111,18 @@ fn sensor_noise_leaves_ground_truth_untouched() {
 #[test]
 fn drop_storm_triggers_holdover_and_missing_period_accounting() {
     let faults = FaultConfig { drop_prob: 0.4, ..FaultConfig::none(3) };
-    let mut plat = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
-    let n_ways = plat.n_ways();
-    let mut dicer = Dicer::new(DicerConfig::default());
-    plat.inner_mut().apply_plan(dicer.initial_plan(n_ways));
+    let plat = FaultyPlatform::new(server("omnetpp1", "gobmk1"), faults);
+    let mut session = Session::new(plat, Dicer::new(DicerConfig::default()), PERIODS);
     let mut dropped = 0;
-    for _ in 0..PERIODS {
-        let plan = match plat.step_period_faulted() {
-            Some(s) => dicer.on_period(&s, n_ways),
-            None => {
+    session.run_observed(
+        |_, _| (),
+        |step, _, _| {
+            if step.delivered.is_none() {
                 dropped += 1;
-                dicer.on_missing_period(n_ways)
             }
-        };
-        if plan != plat.current_plan() {
-            plat.apply_plan(plan);
-        }
-    }
+        },
+    );
+    let (plat, dicer) = session.into_parts();
     assert!(dropped > 0, "40% drops over 30 periods must lose something");
     assert_eq!(dicer.stats.missing_periods, dropped);
     assert_eq!(plat.fault_stats().dropped_samples, dropped);

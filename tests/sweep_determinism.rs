@@ -1,0 +1,131 @@
+//! Sweep-determinism suite: parallel sweeps must be byte-identical to
+//! serial ones, and a hand-configured [`Session`] must reproduce the
+//! committed robustness goldens the scenario harness pins.
+//!
+//! These are the contracts behind `dicer-sim --jobs`: parallelism is a
+//! wall-clock knob only — it never changes a single output byte — and the
+//! scenario harness is a thin configuration of the same `Session` runtime
+//! anyone can assemble by hand.
+
+use dicer::appmodel::Catalog;
+use dicer::experiments::figures::EvalMatrix;
+use dicer::experiments::scenarios::standard_suite;
+use dicer::experiments::{ablation, Session, SoloTable, SweepRunner, WorkloadSet};
+use dicer::policy::{Dicer, DicerConfig, PolicyKind};
+use dicer::rdt::FaultyPlatform;
+use dicer::server::{Server, ServerConfig};
+
+/// Seed of the committed goldens under `results/robustness/`.
+const GOLDEN_SEED: u64 = 0xD1CE;
+
+/// A small workload slice keeps the parallel-vs-serial comparisons fast:
+/// each pair is one full co-location run per policy.
+const PAIRS: [(&str, &str); 4] = [
+    ("milc1", "gcc_base1"),
+    ("omnetpp1", "lbm1"),
+    ("gcc_base1", "bzip21"),
+    ("namd1", "gobmk1"),
+];
+
+fn setup() -> (Catalog, SoloTable) {
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    (catalog, solo)
+}
+
+#[test]
+fn parallel_matrix_is_byte_identical_to_serial() {
+    let (catalog, solo) = setup();
+    let policies = [
+        PolicyKind::Unmanaged,
+        PolicyKind::CacheTakeover,
+        PolicyKind::Dicer(DicerConfig::default()),
+    ];
+    let matrix_json = |sweep: &SweepRunner| {
+        let set = WorkloadSet::classify_pairs(&catalog, &solo, &PAIRS, sweep);
+        let sample: Vec<_> = set.all.iter().collect();
+        let m = EvalMatrix::run_with(&catalog, &solo, &sample, &[10], &policies, sweep);
+        serde_json::to_string(&m).expect("matrix serialises")
+    };
+    let serial = matrix_json(&SweepRunner::serial());
+    let parallel = matrix_json(&SweepRunner::with_jobs(4));
+    assert_eq!(serial, parallel, "matrix output must not depend on --jobs");
+}
+
+#[test]
+fn parallel_ablation_panel_is_byte_identical_to_serial() {
+    let (catalog, solo) = setup();
+    let point = |sweep: &SweepRunner| {
+        let p = ablation::run_panel_with(&catalog, &solo, &PolicyKind::CacheTakeover, "ct", sweep);
+        serde_json::to_string(&p).expect("point serialises")
+    };
+    assert_eq!(
+        point(&SweepRunner::serial()),
+        point(&SweepRunner::with_jobs(4)),
+        "ablation output must not depend on --jobs"
+    );
+}
+
+#[test]
+fn hand_built_session_reproduces_the_pinned_golden_summary() {
+    // The `kitchen_sink` golden was produced by the scenario harness; here
+    // the same run is assembled by hand — Dicer over FaultyPlatform<Server>
+    // on a bare Session — and must land on the identical final counters the
+    // committed golden's summary line pins.
+    let (catalog, solo) = setup();
+    let sc = standard_suite(GOLDEN_SEED)
+        .into_iter()
+        .find(|s| s.name == "kitchen_sink")
+        .expect("kitchen_sink in the standard suite");
+    assert!(sc.schedule.is_empty(), "hand build assumes an unscheduled scenario");
+
+    let cfg = *solo.config();
+    let hp = catalog.get(&sc.hp).expect("catalog hp").clone();
+    let be = catalog.get(&sc.be).expect("catalog be").clone();
+    let server = Server::new(cfg, hp, vec![be; (sc.n_cores - 1) as usize]);
+    let plat = FaultyPlatform::new(server, sc.faults.clone());
+    let mut session = Session::new(plat, Dicer::new(sc.dicer.clone()), sc.periods);
+    let end = session.run();
+    let (plat, dicer) = session.into_parts();
+
+    let summary = dicer::telemetry::ScenarioSummaryEvent {
+        scenario: sc.name.clone(),
+        periods: end.periods as usize,
+        dicer_stats: dicer.stats.into(),
+        fault_stats: plat.fault_stats().into(),
+    };
+    let golden = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/results/robustness/kitchen_sink.jsonl"),
+    )
+    .expect("committed golden trace");
+    let golden_summary = golden.lines().last().expect("summary line");
+    assert_eq!(summary.to_json(), golden_summary, "hand-built Session diverged from the golden");
+}
+
+#[test]
+fn scenario_harness_and_hand_built_session_agree_period_by_period() {
+    let (catalog, solo) = setup();
+    let sc = standard_suite(GOLDEN_SEED)
+        .into_iter()
+        .find(|s| s.name == "sensor_noise")
+        .expect("sensor_noise in the standard suite");
+    let harness = dicer::experiments::run_scenario(&catalog, &solo, &sc);
+
+    let cfg = *solo.config();
+    let hp = catalog.get(&sc.hp).expect("catalog hp").clone();
+    let be = catalog.get(&sc.be).expect("catalog be").clone();
+    let server = Server::new(cfg, hp, vec![be; (sc.n_cores - 1) as usize]);
+    let plat = FaultyPlatform::new(server, sc.faults.clone());
+    let mut session = Session::new(plat, Dicer::new(sc.dicer.clone()), sc.periods);
+    let mut ways = Vec::new();
+    session.run_observed(
+        |_, _| (),
+        |step, _, dicer: &Dicer| {
+            ways.push((step.period, dicer.hp_ways(), step.delivered.is_none()));
+        },
+    );
+
+    let harness_ways: Vec<(u32, u32, bool)> =
+        harness.records.iter().map(|r| (r.period, r.target_hp_ways, r.dropped)).collect();
+    assert_eq!(ways, harness_ways, "identical decision sequence expected");
+}
