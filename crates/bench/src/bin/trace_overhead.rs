@@ -1,0 +1,194 @@
+//! Span-tracing overhead benchmark: runs the panel matrix sweep — solo
+//! profiling, pair classification, and the evaluation matrix, the same
+//! pipeline as `dicer-sim matrix` — once on a plain runner and once on a
+//! tracer-attached runner emitting every span to a live sink, proves the
+//! two outputs byte-identical, and asserts the traced sweep stays within
+//! the overhead budget. Records the measurement (plus an informational
+//! full-depth number) in `results/BENCH_trace_overhead.json`.
+//!
+//! Two tracing granularities are measured:
+//!
+//! - **sweep-level** (asserted `< 3%`): the production default — a tracer
+//!   attached to the `SweepRunner`, one `sweep_job` span per job. This is
+//!   what "the matrix sweep with tracing enabled" runs.
+//! - **full depth** (informational): every co-location also traced per
+//!   period (session → period → sensor-read / policy-step / solve spans).
+//!   The memoized simulator steps a period in ~1–2 µs, so fixed ~40 ns
+//!   span costs are a visible fraction of *simulated* work at this depth;
+//!   against the 1 s real-time periods the system models they are noise.
+//!   DESIGN.md §11 discusses the trade.
+//!
+//! Timing is best-of-`REPEATS`, alternating modes, so a transient stall
+//! cannot charge one side unfairly.
+
+use dicer_appmodel::Catalog;
+use dicer_experiments::figures::EvalMatrix;
+use dicer_experiments::runner::{run_colocation_traced, MAX_PERIODS};
+use dicer_experiments::{ablation::PANEL, SoloTable, SweepRunner, WorkloadSet};
+use dicer_policy::{DicerConfig, PolicyKind};
+use dicer_server::ServerConfig;
+use dicer_telemetry::{Telemetry, TelemetryEvent, TelemetrySink, Tracer};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Overhead budget for the sweep-level traced matrix.
+const LIMIT_PCT: f64 = 3.0;
+const REPEATS: usize = 3;
+
+/// Counts events and drops them — the cheapest live sink, so the
+/// measurement captures span *emission* cost, not a consumer's.
+#[derive(Default)]
+struct CountingSink {
+    events: AtomicU64,
+}
+
+impl TelemetrySink for CountingSink {
+    fn emit(&self, _event: &TelemetryEvent) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Serialize)]
+struct TraceOverheadBench {
+    /// Panel co-locations per matrix cell row.
+    pairs: usize,
+    /// Sweep workers.
+    jobs: usize,
+    /// Timed repetitions per mode (best-of wins).
+    repeats: usize,
+    /// Full matrix pipeline, plain runner (seconds, best-of).
+    untraced_s: f64,
+    /// Full matrix pipeline, tracer-attached runner (seconds, best-of).
+    traced_s: f64,
+    /// `(traced_s / untraced_s - 1) * 100` — asserted `< limit_pct`.
+    overhead_pct: f64,
+    limit_pct: f64,
+    /// Spans one traced matrix pipeline emits.
+    spans_per_matrix: u64,
+    /// Informational: panel co-locations traced down to per-period spans,
+    /// relative to the same runs untraced. Span cost is fixed per span,
+    /// so against the microsecond-scale memoized simulator this is large
+    /// by construction; it is not the production default.
+    full_depth_overhead_pct: f64,
+    /// Spans one full-depth panel sweep emits.
+    full_depth_spans: u64,
+    /// Whether traced and untraced outputs matched byte-for-byte at both
+    /// depths (the run aborts before writing if not).
+    identical: bool,
+}
+
+/// The `dicer-sim matrix` pipeline on a given runner, serialised for the
+/// byte-identity check.
+fn run_matrix(catalog: &Catalog, sweep: &SweepRunner) -> String {
+    let solo = SoloTable::build_with(catalog, ServerConfig::table1(), sweep);
+    let set = WorkloadSet::classify_pairs(catalog, &solo, &PANEL, sweep);
+    let sample: Vec<_> = set.all.iter().collect();
+    let policies = [
+        PolicyKind::Unmanaged,
+        PolicyKind::CacheTakeover,
+        PolicyKind::Dicer(DicerConfig::default()),
+    ];
+    let m = EvalMatrix::run_with(catalog, &solo, &sample, &[10], &policies, sweep);
+    serde_json::to_string(&m).expect("matrix serialises")
+}
+
+/// Panel co-locations with per-period tracing (the informational depth).
+fn run_panel_deep(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    sweep: &SweepRunner,
+    tracer: &Tracer,
+) -> Vec<(f64, f64, u32)> {
+    let policy = PolicyKind::Dicer(DicerConfig::default());
+    sweep.map_traced(&PANEL, tracer, |&(hp, be), jt| {
+        let hp = catalog.get(hp).expect("panel app");
+        let be = catalog.get(be).expect("panel app");
+        let out = run_colocation_traced(
+            solo,
+            hp,
+            be,
+            10,
+            &policy,
+            MAX_PERIODS,
+            &Telemetry::off(),
+            jt,
+        );
+        (out.hp_norm_ipc, out.efu, out.periods)
+    })
+}
+
+fn main() {
+    dicer_bench::banner("span tracing overhead (panel matrix sweep, traced vs untraced)");
+    let catalog = Catalog::paper();
+    let sink = Arc::new(CountingSink::default());
+    let tracer = Tracer::new(Telemetry::new(sink.clone()));
+    let plain = SweepRunner::auto();
+    let traced = SweepRunner::auto().with_tracer(&tracer);
+    println!("{} panel pairs on {} workers, best of {REPEATS}", PANEL.len(), plain.jobs());
+
+    // Untimed warm-up of both modes (populates page cache, pools).
+    let baseline = run_matrix(&catalog, &plain);
+    assert_eq!(baseline, run_matrix(&catalog, &traced), "tracing must not perturb the matrix");
+    let spans_per_matrix = sink.events.swap(0, Ordering::Relaxed);
+
+    let (mut untraced_s, mut traced_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        assert_eq!(run_matrix(&catalog, &plain), baseline);
+        untraced_s = untraced_s.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        assert_eq!(run_matrix(&catalog, &traced), baseline);
+        traced_s = traced_s.min(t1.elapsed().as_secs_f64());
+    }
+    let overhead_pct = (traced_s / untraced_s - 1.0) * 100.0;
+    println!(
+        "matrix sweep: untraced {untraced_s:.3} s, traced {traced_s:.3} s -> \
+         overhead {overhead_pct:+.2}% ({spans_per_matrix} spans, budget {LIMIT_PCT}%)"
+    );
+
+    // Informational full-depth measurement: per-period session tracing.
+    sink.events.store(0, Ordering::Relaxed);
+    let solo = SoloTable::build_with(&catalog, ServerConfig::table1(), &plain);
+    let deep_base = run_panel_deep(&catalog, &solo, &plain, &Tracer::off());
+    let deep_traced = run_panel_deep(&catalog, &solo, &plain, &tracer);
+    assert_eq!(deep_base, deep_traced, "full-depth tracing must not perturb outcomes");
+    let full_depth_spans = sink.events.swap(0, Ordering::Relaxed);
+    let (mut deep_off_s, mut deep_on_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        assert_eq!(run_panel_deep(&catalog, &solo, &plain, &Tracer::off()), deep_base);
+        deep_off_s = deep_off_s.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        assert_eq!(run_panel_deep(&catalog, &solo, &plain, &tracer), deep_base);
+        deep_on_s = deep_on_s.min(t1.elapsed().as_secs_f64());
+    }
+    let full_depth_overhead_pct = (deep_on_s / deep_off_s - 1.0) * 100.0;
+    println!(
+        "full depth:   untraced {deep_off_s:.3} s, traced {deep_on_s:.3} s -> \
+         overhead {full_depth_overhead_pct:+.2}% ({full_depth_spans} spans, informational)"
+    );
+
+    assert!(
+        overhead_pct < LIMIT_PCT,
+        "span tracing overhead {overhead_pct:.2}% exceeds the {LIMIT_PCT}% budget"
+    );
+
+    let bench = TraceOverheadBench {
+        pairs: PANEL.len(),
+        jobs: plain.jobs(),
+        repeats: REPEATS,
+        untraced_s,
+        traced_s,
+        overhead_pct,
+        limit_pct: LIMIT_PCT,
+        spans_per_matrix,
+        full_depth_overhead_pct,
+        full_depth_spans,
+        identical: true,
+    };
+    let path = dicer_bench::write_json("BENCH_trace_overhead", &bench).expect("write bench json");
+    println!("wrote {}", path.display());
+}

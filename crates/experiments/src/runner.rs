@@ -1,9 +1,10 @@
 //! One co-location run: HP + n BEs under a policy, to completion.
 //!
-//! The four `run_colocation*` entrypoints are thin configurations of the
+//! The `run_colocation*` entrypoints are thin configurations of the
 //! [`Session`] runtime — they build the server and policy, let the
 //! session drive the period loop, and extract the paper's metrics from
-//! the final state.
+//! the final state. Each layer delegates to the next: plain → capped →
+//! instrumented (telemetry bus) → traced (telemetry + span tracer).
 
 use crate::session::Session;
 use crate::solo_table::SoloTable;
@@ -110,6 +111,33 @@ pub fn run_colocation_instrumented(
     max_periods: u32,
     telemetry: &dicer_telemetry::Telemetry,
 ) -> ColocationOutcome {
+    run_colocation_traced(
+        solo,
+        hp,
+        be,
+        n_cores,
+        policy,
+        max_periods,
+        telemetry,
+        &dicer_telemetry::Tracer::off(),
+    )
+}
+
+/// [`run_colocation_instrumented`] with a span tracer on top: the session
+/// emits its session → period → stage span hierarchy (and the server its
+/// equilibrium-solve spans) into the tracer's own bus. Spans, like
+/// telemetry, are observational only.
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_traced(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+    max_periods: u32,
+    telemetry: &dicer_telemetry::Telemetry,
+    tracer: &dicer_telemetry::Tracer,
+) -> ColocationOutcome {
     let cfg = *solo.config();
     assert!(
         (2..=cfg.n_cores).contains(&n_cores),
@@ -118,8 +146,9 @@ pub fn run_colocation_instrumented(
     );
     let n_bes = (n_cores - 1) as usize;
     let server = Server::new(cfg, hp.clone(), vec![be.clone(); n_bes]);
-    let mut session =
-        Session::new(server, policy.build(), max_periods).with_telemetry(telemetry);
+    let mut session = Session::new(server, policy.build(), max_periods)
+        .with_telemetry(telemetry)
+        .with_tracing(tracer);
 
     let mut bw_acc = 0.0;
     let end = session.run_observed(
@@ -348,6 +377,41 @@ mod tests {
         assert_eq!(periods as u32, wired.periods, "one period event per period");
         assert!(events.iter().any(|e| e.kind() == "partition_applied"));
         assert!(events.iter().any(|e| e.kind() == "controller"));
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_emits_spans() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent, Tracer};
+        use std::sync::Arc;
+        let (cat, solo) = setup();
+        let hp = cat.get("milc1").unwrap();
+        let be = cat.get("gcc_base1").unwrap();
+        let policy = PolicyKind::Dicer(dicer_policy::DicerConfig::default());
+        let plain = run_colocation_capped(&solo, hp, be, 10, &policy, 20);
+        let spans = Arc::new(CollectingSink::new());
+        let traced = run_colocation_traced(
+            &solo,
+            hp,
+            be,
+            10,
+            &policy,
+            20,
+            &Telemetry::off(),
+            &Tracer::new(Telemetry::new(spans.clone())),
+        );
+        assert_eq!(plain, traced, "tracing must not change outcomes");
+        let names: Vec<&str> = spans
+            .take()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span(s) => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.iter().filter(|n| **n == "period").count() as u32, traced.periods);
+        assert!(names.contains(&"equilibrium_solve"), "server stages are traced too");
+        assert!(names.contains(&"partition_apply"), "DICER changes plans mid-run");
+        assert_eq!(names.last(), Some(&"session"), "the session span closes last");
     }
 
     #[test]

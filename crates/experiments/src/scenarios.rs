@@ -201,6 +201,21 @@ pub fn run_scenario_with(
     trace: &Telemetry,
     bus: &Telemetry,
 ) -> ScenarioResult {
+    run_scenario_traced(catalog, solo, sc, trace, bus, &dicer_telemetry::Tracer::off())
+}
+
+/// [`run_scenario_with`] with a span tracer on top: the session emits its
+/// span hierarchy (including the fault layer's `apply_retry` and the
+/// server's `equilibrium_solve` stages) into the tracer's bus. Spans are
+/// observational only — the decision trace stays byte-identical.
+pub fn run_scenario_traced(
+    catalog: &Catalog,
+    solo: &SoloTable,
+    sc: &FaultScenario,
+    trace: &Telemetry,
+    bus: &Telemetry,
+    tracer: &dicer_telemetry::Tracer,
+) -> ScenarioResult {
     let cfg = *solo.config();
     let n_ways = cfg.cache.ways;
     sc.dicer.validate_for(n_ways).expect("scenario DicerConfig invalid");
@@ -224,8 +239,9 @@ pub fn run_scenario_with(
     // The session wires `bus` through the whole stack (fault layer, server,
     // controller) and lands the initial plan outside the monitored path,
     // exactly as the clean runner does.
-    let mut session =
-        Session::new(plat, Dicer::new(sc.dicer.clone()), sc.periods).with_telemetry(bus);
+    let mut session = Session::new(plat, Dicer::new(sc.dicer.clone()), sc.periods)
+        .with_telemetry(bus)
+        .with_tracing(tracer);
 
     let mut bw_ewma = Ewma::new(TRACE_BW_ALPHA);
     let mut schedule = sc.schedule.iter();
@@ -454,6 +470,37 @@ mod tests {
             &Telemetry::new(Arc::new(dicer_telemetry::CollectingSink::new())),
         );
         assert_eq!(plain.to_jsonl(), wired.to_jsonl(), "telemetry must be observational only");
+    }
+
+    #[test]
+    fn traced_scenario_keeps_the_trace_byte_identical() {
+        use dicer_telemetry::{CollectingSink, TelemetryEvent, Tracer};
+        let (cat, solo) = standard_setup();
+        let sc = scenario_by_name(7, "flaky_actuator");
+        let plain = run_scenario(&cat, &solo, &sc);
+        let spans = Arc::new(CollectingSink::new());
+        let traced = run_scenario_traced(
+            &cat,
+            &solo,
+            &sc,
+            &Telemetry::off(),
+            &Telemetry::off(),
+            &Tracer::new(Telemetry::new(spans.clone())),
+        );
+        assert_eq!(plain.to_jsonl(), traced.to_jsonl(), "spans must be observational only");
+        let names: Vec<&str> = spans
+            .take()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span(s) => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            names.contains(&"apply_retry"),
+            "a flaky actuator must exercise the retry loop: {names:?}"
+        );
+        assert!(names.contains(&"equilibrium_solve"), "server stages trace through the wrapper");
     }
 
     #[test]

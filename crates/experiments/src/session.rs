@@ -34,7 +34,7 @@
 
 use dicer_policy::Policy;
 use dicer_rdt::{MonitoredPlatform, PeriodSample};
-use dicer_telemetry::Telemetry;
+use dicer_telemetry::{trace::stage, Telemetry, Tracer};
 
 /// One step of a running session, as handed to the observer.
 #[derive(Debug)]
@@ -65,6 +65,7 @@ pub struct Session<P, C> {
     platform: P,
     policy: C,
     max_periods: u32,
+    tracer: Tracer,
 }
 
 impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
@@ -72,7 +73,7 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
     /// as soon as [`MonitoredPlatform::workload_complete`] reports done).
     pub fn new(platform: P, policy: C, max_periods: u32) -> Self {
         assert!(max_periods >= 1, "a run needs at least one period");
-        Self { platform, policy, max_periods }
+        Self { platform, policy, max_periods, tracer: Tracer::off() }
     }
 
     /// Wires one telemetry bus into the whole stack — platform (and
@@ -82,6 +83,19 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
     pub fn with_telemetry(mut self, bus: &Telemetry) -> Self {
         self.platform.set_telemetry(bus.clone());
         self.policy.set_telemetry(bus.clone());
+        self
+    }
+
+    /// Wires a span tracer into the loop and the platform stack. The loop
+    /// then emits the session → period → {sensor_read, policy_step,
+    /// partition_apply} hierarchy, and the platform nests its own stage
+    /// spans (equilibrium solves, apply retries) inside them. Spans are
+    /// observational only: decisions are bit-identical with or without a
+    /// tracer, and with [`Tracer::new`]'s sim clock the span stream itself
+    /// is deterministic.
+    pub fn with_tracing(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self.platform.set_tracer(tracer.clone());
         self
     }
 
@@ -120,19 +134,32 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
         mut observe: impl FnMut(SessionStep<'_, S>, &P, &C),
     ) -> SessionEnd {
         let n_ways = self.platform.n_ways();
+        let mut session_span = self.tracer.span(stage::SESSION);
         // Run setup is not part of the monitored actuation path: the
         // initial plan bypasses fault injection.
         self.platform.apply_plan_direct(self.policy.initial_plan(n_ways));
 
         let mut periods = 0;
         while periods < self.max_periods {
+            let mut period_span = self.tracer.span(stage::PERIOD);
             let carry = pre_period(periods, &mut self.platform);
-            let delivered = self.platform.step_period_monitored();
-            let plan = match &delivered {
-                Some(s) => self.policy.on_period(s, n_ways),
-                None => self.policy.on_missing_period(n_ways),
+            let delivered = {
+                let _read = self.tracer.span(stage::SENSOR_READ);
+                self.platform.step_period_monitored()
+            };
+            if let Some(s) = &delivered {
+                period_span.note_time(s.time_s);
+                session_span.note_time(s.time_s);
+            }
+            let plan = {
+                let _step = self.tracer.span(stage::POLICY_STEP);
+                match &delivered {
+                    Some(s) => self.policy.on_period(s, n_ways),
+                    None => self.policy.on_missing_period(n_ways),
+                }
             };
             if plan != self.platform.current_plan() {
+                let _apply = self.tracer.span(stage::PARTITION_APPLY);
                 self.platform.apply_plan(plan);
             }
             if self.policy.mba_level() != self.platform.be_throttle() {
@@ -143,6 +170,7 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
                     self.platform.set_admitted_bes(n);
                 }
             }
+            drop(period_span);
             observe(
                 SessionStep { period: periods, delivered: delivered.as_ref(), carry },
                 &self.platform,
@@ -153,6 +181,7 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
                 break;
             }
         }
+        drop(session_span);
         SessionEnd { periods, completed: self.platform.workload_complete() }
     }
 }
@@ -313,5 +342,62 @@ mod tests {
     #[should_panic]
     fn zero_period_cap_rejected() {
         Session::new(FakePlatform::new(1), Unmanaged, 0);
+    }
+
+    #[test]
+    fn traced_run_emits_the_stage_hierarchy() {
+        use dicer_telemetry::{CollectingSink, SpanEvent, TelemetryEvent, Tracer};
+        use std::sync::Arc;
+
+        let sink = Arc::new(CollectingSink::new());
+        let tracer = Tracer::new(Telemetry::new(sink.clone()));
+        let mut s = Session::new(FakePlatform::new(3), Unmanaged, 100).with_tracing(&tracer);
+        let end = s.run();
+        assert_eq!(end.periods, 3);
+
+        let spans: Vec<SpanEvent> = sink
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span(sp) => Some(sp),
+                _ => None,
+            })
+            .collect();
+        let session: Vec<_> = spans.iter().filter(|s| s.name == "session").collect();
+        let periods: Vec<_> = spans.iter().filter(|s| s.name == "period").collect();
+        let reads: Vec<_> = spans.iter().filter(|s| s.name == "sensor_read").collect();
+        let steps: Vec<_> = spans.iter().filter(|s| s.name == "policy_step").collect();
+        assert_eq!(session.len(), 1);
+        assert_eq!(periods.len(), 3);
+        assert_eq!(reads.len(), 3);
+        assert_eq!(steps.len(), 3);
+        assert!(periods.iter().all(|p| p.parent == session[0].id));
+        for (read, step) in reads.iter().zip(&steps) {
+            assert_eq!(read.parent, step.parent, "read and step share a period parent");
+            assert!(read.end < step.start, "sensor read precedes the policy step");
+        }
+        assert_eq!(
+            session[0].time_s,
+            Some(3.0),
+            "the session span carries the last delivered sim time"
+        );
+        // UM never changes the plan after setup: no partition_apply spans.
+        assert!(spans.iter().all(|s| s.name != "partition_apply"));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_decisions() {
+        use dicer_telemetry::Tracer;
+
+        let run = |traced: bool| {
+            let mut s = Session::new(FakePlatform::new(50), PolicyKind::CacheTakeover.build(), 100);
+            if traced {
+                let sink = std::sync::Arc::new(dicer_telemetry::CollectingSink::new());
+                s = s.with_tracing(&Tracer::new(Telemetry::new(sink)));
+            }
+            let end = s.run();
+            (end, s.platform().current_plan(), s.platform().applies)
+        };
+        assert_eq!(run(false), run(true), "spans are observational only");
     }
 }

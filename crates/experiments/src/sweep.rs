@@ -13,6 +13,7 @@
 //! runs on the calling thread; the default ([`SweepRunner::auto`]) uses
 //! the machine's available parallelism.
 
+use dicer_telemetry::{trace::stage, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A bounded worker pool for experiment sweeps.
@@ -22,6 +23,8 @@ pub struct SweepRunner {
     /// `None` on the serial path; a dedicated pool otherwise, so `--jobs`
     /// bounds sweep concurrency without reconfiguring rayon's global pool.
     pool: Option<rayon::ThreadPool>,
+    /// Attached tracer ([`SweepRunner::with_tracer`]); disabled by default.
+    tracer: Tracer,
 }
 
 /// Degree of parallelism for a sweep, as selected on a command line.
@@ -64,7 +67,19 @@ impl SweepRunner {
                 .build()
                 .expect("sweep thread pool")
         });
-        Self { jobs, pool }
+        Self { jobs, pool, tracer: Tracer::off() }
+    }
+
+    /// Attaches a tracer: every subsequent [`SweepRunner::map`] item runs
+    /// under a `sweep_job` span (lane = the worker that picked it up), so
+    /// whole pipelines built on this runner — solo-table profiling,
+    /// classification, the evaluation matrix — self-profile without any
+    /// signature change. Span *content* per job stays deterministic;
+    /// which worker lane a job lands on does not, so attach a tracer only
+    /// on paths that do not feed byte-pinned artifacts.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     /// The serial runner (no rayon involvement at all).
@@ -94,14 +109,67 @@ impl SweepRunner {
         T: Send,
         F: Fn(&I) -> T + Sync + Send,
     {
+        if self.tracer.enabled() {
+            return self.run_items(items, |idx, item| {
+                traced_job(&self.tracer, idx, item, &|i, _| f(i))
+            });
+        }
+        self.run_items(items, |_, item| f(item))
+    }
+
+    /// [`SweepRunner::map`] with per-job span tracing: each item runs under
+    /// a `sweep_job` span on a forked per-job tracer ([`Tracer::job`]) that
+    /// `f` receives for nesting its own spans. The fork's lane is the rayon
+    /// worker index that picked the job up (`0` on the serial path), so a
+    /// Chrome export shows one row per worker; the span label is the item
+    /// index. Results are index-ordered exactly like `map` — tracing never
+    /// affects scheduling or output order. With a disabled tracer this *is*
+    /// `map`.
+    pub fn map_traced<I, T, F>(&self, items: &[I], tracer: &Tracer, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I, &Tracer) -> T + Sync + Send,
+    {
+        if !tracer.enabled() {
+            let off = Tracer::off();
+            return self.run_items(items, |_, item| f(item, &off));
+        }
+        self.run_items(items, |idx, item| traced_job(tracer, idx, item, &f))
+    }
+
+    /// The one executor both entry points share: applies `f(index, item)`
+    /// to every item, collecting in input order.
+    fn run_items<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync + Send,
+    {
         match &self.pool {
-            None => items.iter().map(f).collect(),
+            None => items.iter().enumerate().map(|(i, item)| f(i, item)).collect(),
             Some(pool) => {
                 use rayon::prelude::*;
-                pool.install(|| items.par_iter().map(|i| f(i)).collect())
+                pool.install(|| {
+                    items.par_iter().enumerate().map(|(i, item)| f(i, item)).collect()
+                })
             }
         }
     }
+}
+
+/// Runs one sweep item under a `sweep_job` span on a per-job tracer fork;
+/// the lane is the rayon worker index (0 on the serial path).
+fn traced_job<I, T>(
+    tracer: &Tracer,
+    idx: usize,
+    item: &I,
+    f: &(impl Fn(&I, &Tracer) -> T + Sync + Send),
+) -> T {
+    let lane = rayon::current_thread_index().unwrap_or(0) as u32;
+    let jt = tracer.job(lane);
+    let _job = jt.span_labelled(stage::SWEEP_JOB, format!("job{idx}"));
+    f(item, &jt)
 }
 
 #[cfg(test)]
@@ -150,6 +218,61 @@ mod tests {
     #[should_panic]
     fn zero_jobs_rejected() {
         SweepRunner::with_jobs(0);
+    }
+
+    #[test]
+    fn traced_map_matches_plain_and_emits_one_span_per_job() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent};
+        use std::sync::Arc;
+        let items: Vec<u64> = (0..24).collect();
+        let plain = SweepRunner::with_jobs(4).map(&items, |x| x * 3);
+
+        let sink = Arc::new(CollectingSink::new());
+        let tracer = Tracer::new(Telemetry::new(sink.clone()));
+        let traced = SweepRunner::with_jobs(4).map_traced(&items, &tracer, |x, jt| {
+            let _inner = jt.span(stage::POLICY_STEP);
+            x * 3
+        });
+        assert_eq!(plain, traced);
+
+        let spans: Vec<_> = sink
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let jobs: Vec<_> = spans.iter().filter(|s| s.name == stage::SWEEP_JOB).collect();
+        assert_eq!(jobs.len(), items.len(), "one sweep_job span per item");
+        let mut labels: Vec<_> = jobs.iter().map(|s| s.label.clone()).collect();
+        labels.sort();
+        assert!(labels.contains(&"job0".to_string()) && labels.contains(&"job23".to_string()));
+        // Every inner span nests under its job's span on the same fork.
+        let inner = spans.iter().filter(|s| s.name == stage::POLICY_STEP).count();
+        assert_eq!(inner, items.len());
+        // A disabled tracer stays silent and still computes the same result.
+        let off = Tracer::off();
+        let quiet = SweepRunner::serial().map_traced(&items, &off, |x, _| x * 3);
+        assert_eq!(quiet, plain);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn attached_tracer_makes_plain_map_emit_job_spans() {
+        use dicer_telemetry::{CollectingSink, Telemetry, TelemetryEvent};
+        use std::sync::Arc;
+        let sink = Arc::new(CollectingSink::new());
+        let tracer = Tracer::new(Telemetry::new(sink.clone()));
+        let runner = SweepRunner::serial().with_tracer(&tracer);
+        let out = runner.map(&[10u64, 20, 30], |x| x + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+        let jobs = sink
+            .take()
+            .into_iter()
+            .filter(|e| matches!(e, TelemetryEvent::Span(s) if s.name == stage::SWEEP_JOB))
+            .count();
+        assert_eq!(jobs, 3);
     }
 
     #[test]

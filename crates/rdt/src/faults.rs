@@ -24,7 +24,7 @@
 //! RNG draws happen and samples are delivered verbatim.
 
 use crate::{MbaController, MbaLevel, MonitoredPlatform, PartitionController, PartitionPlan, PeriodSample};
-use dicer_telemetry::{FaultCounters, Telemetry, TelemetryEvent};
+use dicer_telemetry::{trace::stage, FaultCounters, Telemetry, TelemetryEvent, Tracer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -398,6 +398,8 @@ pub struct FaultyPlatform<P> {
     last_delivered: Option<PeriodSample>,
     /// Telemetry handle; every recorded [`FaultEvent`] is mirrored to it.
     telemetry: Telemetry,
+    /// Span tracer; the pending-apply retry loop times itself with it.
+    tracer: Tracer,
 }
 
 impl<P> FaultyPlatform<P> {
@@ -410,6 +412,7 @@ impl<P> FaultyPlatform<P> {
             events: Vec::new(),
             last_delivered: None,
             telemetry: Telemetry::off(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -487,6 +490,7 @@ impl<P: MonitoredPlatform> FaultyPlatform<P> {
     /// budget runs out.
     fn tick_pending(&mut self) {
         if let Some((plan, retries)) = self.pending.take() {
+            let _span = self.tracer.span(stage::APPLY_RETRY);
             if self.injector.roll_retry_fails() {
                 if retries > 0 {
                     self.injector.stats.retried_applies += 1;
@@ -570,6 +574,13 @@ impl<P: MonitoredPlatform> MonitoredPlatform for FaultyPlatform<P> {
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry.clone();
         self.inner.set_telemetry(telemetry);
+    }
+
+    /// Wires the whole stack: the retry loop times itself, and the wrapped
+    /// platform gets the same tracer (its solver spans nest correctly).
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.inner.set_tracer(tracer);
     }
 }
 

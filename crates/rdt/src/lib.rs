@@ -119,4 +119,10 @@ pub trait MonitoredPlatform: PartitionController + MbaController {
     /// Emission is observational only; platforms without instrumentation
     /// ignore the handle.
     fn set_telemetry(&mut self, _telemetry: dicer_telemetry::Telemetry) {}
+
+    /// Attaches a span tracer to the platform (and anything it wraps), so
+    /// platform-internal stages (equilibrium solves, apply retries) emit
+    /// spans under the caller's period span. Observational only; platforms
+    /// without instrumentation ignore the handle.
+    fn set_tracer(&mut self, _tracer: dicer_telemetry::Tracer) {}
 }

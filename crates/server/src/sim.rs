@@ -4,7 +4,7 @@ use crate::{config::ServerConfig, contention, equilibrium::EquilibriumSolver, So
 use dicer_appmodel::{AppProfile, MissCurve, Phase};
 use dicer_membw::LinkModel;
 use dicer_rdt::{MbaController, MbaLevel, PartitionController, PartitionPlan, PerAppSample, PeriodSample};
-use dicer_telemetry::{PeriodEvent, Telemetry, TelemetryEvent};
+use dicer_telemetry::{trace::stage, PeriodEvent, Telemetry, TelemetryEvent, Tracer};
 use std::collections::HashMap;
 
 /// A running (and restarting) application pinned to one core.
@@ -174,6 +174,7 @@ pub struct Server {
     /// Persistent key buffer, mutated in place for alloc-free lookups.
     ways_key: WaysKey,
     telemetry: Telemetry,
+    tracer: Tracer,
 }
 
 impl Server {
@@ -215,6 +216,7 @@ impl Server {
                 phase_idx: Vec::new(),
             },
             telemetry: Telemetry::off(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -223,6 +225,14 @@ impl Server {
     /// plan change; emission is observational only and never alters stepping.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a span tracer: each equilibrium-solver call inside
+    /// [`Server::step_period`]'s sub-period loop becomes an
+    /// `equilibrium_solve` span (nested under whatever span the caller has
+    /// open). Observational only.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Server configuration.
@@ -501,7 +511,7 @@ impl Server {
             // Split the borrow: the solver is staged and queried while the
             // instances and scratch buffers are updated through disjoint
             // fields.
-            let Server { solver, scratch, hp, bes, .. } = self;
+            let Server { solver, scratch, hp, bes, tracer, .. } = self;
             solver.begin();
             for &i in &scratch.active {
                 let (phase, scale) = if i == 0 {
@@ -511,7 +521,11 @@ impl Server {
                 };
                 solver.push(phase, scratch.miss[i], scale);
             }
-            let eq = solver.solve();
+            let eq = {
+                let mut span = tracer.span(stage::EQUILIBRIUM_SOLVE);
+                span.note_time(period_start + (period_s - remaining));
+                solver.solve()
+            };
 
             // Time until the nearest phase boundary among running apps.
             let mut dt = remaining;
@@ -615,6 +629,10 @@ impl dicer_rdt::MonitoredPlatform for Server {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         Server::set_telemetry(self, telemetry);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        Server::set_tracer(self, tracer);
     }
 }
 

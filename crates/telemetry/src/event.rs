@@ -280,6 +280,9 @@ pub enum TelemetryEvent {
     Decision(DecisionEvent),
     /// A scenario-trace summary (golden JSONL final line format).
     ScenarioSummary(ScenarioSummaryEvent),
+    /// A closed tracing span (see [`crate::trace`]). Only emitted when a
+    /// `Tracer` is attached, so golden-producing paths never see it.
+    Span(crate::trace::SpanEvent),
 }
 
 /// Minimal JSON string escaping (labels in traces are plain ASCII, but the
@@ -416,6 +419,7 @@ impl TelemetryEvent {
             TelemetryEvent::Fault { .. } => "fault",
             TelemetryEvent::Decision(_) => "decision",
             TelemetryEvent::ScenarioSummary(_) => "scenario_summary",
+            TelemetryEvent::Span(_) => "span",
         }
     }
 
@@ -451,6 +455,7 @@ impl TelemetryEvent {
             TelemetryEvent::Fault { label } => {
                 format!("{{\"event\":\"fault\",\"kind\":{}}}", json_str(label))
             }
+            TelemetryEvent::Span(s) => s.to_json(),
         }
     }
 }

@@ -16,6 +16,11 @@
 //! * **Metrics** ([`metrics`]) — [`MetricsRegistry`] hands out lock-free
 //!   [`Counter`]/[`Gauge`]/[`Histogram`] handles and renders deterministic
 //!   Prometheus text format for the `dicerd` daemon's `/metrics` endpoint.
+//! * **Tracing** ([`trace`]) — hierarchical [`SpanEvent`] self-profiling:
+//!   a [`Tracer`] opens session → period → stage spans that flow over the
+//!   same sinks as [`TelemetryEvent::Span`], with deterministic logical
+//!   timing (golden-safe) and opt-in wall-clock timing, plus a Chrome
+//!   trace-event JSON exporter for Perfetto.
 //!
 //! This crate is a workspace leaf: it depends on nothing above the
 //! platform layer, so `dicer-rdt`, `dicer-policy`, `dicer-server`, and
@@ -28,6 +33,7 @@ pub mod event;
 pub mod metrics;
 pub mod ring;
 pub mod sink;
+pub mod trace;
 
 pub use event::{
     json_f64, json_opt_f64, json_str, ControllerCounters, ControllerEvent, DecisionEvent,
@@ -36,3 +42,7 @@ pub use event::{
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::RingRecorder;
 pub use sink::{CollectingSink, FanoutSink, JsonlSink, Telemetry, TelemetrySink};
+pub use trace::{
+    chrome_trace_json, stage, ChromeTraceBuilder, SpanEvent, SpanGuard, Tracer,
+    STAGE_SECONDS_BOUNDS,
+};

@@ -5,7 +5,10 @@
 //! then lock only the slot they land on, so concurrent producers contend
 //! only when they hash to the same slot. When the ring is full the oldest
 //! event is overwritten (drop-oldest) and a dropped-events counter is
-//! bumped; readers can reconcile how much history they lost.
+//! bumped. Draining the ring consumes the retained events and resets that
+//! counter — once a reader has caught up, earlier losses are observed
+//! history, not pending ones — while [`RingRecorder::total_dropped`] keeps
+//! the monotone lifetime tally.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,8 +22,10 @@ pub struct RingRecorder {
     slots: Vec<Mutex<Option<(u64, TelemetryEvent)>>>,
     /// Next sequence number to assign (== total events ever emitted).
     head: AtomicU64,
-    /// Events overwritten before any reader saw them via `drain`.
+    /// Events overwritten since the last `drain`.
     dropped: AtomicU64,
+    /// Events overwritten over the recorder's lifetime (never resets).
+    dropped_total: AtomicU64,
 }
 
 impl RingRecorder {
@@ -32,6 +37,7 @@ impl RingRecorder {
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
             head: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            dropped_total: AtomicU64::new(0),
         }
     }
 
@@ -45,9 +51,16 @@ impl RingRecorder {
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Events lost to overwrites (never observed by `drain`).
+    /// Events lost to overwrites since the last [`RingRecorder::drain`]
+    /// (a drain acknowledges prior losses and resets this to zero).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwrites over the recorder's whole lifetime.
+    /// Monotone; unaffected by draining.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
     }
 
     /// The most recent `n` retained events, oldest first. Non-destructive:
@@ -62,12 +75,16 @@ impl RingRecorder {
         entries.into_iter().map(|(_, ev)| ev).collect()
     }
 
-    /// Remove and return every retained event, oldest first. Events taken
-    /// here no longer count as droppable.
+    /// Remove and return every retained event, oldest first, and reset
+    /// the [`RingRecorder::dropped`] counter: a drain is a reader catching
+    /// up, so earlier overwrites become observed history rather than
+    /// pending loss. The lifetime tally stays in
+    /// [`RingRecorder::total_dropped`].
     pub fn drain(&self) -> Vec<TelemetryEvent> {
         let mut entries: Vec<(u64, TelemetryEvent)> =
             self.slots.iter().filter_map(|s| s.lock().take()).collect();
         entries.sort_unstable_by_key(|(seq, _)| *seq);
+        self.dropped.store(0, Ordering::Relaxed);
         entries.into_iter().map(|(_, ev)| ev).collect()
     }
 }
@@ -79,6 +96,7 @@ impl TelemetrySink for RingRecorder {
         let mut slot = self.slots[idx].lock();
         if slot.is_some() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
         }
         *slot = Some((seq, event.clone()));
     }
@@ -154,13 +172,19 @@ mod tests {
         assert_eq!(ring.dropped(), 2);
         let drained: Vec<u64> = ring.drain().iter().map(period_of).collect();
         assert_eq!(drained, vec![2, 3, 4, 5]);
+        assert_eq!(ring.dropped(), 0, "drain acknowledges prior losses");
+        assert_eq!(ring.total_dropped(), 2, "lifetime tally survives the drain");
         assert!(ring.drain().is_empty());
         // Drained slots are free again: the next capacity-many emits
         // overwrite nothing.
         for i in 6..10 {
             ring.emit(&numbered(i));
         }
-        assert_eq!(ring.dropped(), 2, "no new drops after a full drain");
+        assert_eq!(ring.dropped(), 0, "no new drops after a full drain");
+        // One more wraps: the since-drain counter starts again from zero.
+        ring.emit(&numbered(10));
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.total_dropped(), 3);
     }
 
     #[test]
@@ -220,7 +244,9 @@ mod tests {
         let total = ring.total_emitted();
         assert_eq!(total, PRODUCERS * PER_PRODUCER);
         let remaining = ring.drain().len() as u64;
-        let accounted = *drained.lock() + remaining + ring.dropped();
+        // `dropped()` resets at each drain, so reconcile against the
+        // monotone lifetime tally.
+        let accounted = *drained.lock() + remaining + ring.total_dropped();
         assert_eq!(accounted, total, "every event drained, retained, or counted dropped");
     }
 }

@@ -1,0 +1,605 @@
+//! Hierarchical span tracing and self-profiling.
+//!
+//! A [`Span`] is one timed region of the control loop — the whole session,
+//! one monitoring period, or one of the stages inside it (sensor read,
+//! policy step, equilibrium solve, partition apply, sweep job). Spans form
+//! a hierarchy through parent ids and flow over the ordinary
+//! [`crate::TelemetrySink`] as [`crate::TelemetryEvent::Span`] events, so
+//! every existing sink (JSONL, ring buffer, fan-out, metrics folding)
+//! works on them unchanged.
+//!
+//! # Two clocks
+//!
+//! Spans always carry **logical time**: every open and close takes one
+//! tick from the tracer's monotone counter, so start/end ticks encode the
+//! exact nesting and ordering of the run. Logical time is a pure function
+//! of control flow — reruns of a deterministic run produce byte-identical
+//! span streams, which is what keeps the committed goldens and the
+//! `dicer-trace` Chrome export byte-stable.
+//!
+//! **Wall-clock time** is opt-in ([`Tracer::with_wall_clock`]): spans
+//! additionally record their real duration in nanoseconds. Wall timing is
+//! for live self-profiling (the `dicerd` daemon folds it into per-stage
+//! latency histograms) and is never byte-stable; golden-producing paths
+//! use the sim clock only.
+//!
+//! # Hierarchy and hot-path cost
+//!
+//! The conventional stage names are the [`stage`] constants:
+//!
+//! ```text
+//! session
+//! └── period                   (one per monitoring period)
+//!     ├── sensor_read          (platform step + fault injection)
+//!     │   ├── apply_retry      (pending-plan retry, fault layer)
+//!     │   └── equilibrium_solve  (one per solver call)
+//!     ├── policy_step          (controller decision)
+//!     └── partition_apply      (plan actuation, when the plan changed)
+//! sweep_job                    (one per sweep item, own lane per job)
+//! ```
+//!
+//! A disabled [`Tracer`] ([`Tracer::off`], the default everywhere) costs
+//! one branch per span site — no ids, no ticks, no allocation. An enabled
+//! sim-clock tracer costs two relaxed atomic increments per span plus one
+//! event emission at close.
+//!
+//! # Concurrency
+//!
+//! One tracer traces one logical thread of control: the current-parent
+//! context is a single cell, so spans opened from concurrent threads
+//! through the *same* tracer would race for parentage. Parallel sweeps
+//! instead give every job its own tracer via [`Tracer::job`] — fresh tick
+//! and id counters (deterministic per job), a per-job lane for the Chrome
+//! export's `tid`, and the shared sink.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{json_opt_f64, json_str, TelemetryEvent};
+use crate::sink::Telemetry;
+
+/// Conventional span names used across the workspace. Free-form names are
+/// allowed; these are the ones the instrumented stack emits and the ones
+/// `dicer-trace` and the `dicerd` stage histograms know how to label.
+pub mod stage {
+    /// The whole run: one per [`Session`](https://docs.rs/) period loop.
+    pub const SESSION: &str = "session";
+    /// One monitoring period.
+    pub const PERIOD: &str = "period";
+    /// Platform stepping + monitoring delivery (includes fault injection).
+    pub const SENSOR_READ: &str = "sensor_read";
+    /// The controller's decision for the period.
+    pub const POLICY_STEP: &str = "policy_step";
+    /// One equilibrium-solver call.
+    pub const EQUILIBRIUM_SOLVE: &str = "equilibrium_solve";
+    /// Actuating a changed partition plan.
+    pub const PARTITION_APPLY: &str = "partition_apply";
+    /// Settling a pending (failed/delayed) apply at a period boundary.
+    pub const APPLY_RETRY: &str = "apply_retry";
+    /// One item of a parallel sweep.
+    pub const SWEEP_JOB: &str = "sweep_job";
+}
+
+/// Bucket bounds (seconds) for per-stage wall-latency histograms. Spans
+/// range from sub-microsecond stage bodies to multi-second sweep jobs.
+pub const STAGE_SECONDS_BOUNDS: [f64; 12] = [
+    1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0, 300.0, 1800.0,
+];
+
+/// One closed span, as carried on the telemetry bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (a [`stage`] constant for instrumented stack stages).
+    pub name: &'static str,
+    /// Unique id within the tracer (from 1; 0 is reserved for "no span").
+    pub id: u64,
+    /// Parent span id; 0 for a root span.
+    pub parent: u64,
+    /// Logical lane (rayon worker / sweep job index; Chrome `tid`).
+    pub lane: u32,
+    /// Logical open tick (deterministic; Chrome `ts` in microseconds).
+    pub start: u64,
+    /// Logical close tick (strictly greater than `start`).
+    pub end: u64,
+    /// Simulated time noted on the span, seconds (`None` when the span
+    /// carries no sim-time annotation).
+    pub time_s: Option<f64>,
+    /// Wall-clock duration in nanoseconds; `None` on a sim-clock tracer.
+    pub wall_ns: Option<u64>,
+    /// Free-form detail (sweep-job key, solver batch size); empty = none.
+    pub label: String,
+}
+
+impl SpanEvent {
+    /// Logical duration in ticks.
+    pub fn ticks(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// One JSON object, fixed field order (the bus rendering used by
+    /// [`crate::TelemetryEvent::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"event\":\"span\",\"name\":{},\"id\":{},\"parent\":{},\"lane\":{},\
+             \"start\":{},\"end\":{},\"time_s\":{},\"wall_ns\":{},\"label\":{}}}",
+            json_str(self.name),
+            self.id,
+            self.parent,
+            self.lane,
+            self.start,
+            self.end,
+            json_opt_f64(self.time_s),
+            match self.wall_ns {
+                Some(ns) => ns.to_string(),
+                None => "null".to_string(),
+            },
+            if self.label.is_empty() { "null".to_string() } else { json_str(&self.label) },
+        )
+    }
+}
+
+struct TracerCore {
+    bus: Telemetry,
+    /// Logical clock: one tick per span open/close.
+    ticks: AtomicU64,
+    /// Next span id (ids start at 1).
+    next_id: AtomicU64,
+    /// Id of the innermost open span (the parent of the next one); 0 = none.
+    current: AtomicU64,
+    /// Wall-clock epoch; `Some` enables wall timing on every span.
+    epoch: Option<Instant>,
+}
+
+/// Cheap, cloneable span factory. Disabled by default ([`Tracer::off`]);
+/// enabled tracers emit one [`TelemetryEvent::Span`] per closed span into
+/// their bus.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    core: Option<Arc<TracerCore>>,
+    lane: u32,
+}
+
+impl Tracer {
+    /// The disabled tracer: every span site is a single branch.
+    pub fn off() -> Self {
+        Tracer { core: None, lane: 0 }
+    }
+
+    /// A sim-clock tracer emitting into `bus`. Deterministic: reruns of a
+    /// deterministic run produce byte-identical span streams.
+    pub fn new(bus: Telemetry) -> Self {
+        Self::build(bus, None)
+    }
+
+    /// A tracer that additionally records wall-clock durations. Not
+    /// byte-stable; never wire this into a golden-producing path.
+    pub fn with_wall_clock(bus: Telemetry) -> Self {
+        Self::build(bus, Some(Instant::now()))
+    }
+
+    fn build(bus: Telemetry, epoch: Option<Instant>) -> Self {
+        Tracer {
+            core: Some(Arc::new(TracerCore {
+                bus,
+                ticks: AtomicU64::new(0),
+                next_id: AtomicU64::new(1),
+                current: AtomicU64::new(0),
+                epoch,
+            })),
+            lane: 0,
+        }
+    }
+
+    /// Whether spans go anywhere.
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// An independent per-job tracer for one item of a parallel sweep:
+    /// fresh tick/id counters and parent context (deterministic within the
+    /// job), the given lane, and the same bus and clock mode. Disabled
+    /// tracers fork to disabled tracers.
+    pub fn job(&self, lane: u32) -> Tracer {
+        match &self.core {
+            None => Tracer::off(),
+            Some(core) => Tracer {
+                core: Some(Arc::new(TracerCore {
+                    bus: core.bus.clone(),
+                    ticks: AtomicU64::new(0),
+                    next_id: AtomicU64::new(1),
+                    current: AtomicU64::new(0),
+                    epoch: core.epoch,
+                })),
+                lane,
+            },
+        }
+    }
+
+    /// Opens a span as a child of the innermost open span. Close (and
+    /// emission) happens when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_labelled(name, String::new())
+    }
+
+    /// [`Tracer::span`] with a free-form detail label.
+    pub fn span_labelled(&self, name: &'static str, label: String) -> SpanGuard {
+        let Some(core) = &self.core else {
+            return SpanGuard {
+                core: None,
+                name,
+                label: String::new(),
+                id: 0,
+                parent: 0,
+                lane: 0,
+                start: 0,
+                wall_start_ns: 0,
+                time_s: None,
+            };
+        };
+        let id = core.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = core.current.swap(id, Ordering::Relaxed);
+        let start = core.ticks.fetch_add(1, Ordering::Relaxed);
+        let wall_start_ns = match &core.epoch {
+            Some(epoch) => epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        };
+        SpanGuard {
+            core: Some(core.clone()),
+            name,
+            label,
+            id,
+            parent,
+            lane: self.lane,
+            start,
+            wall_start_ns,
+            time_s: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("lane", &self.lane)
+            .finish()
+    }
+}
+
+/// An open span. Dropping it closes the span, emits the
+/// [`TelemetryEvent::Span`] and restores its parent as the tracer's
+/// current span.
+#[must_use = "a span measures the region it is alive for"]
+pub struct SpanGuard {
+    core: Option<Arc<TracerCore>>,
+    name: &'static str,
+    label: String,
+    id: u64,
+    parent: u64,
+    lane: u32,
+    start: u64,
+    wall_start_ns: u64,
+    time_s: Option<f64>,
+}
+
+impl SpanGuard {
+    /// Annotates the span with a simulated timestamp (seconds). The last
+    /// note before close wins.
+    pub fn note_time(&mut self, time_s: f64) {
+        if self.core.is_some() {
+            self.time_s = Some(time_s);
+        }
+    }
+
+    /// Replaces the span's detail label.
+    pub fn note_label(&mut self, label: String) {
+        if self.core.is_some() {
+            self.label = label;
+        }
+    }
+
+    /// This span's id (0 on a disabled tracer).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(core) = self.core.take() else { return };
+        let end = core.ticks.fetch_add(1, Ordering::Relaxed);
+        core.current.store(self.parent, Ordering::Relaxed);
+        let wall_ns = core
+            .epoch
+            .as_ref()
+            .map(|epoch| (epoch.elapsed().as_nanos() as u64).saturating_sub(self.wall_start_ns));
+        core.bus.emit(&TelemetryEvent::Span(SpanEvent {
+            name: self.name,
+            id: self.id,
+            parent: self.parent,
+            lane: self.lane,
+            start: self.start,
+            end,
+            time_s: self.time_s,
+            wall_ns,
+            label: std::mem::take(&mut self.label),
+        }));
+    }
+}
+
+/// Incremental Chrome trace-event JSON writer (the `chrome://tracing` /
+/// Perfetto "JSON Array Format"). Spans render as complete (`"ph":"X"`)
+/// events: `ts`/`dur` are the logical ticks in microseconds, `tid` is the
+/// span's lane, and sim time, wall duration and label ride in `args`.
+/// Output is deterministic for a given push sequence.
+pub struct ChromeTraceBuilder {
+    buf: String,
+    any: bool,
+}
+
+impl Default for ChromeTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace document.
+    pub fn new() -> Self {
+        ChromeTraceBuilder { buf: String::from("{\"traceEvents\":["), any: false }
+    }
+
+    /// Appends one complete event. `name`/`label` may be any string; the
+    /// remaining fields mirror [`SpanEvent`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        name: &str,
+        id: u64,
+        parent: u64,
+        lane: u32,
+        start: u64,
+        end: u64,
+        time_s: Option<f64>,
+        wall_ns: Option<u64>,
+        label: &str,
+    ) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str(&format!(
+            "\n{{\"name\":{},\"cat\":\"dicer\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{},\"time_s\":{},\
+             \"wall_ns\":{},\"label\":{}}}}}",
+            json_str(name),
+            lane,
+            start,
+            end - start,
+            id,
+            parent,
+            json_opt_f64(time_s),
+            match wall_ns {
+                Some(ns) => ns.to_string(),
+                None => "null".to_string(),
+            },
+            if label.is_empty() { "null".to_string() } else { json_str(label) },
+        ));
+    }
+
+    /// Appends one [`SpanEvent`].
+    pub fn push_span(&mut self, s: &SpanEvent) {
+        self.push(
+            s.name, s.id, s.parent, s.lane, s.start, s.end, s.time_s, s.wall_ns, &s.label,
+        );
+    }
+
+    /// Closes the document and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        self.buf
+    }
+}
+
+/// Renders a span list as a Chrome trace-event JSON document (see
+/// [`ChromeTraceBuilder`]). Byte-stable for a given span sequence.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    for s in spans {
+        b.push_span(s);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectingSink;
+
+    fn spans_of(sink: &CollectingSink) -> Vec<SpanEvent> {
+        sink.take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn off_tracer_is_free_and_silent() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        let mut g = t.span(stage::PERIOD);
+        g.note_time(1.0);
+        assert_eq!(g.id(), 0);
+        drop(g); // must not panic or emit
+        assert!(!t.job(3).enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Tracer::new(Telemetry::new(sink.clone()));
+        {
+            let session = t.span(stage::SESSION);
+            {
+                let period = t.span(stage::PERIOD);
+                let read = t.span(stage::SENSOR_READ);
+                drop(read);
+                let step = t.span(stage::POLICY_STEP);
+                drop(step);
+                drop(period);
+            }
+            drop(session);
+        }
+        let spans = spans_of(&sink);
+        // Spans emit at close: innermost first.
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["sensor_read", "policy_step", "period", "session"]);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let session = by_name("session");
+        let period = by_name("period");
+        assert_eq!(session.parent, 0, "session is a root span");
+        assert_eq!(period.parent, session.id);
+        assert_eq!(by_name("sensor_read").parent, period.id);
+        assert_eq!(by_name("policy_step").parent, period.id);
+        // Ticks bracket children strictly.
+        assert!(session.start < period.start && period.end < session.end);
+        assert!(period.start < by_name("sensor_read").start);
+        assert!(by_name("sensor_read").end < by_name("policy_step").start);
+    }
+
+    #[test]
+    fn parent_context_restores_after_close() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Tracer::new(Telemetry::new(sink.clone()));
+        let root = t.span(stage::SESSION);
+        drop(t.span(stage::PERIOD)); // open + close a child
+        let sibling = t.span(stage::PERIOD);
+        drop(sibling);
+        drop(root);
+        let spans = spans_of(&sink);
+        assert_eq!(spans.len(), 3);
+        let root_id = spans.last().unwrap().id;
+        assert!(
+            spans[..2].iter().all(|s| s.parent == root_id),
+            "both periods are children of the session, not of each other"
+        );
+    }
+
+    #[test]
+    fn sim_clock_spans_are_deterministic() {
+        let run = || {
+            let sink = Arc::new(CollectingSink::new());
+            let t = Tracer::new(Telemetry::new(sink.clone()));
+            let mut s = t.span(stage::SESSION);
+            s.note_time(2.0);
+            drop(t.span_labelled(stage::SWEEP_JOB, "job0".into()));
+            drop(s);
+            spans_of(&sink)
+                .iter()
+                .map(SpanEvent::to_json)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = run();
+        assert_eq!(a, run(), "sim-clock span streams must be byte-identical");
+        assert!(a.contains("\"wall_ns\":null"), "sim clock carries no wall time: {a}");
+    }
+
+    #[test]
+    fn wall_clock_records_durations() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Tracer::with_wall_clock(Telemetry::new(sink.clone()));
+        drop(t.span(stage::PERIOD));
+        let spans = spans_of(&sink);
+        assert!(spans[0].wall_ns.is_some(), "wall mode must stamp durations");
+    }
+
+    #[test]
+    fn job_tracers_are_independent_and_laned() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Tracer::new(Telemetry::new(sink.clone()));
+        let a = t.job(0);
+        let b = t.job(1);
+        drop(a.span(stage::SWEEP_JOB));
+        drop(b.span(stage::SWEEP_JOB));
+        let spans = spans_of(&sink);
+        assert_eq!(spans.len(), 2);
+        // Fresh counters per job: both spans are roots with id 1, tick 0.
+        for s in &spans {
+            assert_eq!(s.id, 1);
+            assert_eq!(s.parent, 0);
+            assert_eq!(s.start, 0);
+        }
+        assert_eq!(spans[0].lane, 0);
+        assert_eq!(spans[1].lane, 1);
+    }
+
+    #[test]
+    fn span_json_has_fixed_field_order() {
+        let s = SpanEvent {
+            name: stage::PERIOD,
+            id: 2,
+            parent: 1,
+            lane: 0,
+            start: 3,
+            end: 8,
+            time_s: Some(4.0),
+            wall_ns: None,
+            label: String::new(),
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"event\":\"span\",\"name\":\"period\",\"id\":2,\"parent\":1,\"lane\":0,\
+             \"start\":3,\"end\":8,\"time_s\":4,\"wall_ns\":null,\"label\":null}"
+        );
+        assert_eq!(s.ticks(), 5);
+        let labelled = SpanEvent { label: "job3".into(), wall_ns: Some(1500), ..s };
+        let json = labelled.to_json();
+        assert!(json.contains("\"wall_ns\":1500"));
+        assert!(json.ends_with("\"label\":\"job3\"}"));
+    }
+
+    #[test]
+    fn chrome_export_is_pinned_and_byte_stable() {
+        let spans = vec![
+            SpanEvent {
+                name: stage::SESSION,
+                id: 1,
+                parent: 0,
+                lane: 0,
+                start: 0,
+                end: 5,
+                time_s: Some(2.0),
+                wall_ns: None,
+                label: String::new(),
+            },
+            SpanEvent {
+                name: stage::PERIOD,
+                id: 2,
+                parent: 1,
+                lane: 0,
+                start: 1,
+                end: 4,
+                time_s: None,
+                wall_ns: Some(250),
+                label: "p0".into(),
+            },
+        ];
+        let got = chrome_trace_json(&spans);
+        let want = "{\"traceEvents\":[\n\
+             {\"name\":\"session\",\"cat\":\"dicer\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\
+             \"ts\":0,\"dur\":5,\"args\":{\"id\":1,\"parent\":0,\"time_s\":2,\
+             \"wall_ns\":null,\"label\":null}},\n\
+             {\"name\":\"period\",\"cat\":\"dicer\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\
+             \"ts\":1,\"dur\":3,\"args\":{\"id\":2,\"parent\":1,\"time_s\":null,\
+             \"wall_ns\":250,\"label\":\"p0\"}}\n\
+             ],\"displayTimeUnit\":\"ms\"}\n";
+        assert_eq!(got, want);
+        assert_eq!(got, chrome_trace_json(&spans), "export must be byte-stable");
+        assert!(chrome_trace_json(&[]).contains("\"traceEvents\":[\n]"));
+    }
+}

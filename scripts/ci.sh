@@ -10,7 +10,10 @@
 #   (default)  formatting, clippy, the full workspace test suite, the
 #              fault-injection robustness suite (deterministic JSONL traces
 #              under results/robustness/), the serial-vs-parallel sweep
-#              benchmark (results/BENCH_sweep.json), and a dicerd daemon
+#              benchmark (results/BENCH_sweep.json), the span-tracing
+#              overhead benchmark (results/BENCH_trace_overhead.json), a
+#              dicer-trace round trip (record a trace, render the report,
+#              JSON-validate the Chrome export), and a dicerd daemon
 #              smoke test.
 #   --fast     clippy plus controller-stack unit tests, the conformance,
 #              fault-injection and sweep-determinism suites — the
@@ -99,6 +102,41 @@ cargo run -q --bin robustness_study || fail=1
 step "sweep benchmark (serial vs parallel matrix, results/BENCH_sweep.json)"
 cargo run -q --release -p dicer-bench --bin sweep_bench || fail=1
 
+step "span tracing overhead (results/BENCH_trace_overhead.json, <3% budget)"
+cargo run -q --release -p dicer-bench --bin trace_overhead || fail=1
+
+step "dicer-trace round trip (record, report, Chrome export)"
+trace_dir="$(mktemp -d)"
+cargo run -q --release --bin dicer-sim -- run --hp milc1 --be gcc_base1 \
+    --trace "$trace_dir/run.jsonl" >/dev/null || fail=1
+if [ "$fail" -eq 0 ]; then
+    cargo run -q --release --bin dicer-trace -- "$trace_dir/run.jsonl" \
+        --chrome "$trace_dir/chrome.json" > "$trace_dir/report1.txt" || fail=1
+    grep -q 'stage cost breakdown' "$trace_dir/report1.txt" \
+        || { echo "report missing cost breakdown" >&2; fail=1; }
+    grep -q 'decision timeline' "$trace_dir/report1.txt" \
+        || { echo "report missing decision timeline" >&2; fail=1; }
+    # The report and export are pure functions of the trace bytes.
+    cargo run -q --release --bin dicer-trace -- "$trace_dir/run.jsonl" \
+        --chrome "$trace_dir/chrome2.json" > "$trace_dir/report2.txt" || fail=1
+    sed 's/chrome2\.json/chrome.json/' "$trace_dir/report2.txt" \
+        | cmp -s - "$trace_dir/report1.txt" \
+        || { echo "dicer-trace report not deterministic" >&2; fail=1; }
+    cmp -s "$trace_dir/chrome.json" "$trace_dir/chrome2.json" \
+        || { echo "Chrome export not deterministic" >&2; fail=1; }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$trace_dir/chrome.json" <<'PY' || { echo "Chrome export is not valid JSON" >&2; fail=1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert isinstance(doc["traceEvents"], list) and doc["traceEvents"], "no trace events"
+assert all(e["ph"] == "X" for e in doc["traceEvents"]), "non-complete event"
+PY
+    else
+        echo "note: python3 not installed, skipping Chrome JSON validation"
+    fi
+fi
+rm -rf "$trace_dir"
+
 step "dicerd smoke test (start, scrape, shut down)"
 DICERD_PORT="${DICERD_PORT:-18950}"
 if command -v curl >/dev/null 2>&1; then
@@ -122,6 +160,11 @@ if command -v curl >/dev/null 2>&1; then
                 | grep -q '^# TYPE dicer_hp_ipc histogram$' || { echo "missing hp_ipc histogram" >&2; fail=1; }
             curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
                 | grep -q '^dicer_runs_total ' || { echo "missing runs counter" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^# TYPE dicer_stage_seconds histogram$' \
+                || { echo "missing per-stage latency histogram" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/healthz" \
+                | grep -q '"status":"ok"' || { echo "bad /healthz payload" >&2; fail=1; }
             curl -sf "http://127.0.0.1:$DICERD_PORT/events?n=5" \
                 | grep -q '^\[' || { echo "bad /events payload" >&2; fail=1; }
         fi

@@ -12,6 +12,14 @@
 //! controller transitions, partition applies) as JSON lines on stdout
 //! after the summary table; `off` (the default) disables it.
 //!
+//! `--trace FILE` writes the same event bus *plus* hierarchical spans
+//! (session → period → sensor-read / policy-step / equilibrium-solve /
+//! partition-apply) as JSON lines to `FILE`. Spans carry deterministic
+//! logical ticks and simulated seconds — rerunning the same command
+//! reproduces the file byte-for-byte. Feed it to `dicer-trace` for
+//! reports or a Chrome trace export. Composes with `--telemetry`:
+//! stdout output is unchanged by `--trace`.
+//!
 //! `--jobs N` bounds sweep parallelism (`matrix`, and the solo-table
 //! profiling behind `run`/`compare`). The default is one worker per
 //! available core; `--jobs 1` forces the serial path. Parallel and serial
@@ -23,21 +31,21 @@
 use dicer::appmodel::Catalog;
 use dicer::cli::{parse_flags, parse_jobs, parse_policy};
 use dicer::experiments::figures::matrix::EvalMatrix;
-use dicer::experiments::runner::{run_colocation_instrumented, run_colocation_with, MAX_PERIODS};
+use dicer::experiments::runner::{run_colocation_traced, run_colocation_with, MAX_PERIODS};
 use dicer::experiments::workloads::WorkloadSet;
 use dicer::experiments::{ablation, trace, SoloTable};
 use dicer::metrics::geomean;
 use dicer::policy::{DicerConfig, PolicyKind};
 use dicer::server::ServerConfig;
-use dicer::telemetry::{JsonlSink, Telemetry};
+use dicer::telemetry::{FanoutSink, JsonlSink, Telemetry, TelemetrySink, Tracer};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dicer-sim catalog\n  dicer-sim solo <APP>\n  \
-         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off] [--jobs N]\n  \
-         dicer-sim compare --hp <APP> --be <APP> [--cores N] [--jobs N]\n  \
+         dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off] [--trace FILE] [--jobs N]\n  \
+         dicer-sim compare --hp <APP> --be <APP> [--cores N] [--trace FILE] [--jobs N]\n  \
          dicer-sim matrix [--cores N] [--jobs N]\n\
          policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
     );
@@ -146,25 +154,47 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            let trace_path = flags.get("trace").cloned();
 
             println!(
                 "{:<10} {:>8} {:>9} {:>8} {:>7} {:>9} {:>8}",
                 "policy", "HP norm", "HP slow", "BE norm", "EFU", "link Gbps", "periods"
             );
             let mut jsonl_out = String::new();
+            let mut trace_out = String::new();
             for kind in &policies {
-                let out = if telemetry_jsonl {
-                    let sink = Arc::new(JsonlSink::new());
-                    let out = run_colocation_instrumented(
+                let out = if telemetry_jsonl || trace_path.is_some() {
+                    // stdout and the trace file each get their own buffer:
+                    // the bus fans out to both, spans go only to the file,
+                    // so `--trace` never changes what `--telemetry` prints.
+                    let stdout_sink = telemetry_jsonl.then(|| Arc::new(JsonlSink::new()));
+                    let file_sink = trace_path.as_ref().map(|_| Arc::new(JsonlSink::new()));
+                    let bus_sinks: Vec<Arc<dyn TelemetrySink>> = stdout_sink
+                        .iter()
+                        .map(|s| s.clone() as Arc<dyn TelemetrySink>)
+                        .chain(file_sink.iter().map(|s| s.clone() as Arc<dyn TelemetrySink>))
+                        .collect();
+                    let bus = Telemetry::new(Arc::new(FanoutSink::new(bus_sinks)));
+                    let tracer = match &file_sink {
+                        Some(s) => Tracer::new(Telemetry::new(s.clone())),
+                        None => Tracer::off(),
+                    };
+                    let out = run_colocation_traced(
                         &solo,
                         hp,
                         be,
                         cores,
                         kind,
                         MAX_PERIODS,
-                        &Telemetry::new(sink.clone()),
+                        &bus,
+                        &tracer,
                     );
-                    jsonl_out.push_str(&sink.take());
+                    if let Some(s) = stdout_sink {
+                        jsonl_out.push_str(&s.take());
+                    }
+                    if let Some(s) = file_sink {
+                        trace_out.push_str(&s.take());
+                    }
                     out
                 } else {
                     run_colocation_with(&solo, hp, be, cores, kind)
@@ -182,6 +212,13 @@ fn main() -> ExitCode {
             }
             if !jsonl_out.is_empty() {
                 print!("{jsonl_out}");
+            }
+            if let Some(path) = &trace_path {
+                if let Err(e) = std::fs::write(path, &trace_out) {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace: {} lines -> {path}", trace_out.lines().count());
             }
             if flags.contains_key("timeline") {
                 for kind in &policies {

@@ -1,0 +1,466 @@
+//! `dicer-trace` — explain a recorded DICER run from its telemetry trace.
+//!
+//! ```text
+//! dicer-trace <trace.jsonl> [--chrome FILE]
+//! ```
+//!
+//! Ingests the span/event JSONL a run writes (`dicer-sim --trace FILE`, or
+//! a scenario trace from the robustness suite) and emits:
+//!
+//! - a **time-in-state** table and a compressed **decision timeline** —
+//!   where the controller spent the run and every transition it took;
+//! - a **stage cost breakdown** from the hierarchical spans: per-stage
+//!   span counts, inclusive and self logical ticks, and wall-clock totals
+//!   when the trace was recorded with a wall-clock tracer;
+//! - with `--chrome FILE`, a Chrome trace-event JSON export of the spans,
+//!   loadable in Perfetto / `chrome://tracing`.
+//!
+//! The report is a pure function of the input bytes: rerunning the tool on
+//! the same trace reproduces both the report and the Chrome export
+//! byte-for-byte. Parsing is hand-rolled (like the emitters, DESIGN.md §9)
+//! so the tool adds no dependency and tolerates only the line formats the
+//! telemetry crate actually writes; unknown lines are counted and skipped.
+
+use dicer::cli::parse_flags;
+use dicer::telemetry::ChromeTraceBuilder;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dicer-trace <trace.jsonl> [--chrome FILE]");
+    ExitCode::from(2)
+}
+
+/// Raw value of a top-level `"key":` in one JSON object line. Tracks
+/// brace/bracket depth and string state so nested objects (a decision
+/// line's `stats`) cannot shadow top-level keys.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let bytes = line.as_bytes();
+    let pat = format!("\"{key}\":");
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => {
+                if depth == 1 && line[i..].starts_with(&pat) {
+                    return Some(value_at(line, i + pat.len()));
+                }
+                in_str = true;
+            }
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The value starting at `start`: everything up to the `,` or closing
+/// delimiter of the enclosing object, respecting nested strings/objects.
+fn value_at(line: &str, start: usize) -> &str {
+    let bytes = line.as_bytes();
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for (off, &c) in bytes[start..].iter().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' if depth > 0 => depth -= 1,
+            b'}' | b']' => return &line[start..start + off],
+            b',' if depth == 0 => return &line[start..start + off],
+            _ => {}
+        }
+    }
+    &line[start..]
+}
+
+/// Unescapes a parsed JSON string token (with its quotes); `None` if the
+/// token is not a string.
+fn unquote(raw: &str) -> Option<String> {
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            Some(e) => out.push(e),
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let raw = field(line, key)?;
+    if raw == "null" {
+        return None;
+    }
+    raw.parse().ok()
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    unquote(field(line, key)?)
+}
+
+/// One parsed span line.
+struct Span {
+    name: String,
+    id: u64,
+    parent: u64,
+    lane: u32,
+    start: u64,
+    end: u64,
+    wall_ns: Option<u64>,
+    label: String,
+}
+
+impl Span {
+    fn parse(line: &str) -> Option<Span> {
+        Some(Span {
+            name: str_field(line, "name")?,
+            id: u64_field(line, "id")?,
+            parent: u64_field(line, "parent")?,
+            lane: u64_field(line, "lane")? as u32,
+            start: u64_field(line, "start")?,
+            end: u64_field(line, "end")?,
+            wall_ns: u64_field(line, "wall_ns"),
+            label: str_field(line, "label").unwrap_or_default(),
+        })
+    }
+
+    fn ticks(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    fn time_s(&self, line: &str) -> Option<f64> {
+        f64_field(line, "time_s")
+    }
+}
+
+/// A decision line of a scenario trace (no `event` discriminator).
+struct Decision {
+    period: u64,
+    time_s: f64,
+    state: String,
+    events: bool,
+    dropped: bool,
+}
+
+/// Per-stage cost accumulator.
+#[derive(Default)]
+struct StageCost {
+    spans: u64,
+    ticks: u64,
+    self_ticks: u64,
+    wall_ns: u64,
+    any_wall: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let chrome_path = flags.get("chrome").cloned();
+    if flags.keys().any(|k| k != "chrome") {
+        eprintln!("unknown flag — only --chrome is accepted");
+        return usage();
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut spans: Vec<(Span, Option<f64>)> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut controller: Vec<(u64, String)> = Vec::new();
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    let mut chrome = chrome_path.as_ref().map(|_| ChromeTraceBuilder::new());
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let kind = str_field(line, "event");
+        match kind.as_deref() {
+            Some("span") => {
+                let Some(s) = Span::parse(line) else {
+                    *counts.entry("malformed").or_default() += 1;
+                    continue;
+                };
+                if let Some(b) = &mut chrome {
+                    b.push(
+                        &s.name,
+                        s.id,
+                        s.parent,
+                        s.lane,
+                        s.start,
+                        s.end,
+                        s.time_s(line),
+                        s.wall_ns,
+                        &s.label,
+                    );
+                }
+                let t = s.time_s(line);
+                spans.push((s, t));
+                *counts.entry("span").or_default() += 1;
+            }
+            Some("controller") => {
+                let (Some(p), Some(k)) = (u64_field(line, "period"), str_field(line, "kind"))
+                else {
+                    *counts.entry("malformed").or_default() += 1;
+                    continue;
+                };
+                controller.push((p, k));
+                *counts.entry("controller").or_default() += 1;
+            }
+            Some("period") => *counts.entry("period").or_default() += 1,
+            Some("partition_applied") => *counts.entry("partition_applied").or_default() += 1,
+            Some("fault") => *counts.entry("fault").or_default() += 1,
+            Some(_) => *counts.entry("other").or_default() += 1,
+            // Decision and summary lines carry no discriminator.
+            None => {
+                if let (Some(period), Some(time_s), Some(state)) = (
+                    u64_field(line, "period"),
+                    f64_field(line, "time_s"),
+                    str_field(line, "state"),
+                ) {
+                    decisions.push(Decision {
+                        period,
+                        time_s,
+                        state,
+                        events: field(line, "events").is_some_and(|v| v != "[]"),
+                        dropped: field(line, "dropped") == Some("true"),
+                    });
+                    *counts.entry("decision").or_default() += 1;
+                } else if field(line, "scenario").is_some() {
+                    *counts.entry("summary").or_default() += 1;
+                } else {
+                    *counts.entry("other").or_default() += 1;
+                }
+            }
+        }
+    }
+
+    println!("dicer-trace: {path}");
+    let mut families: Vec<(&str, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+    families.sort();
+    let summary: Vec<String> = families.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("events: {}", summary.join(" "));
+
+    report_states(&decisions, &controller);
+    report_costs(&spans);
+
+    if let Some(out) = chrome_path {
+        let doc = chrome.expect("builder exists when --chrome is set").finish();
+        if let Err(e) = std::fs::write(&out, &doc) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nchrome trace: {} spans -> {out}",
+            counts.get("span").copied().unwrap_or(0)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Time-in-state table plus a compressed decision timeline. Scenario
+/// traces carry explicit per-period states; sim traces fall back to the
+/// controller transition stream.
+fn report_states(decisions: &[Decision], controller: &[(u64, String)]) {
+    if !decisions.is_empty() {
+        // Attribute each period's duration to the state in force at its
+        // end; the first period starts at t=0.
+        let mut by_state: Vec<(String, u64, f64)> = Vec::new();
+        let mut prev_t = 0.0;
+        for d in decisions {
+            let dt = d.time_s - prev_t;
+            prev_t = d.time_s;
+            match by_state.iter_mut().find(|(s, ..)| *s == d.state) {
+                Some((_, n, secs)) => {
+                    *n += 1;
+                    *secs += dt;
+                }
+                None => by_state.push((d.state.clone(), 1, dt)),
+            }
+        }
+        let total: f64 = by_state.iter().map(|(_, _, s)| *s).sum();
+        println!("\ntime in state ({} periods, {:.1} s):", decisions.len(), total);
+        by_state.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        println!("  {:<14} {:>8} {:>10} {:>7}", "state", "periods", "seconds", "share");
+        for (state, n, secs) in &by_state {
+            println!(
+                "  {state:<14} {n:>8} {secs:>10.1} {:>6.1}%",
+                100.0 * secs / total.max(f64::MIN_POSITIVE)
+            );
+        }
+
+        println!("\ndecision timeline:");
+        let mut i = 0;
+        while i < decisions.len() {
+            let run_state = &decisions[i].state;
+            let mut j = i;
+            let (mut faults, mut drops) = (0u64, 0u64);
+            while j < decisions.len() && decisions[j].state == *run_state {
+                faults += decisions[j].events as u64;
+                drops += decisions[j].dropped as u64;
+                j += 1;
+            }
+            let (a, b) = (&decisions[i], &decisions[j - 1]);
+            let mut notes = String::new();
+            if faults > 0 {
+                notes.push_str(&format!("  faults={faults}"));
+            }
+            if drops > 0 {
+                notes.push_str(&format!("  drops={drops}"));
+            }
+            println!(
+                "  [{:>8.1}s] periods {:>4}-{:<4} {:<14} x{}{notes}",
+                a.time_s,
+                a.period,
+                b.period,
+                run_state,
+                j - i
+            );
+            i = j;
+        }
+        return;
+    }
+    if controller.is_empty() {
+        println!("\nno controller decisions in trace");
+        return;
+    }
+    let mut by_kind: Vec<(String, u64)> = Vec::new();
+    for (_, k) in controller {
+        match by_kind.iter_mut().find(|(s, _)| s == k) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((k.clone(), 1)),
+        }
+    }
+    let total: u64 = by_kind.iter().map(|(_, n)| n).sum();
+    println!("\ncontroller activity ({total} events):");
+    by_kind.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("  {:<20} {:>8} {:>7}", "event", "count", "share");
+    for (kind, n) in &by_kind {
+        println!("  {kind:<20} {n:>8} {:>6.1}%", 100.0 * *n as f64 / total as f64);
+    }
+
+    println!("\ndecision timeline:");
+    let mut i = 0;
+    while i < controller.len() {
+        let run_kind = &controller[i].1;
+        let mut j = i;
+        while j < controller.len() && controller[j].1 == *run_kind {
+            j += 1;
+        }
+        println!(
+            "  periods {:>4}-{:<4} {:<20} x{}",
+            controller[i].0,
+            controller[j - 1].0,
+            run_kind,
+            j - i
+        );
+        i = j;
+    }
+}
+
+/// Per-stage cost table from the span stream: inclusive ticks, self ticks
+/// (inclusive minus the ticks of directly nested spans), and wall-clock
+/// totals when recorded. Spans close innermost-first, so a child can
+/// credit its parent before the parent's own line arrives.
+fn report_costs(spans: &[(Span, Option<f64>)]) {
+    if spans.is_empty() {
+        println!("\nno spans in trace (record one with `dicer-sim run ... --trace FILE`)");
+        return;
+    }
+    let mut stages: Vec<(String, StageCost)> = Vec::new();
+    // Child ticks pending attribution, keyed by (lane, parent id). Entries
+    // are consumed when the parent closes, so id reuse across back-to-back
+    // sessions in one file cannot cross-credit.
+    let mut pending: HashMap<(u32, u64), u64> = HashMap::new();
+    for (s, _) in spans {
+        let child_ticks = pending.remove(&(s.lane, s.id)).unwrap_or(0);
+        if s.parent != 0 {
+            *pending.entry((s.lane, s.parent)).or_default() += s.ticks();
+        }
+        let cost = match stages.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, c)) => c,
+            None => {
+                stages.push((s.name.clone(), StageCost::default()));
+                &mut stages.last_mut().expect("just pushed").1
+            }
+        };
+        cost.spans += 1;
+        cost.ticks += s.ticks();
+        cost.self_ticks += s.ticks().saturating_sub(child_ticks);
+        if let Some(w) = s.wall_ns {
+            cost.wall_ns += w;
+            cost.any_wall = true;
+        }
+    }
+    let total_self: u64 = stages.iter().map(|(_, c)| c.self_ticks).sum();
+    println!("\nstage cost breakdown ({} spans):", spans.len());
+    stages.sort_by(|a, b| b.1.self_ticks.cmp(&a.1.self_ticks).then(a.0.cmp(&b.0)));
+    println!(
+        "  {:<18} {:>8} {:>10} {:>10} {:>7} {:>12}",
+        "stage", "spans", "ticks", "self", "self%", "wall_ms"
+    );
+    for (name, c) in &stages {
+        let wall = if c.any_wall {
+            format!("{:>12.3}", c.wall_ns as f64 / 1e6)
+        } else {
+            format!("{:>12}", "-")
+        };
+        println!(
+            "  {name:<18} {:>8} {:>10} {:>10} {:>6.1}% {wall}",
+            c.spans,
+            c.ticks,
+            c.self_ticks,
+            100.0 * c.self_ticks as f64 / (total_self.max(1)) as f64,
+        );
+    }
+}

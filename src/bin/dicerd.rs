@@ -13,7 +13,9 @@
 //! ```
 //!
 //! Routes:
-//! - `GET /healthz`         — liveness; `ok` once the listener is up.
+//! - `GET /healthz`         — liveness; a small JSON body (crate version,
+//!   periods simulated so far, ring-buffer drops since the last drain) with
+//!   `200 OK` once the listener is up.
 //! - `GET /metrics`         — Prometheus text format 0.0.4, deterministic layout.
 //! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array;
 //!   a malformed or zero `K` is answered with `400 Bad Request`.
@@ -24,12 +26,12 @@
 
 use dicer::appmodel::Catalog;
 use dicer::cli::{parse_events_n, parse_flags, parse_policy};
-use dicer::experiments::runner::{run_colocation_instrumented, MAX_PERIODS};
+use dicer::experiments::runner::{run_colocation_traced, MAX_PERIODS};
 use dicer::experiments::SoloTable;
 use dicer::server::ServerConfig;
 use dicer::telemetry::{
     Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
-    TelemetryEvent, TelemetrySink,
+    TelemetryEvent, TelemetrySink, Tracer, STAGE_SECONDS_BOUNDS,
 };
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -137,6 +139,21 @@ impl TelemetrySink for MetricsSink {
                         &[("event", label)],
                     )
                     .inc();
+            }
+            // Self-profiling: each closed span with a wall-clock reading
+            // feeds a per-stage latency histogram. Sim-clock-only spans
+            // carry no duration in seconds and are skipped.
+            TelemetryEvent::Span(s) => {
+                if let Some(wall_ns) = s.wall_ns {
+                    self.registry
+                        .histogram(
+                            "dicer_stage_seconds",
+                            "Wall-clock seconds spent per pipeline stage (from spans)",
+                            &[("stage", s.name)],
+                            &STAGE_SECONDS_BOUNDS,
+                        )
+                        .observe(wall_ns as f64 / 1e9);
+                }
             }
             // Scenario-trace events are not produced on the daemon's path.
             TelemetryEvent::Decision(_) | TelemetryEvent::ScenarioSummary(_) => {}
@@ -274,11 +291,15 @@ fn main() -> ExitCode {
                 (kind, registry.counter("dicer_solver_events_total", help, &[("kind", kind)]))
             });
 
+            // Wall-clock tracer: spans land on the same bus as the rest of
+            // the telemetry, so the ring shows them and the metrics sink
+            // folds their durations into dicer_stage_seconds{stage=...}.
+            let tracer = Tracer::with_wall_clock(telemetry.clone());
             let mut runs = 0u64;
             while !shutdown.load(Ordering::Relaxed) {
                 runs_total.inc();
                 let t0 = Instant::now();
-                let out = run_colocation_instrumented(
+                let out = run_colocation_traced(
                     &solo,
                     &hp,
                     &be,
@@ -286,6 +307,7 @@ fn main() -> ExitCode {
                     &policy,
                     MAX_PERIODS,
                     &telemetry,
+                    &tracer,
                 );
                 let dt = t0.elapsed().as_secs_f64();
                 if out.completed {
@@ -368,7 +390,20 @@ fn handle(
     }
     let (path, query) = target.split_once('?').unwrap_or((target, ""));
     match path {
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/healthz" => {
+            // Liveness plus a self-diagnosis snapshot. Registry lookups
+            // are idempotent, so this reads the sim thread's counter.
+            let periods = registry
+                .counter("dicer_periods_total", "Monitoring periods simulated", &[])
+                .get();
+            let body = format!(
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"events_dropped\":{}}}\n",
+                env!("CARGO_PKG_VERSION"),
+                periods,
+                ring.dropped(),
+            );
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
         "/metrics" => respond(
             &mut stream,
             "200 OK",

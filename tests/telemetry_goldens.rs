@@ -10,10 +10,10 @@
 //! deterministic.
 
 use dicer::appmodel::Catalog;
-use dicer::experiments::scenarios::{run_scenario_with, standard_suite};
+use dicer::experiments::scenarios::{run_scenario_traced, run_scenario_with, standard_suite};
 use dicer::experiments::SoloTable;
 use dicer::server::ServerConfig;
-use dicer::telemetry::{JsonlSink, Telemetry};
+use dicer::telemetry::{JsonlSink, Telemetry, Tracer};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -49,6 +49,69 @@ fn jsonl_sink_reproduces_committed_goldens_byte_for_byte() {
             sc.name
         );
     }
+}
+
+#[test]
+fn span_tracing_does_not_perturb_the_goldens() {
+    // A live tracer emits spans onto its own bus, never onto the decision
+    // trace: running the suite fully traced must still regenerate every
+    // committed golden byte-for-byte, while the span stream itself is
+    // non-empty and free of golden-format lines.
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/robustness");
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+
+    for sc in &standard_suite(GOLDEN_SEED) {
+        let path = golden_dir.join(format!("{}.jsonl", sc.name));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+
+        let trace_sink = Arc::new(JsonlSink::new());
+        let span_sink = Arc::new(JsonlSink::new());
+        let tracer = Tracer::new(Telemetry::new(span_sink.clone()));
+        run_scenario_traced(
+            &catalog,
+            &solo,
+            sc,
+            &Telemetry::new(trace_sink.clone()),
+            &Telemetry::off(),
+            &tracer,
+        );
+
+        assert_eq!(
+            trace_sink.take(),
+            golden,
+            "scenario {:?}: tracing perturbed the golden decision trace",
+            sc.name
+        );
+        let spans = span_sink.take();
+        assert!(!spans.is_empty(), "scenario {:?}: tracer emitted no spans", sc.name);
+        for line in spans.lines() {
+            assert!(
+                line.starts_with("{\"event\":\"span\","),
+                "scenario {:?}: non-span line leaked onto the span bus: {line}",
+                sc.name
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_suite_span_streams_are_deterministic() {
+    // Same seed, same scenario, two traced runs: the span JSONL itself is
+    // byte-identical (logical ticks, no wall clock).
+    let catalog = Catalog::paper();
+    let solo = SoloTable::build(&catalog, ServerConfig::table1());
+    let sc = &standard_suite(GOLDEN_SEED)[0];
+    let spans: Vec<String> = (0..2)
+        .map(|_| {
+            let span_sink = Arc::new(JsonlSink::new());
+            let tracer = Tracer::new(Telemetry::new(span_sink.clone()));
+            run_scenario_traced(&catalog, &solo, sc, &Telemetry::off(), &Telemetry::off(), &tracer);
+            span_sink.take()
+        })
+        .collect();
+    assert_eq!(spans[0], spans[1]);
 }
 
 #[test]
