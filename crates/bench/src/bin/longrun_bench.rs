@@ -1,0 +1,378 @@
+//! Long-horizon hot-path benchmark: replays a churnless and a churning
+//! consolidation scenario for 10⁵ control periods each, once on the
+//! incremental (fingerprint + memo) path and once on the cold
+//! (every-sub-period re-solve) path, and writes
+//! `results/BENCH_longrun.json` with periods/sec, solver fast-path rates,
+//! and per-period heap allocations measured by a counting global
+//! allocator.
+//!
+//! Three properties are asserted before anything is written:
+//!
+//! * **bit-identity** — the incremental and cold replays of a scenario
+//!   produce the same FNV-1a checksum over every period sample's exact
+//!   bits (the skip-vs-solve equivalence contract, proved again at bench
+//!   scale);
+//! * **speedup** — the churnless replay is at least [`SPEEDUP_FLOOR`]×
+//!   faster on the incremental path, measured in the same run;
+//! * **zero allocation** — after a warm-up prefix, the churnless replay
+//!   with no telemetry sink attached performs exactly zero heap
+//!   allocations per period.
+//!
+//! `scripts/ci.sh` (full tier) re-runs this binary and gates on the
+//! committed baseline: a >15% regression of either scenario's
+//! incremental periods/sec fails CI.
+
+use dicer_appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer_experiments::Session;
+use dicer_policy::{DicerConfig, PolicyKind};
+use dicer_server::{Server, ServerConfig, SolverStats};
+use dicer_telemetry::{BufferedSink, CollectingSink, Telemetry};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Control periods replayed per scenario per mode.
+const PERIODS: u32 = 100_000;
+/// Periods excluded from the allocation count (first fills of the memo,
+/// the fingerprint, the sample buffer and the solver scratch).
+const ALLOC_WARMUP: u32 = 1_000;
+/// Timed repetitions per mode; the best (fastest) one is reported.
+const REPEATS: usize = 2;
+/// Asserted minimum incremental-vs-cold speedup on the churnless replay.
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// Events buffered per downstream flush in the sink-attached measurement.
+const SINK_BATCH: usize = 1024;
+
+/// Counts every allocation (alloc, realloc, alloc_zeroed) and forwards to
+/// the system allocator. Deallocations are not counted: the criterion is
+/// "the hot loop takes nothing from the heap", and every grab goes
+/// through one of the counted entry points.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// FNV-1a over a byte slice, seeded with a running hash.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One bench scenario: how to build the server and which policy drives it.
+struct Scenario {
+    name: &'static str,
+    policy: PolicyKind,
+}
+
+impl Scenario {
+    /// Churnless: single-phase apps that never complete under a static
+    /// plan — after the first sub-period every equilibrium input repeats,
+    /// so the fingerprint should skip essentially every solve.
+    fn steady() -> Self {
+        Scenario { name: "steady", policy: PolicyKind::Unmanaged }
+    }
+
+    /// Churning: multi-phase apps crossing phase boundaries mid-period
+    /// under the adaptive DICER controller, so plans, throttles and phase
+    /// vectors keep shifting and the fingerprint must keep re-solving.
+    fn churn() -> Self {
+        Scenario { name: "churn", policy: PolicyKind::Dicer(DicerConfig::default()) }
+    }
+
+    fn build_server(&self) -> Server {
+        // One BE runs a single eternal phase so the workload never
+        // reports completion and the session always reaches the period
+        // cap; `u64::MAX / 2` instructions never finish at any modelled
+        // IPC within 10⁵ one-second periods.
+        let eternal = || Phase {
+            insns: u64::MAX / 2,
+            base_cpi: 0.6,
+            apki: 24.0,
+            mlp: 2.4,
+            curve: MissCurve::flat(0.35),
+        };
+        match self.name {
+            "steady" => {
+                let hp = AppProfile::new(
+                    "lr_hp",
+                    Archetype::CacheFriendly,
+                    vec![Phase {
+                        insns: u64::MAX / 2,
+                        base_cpi: 0.70,
+                        apki: 28.0,
+                        mlp: 4.0,
+                        curve: MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+                    }],
+                );
+                let be = AppProfile::new("lr_be", Archetype::CacheFriendly, vec![eternal()]);
+                Server::new(ServerConfig::table1(), hp, vec![be; 9])
+            }
+            _ => {
+                let hp = AppProfile::new(
+                    "lr_hp_ph",
+                    Archetype::CacheFriendly,
+                    vec![
+                        Phase {
+                            insns: 6_000_000_000,
+                            base_cpi: 0.70,
+                            apki: 28.0,
+                            mlp: 4.0,
+                            curve: MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+                        },
+                        Phase {
+                            insns: 4_000_000_000,
+                            base_cpi: 0.55,
+                            apki: 9.0,
+                            mlp: 2.0,
+                            curve: MissCurve::parametric(0.12, 0.5, 1.1, 2.5),
+                        },
+                    ],
+                );
+                let churny = AppProfile::new(
+                    "lr_be_ph",
+                    Archetype::CacheFriendly,
+                    vec![
+                        Phase {
+                            insns: 5_000_000_000,
+                            base_cpi: 0.65,
+                            apki: 24.0,
+                            mlp: 2.4,
+                            curve: MissCurve::flat(0.55),
+                        },
+                        Phase {
+                            insns: 3_000_000_000,
+                            base_cpi: 0.5,
+                            apki: 6.0,
+                            mlp: 1.8,
+                            curve: MissCurve::flat(0.10),
+                        },
+                    ],
+                );
+                let anchor = AppProfile::new("lr_anchor", Archetype::CacheFriendly, vec![eternal()]);
+                let mut bes = vec![churny; 8];
+                bes.push(anchor);
+                Server::new(ServerConfig::table1(), hp, bes)
+            }
+        }
+    }
+}
+
+/// Outcome of one full replay.
+struct RunOut {
+    seconds: f64,
+    checksum: u64,
+    stats: SolverStats,
+}
+
+/// Replays `periods` control periods and checksums every sample bit.
+fn replay(sc: &Scenario, accelerated: bool, periods: u32, telemetry: Option<&Telemetry>) -> RunOut {
+    let mut server = sc.build_server();
+    server.set_acceleration(accelerated);
+    let mut session = Session::new(server, sc.policy.build(), periods);
+    if let Some(bus) = telemetry {
+        session = session.with_telemetry(bus);
+    }
+    let mut checksum = FNV_OFFSET;
+    let t0 = Instant::now();
+    let end = session.run_observed(
+        |_, _| (),
+        |step, _, _| {
+            if let Some(s) = step.delivered {
+                checksum = fnv1a(checksum, &s.time_s.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.hp.ipc.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.hp.mem_bw_gbps.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.hp.miss_ratio.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.hp.llc_occupancy_bytes.to_le_bytes());
+                for be in &s.bes {
+                    checksum = fnv1a(checksum, &be.ipc.to_bits().to_le_bytes());
+                    checksum = fnv1a(checksum, &be.mem_bw_gbps.to_bits().to_le_bytes());
+                }
+                checksum = fnv1a(checksum, &s.total_bw_gbps.to_bits().to_le_bytes());
+            }
+        },
+    );
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(end.periods, periods, "the workload must never complete early");
+    RunOut { seconds, checksum, stats: session.platform().solver_stats() }
+}
+
+/// Counts heap allocations over the post-warm-up stretch of a detached
+/// (no sink, no tracer) incremental replay.
+fn count_allocs(sc: &Scenario, periods: u32, warmup: u32) -> (u64, u32) {
+    let server = sc.build_server();
+    let mut session = Session::new(server, sc.policy.build(), periods);
+    let mut base = 0u64;
+    session.run_observed(
+        |p, _| {
+            if p == warmup {
+                base = ALLOCATIONS.load(Ordering::Relaxed);
+            }
+        },
+        |_, _, _| (),
+    );
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (after - base, periods - warmup)
+}
+
+#[derive(Serialize)]
+struct ScenarioBench {
+    name: &'static str,
+    policy: &'static str,
+    periods: u32,
+    /// Periods per second on the incremental (fingerprint) path, best-of.
+    incremental_periods_per_sec: f64,
+    /// Periods per second with acceleration disabled, best-of.
+    cold_periods_per_sec: f64,
+    speedup: f64,
+    /// Fraction of solve requests skipped by the input fingerprint.
+    fingerprint_skip_rate: f64,
+    /// Fraction answered from the equilibrium memo.
+    cache_hit_rate: f64,
+    /// Fraction that never touched the root finder at all.
+    fast_path_rate: f64,
+    /// Full counter set of the incremental replay.
+    solver: SolverStats,
+    /// FNV-1a checksum over every period sample's bits — equal between
+    /// the incremental and cold replays by assertion.
+    checksum: String,
+}
+
+#[derive(Serialize)]
+struct LongrunBench {
+    periods: u32,
+    repeats: usize,
+    speedup_floor: f64,
+    scenarios: Vec<ScenarioBench>,
+    /// Heap allocations per period on the churnless replay after warm-up,
+    /// sinks detached — asserted to be exactly zero.
+    allocs_per_period_detached: f64,
+    alloc_warmup_periods: u32,
+    alloc_measured_periods: u32,
+    /// Periods per second on the churnless replay with a live sink behind
+    /// a [`BufferedSink`] batching layer (informational).
+    sink_attached_periods_per_sec: f64,
+    sink_batch: usize,
+}
+
+fn main() {
+    dicer_bench::banner("long-horizon hot path (incremental vs cold, 10^5-period replays)");
+    println!(
+        "{PERIODS} periods per replay, best of {REPEATS}, speedup floor {SPEEDUP_FLOOR}x (steady)"
+    );
+
+    let mut scenarios = Vec::new();
+    for sc in [Scenario::steady(), Scenario::churn()] {
+        // Correctness first: one replay per mode, checksums must agree.
+        let fast = replay(&sc, true, PERIODS, None);
+        let cold = replay(&sc, false, PERIODS, None);
+        assert_eq!(
+            fast.checksum, cold.checksum,
+            "scenario {}: incremental and cold replays diverged",
+            sc.name
+        );
+
+        // Then speed: alternate modes so a transient stall cannot charge
+        // one side unfairly.
+        let (mut fast_s, mut cold_s) = (fast.seconds, cold.seconds);
+        for _ in 0..REPEATS.saturating_sub(1) {
+            fast_s = fast_s.min(replay(&sc, true, PERIODS, None).seconds);
+            cold_s = cold_s.min(replay(&sc, false, PERIODS, None).seconds);
+        }
+        let incremental_pps = PERIODS as f64 / fast_s;
+        let cold_pps = PERIODS as f64 / cold_s;
+        let speedup = incremental_pps / cold_pps;
+        let stats = fast.stats;
+        println!(
+            "{:>6}: incremental {:>10.0}/s, cold {:>10.0}/s -> {:>5.1}x  \
+             (skip rate {:.4}, memo hit rate {:.4})",
+            sc.name,
+            incremental_pps,
+            cold_pps,
+            speedup,
+            stats.fingerprint_skips as f64 / stats.solves.max(1) as f64,
+            stats.cache_hit_rate(),
+        );
+        scenarios.push(ScenarioBench {
+            name: sc.name,
+            policy: sc.policy.name(),
+            periods: PERIODS,
+            incremental_periods_per_sec: incremental_pps,
+            cold_periods_per_sec: cold_pps,
+            speedup,
+            fingerprint_skip_rate: stats.fingerprint_skips as f64 / stats.solves.max(1) as f64,
+            cache_hit_rate: stats.cache_hit_rate(),
+            fast_path_rate: stats.fast_path_rate(),
+            solver: stats,
+            checksum: format!("{:016x}", fast.checksum),
+        });
+    }
+
+    // Zero-allocation criterion: churnless, incremental, sinks detached.
+    let steady = Scenario::steady();
+    let (allocs, measured) = count_allocs(&steady, PERIODS, ALLOC_WARMUP);
+    let allocs_per_period = allocs as f64 / measured as f64;
+    println!(
+        "allocations after {ALLOC_WARMUP}-period warm-up: {allocs} over {measured} periods \
+         ({allocs_per_period:.6}/period)"
+    );
+    assert_eq!(allocs, 0, "the detached steady-state hot loop must not allocate");
+
+    // Informational: the same replay with a live sink behind batching.
+    let collector = Arc::new(CollectingSink::new());
+    let buffered = Arc::new(BufferedSink::new(collector, SINK_BATCH));
+    let bus = Telemetry::new(buffered);
+    let attached = replay(&steady, true, PERIODS, Some(&bus));
+    let sink_pps = PERIODS as f64 / attached.seconds;
+    println!("sink-attached (batch {SINK_BATCH}): {sink_pps:.0} periods/s");
+
+    let steady_speedup = scenarios[0].speedup;
+    assert!(
+        steady_speedup >= SPEEDUP_FLOOR,
+        "steady-state speedup {steady_speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
+    );
+
+    let bench = LongrunBench {
+        periods: PERIODS,
+        repeats: REPEATS,
+        speedup_floor: SPEEDUP_FLOOR,
+        scenarios,
+        allocs_per_period_detached: allocs_per_period,
+        alloc_warmup_periods: ALLOC_WARMUP,
+        alloc_measured_periods: measured,
+        sink_attached_periods_per_sec: sink_pps,
+        sink_batch: SINK_BATCH,
+    };
+    let path = dicer_bench::write_json("BENCH_longrun", &bench).expect("write bench json");
+    println!("wrote {}", path.display());
+}

@@ -146,7 +146,13 @@ impl ScenarioResult {
 
     /// Re-emits the decision trace — one [`TelemetryEvent::Decision`] per
     /// record, then one [`TelemetryEvent::ScenarioSummary`] — into `trace`.
+    /// Short-circuits on a detached channel: every `Decision` event clones
+    /// the record's state string and event list, so none of them is built
+    /// unless a sink will actually see it.
     pub fn emit_trace(&self, trace: &Telemetry) {
+        if !trace.enabled() {
+            return;
+        }
         for r in &self.records {
             trace.emit(&TelemetryEvent::Decision(r.to_event()));
         }

@@ -139,21 +139,26 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
         // initial plan bypasses fault injection.
         self.platform.apply_plan_direct(self.policy.initial_plan(n_ways));
 
+        // One sample buffer for the whole run: platforms with an in-place
+        // stepping fast path (the server simulator) refill it without
+        // allocating, so long-horizon steady-state loops stay off the heap.
+        let mut sample = PeriodSample::default();
         let mut periods = 0;
         while periods < self.max_periods {
             let mut period_span = self.tracer.span(stage::PERIOD);
             let carry = pre_period(periods, &mut self.platform);
             let delivered = {
                 let _read = self.tracer.span(stage::SENSOR_READ);
-                self.platform.step_period_monitored()
+                self.platform.step_period_monitored_into(&mut sample)
             };
-            if let Some(s) = &delivered {
+            let delivered = delivered.then_some(&sample);
+            if let Some(s) = delivered {
                 period_span.note_time(s.time_s);
                 session_span.note_time(s.time_s);
             }
             let plan = {
                 let _step = self.tracer.span(stage::POLICY_STEP);
-                match &delivered {
+                match delivered {
                     Some(s) => self.policy.on_period(s, n_ways),
                     None => self.policy.on_missing_period(n_ways),
                 }
@@ -172,7 +177,7 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
             }
             drop(period_span);
             observe(
-                SessionStep { period: periods, delivered: delivered.as_ref(), carry },
+                SessionStep { period: periods, delivered, carry },
                 &self.platform,
                 &self.policy,
             );

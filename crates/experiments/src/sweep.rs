@@ -168,7 +168,7 @@ fn traced_job<I, T>(
 ) -> T {
     let lane = rayon::current_thread_index().unwrap_or(0) as u32;
     let jt = tracer.job(lane);
-    let _job = jt.span_labelled(stage::SWEEP_JOB, format!("job{idx}"));
+    let _job = jt.span_labelled_with(stage::SWEEP_JOB, || format!("job{idx}"));
     f(item, &jt)
 }
 

@@ -97,6 +97,25 @@ pub trait MonitoredPlatform: PartitionController + MbaController {
         Some(self.step_period())
     }
 
+    /// Advances one monitoring period, writing the counters into `out`
+    /// (reusing its heap buffers) and reporting whether they were
+    /// delivered; `out` is unspecified after a non-delivery. Long-horizon
+    /// drivers call this in a loop with one persistent sample so
+    /// steady-state stepping allocates nothing. The default delegates to
+    /// [`step_period_monitored`] and moves the result; platforms with an
+    /// in-place fast path (the server simulator) override it.
+    ///
+    /// [`step_period_monitored`]: MonitoredPlatform::step_period_monitored
+    fn step_period_monitored_into(&mut self, out: &mut PeriodSample) -> bool {
+        match self.step_period_monitored() {
+            Some(sample) => {
+                *out = sample;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Whether every workload hosted on the platform has completed at least
     /// once (the paper's stopping rule). Platforms with no notion of
     /// completion — a live resctrl host serves traffic forever — report

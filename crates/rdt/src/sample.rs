@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters for a single application over one monitoring period.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PerAppSample {
     /// Instructions per cycle over the period.
     pub ipc: f64,
@@ -17,7 +17,7 @@ pub struct PerAppSample {
 
 /// The full monitoring snapshot DICER consumes at the end of each period
 /// (Listing 1: `measure_IPC_HP`, `measure_MemBW_HP`, `measure_MemBW`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PeriodSample {
     /// Simulation (or wall-clock) time at period end, seconds.
     pub time_s: f64,

@@ -60,7 +60,22 @@ pub struct Equilibrium {
 }
 
 impl Equilibrium {
-    fn empty() -> Self {
+    /// Copies `src` into `self`, reusing the existing `Vec` buffers — the
+    /// allocation-free analogue of `clone_from` for the control loop's
+    /// steady state (the derived `Clone` would allocate fresh vectors).
+    pub fn copy_from(&mut self, src: &Equilibrium) {
+        self.ipc.clear();
+        self.ipc.extend_from_slice(&src.ipc);
+        self.demand_gbps.clear();
+        self.demand_gbps.extend_from_slice(&src.demand_gbps);
+        self.achieved_gbps.clear();
+        self.achieved_gbps.extend_from_slice(&src.achieved_gbps);
+        self.total_gbps = src.total_gbps;
+        self.latency_mult = src.latency_mult;
+        self.iterations = src.iterations;
+    }
+
+    pub(crate) fn empty() -> Self {
         Self {
             ipc: Vec::new(),
             demand_gbps: Vec::new(),
@@ -123,6 +138,17 @@ pub struct SolverStats {
     pub cold_solves: u64,
     /// Total curve-evaluation rounds across all computed solves.
     pub curve_evals: u64,
+    /// Requests answered above the engine by the server's input
+    /// fingerprint: the staged inputs provably repeated the previous
+    /// sub-period's, so the prior equilibrium was reused without staging
+    /// anything. Counted into `solves` as well.
+    #[serde(default)]
+    pub fingerprint_skips: u64,
+    /// Memo entries discarded by bounded-cache wholesale clears (the
+    /// engine's equilibrium memo plus any caller-side memo folded in, such
+    /// as the server's effective-ways table).
+    #[serde(default)]
+    pub evictions: u64,
 }
 
 impl SolverStats {
@@ -132,6 +158,16 @@ impl SolverStats {
             0.0
         } else {
             self.cache_hits as f64 / self.solves as f64
+        }
+    }
+
+    /// Fraction of solve requests that skipped the root finder entirely —
+    /// answered either from the memo or by a fingerprint skip.
+    pub fn fast_path_rate(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.fingerprint_skips) as f64 / self.solves as f64
         }
     }
 
@@ -161,6 +197,8 @@ impl SolverStats {
         self.warm_solves += other.warm_solves;
         self.cold_solves += other.cold_solves;
         self.curve_evals += other.curve_evals;
+        self.fingerprint_skips += other.fingerprint_skips;
+        self.evictions += other.evictions;
     }
 }
 
@@ -252,6 +290,21 @@ impl EquilibriumSolver {
         self.stats = SolverStats::default();
     }
 
+    /// Records a solve request answered *above* the engine: the caller
+    /// proved (by fingerprinting the inputs) that this request would stage
+    /// exactly the previous solve's inputs and reused its equilibrium
+    /// without staging anything. Keeps `solves` meaning "requests".
+    pub fn note_fingerprint_skip(&mut self) {
+        self.stats.solves += 1;
+        self.stats.fingerprint_skips += 1;
+    }
+
+    /// Folds `n` evictions from a caller-side memo (the server's bounded
+    /// effective-ways table) into [`SolverStats::evictions`].
+    pub fn note_evictions(&mut self, n: u64) {
+        self.stats.evictions += n;
+    }
+
     /// Starts staging a new solve, discarding previously pushed apps.
     pub fn begin(&mut self) {
         self.apps.clear();
@@ -284,6 +337,7 @@ impl EquilibriumSolver {
             } else {
                 self.run_solve();
                 if self.memo.len() >= MEMO_CAP {
+                    self.stats.evictions += self.memo.len() as u64;
                     self.memo.clear();
                 }
                 self.memo.insert(self.key.clone(), self.out.clone());
@@ -803,16 +857,49 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = SolverStats { solves: 2, cache_hits: 1, warm_solves: 0, cold_solves: 1, curve_evals: 9 };
-        let b = SolverStats { solves: 3, cache_hits: 0, warm_solves: 2, cold_solves: 1, curve_evals: 21 };
+        let mut a = SolverStats {
+            solves: 2,
+            cache_hits: 1,
+            warm_solves: 0,
+            cold_solves: 1,
+            curve_evals: 9,
+            fingerprint_skips: 0,
+            evictions: 0,
+        };
+        let b = SolverStats {
+            solves: 3,
+            cache_hits: 0,
+            warm_solves: 2,
+            cold_solves: 1,
+            curve_evals: 21,
+            fingerprint_skips: 1,
+            evictions: 4,
+        };
         a.merge(&b);
         assert_eq!(a.solves, 5);
         assert_eq!(a.cache_hits, 1);
         assert_eq!(a.warm_solves, 2);
         assert_eq!(a.cold_solves, 2);
         assert_eq!(a.curve_evals, 30);
+        assert_eq!(a.fingerprint_skips, 1);
+        assert_eq!(a.evictions, 4);
         assert!((a.cache_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((a.fast_path_rate() - 0.4).abs() < 1e-12);
         assert!((a.mean_evals_per_solve() - 6.0).abs() < 1e-12);
         assert!((a.mean_evals_per_computed_solve() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note_hooks_feed_the_fast_path_accounting() {
+        let mut s = engine();
+        s.note_fingerprint_skip();
+        s.note_fingerprint_skip();
+        s.note_evictions(7);
+        let stats = s.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.fingerprint_skips, 2);
+        assert_eq!(stats.evictions, 7);
+        assert!((stats.fast_path_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.curve_evals, 0, "skips never touch the curves");
     }
 }

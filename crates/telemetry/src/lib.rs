@@ -41,7 +41,7 @@ pub use event::{
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::RingRecorder;
-pub use sink::{CollectingSink, FanoutSink, JsonlSink, Telemetry, TelemetrySink};
+pub use sink::{BufferedSink, CollectingSink, FanoutSink, JsonlSink, Telemetry, TelemetrySink};
 pub use trace::{
     chrome_trace_json, stage, ChromeTraceBuilder, SpanEvent, SpanGuard, Tracer,
     STAGE_SECONDS_BOUNDS,

@@ -142,6 +142,68 @@ impl TelemetrySink for JsonlSink {
     }
 }
 
+/// Batches events in front of a downstream sink: `emit` only appends to
+/// an in-memory buffer, and the whole batch is forwarded (in order) once
+/// it reaches the configured size, on an explicit [`BufferedSink::flush`],
+/// or on drop. Amortises per-event downstream cost (lock traffic,
+/// formatting, I/O) on hot loops that do attach a sink; the producer-side
+/// contract is unchanged — every event is delivered exactly once, in
+/// emission order.
+pub struct BufferedSink {
+    inner: Arc<dyn TelemetrySink>,
+    buf: Mutex<Vec<TelemetryEvent>>,
+    batch: usize,
+}
+
+impl BufferedSink {
+    /// Buffers up to `batch` events (`batch >= 1`) in front of `inner`.
+    pub fn new(inner: Arc<dyn TelemetrySink>, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be at least 1");
+        BufferedSink { inner, buf: Mutex::new(Vec::with_capacity(batch)), batch }
+    }
+
+    /// Events currently buffered (not yet forwarded downstream).
+    pub fn pending(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Forwards every buffered event downstream, in emission order.
+    pub fn flush(&self) {
+        // Swap the batch out under the lock, deliver outside it, then put
+        // the (now empty) vector back so its capacity is reused.
+        let mut drained = {
+            let mut buf = self.buf.lock();
+            std::mem::take(&mut *buf)
+        };
+        for event in drained.drain(..) {
+            self.inner.emit(&event);
+        }
+        let mut buf = self.buf.lock();
+        if buf.is_empty() {
+            *buf = drained;
+        }
+    }
+}
+
+impl TelemetrySink for BufferedSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        let full = {
+            let mut buf = self.buf.lock();
+            buf.push(event.clone());
+            buf.len() >= self.batch
+        };
+        if full {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for BufferedSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Delivers every event to each of a fixed set of sinks, in order.
 pub struct FanoutSink {
     sinks: Vec<Arc<dyn TelemetrySink>>,
@@ -218,6 +280,32 @@ mod tests {
         assert_eq!(lines[0], "{\"event\":\"fault\",\"kind\":\"sample_stale\"}");
         assert!(text.ends_with('\n'));
         assert!(sink.contents().is_empty());
+    }
+
+    #[test]
+    fn buffered_sink_batches_and_preserves_order() {
+        let inner = Arc::new(CollectingSink::new());
+        let buffered = BufferedSink::new(inner.clone(), 3);
+        buffered.emit(&fault("a"));
+        buffered.emit(&fault("b"));
+        assert_eq!(inner.events().len(), 0, "below the batch size nothing is forwarded");
+        assert_eq!(buffered.pending(), 2);
+        buffered.emit(&fault("c"));
+        assert_eq!(inner.events().len(), 3, "reaching the batch size flushes");
+        assert_eq!(buffered.pending(), 0);
+        assert_eq!(inner.events(), vec![fault("a"), fault("b"), fault("c")]);
+    }
+
+    #[test]
+    fn buffered_sink_explicit_flush_and_drop_deliver_the_tail() {
+        let inner = Arc::new(CollectingSink::new());
+        let buffered = BufferedSink::new(inner.clone(), 100);
+        buffered.emit(&fault("x"));
+        buffered.flush();
+        assert_eq!(inner.events().len(), 1, "explicit flush forwards a partial batch");
+        buffered.emit(&fault("y"));
+        drop(buffered);
+        assert_eq!(inner.events(), vec![fault("x"), fault("y")], "drop flushes the tail");
     }
 
     #[test]

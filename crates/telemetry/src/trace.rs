@@ -222,6 +222,22 @@ impl Tracer {
         self.span_labelled(name, String::new())
     }
 
+    /// [`Tracer::span`] with a free-form detail label built only when the
+    /// tracer is enabled — use when formatting the label allocates (the
+    /// hot-path analogue of [`Telemetry::emit_with`]).
+    ///
+    /// [`Telemetry::emit_with`]: crate::Telemetry::emit_with
+    pub fn span_labelled_with(
+        &self,
+        name: &'static str,
+        label: impl FnOnce() -> String,
+    ) -> SpanGuard {
+        if self.core.is_none() {
+            return self.span_labelled(name, String::new());
+        }
+        self.span_labelled(name, label())
+    }
+
     /// [`Tracer::span`] with a free-form detail label.
     pub fn span_labelled(&self, name: &'static str, label: String) -> SpanGuard {
         let Some(core) = &self.core else {

@@ -5,31 +5,40 @@
 # cargo itself needs, and CARGO_NET_OFFLINE forces cargo to fail fast
 # (with a clear message) instead of hanging on an unreachable registry.
 #
-# Usage: scripts/ci.sh [--fast]
+# Usage: scripts/ci.sh [--fast|--update-baselines]
 #
 #   (default)  formatting, clippy, the full workspace test suite, the
 #              fault-injection robustness suite (deterministic JSONL traces
 #              under results/robustness/), the serial-vs-parallel sweep
 #              benchmark (results/BENCH_sweep.json), the span-tracing
-#              overhead benchmark (results/BENCH_trace_overhead.json), a
-#              dicer-trace round trip (record a trace, render the report,
-#              JSON-validate the Chrome export), and a dicerd daemon
-#              smoke test.
+#              overhead benchmark (results/BENCH_trace_overhead.json), the
+#              long-horizon hot-path benchmark (results/BENCH_longrun.json)
+#              gated against the committed baseline (>15% throughput
+#              regression fails), a dicer-trace round trip (record a
+#              trace, render the report, JSON-validate the Chrome export),
+#              and a dicerd daemon smoke test.
 #   --fast     clippy plus controller-stack unit tests, the conformance,
 #              fault-injection and sweep-determinism suites — the
 #              inner-loop tier.
+#   --update-baselines
+#              run the full tier but skip the throughput regression gate,
+#              letting the freshly written BENCH_*.json files become the
+#              next committed baselines. Loudly logged: use only when a
+#              deliberate perf change (or new hardware) moves the numbers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 fast=0
+update_baselines=0
 case "${1:-}" in
     --fast) fast=1 ;;
+    --update-baselines) update_baselines=1 ;;
     "") ;;
-    *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+    *) echo "usage: scripts/ci.sh [--fast|--update-baselines]" >&2; exit 2 ;;
 esac
 if [ "$#" -gt 1 ]; then
-    echo "usage: scripts/ci.sh [--fast]" >&2
+    echo "usage: scripts/ci.sh [--fast|--update-baselines]" >&2
     exit 2
 fi
 
@@ -104,6 +113,50 @@ cargo run -q --release -p dicer-bench --bin sweep_bench || fail=1
 
 step "span tracing overhead (results/BENCH_trace_overhead.json, <3% budget)"
 cargo run -q --release -p dicer-bench --bin trace_overhead || fail=1
+
+step "long-horizon hot path (results/BENCH_longrun.json, perf gate vs baseline)"
+# Snapshot the committed baseline before the bench overwrites the file,
+# then gate the fresh numbers against it: a >15% drop of any scenario's
+# incremental periods/sec fails CI. The bench itself asserts the hard
+# invariants (bit-identity vs the cold path, the 5x steady-state speedup
+# floor, zero hot-loop allocations with sinks detached).
+longrun_baseline="$(mktemp)"
+git show HEAD:results/BENCH_longrun.json > "$longrun_baseline" 2>/dev/null || true
+cargo run -q --release -p dicer-bench --bin longrun_bench || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the throughput regression" >&2
+        echo "WARNING: gate. Commit the refreshed results/BENCH_longrun.json only if" >&2
+        echo "WARNING: the perf change is deliberate." >&2
+    elif [ ! -s "$longrun_baseline" ]; then
+        echo "note: no committed BENCH_longrun.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_longrun.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        python3 - "$longrun_baseline" results/BENCH_longrun.json <<'PY' || { echo "long-horizon throughput regressed >15% vs the committed baseline" >&2; fail=1; }
+import json, sys
+TOLERANCE = 0.15
+base = {s["name"]: s for s in json.load(open(sys.argv[1]))["scenarios"]}
+cur = {s["name"]: s for s in json.load(open(sys.argv[2]))["scenarios"]}
+bad = 0
+for name, b in sorted(base.items()):
+    c = cur.get(name)
+    if c is None:
+        print(f"  {name}: scenario missing from the fresh run", file=sys.stderr)
+        bad += 1
+        continue
+    old, new = b["incremental_periods_per_sec"], c["incremental_periods_per_sec"]
+    delta = (new - old) / old
+    verdict = "FAIL" if delta < -TOLERANCE else "ok"
+    print(f"  {name}: {old:.0f} -> {new:.0f} periods/s ({delta:+.1%}) {verdict}")
+    if delta < -TOLERANCE:
+        bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the throughput regression gate"
+    fi
+fi
+rm -f "$longrun_baseline"
 
 step "dicer-trace round trip (record, report, Chrome export)"
 trace_dir="$(mktemp -d)"

@@ -1,0 +1,107 @@
+//! Offline stub of `criterion`: compiles the bench targets but performs
+//! a single timing-free pass per closure (no statistics, no reports).
+
+use std::fmt::Display;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    #[allow(dead_code)]
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

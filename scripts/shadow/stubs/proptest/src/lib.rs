@@ -1,0 +1,200 @@
+//! Offline stub of `proptest`. The `proptest!` macro expands to NOTHING
+//! (property bodies are not compiled or run in the shadow build); the
+//! `Strategy` combinator surface exists only so helper functions written
+//! outside the macro (`fn arb_x() -> impl Strategy<Value = X>`) still
+//! typecheck.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub trait Strategy: Sized {
+    type Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { strategy: self, map: f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter { strategy: self, filter: f }
+    }
+
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { strategy: self, map: f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        BoxedStrategy(PhantomData)
+    }
+}
+
+pub struct Map<S, F> {
+    #[allow(dead_code)]
+    strategy: S,
+    #[allow(dead_code)]
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+}
+
+pub struct Filter<S, F> {
+    #[allow(dead_code)]
+    strategy: S,
+    #[allow(dead_code)]
+    filter: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+}
+
+pub struct FlatMap<S, F> {
+    #[allow(dead_code)]
+    strategy: S,
+    #[allow(dead_code)]
+    map: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+}
+
+pub struct BoxedStrategy<T>(PhantomData<T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T> Strategy for Just<T> {
+    type Value = T;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::Strategy;
+
+    pub struct VecStrategy<S>(#[allow(dead_code)] S);
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    /// Size argument accepted loosely (`usize`, ranges, ...): the stub
+    /// never generates values, so only the element type matters.
+    pub fn vec<S: Strategy, Z>(element: S, _size: Z) -> VecStrategy<S> {
+        VecStrategy(element)
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Expands to nothing: property bodies are not compiled in shadow.
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+
+/// Returns the FIRST arm's strategy; the rest are consumed unevaluated
+/// at runtime but still typechecked. All arms must share a `Value` type
+/// in real proptest; the stub only requires the first to be one.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(,)?) => { $first };
+    ($first:expr, $($rest:expr),+ $(,)?) => {{
+        let _ = || { $( let _ = &$rest; )+ };
+        $first
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($($tt:tt)*) => {};
+}
+
+pub mod strategy {
+    pub use super::{Any, BoxedStrategy, Just, Strategy};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Just, ProptestConfig, Strategy,
+    };
+    pub use crate as prop;
+}

@@ -1,0 +1,229 @@
+//! Offline stub of the `rand` crate: deterministic splitmix64-backed
+//! generators with just the API surface this workspace uses. Streams do
+//! NOT match the real crate; only self-relative determinism holds.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let w = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&w[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+    fn from_seed(seed: Self::Seed) -> Self;
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = crate::util::SplitMix64::new(state);
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let w = sm.next_u64().to_le_bytes();
+            let n = (bytes.len() - i).min(8);
+            bytes[i..i + n].copy_from_slice(&w[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+pub mod util {
+    /// The canonical splitmix64 step (Vigna), the engine behind every
+    /// stub generator.
+    #[derive(Clone, Debug)]
+    pub struct SplitMix64 {
+        pub state: u64,
+    }
+
+    impl SplitMix64 {
+        pub fn new(state: u64) -> Self {
+            Self { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types samplable from the "standard" distribution.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<i64> for core::ops::Range<i64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start() + f64::sample_standard(rng) * (self.end() - self.start())
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng` (splitmix64 underneath).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(crate::util::SplitMix64);
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.0.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u8; 8];
+            s.copy_from_slice(&seed[..8]);
+            Self(crate::util::SplitMix64::new(u64::from_le_bytes(s)))
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,30 @@
+//! Offline stub of `rand_chacha`: `ChaCha8Rng` is splitmix64 underneath.
+//! Seed-sensitive and self-deterministic, but the stream does NOT match
+//! the real ChaCha8 keystream.
+
+use rand::util::SplitMix64;
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng(SplitMix64);
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        (self.0.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u8; 8];
+        s.copy_from_slice(&seed[..8]);
+        Self(SplitMix64::new(u64::from_le_bytes(s)))
+    }
+}
+
+pub type ChaCha12Rng = ChaCha8Rng;
+pub type ChaCha20Rng = ChaCha8Rng;

@@ -1,0 +1,100 @@
+//! Offline stub of `rayon`: everything runs serially on the calling
+//! thread. `par_iter()` is a plain slice iterator, so the full std
+//! `Iterator` adapter surface (enumerate/map/collect) works unchanged.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rayon stub: pool construction never fails")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.threads.max(1) })
+    }
+}
+
+pub fn current_thread_index() -> Option<usize> {
+    None
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stub of `serde_derive`: emits empty marker-trait impls (the
+//! stub `serde` traits carry no methods). Handles plain structs/enums and
+//! simple type generics (`Foo<T, U>`), which covers this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the type name and its type-parameter idents (`Foo<T>` ->
+/// ("Foo", ["T"])). Only simple parameter lists are understood: each
+/// comma-separated slot's first ident is taken, bounds are ignored.
+fn parse_type(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = loop {
+                    match iter.next() {
+                        Some(TokenTree::Ident(id2)) => break id2.to_string(),
+                        Some(_) => continue,
+                        None => panic!("serde_derive stub: no type name"),
+                    }
+                };
+                let mut params = Vec::new();
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        iter.next();
+                        let mut depth = 1usize;
+                        let mut slot_named = false;
+                        for tt2 in iter.by_ref() {
+                            match tt2 {
+                                TokenTree::Punct(p) => match p.as_char() {
+                                    '<' => depth += 1,
+                                    '>' => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    ',' if depth == 1 => slot_named = false,
+                                    _ => {}
+                                },
+                                TokenTree::Ident(id2) if depth == 1 && !slot_named => {
+                                    params.push(id2.to_string());
+                                    slot_named = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                return (name, params);
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_type(input);
+    let code = if params.is_empty() {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    } else {
+        let bounded: Vec<String> =
+            params.iter().map(|p| format!("{p}: ::serde::Serialize")).collect();
+        format!(
+            "impl<{}> ::serde::Serialize for {name}<{}> {{}}",
+            bounded.join(", "),
+            params.join(", ")
+        )
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_type(input);
+    let code = if params.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        let bounded: Vec<String> =
+            params.iter().map(|p| format!("{p}: ::serde::Deserialize<'de>")).collect();
+        format!(
+            "impl<'de, {}> ::serde::Deserialize<'de> for {name}<{}> {{}}",
+            bounded.join(", "),
+            params.join(", ")
+        )
+    };
+    code.parse().unwrap()
+}

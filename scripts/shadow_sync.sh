@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # Sync the repo into the stubbed shadow build tree (/tmp/shadow), keeping
 # the shadow's patched root Cargo.toml / Cargo.lock / stubs intact.
+#
+# /tmp is wiped between sessions: when the shadow root manifest or the
+# stubs are missing, they are re-seeded from the committed copies under
+# scripts/shadow/ (Cargo.shadow.toml + stubs/). The live shadow copies
+# win over the committed ones on every later sync, so local stub fixes
+# survive until deliberately copied back into scripts/shadow/.
 set -euo pipefail
 SRC=/root/repo
 DST=/tmp/shadow
+mkdir -p "$DST"
+if [ ! -f "$DST/Cargo.toml" ] && [ -f "$SRC/scripts/shadow/Cargo.shadow.toml" ]; then
+  cp -p "$SRC/scripts/shadow/Cargo.shadow.toml" "$DST/Cargo.toml"
+fi
+if [ ! -d "$DST/stubs" ] && [ -d "$SRC/scripts/shadow/stubs" ]; then
+  cp -pr "$SRC/scripts/shadow/stubs" "$DST/stubs"
+fi
 cd "$SRC"
 git ls-files -co --exclude-standard | while read -r f; do
   case "$f" in

@@ -286,6 +286,8 @@ fn main() -> ExitCode {
                 ("warm_solves", "Computed solves with a warm-start bracket"),
                 ("cold_solves", "Computed solves bracketed from scratch"),
                 ("curve_evals", "Curve-evaluation rounds across computed solves"),
+                ("fingerprint_skips", "Solves skipped by the period-input fingerprint"),
+                ("evictions", "Memo entries discarded by bounded-cache clears"),
             ]
             .map(|(kind, help)| {
                 (kind, registry.counter("dicer_solver_events_total", help, &[("kind", kind)]))
@@ -323,6 +325,8 @@ fn main() -> ExitCode {
                         "cache_hits" => s.cache_hits,
                         "warm_solves" => s.warm_solves,
                         "cold_solves" => s.cold_solves,
+                        "fingerprint_skips" => s.fingerprint_skips,
+                        "evictions" => s.evictions,
                         _ => s.curve_evals,
                     });
                 }

@@ -1,0 +1,99 @@
+//! Zero-allocation proof for the detached steady-state hot loop.
+//!
+//! With no telemetry sink and no tracer attached, a steady-state session
+//! (static plan, single-phase apps, no admission churn) must perform
+//! **zero** heap allocations per period once warmed up: the fingerprint
+//! fast path reuses the last equilibrium, the session refills one
+//! persistent sample buffer in place, and every event constructor is
+//! short-circuited before it can build anything.
+//!
+//! The proof instruments the global allocator, so this file holds exactly
+//! one test: the libtest harness runs it on a single thread with nothing
+//! else allocating concurrently, making the counter exact rather than
+//! statistical.
+
+use dicer::appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer::experiments::Session;
+use dicer::policy::Unmanaged;
+use dicer::server::{Server, ServerConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation entry point (alloc, alloc_zeroed, realloc) and
+/// forwards to the system allocator. Frees are irrelevant to the
+/// criterion ("the hot loop takes nothing from the heap") and are not
+/// counted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_periods_do_not_allocate_when_detached() {
+    const PERIODS: u32 = 5_000;
+    const WARMUP: u32 = 500;
+
+    // Single eternal phase per app: no completions, no phase crossings —
+    // after the first solve the fingerprint skips everything.
+    let eternal = |apki: f64, curve: MissCurve| Phase {
+        insns: u64::MAX / 2,
+        base_cpi: 0.65,
+        apki,
+        mlp: 2.4,
+        curve,
+    };
+    let hp = AppProfile::new(
+        "za_hp",
+        Archetype::CacheFriendly,
+        vec![eternal(28.0, MissCurve::parametric(0.45, 0.62, 1.3, 2.0))],
+    );
+    let be = AppProfile::new(
+        "za_be",
+        Archetype::CacheFriendly,
+        vec![eternal(24.0, MissCurve::flat(0.35))],
+    );
+    let server = Server::new(ServerConfig::table1(), hp, vec![be; 9]);
+    let mut session = Session::new(server, Unmanaged, PERIODS);
+
+    let mut base = 0u64;
+    let end = session.run_observed(
+        |period, _| {
+            if period == WARMUP {
+                base = ALLOCATIONS.load(Ordering::Relaxed);
+            }
+        },
+        |_, _, _| (),
+    );
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(end.periods, PERIODS, "eternal apps never complete");
+    assert_eq!(
+        after - base,
+        0,
+        "the detached hot loop allocated over {} post-warm-up periods",
+        PERIODS - WARMUP
+    );
+}

@@ -1,0 +1,190 @@
+//! Long-horizon determinism: a 10⁵-period DICER session is bit-stable.
+//!
+//! The incremental re-solve fast path (period-input fingerprinting plus
+//! the equilibrium/ways memos) must not perturb a single bit over runs
+//! long enough for every cache and invalidation path to cycle many
+//! times. Two checks:
+//!
+//! * the decision-trace hash of the canonical 10⁵-period run — every
+//!   period sample's exact bits plus the plan, throttle and admission
+//!   count in force — is pinned in `tests/goldens/longrun_checksum.txt`
+//!   (bootstrapped on first run, byte-compared thereafter), with memo
+//!   caps, fingerprint invalidations and phase churn all cycling many
+//!   times along the way;
+//! * a churning prefix of the same scenario replayed cold (acceleration
+//!   off, every sub-period fully re-solved) matches the accelerated run
+//!   sample-for-sample and decision-for-decision.
+
+use dicer::appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer::experiments::Session;
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::rdt::{MbaController, PartitionController, PartitionPlan};
+use dicer::server::{Server, ServerConfig};
+use std::fs;
+use std::path::Path;
+
+const PERIODS: u32 = 100_000;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn hash_plan(hash: u64, plan: PartitionPlan) -> u64 {
+    let (tag, a, b) = match plan {
+        PartitionPlan::Unmanaged => (0u32, 0u32, 0u32),
+        PartitionPlan::Split { hp_ways } => (1, hp_ways, 0),
+        PartitionPlan::Overlapping { hp_exclusive, shared } => (2, hp_exclusive, shared),
+    };
+    let hash = fnv1a(hash, &tag.to_le_bytes());
+    let hash = fnv1a(hash, &a.to_le_bytes());
+    fnv1a(hash, &b.to_le_bytes())
+}
+
+/// The canonical long-horizon workload: a two-phase HP and a mix of
+/// phased and eternal BEs under the DICER controller. Phases are long
+/// (tens of simulated seconds), so the run is dominated by steady
+/// stretches the fingerprint can skip, punctuated by thousands of phase
+/// crossings, plan moves and re-solves; one BE never completes, so the
+/// session always reaches the full period cap.
+fn longrun_server() -> Server {
+    let hp = AppProfile::new(
+        "lh_hp",
+        Archetype::CacheFriendly,
+        vec![
+            Phase {
+                insns: 180_000_000_000,
+                base_cpi: 0.70,
+                apki: 28.0,
+                mlp: 4.0,
+                curve: MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+            },
+            Phase {
+                insns: 130_000_000_000,
+                base_cpi: 0.55,
+                apki: 9.0,
+                mlp: 2.0,
+                curve: MissCurve::parametric(0.12, 0.5, 1.1, 2.5),
+            },
+        ],
+    );
+    let phased = AppProfile::new(
+        "lh_be_phased",
+        Archetype::CacheFriendly,
+        vec![
+            Phase {
+                insns: 110_000_000_000,
+                base_cpi: 0.65,
+                apki: 24.0,
+                mlp: 2.4,
+                curve: MissCurve::flat(0.55),
+            },
+            Phase {
+                insns: 70_000_000_000,
+                base_cpi: 0.5,
+                apki: 6.0,
+                mlp: 1.8,
+                curve: MissCurve::flat(0.10),
+            },
+        ],
+    );
+    let eternal = AppProfile::new(
+        "lh_be_eternal",
+        Archetype::CacheFriendly,
+        vec![Phase {
+            insns: u64::MAX / 2,
+            base_cpi: 0.6,
+            apki: 24.0,
+            mlp: 2.4,
+            curve: MissCurve::flat(0.35),
+        }],
+    );
+    let mut bes = vec![phased; 5];
+    bes.extend(vec![eternal; 4]);
+    Server::new(ServerConfig::table1(), hp, bes)
+}
+
+/// Runs the canonical scenario for `periods` periods and returns the
+/// decision-trace hash: every delivered sample's bits plus the plan,
+/// throttle and admission count actually in force each period.
+fn decision_trace_hash(accelerated: bool, periods: u32) -> u64 {
+    let mut server = longrun_server();
+    server.set_acceleration(accelerated);
+    let mut session =
+        Session::new(server, PolicyKind::Dicer(DicerConfig::default()).build(), periods);
+    let mut hash = FNV_OFFSET;
+    let end = session.run_observed(
+        |_, _| (),
+        |step, platform, _| {
+            if let Some(s) = step.delivered {
+                hash = fnv1a(hash, &s.time_s.to_bits().to_le_bytes());
+                hash = fnv1a(hash, &s.hp.ipc.to_bits().to_le_bytes());
+                hash = fnv1a(hash, &s.hp.mem_bw_gbps.to_bits().to_le_bytes());
+                hash = fnv1a(hash, &s.hp.miss_ratio.to_bits().to_le_bytes());
+                hash = fnv1a(hash, &s.hp.llc_occupancy_bytes.to_le_bytes());
+                for be in &s.bes {
+                    hash = fnv1a(hash, &be.ipc.to_bits().to_le_bytes());
+                    hash = fnv1a(hash, &be.mem_bw_gbps.to_bits().to_le_bytes());
+                }
+                hash = fnv1a(hash, &s.total_bw_gbps.to_bits().to_le_bytes());
+            }
+            hash = hash_plan(hash, platform.current_plan());
+            hash = fnv1a(hash, &[platform.be_throttle().percent()]);
+            hash = fnv1a(hash, &Server::admitted_bes(platform).to_le_bytes());
+        },
+    );
+    assert_eq!(end.periods, periods, "the eternal BE must keep the run at the cap");
+    assert!(!end.completed);
+    hash
+}
+
+#[test]
+fn longrun_decision_trace_hash_is_pinned() {
+    let hash = decision_trace_hash(true, PERIODS);
+    let line = format!("{hash:016x}");
+
+    // Run-to-run determinism stands on its own, before any golden check.
+    assert_eq!(
+        decision_trace_hash(true, PERIODS),
+        hash,
+        "two identical 10^5-period runs diverged"
+    );
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/longrun_checksum.txt");
+    if path.exists() {
+        let pinned = fs::read_to_string(&path).expect("golden readable");
+        assert_eq!(
+            pinned.trim(),
+            line,
+            "10^5-period decision-trace hash diverged from the pinned golden \
+             {} — an intentional behaviour change must recut it",
+            path.display()
+        );
+    } else {
+        fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        fs::write(&path, format!("{line}\n")).expect("golden writable");
+        eprintln!(
+            "bootstrapped {} = {line}; commit it to pin the long-horizon trace",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn incremental_session_matches_cold_session() {
+    // The churning prefix: phases cross and DICER moves the plan — and
+    // the fingerprint-accelerated session must stay bit-identical to the
+    // cold one, decision for decision.
+    const PREFIX: u32 = 1_500;
+    assert_eq!(
+        decision_trace_hash(true, PREFIX),
+        decision_trace_hash(false, PREFIX),
+        "accelerated and cold sessions diverged within {PREFIX} periods"
+    );
+}

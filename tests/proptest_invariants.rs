@@ -414,3 +414,85 @@ proptest! {
         }
     }
 }
+
+/// Phases sized so boundaries fall within a perturbation script's horizon
+/// (seconds to tens of seconds at realistic IPC) — or never, for the
+/// steady stretches that let the fingerprint actually skip.
+fn arb_longrun_phase() -> impl Strategy<Value = Phase> {
+    (
+        prop_oneof![
+            Just(700_000_000u64),
+            Just(3_000_000_000u64),
+            Just(u64::MAX / 2),
+        ],
+        0.3f64..1.5,
+        0.0f64..50.0,
+        1.0f64..5.0,
+        arb_curve(),
+    )
+        .prop_map(|(insns, base_cpi, apki, mlp, curve)| Phase {
+            insns,
+            base_cpi,
+            apki,
+            mlp,
+            curve,
+        })
+}
+
+proptest! {
+    // Each case replays a whole perturbation script through two servers;
+    // fewer, heavier cases beat the default count here.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The period-input fingerprint fast path — skipping the ways refresh
+    /// and the equilibrium solve wholesale whenever the plan, throttle,
+    /// admission set and every phase index repeat — is bit-identical to
+    /// cold stepping across random phase mixes and random
+    /// plan/throttle/admission perturbation scripts.
+    #[test]
+    fn fingerprint_acceleration_is_bit_identical(
+        hp_phases in prop::collection::vec(arb_longrun_phase(), 1..3),
+        be_phases in prop::collection::vec(
+            prop::collection::vec(arb_longrun_phase(), 1..3), 2..6),
+        script in prop::collection::vec(
+            (0u32..20, 0usize..4, 1u32..6, 1u32..4), 1..10),
+    ) {
+        use dicer::appmodel::{AppProfile, Archetype};
+        use dicer::rdt::{MbaController, PartitionController};
+        use dicer::server::{Server, ServerConfig};
+
+        let hp = AppProfile::new("hp", Archetype::CacheFriendly, hp_phases);
+        let bes: Vec<AppProfile> = be_phases
+            .into_iter()
+            .enumerate()
+            .map(|(i, ph)| AppProfile::new(format!("be{i}"), Archetype::CacheFriendly, ph))
+            .collect();
+        let mut fast = Server::new(ServerConfig::table1(), hp.clone(), bes.clone());
+        let mut cold = Server::new(ServerConfig::table1(), hp, bes);
+        cold.set_acceleration(false);
+
+        for (hp_ways, tighten, admitted, periods) in script {
+            let plan = if hp_ways == 0 {
+                PartitionPlan::Unmanaged
+            } else {
+                PartitionPlan::Split { hp_ways }
+            };
+            for s in [&mut fast, &mut cold] {
+                s.apply_plan(plan);
+                let mut level = MbaLevel::FULL;
+                for _ in 0..tighten {
+                    level = level.tighten();
+                }
+                s.set_be_throttle(level);
+                Server::set_admitted_bes(s, admitted);
+            }
+            for _ in 0..periods {
+                prop_assert_eq!(fast.step_period(), cold.step_period());
+            }
+        }
+        // Both servers saw identical sub-period sequences, so the solve
+        // request counts (skips included) must agree too.
+        prop_assert_eq!(fast.solver_stats().solves, cold.solver_stats().solves);
+        prop_assert_eq!(cold.solver_stats().fingerprint_skips, 0);
+    }
+}
