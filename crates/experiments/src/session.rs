@@ -157,11 +157,19 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
                 session_span.note_time(s.time_s);
             }
             let plan = {
-                let _step = self.tracer.span(stage::POLICY_STEP);
-                match delivered {
+                let mut step_span = self.tracer.span(stage::POLICY_STEP);
+                let plan = match delivered {
                     Some(s) => self.policy.on_period(s, n_ways),
                     None => self.policy.on_missing_period(n_ways),
+                };
+                // Stateful controllers label the step with where their
+                // machine landed ("optimising", "sampling", ...), so traces
+                // read causally; the closure keeps disabled tracers
+                // allocation-free and static baselines leave no label.
+                if let Some(state) = self.policy.state_label() {
+                    step_span.note_label_with(|| state.to_string());
                 }
+                plan
             };
             if plan != self.platform.current_plan() {
                 let _apply = self.tracer.span(stage::PARTITION_APPLY);

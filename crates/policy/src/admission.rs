@@ -9,8 +9,10 @@
 //! bandwidth (MBA), then parallelism (admission) — since each next actuator
 //! costs the BEs more throughput.
 
+use crate::controller::{Controller, Decision, Observation, Severity, Summary};
 use crate::{mba::DicerMba, DicerConfig, Policy};
 use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+use dicer_telemetry::{ControllerEvent, Telemetry, TelemetryEvent};
 
 /// Consecutive periods of throttled near-saturation hovering before a BE is
 /// evicted. Long enough that the MBA loop has clearly reached its stable
@@ -27,6 +29,25 @@ const READMIT_FRACTION: f64 = 0.7;
 /// Consecutive calm, unthrottled periods before re-admitting a BE.
 const READMIT_AFTER: u32 = 10;
 
+/// Where the admission loop's own (two-state) machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionState {
+    /// Every BE of the workload is admitted.
+    Full,
+    /// At least one BE has been evicted.
+    Shedding,
+}
+
+impl AdmissionState {
+    /// Stable snake_case label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmissionState::Full => "full",
+            AdmissionState::Shedding => "shedding",
+        }
+    }
+}
+
 /// DICER with MBA throttling and dynamic BE admission.
 #[derive(Debug, Clone)]
 pub struct DicerAdmission {
@@ -38,6 +59,7 @@ pub struct DicerAdmission {
     total_bes: u32,
     hot_periods: u32,
     calm_periods: u32,
+    telemetry: Telemetry,
     /// Evictions and re-admissions performed (for introspection).
     pub admission_changes: u64,
 }
@@ -53,32 +75,67 @@ impl DicerAdmission {
             total_bes: 0,
             hot_periods: 0,
             calm_periods: 0,
+            telemetry: Telemetry::off(),
             admission_changes: 0,
         }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        "DICER+ADM"
+    }
+
+    /// Same Listing 1 preamble as stock DICER.
+    pub fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        self.inner.initial_plan(n_ways)
+    }
+
+    /// Attach a telemetry handle (shared with the whole stack).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.set_telemetry(telemetry);
     }
 
     /// Currently admitted BE count (`None` before the first observation).
     pub fn admitted(&self) -> Option<u32> {
         self.admitted
     }
-}
 
-impl Policy for DicerAdmission {
-    fn name(&self) -> &'static str {
-        "DICER+ADM"
+    /// The bandwidth-governing middle layer.
+    pub fn governor(&self) -> &DicerMba {
+        &self.inner
     }
 
-    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
-        self.inner.initial_plan(n_ways)
+    /// The admission loop's own state (the cache and bandwidth loops keep
+    /// theirs; see [`crate::Dicer::state`] and [`DicerMba::governor_state`]).
+    pub fn admission_state(&self) -> AdmissionState {
+        match (self.admitted, self.total_bes) {
+            (Some(a), t) if a < t => AdmissionState::Shedding,
+            _ => AdmissionState::Full,
+        }
     }
 
-    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
-        // Admission state holds over a dropped sample (evicting a BE on no
-        // evidence would be destructive); the inner stack still advances.
-        Policy::on_missing_period(&mut self.inner, n_ways)
+    /// Coarse severity: shedding load is critical by definition; otherwise
+    /// the inner stack's verdict stands.
+    pub fn severity(&self) -> Severity {
+        let admission = match self.admission_state() {
+            AdmissionState::Shedding => Severity::Critical,
+            AdmissionState::Full => Severity::Nominal,
+        };
+        self.inner.severity().max(admission)
     }
 
-    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+    fn note(&self, event: ControllerEvent) {
+        self.telemetry.emit(&TelemetryEvent::Controller {
+            period: self.inner.cache_controller().periods_seen(),
+            event,
+        });
+    }
+
+    /// One admission step over a delivered sample: the inner stack first,
+    /// then the eviction/re-admission hysteresis. The single implementation
+    /// behind both facades.
+    pub fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         let plan = self.inner.on_period(sample, n_ways);
         self.total_bes = sample.bes.len() as u32;
         let admitted = *self.admitted.get_or_insert(self.total_bes);
@@ -97,6 +154,7 @@ impl Policy for DicerAdmission {
                 self.admitted = Some(admitted - 1);
                 self.admission_changes += 1;
                 self.hot_periods = 0;
+                self.note(ControllerEvent::BeEvicted { admitted: admitted - 1 });
             }
         } else if calm {
             self.calm_periods += 1;
@@ -105,6 +163,7 @@ impl Policy for DicerAdmission {
                 self.admitted = Some(admitted + 1);
                 self.admission_changes += 1;
                 self.calm_periods = 0;
+                self.note(ControllerEvent::BeReadmitted { admitted: admitted + 1 });
             }
         } else {
             self.hot_periods = 0;
@@ -113,16 +172,76 @@ impl Policy for DicerAdmission {
         plan
     }
 
+    /// Missing-sample holdover: admission state holds over a dropped sample
+    /// (evicting a BE on no evidence would be destructive); the inner stack
+    /// still advances.
+    pub fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.inner.on_missing_period(n_ways)
+    }
+}
+
+impl Controller for DicerAdmission {
+    fn name(&self) -> &'static str {
+        "DICER+ADM"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        DicerAdmission::initial_plan(self, n_ways)
+    }
+
+    fn observe_and_update(&mut self, obs: &Observation<'_>) -> Decision {
+        let plan = match obs.sample {
+            Some(sample) => DicerAdmission::on_period(self, sample, obs.n_ways),
+            None => DicerAdmission::on_missing_period(self, obs.n_ways),
+        };
+        Decision { plan, mba_level: self.inner.level(), admitted_bes: self.admitted }
+    }
+
+    fn summary(&self) -> Summary {
+        Summary {
+            admitted_bes: self.admitted,
+            severity: self.severity(),
+            name: "DICER+ADM",
+            ..Controller::summary(&self.inner)
+        }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        DicerAdmission::set_telemetry(self, telemetry);
+    }
+}
+
+impl Policy for DicerAdmission {
+    fn name(&self) -> &'static str {
+        "DICER+ADM"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        DicerAdmission::initial_plan(self, n_ways)
+    }
+
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::missing(n_ways)).plan
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::delivered(sample, n_ways)).plan
+    }
+
     fn mba_level(&self) -> MbaLevel {
-        self.inner.mba_level()
+        self.inner.level()
     }
 
     fn admitted_bes(&self) -> Option<u32> {
         self.admitted
     }
 
-    fn set_telemetry(&mut self, telemetry: dicer_telemetry::Telemetry) {
-        self.inner.set_telemetry(telemetry);
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        DicerAdmission::set_telemetry(self, telemetry);
+    }
+
+    fn state_label(&self) -> Option<&'static str> {
+        Some(self.inner.cache_controller().state().as_str())
     }
 }
 

@@ -1,0 +1,621 @@
+//! The controller conformance kit: the executable contract every
+//! registered controller must pass.
+//!
+//! Two layers:
+//!
+//! 1. **Script engine** — [`Step`]/[`Feed`]/[`run_script`]: table-driven
+//!    per-period scripts with the *exact* expected plan and state label
+//!    after every decision. The Listing 1–3 transition suite
+//!    (`tests/controller_conformance.rs`) is written on this layer.
+//! 2. **Contract clauses** — [`Clause`]/[`run_contract`]: behavioral
+//!    predicates every controller in the [`ControllerRegistry`] must
+//!    satisfy, whatever its internal ladder or thresholds:
+//!
+//!    * `starts-calibrating` — fresh controllers report zero periods at
+//!      nominal severity, open with the Listing 1 CT preamble, and do not
+//!      move on the first calm observation.
+//!    * `detects-contention` — a saturated link raises severity above
+//!      nominal and changes state within one period.
+//!    * `recovers` — after detection, calm traffic returns the controller
+//!      to nominal; governors must also unwind their throttle and
+//!      admission controllers must re-admit evicted BEs.
+//!    * `cooldown-backoff` — under *unfixable* saturation the gaps between
+//!      successive sampling sweeps are non-trivial and non-decreasing
+//!      (exponential backoff rather than permanent resampling).
+//!    * `missing-period-holdover` — a dropped sample re-enforces the plan
+//!      in force and changes neither state, severity, throttle, nor
+//!      admission; only the period clock and the missing counter advance.
+//!    * `summary-consistent-with-state` — after every step the summary
+//!      mirrors the decision (ways, throttle, admission), the period clock
+//!      increments by exactly one, and the state label is non-empty. The
+//!      engine checks these invariants on *every* scripted step of every
+//!      clause; the dedicated clause drives a mixed feed (calm, hot,
+//!      degradation, drops) through them.
+//!
+//! Every step of every clause also runs the structural invariants, so a
+//! violation names the clause *and* the offending step. A registered
+//! controller without a [`CONTRACT_TABLE`] row fails with the dedicated
+//! [`Clause::TableEntry`] violation (enforced in ci's fast tier).
+
+use crate::controller::{Controller, ControllerRegistry, ControllerSpec, Observation, Severity};
+use crate::SamplingStrategy;
+use dicer_rdt::{PartitionPlan, PerAppSample, PeriodSample};
+
+/// Cache ways of the Table-1 server — the geometry every script runs on.
+pub const N_WAYS: u32 = 20;
+
+/// BEs co-located in every synthetic sample.
+pub const N_BES: usize = 9;
+
+/// A synthetic monitoring sample: HP at `(hp_ipc, hp_bw_gbps)`, the
+/// remaining traffic split evenly over [`N_BES`] best-effort apps.
+pub fn synthetic_sample(hp_ipc: f64, hp_bw_gbps: f64, total_bw_gbps: f64) -> PeriodSample {
+    let hp = PerAppSample {
+        ipc: hp_ipc,
+        llc_occupancy_bytes: 0,
+        mem_bw_gbps: hp_bw_gbps,
+        miss_ratio: 0.1,
+    };
+    let be = PerAppSample {
+        ipc: 0.5,
+        llc_occupancy_bytes: 0,
+        mem_bw_gbps: (total_bw_gbps - hp_bw_gbps) / N_BES as f64,
+        miss_ratio: 0.3,
+    };
+    PeriodSample { time_s: 0.0, hp, bes: vec![be; N_BES], total_bw_gbps }
+}
+
+/// One period's input to the controller.
+#[derive(Debug, Clone, Copy)]
+pub enum Feed {
+    /// A delivered sample: `(hp_ipc, hp_bw_gbps, total_bw_gbps)`.
+    S(f64, f64, f64),
+    /// A dropped sample (holdover period).
+    Missing,
+}
+
+/// One scripted step: the feed, then the expected decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Step {
+    /// The period's input.
+    pub feed: Feed,
+    /// Expected HP ways of the plan returned for the next period.
+    pub hp_ways: u32,
+    /// Expected state label after the decision.
+    pub state: &'static str,
+}
+
+/// Shorthand sample-step constructor, keeps script tables readable.
+pub fn s(ipc: f64, hp_bw: f64, total: f64, hp_ways: u32, state: &'static str) -> Step {
+    Step { feed: Feed::S(ipc, hp_bw, total), hp_ways, state }
+}
+
+/// Shorthand missing-sample step constructor.
+pub fn miss(hp_ways: u32, state: &'static str) -> Step {
+    Step { feed: Feed::Missing, hp_ways, state }
+}
+
+/// Structural invariants checked after *every* step, scripted or driven:
+/// the summary must mirror the decision and the period clock must tick.
+fn check_invariants<C: Controller + ?Sized>(
+    c: &C,
+    before: &crate::Summary,
+    decision: &crate::Decision,
+    at: u64,
+) -> Result<(), String> {
+    let after = c.summary();
+    if after.periods_seen != before.periods_seen + 1 {
+        return Err(format!(
+            "step {at}: periods_seen went {} -> {} (must increment by exactly one)",
+            before.periods_seen, after.periods_seen
+        ));
+    }
+    if after.state.is_empty() {
+        return Err(format!("step {at}: empty state label"));
+    }
+    if after.name != before.name {
+        return Err(format!(
+            "step {at}: controller renamed itself {:?} -> {:?}",
+            before.name, after.name
+        ));
+    }
+    if let PartitionPlan::Split { hp_ways } = decision.plan {
+        if after.hp_ways != hp_ways {
+            return Err(format!(
+                "step {at}: summary says {} HP ways but the decision enforced {hp_ways}",
+                after.hp_ways
+            ));
+        }
+    }
+    if after.mba_level != decision.mba_level {
+        return Err(format!(
+            "step {at}: summary throttle {} != decision throttle {}",
+            after.mba_level, decision.mba_level
+        ));
+    }
+    if after.admitted_bes != decision.admitted_bes {
+        return Err(format!(
+            "step {at}: summary admits {:?} BEs but the decision admits {:?}",
+            after.admitted_bes, decision.admitted_bes
+        ));
+    }
+    Ok(())
+}
+
+/// Feeds one step and returns the decision after running the structural
+/// invariants.
+fn drive<C: Controller + ?Sized>(c: &mut C, feed: Feed) -> Result<crate::Decision, String> {
+    let before = c.summary();
+    let decision = match feed {
+        Feed::S(ipc, hp_bw, total) => {
+            let sample = synthetic_sample(ipc, hp_bw, total);
+            c.observe_and_update(&Observation::delivered(&sample, N_WAYS))
+        }
+        Feed::Missing => c.observe_and_update(&Observation::missing(N_WAYS)),
+    };
+    check_invariants(c, &before, &decision, before.periods_seen + 1)?;
+    Ok(decision)
+}
+
+/// Runs a script, checking the exact expected plan and state label at
+/// every step (plus the structural invariants).
+pub fn run_script<C: Controller + ?Sized>(c: &mut C, steps: &[Step]) -> Result<(), String> {
+    for (i, step) in steps.iter().enumerate() {
+        let decision = drive(c, step.feed)?;
+        let expected = PartitionPlan::Split { hp_ways: step.hp_ways };
+        if decision.plan != expected {
+            return Err(format!(
+                "script step {i} ({:?}): expected {expected:?}, got {:?}",
+                step.feed, decision.plan
+            ));
+        }
+        let state = c.summary().state;
+        if state != step.state {
+            return Err(format!(
+                "script step {i} ({:?}): expected state {:?}, got {:?}",
+                step.feed, step.state, state
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Feeds `feed` until `until(summary)` holds, at most `cap` periods.
+fn feed_until<C: Controller + ?Sized>(
+    c: &mut C,
+    feed: Feed,
+    cap: u32,
+    what: &str,
+    until: impl Fn(&crate::Summary) -> bool,
+) -> Result<u32, String> {
+    for i in 0..cap {
+        if until(&c.summary()) {
+            return Ok(i);
+        }
+        drive(c, feed)?;
+    }
+    if until(&c.summary()) {
+        return Ok(cap);
+    }
+    Err(format!("{what}: not reached within {cap} periods (summary: {:?})", c.summary()))
+}
+
+/// One conformance-contract clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clause {
+    /// The controller is registered but has no [`CONTRACT_TABLE`] row.
+    TableEntry,
+    /// Fresh controllers start nominal, with the CT preamble.
+    StartsCalibrating,
+    /// Saturation raises severity and changes state within a period.
+    DetectsContention,
+    /// Calm traffic returns the controller (and its throttle/admission
+    /// layers) to nominal.
+    Recovers,
+    /// Unfixable saturation backs off instead of resampling forever.
+    CooldownBackoff,
+    /// A dropped sample holds every actuation and verdict.
+    MissingPeriodHoldover,
+    /// The summary mirrors the decision after every step.
+    SummaryConsistent,
+}
+
+impl Clause {
+    /// The runnable clauses, in contract order ([`Clause::TableEntry`] is
+    /// reported only when the table row is absent).
+    pub const CONTRACT: [Clause; 6] = [
+        Clause::StartsCalibrating,
+        Clause::DetectsContention,
+        Clause::Recovers,
+        Clause::CooldownBackoff,
+        Clause::MissingPeriodHoldover,
+        Clause::SummaryConsistent,
+    ];
+
+    /// Stable kebab-case clause name (quoted by violations and ci).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Clause::TableEntry => "table-entry",
+            Clause::StartsCalibrating => "starts-calibrating",
+            Clause::DetectsContention => "detects-contention",
+            Clause::Recovers => "recovers",
+            Clause::CooldownBackoff => "cooldown-backoff",
+            Clause::MissingPeriodHoldover => "missing-period-holdover",
+            Clause::SummaryConsistent => "summary-consistent-with-state",
+        }
+    }
+}
+
+/// A named contract failure: which controller, which clause, and what went
+/// wrong.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Registry key of the offending controller.
+    pub controller: &'static str,
+    /// The violated clause.
+    pub clause: Clause,
+    /// Step-level detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: clause '{}' violated: {}", self.controller, self.clause.as_str(), self.detail)
+    }
+}
+
+/// Renders a violation list as one readable multi-line failure message
+/// (what the conformance tests print on failure).
+pub fn contract_violations_to_string(violations: &[Violation]) -> String {
+    let mut out = String::from("contract violations:\n");
+    for v in violations {
+        out.push_str("  ");
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// What the contract must additionally exercise for a controller: which
+/// actuation layers it owns beyond the cache loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ContractEntry {
+    /// Registry key this row covers.
+    pub name: &'static str,
+    /// The controller throttles BE bandwidth (MBA) and must unwind it.
+    pub bandwidth_governor: bool,
+    /// The controller evicts/re-admits BEs and must recover admission.
+    pub admission_control: bool,
+}
+
+/// The conformance table: one row per registered controller. A registered
+/// controller without a row fails [`run_contract`] with
+/// [`Clause::TableEntry`] — adding a policy means adding its row here.
+pub const CONTRACT_TABLE: &[ContractEntry] = &[
+    ContractEntry { name: "dicer", bandwidth_governor: false, admission_control: false },
+    ContractEntry { name: "dicer-mba", bandwidth_governor: true, admission_control: false },
+    ContractEntry { name: "dicer-adm", bandwidth_governor: true, admission_control: true },
+];
+
+/// Looks up a controller's contract row by registry key.
+pub fn contract_entry(name: &str) -> Option<&'static ContractEntry> {
+    CONTRACT_TABLE.iter().find(|e| e.name == name)
+}
+
+/// Runs the full contract against one registered controller. Returns every
+/// violated clause (empty = conformant).
+pub fn run_contract(spec: &ControllerSpec) -> Vec<Violation> {
+    let Some(entry) = contract_entry(spec.name) else {
+        return vec![Violation {
+            controller: spec.name,
+            clause: Clause::TableEntry,
+            detail: "registered controller has no CONTRACT_TABLE row; add one \
+                     (see DESIGN.md §13 'how to add a policy')"
+                .into(),
+        }];
+    };
+    Clause::CONTRACT
+        .iter()
+        .filter_map(|&clause| {
+            check_clause(spec, entry, clause)
+                .err()
+                .map(|detail| Violation { controller: spec.name, clause, detail })
+        })
+        .collect()
+}
+
+/// Runs the contract against every registered controller.
+pub fn check_registry(registry: &ControllerRegistry) -> Vec<Violation> {
+    registry.specs().iter().flat_map(run_contract).collect()
+}
+
+fn check_clause(
+    spec: &ControllerSpec,
+    entry: &ContractEntry,
+    clause: Clause,
+) -> Result<(), String> {
+    let mut c = spec.build_controller();
+    match clause {
+        Clause::TableEntry => Ok(()),
+        Clause::StartsCalibrating => starts_calibrating(&mut c),
+        Clause::DetectsContention => detects_contention(&mut c),
+        Clause::Recovers => recovers(&mut c, entry),
+        Clause::CooldownBackoff => cooldown_backoff(&mut c),
+        Clause::MissingPeriodHoldover => missing_period_holdover(&mut c),
+        Clause::SummaryConsistent => summary_consistent(&mut c),
+    }
+}
+
+/// Calm feed: stable HP, link well below the 50 Gbps threshold.
+const CALM: Feed = Feed::S(1.0, 5.0, 20.0);
+/// Saturated, BE-dominated feed: the link over threshold, BEs the heavy
+/// consumers.
+const HOT: Feed = Feed::S(1.0, 5.0, 60.0);
+/// Throttled near-saturation hover: over threshold but close enough that
+/// the admission detector's hover band (0.9×) is inside it.
+const HOVER: Feed = Feed::S(1.0, 5.0, 52.0);
+
+fn starts_calibrating<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
+    let fresh = c.summary();
+    if fresh.periods_seen != 0 {
+        return Err(format!("fresh controller claims {} periods seen", fresh.periods_seen));
+    }
+    if fresh.severity != Severity::Nominal {
+        return Err(format!("fresh controller starts at severity {:?}", fresh.severity));
+    }
+    let initial = c.initial_plan(N_WAYS);
+    let ct = PartitionPlan::cache_takeover(N_WAYS);
+    if initial != ct {
+        return Err(format!("initial plan {initial:?} is not the Listing 1 CT preamble {ct:?}"));
+    }
+    // The first calm observation is a calibration point, not a license to
+    // move: the opening allocation must be held.
+    let d = drive(c, CALM)?;
+    if d.plan != ct {
+        return Err(format!("moved to {:?} on the very first calm observation", d.plan));
+    }
+    if c.summary().severity != Severity::Nominal {
+        return Err(format!("calm first period raised severity to {:?}", c.summary().severity));
+    }
+    Ok(())
+}
+
+fn detects_contention<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
+    c.initial_plan(N_WAYS);
+    drive(c, CALM)?;
+    let calm_state = c.summary().state;
+    drive(c, HOT)?;
+    let s = c.summary();
+    if s.severity <= Severity::Nominal {
+        return Err("a saturated link left severity at nominal".into());
+    }
+    if s.state == calm_state {
+        return Err(format!("a saturated link left the state at {calm_state:?}"));
+    }
+    if s.counters.saturated_periods == 0 {
+        return Err("the saturated period was not counted".into());
+    }
+    Ok(())
+}
+
+fn recovers<C: Controller + ?Sized>(c: &mut C, entry: &ContractEntry) -> Result<(), String> {
+    // Detect, then let calm traffic carry the controller back to nominal.
+    c.initial_plan(N_WAYS);
+    drive(c, HOT)?;
+    feed_until(c, CALM, 64, "cache loop back to nominal after calm traffic", |s| {
+        s.severity == Severity::Nominal
+    })?;
+
+    if entry.bandwidth_governor {
+        // Persistent BE-dominated saturation must engage the throttle...
+        feed_until(c, HOT, 64, "governor engages the throttle under persistent saturation", |s| {
+            s.mba_level.is_throttled()
+        })?;
+        if c.summary().severity <= Severity::Nominal {
+            return Err("throttled governor still reports nominal severity".into());
+        }
+        // ...and calm traffic must fully unwind it again.
+        feed_until(c, CALM, 128, "governor unwinds the throttle after calm traffic", |s| {
+            !s.mba_level.is_throttled() && s.severity == Severity::Nominal
+        })?;
+    }
+
+    if entry.admission_control {
+        // A throttled near-saturation hover must shed load...
+        feed_until(c, HOVER, 256, "admission sheds a BE under sustained throttled hover", |s| {
+            s.admitted_bes.is_some_and(|a| (a as usize) < N_BES)
+        })?;
+        if c.summary().severity != Severity::Critical {
+            return Err(format!(
+                "shedding load must be critical, got {:?}",
+                c.summary().severity
+            ));
+        }
+        // ...and sustained calm must re-admit every BE and finish nominal.
+        feed_until(c, CALM, 256, "admission re-admits evicted BEs after sustained calm", |s| {
+            s.admitted_bes == Some(N_BES as u32) && s.severity == Severity::Nominal
+        })?;
+    }
+    Ok(())
+}
+
+fn cooldown_backoff<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
+    // Unfixable saturation: HP IPC grows with its allocation, so every
+    // sweep concludes that the largest allocation is best and the
+    // controller must back off instead of resampling forever. Gaps between
+    // sampling bursts (periods whose sampling counter does not move) must
+    // be non-trivial and non-decreasing.
+    c.initial_plan(N_WAYS);
+    let mut gaps: Vec<u32> = Vec::new();
+    let mut gap: u32 = 0;
+    let mut hp_ways = N_WAYS - 1;
+    let mut prev_sampling = c.summary().counters.sampling_periods;
+    for _ in 0..400 {
+        // IPC tracks the allocation in force: more cache, more IPC.
+        let ipc = 0.1 + 0.05 * hp_ways as f64;
+        let d = drive(c, Feed::S(ipc, 5.0, 60.0))?;
+        if let PartitionPlan::Split { hp_ways: w } = d.plan {
+            hp_ways = w;
+        }
+        let sampling = c.summary().counters.sampling_periods;
+        if sampling > prev_sampling {
+            if gap > 0 {
+                gaps.push(gap);
+                gap = 0;
+            }
+        } else {
+            gap += 1;
+        }
+        prev_sampling = sampling;
+    }
+    if gaps.len() < 2 {
+        return Err(format!(
+            "saw {} inter-sweep gaps in 400 saturated periods — cannot observe backoff",
+            gaps.len()
+        ));
+    }
+    if gaps.windows(2).any(|w| w[1] < w[0]) {
+        return Err(format!("inter-sweep cooldowns shrank under unfixable saturation: {gaps:?}"));
+    }
+    let (first, last) = (gaps[0], *gaps.last().unwrap());
+    if last <= first {
+        return Err(format!(
+            "cooldown never backed off: first gap {first}, last gap {last} ({gaps:?})"
+        ));
+    }
+    Ok(())
+}
+
+fn missing_period_holdover<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
+    c.initial_plan(N_WAYS);
+    drive(c, CALM)?;
+    let settled = drive(c, CALM)?;
+    let before = c.summary();
+    let held = drive(c, Feed::Missing)?;
+    let after = c.summary();
+    if held.plan != settled.plan {
+        return Err(format!(
+            "a dropped sample moved the plan {:?} -> {:?}",
+            settled.plan, held.plan
+        ));
+    }
+    if held.mba_level != settled.mba_level {
+        return Err("a dropped sample moved the throttle".into());
+    }
+    if held.admitted_bes != settled.admitted_bes {
+        return Err("a dropped sample changed admission".into());
+    }
+    if after.state != before.state || after.severity != before.severity {
+        return Err(format!(
+            "a dropped sample moved state/severity ({:?},{:?}) -> ({:?},{:?})",
+            before.state, before.severity, after.state, after.severity
+        ));
+    }
+    if after.counters.missing_periods != before.counters.missing_periods + 1 {
+        return Err("the dropped sample was not counted as missing".into());
+    }
+    // The holdover must not have poisoned the loop: the next delivered calm
+    // sample keeps operating normally (no reset, severity still nominal).
+    drive(c, CALM)?;
+    if c.summary().counters.resets != before.counters.resets {
+        return Err("the first delivered sample after a drop triggered a reset".into());
+    }
+    Ok(())
+}
+
+fn summary_consistent<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
+    // A mixed feed — calm, saturation, a sweep, drops, an IPC collapse —
+    // driven purely through the invariant checker in `drive`: every step
+    // must keep the summary consistent with the decision.
+    c.initial_plan(N_WAYS);
+    let ladder = SamplingStrategy::Geometric.candidates(N_WAYS);
+    drive(c, CALM)?;
+    drive(c, CALM)?;
+    drive(c, Feed::Missing)?;
+    drive(c, HOT)?;
+    for _ in 0..ladder.len() {
+        drive(c, CALM)?;
+    }
+    drive(c, Feed::S(0.2, 5.0, 20.0))?; // IPC collapse: degradation reset
+    drive(c, Feed::Missing)?;
+    for _ in 0..8 {
+        drive(c, HOVER)?;
+    }
+    for _ in 0..8 {
+        drive(c, CALM)?;
+    }
+    // And the state label must be one the controller also exposes through
+    // the policy facade's span labelling (non-empty, stable str).
+    if c.summary().state.is_empty() {
+        return Err("empty state label after a mixed feed".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerRegistry;
+
+    #[test]
+    fn every_standard_controller_passes_the_contract() {
+        let violations = check_registry(&ControllerRegistry::standard());
+        assert!(
+            violations.is_empty(),
+            "contract violations:\n{}",
+            violations.iter().map(|v| format!("  {v}")).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn every_registered_controller_has_a_contract_row() {
+        for spec in ControllerRegistry::standard().specs() {
+            assert!(
+                contract_entry(spec.name).is_some(),
+                "registered controller {:?} has no CONTRACT_TABLE row",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn an_unlisted_controller_fails_with_the_table_entry_clause() {
+        let spec = crate::ControllerSpec {
+            name: "mystery",
+            display: "MYSTERY",
+            build: || Box::new(crate::Dicer::new(crate::DicerConfig::default())),
+        };
+        let violations = run_contract(&spec);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].clause, Clause::TableEntry);
+        assert_eq!(violations[0].clause.as_str(), "table-entry");
+        assert!(violations[0].to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn a_misconfigured_controller_is_named_with_its_violated_clause() {
+        // DCP-QoS (threshold pushed to 1e9) never detects contention — the
+        // exact controller the contract must reject, with the right clause.
+        let spec = crate::ControllerSpec {
+            name: "dicer", // reuse the table row; the build is what differs
+            display: "DCP-QOS",
+            build: || {
+                Box::new(crate::Dicer::with_name(crate::DicerConfig::dcp_qos(), "DCP-QOS"))
+            },
+        };
+        let violations = run_contract(&spec);
+        assert!(
+            violations.iter().any(|v| v.clause == Clause::DetectsContention),
+            "expected a detects-contention violation, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn scripts_catch_wrong_expectations() {
+        let mut d = crate::Dicer::new(crate::DicerConfig::default());
+        d.initial_plan(N_WAYS);
+        // Expecting the wrong ways must fail with the step index.
+        let err = run_script(&mut d, &[s(1.0, 5.0, 20.0, 7, "optimising")]).unwrap_err();
+        assert!(err.contains("script step 0"), "{err}");
+    }
+}

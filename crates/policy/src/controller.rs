@@ -1,0 +1,417 @@
+//! The controller framework: one trait, one registry, zero bespoke glue.
+//!
+//! DICER's Listing 1–3 controllers (cache, bandwidth governor, admission)
+//! each drive a finite state machine once per monitoring period. This
+//! module gives that shape a name so the Session runtime, telemetry, and
+//! dicerd can consume *any* controller generically:
+//!
+//! * [`Controller`] — the period-driven state machine: an allocation-free
+//!   `observe_and_update(&Observation) -> Decision` plus a [`Summary`]
+//!   snapshot carrying the stable state label and a 0..=3 [`Severity`]
+//!   code.
+//! * [`ControllerPolicy`] — the adapter that runs a controller behind the
+//!   existing [`Policy`] facade. It stores the last [`Decision`], surfaces
+//!   `mba_level`/`admitted_bes` from it, labels the Session's
+//!   `policy_step` spans with the controller state, and emits a
+//!   [`TelemetryEvent::ControllerStatus`] whenever the (state, severity)
+//!   pair changes — the bare controllers never emit it, so the pinned
+//!   decision goldens are untouched.
+//! * [`ControllerRegistry`] — named constructors. Everything registered
+//!   here is driven through the conformance contract in
+//!   [`crate::conformance`]; ci fails the build if a registered controller
+//!   has no contract entry.
+//!
+//! Landing a new policy is mechanical: implement [`Controller`], add a
+//! [`ControllerSpec`] to [`ControllerRegistry::standard`], add a row to
+//! `conformance::CONTRACT_TABLE`, and the suite either passes or names the
+//! violated clause (see DESIGN.md §13 for the recipe).
+
+use crate::Policy;
+use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+use dicer_telemetry::{ControllerCounters, Telemetry, TelemetryEvent};
+
+/// Everything a controller may look at in one monitoring period.
+///
+/// `sample` is `None` when the period elapsed but no counters were
+/// delivered (a dropped CMT/MBM read under fault injection) — the
+/// controller must hold its course without acting on invented data.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// The period's counters, if they arrived.
+    pub sample: Option<&'a PeriodSample>,
+    /// Cache geometry (total LLC ways).
+    pub n_ways: u32,
+}
+
+impl<'a> Observation<'a> {
+    /// A delivered-sample observation.
+    pub fn delivered(sample: &'a PeriodSample, n_ways: u32) -> Self {
+        Observation { sample: Some(sample), n_ways }
+    }
+
+    /// A missing-sample observation.
+    pub fn missing(n_ways: u32) -> Self {
+        Observation { sample: None, n_ways }
+    }
+}
+
+/// The full actuation a controller wants in force for the next period.
+///
+/// Plain `Copy` data — building one allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Cache partition plan.
+    pub plan: PartitionPlan,
+    /// MBA throttle for the BE class.
+    pub mba_level: MbaLevel,
+    /// BEs that should stay scheduled (`None` = all).
+    pub admitted_bes: Option<u32>,
+}
+
+impl Decision {
+    /// A cache-only decision: no throttle, everyone admitted.
+    pub fn cache_only(plan: PartitionPlan) -> Self {
+        Decision { plan, mba_level: MbaLevel::FULL, admitted_bes: None }
+    }
+}
+
+/// How urgently a controller is intervening, coarsened to four codes so
+/// fleets can be scanned at a glance (`dicer_controller_severity` on
+/// dicerd's `/metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Steady state: optimising, unthrottled, everyone admitted.
+    Nominal = 0,
+    /// Actively adjusting (validating a reset, mild throttling).
+    Adjusting = 1,
+    /// Contention detected and being fought (sampling sweep, floor
+    /// throttle).
+    Degraded = 2,
+    /// Load shedding: at least one BE evicted.
+    Critical = 3,
+}
+
+impl Severity {
+    /// The numeric code, 0 ..= 3.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Nominal => "nominal",
+            Severity::Adjusting => "adjusting",
+            Severity::Degraded => "degraded",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// A point-in-time snapshot of a controller — cheap `Copy` data suitable
+/// for per-period polling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Controller display name (stable across the run).
+    pub name: &'static str,
+    /// Stable label of the current state machine position (for the
+    /// DICER family: `"sampling"`, `"optimising"`, `"validating_reset"`).
+    pub state: &'static str,
+    /// Coarse severity code.
+    pub severity: Severity,
+    /// Periods observed so far, missing ones included.
+    pub periods_seen: u64,
+    /// HP ways currently enforced (0 before the first period).
+    pub hp_ways: u32,
+    /// MBA throttle currently in force.
+    pub mba_level: MbaLevel,
+    /// BEs currently admitted (`None` = all).
+    pub admitted_bes: Option<u32>,
+    /// Cumulative cache-loop counters.
+    pub counters: ControllerCounters,
+}
+
+/// A period-driven finite state machine controlling cache ways, memory
+/// bandwidth, and/or admission.
+///
+/// The contract every implementation must honour is encoded executably in
+/// [`crate::conformance`]; prose form in DESIGN.md §13. The hot-path
+/// methods (`observe_and_update`, `summary`) must not allocate.
+pub trait Controller {
+    /// Short, stable display name.
+    fn name(&self) -> &'static str;
+    /// Plan to enforce for the very first period (before any observation).
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan;
+    /// Advance the state machine by one period and return the decision to
+    /// enforce next period. Allocation-free.
+    fn observe_and_update(&mut self, obs: &Observation<'_>) -> Decision;
+    /// Snapshot the controller's state, severity, and counters.
+    fn summary(&self) -> Summary;
+    /// Attach a telemetry handle for transition events.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+}
+
+/// Boxed controllers are controllers too, so registry products drive the
+/// same generic code paths as concrete ones.
+impl Controller for Box<dyn Controller + Send> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        (**self).initial_plan(n_ways)
+    }
+    fn observe_and_update(&mut self, obs: &Observation<'_>) -> Decision {
+        (**self).observe_and_update(obs)
+    }
+    fn summary(&self) -> Summary {
+        (**self).summary()
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        (**self).set_telemetry(telemetry);
+    }
+}
+
+/// Runs a [`Controller`] behind the [`Policy`] facade the Session runtime
+/// consumes.
+///
+/// Beyond plain adaptation it adds the framework services every registered
+/// controller gets for free: `ControllerStatus` telemetry on (state,
+/// severity) change and a state label for the Session's `policy_step`
+/// spans.
+#[derive(Debug, Clone)]
+pub struct ControllerPolicy<C> {
+    controller: C,
+    last: Option<Decision>,
+    last_status: Option<(&'static str, Severity)>,
+    telemetry: Telemetry,
+}
+
+impl<C: Controller> ControllerPolicy<C> {
+    /// Wraps a controller.
+    pub fn new(controller: C) -> Self {
+        ControllerPolicy { controller, last: None, last_status: None, telemetry: Telemetry::off() }
+    }
+
+    /// The wrapped controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// The wrapped controller, mutably.
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// The controller's current snapshot.
+    pub fn summary(&self) -> Summary {
+        self.controller.summary()
+    }
+
+    fn step(&mut self, obs: &Observation<'_>) -> PartitionPlan {
+        let decision = self.controller.observe_and_update(obs);
+        self.last = Some(decision);
+        let s = self.controller.summary();
+        let status = (s.state, s.severity);
+        if self.last_status != Some(status) {
+            self.last_status = Some(status);
+            self.telemetry.emit(&TelemetryEvent::ControllerStatus {
+                name: s.name,
+                period: s.periods_seen,
+                state: s.state,
+                severity: s.severity.code(),
+            });
+        }
+        decision.plan
+    }
+}
+
+impl<C: Controller> Policy for ControllerPolicy<C> {
+    fn name(&self) -> &'static str {
+        self.controller.name()
+    }
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        self.controller.initial_plan(n_ways)
+    }
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.step(&Observation::delivered(sample, n_ways))
+    }
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.step(&Observation::missing(n_ways))
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.controller.set_telemetry(telemetry);
+    }
+    fn mba_level(&self) -> MbaLevel {
+        self.last.map_or(MbaLevel::FULL, |d| d.mba_level)
+    }
+    fn admitted_bes(&self) -> Option<u32> {
+        self.last.and_then(|d| d.admitted_bes)
+    }
+    fn state_label(&self) -> Option<&'static str> {
+        Some(self.controller.summary().state)
+    }
+}
+
+/// A named controller constructor — one registry row.
+#[derive(Clone, Copy)]
+pub struct ControllerSpec {
+    /// Stable registry key (lowercase, e.g. `"dicer-mba"`).
+    pub name: &'static str,
+    /// Display name the built controller reports (e.g. `"DICER+MBA"`).
+    pub display: &'static str,
+    /// Builds a fresh controller with its default paper configuration.
+    pub build: fn() -> Box<dyn Controller + Send>,
+}
+
+impl ControllerSpec {
+    /// A fresh controller instance.
+    pub fn build_controller(&self) -> Box<dyn Controller + Send> {
+        (self.build)()
+    }
+
+    /// A fresh controller wrapped for the Session runtime.
+    pub fn build_policy(&self) -> ControllerPolicy<Box<dyn Controller + Send>> {
+        ControllerPolicy::new(self.build_controller())
+    }
+}
+
+impl std::fmt::Debug for ControllerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerSpec")
+            .field("name", &self.name)
+            .field("display", &self.display)
+            .finish()
+    }
+}
+
+/// The set of controllers the generic layers (Session, telemetry, dicerd,
+/// the conformance harness) know how to build by name.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerRegistry {
+    specs: Vec<ControllerSpec>,
+}
+
+impl ControllerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ControllerRegistry::default()
+    }
+
+    /// The standard registry: the three ported Listing 1–3 controllers.
+    pub fn standard() -> Self {
+        let mut reg = ControllerRegistry::new();
+        reg.register(ControllerSpec {
+            name: "dicer",
+            display: "DICER",
+            build: || Box::new(crate::Dicer::new(crate::DicerConfig::default())),
+        });
+        reg.register(ControllerSpec {
+            name: "dicer-mba",
+            display: "DICER+MBA",
+            build: || Box::new(crate::DicerMba::new(crate::DicerConfig::default())),
+        });
+        reg.register(ControllerSpec {
+            name: "dicer-adm",
+            display: "DICER+ADM",
+            build: || Box::new(crate::DicerAdmission::new(crate::DicerConfig::default())),
+        });
+        reg
+    }
+
+    /// Adds a spec. Panics on a duplicate key — duplicates would make the
+    /// conformance coverage check ambiguous.
+    pub fn register(&mut self, spec: ControllerSpec) {
+        assert!(
+            self.specs.iter().all(|s| s.name != spec.name),
+            "controller {:?} registered twice",
+            spec.name
+        );
+        self.specs.push(spec);
+    }
+
+    /// All registered specs, in registration order.
+    pub fn specs(&self) -> &[ControllerSpec] {
+        &self.specs
+    }
+
+    /// Looks a spec up by registry key.
+    pub fn get(&self, name: &str) -> Option<&ControllerSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_telemetry::CollectingSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn severity_codes_and_labels_are_stable() {
+        let all = [Severity::Nominal, Severity::Adjusting, Severity::Degraded, Severity::Critical];
+        let labels = ["nominal", "adjusting", "degraded", "critical"];
+        for (i, (s, l)) in all.iter().zip(labels).enumerate() {
+            assert_eq!(s.code() as usize, i);
+            assert_eq!(s.as_str(), l);
+        }
+        assert!(Severity::Nominal < Severity::Critical);
+        assert_eq!(Severity::Adjusting.max(Severity::Degraded), Severity::Degraded);
+    }
+
+    #[test]
+    fn standard_registry_has_the_three_ported_controllers() {
+        let reg = ControllerRegistry::standard();
+        let names: Vec<&str> = reg.specs().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["dicer", "dicer-mba", "dicer-adm"]);
+        for spec in reg.specs() {
+            let c = spec.build_controller();
+            assert_eq!(Controller::name(&c), spec.display);
+            let s = c.summary();
+            assert_eq!(s.periods_seen, 0, "{}: fresh controllers have seen nothing", spec.name);
+            assert_eq!(s.severity, Severity::Nominal);
+        }
+        assert!(reg.get("dicer-mba").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = ControllerRegistry::standard();
+        reg.register(ControllerSpec {
+            name: "dicer",
+            display: "DICER",
+            build: || Box::new(crate::Dicer::new(crate::DicerConfig::default())),
+        });
+    }
+
+    #[test]
+    fn controller_policy_emits_status_on_change_only() {
+        let sink = Arc::new(CollectingSink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let mut p = ControllerRegistry::standard().get("dicer").unwrap().build_policy();
+        Policy::set_telemetry(&mut p, telemetry);
+        let calm = crate::conformance::synthetic_sample(1.0, 5.0, 20.0);
+        let hot = crate::conformance::synthetic_sample(1.0, 5.0, 60.0);
+        p.on_period(&calm, 20);
+        p.on_period(&calm, 20); // same (state, severity): no second status
+        p.on_period(&hot, 20); // optimising -> sampling
+        let statuses: Vec<String> = sink
+            .take()
+            .iter()
+            .filter(|e| e.kind() == "controller_status")
+            .map(|e| e.to_json())
+            .collect();
+        assert_eq!(
+            statuses,
+            [
+                "{\"event\":\"controller_status\",\"name\":\"DICER\",\"period\":1,\
+                 \"state\":\"optimising\",\"severity\":0}",
+                "{\"event\":\"controller_status\",\"name\":\"DICER\",\"period\":3,\
+                 \"state\":\"sampling\",\"severity\":2}",
+            ]
+        );
+        assert_eq!(Policy::state_label(&p), Some("sampling"));
+    }
+}

@@ -18,8 +18,9 @@
 //!    validate the outcome over the following period, falling back to
 //!    rollback or to fresh sampling as the listing prescribes.
 
+use crate::controller::{Controller, Decision, Observation, Severity, Summary};
 use crate::Policy;
-use dicer_rdt::{PartitionPlan, PeriodSample};
+use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
 use dicer_telemetry::{
     ControllerCounters, ControllerEvent, HoldReason, ResetCause, Telemetry, TelemetryEvent,
 };
@@ -339,6 +340,22 @@ impl Dicer {
         }
     }
 
+    /// Display name (`"DICER"` unless built via [`Dicer::with_name`]).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// DICER begins exactly like CT (Listing 1 preamble): HP gets `N − 1`
+    /// ways, all BEs share one, and the workload is presumed CT-Favoured.
+    pub fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        PartitionPlan::cache_takeover(n_ways)
+    }
+
+    /// Attach a telemetry handle; every decision emits a structured event.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Current coarse state (for tests and tracing).
     pub fn state(&self) -> DicerState {
         match self.state {
@@ -356,6 +373,23 @@ impl Dicer {
     /// Current HP allocation in ways.
     pub fn hp_ways(&self) -> u32 {
         self.hp_ways
+    }
+
+    /// Periods observed so far, missing ones included (the timestamp on
+    /// emitted controller events).
+    pub fn periods_seen(&self) -> u64 {
+        self.periods_seen
+    }
+
+    /// Coarse severity of the cache loop: steady optimisation is nominal,
+    /// validating a reset is an adjustment, and a sampling sweep means
+    /// contention was detected and is being fought.
+    pub fn severity(&self) -> Severity {
+        match self.state {
+            State::Optimising => Severity::Nominal,
+            State::ValidatingReset { .. } => Severity::Adjusting,
+            State::Sampling { .. } => Severity::Degraded,
+        }
     }
 
     /// Emit a controller event stamped with the current period counter.
@@ -438,28 +472,11 @@ impl Dicer {
         self.hp_ways = hp_ways;
         PartitionPlan::Split { hp_ways }
     }
-}
 
-impl Policy for Dicer {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// DICER begins exactly like CT (Listing 1 preamble): HP gets `N − 1`
-    /// ways, all BEs share one, and the workload is presumed CT-Favoured.
-    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
-        PartitionPlan::cache_takeover(n_ways)
-    }
-
-    fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.telemetry = telemetry;
-    }
-
-    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
-        Dicer::on_missing_period(self, n_ways)
-    }
-
-    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+    /// One Listing 1–3 state-machine step over a delivered sample. This is
+    /// the single implementation; both the [`Policy`] and [`Controller`]
+    /// facades route through it.
+    pub fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         if self.hp_ways == 0 {
             self.hp_ways = n_ways - 1; // first period ran under initial_plan
             self.optimal_allocation = n_ways - 1;
@@ -629,6 +646,67 @@ impl Policy for Dicer {
         self.prev_ipc = Some(ipc);
         debug_assert!(plan.validate(n_ways).is_ok());
         plan
+    }
+}
+
+impl Controller for Dicer {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        Dicer::initial_plan(self, n_ways)
+    }
+
+    fn observe_and_update(&mut self, obs: &Observation<'_>) -> Decision {
+        let plan = match obs.sample {
+            Some(sample) => Dicer::on_period(self, sample, obs.n_ways),
+            None => Dicer::on_missing_period(self, obs.n_ways),
+        };
+        Decision::cache_only(plan)
+    }
+
+    fn summary(&self) -> Summary {
+        Summary {
+            name: self.name,
+            state: self.state().as_str(),
+            severity: self.severity(),
+            periods_seen: self.periods_seen,
+            hp_ways: self.hp_ways,
+            mba_level: MbaLevel::FULL,
+            admitted_bes: None,
+            counters: self.stats.into(),
+        }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        Dicer::set_telemetry(self, telemetry);
+    }
+}
+
+impl Policy for Dicer {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        Dicer::initial_plan(self, n_ways)
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        Dicer::set_telemetry(self, telemetry);
+    }
+
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::missing(n_ways)).plan
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::delivered(sample, n_ways)).plan
+    }
+
+    fn state_label(&self) -> Option<&'static str> {
+        Some(self.state().as_str())
     }
 }
 

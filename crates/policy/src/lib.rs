@@ -16,13 +16,19 @@
 
 pub mod admission;
 pub mod baseline;
+pub mod conformance;
+pub mod controller;
 pub mod dicer;
 pub mod mba;
 
 pub use baseline::{CacheTakeover, StaticOverlap, StaticPartition, Unmanaged};
+pub use controller::{
+    Controller, ControllerPolicy, ControllerRegistry, ControllerSpec, Decision, Observation,
+    Severity, Summary,
+};
 pub use dicer::{Dicer, DicerConfig, DicerState, DicerStats, SamplingStrategy};
-pub use admission::DicerAdmission;
-pub use mba::DicerMba;
+pub use admission::{AdmissionState, DicerAdmission};
+pub use mba::{DicerMba, MbaState};
 
 use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
 use dicer_telemetry::Telemetry;
@@ -56,6 +62,12 @@ pub trait Policy {
     fn admitted_bes(&self) -> Option<u32> {
         None
     }
+    /// Stable label of the controller's current state, if the policy is a
+    /// state machine (used to label `policy_step` tracing spans). Static
+    /// baselines have no state and return `None`.
+    fn state_label(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Boxed policies are policies too, so generic runtimes (the `Session`
@@ -83,6 +95,9 @@ impl Policy for Box<dyn Policy + Send> {
     fn admitted_bes(&self) -> Option<u32> {
         (**self).admitted_bes()
     }
+    fn state_label(&self) -> Option<&'static str> {
+        (**self).state_label()
+    }
 }
 
 /// Value-level policy selector, convenient for experiment matrices.
@@ -108,17 +123,27 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy.
+    /// Instantiates the policy. The controller-family kinds come wrapped in
+    /// [`ControllerPolicy`], which adds the framework services (status
+    /// telemetry, span state labels) on top of the bit-identical decision
+    /// stream of the bare controller.
     pub fn build(&self) -> Box<dyn Policy + Send> {
         match self {
             PolicyKind::Unmanaged => Box::new(Unmanaged),
             PolicyKind::CacheTakeover => Box::new(CacheTakeover),
             PolicyKind::Static(w) => Box::new(StaticPartition::new(*w)),
             PolicyKind::Overlap(e, s) => Box::new(StaticOverlap::new(*e, *s)),
-            PolicyKind::Dicer(cfg) => Box::new(Dicer::new(cfg.clone())),
-            PolicyKind::DicerMba(cfg) => Box::new(DicerMba::new(cfg.clone())),
-            PolicyKind::DcpQos => Box::new(Dicer::with_name(DicerConfig::dcp_qos(), "DCP-QOS")),
-            PolicyKind::DicerAdmission(cfg) => Box::new(DicerAdmission::new(cfg.clone())),
+            PolicyKind::Dicer(cfg) => Box::new(ControllerPolicy::new(Dicer::new(cfg.clone()))),
+            PolicyKind::DicerMba(cfg) => {
+                Box::new(ControllerPolicy::new(DicerMba::new(cfg.clone())))
+            }
+            PolicyKind::DcpQos => Box::new(ControllerPolicy::new(Dicer::with_name(
+                DicerConfig::dcp_qos(),
+                "DCP-QOS",
+            ))),
+            PolicyKind::DicerAdmission(cfg) => {
+                Box::new(ControllerPolicy::new(DicerAdmission::new(cfg.clone())))
+            }
         }
     }
 

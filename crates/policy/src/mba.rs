@@ -9,11 +9,32 @@
 //! threshold for a few consecutive periods, the throttle is relaxed again.
 //! Cache decisions are unchanged — the two actuators compose.
 
+use crate::controller::{Controller, Decision, Observation, Severity, Summary};
 use crate::{dicer::Dicer, DicerConfig, Policy};
 use dicer_rdt::{MbaLevel, PartitionPlan, PeriodSample};
+use dicer_telemetry::{ControllerEvent, Telemetry, TelemetryEvent};
 
 /// Consecutive unsaturated periods required before relaxing the throttle.
 const RELAX_AFTER: u32 = 3;
+
+/// Where the bandwidth governor's own (two-state) machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbaState {
+    /// The BE class runs at the full MBA level.
+    Unthrottled,
+    /// The BE class is throttled below 100%.
+    Throttled,
+}
+
+impl MbaState {
+    /// Stable snake_case label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MbaState::Unthrottled => "unthrottled",
+            MbaState::Throttled => "throttled",
+        }
+    }
+}
 
 /// DICER with dynamic Memory Bandwidth Allocation on the BE class.
 #[derive(Debug, Clone)]
@@ -22,6 +43,7 @@ pub struct DicerMba {
     threshold_gbps: f64,
     level: MbaLevel,
     calm_periods: u32,
+    telemetry: Telemetry,
     /// Throttle adjustments performed (for introspection/ablation).
     pub throttle_changes: u64,
 }
@@ -35,8 +57,25 @@ impl DicerMba {
             threshold_gbps,
             level: MbaLevel::FULL,
             calm_periods: 0,
+            telemetry: Telemetry::off(),
             throttle_changes: 0,
         }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        "DICER+MBA"
+    }
+
+    /// Same Listing 1 preamble as stock DICER.
+    pub fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        self.inner.initial_plan(n_ways)
+    }
+
+    /// Attach a telemetry handle (shared with the cache loop).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.set_telemetry(telemetry);
     }
 
     /// The underlying cache controller.
@@ -48,24 +87,35 @@ impl DicerMba {
     pub fn level(&self) -> MbaLevel {
         self.level
     }
-}
 
-impl Policy for DicerMba {
-    fn name(&self) -> &'static str {
-        "DICER+MBA"
+    /// The governor's own state (the cache loop keeps its own; see
+    /// [`Dicer::state`]).
+    pub fn governor_state(&self) -> MbaState {
+        if self.level.is_throttled() { MbaState::Throttled } else { MbaState::Unthrottled }
     }
 
-    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
-        self.inner.initial_plan(n_ways)
+    /// Coarse severity: the cache loop's verdict, raised while the BE class
+    /// is throttled (floor throttle counts as degraded service).
+    pub fn severity(&self) -> Severity {
+        let governor = if self.level == MbaLevel::MIN {
+            Severity::Degraded
+        } else if self.level.is_throttled() {
+            Severity::Adjusting
+        } else {
+            Severity::Nominal
+        };
+        self.inner.severity().max(governor)
     }
 
-    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
-        // No counters, no saturation verdict: the throttle holds while the
-        // cache controller advances its own missing-period bookkeeping.
-        self.inner.on_missing_period(n_ways)
+    fn note(&self, event: ControllerEvent) {
+        self.telemetry
+            .emit(&TelemetryEvent::Controller { period: self.inner.periods_seen(), event });
     }
 
-    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+    /// One governor step over a delivered sample: cache loop first, then the
+    /// bandwidth loop (tighten under BE-dominated persistent saturation,
+    /// relax after calm). The single implementation behind both facades.
+    pub fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
         let plan = self.inner.on_period(sample, n_ways);
         let saturated = sample.total_bw_gbps > self.threshold_gbps;
         if saturated {
@@ -79,6 +129,7 @@ impl Policy for DicerMba {
                 if next != self.level {
                     self.level = next;
                     self.throttle_changes += 1;
+                    self.note(ControllerEvent::ThrottleTightened { percent: next.percent() });
                 }
             }
         } else {
@@ -88,6 +139,7 @@ impl Policy for DicerMba {
                 if next != self.level {
                     self.level = next;
                     self.throttle_changes += 1;
+                    self.note(ControllerEvent::ThrottleRelaxed { percent: next.percent() });
                 }
                 self.calm_periods = 0;
             }
@@ -95,12 +147,72 @@ impl Policy for DicerMba {
         plan
     }
 
+    /// Missing-sample holdover: no counters, no saturation verdict — the
+    /// throttle holds while the cache controller advances its own
+    /// missing-period bookkeeping.
+    pub fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.inner.on_missing_period(n_ways)
+    }
+}
+
+impl Controller for DicerMba {
+    fn name(&self) -> &'static str {
+        "DICER+MBA"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        DicerMba::initial_plan(self, n_ways)
+    }
+
+    fn observe_and_update(&mut self, obs: &Observation<'_>) -> Decision {
+        let plan = match obs.sample {
+            Some(sample) => DicerMba::on_period(self, sample, obs.n_ways),
+            None => DicerMba::on_missing_period(self, obs.n_ways),
+        };
+        Decision { plan, mba_level: self.level, admitted_bes: None }
+    }
+
+    fn summary(&self) -> Summary {
+        Summary {
+            mba_level: self.level,
+            severity: self.severity(),
+            name: "DICER+MBA",
+            ..Controller::summary(&self.inner)
+        }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        DicerMba::set_telemetry(self, telemetry);
+    }
+}
+
+impl Policy for DicerMba {
+    fn name(&self) -> &'static str {
+        "DICER+MBA"
+    }
+
+    fn initial_plan(&self, n_ways: u32) -> PartitionPlan {
+        DicerMba::initial_plan(self, n_ways)
+    }
+
+    fn on_missing_period(&mut self, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::missing(n_ways)).plan
+    }
+
+    fn on_period(&mut self, sample: &PeriodSample, n_ways: u32) -> PartitionPlan {
+        self.observe_and_update(&Observation::delivered(sample, n_ways)).plan
+    }
+
     fn mba_level(&self) -> MbaLevel {
         self.level
     }
 
-    fn set_telemetry(&mut self, telemetry: dicer_telemetry::Telemetry) {
-        self.inner.set_telemetry(telemetry);
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        DicerMba::set_telemetry(self, telemetry);
+    }
+
+    fn state_label(&self) -> Option<&'static str> {
+        Some(self.inner.state().as_str())
     }
 }
 

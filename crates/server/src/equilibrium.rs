@@ -890,6 +890,37 @@ mod tests {
     }
 
     #[test]
+    fn ratio_helpers_are_finite_on_empty_and_degenerate_runs() {
+        // A run that never solved anything (a session aborted before its
+        // first period, a bench with zero measured iterations) must report
+        // 0.0 everywhere — never NaN from 0/0 — so JSON reports and the
+        // perf gates' arithmetic stay well-defined.
+        let empty = SolverStats::default();
+        for rate in [
+            empty.cache_hit_rate(),
+            empty.fast_path_rate(),
+            empty.mean_evals_per_solve(),
+            empty.mean_evals_per_computed_solve(),
+        ] {
+            assert_eq!(rate, 0.0);
+            assert!(rate.is_finite());
+        }
+        // Every request answered on the fast path: there are solves but no
+        // computed ones, so the per-computed mean's denominator alone is 0.
+        let all_fast = SolverStats {
+            solves: 4,
+            cache_hits: 3,
+            fingerprint_skips: 1,
+            ..SolverStats::default()
+        };
+        assert_eq!(all_fast.cache_hit_rate(), 0.75);
+        assert_eq!(all_fast.fast_path_rate(), 1.0);
+        assert_eq!(all_fast.mean_evals_per_solve(), 0.0);
+        assert_eq!(all_fast.mean_evals_per_computed_solve(), 0.0);
+        assert!(all_fast.mean_evals_per_computed_solve().is_finite());
+    }
+
+    #[test]
     fn note_hooks_feed_the_fast_path_accounting() {
         let mut s = engine();
         s.note_fingerprint_skip();

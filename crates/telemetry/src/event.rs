@@ -180,6 +180,26 @@ pub enum ControllerEvent {
     },
     /// The period's monitoring sample never arrived; holdover applied.
     MissingPeriod,
+    /// The bandwidth governor tightened the BE-class MBA throttle one step.
+    ThrottleTightened {
+        /// Throttle now in force, percent of the unthrottled request rate.
+        percent: u8,
+    },
+    /// The bandwidth governor relaxed the BE-class MBA throttle one step.
+    ThrottleRelaxed {
+        /// Throttle now in force, percent of the unthrottled request rate.
+        percent: u8,
+    },
+    /// The admission controller evicted one BE from the server.
+    BeEvicted {
+        /// BEs still admitted after the eviction.
+        admitted: u32,
+    },
+    /// The admission controller re-admitted one previously evicted BE.
+    BeReadmitted {
+        /// BEs admitted after the re-admission.
+        admitted: u32,
+    },
 }
 
 impl ControllerEvent {
@@ -196,6 +216,10 @@ impl ControllerEvent {
             ControllerEvent::Rollback { .. } => "rollback",
             ControllerEvent::PhaseChange { .. } => "phase_change",
             ControllerEvent::MissingPeriod => "missing_period",
+            ControllerEvent::ThrottleTightened { .. } => "throttle_tightened",
+            ControllerEvent::ThrottleRelaxed { .. } => "throttle_relaxed",
+            ControllerEvent::BeEvicted { .. } => "be_evicted",
+            ControllerEvent::BeReadmitted { .. } => "be_readmitted",
         }
     }
 }
@@ -275,6 +299,19 @@ pub enum TelemetryEvent {
     Fault {
         /// Stable `dicer_rdt::FaultEvent` label.
         label: &'static str,
+    },
+    /// A registered controller's state/severity snapshot changed. Emitted
+    /// by the `ControllerPolicy` facade on change only (never by the bare
+    /// controllers), so golden-producing paths never see it.
+    ControllerStatus {
+        /// Controller display name (e.g. `"DICER+MBA"`).
+        name: &'static str,
+        /// Controller period counter at emission.
+        period: u64,
+        /// Stable state label (e.g. `"sampling"`).
+        state: &'static str,
+        /// Severity code, 0 (nominal) ..= 3 (critical).
+        severity: u8,
     },
     /// A scenario-trace decision record (golden JSONL line format).
     Decision(DecisionEvent),
@@ -404,6 +441,11 @@ impl ControllerEvent {
                 format!(",\"hp_bw_gbps\":{}", json_f64(*hp_bw_gbps))
             }
             ControllerEvent::MissingPeriod => String::new(),
+            ControllerEvent::ThrottleTightened { percent }
+            | ControllerEvent::ThrottleRelaxed { percent } => format!(",\"percent\":{percent}"),
+            ControllerEvent::BeEvicted { admitted } | ControllerEvent::BeReadmitted { admitted } => {
+                format!(",\"admitted\":{admitted}")
+            }
         }
     }
 }
@@ -415,6 +457,7 @@ impl TelemetryEvent {
         match self {
             TelemetryEvent::Period(_) => "period",
             TelemetryEvent::Controller { .. } => "controller",
+            TelemetryEvent::ControllerStatus { .. } => "controller_status",
             TelemetryEvent::PartitionApplied { .. } => "partition_applied",
             TelemetryEvent::Fault { .. } => "fault",
             TelemetryEvent::Decision(_) => "decision",
@@ -445,6 +488,14 @@ impl TelemetryEvent {
                 period,
                 json_str(event.kind()),
                 event.detail_json(),
+            ),
+            TelemetryEvent::ControllerStatus { name, period, state, severity } => format!(
+                "{{\"event\":\"controller_status\",\"name\":{},\"period\":{},\"state\":{},\
+                 \"severity\":{}}}",
+                json_str(name),
+                period,
+                json_str(state),
+                severity,
             ),
             TelemetryEvent::PartitionApplied { time_s, hp_ways, n_ways } => format!(
                 "{{\"event\":\"partition_applied\",\"time_s\":{},\"hp_ways\":{},\"n_ways\":{}}}",
@@ -548,7 +599,7 @@ mod tests {
 
     #[test]
     fn controller_event_kinds_are_stable() {
-        let cases: [(ControllerEvent, &str); 9] = [
+        let cases: [(ControllerEvent, &str); 13] = [
             (ControllerEvent::SamplingStarted { first_ways: 19 }, "sampling_started"),
             (ControllerEvent::SamplingProbe { ways: 13 }, "sampling_probe"),
             (
@@ -564,11 +615,52 @@ mod tests {
             (ControllerEvent::Rollback { ways: 17 }, "rollback"),
             (ControllerEvent::PhaseChange { hp_bw_gbps: 8.0 }, "phase_change"),
             (ControllerEvent::MissingPeriod, "missing_period"),
+            (ControllerEvent::ThrottleTightened { percent: 90 }, "throttle_tightened"),
+            (ControllerEvent::ThrottleRelaxed { percent: 100 }, "throttle_relaxed"),
+            (ControllerEvent::BeEvicted { admitted: 8 }, "be_evicted"),
+            (ControllerEvent::BeReadmitted { admitted: 9 }, "be_readmitted"),
         ];
         for (ev, kind) in cases {
             assert_eq!(ev.kind(), kind);
             let wrapped = TelemetryEvent::Controller { period: 0, event: ev };
             assert!(wrapped.to_json().contains(&format!("\"kind\":\"{kind}\"")));
         }
+    }
+
+    #[test]
+    fn governor_and_admission_events_render_their_details() {
+        let t = TelemetryEvent::Controller {
+            period: 11,
+            event: ControllerEvent::ThrottleTightened { percent: 90 },
+        };
+        assert_eq!(
+            t.to_json(),
+            "{\"event\":\"controller\",\"period\":11,\"kind\":\"throttle_tightened\",\
+             \"percent\":90}"
+        );
+        let e = TelemetryEvent::Controller {
+            period: 40,
+            event: ControllerEvent::BeEvicted { admitted: 8 },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"controller\",\"period\":40,\"kind\":\"be_evicted\",\"admitted\":8}"
+        );
+    }
+
+    #[test]
+    fn controller_status_renders_name_state_and_severity() {
+        let s = TelemetryEvent::ControllerStatus {
+            name: "DICER+MBA",
+            period: 3,
+            state: "sampling",
+            severity: 2,
+        };
+        assert_eq!(s.kind(), "controller_status");
+        assert_eq!(
+            s.to_json(),
+            "{\"event\":\"controller_status\",\"name\":\"DICER+MBA\",\"period\":3,\
+             \"state\":\"sampling\",\"severity\":2}"
+        );
     }
 }

@@ -315,6 +315,14 @@ impl SpanGuard {
         }
     }
 
+    /// Replaces the span's detail label, building it lazily — the closure
+    /// never runs on a disabled tracer, so hot paths stay allocation-free.
+    pub fn note_label_with(&mut self, label: impl FnOnce() -> String) {
+        if self.core.is_some() {
+            self.label = label();
+        }
+    }
+
     /// This span's id (0 on a disabled tracer).
     pub fn id(&self) -> u64 {
         self.id

@@ -10,18 +10,19 @@
 #   (default)  formatting, clippy, the full workspace test suite, the
 #              fault-injection robustness suite (deterministic JSONL traces
 #              under results/robustness/), the serial-vs-parallel sweep
-#              benchmark (results/BENCH_sweep.json), the span-tracing
-#              overhead benchmark (results/BENCH_trace_overhead.json), the
-#              long-horizon hot-path benchmark (results/BENCH_longrun.json)
-#              gated against the committed baseline (>15% throughput
-#              regression fails), a dicer-trace round trip (record a
-#              trace, render the report, JSON-validate the Chrome export),
-#              and a dicerd daemon smoke test.
+#              benchmark (results/BENCH_sweep.json, gated against the
+#              committed baseline), the span-tracing overhead benchmark
+#              (results/BENCH_trace_overhead.json, gated against the
+#              committed baseline), the long-horizon hot-path benchmark
+#              (results/BENCH_longrun.json) gated against the committed
+#              baseline (>15% throughput regression fails), a dicer-trace
+#              round trip (record a trace, render the report, JSON-validate
+#              the Chrome export), and a dicerd daemon smoke test.
 #   --fast     clippy plus controller-stack unit tests, the conformance,
-#              fault-injection and sweep-determinism suites — the
-#              inner-loop tier.
+#              fault-injection and sweep-determinism suites, and the
+#              controller-registry coverage check — the inner-loop tier.
 #   --update-baselines
-#              run the full tier but skip the throughput regression gate,
+#              run the full tier but skip the perf regression gates,
 #              letting the freshly written BENCH_*.json files become the
 #              next committed baselines. Loudly logged: use only when a
 #              deliberate perf change (or new hardware) moves the numbers.
@@ -74,6 +75,13 @@ if [ "$fast" -eq 1 ]; then
     step "cargo test (conformance + fault injection)"
     cargo test -q --test controller_conformance --test fault_injection || fail=1
 
+    step "registry coverage (every registered controller passes the contract)"
+    # The conformance kit fails this test if any controller in the standard
+    # registry is missing a CONTRACT_TABLE row or violates a contract
+    # clause — landing a new policy without tests fails the build here.
+    cargo test -q --test controller_conformance \
+        every_registered_controller_is_covered_and_conformant || fail=1
+
     step "cargo test (sweep determinism: parallel == serial, byte for byte)"
     cargo test -q --release --test sweep_determinism || fail=1
 
@@ -109,10 +117,77 @@ step "robustness suite (deterministic fault-injection traces)"
 cargo run -q --bin robustness_study || fail=1
 
 step "sweep benchmark (serial vs parallel matrix, results/BENCH_sweep.json)"
+sweep_baseline="$(mktemp)"
+git show HEAD:results/BENCH_sweep.json > "$sweep_baseline" 2>/dev/null || true
 cargo run -q --release -p dicer-bench --bin sweep_bench || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the sweep perf gate." >&2
+    elif [ ! -s "$sweep_baseline" ]; then
+        echo "note: no committed BENCH_sweep.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_sweep.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        # Wall-clock tolerance is generous (the serial pass is ~10 ms, so
+        # scheduler noise is a visible fraction); the structural fields are
+        # exact: the parallel matrix must stay byte-identical.
+        python3 - "$sweep_baseline" results/BENCH_sweep.json <<'PY' || { echo "sweep benchmark regressed vs the committed baseline" >&2; fail=1; }
+import json, sys
+TOLERANCE = 0.50
+base, cur = (json.load(open(p)) for p in sys.argv[1:3])
+bad = 0
+if not cur["byte_identical"]:
+    print("  parallel matrix no longer byte-identical to serial", file=sys.stderr)
+    bad += 1
+delta = (cur["serial_s"] - base["serial_s"]) / base["serial_s"]
+verdict = "FAIL" if delta > TOLERANCE else "ok"
+print(f"  serial pass: {base['serial_s']*1e3:.1f} -> {cur['serial_s']*1e3:.1f} ms ({delta:+.1%}) {verdict}")
+if delta > TOLERANCE:
+    bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the sweep perf gate"
+    fi
+fi
+rm -f "$sweep_baseline"
 
 step "span tracing overhead (results/BENCH_trace_overhead.json, <3% budget)"
+trace_baseline="$(mktemp)"
+git show HEAD:results/BENCH_trace_overhead.json > "$trace_baseline" 2>/dev/null || true
 cargo run -q --release -p dicer-bench --bin trace_overhead || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the tracing overhead gate." >&2
+    elif [ ! -s "$trace_baseline" ]; then
+        echo "note: no committed BENCH_trace_overhead.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_trace_overhead.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        # The bench already hard-asserts overhead < limit_pct; the gate adds
+        # drift detection: overhead may not creep more than 1.5 points past
+        # the committed baseline even while staying inside the budget.
+        python3 - "$trace_baseline" results/BENCH_trace_overhead.json <<'PY' || { echo "span tracing overhead drifted vs the committed baseline" >&2; fail=1; }
+import json, sys
+DRIFT_PTS = 1.5
+base, cur = (json.load(open(p)) for p in sys.argv[1:3])
+bad = 0
+if not cur["identical"]:
+    print("  traced pipeline no longer byte-identical to untraced", file=sys.stderr)
+    bad += 1
+# A negative baseline is measurement noise, not a credit to spend: drift
+# is measured from max(baseline, 0).
+old, new = base["overhead_pct"], cur["overhead_pct"]
+ceiling = max(old, 0.0) + DRIFT_PTS
+verdict = "FAIL" if new > ceiling else "ok"
+print(f"  sweep-level overhead: {old:+.2f}% -> {new:+.2f}% (ceiling {ceiling:.2f}%) {verdict}")
+if new > ceiling:
+    bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the tracing overhead gate"
+    fi
+fi
+rm -f "$trace_baseline"
 
 step "long-horizon hot path (results/BENCH_longrun.json, perf gate vs baseline)"
 # Snapshot the committed baseline before the bench overwrites the file,
@@ -216,6 +291,9 @@ if command -v curl >/dev/null 2>&1; then
             curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
                 | grep -q '^# TYPE dicer_stage_seconds histogram$' \
                 || { echo "missing per-stage latency histogram" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^dicer_controller_severity{controller=' \
+                || { echo "missing per-controller severity gauge" >&2; fail=1; }
             curl -sf "http://127.0.0.1:$DICERD_PORT/healthz" \
                 | grep -q '"status":"ok"' || { echo "bad /healthz payload" >&2; fail=1; }
             curl -sf "http://127.0.0.1:$DICERD_PORT/events?n=5" \

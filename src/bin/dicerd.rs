@@ -127,6 +127,28 @@ impl TelemetrySink for MetricsSink {
                     )
                     .inc();
             }
+            // Registered controllers report their framework status through
+            // ControllerPolicy: one event per (state, severity) change. The
+            // severity code lands in a per-controller gauge so dashboards
+            // and alerts see "how bad is it right now" without parsing
+            // state strings; transitions also count into a labelled series.
+            TelemetryEvent::ControllerStatus { name, state, severity, .. } => {
+                self.registry
+                    .gauge(
+                        "dicer_controller_severity",
+                        "Current severity code of a registered controller \
+                         (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+                        &[("controller", name)],
+                    )
+                    .set(*severity as f64);
+                self.registry
+                    .counter(
+                        "dicer_controller_transitions_total",
+                        "Controller (state, severity) changes by controller and state",
+                        &[("controller", name), ("state", state)],
+                    )
+                    .inc();
+            }
             TelemetryEvent::PartitionApplied { hp_ways, .. } => {
                 self.applies_total.inc();
                 self.hp_ways_now.set(*hp_ways as f64);

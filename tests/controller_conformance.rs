@@ -1,75 +1,46 @@
-//! Controller-conformance suite: table-driven checks that DICER's state
-//! machine takes exactly the transitions of the paper's Listings 1–3 —
-//! sample, hold, shrink, reset, validate, rollback — under both clean and
-//! perturbed (noisy / gappy) counter streams.
+//! Controller-conformance suite, built on the reusable kit in
+//! [`dicer::policy::conformance`].
 //!
-//! Each test is a script of per-period feeds with the expected plan and
-//! coarse state after every decision, run through one shared engine. A lost
-//! sample is fed as [`Feed::Missing`] (the controller's holdover path).
+//! Three layers of assurance:
+//!
+//! 1. The Listing 1–3 transition scripts — table-driven checks that DICER's
+//!    state machine takes exactly the transitions of the paper (sample,
+//!    hold, shrink, reset, validate, rollback) under both clean and
+//!    perturbed (noisy / gappy) counter streams. These run through the
+//!    kit's [`run_script`] engine, which also checks the framework's
+//!    structural invariants on every step.
+//! 2. The behavioral contract — every controller in the standard
+//!    [`ControllerRegistry`] passes the full clause table
+//!    (starts-calibrating, detects-contention, recovers, cooldown-backoff,
+//!    missing-period-holdover, summary-consistent-with-state), and every
+//!    registered controller *has* a contract row (the registry-coverage
+//!    gate ci enforces).
+//! 3. Dispatch bit-identity — driving a controller through the registry's
+//!    [`ControllerPolicy`] facade produces exactly the decision stream of
+//!    calling the bare controller directly, on both a pinned deterministic
+//!    feed and proptest-generated feeds.
 
-use dicer::policy::{Dicer, DicerConfig, DicerState, Policy, SamplingStrategy};
-use dicer::rdt::{PartitionPlan, PerAppSample, PeriodSample};
+use dicer::policy::conformance::{
+    check_registry, contract_violations_to_string, miss, run_contract, run_script, s,
+    synthetic_sample, Step, N_WAYS,
+};
+use dicer::policy::{
+    Controller, ControllerRegistry, Dicer, DicerConfig, DicerState, Observation, Policy,
+    PolicyKind, SamplingStrategy,
+};
+use dicer::rdt::PartitionPlan;
 
 /// Cache ways of the Table-1 server.
-const N: u32 = 20;
+const N: u32 = N_WAYS;
 
-fn sample(hp_ipc: f64, hp_bw: f64, total_bw: f64) -> PeriodSample {
-    let hp = PerAppSample {
-        ipc: hp_ipc,
-        llc_occupancy_bytes: 0,
-        mem_bw_gbps: hp_bw,
-        miss_ratio: 0.1,
-    };
-    let be = PerAppSample {
-        ipc: 0.5,
-        llc_occupancy_bytes: 0,
-        mem_bw_gbps: (total_bw - hp_bw) / 9.0,
-        miss_ratio: 0.3,
-    };
-    PeriodSample { time_s: 0.0, hp, bes: vec![be; 9], total_bw_gbps: total_bw }
-}
-
-/// One period's input to the controller.
-enum Feed {
-    /// A delivered sample: `(hp_ipc, hp_bw_gbps, total_bw_gbps)`.
-    S(f64, f64, f64),
-    /// A dropped sample (holdover period).
-    Missing,
-}
-
-/// One scripted step: the feed, then the expected decision.
-struct Step {
-    feed: Feed,
-    /// Expected HP ways of the plan returned for the next period.
-    hp_ways: u32,
-    /// Expected coarse state after the decision.
-    state: DicerState,
-}
-
-/// Shorthand constructors keep the tables readable.
-fn s(ipc: f64, hp_bw: f64, total: f64, hp_ways: u32, state: DicerState) -> Step {
-    Step { feed: Feed::S(ipc, hp_bw, total), hp_ways, state }
-}
-fn miss(hp_ways: u32, state: DicerState) -> Step {
-    Step { feed: Feed::Missing, hp_ways, state }
-}
-
-/// Runs a script against a fresh controller, asserting plan and state at
-/// every step; returns the controller for final-stat assertions.
+/// Runs a script against a fresh controller, asserting plan, state, and the
+/// kit's structural invariants at every step; returns the controller for
+/// final-stat assertions.
 fn conform(cfg: DicerConfig, steps: &[Step]) -> Dicer {
     let mut d = Dicer::new(cfg);
     assert_eq!(d.initial_plan(N), PartitionPlan::Split { hp_ways: N - 1 });
-    for (i, step) in steps.iter().enumerate() {
-        let plan = match step.feed {
-            Feed::S(ipc, hp_bw, total) => d.on_period(&sample(ipc, hp_bw, total), N),
-            Feed::Missing => d.on_missing_period(N),
-        };
-        assert_eq!(
-            plan,
-            PartitionPlan::Split { hp_ways: step.hp_ways },
-            "step {i}: wrong plan"
-        );
-        assert_eq!(d.state(), step.state, "step {i}: wrong state");
+    if let Err(why) = run_script(&mut d, steps) {
+        panic!("{why}");
     }
     d
 }
@@ -78,7 +49,10 @@ fn conform_default(steps: &[Step]) -> Dicer {
     conform(DicerConfig::default(), steps)
 }
 
-use DicerState::{Optimising as O, Sampling as Sa, ValidatingReset as V};
+/// State labels, as the kit scripts them (`DicerState::as_str` values).
+const O: &str = "optimising";
+const SA: &str = "sampling";
+const V: &str = "validating_reset";
 
 // ---------------------------------------------------------------------------
 // Listing 1 preamble + Listing 2: hold / shrink / improvement.
@@ -171,7 +145,7 @@ fn bandwidth_jump_is_a_phase_change_reset() {
 #[test]
 fn saturation_enters_sampling_and_clears_ct_flag() {
     let d = conform_default(&[
-        s(1.0, 5.0, 60.0, 19, Sa), // above the 50 Gbps threshold
+        s(1.0, 5.0, 60.0, 19, SA), // above the 50 Gbps threshold
     ]);
     assert!(!d.ct_favoured(), "saturation reclassifies the workload CT-T");
     assert_eq!(d.stats.saturated_periods, 1);
@@ -182,13 +156,13 @@ fn sampling_sweeps_the_ladder_then_enforces_argmax() {
     // Geometric ladder on 20 ways: [19, 13, 9, 6, 4, 2, 1]; peak IPC at 6.
     let ipc = |w: u32| if w == 6 { 1.5 } else { 0.9 };
     let d = conform_default(&[
-        s(1.0, 5.0, 60.0, 19, Sa), // enter sampling, first candidate applied
-        s(ipc(19), 5.0, 20.0, 13, Sa),
-        s(ipc(13), 5.0, 20.0, 9, Sa),
-        s(ipc(9), 5.0, 20.0, 6, Sa),
-        s(ipc(6), 5.0, 20.0, 4, Sa),
-        s(ipc(4), 5.0, 20.0, 2, Sa),
-        s(ipc(2), 5.0, 20.0, 1, Sa),
+        s(1.0, 5.0, 60.0, 19, SA), // enter sampling, first candidate applied
+        s(ipc(19), 5.0, 20.0, 13, SA),
+        s(ipc(13), 5.0, 20.0, 9, SA),
+        s(ipc(9), 5.0, 20.0, 6, SA),
+        s(ipc(6), 5.0, 20.0, 4, SA),
+        s(ipc(4), 5.0, 20.0, 2, SA),
+        s(ipc(2), 5.0, 20.0, 1, SA),
         s(ipc(1), 5.0, 20.0, 6, O), // sweep done: argmax (6 ways) enforced
     ]);
     assert_eq!(d.hp_ways(), 6);
@@ -204,9 +178,9 @@ fn custom_ladder_is_swept_in_given_order() {
     conform(
         cfg,
         &[
-            s(1.0, 5.0, 60.0, 10, Sa),
-            s(0.9, 5.0, 20.0, 5, Sa),
-            s(1.4, 5.0, 20.0, 2, Sa), // best so far: 5 ways
+            s(1.0, 5.0, 60.0, 10, SA),
+            s(0.9, 5.0, 20.0, 5, SA),
+            s(1.4, 5.0, 20.0, 2, SA), // best so far: 5 ways
             s(0.8, 5.0, 20.0, 5, O),  // argmax of {10: .9, 5: 1.4, 2: .8}
         ],
     );
@@ -222,9 +196,9 @@ fn swept_to_optimum() -> Dicer {
     let ipc = |w: u32| if w == 6 { 1.5 } else { 0.9 };
     let mut d = Dicer::new(DicerConfig::default());
     d.initial_plan(N);
-    d.on_period(&sample(1.0, 5.0, 60.0), N);
+    d.on_period(&synthetic_sample(1.0, 5.0, 60.0), N);
     for &w in &SamplingStrategy::Geometric.candidates(N) {
-        d.on_period(&sample(ipc(w), 5.0, 20.0), N);
+        d.on_period(&synthetic_sample(ipc(w), 5.0, 20.0), N);
     }
     assert_eq!(d.state(), DicerState::Optimising);
     assert_eq!(d.hp_ways(), 6);
@@ -234,9 +208,9 @@ fn swept_to_optimum() -> Dicer {
 #[test]
 fn ct_thwarted_degradation_resets_to_sampled_optimum() {
     let mut d = swept_to_optimum();
-    d.on_period(&sample(1.5, 5.0, 20.0), N); // above band: hold at 6
-    d.on_period(&sample(1.5, 5.0, 20.0), N); // stable: shrink to 5
-    let plan = d.on_period(&sample(1.2, 5.0, 20.0), N); // -20%: reset
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N); // above band: hold at 6
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N); // stable: shrink to 5
+    let plan = d.on_period(&synthetic_sample(1.2, 5.0, 20.0), N); // -20%: reset
     assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 }, "CT-T resets to the optimum");
     assert_eq!(d.state(), DicerState::ValidatingReset);
 }
@@ -244,11 +218,11 @@ fn ct_thwarted_degradation_resets_to_sampled_optimum() {
 #[test]
 fn ct_thwarted_validation_near_optimum_holds() {
     let mut d = swept_to_optimum();
-    d.on_period(&sample(1.5, 5.0, 20.0), N);
-    d.on_period(&sample(1.5, 5.0, 20.0), N);
-    d.on_period(&sample(1.2, 5.0, 20.0), N); // reset to 6
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N);
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N);
+    d.on_period(&synthetic_sample(1.2, 5.0, 20.0), N); // reset to 6
     // Back within (1 - a) of IPC_opt = 1.5: the optimum still stands.
-    let plan = d.on_period(&sample(1.45, 5.0, 20.0), N);
+    let plan = d.on_period(&synthetic_sample(1.45, 5.0, 20.0), N);
     assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 });
     assert_eq!(d.state(), DicerState::Optimising);
 }
@@ -256,11 +230,11 @@ fn ct_thwarted_validation_near_optimum_holds() {
 #[test]
 fn ct_thwarted_validation_far_from_optimum_resamples() {
     let mut d = swept_to_optimum();
-    d.on_period(&sample(1.5, 5.0, 20.0), N);
-    d.on_period(&sample(1.5, 5.0, 20.0), N);
-    d.on_period(&sample(1.2, 5.0, 20.0), N); // reset to 6
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N);
+    d.on_period(&synthetic_sample(1.5, 5.0, 20.0), N);
+    d.on_period(&synthetic_sample(1.2, 5.0, 20.0), N); // reset to 6
     // Still far below IPC_opt: the optimum moved; sample afresh.
-    let plan = d.on_period(&sample(1.2, 5.0, 20.0), N);
+    let plan = d.on_period(&synthetic_sample(1.2, 5.0, 20.0), N);
     assert_eq!(plan, PartitionPlan::Split { hp_ways: 19 }, "sweep restarts at ladder head");
     assert_eq!(d.state(), DicerState::Sampling);
 }
@@ -271,7 +245,7 @@ fn saturation_during_validation_restarts_sampling() {
         s(1.0, 5.0, 20.0, 19, O),
         s(1.0, 5.0, 20.0, 18, O),
         s(0.8, 5.0, 20.0, 19, V),  // degradation reset, validating
-        s(1.0, 5.0, 60.0, 19, Sa), // link saturates mid-validation: sample
+        s(1.0, 5.0, 60.0, 19, SA), // link saturates mid-validation: sample
     ]);
 }
 
@@ -284,7 +258,7 @@ fn saturation_inside_cooldown_holds_the_allocation() {
     let mut d = swept_to_optimum();
     // The sweep armed the cool-down; saturation must neither resample nor
     // let Listing 2 misread bandwidth noise as cache headroom.
-    let plan = d.on_period(&sample(1.5, 5.0, 60.0), N);
+    let plan = d.on_period(&synthetic_sample(1.5, 5.0, 60.0), N);
     assert_eq!(plan, PartitionPlan::Split { hp_ways: 6 }, "hold during cool-down");
     assert_eq!(d.state(), DicerState::Optimising);
     assert_eq!(d.stats.sampling_periods, 7, "no new sampling inside cool-down");
@@ -297,33 +271,33 @@ fn persistent_saturation_backs_off_exponentially() {
     let base = DicerConfig::default().sampling_cooldown_periods;
     let mut d = Dicer::new(DicerConfig::default());
     d.initial_plan(N);
-    d.on_period(&sample(19.0, 5.0, 60.0), N); // enter sampling
+    d.on_period(&synthetic_sample(19.0, 5.0, 60.0), N); // enter sampling
     let ladder = SamplingStrategy::Geometric.candidates(N);
     for &w in &ladder {
-        d.on_period(&sample(w as f64, 5.0, 60.0), N); // IPC peaks at 19 ways
+        d.on_period(&synthetic_sample(w as f64, 5.0, 60.0), N); // IPC peaks at 19 ways
     }
     assert_eq!(d.state(), DicerState::Optimising);
     // First cool-down: base periods of saturated holds, no sampling.
     let sampled = d.stats.sampling_periods;
     for _ in 0..base {
-        d.on_period(&sample(19.0, 5.0, 60.0), N);
+        d.on_period(&synthetic_sample(19.0, 5.0, 60.0), N);
         assert_eq!(d.state(), DicerState::Optimising);
     }
     assert_eq!(d.stats.sampling_periods, sampled);
     // Cool-down expired: saturation resamples, and the sweep again blames
     // unfixable saturation...
-    d.on_period(&sample(19.0, 5.0, 60.0), N);
+    d.on_period(&synthetic_sample(19.0, 5.0, 60.0), N);
     assert_eq!(d.state(), DicerState::Sampling);
     for &w in &ladder {
-        d.on_period(&sample(w as f64, 5.0, 60.0), N);
+        d.on_period(&synthetic_sample(w as f64, 5.0, 60.0), N);
     }
     // ...so the next cool-down is twice as long.
     let sampled = d.stats.sampling_periods;
     for _ in 0..2 * base {
-        d.on_period(&sample(19.0, 5.0, 60.0), N);
+        d.on_period(&synthetic_sample(19.0, 5.0, 60.0), N);
     }
     assert_eq!(d.stats.sampling_periods, sampled, "backoff must double the cool-down");
-    d.on_period(&sample(19.0, 5.0, 60.0), N);
+    d.on_period(&synthetic_sample(19.0, 5.0, 60.0), N);
     assert_eq!(d.state(), DicerState::Sampling);
 }
 
@@ -333,18 +307,18 @@ fn fixable_saturation_resets_backoff_to_base() {
     // to the configured base rather than staying doubled.
     let mut d = Dicer::new(DicerConfig::default());
     d.initial_plan(N);
-    d.on_period(&sample(1.0, 5.0, 60.0), N);
+    d.on_period(&synthetic_sample(1.0, 5.0, 60.0), N);
     let ladder = SamplingStrategy::Geometric.candidates(N);
     for &w in &ladder {
         // Peak at 6 ways: partitioning helps, saturation is "fixable".
-        d.on_period(&sample(if w == 6 { 1.5 } else { 0.9 }, 5.0, 20.0), N);
+        d.on_period(&synthetic_sample(if w == 6 { 1.5 } else { 0.9 }, 5.0, 20.0), N);
     }
     assert_eq!(d.hp_ways(), 6);
     let base = DicerConfig::default().sampling_cooldown_periods;
     for _ in 0..base {
-        d.on_period(&sample(1.5, 5.0, 60.0), N); // saturated holds
+        d.on_period(&synthetic_sample(1.5, 5.0, 60.0), N); // saturated holds
     }
-    d.on_period(&sample(1.5, 5.0, 60.0), N);
+    d.on_period(&synthetic_sample(1.5, 5.0, 60.0), N);
     assert_eq!(d.state(), DicerState::Sampling, "base cool-down, not doubled");
     assert_eq!(d.hp_ways(), 19, "a fresh sweep restarts at the ladder head");
 }
@@ -388,10 +362,10 @@ fn missing_period_during_sampling_keeps_the_sweep_position() {
     // A drop mid-sweep re-enforces the candidate under test instead of
     // skipping it; the next real sample resumes the ladder.
     conform_default(&[
-        s(1.0, 5.0, 60.0, 19, Sa),
-        s(0.9, 5.0, 20.0, 13, Sa),
-        miss(13, Sa),
-        s(0.9, 5.0, 20.0, 9, Sa),
+        s(1.0, 5.0, 60.0, 19, SA),
+        s(0.9, 5.0, 20.0, 13, SA),
+        miss(13, SA),
+        s(0.9, 5.0, 20.0, 9, SA),
     ]);
 }
 
@@ -428,4 +402,158 @@ fn zero_bandwidth_glitch_does_not_fake_a_phase_change() {
         s(1.0, 7.0, 22.0, 19, V), // a genuine +40% jump still detected
     ]);
     assert_eq!(d.stats.phase_changes, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The behavioral contract: every registered controller, full clause table.
+// ---------------------------------------------------------------------------
+
+/// Asserts one registered controller passes every contract clause.
+fn assert_conformant(name: &str) {
+    let registry = ControllerRegistry::standard();
+    let spec = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("controller {name:?} is not registered"));
+    let violations = run_contract(spec);
+    assert!(
+        violations.is_empty(),
+        "{}",
+        contract_violations_to_string(&violations)
+    );
+}
+
+#[test]
+fn dicer_passes_the_full_contract() {
+    assert_conformant("dicer");
+}
+
+#[test]
+fn dicer_mba_passes_the_full_contract() {
+    assert_conformant("dicer-mba");
+}
+
+#[test]
+fn dicer_adm_passes_the_full_contract() {
+    assert_conformant("dicer-adm");
+}
+
+/// The registry-coverage gate: ci's fast tier runs exactly this test. A
+/// controller registered without conforming (or without a contract-table
+/// row) fails the build here.
+#[test]
+fn every_registered_controller_is_covered_and_conformant() {
+    let registry = ControllerRegistry::standard();
+    assert!(!registry.specs().is_empty(), "the standard registry must not be empty");
+    let violations = check_registry(&registry);
+    assert!(
+        violations.is_empty(),
+        "{}",
+        contract_violations_to_string(&violations)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Registry dispatch is bit-identical to driving the bare controller.
+// ---------------------------------------------------------------------------
+
+/// A deterministic feed: `(hp_ipc, hp_bw, total_bw, delivered)` tuples from
+/// a 64-bit LCG, spanning calm, saturated, degraded, and dropped periods.
+fn lcg_feed(seed: u64, len: usize) -> Vec<(f64, f64, f64, bool)> {
+    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as f64 / (1u64 << 31) as f64 // uniform [0, 1)
+    };
+    (0..len)
+        .map(|_| {
+            let ipc = 0.2 + 1.6 * next();
+            let hp_bw = 2.0 + 8.0 * next();
+            let total = hp_bw + 70.0 * next(); // crosses the 50 Gbps threshold
+            let delivered = next() > 0.1; // ~10% dropped samples
+            (ipc, hp_bw, total, delivered)
+        })
+        .collect()
+}
+
+/// Drives the registry-built [`Policy`] facade and the bare [`Controller`]
+/// through the same feed, asserting identical plans, throttles, admission,
+/// and state labels at every period.
+fn assert_dispatch_bit_identical(name: &str, feed: &[(f64, f64, f64, bool)]) {
+    let registry = ControllerRegistry::standard();
+    let spec = registry.get(name).expect("registered");
+    let mut via_policy = spec.build_policy();
+    let mut direct = spec.build_controller();
+    assert_eq!(via_policy.initial_plan(N), direct.initial_plan(N));
+    for (i, &(ipc, hp_bw, total, delivered)) in feed.iter().enumerate() {
+        let (plan, decision) = if delivered {
+            let sample = synthetic_sample(ipc, hp_bw, total);
+            (
+                via_policy.on_period(&sample, N),
+                direct.observe_and_update(&Observation::delivered(&sample, N)),
+            )
+        } else {
+            (
+                via_policy.on_missing_period(N),
+                direct.observe_and_update(&Observation::missing(N)),
+            )
+        };
+        assert_eq!(plan, decision.plan, "{name}: plan diverged at period {i}");
+        assert_eq!(
+            via_policy.mba_level(),
+            decision.mba_level,
+            "{name}: throttle diverged at period {i}"
+        );
+        assert_eq!(
+            via_policy.admitted_bes(),
+            decision.admitted_bes,
+            "{name}: admission diverged at period {i}"
+        );
+        assert_eq!(
+            via_policy.state_label(),
+            Some(direct.summary().state),
+            "{name}: state label diverged at period {i}"
+        );
+    }
+}
+
+#[test]
+fn registry_dispatch_is_bit_identical_on_a_pinned_feed() {
+    for name in ["dicer", "dicer-mba", "dicer-adm"] {
+        for seed in [1, 7, 42, 0xD1CE2] {
+            assert_dispatch_bit_identical(name, &lcg_feed(seed, 300));
+        }
+    }
+}
+
+#[test]
+fn policykind_build_matches_the_bare_controller_too() {
+    // The PolicyKind construction path (what Session uses) wraps the same
+    // controllers; its decision stream must equal the bare controller's.
+    let feed = lcg_feed(3, 300);
+    let mut kind = PolicyKind::Dicer(DicerConfig::default()).build();
+    let mut direct = Dicer::new(DicerConfig::default());
+    assert_eq!(kind.initial_plan(N), Policy::initial_plan(&direct, N));
+    for &(ipc, hp_bw, total, delivered) in &feed {
+        let (a, b) = if delivered {
+            let sample = synthetic_sample(ipc, hp_bw, total);
+            (kind.on_period(&sample, N), direct.on_period(&sample, N))
+        } else {
+            (kind.on_missing_period(N), direct.on_missing_period(N))
+        };
+        assert_eq!(a, b);
+    }
+}
+
+proptest::proptest! {
+    /// Property form of the dispatch bit-identity: arbitrary feeds, all
+    /// three registered controllers.
+    #[test]
+    fn registry_dispatch_is_bit_identical_on_arbitrary_feeds(
+        seed in proptest::prelude::any::<u64>(),
+        len in 1usize..120,
+    ) {
+        for name in ["dicer", "dicer-mba", "dicer-adm"] {
+            assert_dispatch_bit_identical(name, &lcg_feed(seed, len));
+        }
+    }
 }

@@ -7,10 +7,13 @@
 //! persistent sample buffer in place, and every event constructor is
 //! short-circuited before it can build anything.
 //!
-//! The proof instruments the global allocator, so this file holds exactly
-//! one test: the libtest harness runs it on a single thread with nothing
-//! else allocating concurrently, making the counter exact rather than
-//! statistical.
+//! The proof instruments the global allocator, so this target runs
+//! **without** the libtest harness (`harness = false` in Cargo.toml): the
+//! whole process is one thread with nothing else allocating concurrently,
+//! making the counter exact rather than statistical. (Under a harness the
+//! runner thread's completion channel lazily allocates — a TLS context and
+//! a waker entry — at a scheduling-dependent moment, so the count would be
+//! off by a couple of allocations on some runs.)
 
 use dicer::appmodel::{AppProfile, Archetype, MissCurve, Phase};
 use dicer::experiments::Session;
@@ -51,7 +54,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-#[test]
+fn main() {
+    steady_state_periods_do_not_allocate_when_detached();
+    println!("test steady_state_periods_do_not_allocate_when_detached ... ok");
+}
+
 fn steady_state_periods_do_not_allocate_when_detached() {
     const PERIODS: u32 = 5_000;
     const WARMUP: u32 = 500;
