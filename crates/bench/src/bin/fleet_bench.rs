@@ -1,0 +1,124 @@
+//! `fleet_bench` — wall-clock benchmark of the fleet node fan-out.
+//!
+//! Runs the same 500-node × 1000-round fleet twice — once on the serial
+//! runner, once on an 8-worker pool — and asserts the two things the
+//! fleet layer promises:
+//!
+//! 1. **Byte identity**: the serialized [`FleetOutcome`] of the parallel
+//!    run is byte-for-byte the serial one (the determinism contract at
+//!    bench scale, complementing `tests/fleet_determinism.rs`).
+//! 2. **Speedup**: when the rayon pool is genuinely parallel (probed at
+//!    runtime — a stubbed/serial rayon build reports no worker indices),
+//!    the parallel run must be at least [`MIN_SPEEDUP`]× faster.
+//!
+//! Writes `results/BENCH_fleet.json`; `scripts/ci.sh` (full tier) gates
+//! `serial_s` regressions beyond 15 % against the committed baseline and
+//! requires `byte_identical` to be true. The JSON is hand-rolled so the
+//! artifact does not depend on a serde backend.
+
+use std::time::Instant;
+
+use dicer_experiments::SweepRunner;
+use dicer_fleet::{Fleet, FleetConfig, SchedulerKind};
+
+/// Fleet size: large enough that per-round fan-out dominates setup cost.
+const NODES: usize = 500;
+/// Rounds per run (one monitoring period per node per round).
+const ROUNDS: u32 = 1000;
+/// Churn seed (any fixed value works; byte identity is per-seed).
+const SEED: u64 = 42;
+/// Workers on the parallel run.
+const JOBS: usize = 8;
+/// Required speedup when the pool is genuinely parallel.
+const MIN_SPEEDUP: f64 = 4.0;
+
+/// Round-robin placement: the cheapest scheduler, so the measurement is
+/// the node-stepping fan-out itself, not scheduler bookkeeping.
+const SCHEDULER: SchedulerKind = SchedulerKind::RoundRobin;
+
+/// One timed fleet run; returns the serialized outcome and the seconds
+/// spent inside `run` (node/pool construction excluded).
+fn timed_run(runner: &SweepRunner) -> (String, f64) {
+    let cfg = FleetConfig::standard(NODES, ROUNDS, SEED);
+    let scheduler = SCHEDULER.build(
+        cfg.seed,
+        cfg.server.link.capacity_gbps,
+        cfg.server.cache.ways,
+        cfg.degraded_streak,
+    );
+    let mut fleet = Fleet::new(cfg, scheduler);
+    let start = Instant::now();
+    let outcome = fleet.run(runner);
+    (outcome.to_json(), start.elapsed().as_secs_f64())
+}
+
+/// Whether `runner` actually fans work out across rayon workers. A
+/// stubbed (fully serial) rayon — or a 1-worker pool — never reports
+/// more than one distinct worker index, and in that case the speedup
+/// assertion would be meaningless.
+fn genuinely_parallel(runner: &SweepRunner) -> bool {
+    let mut slots: Vec<Option<usize>> = vec![None; 256];
+    runner.map_mut(&mut slots, |slot| {
+        // A little spin so the batch cannot be drained by one worker
+        // before the others wake up.
+        let mut acc = 0u64;
+        for i in 0..20_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(acc);
+        *slot = rayon::current_thread_index();
+    });
+    let mut seen: Vec<usize> = slots.into_iter().flatten().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() > 1
+}
+
+fn main() {
+    dicer_bench::banner("fleet_bench: 500-node fleet, serial vs parallel");
+    println!(
+        "   {NODES} nodes x {ROUNDS} rounds, seed {SEED}, scheduler {}",
+        SCHEDULER.name()
+    );
+
+    let serial_runner = SweepRunner::serial();
+    let parallel_runner = SweepRunner::with_jobs(JOBS);
+    let genuine = genuinely_parallel(&parallel_runner);
+
+    let (serial_json, serial_s) = timed_run(&serial_runner);
+    println!("   serial   ({} worker):  {serial_s:8.3} s", serial_runner.jobs());
+    let (parallel_json, parallel_s) = timed_run(&parallel_runner);
+    println!("   parallel ({JOBS} workers): {parallel_s:8.3} s");
+
+    let byte_identical = serial_json == parallel_json;
+    assert!(
+        byte_identical,
+        "parallel fleet outcome diverged from serial (determinism contract broken)"
+    );
+
+    let speedup = serial_s / parallel_s;
+    println!("   speedup: {speedup:.2}x (pool genuinely parallel: {genuine})");
+    if genuine {
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "parallel fleet run must be >= {MIN_SPEEDUP}x faster on a real pool, got {speedup:.2}x"
+        );
+    } else {
+        println!("   (serial rayon build: speedup assertion skipped)");
+    }
+
+    // Hand-rolled artifact: the shared serde writer is off-limits here
+    // because this file must stay truthful even under a stubbed serde.
+    let json = format!(
+        "{{\n  \"nodes\": {NODES},\n  \"rounds\": {ROUNDS},\n  \"seed\": {SEED},\n  \
+         \"scheduler\": \"{}\",\n  \"jobs\": {JOBS},\n  \"serial_s\": {serial_s:.3},\n  \
+         \"parallel_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"parallel_genuine\": {genuine},\n  \"byte_identical\": {byte_identical}\n}}\n",
+        SCHEDULER.name()
+    );
+    let dir = std::path::Path::new(dicer_bench::RESULTS_DIR);
+    std::fs::create_dir_all(dir).expect("results dir");
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, json).expect("write BENCH_fleet.json");
+    println!("   wrote {}", path.display());
+}

@@ -33,7 +33,7 @@
 //! [`FaultyPlatform`]: dicer_rdt::FaultyPlatform
 
 use dicer_policy::Policy;
-use dicer_rdt::{MonitoredPlatform, PeriodSample};
+use dicer_rdt::{MonitoredPlatform, PartitionPlan, PeriodSample};
 use dicer_telemetry::{trace::stage, Telemetry, Tracer};
 
 /// One step of a running session, as handed to the observer.
@@ -104,9 +104,22 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
         &self.platform
     }
 
+    /// Mutable platform access, for drivers that mutate the platform
+    /// *between* periods — the fleet layer adds and removes BEs on its
+    /// nodes as workloads arrive, depart and migrate. Mutating mid-period
+    /// is impossible by construction (the loop holds the borrow).
+    pub fn platform_mut(&mut self) -> &mut P {
+        &mut self.platform
+    }
+
     /// The policy (final state inspection after a run).
     pub fn policy(&self) -> &C {
         &self.policy
+    }
+
+    /// Mutable policy access (external drivers resetting controller state).
+    pub fn policy_mut(&mut self) -> &mut C {
+        &mut self.policy
     }
 
     /// Consumes the session, returning platform and policy.
@@ -117,6 +130,54 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
     /// Runs the loop to completion (or the cap) with no hooks.
     pub fn run(&mut self) -> SessionEnd {
         self.run_observed(|_, _| (), |_, _, _| ())
+    }
+
+    /// Run setup for externally-driven sessions: applies the policy's
+    /// initial plan exactly as [`Session::run_observed`] does before its
+    /// first period. Call once before the first [`Session::step_one`].
+    pub fn begin(&mut self) {
+        let n_ways = self.platform.n_ways();
+        self.platform.apply_plan_direct(self.policy.initial_plan(n_ways));
+    }
+
+    /// Advances the session by exactly one period, refilling `sample` in
+    /// place, and returns whether the sample was delivered (`false` = the
+    /// monitoring path dropped it and the policy saw a missing period).
+    ///
+    /// This is the manual-stepping face of the same loop body
+    /// [`Session::run_observed`] executes — platform step, policy
+    /// dispatch, delta-only plan/MBA/admission actuation — for drivers
+    /// that interleave many sessions (the fleet steps hundreds of node
+    /// sessions round by round). It ignores `max_periods` and never
+    /// checks workload completion; the external driver owns termination.
+    pub fn step_one(&mut self, sample: &mut PeriodSample) -> bool {
+        let n_ways = self.platform.n_ways();
+        let delivered = self.platform.step_period_monitored_into(sample);
+        let plan = if delivered {
+            self.policy.on_period(sample, n_ways)
+        } else {
+            self.policy.on_missing_period(n_ways)
+        };
+        self.actuate(plan);
+        delivered
+    }
+
+    /// Delta-only actuation shared by the period loop and `step_one`: the
+    /// plan lands only when it differs from the plan in force, and the MBA
+    /// throttle / BE admission sync the same way.
+    fn actuate(&mut self, plan: PartitionPlan) {
+        if plan != self.platform.current_plan() {
+            let _apply = self.tracer.span(stage::PARTITION_APPLY);
+            self.platform.apply_plan(plan);
+        }
+        if self.policy.mba_level() != self.platform.be_throttle() {
+            self.platform.set_be_throttle(self.policy.mba_level());
+        }
+        if let Some(n) = self.policy.admitted_bes() {
+            if self.platform.admitted_bes() != Some(n) {
+                self.platform.set_admitted_bes(n);
+            }
+        }
     }
 
     /// Runs the loop with both hooks:
@@ -171,18 +232,7 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
                 }
                 plan
             };
-            if plan != self.platform.current_plan() {
-                let _apply = self.tracer.span(stage::PARTITION_APPLY);
-                self.platform.apply_plan(plan);
-            }
-            if self.policy.mba_level() != self.platform.be_throttle() {
-                self.platform.set_be_throttle(self.policy.mba_level());
-            }
-            if let Some(n) = self.policy.admitted_bes() {
-                if self.platform.admitted_bes() != Some(n) {
-                    self.platform.set_admitted_bes(n);
-                }
-            }
+            self.actuate(plan);
             drop(period_span);
             observe(
                 SessionStep { period: periods, delivered, carry },
@@ -396,6 +446,38 @@ mod tests {
         );
         // UM never changes the plan after setup: no partition_apply spans.
         assert!(spans.iter().all(|s| s.name != "partition_apply"));
+    }
+
+    #[test]
+    fn manual_stepping_matches_the_period_loop() {
+        // begin() + N × step_one() must leave platform and policy in the
+        // same state as run() over the same N periods.
+        let mut looped = Session::new(FakePlatform::new(9), PolicyKind::CacheTakeover.build(), 9);
+        let end = looped.run();
+        assert_eq!(end.periods, 9);
+
+        let mut manual = Session::new(FakePlatform::new(9), PolicyKind::CacheTakeover.build(), 9);
+        manual.begin();
+        let mut sample = PeriodSample::default();
+        for _ in 0..9 {
+            assert!(manual.step_one(&mut sample), "clean platform always delivers");
+        }
+        assert_eq!(manual.platform().t, looped.platform().t);
+        assert_eq!(manual.platform().applies, looped.platform().applies);
+        assert_eq!(manual.platform().current_plan(), looped.platform().current_plan());
+        assert_eq!(manual.platform().be_throttle(), looped.platform().be_throttle());
+        assert!((sample.time_s - 9.0).abs() < 1e-12, "the buffer holds the last period");
+    }
+
+    #[test]
+    fn platform_mut_supports_between_period_mutation() {
+        let mut s = Session::new(FakePlatform::new(u32::MAX), Unmanaged, 100);
+        s.begin();
+        let mut sample = PeriodSample::default();
+        s.step_one(&mut sample);
+        s.platform_mut().t += 10;
+        s.step_one(&mut sample);
+        assert!((sample.time_s - 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -138,14 +138,47 @@ impl SweepRunner {
         self.run_items(items, |idx, item| traced_job(tracer, idx, item, &f))
     }
 
-    /// The one executor both entry points share: applies `f(index, item)`
-    /// to every item, collecting in input order.
+    /// In-place variant of [`SweepRunner::map`]: applies `f` to every item
+    /// through a mutable reference, returning the per-item results in input
+    /// order. This is the fan-out the fleet layer steps its node sessions
+    /// on — each item owns independent mutable state, so index-ordered
+    /// collection keeps parallel runs byte-identical to serial ones exactly
+    /// as with `map`.
+    pub fn map_mut<I, T, F>(&self, items: &mut [I], f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(&mut I) -> T + Sync + Send,
+    {
+        // Churn-dependent batches are routinely empty: return without
+        // touching the rayon pool.
+        if items.is_empty() {
+            return Vec::new();
+        }
+        match &self.pool {
+            None => items.iter_mut().map(&f).collect(),
+            Some(pool) => {
+                use rayon::prelude::*;
+                pool.install(|| items.par_iter_mut().map(&f).collect())
+            }
+        }
+    }
+
+    /// The one executor both borrowing entry points share: applies
+    /// `f(index, item)` to every item, collecting in input order.
     fn run_items<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
         I: Sync,
         T: Send,
         F: Fn(usize, &I) -> T + Sync + Send,
     {
+        // An empty sweep short-circuits to an empty, correctly-typed result
+        // without entering the pool: the fleet layer maps churn-dependent
+        // batches that are frequently empty, and dispatching a zero-item
+        // parallel job would pay pool latency for nothing.
+        if items.is_empty() {
+            return Vec::new();
+        }
         match &self.pool {
             None => items.iter().enumerate().map(|(i, item)| f(i, item)).collect(),
             Some(pool) => {
@@ -279,5 +312,50 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let none: Vec<u8> = Vec::new();
         assert!(SweepRunner::with_jobs(4).map(&none, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn empty_input_short_circuits_without_entering_the_pool() {
+        // The closure must never run, on either path and in every entry
+        // point, including the pre-pool short-circuit on the parallel
+        // runner and the mutable fan-out.
+        let calls = AtomicUsize::new(0);
+        let none: Vec<u8> = Vec::new();
+        let mut none_mut: Vec<u8> = Vec::new();
+        for runner in [SweepRunner::serial(), SweepRunner::with_jobs(8)] {
+            let out = runner.map(&none, |x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *x
+            });
+            assert!(out.is_empty());
+            let out = runner.map_mut(&mut none_mut, |x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *x
+            });
+            assert!(out.is_empty());
+            let tracer = Tracer::off();
+            let out = runner.map_traced(&none, &tracer, |x, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *x
+            });
+            assert!(out.is_empty());
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_and_matches_serial_order() {
+        let mut serial: Vec<u64> = (0..128).collect();
+        let mut parallel = serial.clone();
+        let bump = |x: &mut u64| {
+            *x += 1;
+            *x * 2
+        };
+        let a = SweepRunner::serial().map_mut(&mut serial, bump);
+        let b = SweepRunner::with_jobs(8).map_mut(&mut parallel, bump);
+        assert_eq!(a, b, "results are index-ordered on both paths");
+        assert_eq!(serial, parallel, "in-place mutations agree");
+        assert_eq!(serial[0], 1);
+        assert_eq!(a[3], 8);
     }
 }

@@ -1,0 +1,212 @@
+//! Seeded, environment-independent workload churn.
+//!
+//! The arrival stream must be a **pure function of `(seed, round)`**: the
+//! fleet replays rounds under any `--jobs`, `dicerd` runs it open-ended,
+//! and the committed goldens must not depend on any external RNG crate's
+//! stream. So churn is built on a splitmix64 generator — a dozen lines of
+//! integer arithmetic, identical everywhere — with one independent
+//! generator derived per round.
+//!
+//! Per round the stream draws a Poisson-distributed number of best-effort
+//! arrivals (each with a pool index and a bounded uniform lifetime), and
+//! scripted **flash-crowd windows** add a deterministic burst of arrivals
+//! of the pool's most bandwidth-hungry entry on top — modelling the load
+//! surges a latency-critical service sees when a crowd shows up.
+
+/// One arrival produced by the churn stream: which pool entry shows up
+/// and how many rounds it stays before departing on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Index into the BE side of the [`crate::FleetPool`].
+    pub pool_idx: usize,
+    /// Rounds of residence before a scheduled departure.
+    pub lifetime: u32,
+}
+
+/// Churn-stream parameters. [`ChurnConfig::standard`] is the pinned mix
+/// every committed artifact uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean Poisson BE arrivals per round, fleet-wide.
+    pub arrivals_per_round: f64,
+    /// Mean resident lifetime in rounds (lifetimes are uniform on
+    /// `[1, 2·mean]`, so this is exact in expectation).
+    pub lifetime_mean: u32,
+    /// First round of the first flash-crowd window.
+    pub flash_start: u32,
+    /// Rounds between window starts (0 disables flash crowds).
+    pub flash_period: u32,
+    /// Window length in rounds.
+    pub flash_len: u32,
+    /// Extra burst arrivals per window round, on top of the Poisson draw.
+    pub flash_extra: u32,
+}
+
+impl ChurnConfig {
+    /// The standard churn scenario: steady Poisson churn scaled to the
+    /// fleet size plus a periodic flash crowd.
+    pub fn standard(nodes: usize) -> Self {
+        Self {
+            // One arrival per ~2 nodes per round keeps mid-size fleets
+            // around half occupancy under the standard lifetime.
+            arrivals_per_round: nodes as f64 / 10.0,
+            lifetime_mean: 40,
+            flash_start: 50,
+            flash_period: 200,
+            flash_len: 10,
+            flash_extra: (nodes / 16).max(1) as u32,
+        }
+    }
+
+    /// Whether `round` falls inside a scripted flash-crowd window.
+    pub fn in_flash(&self, round: u32) -> bool {
+        if self.flash_period == 0 || round < self.flash_start {
+            return false;
+        }
+        (round - self.flash_start) % self.flash_period < self.flash_len
+    }
+
+    /// Draws the full arrival batch for `round`. Pure in `(seed, round)`:
+    /// the same call always returns the same batch, regardless of what was
+    /// drawn for any other round.
+    pub fn draw(&self, seed: u64, round: u32, pool_bes: usize, flash_idx: usize) -> Vec<Arrival> {
+        assert!(pool_bes > 0, "churn needs a non-empty pool");
+        let mut rng = FleetRng::for_round(seed, round);
+        let n = rng.poisson(self.arrivals_per_round);
+        let mut out = Vec::with_capacity(n as usize + self.flash_extra as usize);
+        for _ in 0..n {
+            let pool_idx = (rng.next_u64() % pool_bes as u64) as usize;
+            let lifetime = 1 + (rng.next_u64() % (2 * self.lifetime_mean as u64).max(1)) as u32;
+            out.push(Arrival { pool_idx, lifetime });
+        }
+        if self.in_flash(round) {
+            for _ in 0..self.flash_extra {
+                let lifetime = 1 + (rng.next_u64() % self.lifetime_mean.max(1) as u64) as u32;
+                out.push(Arrival { pool_idx: flash_idx, lifetime });
+            }
+        }
+        out
+    }
+}
+
+/// A splitmix64 generator — deterministic, dependency-free, identical on
+/// every platform. Good enough statistically for workload churn; **not**
+/// a cryptographic RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRng {
+    state: u64,
+}
+
+impl FleetRng {
+    /// A generator for one `(seed, round)` cell, independent of every
+    /// other round's.
+    pub fn for_round(seed: u64, round: u32) -> Self {
+        // Decorrelate seed and round through one scramble each, so
+        // adjacent rounds do not share low-bit structure.
+        Self { state: scramble(seed ^ scramble(round as u64 ^ 0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// A generator seeded directly (scheduler tie-breaking).
+    pub fn new(seed: u64) -> Self {
+        Self { state: scramble(seed) }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        scramble(self.state)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 significant bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Poisson draw by Knuth's product-of-uniforms method — exact for the
+    /// small per-round rates churn uses (capped at 4096 as a runaway
+    /// guard for absurd rates).
+    pub fn poisson(&mut self, mean: f64) -> u32 {
+        assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be >= 0: {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= limit || k >= 4096 {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// The splitmix64 output scramble (Steele, Lea & Flood 2014).
+fn scramble(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_are_pure_and_independent() {
+        let cfg = ChurnConfig::standard(32);
+        let a = cfg.draw(7, 123, 8, 0);
+        let b = cfg.draw(7, 123, 8, 0);
+        assert_eq!(a, b, "same (seed, round) => same batch");
+        // Drawing other rounds in between must not matter (no shared state).
+        let _ = cfg.draw(7, 122, 8, 0);
+        assert_eq!(cfg.draw(7, 123, 8, 0), a);
+        assert_ne!(cfg.draw(8, 123, 8, 0), a, "seed reaches the stream");
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = FleetRng::new(1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.poisson(3.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "empirical mean {mean}");
+        assert_eq!(FleetRng::new(2).poisson(0.0), 0);
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_varies() {
+        let mut rng = FleetRng::new(42);
+        let draws: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+        assert!(draws.iter().all(|u| (0.0..1.0).contains(u)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn flash_windows_follow_the_script() {
+        let cfg = ChurnConfig { flash_start: 10, flash_period: 20, flash_len: 3, ..ChurnConfig::standard(16) };
+        assert!(!cfg.in_flash(9));
+        assert!(cfg.in_flash(10) && cfg.in_flash(12) && !cfg.in_flash(13));
+        assert!(cfg.in_flash(30) && !cfg.in_flash(33));
+        let off = ChurnConfig { flash_period: 0, ..cfg };
+        assert!(!off.in_flash(10));
+        // Inside a window the burst arrivals land on the flash entry.
+        let batch = cfg.draw(3, 11, 8, 5);
+        let burst = batch.iter().filter(|a| a.pool_idx == 5).count();
+        assert!(burst >= cfg.flash_extra as usize);
+    }
+
+    #[test]
+    fn lifetimes_are_positive_and_bounded() {
+        let cfg = ChurnConfig::standard(64);
+        for round in 0..50 {
+            for a in cfg.draw(9, round, 8, 0) {
+                assert!(a.lifetime >= 1 && a.lifetime <= 2 * cfg.lifetime_mean);
+                assert!(a.pool_idx < 8);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The fleet layer: many simulated servers, one placement scheduler.
+//!
+//! Everything below this crate — [`Server`], [`Session`], the controller
+//! registry — simulates *one* consolidated node. The paper's story only
+//! pays off at datacenter scale, where a scheduler decides *which* node
+//! each best-effort workload lands on; cache sensitivity (the signal DICER
+//! computes per node) is exactly the placement input related work exploits
+//! (LFOC clusters workloads by measured sensitivity, CBP coordinates
+//! per-node resource controllers).
+//!
+//! A [`Fleet`] owns N independent node sessions and advances them in
+//! lock-step **rounds** (one monitoring period per node per round):
+//!
+//! 1. **departures** — resident BEs whose lifetime expired leave their
+//!    node (their retired work stays banked in the throughput totals);
+//! 2. **arrivals** — a seeded Poisson stream of BE arrivals, plus scripted
+//!    flash-crowd bursts, each routed to a node by the [`Scheduler`];
+//! 3. **step** — every node advances one period on the deterministic
+//!    [`SweepRunner`] fan-out (`map_mut`), so a parallel fleet is
+//!    byte-identical to a serial one at any `--jobs`;
+//! 4. **migrations** — the scheduler may evict BEs off nodes whose
+//!    controller has reported sustained `Degraded`-or-worse severity (the
+//!    `placement-signal` conformance clause pins that this severity ladder
+//!    is a stable migration trigger), bounded by a per-node round budget.
+//!
+//! All cross-node decisions (1, 2 and 4) run serially on the driver
+//! thread; only the embarrassingly parallel node stepping fans out. That
+//! is the entire determinism argument, and `tests/fleet_determinism.rs`
+//! pins it byte-for-byte.
+//!
+//! [`Server`]: dicer_server::Server
+//! [`Session`]: dicer_experiments::Session
+//! [`SweepRunner`]: dicer_experiments::SweepRunner
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod fleet;
+pub mod outcome;
+pub mod pool;
+pub mod scheduler;
+
+pub use churn::{Arrival, ChurnConfig, FleetRng};
+pub use fleet::{Fleet, FleetConfig, FleetStatus, NodePolicy, NodeStatus};
+pub use outcome::{FleetOutcome, NodeOutcome};
+pub use pool::{FleetPool, PoolEntry};
+pub use scheduler::{
+    ArrivalView, Migration, NodeView, RandomPlace, ResidentView, RoundRobin, Scheduler,
+    SchedulerKind, SensitivityMigrate, SensitivityPack,
+};

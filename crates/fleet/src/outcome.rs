@@ -1,0 +1,184 @@
+//! Aggregated results of a fleet run, with a byte-stable JSON encoding.
+//!
+//! [`FleetOutcome`] is the unit the determinism contract is pinned on:
+//! `tests/fleet_determinism.rs` requires the *serialized* outcome of a
+//! run to be byte-identical across `--jobs` settings, and the bench and
+//! study artifacts embed it. The JSON writer is hand-rolled on `format!`
+//! (floats through Rust's shortest-roundtrip `Display`), so the bytes
+//! depend on nothing but the values.
+
+use dicer_policy::Severity;
+
+/// Per-node slice of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutcome {
+    /// Node id.
+    pub node: usize,
+    /// Mean HP slowdown over the run, relative to an unloaded reference
+    /// node running the same HP under the same controller (1.0 = the
+    /// consolidation churn cost this node's HP nothing beyond what the
+    /// controller itself costs).
+    pub hp_slowdown_mean: f64,
+    /// BE instructions retired on this node (departed residents included).
+    pub be_retired_insns: f64,
+    /// BE completions on this node (departed residents included).
+    pub be_completions: u64,
+    /// Residents migrated off this node.
+    pub migrations_out: u64,
+    /// Controller severity at the end of the run.
+    pub final_severity: Severity,
+}
+
+/// Fleet-wide aggregation of one run under one scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Scheduler that placed the workloads.
+    pub scheduler: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Churn seed.
+    pub seed: u64,
+    /// Median across nodes of the per-node mean HP slowdown (relative to
+    /// each node's unloaded reference, see [`NodeOutcome`]).
+    pub hp_slowdown_p50: f64,
+    /// 99th percentile across nodes of the per-node mean HP slowdown
+    /// (relative, see [`NodeOutcome`]).
+    pub hp_slowdown_p99: f64,
+    /// Aggregate BE throughput: instructions retired by all BEs anywhere.
+    pub be_retired_insns: f64,
+    /// Aggregate BE completions.
+    pub be_completions: u64,
+    /// Arrivals admitted somewhere.
+    pub arrivals: u64,
+    /// Scheduled departures that happened.
+    pub departures: u64,
+    /// Arrivals rejected (no node had a free slot).
+    pub rejected: u64,
+    /// Migrations actually applied.
+    pub migrations: u64,
+    /// Migrations the fleet refused (budget or capacity).
+    pub migrations_skipped: u64,
+    /// Largest number of outgoing migrations any node did in one round
+    /// (always `<=` the configured budget).
+    pub max_node_round_migrations: u32,
+    /// Worst severity across nodes at the end of the run.
+    pub worst_severity: Severity,
+    /// Per-node rows, in node order.
+    pub per_node: Vec<NodeOutcome>,
+}
+
+impl FleetOutcome {
+    /// Byte-stable JSON encoding (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.per_node.len() * 96);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scheduler\": \"{}\",\n", self.scheduler));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"hp_slowdown_p50\": {},\n", self.hp_slowdown_p50));
+        out.push_str(&format!("  \"hp_slowdown_p99\": {},\n", self.hp_slowdown_p99));
+        out.push_str(&format!("  \"be_retired_insns\": {},\n", self.be_retired_insns));
+        out.push_str(&format!("  \"be_completions\": {},\n", self.be_completions));
+        out.push_str(&format!("  \"arrivals\": {},\n", self.arrivals));
+        out.push_str(&format!("  \"departures\": {},\n", self.departures));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"migrations\": {},\n", self.migrations));
+        out.push_str(&format!("  \"migrations_skipped\": {},\n", self.migrations_skipped));
+        out.push_str(&format!(
+            "  \"max_node_round_migrations\": {},\n",
+            self.max_node_round_migrations
+        ));
+        out.push_str(&format!("  \"worst_severity\": \"{}\",\n", self.worst_severity.as_str()));
+        out.push_str("  \"per_node\": [\n");
+        for (i, row) in self.per_node.iter().enumerate() {
+            let comma = if i + 1 < self.per_node.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"node\": {}, \"hp_slowdown_mean\": {}, \"be_retired_insns\": {}, \
+                 \"be_completions\": {}, \"migrations_out\": {}, \"final_severity\": \"{}\"}}{comma}\n",
+                row.node,
+                row.hp_slowdown_mean,
+                row.be_retired_insns,
+                row.be_completions,
+                row.migrations_out,
+                row.final_severity.as_str(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> FleetOutcome {
+        FleetOutcome {
+            scheduler: "round-robin".into(),
+            nodes: 2,
+            rounds: 10,
+            seed: 7,
+            hp_slowdown_p50: 1.25,
+            hp_slowdown_p99: 2.5,
+            be_retired_insns: 1000.0,
+            be_completions: 3,
+            arrivals: 5,
+            departures: 2,
+            rejected: 1,
+            migrations: 1,
+            migrations_skipped: 0,
+            max_node_round_migrations: 1,
+            worst_severity: Severity::Degraded,
+            per_node: vec![
+                NodeOutcome {
+                    node: 0,
+                    hp_slowdown_mean: 1.25,
+                    be_retired_insns: 600.0,
+                    be_completions: 2,
+                    migrations_out: 1,
+                    final_severity: Severity::Nominal,
+                },
+                NodeOutcome {
+                    node: 1,
+                    hp_slowdown_mean: 2.5,
+                    be_retired_insns: 400.0,
+                    be_completions: 1,
+                    migrations_out: 0,
+                    final_severity: Severity::Degraded,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_every_field() {
+        let o = outcome();
+        let json = o.to_json();
+        assert_eq!(json, o.clone().to_json(), "pure function of the values");
+        for needle in [
+            "\"scheduler\": \"round-robin\"",
+            "\"hp_slowdown_p99\": 2.5",
+            "\"worst_severity\": \"degraded\"",
+            "\"per_node\": [",
+            "{\"node\": 1, \"hp_slowdown_mean\": 2.5",
+            "\"migrations_out\": 1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn json_reflects_value_changes() {
+        let a = outcome().to_json();
+        let mut changed = outcome();
+        changed.hp_slowdown_p99 = 2.5000001;
+        assert_ne!(a, changed.to_json(), "every float digit reaches the bytes");
+    }
+}

@@ -1,0 +1,202 @@
+//! The fleet workload pool: hand-built, RNG-free profiles plus the
+//! solo-derived placement metadata the schedulers consume.
+//!
+//! The pool is deliberately *not* drawn from the seeded
+//! [`dicer_appmodel::Catalog`]: committed fleet artifacts (goldens, the
+//! scheduler study) must be reproducible from source alone, so every
+//! profile here is a fixed literal, and the per-entry metadata — solo
+//! IPC, the minimum ways for 95 % of solo performance (Fig. 2's
+//! quantity), solo bandwidth demand — is *computed* from the same solver
+//! the simulator runs on, never estimated.
+
+use dicer_appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer_server::{solo, ServerConfig};
+
+/// One pool entry: a profile plus its predicted placement signals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    /// The workload itself.
+    pub profile: AppProfile,
+    /// Instruction-weighted solo IPC with the full cache (slowdown
+    /// denominator for HPs).
+    pub ipc_alone: f64,
+    /// Minimum ways reaching 95 % of solo IPC — the predicted cache
+    /// sensitivity the bin-packing schedulers use.
+    pub ways_need: u32,
+    /// Solo memory-bandwidth demand in Gbps with the full cache — the
+    /// predicted link pressure the entry adds to a node.
+    pub bw_demand: f64,
+}
+
+/// The fixed fleet workload pool: a few HP archetypes (one per node,
+/// assigned round-robin by node index) and a BE mix the churn stream
+/// draws from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPool {
+    /// Latency-critical (HP) entries.
+    pub hps: Vec<PoolEntry>,
+    /// Best-effort (BE) entries.
+    pub bes: Vec<PoolEntry>,
+    /// Index into `bes` of the most bandwidth-hungry entry — the flash
+    /// crowd arrives as bursts of this workload.
+    pub flash_idx: usize,
+}
+
+/// Builds a single-phase profile literal.
+fn app(
+    name: &str,
+    archetype: Archetype,
+    insns: u64,
+    base_cpi: f64,
+    apki: f64,
+    mlp: f64,
+    curve: MissCurve,
+) -> AppProfile {
+    AppProfile::new(name, archetype, vec![Phase { insns, base_cpi, apki, mlp, curve }])
+}
+
+impl FleetPool {
+    /// The standard pool, characterised against `cfg`'s server. All
+    /// entries are single-phase and finite, so BEs complete, restart and
+    /// keep accumulating completions over a long fleet run.
+    pub fn standard(cfg: &ServerConfig) -> Self {
+        let hps = vec![
+            // Cache-sensitive frontend: most of its performance comes from
+            // a healthy LLC share.
+            app(
+                "hp-web",
+                Archetype::CacheSensitive,
+                4_000_000_000,
+                0.8,
+                16.0,
+                1.2,
+                // The cliff around 8 ways is sharp: a gentle slope would
+                // let DICER's shrink probes walk deep into the curve while
+                // staying inside the stability band, and the resulting
+                // probe-reset cycle would dominate the node's slowdown no
+                // matter what the fleet scheduler does.
+                MissCurve::parametric(0.06, 0.7, 8.0, 6.0),
+            ),
+            // Bandwidth-sensitive HP (the paper's milc case): small cache
+            // appetite, large link appetite.
+            app(
+                "hp-milc",
+                Archetype::Streaming,
+                4_000_000_000,
+                0.70,
+                28.0,
+                4.0,
+                MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+            ),
+            // Moderately sensitive search tier.
+            app(
+                "hp-search",
+                Archetype::CacheFriendly,
+                4_000_000_000,
+                0.6,
+                10.0,
+                2.0,
+                MissCurve::parametric(0.10, 0.55, 5.0, 5.0),
+            ),
+            // Compute-bound service: hard to hurt through the memory system.
+            app("hp-api", Archetype::ComputeBound, 4_000_000_000, 0.5, 4.0, 1.5, MissCurve::flat(0.08)),
+        ];
+        let bes = vec![
+            app("be-stream", Archetype::Streaming, 3_000_000_000, 0.6, 30.0, 3.5, MissCurve::flat(0.8)),
+            app("be-gcc", Archetype::CacheFriendly, 2_500_000_000, 0.65, 24.0, 2.4, MissCurve::flat(0.35)),
+            app(
+                "be-analytics",
+                Archetype::Streaming,
+                3_000_000_000,
+                0.7,
+                20.0,
+                3.0,
+                MissCurve::flat(0.55),
+            ),
+            app(
+                "be-compress",
+                Archetype::CacheFriendly,
+                2_000_000_000,
+                0.55,
+                12.0,
+                2.0,
+                MissCurve::parametric(0.15, 0.6, 4.0, 2.0),
+            ),
+            app(
+                "be-ml",
+                Archetype::CacheSensitive,
+                3_500_000_000,
+                0.75,
+                18.0,
+                2.5,
+                MissCurve::parametric(0.3, 0.5, 2.0, 2.0),
+            ),
+            app("be-batch", Archetype::CacheFriendly, 2_000_000_000, 0.5, 6.0, 1.5, MissCurve::flat(0.15)),
+            app("be-log", Archetype::ComputeBound, 1_500_000_000, 0.45, 3.0, 1.2, MissCurve::flat(0.05)),
+            app(
+                "be-kv",
+                Archetype::CacheSensitive,
+                2_200_000_000,
+                0.6,
+                14.0,
+                1.8,
+                MissCurve::parametric(0.08, 0.65, 6.0, 2.0),
+            ),
+        ];
+        let hps: Vec<PoolEntry> = hps.into_iter().map(|p| characterise(p, cfg)).collect();
+        let bes: Vec<PoolEntry> = bes.into_iter().map(|p| characterise(p, cfg)).collect();
+        let flash_idx = bes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.bw_demand.partial_cmp(&b.bw_demand).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty pool");
+        Self { hps, bes, flash_idx }
+    }
+}
+
+/// Computes the placement metadata for one profile by solo-profiling it
+/// on the target server configuration.
+fn characterise(profile: AppProfile, cfg: &ServerConfig) -> PoolEntry {
+    let solo = solo::profile(&profile, cfg);
+    let ways_need = solo.min_ways_for(0.95);
+    let phase = &profile.phases[0];
+    let bw_demand = phase.demand_gbps(
+        solo.ipc_alone,
+        cfg.cache.ways as f64,
+        cfg.freq_hz,
+        cfg.cache.line_bytes,
+    );
+    PoolEntry { profile, ipc_alone: solo.ipc_alone, ways_need, bw_demand }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_pool_characterisation_is_sane() {
+        let pool = FleetPool::standard(&ServerConfig::table1());
+        assert_eq!(pool.hps.len(), 4);
+        assert_eq!(pool.bes.len(), 8);
+        for e in pool.hps.iter().chain(&pool.bes) {
+            assert!(e.ipc_alone > 0.0 && e.ipc_alone.is_finite(), "{}", e.profile.name);
+            assert!((1..=20).contains(&e.ways_need), "{}: {}", e.profile.name, e.ways_need);
+            assert!(e.bw_demand >= 0.0 && e.bw_demand.is_finite());
+        }
+        let by_name = |n: &str| pool.hps.iter().chain(&pool.bes).find(|e| e.profile.name == n).unwrap();
+        // The cache-sensitive HP needs substantially more ways than the
+        // bandwidth hog, and the hog out-demands it on the link.
+        assert!(by_name("hp-web").ways_need > by_name("hp-milc").ways_need);
+        assert!(by_name("be-stream").bw_demand > by_name("be-log").bw_demand * 5.0);
+        // Flash crowds burst the heaviest link load in the BE pool.
+        let flash = &pool.bes[pool.flash_idx];
+        assert!(pool.bes.iter().all(|e| e.bw_demand <= flash.bw_demand));
+    }
+
+    #[test]
+    fn characterisation_is_deterministic() {
+        let cfg = ServerConfig::table1();
+        assert_eq!(FleetPool::standard(&cfg), FleetPool::standard(&cfg));
+    }
+}

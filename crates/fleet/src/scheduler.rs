@@ -1,0 +1,451 @@
+//! Placement schedulers: who decides where a best-effort workload runs.
+//!
+//! The [`Fleet`] presents each scheduler with per-node [`NodeView`]s —
+//! free slots, predicted link/cache pressure, the node controller's
+//! severity ladder — and the scheduler answers two questions: where does
+//! an arrival go ([`Scheduler::place`]), and which residents should move
+//! ([`Scheduler::plan_migrations`]). Three families are raced against
+//! each other in the committed `results/fleet_study.json`:
+//!
+//! * [`RoundRobin`] / [`RandomPlace`] — the sensitivity-blind baselines;
+//! * [`SensitivityPack`] — bin-packing on *predicted* cache sensitivity
+//!   and bandwidth demand (the appmodel-derived pool metadata), weighted
+//!   by how sensitive each node's HP is to the respective resource;
+//! * [`SensitivityMigrate`] — the packer plus migration: after a node's
+//!   controller reports sustained `Degraded`-or-worse severity (the
+//!   `placement-signal` conformance clause), its heaviest best-effort
+//!   resident is evicted to the cheapest healthy node.
+//!
+//! Schedulers run serially on the fleet driver thread; determinism
+//! requires only that they are deterministic functions of the views they
+//! are handed (the seeded [`RandomPlace`] included).
+//!
+//! [`Fleet`]: crate::Fleet
+
+use crate::churn::FleetRng;
+use dicer_policy::Severity;
+
+/// What a scheduler knows about one resident BE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentView {
+    /// Pool index of the resident.
+    pub pool_idx: usize,
+    /// Predicted solo bandwidth demand (Gbps).
+    pub bw_demand: f64,
+    /// Predicted ways for 95 % solo performance.
+    pub ways_need: u32,
+}
+
+/// What a scheduler knows about one node when deciding placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeView {
+    /// Node id (index into the fleet).
+    pub node: usize,
+    /// Churn slots still free on this node.
+    pub free_slots: usize,
+    /// Summed predicted bandwidth demand of the baseline and resident BEs.
+    pub bw_pressure: f64,
+    /// Summed predicted ways-need of the baseline and resident BEs.
+    pub ways_pressure: u32,
+    /// The node HP's predicted bandwidth demand (its bandwidth
+    /// sensitivity: a loaded link hurts it in proportion).
+    pub hp_bw_demand: f64,
+    /// The node HP's predicted ways-need (its cache sensitivity).
+    pub hp_ways_need: u32,
+    /// Current severity reported by the node's controller.
+    pub severity: Severity,
+    /// Consecutive rounds at `Degraded` or worse (the migration trigger).
+    pub degraded_streak: u32,
+    /// Resident churn BEs, in server order.
+    pub residents: Vec<ResidentView>,
+}
+
+/// What a scheduler knows about an arriving BE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalView {
+    /// Pool index of the arrival.
+    pub pool_idx: usize,
+    /// Predicted ways for 95 % solo performance.
+    pub ways_need: u32,
+    /// Predicted solo bandwidth demand (Gbps).
+    pub bw_demand: f64,
+}
+
+/// One planned move: resident `resident` (position in
+/// [`NodeView::residents`]) leaves node `from` for node `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Source node id.
+    pub from: usize,
+    /// Position of the resident on the source node.
+    pub resident: usize,
+    /// Destination node id.
+    pub to: usize,
+}
+
+/// A placement policy. Implementations must be deterministic functions of
+/// the views (plus their own seeded state) — that is the fleet's
+/// byte-identity contract.
+pub trait Scheduler: Send {
+    /// Stable scheduler name (artifact keys).
+    fn name(&self) -> &'static str;
+    /// Picks the node an arrival lands on, or `None` to reject it when no
+    /// acceptable node has a free slot.
+    fn place(&mut self, views: &[NodeView], arrival: &ArrivalView) -> Option<usize>;
+    /// Plans this round's migrations. `budget` is the per-node outgoing
+    /// cap the fleet will enforce regardless. Default: never migrate.
+    fn plan_migrations(&mut self, views: &[NodeView], budget: u32) -> Vec<Migration> {
+        let _ = (views, budget);
+        Vec::new()
+    }
+}
+
+/// Sensitivity-blind baseline: next node in line, skipping full ones.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, views: &[NodeView], _arrival: &ArrivalView) -> Option<usize> {
+        let n = views.len();
+        for probe in 0..n {
+            let idx = (self.next + probe) % n;
+            if views[idx].free_slots > 0 {
+                self.next = (idx + 1) % n;
+                return Some(views[idx].node);
+            }
+        }
+        None
+    }
+}
+
+/// Sensitivity-blind baseline: a seeded uniform pick, linear-probing past
+/// full nodes.
+#[derive(Debug)]
+pub struct RandomPlace {
+    rng: FleetRng,
+}
+
+impl RandomPlace {
+    /// A seeded placer (same seed ⇒ same placement stream).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: FleetRng::new(seed ^ 0x5157_af01_d5a2_b1c7) }
+    }
+}
+
+impl Scheduler for RandomPlace {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(&mut self, views: &[NodeView], _arrival: &ArrivalView) -> Option<usize> {
+        let n = views.len();
+        let start = (self.rng.next_u64() % n as u64) as usize;
+        (0..n).map(|p| (start + p) % n).find(|&i| views[i].free_slots > 0).map(|i| views[i].node)
+    }
+}
+
+/// Bin-packing on predicted sensitivity: each candidate node is scored by
+/// the link and cache pressure it would carry *after* the placement,
+/// weighted by how sensitive its HP is to each resource; the cheapest
+/// node (lowest id on ties) wins.
+#[derive(Debug, Clone)]
+pub struct SensitivityPack {
+    link_capacity_gbps: f64,
+    n_ways: u32,
+}
+
+impl SensitivityPack {
+    /// A packer for the given platform geometry (the normalisers of the
+    /// two pressure terms).
+    pub fn new(link_capacity_gbps: f64, n_ways: u32) -> Self {
+        assert!(link_capacity_gbps > 0.0 && n_ways > 0);
+        Self { link_capacity_gbps, n_ways }
+    }
+
+    /// Projected link utilisation above which a placement is treated as
+    /// saturating. DICER's own contention trigger sits at ~0.73 of the
+    /// Table-1 link; scheduling to the same edge would hand the
+    /// controller a node it can only fight, so the packer keeps a margin.
+    const SATURATION_FRACTION: f64 = 0.7;
+    /// Flat cost added to a saturating placement — large against the
+    /// O(1) utilisation terms, so only a fleet with no unsaturated slot
+    /// left ever chooses one.
+    const SATURATION_PENALTY: f64 = 8.0;
+
+    /// The placement cost of adding `(ways_need, bw_demand)` to `view`.
+    fn cost(&self, view: &NodeView, ways_need: u32, bw_demand: f64) -> f64 {
+        let bw = (view.hp_bw_demand + view.bw_pressure + bw_demand) / self.link_capacity_gbps;
+        let ways = (view.hp_ways_need + view.ways_pressure + ways_need) as f64 / self.n_ways as f64;
+        let hp_bw_sens = view.hp_bw_demand / self.link_capacity_gbps;
+        let hp_cache_sens = view.hp_ways_need as f64 / self.n_ways as f64;
+        // Congestion is convex — the fifth heavy co-runner hurts far more
+        // than the first — so the utilisation terms are squared: an
+        // insensitive node stops looking cheap once it actually fills,
+        // while the sensitivity weights still steer load away from nodes
+        // whose HP would pay the most for it.
+        let saturating = if bw > Self::SATURATION_FRACTION { Self::SATURATION_PENALTY } else { 0.0 };
+        bw * bw * (1.0 + 3.0 * hp_bw_sens) + ways * ways * (1.0 + 3.0 * hp_cache_sens) + saturating
+    }
+
+    /// Cheapest node with a free slot among `views` for which `eligible`
+    /// holds (lowest id on ties).
+    fn cheapest(
+        &self,
+        views: &[NodeView],
+        ways_need: u32,
+        bw_demand: f64,
+        eligible: impl Fn(&NodeView) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for view in views {
+            if view.free_slots == 0 || !eligible(view) {
+                continue;
+            }
+            let cost = self.cost(view, ways_need, bw_demand);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, view.node));
+            }
+        }
+        best.map(|(_, node)| node)
+    }
+}
+
+impl Scheduler for SensitivityPack {
+    fn name(&self) -> &'static str {
+        "sensitivity-pack"
+    }
+
+    fn place(&mut self, views: &[NodeView], arrival: &ArrivalView) -> Option<usize> {
+        self.cheapest(views, arrival.ways_need, arrival.bw_demand, |_| true)
+    }
+}
+
+/// [`SensitivityPack`] placement plus severity-triggered migration: a node
+/// whose controller has been `Degraded`-or-worse for `streak_threshold`
+/// consecutive rounds sheds its heaviest resident to the cheapest healthy
+/// node.
+#[derive(Debug, Clone)]
+pub struct SensitivityMigrate {
+    pack: SensitivityPack,
+    streak_threshold: u32,
+}
+
+impl SensitivityMigrate {
+    /// A migrating packer; `streak_threshold` is the sustained-severity
+    /// trigger in rounds.
+    pub fn new(link_capacity_gbps: f64, n_ways: u32, streak_threshold: u32) -> Self {
+        assert!(streak_threshold >= 1);
+        Self { pack: SensitivityPack::new(link_capacity_gbps, n_ways), streak_threshold }
+    }
+}
+
+impl Scheduler for SensitivityMigrate {
+    fn name(&self) -> &'static str {
+        "sensitivity-migrate"
+    }
+
+    fn place(&mut self, views: &[NodeView], arrival: &ArrivalView) -> Option<usize> {
+        self.pack.place(views, arrival)
+    }
+
+    fn plan_migrations(&mut self, views: &[NodeView], budget: u32) -> Vec<Migration> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        let mut plans = Vec::new();
+        // Destination slots are consumed as we plan, so one round never
+        // over-commits a target node.
+        let mut free: Vec<usize> = views.iter().map(|v| v.free_slots).collect();
+        for view in views {
+            if view.degraded_streak < self.streak_threshold || view.residents.is_empty() {
+                continue;
+            }
+            // Evict the heaviest link load first — the resource whose
+            // contention the severity ladder is reporting (lowest position
+            // on ties keeps this deterministic).
+            let (pos, heaviest) = view
+                .residents
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| {
+                    a.bw_demand.partial_cmp(&b.bw_demand).unwrap().then(ib.cmp(ia))
+                })
+                .expect("non-empty residents");
+            let target = self.pack.cheapest(views, heaviest.ways_need, heaviest.bw_demand, |v| {
+                v.node != view.node
+                    && v.degraded_streak < self.streak_threshold
+                    && free[v.node] > 0
+            });
+            if let Some(to) = target {
+                free[to] -= 1;
+                plans.push(Migration { from: view.node, resident: pos, to });
+            }
+        }
+        plans
+    }
+}
+
+/// Value-level scheduler selector (CLI flags, the study matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`RandomPlace`].
+    Random,
+    /// [`SensitivityPack`].
+    Pack,
+    /// [`SensitivityMigrate`].
+    Migrate,
+}
+
+impl SchedulerKind {
+    /// Every kind, in study order.
+    pub const ALL: [SchedulerKind; 4] =
+        [SchedulerKind::RoundRobin, SchedulerKind::Random, SchedulerKind::Pack, SchedulerKind::Migrate];
+
+    /// Stable name (CLI value and artifact key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::Random => "random",
+            SchedulerKind::Pack => "sensitivity-pack",
+            SchedulerKind::Migrate => "sensitivity-migrate",
+        }
+    }
+
+    /// Parses a CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Builds the scheduler for a platform geometry. `seed` only feeds the
+    /// seeded baseline; `streak_threshold` only the migrating packer.
+    pub fn build(
+        self,
+        seed: u64,
+        link_capacity_gbps: f64,
+        n_ways: u32,
+        streak_threshold: u32,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobin::default()),
+            SchedulerKind::Random => Box::new(RandomPlace::new(seed)),
+            SchedulerKind::Pack => Box::new(SensitivityPack::new(link_capacity_gbps, n_ways)),
+            SchedulerKind::Migrate => {
+                Box::new(SensitivityMigrate::new(link_capacity_gbps, n_ways, streak_threshold))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(node: usize, free: usize, bw: f64, hp_bw: f64, hp_ways: u32) -> NodeView {
+        NodeView {
+            node,
+            free_slots: free,
+            bw_pressure: bw,
+            ways_pressure: 4,
+            hp_bw_demand: hp_bw,
+            hp_ways_need: hp_ways,
+            severity: Severity::Nominal,
+            degraded_streak: 0,
+            residents: Vec::new(),
+        }
+    }
+
+    fn arrival() -> ArrivalView {
+        ArrivalView { pool_idx: 0, ways_need: 2, bw_demand: 20.0 }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_full_nodes() {
+        let mut rr = RoundRobin::default();
+        let views = vec![view(0, 1, 0.0, 0.0, 2), view(1, 0, 0.0, 0.0, 2), view(2, 1, 0.0, 0.0, 2)];
+        assert_eq!(rr.place(&views, &arrival()), Some(0));
+        assert_eq!(rr.place(&views, &arrival()), Some(2), "node 1 is full");
+        assert_eq!(rr.place(&views, &arrival()), Some(0));
+        let full = vec![view(0, 0, 0.0, 0.0, 2)];
+        assert_eq!(rr.place(&full, &arrival()), None);
+    }
+
+    #[test]
+    fn random_place_is_seeded_and_respects_capacity() {
+        let views: Vec<NodeView> = (0..8).map(|i| view(i, 1, 0.0, 0.0, 2)).collect();
+        let run = |seed| {
+            let mut r = RandomPlace::new(seed);
+            (0..16).map(|_| r.place(&views, &arrival())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+        let mut r = RandomPlace::new(1);
+        let full: Vec<NodeView> = (0..4).map(|i| view(i, 0, 0.0, 0.0, 2)).collect();
+        assert_eq!(r.place(&full, &arrival()), None);
+    }
+
+    #[test]
+    fn packer_avoids_loaded_and_sensitive_nodes() {
+        let mut pack = SensitivityPack::new(68.3, 20);
+        // Node 0 idle but its HP is very bandwidth-sensitive; node 1 idle
+        // with an insensitive HP; node 2 heavily loaded.
+        let views = vec![
+            view(0, 4, 0.0, 40.0, 3),
+            view(1, 4, 0.0, 2.0, 3),
+            view(2, 4, 50.0, 2.0, 3),
+        ];
+        assert_eq!(pack.place(&views, &arrival()), Some(1));
+        // Ties break to the lowest node id.
+        let tied = vec![view(0, 1, 5.0, 5.0, 4), view(1, 1, 5.0, 5.0, 4)];
+        assert_eq!(pack.place(&tied, &arrival()), Some(0));
+    }
+
+    #[test]
+    fn migrate_sheds_the_heaviest_resident_off_a_degraded_node() {
+        let mut m = SensitivityMigrate::new(68.3, 20, 3);
+        let mut troubled = view(0, 0, 55.0, 30.0, 3);
+        troubled.degraded_streak = 5;
+        troubled.residents = vec![
+            ResidentView { pool_idx: 1, bw_demand: 10.0, ways_need: 2 },
+            ResidentView { pool_idx: 0, bw_demand: 45.0, ways_need: 1 },
+        ];
+        let views = vec![troubled, view(1, 2, 3.0, 2.0, 2), view(2, 2, 1.0, 2.0, 2)];
+        let plans = m.plan_migrations(&views, 1);
+        assert_eq!(plans, vec![Migration { from: 0, resident: 1, to: 2 }]);
+        // Below the streak threshold nothing moves; zero budget plans nothing.
+        let mut calm = views.clone();
+        calm[0].degraded_streak = 2;
+        assert!(m.plan_migrations(&calm, 1).is_empty());
+        assert!(m.plan_migrations(&views, 0).is_empty());
+    }
+
+    #[test]
+    fn migrate_never_targets_a_degraded_or_full_node() {
+        let mut m = SensitivityMigrate::new(68.3, 20, 3);
+        let mut troubled = view(0, 0, 55.0, 30.0, 3);
+        troubled.degraded_streak = 9;
+        troubled.residents = vec![ResidentView { pool_idx: 0, bw_demand: 45.0, ways_need: 1 }];
+        let mut also_bad = view(1, 3, 0.0, 0.0, 2);
+        also_bad.degraded_streak = 9;
+        let full = view(2, 0, 0.0, 0.0, 2);
+        let views = vec![troubled, also_bad, full];
+        assert!(m.plan_migrations(&views, 2).is_empty(), "no healthy target with a slot");
+    }
+
+    #[test]
+    fn kind_roundtrip_and_builders() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+            let built = kind.build(1, 68.3, 20, 4);
+            assert_eq!(built.name(), kind.name());
+        }
+        assert_eq!(SchedulerKind::parse("nope"), None);
+    }
+}

@@ -218,18 +218,22 @@ pub enum Clause {
     MissingPeriodHoldover,
     /// The summary mirrors the decision after every step.
     SummaryConsistent,
+    /// The severity ladder is a stable placement signal: contention holds
+    /// it above nominal without flapping (the fleet migration trigger).
+    PlacementSignal,
 }
 
 impl Clause {
     /// The runnable clauses, in contract order ([`Clause::TableEntry`] is
     /// reported only when the table row is absent).
-    pub const CONTRACT: [Clause; 6] = [
+    pub const CONTRACT: [Clause; 7] = [
         Clause::StartsCalibrating,
         Clause::DetectsContention,
         Clause::Recovers,
         Clause::CooldownBackoff,
         Clause::MissingPeriodHoldover,
         Clause::SummaryConsistent,
+        Clause::PlacementSignal,
     ];
 
     /// Stable kebab-case clause name (quoted by violations and ci).
@@ -242,6 +246,7 @@ impl Clause {
             Clause::CooldownBackoff => "cooldown-backoff",
             Clause::MissingPeriodHoldover => "missing-period-holdover",
             Clause::SummaryConsistent => "summary-consistent-with-state",
+            Clause::PlacementSignal => "placement-signal",
         }
     }
 }
@@ -286,15 +291,38 @@ pub struct ContractEntry {
     pub bandwidth_governor: bool,
     /// The controller evicts/re-admits BEs and must recover admission.
     pub admission_control: bool,
+    /// The controller's severity ladder is a *stable placement signal*:
+    /// sustained contention holds severity above nominal every period
+    /// (no flapping back to nominal between sampling sweeps), so a fleet
+    /// scheduler may use a severity streak as its migration trigger.
+    /// Plain `dicer` does **not** claim this — between backoff sweeps
+    /// under unfixable saturation it reports nominal again — which is
+    /// exactly why the fleet's standard mix runs `dicer-adm`.
+    pub placement_signal: bool,
 }
 
 /// The conformance table: one row per registered controller. A registered
 /// controller without a row fails [`run_contract`] with
 /// [`Clause::TableEntry`] — adding a policy means adding its row here.
 pub const CONTRACT_TABLE: &[ContractEntry] = &[
-    ContractEntry { name: "dicer", bandwidth_governor: false, admission_control: false },
-    ContractEntry { name: "dicer-mba", bandwidth_governor: true, admission_control: false },
-    ContractEntry { name: "dicer-adm", bandwidth_governor: true, admission_control: true },
+    ContractEntry {
+        name: "dicer",
+        bandwidth_governor: false,
+        admission_control: false,
+        placement_signal: false,
+    },
+    ContractEntry {
+        name: "dicer-mba",
+        bandwidth_governor: true,
+        admission_control: false,
+        placement_signal: true,
+    },
+    ContractEntry {
+        name: "dicer-adm",
+        bandwidth_governor: true,
+        admission_control: true,
+        placement_signal: true,
+    },
 ];
 
 /// Looks up a controller's contract row by registry key.
@@ -343,6 +371,7 @@ fn check_clause(
         Clause::CooldownBackoff => cooldown_backoff(&mut c),
         Clause::MissingPeriodHoldover => missing_period_holdover(&mut c),
         Clause::SummaryConsistent => summary_consistent(&mut c),
+        Clause::PlacementSignal => placement_signal(&mut c, entry),
     }
 }
 
@@ -552,6 +581,54 @@ fn summary_consistent<C: Controller + ?Sized>(c: &mut C) -> Result<(), String> {
     Ok(())
 }
 
+/// How many periods of sustained saturation the signal gets to climb to
+/// at least [`Severity::Degraded`] before the clause fails.
+const PLACEMENT_DETECT_CAP: u32 = 64;
+/// How many hover periods the signal must hold above nominal without a
+/// single flap — comfortably longer than any fleet migration streak.
+const PLACEMENT_HOLD_PERIODS: u32 = 64;
+
+fn placement_signal<C: Controller + ?Sized>(
+    c: &mut C,
+    entry: &ContractEntry,
+) -> Result<(), String> {
+    if !entry.placement_signal {
+        // The row does not claim a stable ladder; nothing to check. The
+        // fleet scheduler must simply not pick this controller.
+        return Ok(());
+    }
+    c.initial_plan(N_WAYS);
+    // Calm traffic must not excite the signal.
+    for i in 0..4 {
+        drive(c, CALM)?;
+        let sev = c.summary().severity;
+        if sev != Severity::Nominal {
+            return Err(format!("calm period {i} raised the placement signal to {sev:?}"));
+        }
+    }
+    // Sustained saturation must ratchet the signal to at least Degraded —
+    // the floor the fleet's migration trigger keys its streak on.
+    feed_until(c, HOT, PLACEMENT_DETECT_CAP, "placement signal reaches degraded", |s| {
+        s.severity >= Severity::Degraded
+    })?;
+    // Once detected, a near-saturation hover must hold the signal above
+    // nominal on *every* period: a ladder that flaps back to nominal
+    // between sampling sweeps resets severity streaks and makes the
+    // migration trigger unreachable under exactly the load it exists for.
+    for i in 0..PLACEMENT_HOLD_PERIODS {
+        drive(c, HOVER)?;
+        if c.summary().severity == Severity::Nominal {
+            return Err(format!("placement signal flapped to nominal at hover period {i}"));
+        }
+    }
+    // And the signal must stand down once the contention clears, so a
+    // migrated-away-from node becomes a placement target again.
+    feed_until(c, CALM, 256, "placement signal returns to nominal after calm", |s| {
+        s.severity == Severity::Nominal
+    })?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +685,32 @@ mod tests {
             violations.iter().any(|v| v.clause == Clause::DetectsContention),
             "expected a detects-contention violation, got: {violations:?}"
         );
+    }
+
+    #[test]
+    fn a_flapping_ladder_fails_the_placement_signal_clause() {
+        // Plain dicer's severity drops back to nominal between backoff
+        // sweeps under unfixable saturation — fine for its own row (which
+        // does not claim the signal), fatal under a row that does.
+        let spec = crate::ControllerSpec {
+            name: "dicer-mba", // this row claims placement_signal
+            display: "FLAPPY",
+            build: || Box::new(crate::Dicer::new(crate::DicerConfig::default())),
+        };
+        let violations = run_contract(&spec);
+        assert!(
+            violations.iter().any(|v| v.clause == Clause::PlacementSignal),
+            "expected a placement-signal violation, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn the_placement_signal_rows_match_the_fleet_contract() {
+        // The fleet's standard mix migrates on a severity streak; every
+        // controller it may run must claim (and pass) the signal clause.
+        assert!(!contract_entry("dicer").unwrap().placement_signal);
+        assert!(contract_entry("dicer-mba").unwrap().placement_signal);
+        assert!(contract_entry("dicer-adm").unwrap().placement_signal);
     }
 
     #[test]

@@ -351,6 +351,49 @@ impl Server {
         self.bes.iter().filter(|b| !b.paused).count() as u32
     }
 
+    /// Adds a BE instance at run time (fleet arrivals / migrations) and
+    /// returns its index. Panics on the same capacity limits as
+    /// [`Server::new`]. The effective-ways memo and the step fingerprint
+    /// are invalidated: their keys index per-BE state positionally and do
+    /// not capture the profile set, so entries from the old population
+    /// could falsely collide with the new one.
+    pub fn add_be(&mut self, profile: AppProfile) -> usize {
+        assert!(
+            (self.bes.len() as u32 + 1) < self.cfg.n_cores,
+            "{} BEs + 1 HP exceed {} cores",
+            self.bes.len() + 1,
+            self.cfg.n_cores
+        );
+        assert!(self.bes.len() < 63, "active-set bitmask supports at most 63 BEs");
+        self.bes.push(AppInstance::new(profile));
+        self.population_changed();
+        self.bes.len() - 1
+    }
+
+    /// Removes the BE at `idx` (fleet departures / migrations), returning
+    /// the instance so callers can bank its retired work or reschedule it
+    /// elsewhere. Panics if this would leave the server BE-less — the
+    /// consolidation model needs at least one BE — or if `idx` is out of
+    /// range.
+    pub fn remove_be(&mut self, idx: usize) -> AppInstance {
+        assert!(self.bes.len() > 1, "cannot remove the last BE");
+        let gone = self.bes.remove(idx);
+        self.population_changed();
+        gone
+    }
+
+    /// Re-establishes the stepping invariants after the BE population
+    /// changed: clamp the admission target and rotation offset to the new
+    /// population, re-derive the paused set, and drop memoized state keyed
+    /// on the old population.
+    fn population_changed(&mut self) {
+        self.admitted_target = self.admitted_target.clamp(1, self.bes.len());
+        self.admit_offset %= self.bes.len();
+        self.apply_admission();
+        self.ways_memo.clear();
+        self.fp.valid = false;
+    }
+
     /// Run progress against the paper's stopping rule.
     pub fn progress(&self) -> RunProgress {
         RunProgress {
@@ -1175,5 +1218,100 @@ mod tests {
             stats.warm_solves + stats.cold_solves < cold.solver_stats().solves,
             "the fast server must compute fewer solves than the cold one"
         );
+    }
+
+    #[test]
+    fn add_be_grows_the_population_and_returns_its_index() {
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2)]);
+        let idx = s.add_be(profile("late", u64::MAX / 2, 0.6, 8.0, 2.0, MissCurve::flat(0.3)));
+        assert_eq!(idx, 1);
+        assert_eq!(s.bes().len(), 2);
+        let sample = s.step_period();
+        assert_eq!(sample.bes.len(), 2, "the arrival is simulated immediately");
+        assert!(s.bes()[idx].retired_insns > 0.0);
+    }
+
+    #[test]
+    fn remove_be_returns_the_instance_with_its_progress() {
+        let mut s =
+            Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2), quiet(2_200_000_000)]);
+        s.step_period();
+        let gone = s.remove_be(1);
+        assert_eq!(gone.profile.name, "quiet");
+        assert!(gone.retired_insns > 0.0, "departures keep their banked work");
+        assert_eq!(s.bes().len(), 1);
+        s.step_period();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last BE")]
+    fn removing_the_last_be_is_rejected() {
+        let mut s = Server::new(cfg(), quiet(1), vec![quiet(1)]);
+        s.remove_be(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn add_be_respects_the_core_budget() {
+        let mut s = Server::new(cfg(), quiet(1), vec![quiet(1); 9]);
+        // table1 has 10 cores: 9 BEs + 1 HP is full.
+        s.add_be(quiet(1));
+    }
+
+    #[test]
+    fn churn_reclamps_admission_state() {
+        let mut s = Server::new(cfg(), quiet(u64::MAX / 2), vec![quiet(u64::MAX / 2); 5]);
+        s.set_admitted_bes(3);
+        // Rotate the admission window off zero so the offset re-clamp matters.
+        for _ in 0..4 {
+            s.step_period();
+        }
+        s.remove_be(4);
+        s.remove_be(3);
+        s.remove_be(2);
+        assert_eq!(s.bes().len(), 2);
+        assert!(s.admitted_bes() >= 1 && s.admitted_bes() <= 2);
+        s.step_period();
+        s.add_be(quiet(u64::MAX / 2));
+        assert_eq!(s.bes().len(), 3);
+        s.step_period();
+    }
+
+    #[test]
+    fn churn_under_acceleration_matches_the_cold_path() {
+        // The memo/fingerprint invalidation contract: a server whose BE
+        // population changes mid-run must stay bit-identical to the cold
+        // reference path through the same churn script.
+        let hog = profile("hog", u64::MAX / 2, 0.6, 20.0, 3.0, MissCurve::flat(0.55));
+        let sens = profile(
+            "sens",
+            u64::MAX / 2,
+            0.8,
+            16.0,
+            1.2,
+            MissCurve::parametric(0.06, 0.7, 8.0, 2.0),
+        );
+        let mut fast = Server::new(cfg(), sens.clone(), vec![hog.clone(); 3]);
+        let mut cold = Server::new(cfg(), sens, vec![hog.clone(); 3]);
+        cold.set_acceleration(false);
+        for step in 0..3 {
+            for period in 0..5 {
+                assert_eq!(
+                    fast.step_period(),
+                    cold.step_period(),
+                    "diverged at step {step} period {period}"
+                );
+            }
+            let arrival = profile("late", u64::MAX / 2, 0.55, 6.0 + step as f64, 2.0, MissCurve::flat(0.2));
+            fast.add_be(arrival.clone());
+            cold.add_be(arrival);
+            for period in 0..5 {
+                assert_eq!(fast.step_period(), cold.step_period(), "post-add {step}/{period}");
+            }
+            assert_eq!(fast.remove_be(0).profile.name, cold.remove_be(0).profile.name);
+        }
+        for period in 0..5 {
+            assert_eq!(fast.step_period(), cold.step_period(), "final {period}");
+        }
     }
 }

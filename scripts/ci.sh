@@ -15,11 +15,16 @@
 #              (results/BENCH_trace_overhead.json, gated against the
 #              committed baseline), the long-horizon hot-path benchmark
 #              (results/BENCH_longrun.json) gated against the committed
-#              baseline (>15% throughput regression fails), a dicer-trace
+#              baseline (>15% throughput regression fails), the fleet
+#              fan-out benchmark (results/BENCH_fleet.json, byte-identity
+#              required and >15% serial regression gated), the fleet
+#              scheduler study (results/fleet_study.json, asserts
+#              sensitivity-aware packing beats round-robin), a dicer-trace
 #              round trip (record a trace, render the report, JSON-validate
 #              the Chrome export), and a dicerd daemon smoke test.
 #   --fast     clippy plus controller-stack unit tests, the conformance,
-#              fault-injection and sweep-determinism suites, and the
+#              fault-injection, sweep-determinism and fleet-determinism
+#              suites, the placement-signal clause check, and the
 #              controller-registry coverage check — the inner-loop tier.
 #   --update-baselines
 #              run the full tier but skip the perf regression gates,
@@ -84,6 +89,16 @@ if [ "$fast" -eq 1 ]; then
 
     step "cargo test (sweep determinism: parallel == serial, byte for byte)"
     cargo test -q --release --test sweep_determinism || fail=1
+
+    step "cargo test (fleet determinism: outcome bytes pinned at any --jobs)"
+    cargo test -q --release --test fleet_determinism || fail=1
+
+    step "placement signal (the conformance clause fleet migration stands on)"
+    # Fleet eviction triggers on a sustained severity ladder; this named
+    # check keeps the clause wired even if the conformance suite above is
+    # ever rescoped.
+    cargo test -q --test controller_conformance \
+        placement_signal_controllers_hold_a_stable_severity_ladder || fail=1
 
     step "result"
     if [ "$fail" -ne 0 ]; then
@@ -233,6 +248,47 @@ PY
 fi
 rm -f "$longrun_baseline"
 
+step "fleet benchmark (500-node serial vs parallel, results/BENCH_fleet.json)"
+# The bench hard-asserts byte identity between the serial and parallel
+# fleet runs (and a 4x speedup floor when the rayon pool is genuinely
+# parallel); the gate adds serial-throughput drift detection against the
+# committed baseline.
+fleet_baseline="$(mktemp)"
+git show HEAD:results/BENCH_fleet.json > "$fleet_baseline" 2>/dev/null || true
+cargo run -q --release -p dicer-bench --bin fleet_bench || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the fleet perf gate." >&2
+    elif [ ! -s "$fleet_baseline" ]; then
+        echo "note: no committed BENCH_fleet.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_fleet.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        python3 - "$fleet_baseline" results/BENCH_fleet.json <<'PY' || { echo "fleet benchmark regressed vs the committed baseline" >&2; fail=1; }
+import json, sys
+TOLERANCE = 0.15
+base, cur = (json.load(open(p)) for p in sys.argv[1:3])
+bad = 0
+if not cur["byte_identical"]:
+    print("  parallel fleet outcome no longer byte-identical to serial", file=sys.stderr)
+    bad += 1
+delta = (cur["serial_s"] - base["serial_s"]) / base["serial_s"]
+verdict = "FAIL" if delta > TOLERANCE else "ok"
+print(f"  serial fleet run: {base['serial_s']:.2f} -> {cur['serial_s']:.2f} s ({delta:+.1%}) {verdict}")
+if delta > TOLERANCE:
+    bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the fleet perf gate"
+    fi
+fi
+rm -f "$fleet_baseline"
+
+step "fleet scheduler study (results/fleet_study.json, pack must beat round-robin)"
+# The study binary hard-asserts the committed artifact's headline claim:
+# sensitivity-aware packing beats round-robin on mean P99 HP slowdown.
+cargo run -q --release -p dicer-bench --bin fleet_study || fail=1
+
 step "dicer-trace round trip (record, report, Chrome export)"
 trace_dir="$(mktemp -d)"
 cargo run -q --release --bin dicer-sim -- run --hp milc1 --be gcc_base1 \
@@ -298,6 +354,10 @@ if command -v curl >/dev/null 2>&1; then
                 | grep -q '"status":"ok"' || { echo "bad /healthz payload" >&2; fail=1; }
             curl -sf "http://127.0.0.1:$DICERD_PORT/events?n=5" \
                 | grep -q '^\[' || { echo "bad /events payload" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/events?bogus=1")
+            [ "$code" = "400" ] || { echo "unknown /events param must 400 (got $code)" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/fleet")
+            [ "$code" = "404" ] || { echo "/fleet without fleet mode must 404 (got $code)" >&2; fail=1; }
         fi
         # Clean shutdown via /quit; escalate to kill if it lingers.
         curl -s "http://127.0.0.1:$DICERD_PORT/quit" >/dev/null 2>&1 || true

@@ -6,7 +6,15 @@
 //! dicer-sim run --hp milc1 --be gcc_base1 [--cores 10] [--policy dicer] [--telemetry jsonl]
 //! dicer-sim compare --hp milc1 --be gcc_base1 [--cores 10]
 //! dicer-sim matrix [--jobs N]            # panel × policy evaluation matrix
+//! dicer-sim fleet [--nodes N] [--rounds N] [--scheduler S|all] [--seed N] [--jobs N]
 //! ```
+//!
+//! `fleet` consolidates N simulated servers under one placement
+//! scheduler: a seeded arrival/departure stream (plus scripted flash
+//! crowds) is placed node by node, each node runs its own DICER session,
+//! and the command reports fleet-wide HP slowdown percentiles, BE
+//! throughput, and migrations. `--scheduler all` races every scheduler
+//! on the same churn stream. Output is deterministic at any `--jobs`.
 //!
 //! `--telemetry jsonl` streams the run's full event bus (period samples,
 //! controller transitions, partition applies) as JSON lines on stdout
@@ -34,6 +42,7 @@ use dicer::experiments::figures::matrix::EvalMatrix;
 use dicer::experiments::runner::{run_colocation_traced, run_colocation_with, MAX_PERIODS};
 use dicer::experiments::workloads::WorkloadSet;
 use dicer::experiments::{ablation, trace, SoloTable};
+use dicer::fleet::{Fleet, FleetConfig, SchedulerKind};
 use dicer::metrics::geomean;
 use dicer::policy::{DicerConfig, PolicyKind};
 use dicer::server::ServerConfig;
@@ -46,8 +55,10 @@ fn usage() -> ExitCode {
         "usage:\n  dicer-sim catalog\n  dicer-sim solo <APP>\n  \
          dicer-sim run --hp <APP> --be <APP> [--cores N] [--policy P] [--timeline] [--telemetry jsonl|off] [--trace FILE] [--jobs N]\n  \
          dicer-sim compare --hp <APP> --be <APP> [--cores N] [--trace FILE] [--jobs N]\n  \
-         dicer-sim matrix [--cores N] [--jobs N]\n\
-         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
+         dicer-sim matrix [--cores N] [--jobs N]\n  \
+         dicer-sim fleet [--nodes N] [--rounds N] [--scheduler S|all] [--seed N] [--jobs N]\n\
+         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>\n\
+         schedulers: round-robin | random | sensitivity-pack | sensitivity-migrate"
     );
     ExitCode::from(2)
 }
@@ -274,6 +285,83 @@ fn main() -> ExitCode {
                     geomean(&hp),
                     geomean(&be),
                     geomean(&efu)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "fleet" => {
+            let flags = match parse_flags(&args[1..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let sweep = match parse_jobs(&flags) {
+                Ok(p) => p.runner(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let uint = |key: &str, default: u64| -> Result<u64, String> {
+                match flags.get(key) {
+                    None => Ok(default),
+                    Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+                }
+            };
+            let (nodes, rounds, seed) =
+                match (uint("nodes", 8), uint("rounds", 200), uint("seed", 42)) {
+                    (Ok(n), Ok(r), Ok(s)) => (n as usize, r as u32, s),
+                    _ => {
+                        eprintln!("--nodes, --rounds, and --seed take unsigned integers");
+                        return usage();
+                    }
+                };
+            if nodes == 0 || rounds == 0 {
+                eprintln!("--nodes and --rounds must be at least 1");
+                return usage();
+            }
+            let scheduler_arg =
+                flags.get("scheduler").map(String::as_str).unwrap_or("sensitivity-migrate");
+            let kinds: Vec<SchedulerKind> = if scheduler_arg == "all" {
+                SchedulerKind::ALL.to_vec()
+            } else {
+                match SchedulerKind::parse(scheduler_arg) {
+                    Some(k) => vec![k],
+                    None => {
+                        eprintln!("unknown scheduler {scheduler_arg:?}");
+                        return usage();
+                    }
+                }
+            };
+            println!(
+                "fleet: {nodes} nodes x {rounds} rounds, seed {seed} ({} workers)",
+                sweep.jobs()
+            );
+            println!(
+                "{:<20} {:>8} {:>8} {:>10} {:>7} {:>7} {:>8} {:>9}",
+                "scheduler", "P50 slow", "P99 slow", "BE Ginsns", "migr", "rej", "arrivals", "worst sev"
+            );
+            for kind in kinds {
+                let cfg = FleetConfig::standard(nodes, rounds, seed);
+                let scheduler = kind.build(
+                    cfg.seed,
+                    cfg.server.link.capacity_gbps,
+                    cfg.server.cache.ways,
+                    cfg.degraded_streak,
+                );
+                let out = Fleet::new(cfg, scheduler).run(&sweep);
+                println!(
+                    "{:<20} {:>7.3}x {:>7.3}x {:>10.2} {:>7} {:>7} {:>8} {:>9}",
+                    out.scheduler,
+                    out.hp_slowdown_p50,
+                    out.hp_slowdown_p99,
+                    out.be_retired_insns / 1e9,
+                    out.migrations,
+                    out.rejected,
+                    out.arrivals,
+                    out.worst_severity.as_str(),
                 );
             }
             ExitCode::SUCCESS

@@ -10,24 +10,37 @@
 //! ```text
 //! dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]
 //!        [--ring-cap N] [--max-runs N] [--pause-ms N]
+//!        [--fleet-nodes N] [--fleet-scheduler S] [--seed N]
 //! ```
+//!
+//! With `--fleet-nodes N` (N ≥ 1) the daemon becomes the *fleet control
+//! plane*: instead of one co-location it drives an N-node [`Fleet`] —
+//! churned arrivals placed by a scheduler, one DICER session per node —
+//! round after round, and aggregates the whole fleet into the same
+//! metrics endpoint (`dicer_node_severity{node=...}` per node, plus
+//! fleet-level worst-severity / migration gauges).
 //!
 //! Routes:
 //! - `GET /healthz`         — liveness; a small JSON body (crate version,
-//!   periods simulated so far, ring-buffer drops since the last drain) with
-//!   `200 OK` once the listener is up.
+//!   periods simulated so far, fleet node count, ring-buffer drops since
+//!   the last drain) with `200 OK` once the listener is up.
 //! - `GET /metrics`         — Prometheus text format 0.0.4, deterministic layout.
-//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array;
-//!   a malformed or zero `K` is answered with `400 Bad Request`.
+//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array.
+//! - `GET /fleet`           — live fleet snapshot as JSON (fleet mode only).
 //! - `GET /quit`            — clean shutdown (used by the CI smoke test).
+//!
+//! A malformed, unknown, or duplicated query parameter on `/events` or
+//! `/fleet` is answered with `400 Bad Request` and a JSON error body
+//! (`{"error":"..."}`) — never silently ignored.
 //!
 //! Defaults: `milc1` vs 9× `gcc_base1` on 10 cores under `dicer`,
 //! port 9090, 1024-event ring, unbounded runs, no pause between runs.
 
 use dicer::appmodel::Catalog;
-use dicer::cli::{parse_events_n, parse_flags, parse_policy};
+use dicer::cli::{parse_events_n, parse_flags, parse_policy, parse_query_params};
 use dicer::experiments::runner::{run_colocation_traced, MAX_PERIODS};
-use dicer::experiments::SoloTable;
+use dicer::experiments::{SoloTable, SweepRunner};
+use dicer::fleet::{Fleet, FleetConfig, SchedulerKind};
 use dicer::server::ServerConfig;
 use dicer::telemetry::{
     Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
@@ -37,7 +50,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Folds the telemetry stream into the metrics registry. Period-sample
@@ -187,7 +200,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]\n\
          \x20             [--ring-cap N] [--max-runs N] [--pause-ms N]\n\
-         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>"
+         \x20             [--fleet-nodes N] [--fleet-scheduler S] [--seed N]\n\
+         policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>\n\
+         schedulers: round-robin | random | sensitivity-pack | sensitivity-migrate"
     );
     ExitCode::from(2)
 }
@@ -216,14 +231,18 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let (cores, port, ring_cap, max_runs, pause_ms) = match (
+    let (cores, port, ring_cap, max_runs, pause_ms, fleet_nodes, fleet_seed) = match (
         uint_flag("cores", 10),
         uint_flag("port", 9090),
         uint_flag("ring-cap", 1024),
         uint_flag("max-runs", 0),
         uint_flag("pause-ms", 0),
+        uint_flag("fleet-nodes", 0),
+        uint_flag("seed", 42),
     ) {
-        (Ok(c), Ok(p), Ok(r), Ok(m), Ok(w)) => (c as u32, p as u16, r as usize, m, w),
+        (Ok(c), Ok(p), Ok(r), Ok(m), Ok(w), Ok(n), Ok(s)) => {
+            (c as u32, p as u16, r as usize, m, w, n as usize, s)
+        }
         _ => {
             eprintln!("numeric flags take unsigned integers");
             return usage();
@@ -233,6 +252,12 @@ fn main() -> ExitCode {
         eprintln!("--ring-cap must be at least 1");
         return usage();
     }
+    let scheduler_name =
+        flags.get("fleet-scheduler").map(String::as_str).unwrap_or("sensitivity-migrate");
+    let Some(scheduler_kind) = SchedulerKind::parse(scheduler_name) else {
+        eprintln!("unknown scheduler {scheduler_name:?}");
+        return usage();
+    };
 
     let catalog = Catalog::paper();
     let (Some(hp), Some(be)) = (catalog.get(hp_name), catalog.get(be_name)) else {
@@ -266,17 +291,96 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let shutdown = Arc::new(AtomicBool::new(false));
-    println!(
-        "dicerd on 127.0.0.1:{port}: {hp_name} + {}x {be_name} under {} \
-         (ring {ring_cap}, {})",
-        cores - 1,
-        policy.name(),
-        if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} runs") },
-    );
+    // In fleet mode the sim thread refreshes a pre-rendered JSON snapshot
+    // after every round; `/fleet` serves it without touching the fleet.
+    let fleet_json: Option<Arc<Mutex<String>>> =
+        (fleet_nodes > 0).then(|| Arc::new(Mutex::new(String::from("{}"))));
+    if fleet_nodes > 0 {
+        println!(
+            "dicerd on 127.0.0.1:{port}: fleet control plane, {fleet_nodes} nodes \
+             under {scheduler_name} (seed {fleet_seed}, {})",
+            if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} rounds") },
+        );
+    } else {
+        println!(
+            "dicerd on 127.0.0.1:{port}: {hp_name} + {}x {be_name} under {} \
+             (ring {ring_cap}, {})",
+            cores - 1,
+            policy.name(),
+            if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} runs") },
+        );
+    }
 
-    // Simulation thread: back-to-back co-location runs, each one feeding
-    // the shared telemetry bus plus run-level metrics.
-    let sim = {
+    // Simulation thread. Fleet mode: scheduling rounds over N node
+    // sessions, folding the fleet state into per-node and fleet-level
+    // metrics after each round. Classic mode: back-to-back co-location
+    // runs, each one feeding the shared telemetry bus plus run-level
+    // metrics.
+    let sim = if let Some(fleet_json) = fleet_json.clone() {
+        let registry = registry.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            let cfg = FleetConfig::standard(fleet_nodes, u32::MAX, fleet_seed);
+            let scheduler = scheduler_kind.build(
+                cfg.seed,
+                cfg.server.link.capacity_gbps,
+                cfg.server.cache.ways,
+                cfg.degraded_streak,
+            );
+            let mut fleet = Fleet::new(cfg, scheduler);
+            let runner = SweepRunner::auto();
+            let rounds_total = registry.counter(
+                "dicer_fleet_rounds_total",
+                "Fleet scheduling rounds completed",
+                &[],
+            );
+            let worst_severity = registry.gauge(
+                "dicer_fleet_worst_severity",
+                "Worst controller severity code across all fleet nodes \
+                 (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+                &[],
+            );
+            let migrations_total = registry.gauge(
+                "dicer_fleet_migrations_total",
+                "Scheduler-initiated BE migrations since startup",
+                &[],
+            );
+            let mut rounds = 0u64;
+            while !shutdown.load(Ordering::Relaxed) {
+                fleet.step_round(&runner);
+                rounds_total.inc();
+                let status = fleet.status();
+                for node in &status.per_node {
+                    let id = node.node.to_string();
+                    registry
+                        .gauge(
+                            "dicer_node_severity",
+                            "Current controller severity code per fleet node \
+                             (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+                            &[("node", &id)],
+                        )
+                        .set(node.severity.code() as f64);
+                    registry
+                        .gauge(
+                            "dicer_node_hp_slowdown",
+                            "Mean HP slowdown per fleet node since startup",
+                            &[("node", &id)],
+                        )
+                        .set(node.hp_slowdown_mean);
+                }
+                worst_severity.set(status.worst_severity.code() as f64);
+                migrations_total.set(status.migrations as f64);
+                *fleet_json.lock().unwrap() = status.to_json();
+                rounds += 1;
+                if max_runs > 0 && rounds >= max_runs {
+                    break;
+                }
+                if pause_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(pause_ms));
+                }
+            }
+        })
+    } else {
         let registry = registry.clone();
         let shutdown = shutdown.clone();
         let hp = hp.clone();
@@ -369,7 +473,10 @@ fn main() -> ExitCode {
                 let registry = registry.clone();
                 let ring = ring.clone();
                 let shutdown = shutdown.clone();
-                std::thread::spawn(move || handle(stream, &registry, &ring, &shutdown));
+                let fleet_json = fleet_json.clone();
+                std::thread::spawn(move || {
+                    handle(stream, &registry, &ring, &shutdown, fleet_nodes, fleet_json.as_deref())
+                });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -385,12 +492,21 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Renders a client error as the JSON body every endpoint with query
+/// parameters answers 400s with.
+fn json_error(message: &str) -> String {
+    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{{\"error\":\"{escaped}\"}}\n")
+}
+
 /// Serves one connection: a single HTTP/1.1 request, then close.
 fn handle(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
     ring: &RingRecorder,
     shutdown: &AtomicBool,
+    fleet_nodes: usize,
+    fleet_json: Option<&Mutex<String>>,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut buf = Vec::new();
@@ -423,9 +539,10 @@ fn handle(
                 .counter("dicer_periods_total", "Monitoring periods simulated", &[])
                 .get();
             let body = format!(
-                "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"events_dropped\":{}}}\n",
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"nodes\":{},\"events_dropped\":{}}}\n",
                 env!("CARGO_PKG_VERSION"),
                 periods,
+                fleet_nodes,
                 ring.dropped(),
             );
             respond(&mut stream, "200 OK", "application/json", &body);
@@ -443,7 +560,28 @@ fn handle(
                 let body = format!("[{}]\n", lines.join(","));
                 respond(&mut stream, "200 OK", "application/json", &body);
             }
-            Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &format!("{e}\n")),
+            Err(e) => {
+                respond(&mut stream, "400 Bad Request", "application/json", &json_error(&e));
+            }
+        },
+        "/fleet" => match fleet_json {
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                &json_error("fleet mode is off (start dicerd with --fleet-nodes N)"),
+            ),
+            // The snapshot takes no parameters; anything in the query
+            // string is a client error, same contract as /events.
+            Some(snapshot) => match parse_query_params(query, &[]) {
+                Ok(_) => {
+                    let body = format!("{}\n", snapshot.lock().unwrap());
+                    respond(&mut stream, "200 OK", "application/json", &body);
+                }
+                Err(e) => {
+                    respond(&mut stream, "400 Bad Request", "application/json", &json_error(&e));
+                }
+            },
         },
         "/quit" => {
             shutdown.store(true, Ordering::Relaxed);

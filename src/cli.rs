@@ -74,12 +74,41 @@ pub fn parse_jobs(flags: &HashMap<String, String>) -> Result<Parallelism, String
     }
 }
 
+/// Strictly parses an HTTP query string into `key → value` pairs. Every
+/// key must be in `allowed` and appear at most once; anything else is a
+/// client error (HTTP 400), not a silent ignore — a typoed `?m=5` that
+/// quietly falls back to the default window is how operators read the
+/// wrong dashboard for a week.
+pub fn parse_query_params(
+    query: &str,
+    allowed: &[&str],
+) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    if query.is_empty() {
+        return Ok(out);
+    }
+    for kv in query.split('&') {
+        let (k, v) = match kv.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (kv, ""),
+        };
+        if !allowed.contains(&k) {
+            return Err(format!("unknown query parameter {k:?}"));
+        }
+        if out.insert(k.to_string(), v.to_string()).is_some() {
+            return Err(format!("query parameter {k:?} given more than once"));
+        }
+    }
+    Ok(out)
+}
+
 /// Interprets the `n=K` parameter of a `GET /events?n=K` query string.
 /// Absent means the default window of 100 events; present, it must be a
-/// positive integer — a malformed or zero `n` is a client error (HTTP
-/// 400), not a silent fallback to the default.
+/// positive integer. Unknown or duplicated parameters are client errors
+/// (HTTP 400) via [`parse_query_params`].
 pub fn parse_events_n(query: &str) -> Result<usize, String> {
-    match query.split('&').find_map(|kv| kv.strip_prefix("n=")) {
+    let params = parse_query_params(query, &["n"])?;
+    match params.get("n") {
         None => Ok(100),
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
@@ -159,10 +188,8 @@ mod tests {
     #[test]
     fn events_n_defaults_and_parses() {
         assert_eq!(parse_events_n(""), Ok(100));
-        assert_eq!(parse_events_n("verbose"), Ok(100));
         assert_eq!(parse_events_n("n=1"), Ok(1));
         assert_eq!(parse_events_n("n=250"), Ok(250));
-        assert_eq!(parse_events_n("a=b&n=7"), Ok(7));
     }
 
     #[test]
@@ -170,6 +197,35 @@ mod tests {
         for bad in ["n=0", "n=", "n=-3", "n=ten", "n=1.5"] {
             assert!(parse_events_n(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn unknown_events_params_are_rejected_not_ignored() {
+        // These used to be silently tolerated; a typoed parameter now gets
+        // an HTTP 400 instead of the default window.
+        for bad in ["verbose", "a=b&n=7", "m=5", "n=7&n=7"] {
+            let err = parse_events_n(bad).unwrap_err();
+            assert!(
+                err.contains("query parameter"),
+                "{bad:?} must name the offending parameter: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_params_parse_strictly() {
+        let p = parse_query_params("n=5&node=2", &["n", "node"]).unwrap();
+        assert_eq!(p["n"], "5");
+        assert_eq!(p["node"], "2");
+        assert!(parse_query_params("", &[]).unwrap().is_empty());
+        // Bare keys parse as empty values (the caller validates content).
+        assert_eq!(parse_query_params("n", &["n"]).unwrap()["n"], "");
+        // Unknown and duplicated keys are errors, regardless of position.
+        assert!(parse_query_params("x=1", &["n"]).is_err());
+        assert!(parse_query_params("n=1&x=1", &["n"]).is_err());
+        assert!(parse_query_params("n=1&n=2", &["n"]).is_err());
+        // Anything at all is an error when nothing is allowed.
+        assert!(parse_query_params("n=1", &[]).is_err());
     }
 
     #[test]

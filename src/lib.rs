@@ -12,6 +12,7 @@
 //! * [`policy`] — co-location policies: UM, CT, static partitions, DICER.
 //! * [`metrics`] — EFU, SLO conformance, SUCI, CDFs.
 //! * [`experiments`] — figure/table runners for the paper's evaluation.
+//! * [`fleet`] — many-node consolidation: placement schedulers and churn.
 //! * [`telemetry`] — structured event bus, metrics registry, JSONL sinks.
 //!
 //! ## Quickstart
@@ -35,6 +36,7 @@ pub mod cli;
 pub use dicer_appmodel as appmodel;
 pub use dicer_cachesim as cachesim;
 pub use dicer_experiments as experiments;
+pub use dicer_fleet as fleet;
 pub use dicer_membw as membw;
 pub use dicer_metrics as metrics;
 pub use dicer_policy as policy;

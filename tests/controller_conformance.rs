@@ -12,7 +12,8 @@
 //! 2. The behavioral contract — every controller in the standard
 //!    [`ControllerRegistry`] passes the full clause table
 //!    (starts-calibrating, detects-contention, recovers, cooldown-backoff,
-//!    missing-period-holdover, summary-consistent-with-state), and every
+//!    missing-period-holdover, summary-consistent-with-state, and — for
+//!    rows that claim it — placement-signal), and every
 //!    registered controller *has* a contract row (the registry-coverage
 //!    gate ci enforces).
 //! 3. Dispatch bit-identity — driving a controller through the registry's
@@ -21,8 +22,8 @@
 //!    feed and proptest-generated feeds.
 
 use dicer::policy::conformance::{
-    check_registry, contract_violations_to_string, miss, run_contract, run_script, s,
-    synthetic_sample, Step, N_WAYS,
+    check_registry, contract_entry, contract_violations_to_string, miss, run_contract,
+    run_script, s, synthetic_sample, Clause, Step, N_WAYS,
 };
 use dicer::policy::{
     Controller, ControllerRegistry, Dicer, DicerConfig, DicerState, Observation, Policy,
@@ -435,6 +436,33 @@ fn dicer_mba_passes_the_full_contract() {
 #[test]
 fn dicer_adm_passes_the_full_contract() {
     assert_conformant("dicer-adm");
+}
+
+/// The placement-signal gate ci's fast tier names explicitly: the fleet
+/// scheduler migrates on a sustained severity streak, so every controller
+/// whose contract row claims `placement_signal` must hold severity above
+/// nominal on every period of sustained contention (no flapping), and the
+/// clause itself must be part of the runnable contract.
+#[test]
+fn placement_signal_controllers_hold_a_stable_severity_ladder() {
+    assert!(
+        Clause::CONTRACT.contains(&Clause::PlacementSignal),
+        "the placement-signal clause must be part of the runnable contract"
+    );
+    let registry = ControllerRegistry::standard();
+    let claimants: Vec<&str> = registry
+        .specs()
+        .iter()
+        .filter(|spec| contract_entry(spec.name).is_some_and(|e| e.placement_signal))
+        .map(|spec| spec.name)
+        .collect();
+    assert!(
+        claimants.contains(&"dicer-adm"),
+        "the fleet's standard controller must claim the placement signal"
+    );
+    for name in claimants {
+        assert_conformant(name);
+    }
 }
 
 /// The registry-coverage gate: ci's fast tier runs exactly this test. A

@@ -1,0 +1,114 @@
+//! Fleet determinism: a fleet run is a pure function of its config.
+//!
+//! Three pins:
+//!
+//! * the serialized [`FleetOutcome`] of the standard 32-node mix is
+//!   byte-identical at `--jobs 1` and `--jobs 8` — the cross-node
+//!   decisions all run serially on the driver thread and the node
+//!   stepping fans out index-ordered, so the worker count must be
+//!   invisible in the bytes;
+//! * the outcome hash of the canonical 32-node run is pinned in
+//!   `tests/goldens/fleet_32node.txt` (bootstrapped on first run,
+//!   byte-compared thereafter), so churn-stream, scheduler or model
+//!   drift cannot land silently;
+//! * a proptest sweep over fleet shapes and migration budgets checks the
+//!   budget invariant: no node ever migrates more residents out in one
+//!   round than `migration_budget` allows.
+
+use dicer::experiments::SweepRunner;
+use dicer::fleet::{Fleet, FleetConfig, FleetOutcome, SchedulerKind};
+use std::fs;
+use std::path::Path;
+
+/// The canonical fleet: the standard mix at the size the committed study
+/// uses, under the migrating scheduler so eviction paths execute.
+fn canonical_outcome(jobs: usize) -> FleetOutcome {
+    let cfg = FleetConfig::standard(32, 300, 42);
+    let scheduler = SchedulerKind::Migrate.build(
+        cfg.seed,
+        cfg.server.link.capacity_gbps,
+        cfg.server.cache.ways,
+        cfg.degraded_streak,
+    );
+    Fleet::new(cfg, scheduler).run(&SweepRunner::with_jobs(jobs))
+}
+
+#[test]
+fn worker_count_is_invisible_in_the_outcome_bytes() {
+    let serial = canonical_outcome(1).to_json();
+    let parallel = canonical_outcome(8).to_json();
+    assert_eq!(serial, parallel, "--jobs 8 fleet outcome diverged from --jobs 1");
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[test]
+fn canonical_fleet_outcome_matches_the_pinned_golden() {
+    let outcome = canonical_outcome(1);
+    // Sanity: the canonical run actually exercises the interesting paths
+    // before its hash gets pinned.
+    assert!(outcome.arrivals > 0, "churn never arrived");
+    assert!(outcome.departures > 0, "no resident ever left");
+    assert!(outcome.migrations > 0, "the migrating scheduler never migrated");
+    let line = format!("{:016x}", fnv1a(outcome.to_json().as_bytes()));
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/fleet_32node.txt");
+    if path.exists() {
+        let pinned = fs::read_to_string(&path).expect("golden readable");
+        assert_eq!(
+            pinned.trim(),
+            line,
+            "32-node fleet outcome diverged from the pinned golden {} — an \
+             intentional behaviour change must recut it",
+            path.display()
+        );
+    } else {
+        fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        fs::write(&path, format!("{line}\n")).expect("golden writable");
+        eprintln!("bootstrapped {} = {line}; commit it to pin the fleet run", path.display());
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// No node may exceed its per-round migration budget, whatever the
+    /// fleet shape, seed or budget — and the per-node migration totals
+    /// must reconcile with the fleet-wide counter.
+    #[test]
+    fn migrations_respect_the_per_node_budget(
+        nodes in 1usize..12,
+        rounds in 1u32..50,
+        seed in proptest::prelude::any::<u64>(),
+        budget in 0u32..4,
+    ) {
+        let mut cfg = FleetConfig::standard(nodes, rounds, seed);
+        cfg.migration_budget = budget;
+        let scheduler = SchedulerKind::Migrate.build(
+            cfg.seed,
+            cfg.server.link.capacity_gbps,
+            cfg.server.cache.ways,
+            cfg.degraded_streak,
+        );
+        let outcome = Fleet::new(cfg, scheduler).run(&SweepRunner::serial());
+        proptest::prop_assert!(
+            outcome.max_node_round_migrations <= budget,
+            "a node migrated {} residents in one round with budget {budget}",
+            outcome.max_node_round_migrations
+        );
+        let per_node: u64 = outcome.per_node.iter().map(|n| n.migrations_out).sum();
+        proptest::prop_assert_eq!(per_node, outcome.migrations);
+        if budget == 0 {
+            proptest::prop_assert_eq!(outcome.migrations, 0);
+        }
+    }
+}
