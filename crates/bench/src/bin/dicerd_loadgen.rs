@@ -1,0 +1,204 @@
+//! `dicerd` load generator: hammers an in-process daemon with many
+//! concurrent keep-alive clients and writes `results/BENCH_dicerd.json`
+//! with request throughput and latency percentiles.
+//!
+//! The daemon is started inside this process on an ephemeral port with
+//! its default workload (`milc1` + 9× `gcc_base1` under DICER), so the
+//! measurement includes the realistic condition: the simulation thread
+//! is saturating one core and feeding telemetry while the event loop
+//! serves `/metrics` renders, `/events` drains and `/healthz` probes
+//! from one network thread.
+//!
+//! Every response is strictly validated (status line, `Content-Length`,
+//! exact body length) and the run aborts if even one is malformed — the
+//! bench doubles as the concurrency correctness check of the netd
+//! runtime.
+//!
+//! ```text
+//! dicerd_loadgen [--clients N] [--requests N] [--out PATH]
+//! ```
+//!
+//! `scripts/ci.sh` (full tier) re-runs this binary and gates on the
+//! committed baseline: a >15% drop of requests/sec fails CI
+//! (`--update-baselines` refreshes the baseline instead).
+//!
+//! The JSON is rendered by hand rather than through serde so the
+//! artifact is identical no matter which serde backend the build uses.
+
+use dicer::cli::parse_flags;
+use dicer::daemon::{Daemon, DaemonConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Concurrent clients (each one thread holding one keep-alive conn).
+const DEFAULT_CLIENTS: usize = 12;
+/// Requests issued per client.
+const DEFAULT_REQUESTS: usize = 400;
+
+/// The request mix, rotated per request index. `/metrics` dominates the
+/// real scrape traffic; `/events` exercises the ring drain; `/healthz`
+/// is the cheap probe.
+const PATHS: [&str; 3] = ["/metrics", "/events?n=50", "/healthz"];
+
+/// One strictly validated keep-alive request/response round trip.
+/// Returns the latency on success, a description of the malformation
+/// otherwise.
+fn round_trip(reader: &mut BufReader<TcpStream>, path: &str) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    reader
+        .get_mut()
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: dicerd\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut status = String::new();
+    reader.read_line(&mut status).map_err(|e| format!("status read: {e}"))?;
+    if !status.starts_with("HTTP/1.1 200 OK") {
+        return Err(format!("bad status line {status:?}"));
+    }
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("header read: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.strip_prefix("Content-Length: ") {
+            content_length = Some(v.parse().map_err(|e| format!("bad length: {e}"))?);
+        }
+    }
+    let n = content_length.ok_or("no Content-Length header")?;
+    let mut body = vec![0u8; n];
+    reader.read_exact(&mut body).map_err(|e| format!("body read: {e}"))?;
+    if body.is_empty() {
+        return Err("empty body".to_string());
+    }
+    Ok(t0.elapsed())
+}
+
+/// One client: `requests` sequential round trips on a single keep-alive
+/// connection, rotating through the path mix. Returns the latencies, or
+/// the first malformation seen.
+fn client(addr: SocketAddr, id: usize, requests: usize) -> Result<Vec<Duration>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let path = PATHS[(id + i) % PATHS.len()];
+        latencies
+            .push(round_trip(&mut reader, path).map_err(|e| format!("request {i} {path}: {e}"))?);
+    }
+    Ok(latencies)
+}
+
+/// Percentile over a sorted slice, nearest-rank.
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\nusage: dicerd_loadgen [--clients N] [--requests N] [--out PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    let usize_flag = |key: &str, default: usize| -> usize {
+        flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let clients = usize_flag("clients", DEFAULT_CLIENTS).max(1);
+    let requests = usize_flag("requests", DEFAULT_REQUESTS).max(1);
+    let out_path =
+        flags.get("out").cloned().unwrap_or_else(|| "results/BENCH_dicerd.json".to_string());
+
+    println!("== DICER reproduction :: dicerd load test (netd event loop) ==");
+    println!("{clients} concurrent clients x {requests} keep-alive requests, mix {PATHS:?}");
+
+    let daemon = match Daemon::start(DaemonConfig { port: 0, ..Default::default() }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = daemon.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|id| std::thread::spawn(move || client(addr, id, requests)))
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests);
+    let mut failures: Vec<String> = Vec::new();
+    for (id, h) in handles.into_iter().enumerate() {
+        match h.join().expect("client thread panicked") {
+            Ok(mut l) => latencies.append(&mut l),
+            Err(e) => failures.push(format!("client {id}: {e}")),
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Clean shutdown through the public API, like any other client.
+    let quit = TcpStream::connect(addr)
+        .map_err(|e| e.to_string())
+        .and_then(|s| {
+            let mut reader = BufReader::new(s);
+            round_trip(&mut reader, "/quit").map(|_| ())
+        });
+    if let Err(e) = quit {
+        failures.push(format!("/quit: {e}"));
+    }
+    if let Err(e) = daemon.join() {
+        failures.push(e);
+    }
+
+    if !failures.is_empty() {
+        eprintln!("{} malformed/failed interactions:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let rps = total as f64 / elapsed;
+    let (p50, p99, p999) = (
+        percentile_us(&latencies, 0.50),
+        percentile_us(&latencies, 0.99),
+        percentile_us(&latencies, 0.999),
+    );
+    println!(
+        "{total} requests in {elapsed:.2}s -> {rps:.0} req/s \
+         (p50 {p50:.0}us, p99 {p99:.0}us, p999 {p999:.0}us, 0 malformed)"
+    );
+
+    // Hand-rendered JSON: stable key order, one artifact schema
+    // regardless of the serde backend.
+    let json = format!(
+        "{{\n  \"bench\": \"dicerd_loadgen\",\n  \"clients\": {clients},\n  \
+         \"requests_per_client\": {requests},\n  \"total_requests\": {total},\n  \
+         \"malformed\": 0,\n  \"elapsed_s\": {elapsed:.3},\n  \
+         \"requests_per_sec\": {rps:.1},\n  \"latency_us\": {{\n    \
+         \"p50\": {p50:.1},\n    \"p99\": {p99:.1},\n    \"p999\": {p999:.1}\n  }},\n  \
+         \"mix\": [\"/metrics\", \"/events?n=50\", \"/healthz\"]\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -138,6 +138,39 @@ pub fn run_colocation_traced(
     telemetry: &dicer_telemetry::Telemetry,
     tracer: &dicer_telemetry::Tracer,
 ) -> ColocationOutcome {
+    run_colocation_traced_until(
+        solo,
+        hp,
+        be,
+        n_cores,
+        policy,
+        max_periods,
+        telemetry,
+        tracer,
+        || true,
+    )
+}
+
+/// [`run_colocation_traced`] with an external continuation check:
+/// `keep_going()` is consulted between periods and the run stops cleanly
+/// the first time it answers `false` (reporting `completed == false` with
+/// metrics over the simulated prefix). The `dicerd` daemon runs its
+/// replay loop through this so `/quit` and `POST /control` interrupt a
+/// run in bounded time instead of waiting out the period cap. A run
+/// interrupted before its first period reports zeroed rates rather than
+/// dividing by zero elapsed time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_traced_until(
+    solo: &SoloTable,
+    hp: &AppProfile,
+    be: &AppProfile,
+    n_cores: u32,
+    policy: &PolicyKind,
+    max_periods: u32,
+    telemetry: &dicer_telemetry::Telemetry,
+    tracer: &dicer_telemetry::Tracer,
+    keep_going: impl FnMut() -> bool,
+) -> ColocationOutcome {
     let cfg = *solo.config();
     assert!(
         (2..=cfg.n_cores).contains(&n_cores),
@@ -151,15 +184,35 @@ pub fn run_colocation_traced(
         .with_tracing(tracer);
 
     let mut bw_acc = 0.0;
-    let end = session.run_observed(
+    let end = session.run_observed_until(
         |_, _| (),
         |step, _, _| {
             if let Some(s) = step.delivered {
                 bw_acc += s.total_bw_gbps;
             }
         },
+        keep_going,
     );
     let (server, _) = session.into_parts();
+
+    // A run interrupted before period 1 has zero elapsed time; every rate
+    // below would be 0/0. Report well-defined zeros instead of NaN.
+    if end.periods == 0 {
+        return ColocationOutcome {
+            hp_name: hp.name.clone(),
+            be_name: be.name.clone(),
+            n_cores,
+            policy: policy.name().to_string(),
+            hp_slowdown: 0.0,
+            hp_norm_ipc: 0.0,
+            be_norm_ipc: vec![0.0; (n_cores - 1) as usize],
+            efu: 0.0,
+            periods: 0,
+            completed: false,
+            mean_total_bw_gbps: 0.0,
+            solver_stats: server.solver_stats(),
+        };
+    }
 
     let elapsed = server.time_s();
     let cycles = cfg.freq_hz * elapsed;
@@ -412,6 +465,59 @@ mod tests {
         assert!(names.contains(&"equilibrium_solve"), "server stages are traced too");
         assert!(names.contains(&"partition_apply"), "DICER changes plans mid-run");
         assert_eq!(names.last(), Some(&"session"), "the session span closes last");
+    }
+
+    #[test]
+    fn interruptible_run_stops_between_periods_with_finite_metrics() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gobmk1").unwrap();
+        let mut budget = 7;
+        let out = run_colocation_traced_until(
+            &solo,
+            hp,
+            be,
+            10,
+            &PolicyKind::Unmanaged,
+            MAX_PERIODS,
+            &dicer_telemetry::Telemetry::off(),
+            &dicer_telemetry::Tracer::off(),
+            || {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                true
+            },
+        );
+        assert_eq!(out.periods, 7);
+        assert!(!out.completed);
+        assert!(out.hp_norm_ipc.is_finite() && out.hp_norm_ipc > 0.0);
+        assert!(out.mean_total_bw_gbps.is_finite() && out.mean_total_bw_gbps > 0.0);
+    }
+
+    #[test]
+    fn run_interrupted_before_first_period_reports_zeros_not_nan() {
+        let (cat, solo) = setup();
+        let hp = cat.get("omnetpp1").unwrap();
+        let be = cat.get("gobmk1").unwrap();
+        let out = run_colocation_traced_until(
+            &solo,
+            hp,
+            be,
+            10,
+            &PolicyKind::Unmanaged,
+            MAX_PERIODS,
+            &dicer_telemetry::Telemetry::off(),
+            &dicer_telemetry::Tracer::off(),
+            || false,
+        );
+        assert_eq!((out.periods, out.completed), (0, false));
+        assert_eq!(out.hp_norm_ipc, 0.0);
+        assert_eq!(out.mean_total_bw_gbps, 0.0);
+        assert!(out.efu.is_finite());
+        assert_eq!(out.be_norm_ipc.len(), 9);
+        assert!(out.be_norm_ipc.iter().all(|v| *v == 0.0));
     }
 
     #[test]

@@ -191,8 +191,24 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
     ///   stream trace events.
     pub fn run_observed<S>(
         &mut self,
+        pre_period: impl FnMut(u32, &mut P) -> S,
+        observe: impl FnMut(SessionStep<'_, S>, &P, &C),
+    ) -> SessionEnd {
+        self.run_observed_until(pre_period, observe, || true)
+    }
+
+    /// [`Session::run_observed`] with an external continuation check:
+    /// `keep_going()` is consulted at the top of every period, and the run
+    /// stops cleanly (between periods, never mid-step) the first time it
+    /// answers `false`. This is how interactive drivers — the `dicerd`
+    /// daemon polling its shutdown flag and command mailbox — interrupt a
+    /// long replay without waiting out the period cap. An interrupted run
+    /// reports `completed: false`.
+    pub fn run_observed_until<S>(
+        &mut self,
         mut pre_period: impl FnMut(u32, &mut P) -> S,
         mut observe: impl FnMut(SessionStep<'_, S>, &P, &C),
+        mut keep_going: impl FnMut() -> bool,
     ) -> SessionEnd {
         let n_ways = self.platform.n_ways();
         let mut session_span = self.tracer.span(stage::SESSION);
@@ -206,6 +222,10 @@ impl<P: MonitoredPlatform, C: Policy> Session<P, C> {
         let mut sample = PeriodSample::default();
         let mut periods = 0;
         while periods < self.max_periods {
+            if !keep_going() {
+                drop(session_span);
+                return SessionEnd { periods, completed: false };
+            }
             let mut period_span = self.tracer.span(stage::PERIOD);
             let carry = pre_period(periods, &mut self.platform);
             let delivered = {
@@ -467,6 +487,42 @@ mod tests {
         assert_eq!(manual.platform().current_plan(), looped.platform().current_plan());
         assert_eq!(manual.platform().be_throttle(), looped.platform().be_throttle());
         assert!((sample.time_s - 9.0).abs() < 1e-12, "the buffer holds the last period");
+    }
+
+    #[test]
+    fn run_until_stops_cleanly_between_periods() {
+        // keep_going flips false before period 4: exactly 4 periods run,
+        // every observed step is whole, and the end reports interrupted.
+        let mut s = Session::new(FakePlatform::new(u32::MAX), Unmanaged, 100);
+        let mut budget = 4;
+        let mut seen = Vec::new();
+        let end = s.run_observed_until(
+            |_, _| (),
+            |step, _, _| {
+                assert!(step.delivered.is_some());
+                seen.push(step.period);
+            },
+            || {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                true
+            },
+        );
+        assert_eq!(end, SessionEnd { periods: 4, completed: false });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(s.platform().t, 4, "no partial period was simulated");
+    }
+
+    #[test]
+    fn run_until_interrupted_before_the_first_period_runs_none() {
+        let mut s = Session::new(FakePlatform::new(u32::MAX), Unmanaged, 100);
+        let end = s.run_observed_until(|_, _| (), |_, _, _| (), || false);
+        assert_eq!(end, SessionEnd { periods: 0, completed: false });
+        assert_eq!(s.platform().t, 0);
+        // Run setup still happened (the initial plan is in force).
+        assert_eq!(s.platform().applies, 1);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Per-connection state machine.
+//!
+//! A [`Conn`] owns its socket and both buffers. Each event-loop pass
+//! calls [`Conn::drive`], which makes as much progress as the socket
+//! allows without ever blocking: read what's there, parse and dispatch
+//! every complete pipelined request, pump the streamer (if one is
+//! installed), flush what the kernel will take. All limit decisions
+//! (head size, body size, buffered-bytes cap) are made here, on the one
+//! thread that owns the connection — there is no check-then-act window.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::http::{
+    parse_request, render_chunk, render_final_chunk, render_response, render_stream_head,
+    Parsed, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
+use crate::server::{Handler, ReplyKind, ServerMetrics, StreamStatus, Streamer};
+
+/// Stop pulling new stream payload while more than this many bytes are
+/// already waiting in the write buffer. A slow reader therefore stops
+/// *consuming* events rather than growing the buffer without bound —
+/// and because stream sources are drop-oldest rings, what it misses is
+/// the oldest data, never the bus's liveness.
+const STREAM_HIGH_WATER: usize = 256 * 1024;
+
+/// Hard cap on buffered-but-unparsed request bytes. `parse_request`'s own
+/// head/body limits keep well-formed traffic far below this; the cap only
+/// exists so a client that pipelines garbage during a stream cannot grow
+/// the buffer unboundedly.
+const READ_BUF_CAP: usize = MAX_HEAD_BYTES + MAX_BODY_BYTES + 1024;
+
+/// What one `drive` pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DriveOutcome {
+    /// Whether any bytes moved or any request was dispatched (feeds the
+    /// event loop's adaptive poll timeout and the idle clock).
+    pub progressed: bool,
+    /// Whether the connection is finished and should be dropped.
+    pub done: bool,
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    streamer: Option<Box<dyn Streamer>>,
+    close_after_write: bool,
+    peer_closed: bool,
+    /// Event-loop tick of the last observed progress (idle clock).
+    pub last_active_tick: u64,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, tick: u64) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            streamer: None,
+            close_after_write: false,
+            peer_closed: false,
+            last_active_tick: tick,
+        }
+    }
+
+    /// Whether a chunked stream is in progress.
+    pub fn is_streaming(&self) -> bool {
+        self.streamer.is_some()
+    }
+
+    /// Whether every rendered byte has reached the kernel.
+    pub fn fully_flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    /// One non-blocking pass: read, parse/dispatch, pump stream, flush.
+    pub fn drive<H: Handler>(
+        &mut self,
+        handler: &mut H,
+        metrics: &dyn ServerMetrics,
+        tick: u64,
+        shutting_down: bool,
+    ) -> DriveOutcome {
+        let mut progressed = false;
+
+        // Read whatever is available. Streaming connections read too —
+        // it is how a vanished client is detected — but bytes arriving
+        // during a stream are only buffered up to the cap.
+        let mut chunk = [0u8; 4096];
+        while !self.peer_closed && self.rbuf.len() < READ_BUF_CAP {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return DriveOutcome { progressed, done: true },
+            }
+        }
+
+        // Dispatch every complete pipelined request, stopping if a reply
+        // turns the connection into a stream (streams own the connection
+        // until they finish, and they finish by closing it).
+        while self.streamer.is_none() && !self.close_after_write {
+            match parse_request(&self.rbuf) {
+                Parsed::Partial => break,
+                Parsed::Complete { request, consumed } => {
+                    self.rbuf.drain(..consumed);
+                    let t0 = Instant::now();
+                    let reply = handler.handle(&request);
+                    metrics.request_served(reply.endpoint, t0.elapsed().as_secs_f64());
+                    progressed = true;
+                    match reply.kind {
+                        ReplyKind::Full { status, content_type, body } => {
+                            render_response(
+                                status,
+                                content_type,
+                                &body,
+                                request.close,
+                                &mut self.wbuf,
+                            );
+                            if request.close {
+                                self.close_after_write = true;
+                            }
+                        }
+                        ReplyKind::Stream { status, content_type, streamer } => {
+                            metrics.stream_started(reply.endpoint);
+                            render_stream_head(status, content_type, &mut self.wbuf);
+                            self.streamer = Some(streamer);
+                        }
+                    }
+                }
+                Parsed::Error(e) => {
+                    metrics.parse_error();
+                    let mut body = e.message().to_string();
+                    body.push('\n');
+                    render_response(e.status(), "text/plain", body.as_bytes(), true, &mut self.wbuf);
+                    self.close_after_write = true;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Pump the stream: pull new payload only while the write buffer
+        // is below the high-water mark (backpressure by not consuming).
+        if let Some(streamer) = &mut self.streamer {
+            if self.peer_closed {
+                // The client is gone; there is nobody to stream to.
+                return DriveOutcome { progressed, done: true };
+            }
+            if self.wbuf.len() - self.wpos < STREAM_HIGH_WATER {
+                let mut payload = Vec::new();
+                let status = streamer.poll(&mut payload, shutting_down);
+                if !payload.is_empty() {
+                    render_chunk(&payload, &mut self.wbuf);
+                    progressed = true;
+                }
+                if status == StreamStatus::Done {
+                    render_final_chunk(&mut self.wbuf);
+                    self.streamer = None;
+                    self.close_after_write = true;
+                    progressed = true;
+                }
+            }
+            // A stream waiting for its source is idle by choice, not
+            // abandoned: keep its idle clock fresh while fully flushed.
+            if self.fully_flushed() {
+                self.last_active_tick = tick;
+            }
+        }
+
+        // Flush what the kernel will take.
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return DriveOutcome { progressed, done: true },
+                Ok(n) => {
+                    self.wpos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return DriveOutcome { progressed, done: true },
+            }
+        }
+        if self.fully_flushed() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+
+        if progressed {
+            self.last_active_tick = tick;
+        }
+        let done = (self.close_after_write && self.fully_flushed())
+            || (self.peer_closed && self.fully_flushed() && self.streamer.is_none());
+        DriveOutcome { progressed, done }
+    }
+}

@@ -1,0 +1,494 @@
+//! Incremental HTTP/1.1 request parsing and response rendering.
+//!
+//! [`parse_request`] looks at the *front* of a connection's read buffer
+//! and returns one of three things: a complete request (with the number
+//! of bytes it consumed, so pipelined requests behind it stay in the
+//! buffer), "need more bytes", or a strict protocol error that maps to
+//! one specific status code. Nothing is ever silently ignored: a typo in
+//! a request is a client error, not a guess.
+
+use std::fmt;
+
+/// Maximum size of the request line + headers, in bytes. A head that has
+/// not terminated within this budget is answered `431` and the
+/// connection closed — an unbounded header buffer is a memory DoS.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum request body size. The only body-bearing route is the small
+/// `POST /control` form, so this is deliberately tight.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Request methods the runtime understands. Everything else parses but
+/// is answered `405 Method Not Allowed` (the request *line* was valid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// values keep their bytes (trimmed of optional whitespace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub method: Method,
+    /// Path component of the target, up to the first `?`.
+    pub path: String,
+    /// Raw query string after the first `?` (empty when absent).
+    pub query: String,
+    /// `(lower-cased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close after this response
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of a header, by lower-cased name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Strict protocol errors, each tied to the one status line it is
+/// answered with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Anything structurally wrong: bad request line, bad header line,
+    /// bad `Content-Length`, non-UTF-8 head, chunked request body.
+    Malformed(&'static str),
+    /// Valid request line, but a method this runtime does not serve.
+    MethodNotAllowed,
+    /// Head exceeded [`MAX_HEAD_BYTES`] without terminating.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+}
+
+impl ParseError {
+    /// The status line this error is answered with.
+    pub fn status(&self) -> &'static str {
+        match self {
+            ParseError::Malformed(_) => "400 Bad Request",
+            ParseError::MethodNotAllowed => "405 Method Not Allowed",
+            ParseError::HeadersTooLarge => "431 Request Header Fields Too Large",
+            ParseError::BodyTooLarge => "413 Content Too Large",
+            ParseError::UnsupportedVersion => "505 HTTP Version Not Supported",
+        }
+    }
+
+    /// Human-readable body text for the error response.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ParseError::Malformed(why) => why,
+            ParseError::MethodNotAllowed => "method not allowed",
+            ParseError::HeadersTooLarge => "request head exceeds 8 KiB",
+            ParseError::BodyTooLarge => "request body exceeds 64 KiB",
+            ParseError::UnsupportedVersion => "only HTTP/1.0 and HTTP/1.1 are supported",
+        }
+    }
+}
+
+/// Outcome of one incremental parse attempt at the front of a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// The buffer holds a prefix of a request; read more bytes.
+    Partial,
+    /// One complete request occupying `buf[..consumed]`.
+    Complete { request: Request, consumed: usize },
+    /// Protocol error; answer with [`ParseError::status`] and close.
+    Error(ParseError),
+}
+
+/// Parses one request from the front of `buf`. Pure and restartable:
+/// callers re-invoke it with the same (grown) buffer after every read
+/// until it stops returning [`Parsed::Partial`].
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    let head_end = match find_head_end(buf) {
+        Some(i) if i + 4 <= MAX_HEAD_BYTES => i,
+        Some(_) => return Parsed::Error(ParseError::HeadersTooLarge),
+        None if buf.len() >= MAX_HEAD_BYTES => {
+            return Parsed::Error(ParseError::HeadersTooLarge)
+        }
+        None => return Parsed::Partial,
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parsed::Error(ParseError::Malformed("non-UTF-8 request head")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+
+    // Request line: exactly `METHOD SP target SP HTTP/x.y`.
+    let mut parts = request_line.split(' ');
+    let (method_tok, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && parts.next().is_none() => (m, t, v),
+        _ => {
+            return Parsed::Error(ParseError::Malformed(
+                "request line must be `METHOD PATH HTTP/1.1`",
+            ))
+        }
+    };
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Parsed::Error(ParseError::UnsupportedVersion),
+    };
+    if !method_tok.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Parsed::Error(ParseError::Malformed("method must be an uppercase token"));
+    }
+    let method = match method_tok {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => return Parsed::Error(ParseError::MethodNotAllowed),
+    };
+    if !target.starts_with('/') {
+        return Parsed::Error(ParseError::Malformed("target must be an absolute path"));
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+
+    // Headers: `Name: value`, no whitespace before the colon.
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Error(ParseError::Malformed("header line is missing a colon"));
+        };
+        if name.is_empty() || name.ends_with(|c: char| c.is_ascii_whitespace()) {
+            return Parsed::Error(ParseError::Malformed("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut content_length = 0usize;
+    for (name, value) in &headers {
+        match name.as_str() {
+            "content-length" => {
+                content_length = match value.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Parsed::Error(ParseError::Malformed("bad Content-Length"))
+                    }
+                };
+            }
+            "transfer-encoding" => {
+                return Parsed::Error(ParseError::Malformed(
+                    "chunked request bodies are not supported",
+                ))
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Parsed::Error(ParseError::BodyTooLarge);
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Parsed::Partial;
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => http10,
+    };
+
+    Parsed::Complete {
+        request: Request {
+            method,
+            path: path.to_string(),
+            query: query.to_string(),
+            headers,
+            body: buf[head_end + 4..total].to_vec(),
+            close,
+        },
+        consumed: total,
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Renders a full (non-streaming) response into `out`.
+pub fn render_response(
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    out: &mut Vec<u8>,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    out.extend_from_slice(body.len().to_string().as_bytes());
+    out.extend_from_slice(if close {
+        b"\r\nConnection: close".as_slice()
+    } else {
+        b"\r\nConnection: keep-alive".as_slice()
+    });
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Renders the head of a chunked streaming response. Streams always end
+/// with [`render_final_chunk`] followed by connection close.
+pub fn render_stream_head(status: &str, content_type: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n");
+}
+
+/// Renders one non-empty chunk. Empty payloads are skipped — a zero
+/// chunk would terminate the stream.
+pub fn render_chunk(payload: &[u8], out: &mut Vec<u8>) {
+    if payload.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Renders the stream-terminating zero chunk.
+pub fn render_final_chunk(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"0\r\n\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected complete request, got {other:?}"),
+        }
+    }
+
+    fn error(buf: &[u8]) -> ParseError {
+        match parse_request(buf) {
+            Parsed::Error(e) => e,
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_get_parses() {
+        let (req, consumed) = complete(b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "");
+        assert!(req.headers.is_empty());
+        assert!(req.body.is_empty());
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(consumed, b"GET /metrics HTTP/1.1\r\n\r\n".len());
+    }
+
+    #[test]
+    fn query_splits_off_the_path() {
+        let (req, _) = complete(b"GET /events?n=5&follow=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(req.path, "/events");
+        assert_eq!(req.query, "n=5&follow=1");
+    }
+
+    #[test]
+    fn headers_lowercase_names_and_trim_values() {
+        let (req, _) =
+            complete(b"GET / HTTP/1.1\r\nHost: localhost\r\nX-Thing:  padded  \r\n\r\n");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("x-thing"), Some("padded"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn post_body_respects_content_length() {
+        let (req, consumed) =
+            complete(b"POST /control HTTP/1.1\r\nContent-Length: 9\r\n\r\npolicy=umEXTRA");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"policy=um");
+        // The pipelined "EXTRA" bytes stay in the buffer.
+        assert_eq!(consumed, b"POST /control HTTP/1.1\r\nContent-Length: 9\r\n\r\npolicy=um".len());
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more_bytes() {
+        // Every strict prefix of a valid request must be Partial, never an
+        // error — this is the "request split across reads" contract.
+        let full = b"POST /control HTTP/1.1\r\nContent-Length: 7\r\n\r\npause=1";
+        for cut in 0..full.len() {
+            assert_eq!(
+                parse_request(&full[..cut]),
+                Parsed::Partial,
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        let (req, consumed) = complete(full);
+        assert_eq!(req.body, b"pause=1");
+        assert_eq!(consumed, full.len());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n".to_vec();
+        let (first, consumed) = complete(&two);
+        assert_eq!(first.path, "/healthz");
+        let (second, consumed2) = complete(&two[consumed..]);
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + consumed2, two.len());
+    }
+
+    #[test]
+    fn unknown_method_is_405() {
+        assert_eq!(error(b"DELETE /metrics HTTP/1.1\r\n\r\n"), ParseError::MethodNotAllowed);
+        assert_eq!(error(b"PATCH / HTTP/1.1\r\n\r\n"), ParseError::MethodNotAllowed);
+        assert_eq!(ParseError::MethodNotAllowed.status(), "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn garbage_method_is_400_not_405() {
+        // A lowercase or non-token "method" is a malformed request line,
+        // not a real method we decline to serve.
+        assert!(matches!(error(b"get / HTTP/1.1\r\n\r\n"), ParseError::Malformed(_)));
+        assert!(matches!(error(b"<<>> / HTTP/1.1\r\n\r\n"), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn missing_request_line_parts_are_400() {
+        for bad in [
+            b"GET\r\n\r\n".as_slice(),
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(matches!(error(bad), ParseError::Malformed(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn relative_target_is_400() {
+        assert!(matches!(error(b"GET metrics HTTP/1.1\r\n\r\n"), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn bad_version_is_505() {
+        assert_eq!(error(b"GET / HTTP/2\r\n\r\n"), ParseError::UnsupportedVersion);
+        assert_eq!(error(b"GET / FTP/1.1\r\n\r\n"), ParseError::UnsupportedVersion);
+    }
+
+    #[test]
+    fn header_without_colon_is_400() {
+        assert!(matches!(
+            error(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            ParseError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn header_name_with_trailing_space_is_400() {
+        assert!(matches!(
+            error(b"GET / HTTP/1.1\r\nBad Name : x\r\n\r\n"),
+            ParseError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn missing_crlf_terminator_is_partial_until_the_cap() {
+        // A head that never terminates is Partial while small...
+        assert_eq!(parse_request(b"GET / HTTP/1.1\r\nHost: x"), Parsed::Partial);
+        // ...and 431 once it exceeds the head budget.
+        let mut huge = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        assert_eq!(error(&huge), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn oversized_but_terminated_head_is_431() {
+        let mut req = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        req.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(error(&req), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn bad_content_length_is_400_and_huge_is_413() {
+        assert!(matches!(
+            error(b"POST /control HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            ParseError::Malformed(_)
+        ));
+        assert!(matches!(
+            error(b"POST /control HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            ParseError::Malformed(_)
+        ));
+        let huge = format!("POST /c HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(error(huge.as_bytes()), ParseError::BodyTooLarge);
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_rejected() {
+        assert!(matches!(
+            error(b"POST /control HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.close);
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(!req.close);
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let (req, _) = complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn non_utf8_head_is_400() {
+        assert!(matches!(error(b"GET /\xff HTTP/1.1\r\n\r\n"), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_rendering_round_trips() {
+        let mut out = Vec::new();
+        render_response("200 OK", "text/plain", b"hi\n", false, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi\n"));
+    }
+
+    #[test]
+    fn chunk_rendering_is_wire_exact() {
+        let mut out = Vec::new();
+        render_stream_head("200 OK", "application/x-ndjson", &mut out);
+        render_chunk(b"{\"a\":1}\n", &mut out);
+        render_chunk(b"", &mut out); // skipped: empty chunk would end the stream
+        render_final_chunk(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.ends_with("8\r\n{\"a\":1}\n\r\n0\r\n\r\n"));
+    }
+}

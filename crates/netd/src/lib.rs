@@ -1,0 +1,53 @@
+//! `dicer-netd` — the network runtime under the `dicerd` control plane.
+//!
+//! A small, dependency-free (std-only) HTTP/1.1 server built around a
+//! readiness-driven, non-blocking event loop. One thread drives every
+//! connection; handlers run inline on that thread and must be fast
+//! (render a metrics page, read a ring buffer, push a command into a
+//! mailbox — never simulate). The pieces:
+//!
+//! * [`http`] — an incremental request parser with owned buffers:
+//!   handles pipelined back-to-back requests, requests split across
+//!   arbitrarily many reads, strict errors (unknown method → 405,
+//!   oversized header block → 431, malformed anything → 400), and
+//!   response/chunk rendering helpers.
+//! * [`reactor`] — the [`Reactor`] trait: register/deregister interest
+//!   by token, poll for readiness with a timeout. The default
+//!   [`StdReactor`] is the portable fallback (no OS readiness facility
+//!   in std): it reports every registered token ready after sleeping
+//!   out the poll timeout, and the non-blocking sockets turn the false
+//!   positives into cheap `WouldBlock`s. An epoll/mio/kqueue backend
+//!   slots behind the same trait without touching the loop.
+//! * [`conn`] — the per-connection state machine: owned read/write
+//!   buffers, incremental parse → dispatch → flush, keep-alive and
+//!   pipelining, chunked streaming responses fed by a [`Streamer`],
+//!   idle timeout on deterministic loop ticks.
+//! * [`server`] — the [`EventLoop`]: accept (with a bounded connection
+//!   count checked at accept — no TOCTOU window, the loop thread owns
+//!   the count), drive every connection, sweep idle ones, and on
+//!   shutdown stop accepting, finish in-flight responses, terminate
+//!   streams with a final chunk, and drain before returning.
+//! * [`mailbox`] — a lock-free multi-producer [`Mailbox`] (Treiber
+//!   stack with a FIFO drain) for handing control commands from the
+//!   event-loop thread to a simulation thread without ever blocking
+//!   either side.
+//!
+//! The concurrency checklist this crate is written against (per the
+//! pelikan cache-architecture notes): per-connection buffers, no lock
+//! cycling on hot paths, limit checks where the owner of the resource
+//! makes the decision, and `Relaxed`/`Acquire`-`Release` atomics instead
+//! of blanket `SeqCst`.
+
+pub mod conn;
+pub mod http;
+pub mod mailbox;
+pub mod reactor;
+pub mod server;
+
+pub use http::{Method, ParseError, Parsed, Request};
+pub use mailbox::Mailbox;
+pub use reactor::{Readiness, Reactor, StdReactor, Token};
+pub use server::{
+    EventLoop, Handler, NetConfig, NoMetrics, Reply, ReplyKind, ServerMetrics, StreamStatus,
+    Streamer,
+};

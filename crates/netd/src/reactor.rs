@@ -1,0 +1,139 @@
+//! The readiness abstraction under the event loop.
+//!
+//! [`Reactor`] is the seam where an OS readiness facility (epoll, kqueue,
+//! mio's portable wrapper, io_uring's poll mode) would plug in. The event
+//! loop only ever asks three things: track this token, stop tracking it,
+//! and "which tokens are ready right now (waiting at most this long)?".
+//!
+//! The default [`StdReactor`] is the zero-dependency fallback: std has no
+//! readiness API, so it *assumes* every registered token is ready after
+//! sleeping out the poll timeout. Combined with non-blocking sockets this
+//! is a correct (level-triggered, conservative) approximation — a
+//! not-actually-ready socket costs one `WouldBlock` syscall per tick, and
+//! the event loop's adaptive timeout (zero while work is flowing, one
+//! tick when idle) keeps both latency and idle CPU acceptable. A real
+//! backend would return only genuinely ready tokens and could block far
+//! longer when idle.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Opaque registration identifier chosen by the event loop.
+pub type Token = usize;
+
+/// One poll result: a token and the directions it is (assumed) ready in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    pub token: Token,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// A pluggable readiness backend. Implementations may ignore `fd` (the
+/// portable fallback does) or hand it to the OS (an epoll backend would).
+pub trait Reactor {
+    /// Starts tracking `token`. Re-registering an existing token is a
+    /// no-op refresh.
+    fn register(&mut self, fd: RawFd, token: Token) -> io::Result<()>;
+
+    /// Stops tracking `token`. Unknown tokens are ignored.
+    fn deregister(&mut self, token: Token);
+
+    /// Waits up to `timeout` and appends ready registrations to `events`
+    /// (which the caller has cleared). A zero timeout must not sleep.
+    fn poll(&mut self, timeout: Duration, events: &mut Vec<Readiness>) -> io::Result<()>;
+}
+
+/// Portable std-only backend: sleep out the timeout, then report every
+/// registered token ready in both directions. Deterministic iteration
+/// order (tokens ascend) so the event loop services connections fairly
+/// and reproducibly.
+#[derive(Debug, Default)]
+pub struct StdReactor {
+    tokens: BTreeSet<Token>,
+}
+
+impl StdReactor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked registrations.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl Reactor for StdReactor {
+    fn register(&mut self, _fd: RawFd, token: Token) -> io::Result<()> {
+        self.tokens.insert(token);
+        Ok(())
+    }
+
+    fn deregister(&mut self, token: Token) {
+        self.tokens.remove(&token);
+    }
+
+    fn poll(&mut self, timeout: Duration, events: &mut Vec<Readiness>) -> io::Result<()> {
+        if !timeout.is_zero() {
+            std::thread::sleep(timeout);
+        }
+        events.extend(
+            self.tokens
+                .iter()
+                .map(|&token| Readiness { token, readable: true, writable: true }),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_tokens_report_ready_in_ascending_order() {
+        let mut r = StdReactor::new();
+        for t in [7usize, 3, 5] {
+            r.register(-1, t).unwrap();
+        }
+        let mut events = Vec::new();
+        r.poll(Duration::ZERO, &mut events).unwrap();
+        let tokens: Vec<usize> = events.iter().map(|e| e.token).collect();
+        assert_eq!(tokens, vec![3, 5, 7]);
+        assert!(events.iter().all(|e| e.readable && e.writable));
+    }
+
+    #[test]
+    fn deregister_removes_and_reregister_is_idempotent() {
+        let mut r = StdReactor::new();
+        r.register(-1, 1).unwrap();
+        r.register(-1, 1).unwrap();
+        assert_eq!(r.len(), 1);
+        r.deregister(1);
+        r.deregister(1); // unknown token: ignored
+        assert!(r.is_empty());
+        let mut events = Vec::new();
+        r.poll(Duration::ZERO, &mut events).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn zero_timeout_does_not_sleep() {
+        let mut r = StdReactor::new();
+        r.register(-1, 1).unwrap();
+        let t0 = std::time::Instant::now();
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            events.clear();
+            r.poll(Duration::ZERO, &mut events).unwrap();
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100), "zero-timeout polls must be cheap");
+    }
+}

@@ -1,0 +1,633 @@
+//! The event loop: one thread, every connection.
+//!
+//! [`EventLoop`] accepts on a non-blocking listener, drives each
+//! [`Conn`](crate::conn::Conn) through its state machine, sweeps idle
+//! connections on deterministic loop ticks, and on shutdown drains
+//! in-flight work before returning: accepting stops, pending responses
+//! flush, chunked streams get their terminating zero chunk. Handlers run
+//! inline on the loop thread and must not block.
+
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::conn::Conn;
+use crate::http::{render_response, Request};
+use crate::reactor::{Reactor, Readiness, StdReactor, Token};
+
+/// A streaming response body. The event loop polls it whenever the
+/// connection's write buffer has room; it appends raw payload bytes
+/// (chunk framing is the loop's job) and says whether the stream is done.
+/// `shutting_down` is true once the server is draining — a polite
+/// streamer finishes promptly so the loop can close the connection.
+pub trait Streamer: Send {
+    fn poll(&mut self, out: &mut Vec<u8>, shutting_down: bool) -> StreamStatus;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// More payload may come later; poll again next pass.
+    Pending,
+    /// The stream is complete; terminate the chunked body.
+    Done,
+}
+
+/// What a handler answers a request with.
+pub struct Reply {
+    /// Bounded-cardinality route label for per-endpoint metrics
+    /// (`"/metrics"`, `"/events"`, ..., `"other"` — never the raw path).
+    pub endpoint: &'static str,
+    pub kind: ReplyKind,
+}
+
+pub enum ReplyKind {
+    Full { status: &'static str, content_type: &'static str, body: Vec<u8> },
+    Stream { status: &'static str, content_type: &'static str, streamer: Box<dyn Streamer> },
+}
+
+impl Reply {
+    pub fn full(
+        endpoint: &'static str,
+        status: &'static str,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> Self {
+        Reply { endpoint, kind: ReplyKind::Full { status, content_type, body: body.into() } }
+    }
+
+    pub fn stream(
+        endpoint: &'static str,
+        status: &'static str,
+        content_type: &'static str,
+        streamer: Box<dyn Streamer>,
+    ) -> Self {
+        Reply { endpoint, kind: ReplyKind::Stream { status, content_type, streamer } }
+    }
+}
+
+/// Request dispatch. Runs inline on the event-loop thread.
+pub trait Handler {
+    fn handle(&mut self, req: &Request) -> Reply;
+}
+
+/// Observability hooks the loop fires as connections come and go. The
+/// daemon maps these onto its metrics registry; everything defaults to
+/// a no-op so tests can ignore them.
+pub trait ServerMetrics: Send + Sync {
+    fn conn_accepted(&self) {}
+    fn conn_closed(&self) {}
+    fn conn_rejected_at_limit(&self) {}
+    fn parse_error(&self) {}
+    fn request_served(&self, _endpoint: &str, _seconds: f64) {}
+    fn stream_started(&self, _endpoint: &str) {}
+    fn conns_active(&self, _n: usize) {}
+}
+
+/// The default no-op metrics sink.
+pub struct NoMetrics;
+impl ServerMetrics for NoMetrics {}
+
+/// Event-loop tuning. The defaults suit an interactive control plane.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Concurrent-connection bound, checked at accept (connection number
+    /// `max_conns + 1` is answered `503` and closed immediately).
+    pub max_conns: usize,
+    /// Poll timeout while idle; also the duration of one logical tick.
+    pub tick: Duration,
+    /// Close a connection after this many ticks without progress.
+    pub idle_ticks: u64,
+    /// Shutdown drain budget, in ticks; connections still alive after it
+    /// are closed forcibly.
+    pub drain_ticks: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_conns: 1024,
+            tick: Duration::from_millis(1),
+            idle_ticks: 10_000, // ~10 s at the default tick
+            drain_ticks: 2_000, // ~2 s
+        }
+    }
+}
+
+const LISTENER_TOKEN: Token = 0;
+
+/// One thread, one listener, many connections.
+pub struct EventLoop<H: Handler, R: Reactor = StdReactor> {
+    listener: TcpListener,
+    reactor: R,
+    conns: BTreeMap<Token, Conn>,
+    next_token: Token,
+    handler: H,
+    metrics: Arc<dyn ServerMetrics>,
+    cfg: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    /// Logical clock: one increment per *slept* poll (busy passes do not
+    /// age connections, so the idle timeout tracks real quiet time).
+    tick: u64,
+}
+
+impl<H: Handler> EventLoop<H, StdReactor> {
+    /// An event loop on the portable std reactor.
+    pub fn new(
+        listener: TcpListener,
+        handler: H,
+        shutdown: Arc<AtomicBool>,
+        metrics: Arc<dyn ServerMetrics>,
+        cfg: NetConfig,
+    ) -> io::Result<Self> {
+        Self::with_reactor(listener, StdReactor::new(), handler, shutdown, metrics, cfg)
+    }
+}
+
+impl<H: Handler, R: Reactor> EventLoop<H, R> {
+    /// An event loop on an explicit reactor backend.
+    pub fn with_reactor(
+        listener: TcpListener,
+        mut reactor: R,
+        handler: H,
+        shutdown: Arc<AtomicBool>,
+        metrics: Arc<dyn ServerMetrics>,
+        cfg: NetConfig,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        reactor.register(listener.as_raw_fd(), LISTENER_TOKEN)?;
+        Ok(EventLoop {
+            listener,
+            reactor,
+            conns: BTreeMap::new(),
+            next_token: LISTENER_TOKEN + 1,
+            handler,
+            metrics,
+            cfg,
+            shutdown,
+            tick: 0,
+        })
+    }
+
+    /// The bound address (port 0 resolves here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Access to the handler (final-state inspection in tests).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Runs until the shutdown flag is set and the drain completes.
+    pub fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Readiness> = Vec::new();
+        let mut last_pass_progressed = true;
+        let mut drain_started: Option<u64> = None;
+        loop {
+            let shutting_down = self.shutdown.load(Ordering::Relaxed);
+            // Adaptive timeout: busy passes re-poll immediately, idle
+            // passes sleep one tick. Only slept passes advance the
+            // logical clock.
+            let timeout = if last_pass_progressed { Duration::ZERO } else { self.cfg.tick };
+            events.clear();
+            self.reactor.poll(timeout, &mut events)?;
+            if !timeout.is_zero() {
+                self.tick += 1;
+            }
+
+            let mut progressed = false;
+            if !shutting_down && events.iter().any(|e| e.token == LISTENER_TOKEN) {
+                progressed |= self.accept_burst()?;
+            }
+
+            // Drive every connection the reactor reported ready. The
+            // portable reactor reports all of them; a real backend
+            // narrows this to genuine readiness.
+            let mut closed: Vec<Token> = Vec::new();
+            for ev in events.iter().filter(|e| e.token != LISTENER_TOKEN) {
+                let Some(conn) = self.conns.get_mut(&ev.token) else { continue };
+                let out = conn.drive(&mut self.handler, &*self.metrics, self.tick, shutting_down);
+                progressed |= out.progressed;
+                if out.done {
+                    closed.push(ev.token);
+                }
+            }
+
+            // Idle sweep, once per logical tick.
+            if !timeout.is_zero() {
+                let (tick, idle_ticks) = (self.tick, self.cfg.idle_ticks);
+                for (&token, conn) in &self.conns {
+                    // A streaming connection is legitimately quiet while
+                    // its source has nothing new; only request/response
+                    // conns age out.
+                    if tick.saturating_sub(conn.last_active_tick) > idle_ticks
+                        && !conn.is_streaming()
+                        && !closed.contains(&token)
+                    {
+                        closed.push(token);
+                    }
+                }
+            }
+            for token in closed {
+                // Count the close before dropping the socket: a client
+                // observing our FIN must already see the metric.
+                if let Some(conn) = self.conns.remove(&token) {
+                    self.reactor.deregister(token);
+                    self.metrics.conn_closed();
+                    drop(conn);
+                }
+            }
+            self.metrics.conns_active(self.conns.len());
+
+            if shutting_down {
+                let started = *drain_started.get_or_insert(self.tick);
+                let budget_spent = self.tick.saturating_sub(started) > self.cfg.drain_ticks;
+                if self.conns.is_empty() || budget_spent {
+                    for &token in self.conns.keys() {
+                        self.reactor.deregister(token);
+                        self.metrics.conn_closed();
+                    }
+                    self.conns.clear();
+                    self.metrics.conns_active(0);
+                    return Ok(());
+                }
+            }
+            last_pass_progressed = progressed;
+        }
+    }
+
+    /// Accepts every queued connection, enforcing the bound at the one
+    /// place the count can change (this thread owns `conns`, so the
+    /// check and the insert are a single atomic step by construction).
+    fn accept_burst(&mut self) -> io::Result<bool> {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if self.conns.len() >= self.cfg.max_conns {
+                        self.metrics.conn_rejected_at_limit();
+                        reject_over_limit(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.reactor.register(stream.as_raw_fd(), token).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream, self.tick));
+                    self.metrics.conn_accepted();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(progressed)
+    }
+}
+
+/// Best-effort `503` to a connection over the limit. One non-blocking
+/// write; if the kernel won't take it the close alone tells the story.
+fn reject_over_limit(stream: TcpStream) {
+    let mut out = Vec::new();
+    render_response(
+        "503 Service Unavailable",
+        "text/plain",
+        b"connection limit reached\n",
+        true,
+        &mut out,
+    );
+    let _ = stream.set_nonblocking(true);
+    let mut s = stream;
+    let _ = s.write(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Read};
+    use std::sync::atomic::AtomicUsize;
+
+    /// Echo-ish test handler: GET /ping -> pong; GET /big -> 64 KiB body;
+    /// GET /stream?k=N -> N chunked lines; everything else 404.
+    struct TestHandler;
+
+    struct CountingStreamer {
+        remaining: usize,
+    }
+    impl Streamer for CountingStreamer {
+        fn poll(&mut self, out: &mut Vec<u8>, shutting_down: bool) -> StreamStatus {
+            if shutting_down || self.remaining == 0 {
+                return StreamStatus::Done;
+            }
+            self.remaining -= 1;
+            out.extend_from_slice(format!("line-{}\n", self.remaining).as_bytes());
+            if self.remaining == 0 {
+                StreamStatus::Done
+            } else {
+                StreamStatus::Pending
+            }
+        }
+    }
+
+    impl Handler for TestHandler {
+        fn handle(&mut self, req: &Request) -> Reply {
+            match req.path.as_str() {
+                "/ping" => Reply::full("/ping", "200 OK", "text/plain", "pong\n"),
+                "/big" => {
+                    Reply::full("/big", "200 OK", "text/plain", vec![b'x'; 64 * 1024])
+                }
+                "/stream" => {
+                    let k = req
+                        .query
+                        .strip_prefix("k=")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(3usize);
+                    Reply::stream(
+                        "/stream",
+                        "200 OK",
+                        "text/plain",
+                        Box::new(CountingStreamer { remaining: k }),
+                    )
+                }
+                _ => Reply::full("other", "404 Not Found", "text/plain", "not found\n"),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct CountingMetrics {
+        accepted: AtomicUsize,
+        closed: AtomicUsize,
+        rejected: AtomicUsize,
+        parse_errors: AtomicUsize,
+        requests: AtomicUsize,
+    }
+    impl ServerMetrics for CountingMetrics {
+        fn conn_accepted(&self) {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        fn conn_closed(&self) {
+            self.closed.fetch_add(1, Ordering::Relaxed);
+        }
+        fn conn_rejected_at_limit(&self) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        fn parse_error(&self) {
+            self.parse_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        fn request_served(&self, _endpoint: &str, _seconds: f64) {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    struct Harness {
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+        metrics: Arc<CountingMetrics>,
+        thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+    }
+
+    impl Harness {
+        fn start(cfg: NetConfig) -> Self {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let metrics = Arc::new(CountingMetrics::default());
+            let mut el = EventLoop::new(
+                listener,
+                TestHandler,
+                shutdown.clone(),
+                metrics.clone() as Arc<dyn ServerMetrics>,
+                cfg,
+            )
+            .unwrap();
+            let addr = el.local_addr().unwrap();
+            let thread = std::thread::spawn(move || el.run());
+            Harness { addr, shutdown, metrics, thread: Some(thread) }
+        }
+
+        fn connect(&self) -> TcpStream {
+            let s = TcpStream::connect(self.addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        }
+
+        fn stop(mut self) {
+            self.shutdown.store(true, Ordering::Relaxed);
+            self.thread.take().unwrap().join().unwrap().unwrap();
+        }
+    }
+
+    impl Drop for Harness {
+        fn drop(&mut self) {
+            self.shutdown.store(true, Ordering::Relaxed);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Reads one full response off `r`, returning (status line, body).
+    fn read_response(r: &mut BufReader<TcpStream>) -> (String, Vec<u8>) {
+        let mut status = String::new();
+        r.read_line(&mut status).unwrap();
+        let mut content_length = None;
+        let mut chunked = false;
+        loop {
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = Some(v.trim().parse::<usize>().unwrap());
+            }
+            if lower == "transfer-encoding: chunked" {
+                chunked = true;
+            }
+        }
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let mut size_line = String::new();
+                r.read_line(&mut size_line).unwrap();
+                let size = usize::from_str_radix(size_line.trim_end(), 16).unwrap();
+                let mut chunk = vec![0u8; size + 2];
+                r.read_exact(&mut chunk).unwrap();
+                if size == 0 {
+                    break;
+                }
+                body.extend_from_slice(&chunk[..size]);
+            }
+        } else {
+            let n = content_length.expect("response needs Content-Length or chunked");
+            body = vec![0u8; n];
+            r.read_exact(&mut body).unwrap();
+        }
+        (status.trim_end().to_string(), body)
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        for _ in 0..3 {
+            r.get_mut().write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+            let (status, body) = read_response(&mut r);
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(body, b"pong\n");
+        }
+        assert_eq!(h.metrics.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(h.metrics.accepted.load(Ordering::Relaxed), 1);
+        h.stop();
+    }
+
+    #[test]
+    fn pipelined_requests_get_every_response_in_order() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        r.get_mut()
+            .write_all(b"GET /ping HTTP/1.1\r\n\r\nGET /missing HTTP/1.1\r\n\r\nGET /ping HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let (s1, b1) = read_response(&mut r);
+        let (s2, _) = read_response(&mut r);
+        let (s3, b3) = read_response(&mut r);
+        assert_eq!((s1.as_str(), b1.as_slice()), ("HTTP/1.1 200 OK", b"pong\n".as_slice()));
+        assert_eq!(s2, "HTTP/1.1 404 Not Found");
+        assert_eq!((s3.as_str(), b3.as_slice()), ("HTTP/1.1 200 OK", b"pong\n".as_slice()));
+        h.stop();
+    }
+
+    #[test]
+    fn request_split_across_many_writes_still_parses() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        for byte in b"GET /ping HTTP/1.1\r\n\r\n" {
+            r.get_mut().write_all(&[*byte]).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (status, body) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, b"pong\n");
+        h.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        r.get_mut().write_all(b"this is not http\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+        // Connection closes after the error response.
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(h.metrics.parse_errors.load(Ordering::Relaxed), 1);
+        h.stop();
+    }
+
+    #[test]
+    fn unknown_method_gets_405() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        r.get_mut().write_all(b"BREW /coffee HTTP/1.1\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+        h.stop();
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_503_at_accept() {
+        let h = Harness::start(NetConfig { max_conns: 2, ..NetConfig::default() });
+        let mut a = BufReader::new(h.connect());
+        let mut b = BufReader::new(h.connect());
+        // Poke both so the loop surely accepted them before the third.
+        for r in [&mut a, &mut b] {
+            r.get_mut().write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+            read_response(r);
+        }
+        let mut c = BufReader::new(h.connect());
+        c.get_mut().write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut c);
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        assert_eq!(h.metrics.rejected.load(Ordering::Relaxed), 1);
+        // The bounded connections still work.
+        a.get_mut().write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut a);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        h.stop();
+    }
+
+    #[test]
+    fn chunked_stream_delivers_every_line_then_closes() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        r.get_mut().write_all(b"GET /stream?k=5 HTTP/1.1\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let text = String::from_utf8(body).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.starts_with("line-4\n"));
+        let mut rest = Vec::new();
+        r.get_mut().read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "stream responses close the connection");
+        h.stop();
+    }
+
+    #[test]
+    fn idle_connections_are_swept_on_ticks() {
+        let h = Harness::start(NetConfig {
+            tick: Duration::from_millis(1),
+            idle_ticks: 20,
+            ..NetConfig::default()
+        });
+        let mut r = BufReader::new(h.connect());
+        r.get_mut().write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        read_response(&mut r);
+        // Go quiet: the sweep should close us well inside 10 s.
+        let mut rest = Vec::new();
+        r.get_mut().read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(h.metrics.closed.load(Ordering::Relaxed), 1);
+        h.stop();
+    }
+
+    #[test]
+    fn shutdown_drains_big_in_flight_responses() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        r.get_mut().write_all(b"GET /big HTTP/1.1\r\n\r\n").unwrap();
+        // Trigger shutdown immediately; the 64 KiB body must still arrive
+        // in full before the loop exits.
+        h.shutdown.store(true, Ordering::Relaxed);
+        let (status, body) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body.len(), 64 * 1024);
+        h.stop();
+    }
+
+    #[test]
+    fn shutdown_terminates_streams_with_a_final_chunk() {
+        let h = Harness::start(NetConfig::default());
+        let mut r = BufReader::new(h.connect());
+        // A very long stream: shutdown must end it promptly and cleanly.
+        r.get_mut().write_all(b"GET /stream?k=1000000 HTTP/1.1\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        h.shutdown.store(true, Ordering::Relaxed);
+        // read_response only returns once the zero chunk arrives.
+        let (status, _) = read_response(&mut r);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        h.stop();
+    }
+}

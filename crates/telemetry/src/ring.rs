@@ -75,6 +75,41 @@ impl RingRecorder {
         entries.into_iter().map(|(_, ev)| ev).collect()
     }
 
+    /// The cursor one past the newest event emitted so far. A reader that
+    /// starts here sees only events emitted after the call.
+    pub fn cursor_now(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Non-destructive cursor read: every retained event with sequence
+    /// `>= cursor`, oldest first, capped at `max`. Returns
+    /// `(events, next_cursor, skipped)` where `next_cursor` resumes the
+    /// read after the last returned event and `skipped` counts events in
+    /// `[cursor, ..)` that were already overwritten — a slow reader loses
+    /// the oldest events (drop-oldest) and learns how many, instead of
+    /// ever blocking a producer.
+    pub fn read_since(&self, cursor: u64, max: usize) -> (Vec<TelemetryEvent>, u64, u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let mut entries: Vec<(u64, TelemetryEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .filter(|(seq, _)| *seq >= cursor)
+            .collect();
+        entries.sort_unstable_by_key(|(seq, _)| *seq);
+        // Anything between `cursor` and the first retained sequence was
+        // overwritten before this reader got to it.
+        let skipped = match entries.first() {
+            Some((first, _)) => first.saturating_sub(cursor),
+            None => head.saturating_sub(cursor),
+        };
+        if entries.len() > max {
+            entries.truncate(max);
+        }
+        let next = entries.last().map(|(seq, _)| seq + 1).unwrap_or_else(|| head.max(cursor));
+        (entries.into_iter().map(|(_, ev)| ev).collect(), next, skipped)
+    }
+
     /// Remove and return every retained event, oldest first, and reset
     /// the [`RingRecorder::dropped`] counter: a drain is a reader catching
     /// up, so earlier overwrites become observed history rather than
@@ -205,6 +240,69 @@ mod tests {
         ring.emit(&fault("b"));
         assert_eq!(ring.dropped(), 1);
         assert_eq!(ring.recent(10), vec![fault("b")]);
+    }
+
+    #[test]
+    fn cursor_reads_resume_exactly_where_they_left_off() {
+        let ring = RingRecorder::new(8);
+        let start = ring.cursor_now();
+        assert_eq!(start, 0);
+        for i in 0..5 {
+            ring.emit(&numbered(i));
+        }
+        let (evs, next, skipped) = ring.read_since(start, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!((next, skipped), (5, 0));
+        // Nothing new yet: empty read, cursor unchanged.
+        let (evs, next2, skipped) = ring.read_since(next, 100);
+        assert!(evs.is_empty());
+        assert_eq!((next2, skipped), (5, 0));
+        // More events arrive; the resumed cursor sees exactly those.
+        for i in 5..8 {
+            ring.emit(&numbered(i));
+        }
+        let (evs, next3, skipped) = ring.read_since(next2, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!((next3, skipped), (8, 0));
+        // Non-destructive: the ring still drains in full.
+        assert_eq!(ring.drain().len(), 8);
+    }
+
+    #[test]
+    fn cursor_read_caps_at_max_and_next_resumes_midstream() {
+        let ring = RingRecorder::new(16);
+        for i in 0..10 {
+            ring.emit(&numbered(i));
+        }
+        let (evs, next, skipped) = ring.read_since(0, 4);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!((next, skipped), (4, 0));
+        let (evs, next, _) = ring.read_since(next, 4);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(next, 8);
+    }
+
+    #[test]
+    fn slow_cursor_reader_skips_overwritten_events_and_says_how_many() {
+        let ring = RingRecorder::new(4);
+        for i in 0..10 {
+            ring.emit(&numbered(i));
+        }
+        // Events 0..6 were overwritten; a reader from 0 gets the retained
+        // tail plus an exact skip count.
+        let (evs, next, skipped) = ring.read_since(0, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!((next, skipped), (10, 6));
+        // A cursor entirely below the retained window, with nothing
+        // retained above it after a drain, reports everything skipped.
+        ring.drain();
+        let (evs, next, skipped) = ring.read_since(2, 100);
+        assert!(evs.is_empty());
+        assert_eq!((next, skipped), (10, 8));
+        // A nonsense future cursor is clamped harmlessly.
+        let (evs, next, skipped) = ring.read_since(99, 100);
+        assert!(evs.is_empty());
+        assert_eq!((next, skipped), (99, 0));
     }
 
     #[test]

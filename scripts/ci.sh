@@ -21,11 +21,16 @@
 #              scheduler study (results/fleet_study.json, asserts
 #              sensitivity-aware packing beats round-robin), a dicer-trace
 #              round trip (record a trace, render the report, JSON-validate
-#              the Chrome export), and a dicerd daemon smoke test.
-#   --fast     clippy plus controller-stack unit tests, the conformance,
-#              fault-injection, sweep-determinism and fleet-determinism
-#              suites, the placement-signal clause check, and the
-#              controller-registry coverage check — the inner-loop tier.
+#              the Chrome export), the dicerd load test
+#              (results/BENCH_dicerd.json, >15% req/s regression gated),
+#              and a dicerd daemon smoke test (endpoints, conn metrics,
+#              live POST /control retargeting).
+#   --fast     clippy plus controller-stack + netd unit tests, the
+#              conformance, fault-injection, sweep-determinism and
+#              fleet-determinism suites, the dicerd API suite (concurrent
+#              clients, control conformance, drain-on-quit), the
+#              placement-signal clause check, and the controller-registry
+#              coverage check — the inner-loop tier.
 #   --update-baselines
 #              run the full tier but skip the perf regression gates,
 #              letting the freshly written BENCH_*.json files become the
@@ -66,19 +71,27 @@ if [ "$fast" -eq 1 ]; then
     # Scoped to the controller-stack crates the fast tier tests; the
     # workspace-wide sweep (which also lints the proptest suites) runs in
     # the full tier.
-    step "cargo clippy -D warnings (controller stack)"
+    step "cargo clippy -D warnings (controller stack + netd)"
     if cargo clippy --version >/dev/null 2>&1; then
         cargo clippy -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry \
-            --all-targets -- -D warnings || fail=1
+            -p dicer-netd --all-targets -- -D warnings || fail=1
     else
         echo "skipped: clippy not installed"
     fi
 
-    step "cargo test (controller stack units)"
-    cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry --lib || fail=1
+    step "cargo test (controller stack + netd units)"
+    cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry \
+        -p dicer-netd --lib || fail=1
 
     step "cargo test (conformance + fault injection)"
     cargo test -q --test controller_conformance --test fault_injection || fail=1
+
+    step "cargo test (dicerd API: concurrent clients, /control conformance, drain-on-quit)"
+    # The full daemon on ephemeral ports: >=8 concurrent clients (valid,
+    # keep-alive, and malformed traffic) must all get well-formed
+    # responses; POST /control must follow its accepted/rejected table;
+    # /quit must drain in-flight connections before the threads join.
+    cargo test -q --test dicerd_api || fail=1
 
     step "registry coverage (every registered controller passes the contract)"
     # The conformance kit fails this test if any controller in the standard
@@ -321,7 +334,46 @@ PY
 fi
 rm -rf "$trace_dir"
 
-step "dicerd smoke test (start, scrape, shut down)"
+step "dicerd load test (results/BENCH_dicerd.json, req/s gate vs baseline)"
+# In-process daemon, 12 concurrent keep-alive clients, every response
+# strictly validated (the binary exits non-zero on a single malformed
+# one). The gate fails CI on a >15% requests/sec drop vs the committed
+# baseline; latency percentiles are recorded for inspection but not
+# gated (they track the poll tick, not the code under test).
+dicerd_baseline="$(mktemp)"
+git show HEAD:results/BENCH_dicerd.json > "$dicerd_baseline" 2>/dev/null || true
+cargo run -q --release -p dicer-bench --bin dicerd_loadgen || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the dicerd req/s gate." >&2
+    elif [ ! -s "$dicerd_baseline" ]; then
+        echo "note: no committed BENCH_dicerd.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_dicerd.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        python3 - "$dicerd_baseline" results/BENCH_dicerd.json <<'PY' || { echo "dicerd throughput regressed >15% vs the committed baseline" >&2; fail=1; }
+import json, sys
+TOLERANCE = 0.15
+base, cur = (json.load(open(p)) for p in sys.argv[1:3])
+bad = 0
+if cur["malformed"] != 0:
+    print(f"  {cur['malformed']} malformed responses under load", file=sys.stderr)
+    bad += 1
+old, new = base["requests_per_sec"], cur["requests_per_sec"]
+delta = (new - old) / old
+verdict = "FAIL" if delta < -TOLERANCE else "ok"
+print(f"  load test: {old:.0f} -> {new:.0f} req/s ({delta:+.1%}) {verdict}")
+print(f"  latency: p50 {cur['latency_us']['p50']:.0f}us, p99 {cur['latency_us']['p99']:.0f}us, p999 {cur['latency_us']['p999']:.0f}us")
+if delta < -TOLERANCE:
+    bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the dicerd req/s gate"
+    fi
+fi
+rm -f "$dicerd_baseline"
+
+step "dicerd smoke test (start, scrape, retarget, shut down)"
 DICERD_PORT="${DICERD_PORT:-18950}"
 if command -v curl >/dev/null 2>&1; then
     cargo build -q --bin dicerd || fail=1
@@ -358,6 +410,31 @@ if command -v curl >/dev/null 2>&1; then
             [ "$code" = "400" ] || { echo "unknown /events param must 400 (got $code)" >&2; fail=1; }
             code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/fleet")
             [ "$code" = "404" ] || { echo "/fleet without fleet mode must 404 (got $code)" >&2; fail=1; }
+            # netd connection telemetry: the event loop publishes its own
+            # accept/close counters and per-endpoint latency histograms.
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^dicer_conn_accepted_total ' \
+                || { echo "missing conn accepted counter" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/metrics" \
+                | grep -q '^# TYPE dicer_conn_request_seconds histogram$' \
+                || { echo "missing per-endpoint request histogram" >&2; fail=1; }
+            # Live retargeting: a valid control request is accepted, a
+            # malformed one is a strict 400, a GET on /control is a 405.
+            code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d 'pause=1' \
+                "http://127.0.0.1:$DICERD_PORT/control")
+            [ "$code" = "200" ] || { echo "POST /control pause=1 must 200 (got $code)" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d 'verbose=1' \
+                "http://127.0.0.1:$DICERD_PORT/control")
+            [ "$code" = "400" ] || { echo "unknown control field must 400 (got $code)" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/control")
+            [ "$code" = "405" ] || { echo "GET /control must 405 (got $code)" >&2; fail=1; }
+            # Follow mode: the chunked NDJSON stream starts promptly (the
+            # bounded read ends the connection; any output means the head
+            # and first chunk framed correctly).
+            follow_first=$(curl -sN --max-time 2 \
+                "http://127.0.0.1:$DICERD_PORT/events?follow=1&n=3" 2>/dev/null | head -c 1 || true)
+            [ "$follow_first" = "{" ] \
+                || { echo "/events?follow=1 produced no NDJSON" >&2; fail=1; }
         fi
         # Clean shutdown via /quit; escalate to kill if it lingers.
         curl -s "http://127.0.0.1:$DICERD_PORT/quit" >/dev/null 2>&1 || true

@@ -5,201 +5,56 @@
 //! DICER deployment would run against resctrl. Every run is wired to the
 //! telemetry bus: a bounded ring buffer retains recent events and a
 //! metrics sink folds the stream into Prometheus series, served over a
-//! small built-in HTTP endpoint (std `TcpListener`; no external deps).
+//! readiness-driven event loop ([`dicer::netd`]; one network thread, many
+//! concurrent connections, no external deps).
 //!
 //! ```text
 //! dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]
-//!        [--ring-cap N] [--max-runs N] [--pause-ms N]
+//!        [--ring-cap N] [--max-runs N] [--pause-ms N] [--max-conns N]
 //!        [--fleet-nodes N] [--fleet-scheduler S] [--seed N]
 //! ```
 //!
 //! With `--fleet-nodes N` (N ≥ 1) the daemon becomes the *fleet control
-//! plane*: instead of one co-location it drives an N-node [`Fleet`] —
+//! plane*: instead of one co-location it drives an N-node fleet —
 //! churned arrivals placed by a scheduler, one DICER session per node —
 //! round after round, and aggregates the whole fleet into the same
 //! metrics endpoint (`dicer_node_severity{node=...}` per node, plus
 //! fleet-level worst-severity / migration gauges).
 //!
 //! Routes:
-//! - `GET /healthz`         — liveness; a small JSON body (crate version,
-//!   periods simulated so far, fleet node count, ring-buffer drops since
-//!   the last drain) with `200 OK` once the listener is up.
-//! - `GET /metrics`         — Prometheus text format 0.0.4, deterministic layout.
-//! - `GET /events?n=K`      — newest `K` (default 100) bus events as a JSON array.
-//! - `GET /fleet`           — live fleet snapshot as JSON (fleet mode only).
-//! - `GET /quit`            — clean shutdown (used by the CI smoke test).
+//! - `GET /healthz`           — liveness; a small JSON body (crate version,
+//!   periods simulated so far, fleet node count, ring-buffer drops, the
+//!   active policy/workloads and the pause state) with `200 OK`.
+//! - `GET /metrics`           — Prometheus text format 0.0.4, deterministic layout.
+//! - `GET /events?n=K`        — newest `K` (default 100) bus events as a JSON array.
+//! - `GET /events?follow=1`   — endless NDJSON stream of new events (chunked);
+//!   slow readers skip oldest events and are told how many.
+//! - `GET /fleet`             — live fleet snapshot as JSON (fleet mode only).
+//! - `POST /control`          — live retargeting: `policy=`, `hp=`, `be=`,
+//!   `pause=0|1` (form-encoded body), applied by the sim thread at the next
+//!   period boundary without a restart.
+//! - `GET /quit`              — clean shutdown: drains in-flight connections,
+//!   then joins the sim thread (used by the CI smoke test).
 //!
-//! A malformed, unknown, or duplicated query parameter on `/events` or
-//! `/fleet` is answered with `400 Bad Request` and a JSON error body
-//! (`{"error":"..."}`) — never silently ignored.
+//! A malformed, unknown, or duplicated query parameter or control field is
+//! answered with `400 Bad Request` and a JSON error body (`{"error":"..."}`)
+//! — never silently ignored.
 //!
 //! Defaults: `milc1` vs 9× `gcc_base1` on 10 cores under `dicer`,
 //! port 9090, 1024-event ring, unbounded runs, no pause between runs.
+//!
+//! The daemon itself lives in [`dicer::daemon`]; this binary only parses
+//! flags, prints the banner, and waits.
 
-use dicer::appmodel::Catalog;
-use dicer::cli::{parse_events_n, parse_flags, parse_policy, parse_query_params};
-use dicer::experiments::runner::{run_colocation_traced, MAX_PERIODS};
-use dicer::experiments::{SoloTable, SweepRunner};
-use dicer::fleet::{Fleet, FleetConfig, SchedulerKind};
-use dicer::server::ServerConfig;
-use dicer::telemetry::{
-    Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
-    TelemetryEvent, TelemetrySink, Tracer, STAGE_SECONDS_BOUNDS,
-};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use dicer::cli::{parse_flags, parse_policy};
+use dicer::daemon::{Daemon, DaemonConfig};
+use dicer::fleet::SchedulerKind;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// Folds the telemetry stream into the metrics registry. Period-sample
-/// fields land in pre-registered histograms (lock-free observes);
-/// controller and fault events count into labelled counter series.
-struct MetricsSink {
-    registry: Arc<MetricsRegistry>,
-    hp_solo_ipc: f64,
-    periods_total: Counter,
-    applies_total: Counter,
-    hp_ipc: Histogram,
-    hp_norm_ipc: Histogram,
-    total_bw: Histogram,
-    hp_ways: Histogram,
-    hp_ways_now: Gauge,
-}
-
-impl MetricsSink {
-    fn new(registry: Arc<MetricsRegistry>, hp_solo_ipc: f64, link_gbps: f64) -> Self {
-        let ipc_bounds = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0];
-        let norm_bounds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05];
-        let bw_bounds: Vec<f64> =
-            (1..=10).map(|i| link_gbps * i as f64 / 10.0).collect();
-        let way_bounds: Vec<f64> = (1..=20).map(|w| w as f64).collect();
-        MetricsSink {
-            periods_total: registry.counter(
-                "dicer_periods_total",
-                "Monitoring periods simulated",
-                &[],
-            ),
-            applies_total: registry.counter(
-                "dicer_partition_applies_total",
-                "Partition plans programmed onto the platform",
-                &[],
-            ),
-            hp_ipc: registry.histogram(
-                "dicer_hp_ipc",
-                "HP IPC per monitoring period",
-                &[],
-                &ipc_bounds,
-            ),
-            hp_norm_ipc: registry.histogram(
-                "dicer_hp_norm_ipc",
-                "HP IPC per period, normalised to the solo reference",
-                &[],
-                &norm_bounds,
-            ),
-            total_bw: registry.histogram(
-                "dicer_total_bw_gbps",
-                "Total link traffic per period, Gbps",
-                &[],
-                &bw_bounds,
-            ),
-            hp_ways: registry.histogram(
-                "dicer_hp_ways",
-                "HP cache ways in force per period",
-                &[],
-                &way_bounds,
-            ),
-            hp_ways_now: registry.gauge(
-                "dicer_hp_ways_current",
-                "HP cache ways of the most recently applied plan",
-                &[],
-            ),
-            registry,
-            hp_solo_ipc,
-        }
-    }
-}
-
-impl TelemetrySink for MetricsSink {
-    fn emit(&self, event: &TelemetryEvent) {
-        match event {
-            TelemetryEvent::Period(p) => {
-                self.periods_total.inc();
-                self.hp_ipc.observe(p.hp_ipc);
-                self.hp_norm_ipc.observe(p.hp_ipc / self.hp_solo_ipc);
-                self.total_bw.observe(p.total_bw_gbps);
-                self.hp_ways.observe(p.hp_ways as f64);
-            }
-            TelemetryEvent::Controller { event, .. } => {
-                self.registry
-                    .counter(
-                        "dicer_controller_events_total",
-                        "Controller state-machine events by kind",
-                        &[("event", event.kind())],
-                    )
-                    .inc();
-            }
-            // Registered controllers report their framework status through
-            // ControllerPolicy: one event per (state, severity) change. The
-            // severity code lands in a per-controller gauge so dashboards
-            // and alerts see "how bad is it right now" without parsing
-            // state strings; transitions also count into a labelled series.
-            TelemetryEvent::ControllerStatus { name, state, severity, .. } => {
-                self.registry
-                    .gauge(
-                        "dicer_controller_severity",
-                        "Current severity code of a registered controller \
-                         (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
-                        &[("controller", name)],
-                    )
-                    .set(*severity as f64);
-                self.registry
-                    .counter(
-                        "dicer_controller_transitions_total",
-                        "Controller (state, severity) changes by controller and state",
-                        &[("controller", name), ("state", state)],
-                    )
-                    .inc();
-            }
-            TelemetryEvent::PartitionApplied { hp_ways, .. } => {
-                self.applies_total.inc();
-                self.hp_ways_now.set(*hp_ways as f64);
-            }
-            TelemetryEvent::Fault { label } => {
-                self.registry
-                    .counter(
-                        "dicer_fault_events_total",
-                        "Injected fault events by kind",
-                        &[("event", label)],
-                    )
-                    .inc();
-            }
-            // Self-profiling: each closed span with a wall-clock reading
-            // feeds a per-stage latency histogram. Sim-clock-only spans
-            // carry no duration in seconds and are skipped.
-            TelemetryEvent::Span(s) => {
-                if let Some(wall_ns) = s.wall_ns {
-                    self.registry
-                        .histogram(
-                            "dicer_stage_seconds",
-                            "Wall-clock seconds spent per pipeline stage (from spans)",
-                            &[("stage", s.name)],
-                            &STAGE_SECONDS_BOUNDS,
-                        )
-                        .observe(wall_ns as f64 / 1e9);
-                }
-            }
-            // Scenario-trace events are not produced on the daemon's path.
-            TelemetryEvent::Decision(_) | TelemetryEvent::ScenarioSummary(_) => {}
-        }
-    }
-}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dicerd [--hp APP] [--be APP] [--cores N] [--policy P] [--port N]\n\
-         \x20             [--ring-cap N] [--max-runs N] [--pause-ms N]\n\
+         \x20             [--ring-cap N] [--max-runs N] [--pause-ms N] [--max-conns N]\n\
          \x20             [--fleet-nodes N] [--fleet-scheduler S] [--seed N]\n\
          policies: um | ct | dicer | dicer-mba | dicer-adm | dcp-qos | static:<ways> | overlap:<excl>:<shared>\n\
          schedulers: round-robin | random | sensitivity-pack | sensitivity-migrate"
@@ -222,8 +77,6 @@ fn main() -> ExitCode {
             Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
         }
     };
-    let hp_name = flags.get("hp").map(String::as_str).unwrap_or("milc1");
-    let be_name = flags.get("be").map(String::as_str).unwrap_or("gcc_base1");
     let policy = match parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dicer")) {
         Ok(p) => p,
         Err(e) => {
@@ -231,371 +84,78 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let (cores, port, ring_cap, max_runs, pause_ms, fleet_nodes, fleet_seed) = match (
+    let defaults = DaemonConfig::default();
+    let (cores, port, ring_cap, max_runs, pause_ms, max_conns, fleet_nodes, seed) = match (
         uint_flag("cores", 10),
         uint_flag("port", 9090),
         uint_flag("ring-cap", 1024),
         uint_flag("max-runs", 0),
         uint_flag("pause-ms", 0),
+        uint_flag("max-conns", defaults.net.max_conns as u64),
         uint_flag("fleet-nodes", 0),
         uint_flag("seed", 42),
     ) {
-        (Ok(c), Ok(p), Ok(r), Ok(m), Ok(w), Ok(n), Ok(s)) => {
-            (c as u32, p as u16, r as usize, m, w, n as usize, s)
+        (Ok(c), Ok(p), Ok(r), Ok(m), Ok(w), Ok(k), Ok(n), Ok(s)) => {
+            (c as u32, p as u16, r as usize, m, w, k as usize, n as usize, s)
         }
         _ => {
             eprintln!("numeric flags take unsigned integers");
             return usage();
         }
     };
-    if ring_cap == 0 {
-        eprintln!("--ring-cap must be at least 1");
-        return usage();
-    }
     let scheduler_name =
         flags.get("fleet-scheduler").map(String::as_str).unwrap_or("sensitivity-migrate");
-    let Some(scheduler_kind) = SchedulerKind::parse(scheduler_name) else {
+    let Some(fleet_scheduler) = SchedulerKind::parse(scheduler_name) else {
         eprintln!("unknown scheduler {scheduler_name:?}");
         return usage();
     };
 
-    let catalog = Catalog::paper();
-    let (Some(hp), Some(be)) = (catalog.get(hp_name), catalog.get(be_name)) else {
-        eprintln!("unknown app — try `dicer-sim catalog`");
-        return ExitCode::FAILURE;
+    let mut cfg = DaemonConfig {
+        hp: flags.get("hp").cloned().unwrap_or(defaults.hp),
+        be: flags.get("be").cloned().unwrap_or(defaults.be),
+        cores,
+        policy,
+        port,
+        ring_cap,
+        max_runs,
+        pause_ms,
+        fleet_nodes,
+        fleet_scheduler,
+        seed,
+        net: defaults.net,
     };
-    let cfg = ServerConfig::table1();
-    let solo = SoloTable::build(&catalog, cfg);
+    cfg.net.max_conns = max_conns;
 
-    let registry = Arc::new(MetricsRegistry::new());
-    let ring = Arc::new(RingRecorder::new(ring_cap));
-    let metrics_sink = Arc::new(MetricsSink::new(
-        registry.clone(),
-        solo.get(hp_name).ipc_alone,
-        cfg.link.capacity_gbps,
-    ));
-    let telemetry = Telemetry::new(Arc::new(FanoutSink::new(vec![
-        ring.clone() as Arc<dyn TelemetrySink>,
-        metrics_sink,
-    ])));
-
-    let listener = match TcpListener::bind(("127.0.0.1", port)) {
-        Ok(l) => l,
+    let handle = match Daemon::start(cfg.clone()) {
+        Ok(h) => h,
         Err(e) => {
-            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = listener.set_nonblocking(true) {
-        eprintln!("cannot set listener non-blocking: {e}");
-        return ExitCode::FAILURE;
-    }
-    let shutdown = Arc::new(AtomicBool::new(false));
-    // In fleet mode the sim thread refreshes a pre-rendered JSON snapshot
-    // after every round; `/fleet` serves it without touching the fleet.
-    let fleet_json: Option<Arc<Mutex<String>>> =
-        (fleet_nodes > 0).then(|| Arc::new(Mutex::new(String::from("{}"))));
+    let bound = handle.addr();
     if fleet_nodes > 0 {
         println!(
-            "dicerd on 127.0.0.1:{port}: fleet control plane, {fleet_nodes} nodes \
-             under {scheduler_name} (seed {fleet_seed}, {})",
+            "dicerd on {bound}: fleet control plane, {fleet_nodes} nodes \
+             under {scheduler_name} (seed {seed}, {})",
             if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} rounds") },
         );
     } else {
         println!(
-            "dicerd on 127.0.0.1:{port}: {hp_name} + {}x {be_name} under {} \
+            "dicerd on {bound}: {} + {}x {} under {} \
              (ring {ring_cap}, {})",
+            cfg.hp,
             cores - 1,
-            policy.name(),
+            cfg.be,
+            cfg.policy.name(),
             if max_runs == 0 { "unbounded".to_string() } else { format!("{max_runs} runs") },
         );
     }
-
-    // Simulation thread. Fleet mode: scheduling rounds over N node
-    // sessions, folding the fleet state into per-node and fleet-level
-    // metrics after each round. Classic mode: back-to-back co-location
-    // runs, each one feeding the shared telemetry bus plus run-level
-    // metrics.
-    let sim = if let Some(fleet_json) = fleet_json.clone() {
-        let registry = registry.clone();
-        let shutdown = shutdown.clone();
-        std::thread::spawn(move || {
-            let cfg = FleetConfig::standard(fleet_nodes, u32::MAX, fleet_seed);
-            let scheduler = scheduler_kind.build(
-                cfg.seed,
-                cfg.server.link.capacity_gbps,
-                cfg.server.cache.ways,
-                cfg.degraded_streak,
-            );
-            let mut fleet = Fleet::new(cfg, scheduler);
-            let runner = SweepRunner::auto();
-            let rounds_total = registry.counter(
-                "dicer_fleet_rounds_total",
-                "Fleet scheduling rounds completed",
-                &[],
-            );
-            let worst_severity = registry.gauge(
-                "dicer_fleet_worst_severity",
-                "Worst controller severity code across all fleet nodes \
-                 (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
-                &[],
-            );
-            let migrations_total = registry.gauge(
-                "dicer_fleet_migrations_total",
-                "Scheduler-initiated BE migrations since startup",
-                &[],
-            );
-            let mut rounds = 0u64;
-            while !shutdown.load(Ordering::Relaxed) {
-                fleet.step_round(&runner);
-                rounds_total.inc();
-                let status = fleet.status();
-                for node in &status.per_node {
-                    let id = node.node.to_string();
-                    registry
-                        .gauge(
-                            "dicer_node_severity",
-                            "Current controller severity code per fleet node \
-                             (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
-                            &[("node", &id)],
-                        )
-                        .set(node.severity.code() as f64);
-                    registry
-                        .gauge(
-                            "dicer_node_hp_slowdown",
-                            "Mean HP slowdown per fleet node since startup",
-                            &[("node", &id)],
-                        )
-                        .set(node.hp_slowdown_mean);
-                }
-                worst_severity.set(status.worst_severity.code() as f64);
-                migrations_total.set(status.migrations as f64);
-                *fleet_json.lock().unwrap() = status.to_json();
-                rounds += 1;
-                if max_runs > 0 && rounds >= max_runs {
-                    break;
-                }
-                if pause_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(pause_ms));
-                }
-            }
-        })
-    } else {
-        let registry = registry.clone();
-        let shutdown = shutdown.clone();
-        let hp = hp.clone();
-        let be = be.clone();
-        std::thread::spawn(move || {
-            let runs_total =
-                registry.counter("dicer_runs_total", "Co-location runs started", &[]);
-            let runs_completed = registry.counter(
-                "dicer_runs_completed_total",
-                "Runs in which every application finished at least once",
-                &[],
-            );
-            let run_norm_ipc = registry.histogram(
-                "dicer_run_hp_norm_ipc",
-                "Whole-run HP IPC normalised to solo",
-                &[],
-                &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05],
-            );
-            let step_seconds = registry.histogram(
-                "dicer_period_step_seconds",
-                "Mean wall-clock seconds per simulated period, one observation per run",
-                &[],
-                &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
-            );
-            let efu = registry.gauge("dicer_run_efu", "Effective Utilisation of the last run", &[]);
-            let solver = [
-                ("solves", "Equilibrium solve requests"),
-                ("cache_hits", "Solves served from the memo"),
-                ("warm_solves", "Computed solves with a warm-start bracket"),
-                ("cold_solves", "Computed solves bracketed from scratch"),
-                ("curve_evals", "Curve-evaluation rounds across computed solves"),
-                ("fingerprint_skips", "Solves skipped by the period-input fingerprint"),
-                ("evictions", "Memo entries discarded by bounded-cache clears"),
-            ]
-            .map(|(kind, help)| {
-                (kind, registry.counter("dicer_solver_events_total", help, &[("kind", kind)]))
-            });
-
-            // Wall-clock tracer: spans land on the same bus as the rest of
-            // the telemetry, so the ring shows them and the metrics sink
-            // folds their durations into dicer_stage_seconds{stage=...}.
-            let tracer = Tracer::with_wall_clock(telemetry.clone());
-            let mut runs = 0u64;
-            while !shutdown.load(Ordering::Relaxed) {
-                runs_total.inc();
-                let t0 = Instant::now();
-                let out = run_colocation_traced(
-                    &solo,
-                    &hp,
-                    &be,
-                    cores,
-                    &policy,
-                    MAX_PERIODS,
-                    &telemetry,
-                    &tracer,
-                );
-                let dt = t0.elapsed().as_secs_f64();
-                if out.completed {
-                    runs_completed.inc();
-                }
-                run_norm_ipc.observe(out.hp_norm_ipc);
-                step_seconds.observe(dt / out.periods as f64);
-                efu.set(out.efu);
-                let s = out.solver_stats;
-                for (kind, counter) in &solver {
-                    counter.add(match *kind {
-                        "solves" => s.solves,
-                        "cache_hits" => s.cache_hits,
-                        "warm_solves" => s.warm_solves,
-                        "cold_solves" => s.cold_solves,
-                        "fingerprint_skips" => s.fingerprint_skips,
-                        "evictions" => s.evictions,
-                        _ => s.curve_evals,
-                    });
-                }
-                runs += 1;
-                if max_runs > 0 && runs >= max_runs {
-                    break;
-                }
-                if pause_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(pause_ms));
-                }
-            }
-        })
-    };
-
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let registry = registry.clone();
-                let ring = ring.clone();
-                let shutdown = shutdown.clone();
-                let fleet_json = fleet_json.clone();
-                std::thread::spawn(move || {
-                    handle(stream, &registry, &ring, &shutdown, fleet_nodes, fleet_json.as_deref())
-                });
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) => {
-                eprintln!("accept failed: {e}");
-                break;
-            }
+    match handle.join() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
     }
-    shutdown.store(true, Ordering::Relaxed);
-    let _ = sim.join();
-    ExitCode::SUCCESS
-}
-
-/// Renders a client error as the JSON body every endpoint with query
-/// parameters answers 400s with.
-fn json_error(message: &str) -> String {
-    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
-    format!("{{\"error\":\"{escaped}\"}}\n")
-}
-
-/// Serves one connection: a single HTTP/1.1 request, then close.
-fn handle(
-    mut stream: TcpStream,
-    registry: &MetricsRegistry,
-    ring: &RingRecorder,
-    shutdown: &AtomicBool,
-    fleet_nodes: usize,
-    fleet_json: Option<&Mutex<String>>,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 1024];
-    // Read until the end of the request headers (the routes take no body).
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return,
-        }
-    }
-    let request = String::from_utf8_lossy(&buf);
-    let Some(line) = request.lines().next() else { return };
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
-        return;
-    };
-    if method != "GET" {
-        respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-        return;
-    }
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    match path {
-        "/healthz" => {
-            // Liveness plus a self-diagnosis snapshot. Registry lookups
-            // are idempotent, so this reads the sim thread's counter.
-            let periods = registry
-                .counter("dicer_periods_total", "Monitoring periods simulated", &[])
-                .get();
-            let body = format!(
-                "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"nodes\":{},\"events_dropped\":{}}}\n",
-                env!("CARGO_PKG_VERSION"),
-                periods,
-                fleet_nodes,
-                ring.dropped(),
-            );
-            respond(&mut stream, "200 OK", "application/json", &body);
-        }
-        "/metrics" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4",
-            &registry.render(),
-        ),
-        "/events" => match parse_events_n(query) {
-            Ok(n) => {
-                let lines: Vec<String> =
-                    ring.recent(n).iter().map(TelemetryEvent::to_json).collect();
-                let body = format!("[{}]\n", lines.join(","));
-                respond(&mut stream, "200 OK", "application/json", &body);
-            }
-            Err(e) => {
-                respond(&mut stream, "400 Bad Request", "application/json", &json_error(&e));
-            }
-        },
-        "/fleet" => match fleet_json {
-            None => respond(
-                &mut stream,
-                "404 Not Found",
-                "application/json",
-                &json_error("fleet mode is off (start dicerd with --fleet-nodes N)"),
-            ),
-            // The snapshot takes no parameters; anything in the query
-            // string is a client error, same contract as /events.
-            Some(snapshot) => match parse_query_params(query, &[]) {
-                Ok(_) => {
-                    let body = format!("{}\n", snapshot.lock().unwrap());
-                    respond(&mut stream, "200 OK", "application/json", &body);
-                }
-                Err(e) => {
-                    respond(&mut stream, "400 Bad Request", "application/json", &json_error(&e));
-                }
-            },
-        },
-        "/quit" => {
-            shutdown.store(true, Ordering::Relaxed);
-            respond(&mut stream, "200 OK", "text/plain", "shutting down\n");
-        }
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-    }
-}
-
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.flush();
 }

@@ -118,6 +118,31 @@ pub fn parse_events_n(query: &str) -> Result<usize, String> {
     }
 }
 
+/// Interprets the full `GET /events` query string of the daemon:
+/// `n=K` (positive backlog size, `None` when absent so follow mode can
+/// distinguish "no backlog asked for" from an explicit window) and
+/// `follow=0|1` (switch to streaming mode). Same strictness contract as
+/// [`parse_events_n`]: unknown keys, duplicates and malformed values are
+/// client errors.
+pub fn parse_events_query(query: &str) -> Result<(Option<usize>, bool), String> {
+    let params = parse_query_params(query, &["n", "follow"])?;
+    let n = match params.get("n") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            Ok(_) => return Err("n must be at least 1".to_string()),
+            Err(e) => return Err(format!("bad n {v:?}: {e}")),
+        },
+    };
+    let follow = match params.get("follow").map(String::as_str) {
+        None => false,
+        Some("0") => false,
+        Some("1") => true,
+        Some(other) => return Err(format!("bad follow {other:?}: must be 0 or 1")),
+    };
+    Ok((n, follow))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +234,22 @@ mod tests {
                 err.contains("query parameter"),
                 "{bad:?} must name the offending parameter: {err}"
             );
+        }
+    }
+
+    #[test]
+    fn events_query_parses_n_and_follow() {
+        assert_eq!(parse_events_query(""), Ok((None, false)));
+        assert_eq!(parse_events_query("n=7"), Ok((Some(7), false)));
+        assert_eq!(parse_events_query("follow=1"), Ok((None, true)));
+        assert_eq!(parse_events_query("follow=0"), Ok((None, false)));
+        assert_eq!(parse_events_query("n=3&follow=1"), Ok((Some(3), true)));
+    }
+
+    #[test]
+    fn malformed_events_query_is_an_error_not_a_fallback() {
+        for bad in ["n=0", "n=x", "follow=2", "follow=yes", "follow=", "tail=1", "follow=1&follow=1"] {
+            assert!(parse_events_query(bad).is_err(), "{bad:?} must be rejected");
         }
     }
 

@@ -1,0 +1,208 @@
+//! The `POST /control` command surface of `dicerd`.
+//!
+//! A control request is a tiny form-encoded body (`policy=dicer-mba`,
+//! `hp=milc1&be=lbm1`, `pause=1`, or any combination) parsed with the
+//! same strict [`parse_query_params`] contract the query strings use:
+//! unknown keys, duplicated keys, malformed values and empty requests
+//! are all client errors — never silently ignored. A validated
+//! [`ControlRequest`] travels from the HTTP handler to the simulation
+//! thread over a lock-free mailbox and is applied *between* periods, so
+//! retargeting never tears a run mid-step.
+
+use crate::cli::{parse_policy, parse_query_params};
+use dicer_policy::PolicyKind;
+
+/// One validated retargeting request. Every field is optional; at least
+/// one must be set (an empty request is a 400, not a no-op).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlRequest {
+    /// Switch the active policy (takes effect on the next run).
+    pub policy: Option<PolicyKind>,
+    /// Switch the HP application (catalog name, validated at parse time).
+    pub hp: Option<String>,
+    /// Switch the BE application (catalog name, validated at parse time).
+    pub be: Option<String>,
+    /// Pause (`true`) or resume (`false`) the simulation loop.
+    pub pause: Option<bool>,
+}
+
+impl ControlRequest {
+    /// Whether the request changes what is being simulated (policy or
+    /// workload), as opposed to only pausing/resuming. Fleet mode rejects
+    /// workload retargets (nodes run their configured mix) but accepts
+    /// pause.
+    pub fn retargets_workload(&self) -> bool {
+        self.policy.is_some() || self.hp.is_some() || self.be.is_some()
+    }
+
+    /// Summarises the accepted request as a small JSON object (the 200
+    /// response body), listing exactly the fields that were set.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![r#""status":"accepted""#.to_string()];
+        if let Some(p) = &self.policy {
+            fields.push(format!(r#""policy":"{}""#, p.name()));
+        }
+        if let Some(hp) = &self.hp {
+            fields.push(format!(r#""hp":"{hp}""#));
+        }
+        if let Some(be) = &self.be {
+            fields.push(format!(r#""be":"{be}""#));
+        }
+        if let Some(p) = self.pause {
+            fields.push(format!(r#""pause":{p}"#));
+        }
+        format!("{{{}}}\n", fields.join(","))
+    }
+}
+
+/// Parses and validates a `POST /control` body. `app_exists` answers
+/// whether a catalog application name is known (the daemon passes a
+/// lookup into its catalog), so an invalid workload is rejected at the
+/// HTTP layer — the sim thread only ever sees appliable requests.
+pub fn parse_control_body(
+    body: &str,
+    app_exists: impl Fn(&str) -> bool,
+) -> Result<ControlRequest, String> {
+    let params = parse_query_params(body.trim(), &["policy", "hp", "be", "pause"])?;
+    if params.is_empty() {
+        return Err(
+            "control request must set at least one of policy, hp, be, pause".to_string()
+        );
+    }
+    let policy = match params.get("policy") {
+        None => None,
+        Some(spec) => Some(parse_policy(spec)?),
+    };
+    let app = |key: &str| -> Result<Option<String>, String> {
+        match params.get(key) {
+            None => Ok(None),
+            Some(name) if app_exists(name) => Ok(Some(name.clone())),
+            Some(name) => Err(format!("unknown {key} application {name:?}")),
+        }
+    };
+    let hp = app("hp")?;
+    let be = app("be")?;
+    let pause = match params.get("pause").map(String::as_str) {
+        None => None,
+        Some("0") => Some(false),
+        Some("1") => Some(true),
+        Some(other) => return Err(format!("bad pause {other:?}: must be 0 or 1")),
+    };
+    Ok(ControlRequest { policy, hp, be, pause })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dicer_policy::DicerConfig;
+
+    fn apps(name: &str) -> bool {
+        ["milc1", "lbm1", "gcc_base1"].contains(&name)
+    }
+
+    /// The accepted/rejected transition table: one row per control body,
+    /// with the expected parse outcome. The daemon's HTTP layer builds
+    /// directly on this function, so the table is the API contract.
+    #[test]
+    fn control_body_transition_table() {
+        let accepted: &[(&str, ControlRequest)] = &[
+            (
+                "policy=dicer-mba",
+                ControlRequest {
+                    policy: Some(PolicyKind::DicerMba(DicerConfig::default())),
+                    hp: None,
+                    be: None,
+                    pause: None,
+                },
+            ),
+            (
+                "policy=static:7",
+                ControlRequest {
+                    policy: Some(PolicyKind::Static(7)),
+                    hp: None,
+                    be: None,
+                    pause: None,
+                },
+            ),
+            (
+                "hp=milc1&be=lbm1",
+                ControlRequest {
+                    policy: None,
+                    hp: Some("milc1".into()),
+                    be: Some("lbm1".into()),
+                    pause: None,
+                },
+            ),
+            (
+                "pause=1",
+                ControlRequest { policy: None, hp: None, be: None, pause: Some(true) },
+            ),
+            (
+                "pause=0",
+                ControlRequest { policy: None, hp: None, be: None, pause: Some(false) },
+            ),
+            (
+                "policy=um&hp=gcc_base1&be=gcc_base1&pause=0",
+                ControlRequest {
+                    policy: Some(PolicyKind::Unmanaged),
+                    hp: Some("gcc_base1".into()),
+                    be: Some("gcc_base1".into()),
+                    pause: Some(false),
+                },
+            ),
+            // Surrounding whitespace (curl -d adds none, humans might).
+            (
+                "  policy=ct  ",
+                ControlRequest {
+                    policy: Some(PolicyKind::CacheTakeover),
+                    hp: None,
+                    be: None,
+                    pause: None,
+                },
+            ),
+        ];
+        for (body, want) in accepted {
+            let got = parse_control_body(body, apps)
+                .unwrap_or_else(|e| panic!("{body:?} must parse: {e}"));
+            assert_eq!(&got, want, "{body:?}");
+        }
+
+        let rejected: &[(&str, &str)] = &[
+            ("", "at least one"),
+            ("   ", "at least one"),
+            ("policy=herakles", "unknown policy"),
+            ("policy=static:x", "bad static ways"),
+            ("hp=nosuchapp", "unknown hp application"),
+            ("be=nosuchapp", "unknown be application"),
+            ("pause=2", "must be 0 or 1"),
+            ("pause=true", "must be 0 or 1"),
+            ("pause=", "must be 0 or 1"),
+            ("verbose=1", "unknown query parameter"),
+            ("policy=um&policy=ct", "more than once"),
+            ("policy=um&verbose=1", "unknown query parameter"),
+        ];
+        for (body, needle) in rejected {
+            let err = parse_control_body(body, apps)
+                .expect_err(&format!("{body:?} must be rejected"));
+            assert!(err.contains(needle), "{body:?}: error {err:?} must mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn workload_retarget_classification() {
+        let parse = |b| parse_control_body(b, apps).unwrap();
+        assert!(parse("policy=um").retargets_workload());
+        assert!(parse("hp=milc1").retargets_workload());
+        assert!(parse("be=lbm1").retargets_workload());
+        assert!(!parse("pause=1").retargets_workload());
+        assert!(parse("policy=um&pause=1").retargets_workload());
+    }
+
+    #[test]
+    fn accepted_response_lists_exactly_the_set_fields() {
+        let cr = parse_control_body("policy=dicer&pause=1", apps).unwrap();
+        assert_eq!(cr.to_json(), "{\"status\":\"accepted\",\"policy\":\"DICER\",\"pause\":true}\n");
+        let cr = parse_control_body("hp=milc1", apps).unwrap();
+        assert_eq!(cr.to_json(), "{\"status\":\"accepted\",\"hp\":\"milc1\"}\n");
+    }
+}

@@ -1,0 +1,919 @@
+//! The embeddable `dicerd` daemon: simulation thread + netd event loop.
+//!
+//! This module is everything the `dicerd` binary used to be, minus the
+//! argument parsing: [`Daemon::start`] binds the listener, spawns the
+//! simulation thread (classic co-location runs or the fleet control
+//! plane) and the network thread (a [`dicer_netd`] event loop serving
+//! every endpoint concurrently from one thread), and hands back a
+//! [`DaemonHandle`] for clean shutdown. Keeping it in the library makes
+//! the full daemon — routes, retargeting, drain-on-quit — testable
+//! in-process on an ephemeral port, which is how `tests/dicerd_api.rs`
+//! exercises it.
+//!
+//! ```text
+//!        HTTP clients                    simulation thread
+//!             │                                 ▲
+//!             ▼                                 │ drains between
+//!   ┌─────────────────────┐   ControlRequest    │ periods/rounds
+//!   │ netd EventLoop      │ ──── Mailbox ─────► │
+//!   │  DicerdHandler      │   (lock-free push)  │
+//!   │  /metrics /events   │ ◄─── registry ───── │ (atomic observes)
+//!   │  /healthz /fleet    │ ◄─── ring ───────── │ (seq-stamped slots)
+//!   │  /control /quit     │ ◄─── fleet_json ─── │ (snapshot swap)
+//!   └─────────────────────┘
+//! ```
+//!
+//! The two threads never share a lock on a hot path: telemetry flows
+//! through the registry's atomics and the ring's per-slot mutexes, and
+//! control flows the other way through a Treiber-stack mailbox the sim
+//! thread drains at run boundaries — a retarget never tears a period.
+
+use crate::appmodel::Catalog;
+use crate::cli::{parse_events_query, parse_query_params};
+use crate::control::{parse_control_body, ControlRequest};
+use crate::experiments::runner::{run_colocation_traced_until, MAX_PERIODS};
+use crate::experiments::{SoloTable, SweepRunner};
+use crate::fleet::{Fleet, FleetConfig, SchedulerKind};
+use crate::netd::{
+    EventLoop, Handler, Mailbox, Method, NetConfig, Reply, Request, ServerMetrics, StreamStatus,
+    Streamer,
+};
+use crate::server::ServerConfig;
+use crate::telemetry::{
+    Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
+    TelemetryEvent, TelemetrySink, Tracer, STAGE_SECONDS_BOUNDS,
+};
+use dicer_policy::PolicyKind;
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything `dicerd` is configured by. The binary fills this from
+/// flags; tests fill it directly (with `port: 0` for an ephemeral bind).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// HP application (catalog name).
+    pub hp: String,
+    /// BE application (catalog name; every BE is an instance of it).
+    pub be: String,
+    /// Employed cores (1 HP + n−1 BEs).
+    pub cores: u32,
+    /// Consolidation policy.
+    pub policy: PolicyKind,
+    /// Listen port on 127.0.0.1 (`0` picks an ephemeral port).
+    pub port: u16,
+    /// Telemetry ring capacity (events).
+    pub ring_cap: usize,
+    /// Stop after this many runs/rounds (`0` = unbounded).
+    pub max_runs: u64,
+    /// Sleep between runs/rounds, milliseconds.
+    pub pause_ms: u64,
+    /// `> 0` switches the daemon into fleet-control-plane mode.
+    pub fleet_nodes: usize,
+    /// Placement scheduler for fleet mode.
+    pub fleet_scheduler: SchedulerKind,
+    /// Fleet RNG seed.
+    pub seed: u64,
+    /// Event-loop tuning (connection bound, tick, idle/drain budgets).
+    pub net: NetConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            hp: "milc1".to_string(),
+            be: "gcc_base1".to_string(),
+            cores: 10,
+            policy: PolicyKind::Dicer(Default::default()),
+            port: 9090,
+            ring_cap: 1024,
+            max_runs: 0,
+            pause_ms: 0,
+            fleet_nodes: 0,
+            fleet_scheduler: SchedulerKind::Migrate,
+            seed: 42,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// What the daemon is doing right now, refreshed by the sim thread after
+/// every retarget and reported by `/healthz`.
+#[derive(Debug, Clone)]
+pub struct DaemonStatus {
+    pub policy: String,
+    pub hp: String,
+    pub be: String,
+    pub paused: bool,
+}
+
+/// Folds the telemetry stream into the metrics registry. Period-sample
+/// fields land in pre-registered histograms (lock-free observes);
+/// controller and fault events count into labelled counter series. The
+/// solo-IPC reference is an atomic because `POST /control` can retarget
+/// the HP application while the sink keeps normalising live periods.
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    hp_solo_ipc_bits: AtomicU64,
+    periods_total: Counter,
+    applies_total: Counter,
+    hp_ipc: Histogram,
+    hp_norm_ipc: Histogram,
+    total_bw: Histogram,
+    hp_ways: Histogram,
+    hp_ways_now: Gauge,
+}
+
+impl MetricsSink {
+    pub fn new(registry: Arc<MetricsRegistry>, hp_solo_ipc: f64, link_gbps: f64) -> Self {
+        let ipc_bounds = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0];
+        let norm_bounds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05];
+        let bw_bounds: Vec<f64> = (1..=10).map(|i| link_gbps * i as f64 / 10.0).collect();
+        let way_bounds: Vec<f64> = (1..=20).map(|w| w as f64).collect();
+        MetricsSink {
+            periods_total: registry.counter(
+                "dicer_periods_total",
+                "Monitoring periods simulated",
+                &[],
+            ),
+            applies_total: registry.counter(
+                "dicer_partition_applies_total",
+                "Partition plans programmed onto the platform",
+                &[],
+            ),
+            hp_ipc: registry.histogram(
+                "dicer_hp_ipc",
+                "HP IPC per monitoring period",
+                &[],
+                &ipc_bounds,
+            ),
+            hp_norm_ipc: registry.histogram(
+                "dicer_hp_norm_ipc",
+                "HP IPC per period, normalised to the solo reference",
+                &[],
+                &norm_bounds,
+            ),
+            total_bw: registry.histogram(
+                "dicer_total_bw_gbps",
+                "Total link traffic per period, Gbps",
+                &[],
+                &bw_bounds,
+            ),
+            hp_ways: registry.histogram(
+                "dicer_hp_ways",
+                "HP cache ways in force per period",
+                &[],
+                &way_bounds,
+            ),
+            hp_ways_now: registry.gauge(
+                "dicer_hp_ways_current",
+                "HP cache ways of the most recently applied plan",
+                &[],
+            ),
+            registry,
+            hp_solo_ipc_bits: AtomicU64::new(hp_solo_ipc.to_bits()),
+        }
+    }
+
+    /// Swaps the solo-IPC normalisation reference (HP retarget).
+    pub fn set_hp_solo_ipc(&self, ipc: f64) {
+        self.hp_solo_ipc_bits.store(ipc.to_bits(), Ordering::Relaxed);
+    }
+
+    fn hp_solo_ipc(&self) -> f64 {
+        f64::from_bits(self.hp_solo_ipc_bits.load(Ordering::Relaxed))
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Period(p) => {
+                self.periods_total.inc();
+                self.hp_ipc.observe(p.hp_ipc);
+                self.hp_norm_ipc.observe(p.hp_ipc / self.hp_solo_ipc());
+                self.total_bw.observe(p.total_bw_gbps);
+                self.hp_ways.observe(p.hp_ways as f64);
+            }
+            TelemetryEvent::Controller { event, .. } => {
+                self.registry
+                    .counter(
+                        "dicer_controller_events_total",
+                        "Controller state-machine events by kind",
+                        &[("event", event.kind())],
+                    )
+                    .inc();
+            }
+            // Registered controllers report their framework status through
+            // ControllerPolicy: one event per (state, severity) change. The
+            // severity code lands in a per-controller gauge so dashboards
+            // and alerts see "how bad is it right now" without parsing
+            // state strings; transitions also count into a labelled series.
+            TelemetryEvent::ControllerStatus { name, state, severity, .. } => {
+                self.registry
+                    .gauge(
+                        "dicer_controller_severity",
+                        "Current severity code of a registered controller \
+                         (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+                        &[("controller", name)],
+                    )
+                    .set(*severity as f64);
+                self.registry
+                    .counter(
+                        "dicer_controller_transitions_total",
+                        "Controller (state, severity) changes by controller and state",
+                        &[("controller", name), ("state", state)],
+                    )
+                    .inc();
+            }
+            TelemetryEvent::PartitionApplied { hp_ways, .. } => {
+                self.applies_total.inc();
+                self.hp_ways_now.set(*hp_ways as f64);
+            }
+            TelemetryEvent::Fault { label } => {
+                self.registry
+                    .counter(
+                        "dicer_fault_events_total",
+                        "Injected fault events by kind",
+                        &[("event", label)],
+                    )
+                    .inc();
+            }
+            // Self-profiling: each closed span with a wall-clock reading
+            // feeds a per-stage latency histogram. Sim-clock-only spans
+            // carry no duration in seconds and are skipped.
+            TelemetryEvent::Span(s) => {
+                if let Some(wall_ns) = s.wall_ns {
+                    self.registry
+                        .histogram(
+                            "dicer_stage_seconds",
+                            "Wall-clock seconds spent per pipeline stage (from spans)",
+                            &[("stage", s.name)],
+                            &STAGE_SECONDS_BOUNDS,
+                        )
+                        .observe(wall_ns as f64 / 1e9);
+                }
+            }
+            // Scenario-trace events are not produced on the daemon's path.
+            TelemetryEvent::Decision(_) | TelemetryEvent::ScenarioSummary(_) => {}
+        }
+    }
+}
+
+/// Maps the event loop's connection hooks onto `dicer_conn_*` series.
+struct ConnMetrics {
+    registry: Arc<MetricsRegistry>,
+    accepted: Counter,
+    closed: Counter,
+    rejected: Counter,
+    parse_errors: Counter,
+    active: Gauge,
+}
+
+impl ConnMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        ConnMetrics {
+            accepted: registry.counter(
+                "dicer_conn_accepted_total",
+                "Connections accepted by the event loop",
+                &[],
+            ),
+            closed: registry.counter(
+                "dicer_conn_closed_total",
+                "Connections closed (any reason: done, idle, drain)",
+                &[],
+            ),
+            rejected: registry.counter(
+                "dicer_conn_rejected_total",
+                "Connections refused 503 at the max_conns bound",
+                &[],
+            ),
+            parse_errors: registry.counter(
+                "dicer_conn_parse_errors_total",
+                "Requests answered with a parse-level error status",
+                &[],
+            ),
+            active: registry.gauge(
+                "dicer_conn_active",
+                "Connections currently registered with the event loop",
+                &[],
+            ),
+            registry,
+        }
+    }
+}
+
+const REQUEST_SECONDS_BOUNDS: [f64; 7] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+impl ServerMetrics for ConnMetrics {
+    fn conn_accepted(&self) {
+        self.accepted.inc();
+    }
+    fn conn_closed(&self) {
+        self.closed.inc();
+    }
+    fn conn_rejected_at_limit(&self) {
+        self.rejected.inc();
+    }
+    fn parse_error(&self) {
+        self.parse_errors.inc();
+    }
+    fn request_served(&self, endpoint: &str, seconds: f64) {
+        self.registry
+            .histogram(
+                "dicer_conn_request_seconds",
+                "Wall-clock seconds from dispatch to response render, per endpoint",
+                &[("endpoint", endpoint)],
+                &REQUEST_SECONDS_BOUNDS,
+            )
+            .observe(seconds);
+    }
+    fn stream_started(&self, endpoint: &str) {
+        self.registry
+            .counter(
+                "dicer_conn_streams_total",
+                "Streaming (chunked) responses started, per endpoint",
+                &[("endpoint", endpoint)],
+            )
+            .inc();
+    }
+    fn conns_active(&self, n: usize) {
+        self.active.set(n as f64);
+    }
+}
+
+/// Renders a client error as the JSON body every endpoint answers
+/// 4xx/5xx with.
+fn json_error(message: &str) -> String {
+    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{{\"error\":\"{escaped}\"}}\n")
+}
+
+/// `GET /events?follow=1`: an endless NDJSON feed off the telemetry
+/// ring. Each poll reads forward from a cursor; a reader too slow for
+/// the ring's retention gets a `{"skipped":N}` notice instead of
+/// blocking the producer (the ring never waits on consumers).
+struct EventStreamer {
+    ring: Arc<RingRecorder>,
+    cursor: u64,
+}
+
+/// Events drained from the ring per streamer poll. Bounds the bytes one
+/// slow client can queue in a single event-loop pass.
+const FOLLOW_BATCH: usize = 128;
+
+impl Streamer for EventStreamer {
+    fn poll(&mut self, out: &mut Vec<u8>, shutting_down: bool) -> StreamStatus {
+        if shutting_down {
+            return StreamStatus::Done;
+        }
+        let (events, next, skipped) = self.ring.read_since(self.cursor, FOLLOW_BATCH);
+        if skipped > 0 {
+            out.extend_from_slice(format!("{{\"skipped\":{skipped}}}\n").as_bytes());
+        }
+        for ev in &events {
+            out.extend_from_slice(ev.to_json().as_bytes());
+            out.push(b'\n');
+        }
+        self.cursor = next;
+        StreamStatus::Pending
+    }
+}
+
+/// Routes requests. Runs inline on the event-loop thread, so every arm
+/// only reads shared state (registry render, ring drain, snapshot lock)
+/// or pushes to the lock-free mailbox — nothing here blocks on the sim.
+struct DicerdHandler {
+    registry: Arc<MetricsRegistry>,
+    ring: Arc<RingRecorder>,
+    shutdown: Arc<AtomicBool>,
+    mailbox: Arc<Mailbox<ControlRequest>>,
+    status: Arc<Mutex<DaemonStatus>>,
+    fleet_json: Option<Arc<Mutex<String>>>,
+    fleet_nodes: usize,
+    known_apps: HashSet<String>,
+}
+
+impl DicerdHandler {
+    fn healthz(&self) -> Reply {
+        // Liveness plus a self-diagnosis snapshot. Registry lookups are
+        // idempotent, so this reads the sim thread's counter.
+        let periods = self
+            .registry
+            .counter("dicer_periods_total", "Monitoring periods simulated", &[])
+            .get();
+        let status = self.status.lock().unwrap().clone();
+        let body = format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"nodes\":{},\
+             \"events_dropped\":{},\"policy\":\"{}\",\"hp\":\"{}\",\"be\":\"{}\",\"paused\":{}}}\n",
+            env!("CARGO_PKG_VERSION"),
+            periods,
+            self.fleet_nodes,
+            self.ring.dropped(),
+            status.policy,
+            status.hp,
+            status.be,
+            status.paused,
+        );
+        Reply::full("/healthz", "200 OK", "application/json", body)
+    }
+
+    fn events(&self, query: &str) -> Reply {
+        match parse_events_query(query) {
+            Err(e) => {
+                Reply::full("/events", "400 Bad Request", "application/json", json_error(&e))
+            }
+            Ok((n, false)) => {
+                let lines: Vec<String> =
+                    self.ring.recent(n.unwrap_or(100)).iter().map(TelemetryEvent::to_json).collect();
+                let body = format!("[{}]\n", lines.join(","));
+                Reply::full("/events", "200 OK", "application/json", body)
+            }
+            Ok((n, true)) => {
+                // Follow mode starts `n` events back (0 without an explicit
+                // n: live tail only); read_since clamps to what the ring
+                // still retains and reports the difference as skipped.
+                let cursor = self.ring.cursor_now().saturating_sub(n.unwrap_or(0) as u64);
+                Reply::stream(
+                    "/events",
+                    "200 OK",
+                    "application/x-ndjson",
+                    Box::new(EventStreamer { ring: self.ring.clone(), cursor }),
+                )
+            }
+        }
+    }
+
+    fn fleet(&self, query: &str) -> Reply {
+        match &self.fleet_json {
+            None => Reply::full(
+                "/fleet",
+                "404 Not Found",
+                "application/json",
+                json_error("fleet mode is off (start dicerd with --fleet-nodes N)"),
+            ),
+            // The snapshot takes no parameters; anything in the query
+            // string is a client error, same contract as /events.
+            Some(snapshot) => match parse_query_params(query, &[]) {
+                Ok(_) => {
+                    let body = format!("{}\n", snapshot.lock().unwrap());
+                    Reply::full("/fleet", "200 OK", "application/json", body)
+                }
+                Err(e) => {
+                    Reply::full("/fleet", "400 Bad Request", "application/json", json_error(&e))
+                }
+            },
+        }
+    }
+
+    fn control(&self, req: &Request) -> Reply {
+        let Ok(body) = std::str::from_utf8(&req.body) else {
+            return Reply::full(
+                "/control",
+                "400 Bad Request",
+                "application/json",
+                json_error("control body must be UTF-8"),
+            );
+        };
+        let cr = match parse_control_body(body, |name| self.known_apps.contains(name)) {
+            Ok(cr) => cr,
+            Err(e) => {
+                return Reply::full(
+                    "/control",
+                    "400 Bad Request",
+                    "application/json",
+                    json_error(&e),
+                )
+            }
+        };
+        // Fleet nodes run their configured mixes; only pause/resume makes
+        // sense fleet-wide. Workload retargets are a conflict, not a 400 —
+        // the request is well-formed, the daemon's mode refuses it.
+        if self.fleet_nodes > 0 && cr.retargets_workload() {
+            return Reply::full(
+                "/control",
+                "409 Conflict",
+                "application/json",
+                json_error("fleet mode accepts only pause; restart to change workloads"),
+            );
+        }
+        let response = cr.to_json();
+        self.mailbox.push(cr);
+        Reply::full("/control", "200 OK", "application/json", response)
+    }
+}
+
+impl Handler for DicerdHandler {
+    fn handle(&mut self, req: &Request) -> Reply {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/healthz") => self.healthz(),
+            (Method::Get, "/metrics") => Reply::full(
+                "/metrics",
+                "200 OK",
+                "text/plain; version=0.0.4",
+                self.registry.render(),
+            ),
+            (Method::Get, "/events") => self.events(&req.query),
+            (Method::Get, "/fleet") => self.fleet(&req.query),
+            (Method::Get, "/quit") => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                Reply::full("/quit", "200 OK", "text/plain", "shutting down\n")
+            }
+            (Method::Post, "/control") => self.control(req),
+            // Known path, wrong verb: 405 names the one verb that works.
+            (_, "/healthz" | "/metrics" | "/events" | "/fleet" | "/quit") => {
+                Reply::full("other", "405 Method Not Allowed", "text/plain", "GET only\n")
+            }
+            (_, "/control") => {
+                Reply::full("other", "405 Method Not Allowed", "text/plain", "POST only\n")
+            }
+            _ => Reply::full("other", "404 Not Found", "text/plain", "not found\n"),
+        }
+    }
+}
+
+/// A running daemon: join handles for both threads plus the bound
+/// address and the shutdown latch.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    loop_thread: JoinHandle<()>,
+    sim_thread: JoinHandle<()>,
+}
+
+impl DaemonHandle {
+    /// The bound listen address (resolves `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (same latch `GET /quit` sets).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for clean exit. The network thread goes first — it drains
+    /// in-flight connections (every accepted request gets its response)
+    /// — then the simulation thread, which stops at the next period
+    /// boundary. This ordering is the `/quit` contract: once the process
+    /// exits, no client is left holding a half-written response.
+    pub fn join(self) -> Result<(), String> {
+        self.loop_thread.join().map_err(|_| "network thread panicked".to_string())?;
+        self.sim_thread.join().map_err(|_| "simulation thread panicked".to_string())?;
+        Ok(())
+    }
+}
+
+/// The daemon as a value: bind, spawn, return.
+pub struct Daemon;
+
+impl Daemon {
+    /// Starts the daemon: validates the config, binds 127.0.0.1, spawns
+    /// the sim and event-loop threads. Fails (with a user-facing message)
+    /// on unknown applications, a zero ring, or an unbindable port.
+    pub fn start(cfg: DaemonConfig) -> Result<DaemonHandle, String> {
+        if cfg.ring_cap == 0 {
+            return Err("--ring-cap must be at least 1".to_string());
+        }
+        let catalog = Catalog::paper();
+        let (Some(hp), Some(be)) = (catalog.get(&cfg.hp), catalog.get(&cfg.be)) else {
+            return Err("unknown app — try `dicer-sim catalog`".to_string());
+        };
+        let (hp, be) = (hp.clone(), be.clone());
+        let server_cfg = ServerConfig::table1();
+        let solo = SoloTable::build(&catalog, server_cfg);
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let ring = Arc::new(RingRecorder::new(cfg.ring_cap));
+        let metrics_sink = Arc::new(MetricsSink::new(
+            registry.clone(),
+            solo.get(&cfg.hp).ipc_alone,
+            server_cfg.link.capacity_gbps,
+        ));
+        let telemetry = Telemetry::new(Arc::new(FanoutSink::new(vec![
+            ring.clone() as Arc<dyn TelemetrySink>,
+            metrics_sink.clone(),
+        ])));
+
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", cfg.port))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mailbox = Arc::new(Mailbox::new());
+        let status = Arc::new(Mutex::new(DaemonStatus {
+            policy: cfg.policy.name().to_string(),
+            hp: cfg.hp.clone(),
+            be: cfg.be.clone(),
+            paused: false,
+        }));
+        // In fleet mode the sim thread refreshes a pre-rendered JSON
+        // snapshot after every round; `/fleet` serves it without touching
+        // the fleet.
+        let fleet_json: Option<Arc<Mutex<String>>> =
+            (cfg.fleet_nodes > 0).then(|| Arc::new(Mutex::new(String::from("{}"))));
+
+        let handler = DicerdHandler {
+            registry: registry.clone(),
+            ring: ring.clone(),
+            shutdown: shutdown.clone(),
+            mailbox: mailbox.clone(),
+            status: status.clone(),
+            fleet_json: fleet_json.clone(),
+            fleet_nodes: cfg.fleet_nodes,
+            known_apps: catalog.names().map(str::to_string).collect(),
+        };
+        let conn_metrics = Arc::new(ConnMetrics::new(registry.clone()));
+        let mut event_loop =
+            EventLoop::new(listener, handler, shutdown.clone(), conn_metrics, cfg.net)
+                .map_err(|e| format!("cannot start event loop: {e}"))?;
+        let addr = event_loop.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+
+        let sim_thread = if let Some(fleet_json) = fleet_json {
+            spawn_fleet_sim(FleetSim {
+                cfg: cfg.clone(),
+                registry,
+                shutdown: shutdown.clone(),
+                mailbox,
+                status,
+                fleet_json,
+            })
+        } else {
+            spawn_classic_sim(ClassicSim {
+                cfg: cfg.clone(),
+                catalog,
+                solo,
+                hp,
+                be,
+                registry,
+                metrics_sink,
+                telemetry,
+                shutdown: shutdown.clone(),
+                mailbox,
+                status,
+            })
+        };
+        let loop_thread = std::thread::spawn(move || {
+            if let Err(e) = event_loop.run() {
+                eprintln!("dicerd event loop failed: {e}");
+            }
+        });
+
+        Ok(DaemonHandle { addr, shutdown, loop_thread, sim_thread })
+    }
+}
+
+/// Shared-state bundle for the classic (single co-location) sim thread.
+struct ClassicSim {
+    cfg: DaemonConfig,
+    catalog: Catalog,
+    solo: SoloTable,
+    hp: crate::appmodel::AppProfile,
+    be: crate::appmodel::AppProfile,
+    registry: Arc<MetricsRegistry>,
+    metrics_sink: Arc<MetricsSink>,
+    telemetry: Telemetry,
+    shutdown: Arc<AtomicBool>,
+    mailbox: Arc<Mailbox<ControlRequest>>,
+    status: Arc<Mutex<DaemonStatus>>,
+}
+
+/// Classic mode: back-to-back co-location runs, each one feeding the
+/// shared telemetry bus plus run-level metrics. Control requests are
+/// drained between runs — and mid-run the runner is asked to stop at the
+/// next period boundary, so a retarget takes effect within one period
+/// rather than one run.
+fn spawn_classic_sim(sim: ClassicSim) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let ClassicSim {
+            cfg,
+            catalog,
+            solo,
+            mut hp,
+            mut be,
+            registry,
+            metrics_sink,
+            telemetry,
+            shutdown,
+            mailbox,
+            status,
+        } = sim;
+        let mut policy = cfg.policy.clone();
+        let mut paused = false;
+        let runs_total = registry.counter("dicer_runs_total", "Co-location runs started", &[]);
+        let runs_completed = registry.counter(
+            "dicer_runs_completed_total",
+            "Runs in which every application finished at least once",
+            &[],
+        );
+        let retargets_total = registry.counter(
+            "dicer_retargets_total",
+            "Control requests applied by the simulation thread",
+            &[],
+        );
+        let run_norm_ipc = registry.histogram(
+            "dicer_run_hp_norm_ipc",
+            "Whole-run HP IPC normalised to solo",
+            &[],
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05],
+        );
+        let step_seconds = registry.histogram(
+            "dicer_period_step_seconds",
+            "Mean wall-clock seconds per simulated period, one observation per run",
+            &[],
+            &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+        );
+        let efu = registry.gauge("dicer_run_efu", "Effective Utilisation of the last run", &[]);
+        let solver = [
+            ("solves", "Equilibrium solve requests"),
+            ("cache_hits", "Solves served from the memo"),
+            ("warm_solves", "Computed solves with a warm-start bracket"),
+            ("cold_solves", "Computed solves bracketed from scratch"),
+            ("curve_evals", "Curve-evaluation rounds across computed solves"),
+            ("fingerprint_skips", "Solves skipped by the period-input fingerprint"),
+            ("evictions", "Memo entries discarded by bounded-cache clears"),
+        ]
+        .map(|(kind, help)| {
+            (kind, registry.counter("dicer_solver_events_total", help, &[("kind", kind)]))
+        });
+
+        // Wall-clock tracer: spans land on the same bus as the rest of
+        // the telemetry, so the ring shows them and the metrics sink
+        // folds their durations into dicer_stage_seconds{stage=...}.
+        let tracer = Tracer::with_wall_clock(telemetry.clone());
+        let mut runs = 0u64;
+        while !shutdown.load(Ordering::Relaxed) {
+            // Apply queued control requests, last-wins per field. The
+            // HTTP layer already validated names and specs, so lookups
+            // here cannot fail.
+            let queued = mailbox.drain();
+            if !queued.is_empty() {
+                for cr in queued {
+                    if let Some(p) = cr.policy {
+                        policy = p;
+                    }
+                    if let Some(name) = cr.hp {
+                        hp = catalog.get(&name).expect("validated at the HTTP layer").clone();
+                        metrics_sink.set_hp_solo_ipc(solo.get(&name).ipc_alone);
+                    }
+                    if let Some(name) = cr.be {
+                        be = catalog.get(&name).expect("validated at the HTTP layer").clone();
+                    }
+                    if let Some(p) = cr.pause {
+                        paused = p;
+                    }
+                    retargets_total.inc();
+                }
+                let mut st = status.lock().unwrap();
+                st.policy = policy.name().to_string();
+                st.hp = hp.name.clone();
+                st.be = be.name.clone();
+                st.paused = paused;
+            }
+            if paused {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            runs_total.inc();
+            let t0 = Instant::now();
+            let mut interrupted = false;
+            let out = run_colocation_traced_until(
+                &solo,
+                &hp,
+                &be,
+                cfg.cores,
+                &policy,
+                MAX_PERIODS,
+                &telemetry,
+                &tracer,
+                || {
+                    if shutdown.load(Ordering::Relaxed) || !mailbox.is_empty() {
+                        interrupted = true;
+                        return false;
+                    }
+                    true
+                },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            if out.completed {
+                runs_completed.inc();
+            }
+            // An interrupted run can stop before its first period; its
+            // zeroed outcome is a non-event, not a sample.
+            if out.periods > 0 {
+                run_norm_ipc.observe(out.hp_norm_ipc);
+                step_seconds.observe(dt / out.periods as f64);
+                efu.set(out.efu);
+            }
+            let s = out.solver_stats;
+            for (kind, counter) in &solver {
+                counter.add(match *kind {
+                    "solves" => s.solves,
+                    "cache_hits" => s.cache_hits,
+                    "warm_solves" => s.warm_solves,
+                    "cold_solves" => s.cold_solves,
+                    "fingerprint_skips" => s.fingerprint_skips,
+                    "evictions" => s.evictions,
+                    _ => s.curve_evals,
+                });
+            }
+            if !interrupted {
+                runs += 1;
+                if cfg.max_runs > 0 && runs >= cfg.max_runs {
+                    break;
+                }
+                if cfg.pause_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(cfg.pause_ms));
+                }
+            }
+        }
+    })
+}
+
+/// Shared-state bundle for the fleet-control-plane sim thread.
+struct FleetSim {
+    cfg: DaemonConfig,
+    registry: Arc<MetricsRegistry>,
+    shutdown: Arc<AtomicBool>,
+    mailbox: Arc<Mailbox<ControlRequest>>,
+    status: Arc<Mutex<DaemonStatus>>,
+    fleet_json: Arc<Mutex<String>>,
+}
+
+/// Fleet mode: scheduling rounds over N node sessions, folding the fleet
+/// state into per-node and fleet-level metrics after each round. The
+/// mailbox only ever carries pause/resume here (workload retargets are
+/// refused 409 at the HTTP layer).
+fn spawn_fleet_sim(sim: FleetSim) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let FleetSim { cfg, registry, shutdown, mailbox, status, fleet_json } = sim;
+        let fleet_cfg = FleetConfig::standard(cfg.fleet_nodes, u32::MAX, cfg.seed);
+        let scheduler = cfg.fleet_scheduler.build(
+            fleet_cfg.seed,
+            fleet_cfg.server.link.capacity_gbps,
+            fleet_cfg.server.cache.ways,
+            fleet_cfg.degraded_streak,
+        );
+        let mut fleet = Fleet::new(fleet_cfg, scheduler);
+        let runner = SweepRunner::auto();
+        let rounds_total =
+            registry.counter("dicer_fleet_rounds_total", "Fleet scheduling rounds completed", &[]);
+        let worst_severity = registry.gauge(
+            "dicer_fleet_worst_severity",
+            "Worst controller severity code across all fleet nodes \
+             (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+            &[],
+        );
+        let migrations_total = registry.gauge(
+            "dicer_fleet_migrations_total",
+            "Scheduler-initiated BE migrations since startup",
+            &[],
+        );
+        let mut paused = false;
+        let mut rounds = 0u64;
+        while !shutdown.load(Ordering::Relaxed) {
+            for cr in mailbox.drain() {
+                if let Some(p) = cr.pause {
+                    paused = p;
+                    status.lock().unwrap().paused = p;
+                }
+            }
+            if paused {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            fleet.step_round(&runner);
+            rounds_total.inc();
+            let fleet_status = fleet.status();
+            for node in &fleet_status.per_node {
+                let id = node.node.to_string();
+                registry
+                    .gauge(
+                        "dicer_node_severity",
+                        "Current controller severity code per fleet node \
+                         (0 nominal, 1 adjusting, 2 degraded, 3 critical)",
+                        &[("node", &id)],
+                    )
+                    .set(node.severity.code() as f64);
+                registry
+                    .gauge(
+                        "dicer_node_hp_slowdown",
+                        "Mean HP slowdown per fleet node since startup",
+                        &[("node", &id)],
+                    )
+                    .set(node.hp_slowdown_mean);
+            }
+            worst_severity.set(fleet_status.worst_severity.code() as f64);
+            migrations_total.set(fleet_status.migrations as f64);
+            *fleet_json.lock().unwrap() = fleet_status.to_json();
+            rounds += 1;
+            if cfg.max_runs > 0 && rounds >= cfg.max_runs {
+                break;
+            }
+            if cfg.pause_ms > 0 {
+                std::thread::sleep(Duration::from_millis(cfg.pause_ms));
+            }
+        }
+    })
+}

@@ -14,6 +14,9 @@
 //! * [`experiments`] — figure/table runners for the paper's evaluation.
 //! * [`fleet`] — many-node consolidation: placement schedulers and churn.
 //! * [`telemetry`] — structured event bus, metrics registry, JSONL sinks.
+//! * [`netd`] — readiness-driven event-loop runtime (reactor, HTTP/1.1,
+//!   lock-free mailbox) the daemon serves its API on.
+//! * [`daemon`] — the embeddable `dicerd` daemon (sim thread + event loop).
 //!
 //! ## Quickstart
 //!
@@ -32,8 +35,11 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod control;
+pub mod daemon;
 
 pub use dicer_appmodel as appmodel;
+pub use dicer_netd as netd;
 pub use dicer_cachesim as cachesim;
 pub use dicer_experiments as experiments;
 pub use dicer_fleet as fleet;

@@ -1,0 +1,367 @@
+//! End-to-end tests of the `dicerd` HTTP API on the netd event loop.
+//!
+//! Each test starts a full in-process daemon ([`dicer::daemon::Daemon`])
+//! on an ephemeral port — real sockets, real sim thread — and speaks raw
+//! HTTP/1.1 to it, because the contract under test is the bytes on the
+//! wire: status lines, strict 400/405/409s, chunked framing, and the
+//! drain-before-exit shutdown ordering.
+
+use dicer::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn start(cfg: DaemonConfig) -> DaemonHandle {
+    Daemon::start(DaemonConfig { port: 0, ..cfg }).expect("daemon starts")
+}
+
+/// A parsed one-shot response (request sent with `Connection: close`).
+struct Response {
+    status: String,
+    headers: Vec<String>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("UTF-8 body")
+    }
+
+    fn header(&self, name: &str) -> Option<&str> {
+        let prefix = format!("{name}: ");
+        self.headers.iter().find_map(|h| h.strip_prefix(&prefix))
+    }
+}
+
+/// Sends raw request bytes, reads to EOF, and checks the well-formedness
+/// every client is entitled to: a status line, a blank line, and a body
+/// exactly as long as `Content-Length` says.
+fn one_shot(addr: SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read to EOF");
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&buf)));
+    let head = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+    let mut lines = head.split("\r\n");
+    let status = lines.next().expect("status line").to_string();
+    let headers: Vec<String> = lines.map(str::to_string).collect();
+    let body = buf[head_end + 4..].to_vec();
+    let resp = Response { status, headers, body };
+    let declared: usize = resp
+        .header("Content-Length")
+        .unwrap_or_else(|| panic!("no Content-Length in {}", resp.status))
+        .parse()
+        .expect("numeric Content-Length");
+    assert_eq!(declared, resp.body.len(), "body length mismatch for {}", resp.status);
+    resp
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    one_shot(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+}
+
+fn post_control(addr: SocketAddr, body: &str) -> Response {
+    one_shot(
+        addr,
+        &format!(
+            "POST /control HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Waits (bounded) until `/healthz` reports a predicate, for retargets
+/// that the sim thread applies asynchronously at a period boundary.
+fn wait_healthz(addr: SocketAddr, what: &str, pred: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let h = get(addr, "/healthz");
+        assert!(h.status.contains("200"), "healthz: {}", h.status);
+        if pred(h.body_str()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {}", h.body_str());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The `POST /control` wire contract, as a transition table: every row
+/// is (body, expected status fragment, expected body fragment). Accepted
+/// requests answer 200 with the echo of what was set; malformed ones are
+/// strict 400s that name the offence.
+#[test]
+fn control_transition_table_over_http() {
+    let daemon = start(DaemonConfig::default());
+    let addr = daemon.addr();
+    let table: &[(&str, &str, &str)] = &[
+        ("pause=1", "200 OK", r#""status":"accepted","pause":true"#),
+        ("policy=static:5", "200 OK", r#""policy":"STATIC""#),
+        ("hp=lbm1&be=gcc_base1", "200 OK", r#""hp":"lbm1""#),
+        ("pause=0", "200 OK", r#""pause":false"#),
+        ("", "400 Bad Request", "at least one"),
+        ("policy=herakles", "400 Bad Request", "unknown policy"),
+        ("hp=nosuchapp", "400 Bad Request", "unknown hp application"),
+        ("pause=yes", "400 Bad Request", "must be 0 or 1"),
+        ("verbose=1", "400 Bad Request", "unknown query parameter"),
+        ("policy=um&policy=ct", "400 Bad Request", "more than once"),
+    ];
+    for (body, status, needle) in table {
+        let resp = post_control(addr, body);
+        assert!(
+            resp.status.contains(status),
+            "{body:?}: expected {status}, got {} ({})",
+            resp.status,
+            resp.body_str()
+        );
+        assert!(
+            resp.body_str().contains(needle),
+            "{body:?}: body {:?} must contain {needle:?}",
+            resp.body_str()
+        );
+    }
+    // Wrong verbs on known paths are 405s, not 404s.
+    let resp = get(addr, "/control");
+    assert!(resp.status.contains("405"), "GET /control: {}", resp.status);
+    let resp = one_shot(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(resp.status.contains("405"), "POST /metrics: {}", resp.status);
+
+    daemon.shutdown();
+    daemon.join().expect("clean exit");
+}
+
+/// A policy retarget posted over HTTP reaches the live sim thread: the
+/// run restarts under the new policy without a daemon restart, and
+/// `/healthz` reflects it.
+#[test]
+fn control_retargets_policy_on_live_sim() {
+    let daemon = start(DaemonConfig::default());
+    let addr = daemon.addr();
+    wait_healthz(addr, "initial policy", |b| b.contains(r#""policy":"DICER""#));
+
+    let resp = post_control(addr, "policy=ct&hp=lbm1");
+    assert!(resp.status.contains("200"), "{}", resp.status);
+    wait_healthz(addr, "retarget to CT/lbm1", |b| {
+        b.contains(r#""policy":"CT""#) && b.contains(r#""hp":"lbm1""#)
+    });
+
+    // And back, proving the mailbox keeps working after the first apply.
+    let resp = post_control(addr, "policy=um");
+    assert!(resp.status.contains("200"), "{}", resp.status);
+    wait_healthz(addr, "retarget to UM", |b| b.contains(r#""policy":"UM""#));
+
+    daemon.shutdown();
+    daemon.join().expect("clean exit");
+}
+
+/// Fleet mode refuses workload retargets with 409 (the fleet runs its
+/// configured mixes) but accepts pause/resume.
+#[test]
+fn fleet_mode_refuses_workload_retargets_accepts_pause() {
+    let daemon = start(DaemonConfig { fleet_nodes: 2, ..Default::default() });
+    let addr = daemon.addr();
+    // Park the fleet immediately so the test doesn't race full rounds.
+    let resp = post_control(addr, "pause=1");
+    assert!(resp.status.contains("200"), "pause: {}", resp.status);
+
+    for body in ["policy=um", "hp=milc1", "be=lbm1", "policy=ct&pause=0"] {
+        let resp = post_control(addr, body);
+        assert!(resp.status.contains("409"), "{body:?}: expected 409, got {}", resp.status);
+        assert!(resp.body_str().contains("fleet mode"), "{body:?}: {}", resp.body_str());
+    }
+    // Malformed still beats mode: a bad field is a 400 even in fleet mode.
+    let resp = post_control(addr, "pause=2");
+    assert!(resp.status.contains("400"), "pause=2: {}", resp.status);
+
+    let resp = get(addr, "/fleet");
+    assert!(resp.status.contains("200"), "/fleet: {}", resp.status);
+
+    daemon.shutdown();
+    daemon.join().expect("clean exit");
+}
+
+/// The `/quit` contract, looped: every accepted connection gets its full
+/// response and both threads join — no socket left half-served, no
+/// flaky exit. Five rounds catch ordering races a single run can miss.
+#[test]
+fn quit_drains_and_joins_cleanly_every_time() {
+    for round in 0..5 {
+        let daemon = start(DaemonConfig::default());
+        let addr = daemon.addr();
+        // A little traffic first so connections exist to drain.
+        let m = get(addr, "/metrics");
+        assert!(m.status.contains("200"), "round {round}: {}", m.status);
+        let q = get(addr, "/quit");
+        assert!(q.status.contains("200"), "round {round}: {}", q.status);
+        assert_eq!(q.body_str(), "shutting down\n", "round {round}");
+        daemon.join().unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+}
+
+/// ≥8 concurrent clients — valid mixed traffic, keep-alive bursts, and
+/// deliberately malformed requests — and every single response on every
+/// connection is well-formed. This is the in-repo half of the CI smoke.
+#[test]
+fn concurrent_mixed_clients_get_well_formed_responses() {
+    let daemon = start(DaemonConfig::default());
+    let addr = daemon.addr();
+
+    let mut handles = Vec::new();
+    // 6 valid clients x 20 one-shot requests, rotating the mix.
+    for id in 0..6usize {
+        handles.push(std::thread::spawn(move || {
+            let paths = ["/metrics", "/events?n=10", "/healthz"];
+            for i in 0..20 {
+                let resp = get(addr, paths[(id + i) % paths.len()]);
+                assert!(resp.status.contains("200"), "client {id}: {}", resp.status);
+                assert!(!resp.body.is_empty(), "client {id}: empty body");
+            }
+        }));
+    }
+    // 2 keep-alive clients: several requests on one connection.
+    for id in 0..2usize {
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut reader = BufReader::new(stream);
+            for i in 0..10 {
+                reader
+                    .get_mut()
+                    .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    .expect("write");
+                let mut status = String::new();
+                reader.read_line(&mut status).expect("status");
+                assert!(status.contains("200"), "keep-alive {id} req {i}: {status}");
+                let mut len = 0usize;
+                loop {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("header");
+                    let line = line.trim_end();
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some(v) = line.strip_prefix("Content-Length: ") {
+                        len = v.parse().expect("length");
+                    }
+                }
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body).expect("body");
+                assert!(body.starts_with(b"{\"status\":\"ok\""), "keep-alive {id} req {i}");
+            }
+        }));
+    }
+    // 3 hostile clients: malformed or unroutable requests still get
+    // proper error responses (and never corrupt anyone else's).
+    for (raw, want) in [
+        ("BREW /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", "405"),
+        ("GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", "404"),
+        ("GET /events?bogus=1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", "400"),
+    ] {
+        handles.push(std::thread::spawn(move || {
+            let resp = one_shot(addr, raw);
+            assert!(resp.status.contains(want), "{raw:?}: got {}", resp.status);
+        }));
+    }
+    assert!(handles.len() >= 8, "the point is concurrency");
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+
+    // The event loop counted all of it.
+    let metrics = get(addr, "/metrics");
+    let text = metrics.body_str();
+    assert!(text.contains("dicer_conn_accepted_total"), "conn metrics missing");
+    assert!(text.contains("dicer_conn_request_seconds"), "request histograms missing");
+
+    // And the sim thread kept publishing beneath the load: the DICER
+    // controller's severity gauge must appear once its first status
+    // lands on the bus (bounded wait; the sim runs at full speed).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = get(addr, "/metrics");
+        if text.body_str().contains("dicer_controller_severity{controller=") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "controller severity gauge never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    daemon.shutdown();
+    daemon.join().expect("clean exit");
+}
+
+/// `GET /events?follow=1` streams chunked NDJSON: telemetry lines keep
+/// arriving while the sim runs, and shutdown terminates the stream with
+/// a proper final chunk instead of a dead socket.
+#[test]
+fn events_follow_streams_ndjson_until_shutdown() {
+    let daemon = start(DaemonConfig::default());
+    let addr = daemon.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(b"GET /events?follow=1&n=5 HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write");
+
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status");
+    assert!(status.contains("200 OK"), "{status}");
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        chunked |= line == "Transfer-Encoding: chunked";
+    }
+    assert!(chunked, "follow mode must use chunked transfer");
+
+    // Decode chunks until we have a few NDJSON lines in hand.
+    let mut payload = Vec::new();
+    let mut quit_sent = false;
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim_end(), 16)
+            .unwrap_or_else(|e| panic!("bad chunk size {size_line:?}: {e}"));
+        if size == 0 {
+            // The 0-length chunk is the orderly end of the stream; an
+            // aborted socket would have failed the reads above instead.
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).expect("final CRLF");
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2];
+        reader.read_exact(&mut chunk).expect("chunk data");
+        assert_eq!(&chunk[size..], b"\r\n", "chunk not CRLF-terminated");
+        payload.extend_from_slice(&chunk[..size]);
+        // Once some events have streamed, ask the daemon to quit; the
+        // stream must then end with the 0-chunk rather than an abort.
+        if !quit_sent && payload.iter().filter(|&&b| b == b'\n').count() >= 3 {
+            let q = get(addr, "/quit");
+            assert!(q.status.contains("200"), "{}", q.status);
+            quit_sent = true;
+        }
+    }
+    assert!(quit_sent, "stream ended before any events arrived");
+    let text = std::str::from_utf8(&payload).expect("UTF-8 NDJSON");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "NDJSON line must be one JSON object: {line:?}"
+        );
+    }
+    assert!(text.lines().count() >= 3, "expected several events, got: {text:?}");
+
+    daemon.join().expect("clean exit");
+}
