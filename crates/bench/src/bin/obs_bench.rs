@@ -1,0 +1,389 @@
+//! Observability-plane overhead benchmark: replays the two 10⁵-period
+//! longrun scenarios through the daemon-grade telemetry pipeline (event
+//! ring + metrics sink + wall-clock tracer — exactly what `dicerd` runs)
+//! twice each — once as the baseline and once with the observability
+//! plane attached (per-period store ingest, registry scrape, rule
+//! evaluation) — and asserts the plane's cost against
+//! [`OVERHEAD_BUDGET_PCT`].
+//!
+//! The two scenarios bracket the deployment space:
+//!
+//! * **churn** — multi-phase apps under the adaptive DICER controller:
+//!   the workload consolidation the daemon exists to manage. The <3%
+//!   budget is **asserted** here.
+//! * **steady** — single-phase eternal apps, unmanaged: the
+//!   fingerprint-accelerated fast path makes this the fastest baseline
+//!   the stack can produce, so the plane's constant per-period cost is
+//!   at its *relative* worst. Reported for scale, with a 2× budget
+//!   backstop assert.
+//!
+//! Two properties are checked before anything is written:
+//!
+//! * **bit-identity** — the replay checksum with the plane attached
+//!   equals the baseline's (observation never perturbs the simulation);
+//! * **overhead** — best-segment periods/sec with the plane attached is
+//!   within budget of the baseline.
+//!
+//! Results land in `results/BENCH_obs.json` (hand-rolled JSON so the
+//! artifact is byte-stable); `scripts/ci.sh` (full tier) re-runs this
+//! binary and gates on the committed baseline: a >15% regression of the
+//! plane-attached periods/sec fails CI.
+
+use dicer::daemon::MetricsSink;
+use dicer_appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer_experiments::{Session, SoloTable};
+use dicer_obs::{ObsConfig, ObsPlane, ObsSink};
+use dicer_policy::{DicerConfig, PolicyKind};
+use dicer_server::{Server, ServerConfig};
+use dicer_telemetry::{
+    FanoutSink, MetricsRegistry, RingRecorder, Telemetry, TelemetrySink, Tracer,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Control periods per replay.
+const PERIODS: u32 = 100_000;
+/// Timed repetitions per configuration; baseline and plane-attached
+/// replays alternate, and the pair order flips every repeat, so both
+/// sides sample the same thermal/frequency drift. The asserted overhead
+/// is **best-segment on each side**: external interference on a shared
+/// machine is additive noise, so the minimum is the closest observation
+/// of each pipeline's true cost. The median of per-pair whole-replay
+/// ratios is reported alongside as a drift cross-check.
+const REPEATS: usize = 12;
+/// Periods per timed segment: interference on a shared machine arrives
+/// in bursts that poison whole replays, so each replay is timed in
+/// [`SEGMENT`]-period slices and the best slice is the observation — a
+/// quiet ~10 ms window is far more common than a quiet full replay.
+const SEGMENT: u32 = 5_000;
+/// Asserted ceiling on the plane's serving-throughput cost under the
+/// managed (churn) longrun replay, percent.
+const OVERHEAD_BUDGET_PCT: f64 = 3.0;
+/// Backstop for the steady worst-case scenario (fastest baseline →
+/// largest relative cost): 2× the managed budget.
+const STEADY_BACKSTOP_PCT: f64 = 2.0 * OVERHEAD_BUDGET_PCT;
+/// Ring capacity, as the daemon defaults it.
+const RING_CAP: usize = 1024;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One longrun scenario: workload + driving policy (mirrors
+/// `longrun_bench`).
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    /// Multi-phase apps under the DICER controller — the managed
+    /// consolidation the daemon serves; the budget is asserted here.
+    Churn,
+    /// Single-phase eternal apps, unmanaged — the fingerprint fast path
+    /// floors the baseline period cost, maximizing relative overhead.
+    Steady,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Churn => "churn",
+            Scenario::Steady => "steady",
+        }
+    }
+
+    fn policy(self) -> PolicyKind {
+        match self {
+            Scenario::Churn => PolicyKind::Dicer(DicerConfig::default()),
+            Scenario::Steady => PolicyKind::Unmanaged,
+        }
+    }
+
+    fn build_server(self) -> Server {
+        // `u64::MAX / 2` instructions never finish within 10⁵ periods, so
+        // eternal phases pin the session at the period cap.
+        let eternal = || Phase {
+            insns: u64::MAX / 2,
+            base_cpi: 0.6,
+            apki: 24.0,
+            mlp: 2.4,
+            curve: MissCurve::flat(0.35),
+        };
+        match self {
+            Scenario::Steady => {
+                let hp = AppProfile::new(
+                    "obs_lr_hp",
+                    Archetype::CacheFriendly,
+                    vec![Phase {
+                        insns: u64::MAX / 2,
+                        base_cpi: 0.70,
+                        apki: 28.0,
+                        mlp: 4.0,
+                        curve: MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+                    }],
+                );
+                let be = AppProfile::new("obs_lr_be", Archetype::CacheFriendly, vec![eternal()]);
+                Server::new(ServerConfig::table1(), hp, vec![be; 9])
+            }
+            Scenario::Churn => {
+                let hp = AppProfile::new(
+                    "obs_lr_hp_ph",
+                    Archetype::CacheFriendly,
+                    vec![
+                        Phase {
+                            insns: 6_000_000_000,
+                            base_cpi: 0.70,
+                            apki: 28.0,
+                            mlp: 4.0,
+                            curve: MissCurve::parametric(0.45, 0.62, 1.3, 2.0),
+                        },
+                        Phase {
+                            insns: 4_000_000_000,
+                            base_cpi: 0.55,
+                            apki: 9.0,
+                            mlp: 2.0,
+                            curve: MissCurve::parametric(0.12, 0.5, 1.1, 2.5),
+                        },
+                    ],
+                );
+                let churny = AppProfile::new(
+                    "obs_lr_be_ph",
+                    Archetype::CacheFriendly,
+                    vec![
+                        Phase {
+                            insns: 5_000_000_000,
+                            base_cpi: 0.65,
+                            apki: 24.0,
+                            mlp: 2.4,
+                            curve: MissCurve::flat(0.55),
+                        },
+                        Phase {
+                            insns: 3_000_000_000,
+                            base_cpi: 0.5,
+                            apki: 6.0,
+                            mlp: 1.8,
+                            curve: MissCurve::flat(0.10),
+                        },
+                    ],
+                );
+                let anchor =
+                    AppProfile::new("obs_lr_anchor", Archetype::CacheFriendly, vec![eternal()]);
+                let mut bes = vec![churny; 8];
+                bes.push(anchor);
+                Server::new(ServerConfig::table1(), hp, bes)
+            }
+        }
+    }
+
+    fn hp_solo_ipc(self) -> f64 {
+        let profile = self.build_server().hp().profile.clone();
+        let solo = SoloTable::build_from_profiles([&profile], ServerConfig::table1());
+        solo.get(&profile.name).ipc_alone
+    }
+}
+
+/// One telemetry pipeline configuration to measure.
+struct Pipeline {
+    telemetry: Telemetry,
+    tracer: Tracer,
+    /// Kept alive (and inspected) across the replay.
+    plane: Option<Arc<ObsPlane>>,
+}
+
+/// The daemon-grade serving pipeline: ring + metrics sink + wall-clock
+/// tracer, optionally with the observability plane on the bus.
+fn daemon_pipeline(with_obs: bool, hp_solo_ipc: f64) -> Pipeline {
+    let cfg = ServerConfig::table1();
+    let registry = Arc::new(MetricsRegistry::new());
+    let ring = Arc::new(RingRecorder::new(RING_CAP));
+    let metrics = Arc::new(MetricsSink::new(registry.clone(), hp_solo_ipc, cfg.link.capacity_gbps));
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = vec![ring.clone(), metrics];
+    let plane = with_obs.then(|| {
+        let plane = Arc::new(ObsPlane::new(ObsConfig {
+            hp_solo_ipc: Some(hp_solo_ipc),
+            ..Default::default()
+        }));
+        plane.attach_registry(&registry);
+        plane.attach_ring(ring.clone());
+        sinks.push(Arc::new(ObsSink::new(plane.clone())));
+        plane
+    });
+    let telemetry = Telemetry::new(Arc::new(FanoutSink::new(sinks)));
+    let tracer = Tracer::with_wall_clock(telemetry.clone());
+    Pipeline { telemetry, tracer, plane }
+}
+
+/// Replays `sc` once through `pipeline` (or fully detached) and returns
+/// (whole-replay seconds, best segment seconds, checksum).
+fn replay(sc: Scenario, pipeline: Option<&Pipeline>) -> (f64, f64, u64) {
+    let server = sc.build_server();
+    let mut session = Session::new(server, sc.policy().build(), PERIODS);
+    if let Some(p) = pipeline {
+        session = session.with_telemetry(&p.telemetry).with_tracing(&p.tracer);
+    }
+    let mut checksum = FNV_OFFSET;
+    let mut periods_seen: u32 = 0;
+    let mut next_segment = SEGMENT;
+    let mut best_segment = f64::INFINITY;
+    let t0 = Instant::now();
+    let mut seg_start = t0;
+    let end = session.run_observed(
+        |_, _| (),
+        |step, _, _| {
+            if let Some(s) = step.delivered {
+                checksum = fnv1a(checksum, &s.time_s.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.hp.ipc.to_bits().to_le_bytes());
+                checksum = fnv1a(checksum, &s.total_bw_gbps.to_bits().to_le_bytes());
+            }
+            periods_seen += 1;
+            if periods_seen == next_segment {
+                next_segment += SEGMENT;
+                let now = Instant::now();
+                best_segment = best_segment.min((now - seg_start).as_secs_f64());
+                seg_start = now;
+            }
+        },
+    );
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(end.periods, PERIODS, "the eternal workload must reach the cap");
+    (seconds, best_segment, checksum)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Everything measured for one scenario.
+struct Measured {
+    detached_pps: f64,
+    baseline_pps: f64,
+    obs_pps: f64,
+    overhead_pct: f64,
+    median_pair_pct: f64,
+    checksum: u64,
+    plane: Arc<ObsPlane>,
+}
+
+/// Paired interleaved measurement: [`REPEATS`] (baseline, obs) pairs,
+/// order flipped every repeat, checksum checked every replay against the
+/// detached reference.
+fn measure(sc: Scenario) -> Measured {
+    let hp_solo_ipc = sc.hp_solo_ipc();
+    let (_, detached_best, checksum) = replay(sc, None);
+    let detached_pps = SEGMENT as f64 / detached_best;
+
+    let mut base_s = Vec::with_capacity(REPEATS);
+    let mut obs_s = Vec::with_capacity(REPEATS);
+    let (mut best_base, mut best_obs) = (f64::INFINITY, f64::INFINITY);
+    let mut obs_last = None;
+    for rep in 0..REPEATS {
+        for flip in [false, true] {
+            let with_obs = flip ^ (rep % 2 == 1);
+            let pipeline = daemon_pipeline(with_obs, hp_solo_ipc);
+            let (seconds, best_segment, sum) = replay(sc, Some(&pipeline));
+            assert_eq!(sum, checksum, "telemetry observation perturbed the simulation");
+            if with_obs {
+                obs_s.push(seconds);
+                best_obs = best_obs.min(best_segment);
+                obs_last = Some(pipeline);
+            } else {
+                base_s.push(seconds);
+                best_base = best_base.min(best_segment);
+            }
+        }
+    }
+    let mut ratios: Vec<f64> =
+        base_s.iter().zip(&obs_s).map(|(b, o)| (o - b) / o * 100.0).collect();
+    Measured {
+        detached_pps,
+        baseline_pps: SEGMENT as f64 / best_base,
+        obs_pps: SEGMENT as f64 / best_obs,
+        overhead_pct: (best_obs - best_base) / best_obs * 100.0,
+        median_pair_pct: median(&mut ratios),
+        checksum,
+        plane: obs_last.and_then(|p| p.plane).expect("obs pipeline kept"),
+    }
+}
+
+fn main() {
+    dicer_bench::banner("observability-plane overhead (daemon pipeline, 10^5-period replays)");
+    println!(
+        "{PERIODS} periods per replay, best {SEGMENT}-period segment over {REPEATS} \
+         interleaved pairs; budget {OVERHEAD_BUDGET_PCT}% (churn, asserted), \
+         {STEADY_BACKSTOP_PCT}% (steady backstop), over the ring+metrics+tracer baseline"
+    );
+
+    let mut blocks = Vec::new();
+    for sc in [Scenario::Churn, Scenario::Steady] {
+        let m = measure(sc);
+        println!(
+            "{:>7}: detached {:>9.0}/s | baseline {:>8.0}/s | with obs {:>8.0}/s \
+             -> overhead {:.2}% (median pair {:.2}%)",
+            sc.name(),
+            m.detached_pps,
+            m.baseline_pps,
+            m.obs_pps,
+            m.overhead_pct,
+            m.median_pair_pct,
+        );
+        println!(
+            "         plane: {} samples across {} series, {} alerts firing",
+            m.plane.samples_total(),
+            m.plane.series_names().len(),
+            m.plane.firing_count(),
+        );
+        let budget = match sc {
+            Scenario::Churn => OVERHEAD_BUDGET_PCT,
+            Scenario::Steady => STEADY_BACKSTOP_PCT,
+        };
+        assert!(
+            m.overhead_pct < budget,
+            "observability plane costs {:.2}% of {} serving throughput (budget {budget}%)",
+            m.overhead_pct,
+            sc.name(),
+        );
+        blocks.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"policy\": \"{}\",\n      \
+             \"asserted_budget_pct\": {budget:.1},\n      \
+             \"baseline_periods_per_sec\": {:.0},\n      \
+             \"obs_periods_per_sec\": {:.0},\n      \
+             \"overhead_pct\": {:.3},\n      \
+             \"overhead_median_pair_pct\": {:.3},\n      \
+             \"detached_periods_per_sec\": {:.0},\n      \
+             \"store_samples\": {},\n      \"store_series\": {},\n      \
+             \"alerts_firing\": {},\n      \"checksum\": \"{:016x}\"\n    }}",
+            sc.name(),
+            match sc {
+                Scenario::Churn => "DICER",
+                Scenario::Steady => "UM",
+            },
+            m.baseline_pps,
+            m.obs_pps,
+            m.overhead_pct,
+            m.median_pair_pct,
+            m.detached_pps,
+            m.plane.samples_total(),
+            m.plane.series_names().len(),
+            m.plane.firing_count(),
+            m.checksum,
+        ));
+    }
+
+    // Hand-rolled JSON: byte-stable, no serialiser in the loop.
+    let json = format!(
+        "{{\n  \"periods\": {PERIODS},\n  \"repeats\": {REPEATS},\n  \
+         \"segment\": {SEGMENT},\n  \
+         \"overhead_budget_pct\": {OVERHEAD_BUDGET_PCT:.1},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        blocks.join(",\n"),
+    );
+    std::fs::create_dir_all(dicer_bench::RESULTS_DIR).expect("results dir");
+    let path = std::path::Path::new(dicer_bench::RESULTS_DIR).join("BENCH_obs.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! # dicer-obs — the embedded observability plane
+//!
+//! Everything in this crate runs on **logical periods**, never the wall
+//! clock, so the whole plane is deterministic: replaying a workload
+//! reproduces the same series samples, the same alert transitions at
+//! the same period indices, and byte-identical incident bundles. That
+//! is what lets the end-to-end alerting test pin a committed golden and
+//! what keeps `results/` artifacts stable across machines and `--jobs`
+//! levels.
+//!
+//! Three layers, composed by [`ObsPlane`]:
+//!
+//! * [`store`] — a tiered period-series store. Each series keeps a raw
+//!   ring of `(period, value)` samples plus `/16` and `/256`
+//!   downsampled tiers whose buckets carry `min/max/sum/count/last`, so
+//!   long-horizon queries stay cheap under a fixed memory bound.
+//! * [`rules`] — a declarative alerting engine: threshold,
+//!   severity-streak, and multi-window SLO **burn-rate** rules (HP
+//!   normalized-IPC violations against the error budget over a short
+//!   and a long window, Google-SRE style), evaluated once per period
+//!   with firing/resolved edge tracking.
+//! * [`recorder`] — the flight recorder: on a firing edge the plane
+//!   snapshots the triggering rule, the raw-tier window of every key
+//!   series, the last events off the daemon's ring, and the active
+//!   controller summaries into one JSONL bundle under
+//!   `results/incidents/`.
+//!
+//! The daemon exposes the plane over HTTP: `GET /query` serves
+//! downsample-aware range queries and `GET /alerts` the firing set plus
+//! history; `/healthz` carries the firing count and the registry gains
+//! `dicer_alerts_firing` and `dicer_obs_*` self-metrics.
+
+pub mod plane;
+pub mod recorder;
+pub mod rules;
+pub mod store;
+
+pub use plane::{ObsConfig, ObsPlane, ObsSink, DEFAULT_SLO_NORM_IPC, KEY_SERIES};
+pub use recorder::{build_bundle, bundle_file_name, FlightRecorder, IncidentConfig};
+pub use rules::{standard_rules, AlertRecord, Rule, RuleKind, RulesEngine, Transition};
+pub use store::{QueryResult, SeriesId, SeriesStore, StoreConfig};

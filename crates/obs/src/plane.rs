@@ -1,0 +1,905 @@
+//! The observability plane: one object wiring the series store, the
+//! rules engine and the flight recorder onto the telemetry bus.
+//!
+//! The plane is driven entirely by logical periods. In a classic
+//! (single-node) deployment it sits on the event bus as an [`ObsSink`]:
+//! every [`TelemetryEvent::Period`] closes one logical period — key
+//! series are recorded, the metrics registry is scraped, rules are
+//! evaluated, and firing edges cut incident bundles. In fleet mode the
+//! daemon calls [`ObsPlane::tick`] once per round instead (fleet nodes
+//! publish per-node gauges, which the scrape turns into per-node
+//! series). Either way there is no wall clock anywhere, so a given
+//! workload always produces the same series, the same alerts at the
+//! same periods, and byte-identical incident bundles.
+//!
+//! # The ingest fast path
+//!
+//! Period events are *staged*, not processed inline: the bus-facing
+//! path copies the 48-byte sample into a bounded buffer and returns.
+//! Every [`FLUSH_BATCH`] periods — whole /16 store buckets — the staged
+//! batch is processed in one pass: store ingest, registry scrape, rule
+//! evaluation and incident cutting, with all their data structures hot
+//! in cache instead of cold every period. Periods keep their exact
+//! logical clock through the batch (each staged sample is processed at
+//! its own period, in order), and **every** read path flushes the
+//! staging buffer first, so queries, alert reads and counters never
+//! observe a stale plane. Batching therefore changes *when* the work
+//! happens (by at most `FLUSH_BATCH - 1` periods of wall time), never *what* it
+//! computes — alert edges and bundles stay byte-identical.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dicer_telemetry::{
+    Counter, Gauge, Interests, MetricsRegistry, PeriodEvent, RingRecorder, Scalar,
+    TelemetryEvent, TelemetrySink,
+};
+
+use crate::recorder::{build_bundle, bundle_file_name, FlightRecorder, IncidentConfig};
+use crate::rules::{standard_rules, EvalInput, Rule, RuleKind, RulesEngine, Transition};
+use crate::store::{SeriesId, SeriesStore, StoreConfig};
+
+/// Default SLO objective: the HP must deliver at least this fraction of
+/// its solo IPC each period.
+pub const DEFAULT_SLO_NORM_IPC: f64 = 0.95;
+
+/// The event-driven key series. IPC and bandwidth are dense (one sample
+/// per period); `obs_hp_ways` is a step series, recorded only when the
+/// allocation actually changes. `obs_hp_norm_ipc` is *derived*, not
+/// stored: it is exactly `obs_hp_ipc × 1/solo`, a positive pointwise
+/// scaling that commutes with every tier statistic (min/max order is
+/// preserved, sums scale linearly), so queries and bundles synthesize it
+/// from the ipc series instead of paying a third record every period.
+/// HP slowdown is not stored either — it is pointwise
+/// `1 / obs_hp_norm_ipc`, and a reciprocal cannot be aggregated through
+/// downsampled `sum`s, so its coarse tiers would lie.
+pub const KEY_SERIES: [&str; 4] =
+    ["obs_hp_ipc", "obs_hp_norm_ipc", "obs_total_bw_gbps", "obs_hp_ways"];
+
+/// The derived norm-IPC series name (`KEY_SERIES[1]`).
+pub(crate) const NORM_SERIES: &str = "obs_hp_norm_ipc";
+
+/// Plane configuration.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Series-store tier capacities.
+    pub store: StoreConfig,
+    /// Armed alert rules ([`standard_rules`] by default).
+    pub rules: Vec<Rule>,
+    /// SLO objective on HP normalized IPC.
+    pub slo_norm_ipc: f64,
+    /// HP solo IPC, when already known (settable later through
+    /// [`ObsPlane::set_hp_solo_ipc`]; norm-IPC series and burn-rate
+    /// windows hold until it is).
+    pub hp_solo_ipc: Option<f64>,
+    /// Scrape the metrics registry every N periods (1 = every period).
+    /// Fleet-mode [`ObsPlane::tick`]s always scrape — rounds are already
+    /// coarse — so this cadence only paces event-driven periods, where
+    /// the key series cover every period anyway; the default (64, one
+    /// self-metrics flush interval) keeps the scrape well off the
+    /// per-period hot path — alerting never waits on it, since the
+    /// standard rules read the per-period samples directly.
+    pub scrape_every: u64,
+    /// Flight-recorder shape.
+    pub incident: IncidentConfig,
+    /// Resolved alerts retained in history.
+    pub history_cap: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            store: StoreConfig::default(),
+            rules: standard_rules(),
+            slo_norm_ipc: DEFAULT_SLO_NORM_IPC,
+            hp_solo_ipc: None,
+            scrape_every: 64,
+            incident: IncidentConfig::default(),
+            history_cap: 64,
+        }
+    }
+}
+
+struct KeyIds {
+    ipc: SeriesId,
+    bw: SeriesId,
+    ways: SeriesId,
+}
+
+struct Scraper {
+    registry: Arc<MetricsRegistry>,
+    every: u64,
+    /// Periods until the next scheduled scrape. A countdown instead of
+    /// `period % every` keeps a runtime-divisor division off the
+    /// per-period hot path.
+    countdown: u64,
+    /// Registry generation the handle cache was built against.
+    generation: u64,
+    /// Scalar handle, its store series, and the bits of the last value
+    /// recorded — scrapes are change-compressed: an unchanged scalar is
+    /// not re-recorded (the store handles sparse series natively).
+    handles: Vec<(SeriesId, Scalar, u64)>,
+}
+
+struct SelfMetrics {
+    alerts_firing: Gauge,
+    samples_total: Counter,
+    evals_total: Counter,
+    transitions_total: Counter,
+    incidents_total: Counter,
+    /// Values already flushed into the counters above.
+    flushed: (u64, u64, u64, u64),
+}
+
+/// How often (periods) batched self-metric counters flush to the
+/// registry. Keeps the per-period cost at two integer compares.
+const SELF_FLUSH_EVERY: u64 = 64;
+
+/// Staged period samples processed together — two /16 store buckets, so
+/// a flush folds whole tier buckets while they are hot in cache and the
+/// fixed flush costs (scraper walk, engine and series metadata refills)
+/// amortize over twice the periods.
+pub const FLUSH_BATCH: usize = 32;
+
+struct PlaneInner {
+    store: SeriesStore,
+    engine: RulesEngine,
+    recorder: FlightRecorder,
+    /// Logical period clock: monotone across runs, never resets.
+    period: u64,
+    objective: f64,
+    /// Reciprocal of the HP solo IPC (`NaN` = unknown): a multiply per
+    /// period instead of a divide.
+    inv_hp_solo_ipc: f64,
+    /// Last recorded `obs_hp_ways` value (`u32::MAX` = none yet) — the
+    /// step series records on change only.
+    last_ways: u32,
+    key: KeyIds,
+    /// Last status per controller, sorted by name: (name, period, state,
+    /// severity).
+    controllers: Vec<(&'static str, u64, &'static str, u8)>,
+    scraper: Option<Scraper>,
+    ring: Option<Arc<RingRecorder>>,
+    metrics: Option<SelfMetrics>,
+    /// Reused transition buffer (zero steady-state allocation).
+    transitions: Vec<Transition>,
+    scrape_every: u64,
+    /// Period samples staged for batch processing. An inline array (not
+    /// a `Vec`): the bus-facing push touches only lines adjacent to the
+    /// plane's own lock, with no data-pointer indirection.
+    staged: [PeriodEvent; FLUSH_BATCH],
+    staged_len: usize,
+    /// Whether every armed rule reads only the period sample or
+    /// batch-constant state — true for [`standard_rules`] — which
+    /// unlocks the batched flush path ([`RulesEngine::eval_batch`]).
+    rules_sample_local: bool,
+}
+
+/// Zero-filled staging slot (never read before written).
+const EMPTY_PERIOD: PeriodEvent =
+    PeriodEvent { time_s: 0.0, hp_ipc: 0.0, hp_bw_gbps: 0.0, total_bw_gbps: 0.0, hp_ways: 0, n_bes: 0 };
+
+/// The plane itself. Interior-locked: the simulation thread records
+/// through [`ObsPlane::on_event`]/[`ObsPlane::tick`] while HTTP threads
+/// answer [`ObsPlane::query_json`]/[`ObsPlane::alerts_json`].
+pub struct ObsPlane {
+    inner: Mutex<PlaneInner>,
+}
+
+impl ObsPlane {
+    /// Builds a plane; key series are pre-registered.
+    pub fn new(cfg: ObsConfig) -> Self {
+        let mut store = SeriesStore::new(cfg.store);
+        let key = KeyIds {
+            ipc: store.series_id(KEY_SERIES[0]),
+            bw: store.series_id(KEY_SERIES[2]),
+            ways: store.series_id(KEY_SERIES[3]),
+        };
+        // Registered so `series_names` advertises it, but never recorded
+        // — the norm series is derived from ipc at read time.
+        store.series_id(NORM_SERIES);
+        let rules_sample_local = cfg.rules.iter().all(|r| match &r.kind {
+            RuleKind::BurnRate { .. } | RuleKind::SeverityStreak { .. } => true,
+            RuleKind::Threshold { metric, .. } => KEY_SERIES.contains(&metric.as_str()),
+        });
+        ObsPlane {
+            inner: Mutex::new(PlaneInner {
+                store,
+                engine: RulesEngine::new(cfg.rules, cfg.history_cap),
+                recorder: FlightRecorder::new(cfg.incident),
+                period: 0,
+                objective: cfg.slo_norm_ipc,
+                inv_hp_solo_ipc: cfg.hp_solo_ipc.map_or(f64::NAN, f64::recip),
+                last_ways: u32::MAX,
+                key,
+                controllers: Vec::new(),
+                scraper: None,
+                ring: None,
+                metrics: None,
+                transitions: Vec::new(),
+                scrape_every: cfg.scrape_every.max(1),
+                staged: [EMPTY_PERIOD; FLUSH_BATCH],
+                staged_len: 0,
+                rules_sample_local,
+            }),
+        }
+    }
+
+    /// Attaches a metrics registry: every `scrape_every` periods all its
+    /// scalar series are sampled into the store, and the plane registers
+    /// its own `dicer_alerts_firing` gauge plus `dicer_obs_*`
+    /// self-metrics there. Scraping caches the lock-free scalar handles
+    /// and re-enumerates only when the registry generation changes, so a
+    /// steady-state scrape never touches the registry lock.
+    pub fn attach_registry(&self, registry: &Arc<MetricsRegistry>) {
+        let metrics = SelfMetrics {
+            alerts_firing: registry
+                .gauge("dicer_alerts_firing", "Alert rules currently firing.", &[]),
+            samples_total: registry.counter(
+                "dicer_obs_samples_total",
+                "Samples recorded into the period-series store.",
+                &[],
+            ),
+            evals_total: registry.counter(
+                "dicer_obs_rule_evals_total",
+                "Alert rule evaluations.",
+                &[],
+            ),
+            transitions_total: registry.counter(
+                "dicer_obs_alert_transitions_total",
+                "Alert fire/resolve edges.",
+                &[],
+            ),
+            incidents_total: registry.counter(
+                "dicer_obs_incidents_total",
+                "Incident bundles recorded by the flight recorder.",
+                &[],
+            ),
+            flushed: (0, 0, 0, 0),
+        };
+        let mut inner = self.inner.lock();
+        Self::flush_staged(&mut inner);
+        let every = inner.scrape_every;
+        inner.scraper = Some(Scraper {
+            registry: registry.clone(),
+            every,
+            countdown: 0,
+            generation: u64::MAX,
+            handles: Vec::new(),
+        });
+        inner.metrics = Some(metrics);
+    }
+
+    /// Attaches the event ring incident bundles read their "last N
+    /// events" from (the daemon passes its `/events` ring).
+    pub fn attach_ring(&self, ring: Arc<RingRecorder>) {
+        self.with_flushed(|inner| inner.ring = Some(ring));
+    }
+
+    /// Sets (or updates) the HP solo IPC the norm-IPC series and the
+    /// SLO are computed against. Non-positive or non-finite values are
+    /// ignored.
+    pub fn set_hp_solo_ipc(&self, solo: f64) {
+        if solo.is_finite() && solo > 0.0 {
+            // Flush first: staged periods were observed under the old
+            // solo, exactly as they would have been processed live.
+            self.with_flushed(|inner| inner.inv_hp_solo_ipc = solo.recip());
+        }
+    }
+
+    /// Logical periods closed so far.
+    pub fn period(&self) -> u64 {
+        self.with_flushed(|inner| inner.period)
+    }
+
+    /// Alert rules currently firing (the `/healthz` count).
+    pub fn firing_count(&self) -> usize {
+        self.with_flushed(|inner| inner.engine.firing_count())
+    }
+
+    /// Samples recorded into the store so far.
+    pub fn samples_total(&self) -> u64 {
+        self.with_flushed(|inner| inner.store.samples_total())
+    }
+
+    /// Registered series names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.with_flushed(|inner| inner.store.names().iter().map(|s| s.to_string()).collect())
+    }
+
+    /// In-memory incident bundles, oldest first, as `(file_name, jsonl)`.
+    pub fn incidents(&self) -> Vec<(String, String)> {
+        self.with_flushed(|inner| {
+            inner.recorder.bundles().map(|(n, b)| (n.to_string(), b.to_string())).collect()
+        })
+    }
+
+    /// Incident bundles recorded over the plane's lifetime.
+    pub fn incidents_total(&self) -> u64 {
+        self.with_flushed(|inner| inner.recorder.recorded())
+    }
+
+    /// Answers one `/query` range request; `None` for unknown metrics.
+    /// `obs_hp_norm_ipc` is synthesized from the ipc series (an exact
+    /// positive scaling, so every tier statistic stays truthful); it is
+    /// empty until the solo IPC is known, then covers the full retained
+    /// ipc history.
+    pub fn query_json(&self, metric: &str, start: u64, end: u64, step: u64) -> Option<String> {
+        self.with_flushed(|inner| {
+            if metric == NORM_SERIES {
+                let inv = inner.inv_hp_solo_ipc;
+                let mut r = inner.store.query(KEY_SERIES[0], start, end, step)?;
+                r.metric = NORM_SERIES.to_string();
+                if inv.is_finite() {
+                    for a in &mut r.points {
+                        a.min *= inv;
+                        a.max *= inv;
+                        a.sum *= inv;
+                        a.last *= inv;
+                    }
+                } else {
+                    r.points.clear();
+                }
+                return Some(r.to_json(start, end, step));
+            }
+            inner.store.query(metric, start, end, step).map(|r| r.to_json(start, end, step))
+        })
+    }
+
+    /// Answers `/alerts`: active alerts plus bounded resolved history.
+    pub fn alerts_json(&self) -> String {
+        self.with_flushed(|inner| inner.engine.alerts_json())
+    }
+
+    /// Ingests one bus event. `Period` closes a logical period (staged;
+    /// see the module docs) and `ControllerStatus` updates the
+    /// controller summaries (and the sparse `obs_severity{...}`
+    /// series). Everything else is ignored in a single branch, so the
+    /// plane adds nothing to non-period traffic.
+    pub fn on_event(&self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Period(p) => {
+                let mut inner = self.inner.lock();
+                let n = inner.staged_len;
+                inner.staged[n] = *p;
+                inner.staged_len = n + 1;
+                if n + 1 == FLUSH_BATCH {
+                    Self::flush_staged(&mut inner);
+                }
+            }
+            TelemetryEvent::ControllerStatus { name, period, state, severity } => {
+                let mut inner = self.inner.lock();
+                // Stamp against the post-flush period clock — exactly
+                // where this status sits in the event stream.
+                Self::flush_staged(&mut inner);
+                let stamp = inner.period;
+                match inner.controllers.binary_search_by(|c| c.0.cmp(name)) {
+                    Ok(i) => inner.controllers[i] = (name, *period, state, *severity),
+                    Err(i) => inner.controllers.insert(i, (name, *period, state, *severity)),
+                }
+                let series = format!("obs_severity{{controller=\"{name}\"}}");
+                let id = inner.store.series_id(&series);
+                inner.store.record(id, stamp, *severity as f64);
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes one logical period with no period sample — fleet mode,
+    /// where the signal lives in per-node registry gauges and rounds are
+    /// the period clock. Ticks always scrape the registry (rounds are
+    /// coarse; the per-node series live there), regardless of
+    /// [`ObsConfig::scrape_every`].
+    pub fn tick(&self) {
+        let mut inner = self.inner.lock();
+        Self::flush_staged(&mut inner);
+        Self::process_period(&mut inner, None, true);
+    }
+
+    /// Processes every staged period sample in order, then empties the
+    /// buffer. Called with the lock held — at batch boundaries, from
+    /// [`ObsPlane::tick`], and from every read path.
+    ///
+    /// The dense key series (`ipc`, `bw`) fold as one
+    /// [`SeriesStore::record_batch`] per series up front — the open /16
+    /// bucket stays in registers across the batch. Rule evaluation still
+    /// walks the periods one by one below, reading key values straight
+    /// from each staged sample, and incident windows filter on `period
+    /// <= fire period`, so neither can observe the fold ahead of its
+    /// period: the result is byte-identical to per-period recording.
+    fn flush_staged(inner: &mut PlaneInner) {
+        let n = inner.staged_len;
+        if n == 0 {
+            return;
+        }
+        let start = inner.period;
+        let inv = inner.inv_hp_solo_ipc;
+        let objective = inner.objective;
+        let mut ipc = [0.0f64; FLUSH_BATCH];
+        let mut bw = [0.0f64; FLUSH_BATCH];
+        for (i, p) in inner.staged[..n].iter().enumerate() {
+            ipc[i] = p.hp_ipc;
+            bw[i] = p.total_bw_gbps;
+        }
+        let (kipc, kbw) = (inner.key.ipc, inner.key.bw);
+        inner.store.record_batch(kipc, start, &ipc[..n]);
+        inner.store.record_batch(kbw, start, &bw[..n]);
+
+        if !inner.rules_sample_local {
+            // A custom rule reads arbitrary stored series: evaluation
+            // must interleave with scrapes period by period.
+            for i in 0..n {
+                let p = inner.staged[i];
+                Self::process_period(inner, Some(&p), false);
+            }
+            inner.staged_len = 0;
+            return;
+        }
+
+        // Batched path: every armed rule is sample-local, so the whole
+        // batch evaluates in one `eval_batch` (byte-identical to the
+        // per-period path — see its contract) and the bookkeeping loops
+        // below each run tight over the batch.
+        inner.period += n as u64;
+
+        for i in 0..n {
+            let w = inner.staged[i].hp_ways;
+            if w != inner.last_ways {
+                inner.last_ways = w;
+                let id = inner.key.ways;
+                inner.store.record(id, start + i as u64, w as f64);
+            }
+        }
+
+        if let Some(s) = &mut inner.scraper {
+            for i in 0..n {
+                if Self::scrape_pace(s) {
+                    Self::scrape_now(s, &mut inner.store, start + i as u64);
+                }
+            }
+        }
+
+        let mut norms = [f64::NAN; FLUSH_BATCH];
+        for i in 0..n {
+            norms[i] = ipc[i] * inv; // NaN propagates when solo unknown
+        }
+
+        let PlaneInner { store, engine, recorder, key, controllers, ring, transitions, staged, .. } =
+            inner;
+        {
+            let metric_at = |i: usize, name: &str| {
+                let p = &staged[i];
+                let direct = match name {
+                    NORM_SERIES => norms[i],
+                    "obs_hp_ipc" => p.hp_ipc,
+                    "obs_total_bw_gbps" => p.total_bw_gbps,
+                    "obs_hp_ways" => p.hp_ways as f64,
+                    // Unreachable: `rules_sample_local` admits key
+                    // series thresholds only.
+                    _ => f64::NAN,
+                };
+                if direct.is_finite() {
+                    return Some(direct);
+                }
+                let id = match name {
+                    NORM_SERIES => return None,
+                    "obs_hp_ipc" => Some(key.ipc),
+                    "obs_total_bw_gbps" => Some(key.bw),
+                    "obs_hp_ways" => Some(key.ways),
+                    _ => store.lookup(name),
+                };
+                id.and_then(|id| store.last(id)).map(|(_, v)| v)
+            };
+            // Controller statuses flush the staging buffer before they
+            // land, so severities are constant across a batch.
+            let severity = |name: &str| {
+                if name.is_empty() {
+                    controllers.iter().map(|c| c.3).max()
+                } else {
+                    controllers.iter().find(|c| c.0 == name).map(|c| c.3)
+                }
+            };
+            engine.eval_batch(start, &norms[..n], objective, &metric_at, &severity, transitions);
+        }
+
+        Self::cut_incidents(store, engine, recorder, key, controllers, ring, transitions, inv);
+
+        if let Some(m) = &mut inner.metrics {
+            if !inner.transitions.is_empty() {
+                m.alerts_firing.set(inner.engine.firing_count() as f64);
+            }
+            // Same cadence as the per-period path: flush the self
+            // counters when the batch contains a boundary period.
+            if start.next_multiple_of(SELF_FLUSH_EVERY) < start + n as u64 {
+                let now = (
+                    inner.store.samples_total(),
+                    inner.engine.evaluations(),
+                    inner.engine.transitions_total(),
+                    inner.recorder.recorded(),
+                );
+                m.samples_total.add(now.0 - m.flushed.0);
+                m.evals_total.add(now.1 - m.flushed.1);
+                m.transitions_total.add(now.2 - m.flushed.2);
+                m.incidents_total.add(now.3 - m.flushed.3);
+                m.flushed = now;
+            }
+        }
+
+        inner.staged_len = 0;
+    }
+
+    /// Locks, drains the staging buffer, then runs `f`. Every read path
+    /// goes through here, so no caller can observe a stale plane.
+    fn with_flushed<R>(&self, f: impl FnOnce(&mut PlaneInner) -> R) -> R {
+        let mut inner = self.inner.lock();
+        Self::flush_staged(&mut inner);
+        f(&mut inner)
+    }
+
+    /// Cuts a flight-recorder bundle for every fire edge in
+    /// `transitions`, windowed to each edge's own period.
+    #[allow(clippy::too_many_arguments)]
+    fn cut_incidents(
+        store: &SeriesStore,
+        engine: &RulesEngine,
+        recorder: &mut FlightRecorder,
+        key: &KeyIds,
+        controllers: &[(&'static str, u64, &'static str, u8)],
+        ring: &Option<Arc<RingRecorder>>,
+        transitions: &[Transition],
+        inv: f64,
+    ) {
+        for tr in transitions.iter().filter(|tr| tr.fired) {
+            let t = tr.period;
+            let rule = engine.rule(tr.rule);
+            let window = recorder.config().window;
+            let start = t.saturating_sub(window);
+            let mut series: Vec<(&str, Vec<(u64, f64)>)> = Vec::with_capacity(KEY_SERIES.len());
+            for name in KEY_SERIES {
+                let id = if name == NORM_SERIES {
+                    key.ipc
+                } else {
+                    store.lookup(name).expect("key series pre-registered")
+                };
+                let mut window = store.raw_window(id, start, t);
+                // A step series (ways) may not have changed inside the
+                // window — carry its last known value so the bundle
+                // still answers "what was it at fire time".
+                if window.is_empty() {
+                    window.extend(store.last(id));
+                }
+                if name == NORM_SERIES {
+                    // Derived: scale the ipc window (empty if solo is
+                    // still unknown — a NaN must never reach a bundle).
+                    if inv.is_finite() {
+                        for (_, v) in &mut window {
+                            *v *= inv;
+                        }
+                    } else {
+                        window.clear();
+                    }
+                }
+                series.push((name, window));
+            }
+            let max_events = recorder.config().max_events;
+            let events = match ring {
+                Some(r) => {
+                    let head = r.cursor_now();
+                    let (events, _, _) =
+                        r.read_since(head.saturating_sub(max_events as u64), max_events);
+                    events
+                }
+                None => Vec::new(),
+            };
+            let ctrls: Vec<(&str, u64, &str, u8)> =
+                controllers.iter().map(|c| (c.0, c.1, c.2, c.3)).collect();
+            let bundle = build_bundle(rule, t, tr.value, &series, &events, &ctrls);
+            recorder.record(bundle_file_name(&rule.name, t), bundle);
+        }
+    }
+
+    /// Advances the scrape countdown by one period, returning whether a
+    /// scrape is due now.
+    #[inline]
+    fn scrape_pace(s: &mut Scraper) -> bool {
+        if s.countdown == 0 {
+            s.countdown = s.every - 1;
+            true
+        } else {
+            s.countdown -= 1;
+            false
+        }
+    }
+
+    /// Samples every registry scalar into the store at period `t`,
+    /// change-compressed, re-caching handles when the registry
+    /// generation moved.
+    fn scrape_now(s: &mut Scraper, store: &mut SeriesStore, t: u64) {
+        let gen = s.registry.generation();
+        if gen != s.generation {
+            s.generation = gen;
+            s.handles = s
+                .registry
+                .scalars()
+                .into_iter()
+                // NaN bits = "nothing recorded yet" — registry scalars
+                // are pinned finite, and a real NaN would be dropped by
+                // the store anyway.
+                .map(|(name, h)| (store.series_id(&name), h, f64::NAN.to_bits()))
+                .collect();
+        }
+        for (id, h, last_bits) in &mut s.handles {
+            let bits = h.value().to_bits();
+            if bits != *last_bits {
+                *last_bits = bits;
+                store.record(*id, t, f64::from_bits(bits));
+            }
+        }
+    }
+
+    #[inline]
+    fn process_period(inner: &mut PlaneInner, sample: Option<&PeriodEvent>, force_scrape: bool) {
+        let t = inner.period;
+        inner.period += 1;
+        let objective = inner.objective;
+
+        let inv = inner.inv_hp_solo_ipc;
+        let mut norm = f64::NAN;
+        if let Some(p) = sample {
+            norm = p.hp_ipc * inv; // NaN propagates when solo unknown
+            // ipc/bw were batch-recorded by `flush_staged`; only the
+            // change-compressed ways step series records here.
+            if p.hp_ways != inner.last_ways {
+                inner.last_ways = p.hp_ways;
+                let id = inner.key.ways;
+                inner.store.record(id, t, p.hp_ways as f64);
+            }
+        }
+
+        if let Some(s) = &mut inner.scraper {
+            if force_scrape || Self::scrape_pace(s) {
+                Self::scrape_now(s, &mut inner.store, t);
+            }
+        }
+
+        let PlaneInner { store, engine, recorder, key, controllers, ring, transitions, .. } = inner;
+        {
+            // Key series resolve without touching the name map, and —
+            // when this period has a sample — straight from it: the
+            // value the store would return for period `t`, without the
+            // lookup. Ticks (no sample) fall through to the store.
+            let metric = |name: &str| {
+                if let Some(p) = sample {
+                    let direct = match name {
+                        NORM_SERIES => norm,
+                        "obs_hp_ipc" => p.hp_ipc,
+                        "obs_total_bw_gbps" => p.total_bw_gbps,
+                        "obs_hp_ways" => p.hp_ways as f64,
+                        _ => f64::NAN,
+                    };
+                    if direct.is_finite() {
+                        return Some(direct);
+                    }
+                }
+                let id = match name {
+                    // Derived (never stored); gated until solo is known.
+                    NORM_SERIES => return None,
+                    "obs_hp_ipc" => Some(key.ipc),
+                    "obs_total_bw_gbps" => Some(key.bw),
+                    "obs_hp_ways" => Some(key.ways),
+                    _ => store.lookup(name),
+                };
+                id.and_then(|id| store.last(id)).map(|(_, v)| v)
+            };
+            let severity = |name: &str| {
+                if name.is_empty() {
+                    controllers.iter().map(|c| c.3).max()
+                } else {
+                    controllers.iter().find(|c| c.0 == name).map(|c| c.3)
+                }
+            };
+            let input = EvalInput {
+                period: t,
+                norm_ipc: norm,
+                objective,
+                metric: &metric,
+                severity: &severity,
+            };
+            engine.eval(&input, transitions);
+        }
+
+        Self::cut_incidents(store, engine, recorder, key, controllers, ring, transitions, inv);
+
+        if let Some(m) = &mut inner.metrics {
+            if !inner.transitions.is_empty() {
+                m.alerts_firing.set(inner.engine.firing_count() as f64);
+            }
+            if t.is_multiple_of(SELF_FLUSH_EVERY) {
+                let now = (
+                    inner.store.samples_total(),
+                    inner.engine.evaluations(),
+                    inner.engine.transitions_total(),
+                    inner.recorder.recorded(),
+                );
+                m.samples_total.add(now.0 - m.flushed.0);
+                m.evals_total.add(now.1 - m.flushed.1);
+                m.transitions_total.add(now.2 - m.flushed.2);
+                m.incidents_total.add(now.3 - m.flushed.3);
+                m.flushed = now;
+            }
+        }
+    }
+}
+
+/// A [`TelemetrySink`] adapter: put this on the bus (typically inside a
+/// `FanoutSink`) and the plane observes everything the session emits.
+pub struct ObsSink {
+    plane: Arc<ObsPlane>,
+}
+
+impl ObsSink {
+    /// A sink delivering into `plane`.
+    pub fn new(plane: Arc<ObsPlane>) -> Self {
+        ObsSink { plane }
+    }
+}
+
+impl TelemetrySink for ObsSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        self.plane.on_event(event);
+    }
+
+    /// Only periods and controller statuses reach the plane — the
+    /// fan-out router skips this sink for every other family (span
+    /// events outnumber periods ~3:1 on a traced daemon, so this keeps
+    /// their dispatch off the plane entirely).
+    fn interests(&self) -> Interests {
+        Interests::PERIOD | Interests::CONTROLLER_STATUS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleKind;
+
+    fn period(hp_ipc: f64) -> TelemetryEvent {
+        TelemetryEvent::Period(PeriodEvent {
+            time_s: 0.0,
+            hp_ipc,
+            hp_bw_gbps: 10.0,
+            total_bw_gbps: 40.0,
+            hp_ways: 8,
+            n_bes: 3,
+        })
+    }
+
+    fn burn_rule() -> Rule {
+        Rule {
+            name: "hp-slo-burn-rate".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 4, long: 8, budget: 0.25, threshold: 2.0 },
+        }
+    }
+
+    #[test]
+    fn period_events_populate_key_series_and_answer_queries() {
+        let plane = ObsPlane::new(ObsConfig {
+            hp_solo_ipc: Some(2.0),
+            rules: Vec::new(),
+            ..ObsConfig::default()
+        });
+        for _ in 0..4 {
+            plane.on_event(&period(1.0));
+        }
+        assert_eq!(plane.period(), 4);
+        let q = plane.query_json("obs_hp_norm_ipc", 0, 3, 1).unwrap();
+        assert!(q.contains("\"metric\":\"obs_hp_norm_ipc\""), "{q}");
+        assert!(q.contains("\"last\":0.5"), "{q}");
+        assert!(plane.query_json("no_such_metric", 0, 10, 1).is_none());
+    }
+
+    #[test]
+    fn norm_series_is_derived_and_gated_until_solo_known() {
+        let plane = ObsPlane::new(ObsConfig { rules: Vec::new(), ..ObsConfig::default() });
+        plane.on_event(&period(1.0));
+        let before = plane.query_json("obs_hp_norm_ipc", 0, 10, 1).unwrap();
+        assert!(before.contains("\"points\":[]"), "{before}");
+        plane.set_hp_solo_ipc(2.0);
+        plane.on_event(&period(1.0));
+        // Derived from the ipc series: once the solo is known the whole
+        // retained history normalizes, period 0 included.
+        let after = plane.query_json("obs_hp_norm_ipc", 0, 10, 1).unwrap();
+        assert!(after.contains("[{\"period\":0,"), "{after}");
+        assert!(after.contains("\"last\":0.5"), "{after}");
+    }
+
+    #[test]
+    fn burn_rate_fires_at_a_pinned_period_and_cuts_one_bundle() {
+        let run = || {
+            let plane = ObsPlane::new(ObsConfig {
+                hp_solo_ipc: Some(1.0),
+                rules: vec![burn_rule()],
+                ..ObsConfig::default()
+            });
+            plane.on_event(&TelemetryEvent::ControllerStatus {
+                name: "DICER",
+                period: 0,
+                state: "sampling",
+                severity: 1,
+            });
+            // Every period violates the SLO; the rule may only fire once
+            // both windows are full, i.e. at period index 7.
+            for _ in 0..12 {
+                plane.on_event(&period(0.5));
+            }
+            plane
+        };
+        let plane = run();
+        assert_eq!(plane.firing_count(), 1);
+        assert_eq!(plane.incidents_total(), 1);
+        let incidents = plane.incidents();
+        assert_eq!(incidents[0].0, "incident_hp-slo-burn-rate_p7.jsonl");
+        assert!(incidents[0].1.contains("\"fired_period\":7"), "{}", incidents[0].1);
+        assert!(incidents[0].1.contains("\"name\":\"DICER\""), "{}", incidents[0].1);
+        // Byte-for-byte reproducible.
+        assert_eq!(run().incidents(), incidents);
+    }
+
+    #[test]
+    fn registry_scrape_lands_in_the_store_and_tracks_new_series() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let g = registry.gauge("dicer_x", "x", &[]);
+        g.set(3.0);
+        let plane = ObsPlane::new(ObsConfig { rules: Vec::new(), ..ObsConfig::default() });
+        plane.attach_registry(&registry);
+        plane.tick();
+        let q = plane.query_json("dicer_x", 0, 10, 1).unwrap();
+        assert!(q.contains("\"last\":3"), "{q}");
+        // A series registered later is picked up on the next scrape.
+        registry.counter("dicer_y_total", "y", &[]).add(2);
+        plane.tick();
+        let q = plane.query_json("dicer_y_total", 0, 10, 1).unwrap();
+        assert!(q.contains("\"last\":2"), "{q}");
+        // Self-metrics registered alongside.
+        assert!(plane.query_json("dicer_alerts_firing", 0, 10, 1).is_some());
+    }
+
+    #[test]
+    fn controller_status_records_a_sparse_severity_series() {
+        let plane = ObsPlane::new(ObsConfig { rules: Vec::new(), ..ObsConfig::default() });
+        plane.on_event(&period(1.0));
+        plane.on_event(&period(1.0));
+        plane.on_event(&TelemetryEvent::ControllerStatus {
+            name: "DICER",
+            period: 2,
+            state: "throttled",
+            severity: 2,
+        });
+        let q = plane.query_json("obs_severity{controller=\"DICER\"}", 0, 10, 1).unwrap();
+        assert!(q.contains("[{\"period\":2,\"min\":2,"), "{q}");
+    }
+
+    #[test]
+    fn bundles_include_ring_events_when_attached() {
+        let ring = Arc::new(RingRecorder::new(64));
+        ring.emit(&TelemetryEvent::Fault { label: "sample_dropped" });
+        let plane = ObsPlane::new(ObsConfig {
+            hp_solo_ipc: Some(1.0),
+            rules: vec![burn_rule()],
+            ..ObsConfig::default()
+        });
+        plane.attach_ring(ring.clone());
+        for _ in 0..8 {
+            plane.on_event(&period(0.5));
+        }
+        let incidents = plane.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert!(
+            incidents[0].1.contains("{\"event\":\"fault\",\"kind\":\"sample_dropped\"}"),
+            "{}",
+            incidents[0].1
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The flight recorder: byte-stable incident bundles cut on alert fire.
+//!
+//! When a rule fires, the plane snapshots everything a responder needs
+//! into one JSONL bundle:
+//!
+//! 1. the triggering rule and the observed value at the edge;
+//! 2. the TSDB window around the violation (raw-tier points of every
+//!    key series);
+//! 3. the last N telemetry events off the attached
+//!    [`RingRecorder`](dicer_telemetry::RingRecorder)'s cursors;
+//! 4. the active controller summaries (last status per controller).
+//!
+//! Every line is hand-rolled JSON over logical-period data — no wall
+//! clock, no map iteration order, no serialiser — so rerunning the same
+//! scenario reproduces the bundle byte-for-byte, which is what lets the
+//! burn-rate end-to-end test pin a committed golden.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+use dicer_telemetry::{json_f64, json_str, TelemetryEvent};
+
+use crate::rules::Rule;
+
+/// Flight-recorder shape.
+#[derive(Debug, Clone)]
+pub struct IncidentConfig {
+    /// Where bundles are written (`results/incidents/` in the daemon).
+    /// `None` keeps them in memory only (tests, benches).
+    pub dir: Option<PathBuf>,
+    /// Telemetry events included per bundle (read off the ring's newest
+    /// cursors at fire time).
+    pub max_events: usize,
+    /// Raw-tier periods of history included before the firing period.
+    pub window: u64,
+    /// Bundles retained in memory (oldest evicted first).
+    pub max_bundles: usize,
+}
+
+impl Default for IncidentConfig {
+    fn default() -> Self {
+        IncidentConfig { dir: None, max_events: 32, window: 64, max_bundles: 16 }
+    }
+}
+
+/// Retains (and optionally persists) incident bundles.
+pub struct FlightRecorder {
+    cfg: IncidentConfig,
+    bundles: VecDeque<(String, String)>,
+    recorded: u64,
+    write_errors: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new(cfg: IncidentConfig) -> Self {
+        FlightRecorder { cfg, bundles: VecDeque::new(), recorded: 0, write_errors: 0 }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &IncidentConfig {
+        &self.cfg
+    }
+
+    /// Bundles recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Failed bundle writes (disk errors never take the plane down).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// In-memory bundles, oldest first, as `(file_name, jsonl)`.
+    pub fn bundles(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.bundles.iter().map(|(n, b)| (n.as_str(), b.as_str()))
+    }
+
+    /// Records one bundle under its deterministic file name; persists it
+    /// when a directory is configured.
+    pub fn record(&mut self, file_name: String, bundle: String) {
+        if let Some(dir) = &self.cfg.dir {
+            let write = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(&file_name), &bundle));
+            if write.is_err() {
+                self.write_errors += 1;
+            }
+        }
+        if self.bundles.len() == self.cfg.max_bundles {
+            self.bundles.pop_front();
+        }
+        self.bundles.push_back((file_name, bundle));
+        self.recorded += 1;
+    }
+}
+
+/// Deterministic bundle file name: the rule slug plus the firing period.
+pub fn bundle_file_name(rule: &str, period: u64) -> String {
+    let slug: String =
+        rule.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    format!("incident_{slug}_p{period}.jsonl")
+}
+
+/// Builds one incident bundle. `series` holds
+/// `(name, raw points in the window)` per key series; `controllers`
+/// holds `(name, last status period, state, severity)` in stable order.
+pub fn build_bundle(
+    rule: &Rule,
+    period: u64,
+    value: f64,
+    series: &[(&str, Vec<(u64, f64)>)],
+    events: &[TelemetryEvent],
+    controllers: &[(&str, u64, &str, u8)],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\"incident\":{},\"fired_period\":{},\"value\":{},\"rule\":{}}}\n",
+        json_str(&rule.name),
+        period,
+        json_f64(value),
+        rule.to_json(),
+    ));
+    for (name, points) in series {
+        let pts: Vec<String> =
+            points.iter().map(|(p, v)| format!("[{},{}]", p, json_f64(*v))).collect();
+        out.push_str(&format!(
+            "{{\"series\":{},\"points\":[{}]}}\n",
+            json_str(name),
+            pts.join(","),
+        ));
+    }
+    let evs: Vec<String> = events.iter().map(TelemetryEvent::to_json).collect();
+    out.push_str(&format!("{{\"events\":[{}]}}\n", evs.join(",")));
+    let ctrls: Vec<String> = controllers
+        .iter()
+        .map(|(name, p, state, sev)| {
+            format!(
+                "{{\"name\":{},\"period\":{},\"state\":{},\"severity\":{}}}",
+                json_str(name),
+                p,
+                json_str(state),
+                sev,
+            )
+        })
+        .collect();
+    out.push_str(&format!("{{\"controllers\":[{}]}}\n", ctrls.join(",")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleKind;
+
+    fn rule() -> Rule {
+        Rule {
+            name: "hp-slo-burn-rate".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 4, long: 8, budget: 0.25, threshold: 2.0 },
+        }
+    }
+
+    #[test]
+    fn file_names_are_deterministic_slugs() {
+        assert_eq!(bundle_file_name("hp-slo-burn-rate", 42), "incident_hp-slo-burn-rate_p42.jsonl");
+        assert_eq!(bundle_file_name("weird name!", 7), "incident_weird-name-_p7.jsonl");
+    }
+
+    #[test]
+    fn bundle_layout_is_byte_stable() {
+        let build = || {
+            build_bundle(
+                &rule(),
+                100,
+                2.5,
+                &[("obs_hp_norm_ipc", vec![(98, 0.5), (99, 0.75)])],
+                &[TelemetryEvent::Fault { label: "sample_dropped" }],
+                &[("DICER", 97, "sampling", 2)],
+            )
+        };
+        let bundle = build();
+        assert_eq!(bundle, build());
+        let lines: Vec<&str> = bundle.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with(
+            "{\"incident\":\"hp-slo-burn-rate\",\"fired_period\":100,\"value\":2.5,\"rule\":"
+        ));
+        assert_eq!(
+            lines[1],
+            "{\"series\":\"obs_hp_norm_ipc\",\"points\":[[98,0.5],[99,0.75]]}"
+        );
+        assert_eq!(lines[2], "{\"events\":[{\"event\":\"fault\",\"kind\":\"sample_dropped\"}]}");
+        assert_eq!(
+            lines[3],
+            "{\"controllers\":[{\"name\":\"DICER\",\"period\":97,\"state\":\"sampling\",\
+             \"severity\":2}]}"
+        );
+    }
+
+    #[test]
+    fn recorder_bounds_memory_and_counts() {
+        let mut rec =
+            FlightRecorder::new(IncidentConfig { max_bundles: 2, ..IncidentConfig::default() });
+        for i in 0..3u64 {
+            rec.record(bundle_file_name("r", i), format!("bundle {i}\n"));
+        }
+        assert_eq!(rec.recorded(), 3);
+        let names: Vec<&str> = rec.bundles().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["incident_r_p1.jsonl", "incident_r_p2.jsonl"]);
+        assert_eq!(rec.write_errors(), 0);
+    }
+
+    #[test]
+    fn recorder_persists_to_the_configured_directory() {
+        let dir = std::env::temp_dir().join("dicer_obs_recorder_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rec = FlightRecorder::new(IncidentConfig {
+            dir: Some(dir.clone()),
+            ..IncidentConfig::default()
+        });
+        rec.record("incident_x_p1.jsonl".to_string(), "line\n".to_string());
+        let on_disk = std::fs::read_to_string(dir.join("incident_x_p1.jsonl")).unwrap();
+        assert_eq!(on_disk, "line\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,844 @@
+//! Declarative alert rules evaluated at period boundaries.
+//!
+//! Three rule kinds cover the signals the DICER stack cares about:
+//!
+//! * [`RuleKind::Threshold`] — a stored series crossing a bound,
+//!   sustained for N consecutive periods (classic "metric too high/low").
+//! * [`RuleKind::SeverityStreak`] — a registered controller reporting
+//!   `Degraded`-or-worse (or any chosen floor) for N consecutive periods.
+//! * [`RuleKind::BurnRate`] — the multi-window SLO burn rate over the
+//!   HP's normalized IPC (delivered IPC / solo IPC): the SLO allows a
+//!   `budget` fraction of periods to violate the objective; the rule
+//!   fires when **both** a short and a long window are burning that
+//!   budget faster than `threshold`× — the standard multi-window,
+//!   multi-burn-rate recipe, which pages on fast burns without flapping
+//!   on noise.
+//!
+//! Everything is driven by the logical period clock: no wall time, so a
+//! given sample stream always fires at the same period, which is what
+//! lets an incident bundle be pinned as a byte-for-byte golden.
+
+use std::collections::VecDeque;
+
+use dicer_telemetry::json_str;
+
+/// What a rule watches.
+#[derive(Debug, Clone)]
+pub enum RuleKind {
+    /// Fires when the named stored series is above (`above == true`) or
+    /// below the bound for `for_periods` consecutive evaluations.
+    Threshold {
+        /// Stored series name (`obs_*` key series or a scraped scalar).
+        metric: String,
+        /// Direction: `true` fires on `value > bound`, `false` on `<`.
+        above: bool,
+        /// The bound.
+        bound: f64,
+        /// Consecutive violating periods required to fire.
+        for_periods: u32,
+    },
+    /// Fires when a controller's severity stays at or above a floor for
+    /// `for_periods` consecutive periods.
+    SeverityStreak {
+        /// Controller display name (`"DICER"`), or empty for *any*
+        /// registered controller.
+        controller: String,
+        /// Severity floor (0 nominal ..= 3 critical).
+        min_severity: u8,
+        /// Consecutive periods required to fire.
+        for_periods: u32,
+    },
+    /// Multi-window SLO burn rate over HP normalized IPC.
+    BurnRate {
+        /// Short window length, periods (the fast-burn detector).
+        short: u32,
+        /// Long window length, periods (the sustained-burn confirmation).
+        long: u32,
+        /// Error budget: the fraction of periods the SLO lets violate
+        /// the objective (e.g. `0.05`).
+        budget: f64,
+        /// Fire when both windows burn faster than this multiple of the
+        /// budget (e.g. `2.0` = burning a month of budget in two weeks).
+        threshold: f64,
+    },
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable rule name (used in alert JSON and incident file names).
+    pub name: String,
+    /// Alert severity label: `"page"` or `"warn"`.
+    pub severity: &'static str,
+    /// What to watch.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// Hand-rolled JSON description (embedded in incident bundles).
+    pub fn to_json(&self) -> String {
+        let kind = match &self.kind {
+            RuleKind::Threshold { metric, above, bound, for_periods } => format!(
+                "{{\"kind\":\"threshold\",\"metric\":{},\"above\":{},\"bound\":{},\
+                 \"for_periods\":{}}}",
+                json_str(metric),
+                above,
+                dicer_telemetry::json_f64(*bound),
+                for_periods,
+            ),
+            RuleKind::SeverityStreak { controller, min_severity, for_periods } => format!(
+                "{{\"kind\":\"severity_streak\",\"controller\":{},\"min_severity\":{},\
+                 \"for_periods\":{}}}",
+                json_str(controller),
+                min_severity,
+                for_periods,
+            ),
+            RuleKind::BurnRate { short, long, budget, threshold } => format!(
+                "{{\"kind\":\"burn_rate\",\"short\":{},\"long\":{},\"budget\":{},\
+                 \"threshold\":{}}}",
+                short,
+                long,
+                dicer_telemetry::json_f64(*budget),
+                dicer_telemetry::json_f64(*threshold),
+            ),
+        };
+        format!(
+            "{{\"name\":{},\"severity\":{},\"rule\":{}}}",
+            json_str(&self.name),
+            json_str(self.severity),
+            kind
+        )
+    }
+}
+
+/// The default rule set the daemon arms (callers can replace it
+/// wholesale through [`crate::ObsConfig::rules`]).
+pub fn standard_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "hp-slo-burn-rate".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 64, long: 512, budget: 0.05, threshold: 2.0 },
+        },
+        Rule {
+            name: "hp-norm-ipc-floor".to_string(),
+            severity: "page",
+            kind: RuleKind::Threshold {
+                metric: "obs_hp_norm_ipc".to_string(),
+                above: false,
+                bound: 0.5,
+                for_periods: 32,
+            },
+        },
+        Rule {
+            name: "controller-degraded".to_string(),
+            severity: "warn",
+            kind: RuleKind::SeverityStreak {
+                controller: String::new(),
+                min_severity: 2,
+                for_periods: 64,
+            },
+        },
+    ]
+}
+
+/// Fixed-length boolean window with an incrementally maintained count of
+/// `true` slots: one ring write + two adds per push.
+#[derive(Debug, Clone)]
+struct Window {
+    buf: Vec<bool>,
+    len: usize,
+    pos: usize,
+    bad: u32,
+}
+
+impl Window {
+    fn new(cap: u32) -> Self {
+        Window { buf: vec![false; cap.max(1) as usize], len: 0, pos: 0, bad: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, bad: bool) {
+        if self.len == self.buf.len() {
+            self.bad -= self.buf[self.pos] as u32;
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.pos] = bad;
+        self.bad += bad as u32;
+        // Branch instead of `%`: window lengths are arbitrary, so the
+        // modulo would be a real division on the per-period hot path.
+        self.pos += 1;
+        if self.pos == self.buf.len() {
+            self.pos = 0;
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    fn bad_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.bad as f64 / self.len as f64
+        }
+    }
+}
+
+/// What the engine needs from the plane each period. Generic over the
+/// lookup closures (instead of `&dyn Fn`) so they inline into the
+/// evaluation loop — rule evaluation runs once per period on the hot
+/// path.
+pub struct EvalInput<'a, M: Fn(&str) -> Option<f64>, S: Fn(&str) -> Option<u8>> {
+    /// The logical period being closed.
+    pub period: u64,
+    /// HP normalized IPC this period (`NaN` when the solo IPC is not
+    /// yet known — burn-rate windows then hold).
+    pub norm_ipc: f64,
+    /// The SLO objective: a period is *bad* when `norm_ipc < objective`.
+    pub objective: f64,
+    /// Last stored value of a named series (threshold rules).
+    pub metric: &'a M,
+    /// Current severity of a named controller, or the worst across all
+    /// controllers when the name is empty.
+    pub severity: &'a S,
+}
+
+/// One firing-edge or resolve-edge, reported to the plane so it can cut
+/// an incident bundle / update gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Index into the engine's rule vector.
+    pub rule: usize,
+    /// `true` on fire, `false` on resolve.
+    pub fired: bool,
+    /// The period the edge happened.
+    pub period: u64,
+    /// The observed value at the edge (burn rate, metric value, or
+    /// severity as f64).
+    pub value: f64,
+}
+
+/// One alert: a fire edge, and eventually a resolve edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRecord {
+    /// Rule name.
+    pub rule: String,
+    /// Rule severity label.
+    pub severity: &'static str,
+    /// Period the alert fired.
+    pub fired_period: u64,
+    /// Observed value at fire time.
+    pub value: f64,
+    /// Period the alert resolved (`None` while firing).
+    pub resolved_period: Option<u64>,
+}
+
+impl AlertRecord {
+    fn to_json(&self) -> String {
+        let resolved = match self.resolved_period {
+            Some(p) => format!(",\"resolved_period\":{p}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"fired_period\":{},\"value\":{}{}}}",
+            json_str(&self.rule),
+            json_str(self.severity),
+            self.fired_period,
+            dicer_telemetry::json_f64(self.value),
+            resolved,
+        )
+    }
+}
+
+struct RuleState {
+    rule: Rule,
+    streak: u32,
+    firing: bool,
+    short: Window,
+    long: Window,
+}
+
+/// Evaluates every armed rule once per period and tracks firing state
+/// plus a bounded alert history.
+pub struct RulesEngine {
+    rules: Vec<RuleState>,
+    active: Vec<AlertRecord>,
+    history: VecDeque<AlertRecord>,
+    history_cap: usize,
+    evaluations: u64,
+    transitions_total: u64,
+}
+
+impl RulesEngine {
+    /// Arms `rules`; history keeps the last `history_cap` resolved alerts.
+    pub fn new(rules: Vec<Rule>, history_cap: usize) -> Self {
+        let rules = rules
+            .into_iter()
+            .map(|rule| {
+                let (s, l) = match rule.kind {
+                    RuleKind::BurnRate { short, long, .. } => (short, long),
+                    _ => (1, 1),
+                };
+                RuleState {
+                    rule,
+                    streak: 0,
+                    firing: false,
+                    short: Window::new(s),
+                    long: Window::new(l),
+                }
+            })
+            .collect();
+        RulesEngine {
+            rules,
+            active: Vec::new(),
+            history: VecDeque::new(),
+            history_cap,
+            evaluations: 0,
+            transitions_total: 0,
+        }
+    }
+
+    /// Armed rules, in evaluation order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().map(|s| &s.rule)
+    }
+
+    /// Rule evaluations so far (rules × periods).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Fire + resolve edges so far.
+    pub fn transitions_total(&self) -> u64 {
+        self.transitions_total
+    }
+
+    /// Alerts currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Evaluates every rule against this period's input, appending any
+    /// fire/resolve edges to `out` (cleared first). Deterministic: the
+    /// same input stream produces the same edges at the same periods.
+    pub fn eval<M: Fn(&str) -> Option<f64>, S: Fn(&str) -> Option<u8>>(
+        &mut self,
+        input: &EvalInput<'_, M, S>,
+        out: &mut Vec<Transition>,
+    ) {
+        out.clear();
+        self.evaluations += self.rules.len() as u64;
+        for (idx, st) in self.rules.iter_mut().enumerate() {
+            let (violating, value) = match &st.rule.kind {
+                RuleKind::Threshold { metric, above, bound, .. } => {
+                    match (input.metric)(metric) {
+                        Some(v) => (if *above { v > *bound } else { v < *bound }, v),
+                        None => (false, 0.0),
+                    }
+                }
+                RuleKind::SeverityStreak { controller, min_severity, .. } => {
+                    match (input.severity)(controller) {
+                        Some(sev) => (sev >= *min_severity, sev as f64),
+                        None => (false, 0.0),
+                    }
+                }
+                RuleKind::BurnRate { budget, threshold, .. } => {
+                    // A period with no norm-IPC sample (solo unknown)
+                    // holds the windows: no data is not a violation.
+                    if input.norm_ipc.is_finite() {
+                        let bad = input.norm_ipc < input.objective;
+                        st.short.push(bad);
+                        st.long.push(bad);
+                    }
+                    // Warm-up discipline: a window that has not yet seen
+                    // its full span never fires — determinism would
+                    // otherwise depend on when the plane was attached.
+                    // `bad/len/budget > threshold` is checked as
+                    // `bad > threshold·budget·len`: two multiplies
+                    // instead of two divisions on the steady-state path.
+                    let tb = *threshold * *budget;
+                    let violating = st.short.full()
+                        && st.long.full()
+                        && st.short.bad as f64 > tb * st.short.len as f64
+                        && st.long.bad as f64 > tb * st.long.len as f64;
+                    // The burn value is only reported on fire/resolve
+                    // edges — divide only when one is happening.
+                    let value = if violating != st.firing {
+                        (st.short.bad_fraction() / *budget).min(st.long.bad_fraction() / *budget)
+                    } else {
+                        0.0
+                    };
+                    (violating, value)
+                }
+            };
+
+            let needed = match &st.rule.kind {
+                RuleKind::Threshold { for_periods, .. } => *for_periods,
+                RuleKind::SeverityStreak { for_periods, .. } => *for_periods,
+                RuleKind::BurnRate { .. } => 1,
+            };
+            if violating {
+                st.streak = st.streak.saturating_add(1);
+            } else {
+                st.streak = 0;
+            }
+            let should_fire = st.streak >= needed.max(1);
+            if should_fire != st.firing {
+                st.firing = should_fire;
+                self.transitions_total += 1;
+                out.push(Transition {
+                    rule: idx,
+                    fired: should_fire,
+                    period: input.period,
+                    value,
+                });
+                if should_fire {
+                    self.active.push(AlertRecord {
+                        rule: st.rule.name.clone(),
+                        severity: st.rule.severity,
+                        fired_period: input.period,
+                        value,
+                        resolved_period: None,
+                    });
+                } else if let Some(pos) =
+                    self.active.iter().position(|a| a.rule == st.rule.name)
+                {
+                    let mut rec = self.active.remove(pos);
+                    rec.resolved_period = Some(input.period);
+                    if self.history.len() == self.history_cap {
+                        self.history.pop_front();
+                    }
+                    self.history.push_back(rec);
+                }
+            }
+        }
+    }
+
+    /// Batched evaluation of `norms.len()` consecutive periods starting
+    /// at `start_period` — byte-identical to calling [`Self::eval`] once
+    /// per period, provided every input the rules read is sample-local
+    /// or batch-constant: `metric_at(i, name)` must answer what the
+    /// per-period `metric` closure would have answered at period
+    /// `start_period + i`, and `severity` must be constant across the
+    /// batch (the plane flushes staged periods whenever a controller
+    /// status lands, so it is).
+    ///
+    /// Looping rules-outer keeps each rule's windows and streaks hot
+    /// across the whole batch; edge side effects are applied in
+    /// (period, rule) order afterwards, so transition order, the active
+    /// list, and history are order-identical to per-period evaluation.
+    pub fn eval_batch<M: Fn(usize, &str) -> Option<f64>, S: Fn(&str) -> Option<u8>>(
+        &mut self,
+        start_period: u64,
+        norms: &[f64],
+        objective: f64,
+        metric_at: &M,
+        severity: &S,
+        out: &mut Vec<Transition>,
+    ) {
+        out.clear();
+        let n = norms.len();
+        self.evaluations += (self.rules.len() * n) as u64;
+        for (idx, st) in self.rules.iter_mut().enumerate() {
+            match &st.rule.kind {
+                RuleKind::BurnRate { budget, threshold, .. } => {
+                    let tb = *threshold * *budget;
+                    // `bad > tb·len` over integer bad-counts ⟺
+                    // `bad ≥ ⌊tb·len⌋ + 1`: one integer compare per
+                    // period instead of two converts and a multiply.
+                    // Violation requires full windows, so `len` is the
+                    // capacity.
+                    let int_thr = |cap: usize| {
+                        ((tb * cap as f64).floor() + 1.0).min(u32::MAX as f64) as u32
+                    };
+                    let sthr = int_thr(st.short.buf.len());
+                    let lthr = int_thr(st.long.buf.len());
+                    for (i, &norm) in norms.iter().enumerate() {
+                        if norm.is_finite() {
+                            let bad = norm < objective;
+                            st.short.push(bad);
+                            st.long.push(bad);
+                        }
+                        let violating = st.short.full()
+                            && st.long.full()
+                            && st.short.bad >= sthr
+                            && st.long.bad >= lthr;
+                        st.streak = if violating { st.streak.saturating_add(1) } else { 0 };
+                        let should_fire = st.streak >= 1;
+                        if should_fire != st.firing {
+                            st.firing = should_fire;
+                            let value = (st.short.bad_fraction() / *budget)
+                                .min(st.long.bad_fraction() / *budget);
+                            out.push(Transition {
+                                rule: idx,
+                                fired: should_fire,
+                                period: start_period + i as u64,
+                                value,
+                            });
+                        }
+                    }
+                }
+                RuleKind::Threshold { metric, above, bound, for_periods } => {
+                    let needed = (*for_periods).max(1);
+                    // The derived norm series IS `norms` — hoist the name
+                    // dispatch out of the per-period loop. (`metric_at`
+                    // must agree: finite norm → `Some`, else `None` —
+                    // which is exactly how the plane derives it.)
+                    let on_norm = metric == crate::plane::NORM_SERIES;
+                    for (i, &nv) in norms.iter().enumerate().take(n) {
+                        let looked_up =
+                            if on_norm { nv.is_finite().then_some(nv) } else { metric_at(i, metric) };
+                        let (violating, value) = match looked_up {
+                            Some(v) => (if *above { v > *bound } else { v < *bound }, v),
+                            None => (false, 0.0),
+                        };
+                        st.streak = if violating { st.streak.saturating_add(1) } else { 0 };
+                        let should_fire = st.streak >= needed;
+                        if should_fire != st.firing {
+                            st.firing = should_fire;
+                            out.push(Transition {
+                                rule: idx,
+                                fired: should_fire,
+                                period: start_period + i as u64,
+                                value,
+                            });
+                        }
+                    }
+                }
+                RuleKind::SeverityStreak { controller, min_severity, for_periods } => {
+                    let needed = (*for_periods).max(1);
+                    let (violating, value) = match (severity)(controller) {
+                        Some(sev) => (sev >= *min_severity, sev as f64),
+                        None => (false, 0.0),
+                    };
+                    // Severity is batch-constant, so the whole batch
+                    // collapses to closed form: at most one edge, at the
+                    // period the per-period loop would have found it.
+                    if violating {
+                        let streak0 = st.streak;
+                        st.streak = streak0.saturating_add(n as u32);
+                        if !st.firing {
+                            // Fires at the first i with streak0+i+1 ≥ needed.
+                            let first = needed.saturating_sub(streak0).saturating_sub(1) as usize;
+                            if first < n {
+                                st.firing = true;
+                                out.push(Transition {
+                                    rule: idx,
+                                    fired: true,
+                                    period: start_period + first as u64,
+                                    value,
+                                });
+                            }
+                        }
+                    } else {
+                        st.streak = 0;
+                        if st.firing {
+                            st.firing = false;
+                            out.push(Transition {
+                                rule: idx,
+                                fired: false,
+                                period: start_period,
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Unstable sort: (period, rule) pairs are unique, and transitions
+        // are rare enough that this never allocates.
+        out.sort_unstable_by_key(|tr| (tr.period, tr.rule));
+        for tr in out.iter() {
+            self.transitions_total += 1;
+            let st = &self.rules[tr.rule];
+            if tr.fired {
+                self.active.push(AlertRecord {
+                    rule: st.rule.name.clone(),
+                    severity: st.rule.severity,
+                    fired_period: tr.period,
+                    value: tr.value,
+                    resolved_period: None,
+                });
+            } else if let Some(pos) = self.active.iter().position(|a| a.rule == st.rule.name) {
+                let mut rec = self.active.remove(pos);
+                rec.resolved_period = Some(tr.period);
+                if self.history.len() == self.history_cap {
+                    self.history.pop_front();
+                }
+                self.history.push_back(rec);
+            }
+        }
+    }
+
+    /// The rule behind a transition index.
+    pub fn rule(&self, idx: usize) -> &Rule {
+        &self.rules[idx].rule
+    }
+
+    /// `{"alerts_firing":N,"firing":[...],"history":[...]}` — active
+    /// alerts in fire order, resolved history oldest first.
+    pub fn alerts_json(&self) -> String {
+        let firing: Vec<String> = self.active.iter().map(AlertRecord::to_json).collect();
+        let history: Vec<String> = self.history.iter().map(AlertRecord::to_json).collect();
+        format!(
+            "{{\"alerts_firing\":{},\"firing\":[{}],\"history\":[{}]}}\n",
+            self.active.len(),
+            firing.join(","),
+            history.join(","),
+        )
+    }
+
+    /// Currently firing alerts (a clone; for tests and bundles).
+    pub fn active(&self) -> Vec<AlertRecord> {
+        self.active.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_stream(
+        engine: &mut RulesEngine,
+        norms: &[f64],
+        objective: f64,
+    ) -> Vec<(u64, usize, bool)> {
+        let metric = |_: &str| None;
+        let severity = |_: &str| None;
+        let mut edges = Vec::new();
+        let mut out = Vec::new();
+        for (p, &n) in norms.iter().enumerate() {
+            let input = EvalInput {
+                period: p as u64,
+                norm_ipc: n,
+                objective,
+                metric: &metric,
+                severity: &severity,
+            };
+            engine.eval(&input, &mut out);
+            for t in &out {
+                edges.push((t.period, t.rule, t.fired));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn burn_rate_fires_only_when_both_windows_burn_and_is_deterministic() {
+        let rule = Rule {
+            name: "burn".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 4, long: 8, budget: 0.25, threshold: 2.0 },
+        };
+        let run = || {
+            let mut engine = RulesEngine::new(vec![rule.clone()], 16);
+            // 8 good periods (fills both windows), then all-bad: the
+            // long window's bad fraction crosses 2 × 0.25 = 0.5 once 5 of
+            // its 8 slots are bad → period 12.
+            let norms: Vec<f64> = (0..8).map(|_| 1.0).chain((0..8).map(|_| 0.5)).collect();
+            eval_stream(&mut engine, &norms, 0.95)
+        };
+        let edges = run();
+        assert_eq!(edges, vec![(12, 0, true)], "fires exactly once, at a pinned period");
+        assert_eq!(edges, run(), "same stream, same edges");
+    }
+
+    #[test]
+    fn burn_rate_resolves_when_burn_subsides_and_history_records_it() {
+        let rule = Rule {
+            name: "burn".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 4, long: 4, budget: 0.25, threshold: 2.0 },
+        };
+        let mut engine = RulesEngine::new(vec![rule], 16);
+        let norms: Vec<f64> =
+            (0..4).map(|_| 1.0).chain((0..4).map(|_| 0.5)).chain((0..8).map(|_| 1.0)).collect();
+        let edges = eval_stream(&mut engine, &norms, 0.95);
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].2, "fire edge first");
+        assert!(!edges[1].2, "then resolve");
+        assert_eq!(engine.firing_count(), 0);
+        let json = engine.alerts_json();
+        assert!(json.starts_with("{\"alerts_firing\":0,\"firing\":[],\"history\":[{\"rule\":\"burn\""));
+        assert!(json.contains("\"resolved_period\":"));
+        assert_eq!(engine.transitions_total(), 2);
+    }
+
+    #[test]
+    fn burn_rate_windows_hold_when_norm_ipc_is_unknown() {
+        let rule = Rule {
+            name: "burn".to_string(),
+            severity: "page",
+            kind: RuleKind::BurnRate { short: 2, long: 2, budget: 0.5, threshold: 1.5 },
+        };
+        let mut engine = RulesEngine::new(vec![rule], 16);
+        // NaN periods must not fill the windows with "good" slots or fire.
+        let norms = vec![f64::NAN; 32];
+        assert!(eval_stream(&mut engine, &norms, 0.95).is_empty());
+    }
+
+    #[test]
+    fn threshold_requires_the_full_streak_and_resets_on_recovery() {
+        let rule = Rule {
+            name: "floor".to_string(),
+            severity: "page",
+            kind: RuleKind::Threshold {
+                metric: "m".to_string(),
+                above: false,
+                bound: 1.0,
+                for_periods: 3,
+            },
+        };
+        let mut engine = RulesEngine::new(vec![rule], 16);
+        let severity = |_: &str| None;
+        let mut out = Vec::new();
+        let values = [0.5, 0.5, 2.0, 0.5, 0.5, 0.5, 0.5];
+        let mut edges = Vec::new();
+        for (p, v) in values.iter().enumerate() {
+            let metric = |name: &str| if name == "m" { Some(*v) } else { None };
+            let input = EvalInput {
+                period: p as u64,
+                norm_ipc: f64::NAN,
+                objective: 0.95,
+                metric: &metric,
+                severity: &severity,
+            };
+            engine.eval(&input, &mut out);
+            edges.extend(out.iter().cloned());
+        }
+        // Streak broken at p=2; the three violations at p=3,4,5 fire at 5.
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].period, edges[0].fired), (5, true));
+        assert_eq!(edges[0].value, 0.5);
+    }
+
+    #[test]
+    fn severity_streak_watches_the_named_or_worst_controller() {
+        let rule = Rule {
+            name: "degraded".to_string(),
+            severity: "warn",
+            kind: RuleKind::SeverityStreak {
+                controller: String::new(),
+                min_severity: 2,
+                for_periods: 2,
+            },
+        };
+        let mut engine = RulesEngine::new(vec![rule], 16);
+        let metric = |_: &str| None;
+        let mut out = Vec::new();
+        let mut fired_at = None;
+        for p in 0..5u64 {
+            let sev = if p >= 1 { 2u8 } else { 0 };
+            let severity = move |name: &str| if name.is_empty() { Some(sev) } else { None };
+            let input = EvalInput {
+                period: p,
+                norm_ipc: f64::NAN,
+                objective: 0.95,
+                metric: &metric,
+                severity: &severity,
+            };
+            engine.eval(&input, &mut out);
+            if let Some(t) = out.first() {
+                assert!(t.fired);
+                fired_at = Some(t.period);
+            }
+        }
+        assert_eq!(fired_at, Some(2), "two consecutive degraded periods");
+        assert_eq!(engine.active()[0].rule, "degraded");
+    }
+
+    #[test]
+    fn eval_batch_matches_per_period_eval_exactly() {
+        // A full mixed rule set over a stream that fires and resolves
+        // every rule kind, chopped into uneven batches: every edge, the
+        // active list, history, and counters must be byte-identical to
+        // per-period evaluation.
+        let rules = vec![
+            Rule {
+                name: "burn".to_string(),
+                severity: "page",
+                kind: RuleKind::BurnRate { short: 4, long: 8, budget: 0.25, threshold: 2.0 },
+            },
+            Rule {
+                name: "floor".to_string(),
+                severity: "page",
+                kind: RuleKind::Threshold {
+                    metric: "m".to_string(),
+                    above: false,
+                    bound: 0.8,
+                    for_periods: 3,
+                },
+            },
+            Rule {
+                name: "degraded".to_string(),
+                severity: "warn",
+                kind: RuleKind::SeverityStreak {
+                    controller: String::new(),
+                    min_severity: 2,
+                    for_periods: 2,
+                },
+            },
+        ];
+        let norm_at =
+            |p: u64| if (10..30).contains(&p) || p.is_multiple_of(17) { 0.5 } else { 1.0 };
+        let sev_at = |p: u64| if (12..40).contains(&p) { 2u8 } else { 0 };
+
+        let mut per = RulesEngine::new(rules.clone(), 8);
+        let mut per_edges = Vec::new();
+        let mut out = Vec::new();
+        for p in 0..64u64 {
+            let metric = |name: &str| (name == "m").then(|| norm_at(p));
+            let severity = |_: &str| Some(sev_at(p));
+            let input = EvalInput {
+                period: p,
+                norm_ipc: norm_at(p),
+                objective: 0.95,
+                metric: &metric,
+                severity: &severity,
+            };
+            per.eval(&input, &mut out);
+            per_edges.extend(out.iter().cloned());
+        }
+
+        let mut batched = RulesEngine::new(rules, 8);
+        let mut batch_edges = Vec::new();
+        let mut start = 0u64;
+        for len in [12usize, 28, 24] {
+            let norms: Vec<f64> = (0..len).map(|i| norm_at(start + i as u64)).collect();
+            // Severity is constant per batch in the plane's contract;
+            // these batch boundaries are chosen so that holds here too.
+            let sev = sev_at(start);
+            assert!((0..len).all(|i| sev_at(start + i as u64) == sev), "test batch boundaries");
+            let metric_at = |i: usize, name: &str| (name == "m").then(|| norm_at(start + i as u64));
+            let severity = |_: &str| Some(sev);
+            batched.eval_batch(start, &norms, 0.95, &metric_at, &severity, &mut out);
+            batch_edges.extend(out.iter().cloned());
+            start += len as u64;
+        }
+
+        assert_eq!(per_edges, batch_edges);
+        assert_eq!(per.alerts_json(), batched.alerts_json());
+        assert_eq!(per.evaluations(), batched.evaluations());
+        assert_eq!(per.transitions_total(), batched.transitions_total());
+    }
+
+    #[test]
+    fn rule_json_is_stable() {
+        let rules = standard_rules();
+        assert_eq!(
+            rules[0].to_json(),
+            "{\"name\":\"hp-slo-burn-rate\",\"severity\":\"page\",\"rule\":\
+             {\"kind\":\"burn_rate\",\"short\":64,\"long\":512,\"budget\":0.05,\
+             \"threshold\":2}}"
+        );
+        assert_eq!(
+            rules[1].to_json(),
+            "{\"name\":\"hp-norm-ipc-floor\",\"severity\":\"page\",\"rule\":\
+             {\"kind\":\"threshold\",\"metric\":\"obs_hp_norm_ipc\",\"above\":false,\
+             \"bound\":0.5,\"for_periods\":32}}"
+        );
+    }
+}

@@ -1,0 +1,593 @@
+//! The period-series store: a tiny embedded TSDB keyed by logical period.
+//!
+//! Every series holds three tiers under bounded memory:
+//!
+//! * **raw** — the last `raw_cap` samples at period resolution;
+//! * **/16** — one [`Agg`] per 16-period bucket, last `t1_cap` buckets;
+//! * **/256** — one [`Agg`] per 256-period bucket, last `t2_cap` buckets.
+//!
+//! Aggregates carry `min`/`max`/`sum`/`count`/`last`, so any question the
+//! raw tier could answer (extremes, means, latest value) survives
+//! downsampling. Buckets fold incrementally on the record path — closing
+//! a bucket is a ring push, never a rescan — and the whole store is plain
+//! data: no wall clock, no allocation in steady state beyond the fixed
+//! rings, byte-stable queries for identical sample streams.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dicer_telemetry::json_f64;
+
+/// Dense handle for a registered series; stable for the store's lifetime.
+pub type SeriesId = usize;
+
+/// Periods per tier-1 bucket.
+pub const T1_FACTOR: u64 = 16;
+/// Periods per tier-2 bucket.
+pub const T2_FACTOR: u64 = 256;
+
+/// Per-tier ring capacities.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Raw samples retained per series (rounded up to a power of two so
+    /// the raw ring indexes with a mask instead of wrapping arithmetic).
+    pub raw_cap: usize,
+    /// /16 buckets retained per series.
+    pub t1_cap: usize,
+    /// /256 buckets retained per series.
+    pub t2_cap: usize,
+}
+
+impl Default for StoreConfig {
+    /// 512 raw + 512×16 + 512×256 ≈ the last 131k periods visible per
+    /// series, in ~1.5k ring slots.
+    fn default() -> Self {
+        StoreConfig { raw_cap: 512, t1_cap: 512, t2_cap: 512 }
+    }
+}
+
+/// One downsampled bucket: the five stats that survive tiering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agg {
+    /// First period of the bucket (a multiple of the tier factor).
+    pub start: u64,
+    /// Minimum sample in the bucket.
+    pub min: f64,
+    /// Maximum sample in the bucket.
+    pub max: f64,
+    /// Sum of samples (mean = `sum / count`).
+    pub sum: f64,
+    /// Samples folded in.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: f64,
+}
+
+impl Agg {
+    fn open(start: u64, v: f64) -> Self {
+        Agg { start, min: v, max: v, sum: v, count: 1, last: v }
+    }
+
+    /// Absorbs a whole closed finer-tier bucket (aggregates are
+    /// associative, so /256 buckets fold from closed /16 buckets instead
+    /// of re-folding every raw sample).
+    #[inline]
+    fn merge(&mut self, other: &Agg) {
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.last = other.last;
+    }
+
+    #[inline]
+    fn fold(&mut self, v: f64) {
+        // `v` is already finite (the record path drops non-finite
+        // samples), so plain compares beat `f64::min`'s NaN handling.
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.sum += v;
+        self.count += 1;
+        self.last = v;
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"period\":{},\"min\":{},\"max\":{},\"sum\":{},\"count\":{},\"last\":{}}}",
+            self.start,
+            json_f64(self.min),
+            json_f64(self.max),
+            json_f64(self.sum),
+            self.count,
+            json_f64(self.last),
+        )
+    }
+}
+
+/// Fixed power-of-two ring of raw `(period, value)` samples. A push is
+/// one slot write and one increment — no capacity branch, no wrapping
+/// arithmetic beyond a mask — because the raw push sits on the plane's
+/// per-period hot path three times over.
+struct RawRing {
+    buf: Box<[(u64, f64)]>,
+    /// Samples pushed over the ring's lifetime; the next write lands at
+    /// `pushed & (buf.len() - 1)`.
+    pushed: u64,
+}
+
+impl RawRing {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(1).next_power_of_two();
+        RawRing { buf: vec![(0, 0.0); cap].into_boxed_slice(), pushed: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, period: u64, v: f64) {
+        let mask = self.buf.len() as u64 - 1;
+        self.buf[(self.pushed & mask) as usize] = (period, v);
+        self.pushed += 1;
+    }
+
+    fn last(&self) -> Option<(u64, f64)> {
+        let mask = self.buf.len() as u64 - 1;
+        self.pushed.checked_sub(1).map(|i| self.buf[(i & mask) as usize])
+    }
+
+    /// Retained samples, oldest first.
+    fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let mask = self.buf.len() as u64 - 1;
+        let len = self.pushed.min(self.buf.len() as u64);
+        (self.pushed - len..self.pushed).map(move |i| self.buf[(i & mask) as usize])
+    }
+}
+
+struct Series {
+    name: String,
+    raw: RawRing,
+    t1: VecDeque<Agg>,
+    open1: Option<Agg>,
+    t2: VecDeque<Agg>,
+    open2: Option<Agg>,
+}
+
+/// The answer to one range query: which tier served it and the points.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The series name queried.
+    pub metric: String,
+    /// `"raw"`, `"t1"` (/16) or `"t2"` (/256).
+    pub tier: &'static str,
+    /// Periods per point at this tier (1, 16 or 256).
+    pub resolution: u64,
+    /// Matching buckets, oldest first. Raw samples are degenerate
+    /// buckets (`count == 1`, `min == max == sum == last`), so every
+    /// tier renders the same shape.
+    pub points: Vec<Agg>,
+}
+
+impl QueryResult {
+    /// Hand-rolled JSON (the daemon must not depend on an external
+    /// serialiser): echoes the resolved range, then the points.
+    pub fn to_json(&self, start: u64, end: u64, step: u64) -> String {
+        let points: Vec<String> = self.points.iter().map(|a| a.to_json()).collect();
+        format!(
+            "{{\"metric\":{},\"start\":{},\"end\":{},\"step\":{},\"tier\":\"{}\",\
+             \"resolution\":{},\"points\":[{}]}}\n",
+            dicer_telemetry::json_str(&self.metric),
+            start,
+            end,
+            step,
+            self.tier,
+            self.resolution,
+            points.join(","),
+        )
+    }
+}
+
+/// The store: many named series, each with the three tiers. Plain data —
+/// the owner (the [`crate::ObsPlane`]) provides locking.
+pub struct SeriesStore {
+    cfg: StoreConfig,
+    series: Vec<Series>,
+    by_name: BTreeMap<String, SeriesId>,
+    samples: u64,
+}
+
+impl SeriesStore {
+    /// An empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        SeriesStore { cfg, series: Vec::new(), by_name: BTreeMap::new(), samples: 0 }
+    }
+
+    /// Registers (or looks up) a series, returning its dense id.
+    pub fn series_id(&mut self, name: &str) -> SeriesId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.series.len();
+        self.series.push(Series {
+            name: name.to_string(),
+            raw: RawRing::new(self.cfg.raw_cap),
+            // Grown on demand: sparse series (scraped scalars) never
+            // come near the caps, and preallocating `cap` buckets for
+            // every series multiplies the plane's cache footprint.
+            t1: VecDeque::new(),
+            open1: None,
+            t2: VecDeque::new(),
+            open2: None,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a series up without registering it.
+    pub fn lookup(&self, name: &str) -> Option<SeriesId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Registered series names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.by_name.keys().map(String::as_str).collect()
+    }
+
+    /// Registered series count.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Samples recorded over the store's lifetime.
+    pub fn samples_total(&self) -> u64 {
+        self.samples
+    }
+
+    /// Records one sample. Periods must be non-decreasing per series
+    /// (the plane's logical clock guarantees it); non-finite values are
+    /// dropped, mirroring the metrics-registry pinning, so a bad sample
+    /// can never poison a bucket's `sum` or `min`/`max`.
+    ///
+    /// The per-sample work is one raw ring push plus one /16 fold; the
+    /// /256 tier absorbs *closed* /16 buckets (a [`Agg::merge`] every 16
+    /// samples), so the tiering cost stays off the per-period hot path.
+    #[inline]
+    pub fn record(&mut self, id: SeriesId, period: u64, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.samples += 1;
+        let cfg = self.cfg;
+        let s = &mut self.series[id];
+        s.raw.push(period, v);
+        let start1 = period & !(T1_FACTOR - 1);
+        match &mut s.open1 {
+            Some(a) if a.start == start1 => a.fold(v),
+            Some(a) => {
+                let closed = *a;
+                *a = Agg::open(start1, v);
+                if s.t1.len() == cfg.t1_cap {
+                    s.t1.pop_front();
+                }
+                s.t1.push_back(closed);
+                Self::merge_t2(&mut s.open2, &mut s.t2, cfg.t2_cap, closed);
+            }
+            None => s.open1 = Some(Agg::open(start1, v)),
+        }
+    }
+
+    /// Records a batch of consecutive-period samples (`vals[i]` at period
+    /// `start + i`) — exactly equivalent to calling [`Self::record`] once
+    /// per value, but the open /16 bucket stays in registers across the
+    /// whole batch instead of round-tripping memory per sample. This is
+    /// the plane's flush path: its staged batch is bounded by
+    /// [`crate::FLUSH_BATCH`], a multiple of the /16 bucket width, so a
+    /// batch closes whole tier-1 buckets.
+    pub fn record_batch(&mut self, id: SeriesId, start: u64, vals: &[f64]) {
+        let cfg = self.cfg;
+        let s = &mut self.series[id];
+        // Fast path: the batch is whole, aligned /16 buckets of finite
+        // values — the steady state of the plane's flush. Each bucket
+        // folds into a register-resident [`Agg`] with no per-value
+        // boundary arithmetic; the bucket closes once, at the end.
+        if start & (T1_FACTOR - 1) == 0
+            && vals.len().is_multiple_of(T1_FACTOR as usize)
+            && vals.iter().all(|v| v.is_finite())
+        {
+            for (b, chunk) in vals.chunks_exact(T1_FACTOR as usize).enumerate() {
+                let bstart = start + b as u64 * T1_FACTOR;
+                // Periods are non-decreasing, so any open bucket is
+                // strictly older than this one: close it, exactly as
+                // `record` would on the bucket's first sample.
+                if let Some(a) = s.open1.take() {
+                    if s.t1.len() == cfg.t1_cap {
+                        s.t1.pop_front();
+                    }
+                    s.t1.push_back(a);
+                    Self::merge_t2(&mut s.open2, &mut s.t2, cfg.t2_cap, a);
+                }
+                s.raw.push(bstart, chunk[0]);
+                let mut agg = Agg::open(bstart, chunk[0]);
+                for (i, &v) in chunk.iter().enumerate().skip(1) {
+                    s.raw.push(bstart + i as u64, v);
+                    agg.fold(v);
+                }
+                s.open1 = Some(agg);
+            }
+            self.samples += vals.len() as u64;
+            return;
+        }
+        let mut recorded = 0u64;
+        let mut open1 = s.open1;
+        for (i, &v) in vals.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            recorded += 1;
+            let period = start + i as u64;
+            s.raw.push(period, v);
+            let start1 = period & !(T1_FACTOR - 1);
+            match &mut open1 {
+                Some(a) if a.start == start1 => a.fold(v),
+                Some(a) => {
+                    let closed = *a;
+                    *a = Agg::open(start1, v);
+                    if s.t1.len() == cfg.t1_cap {
+                        s.t1.pop_front();
+                    }
+                    s.t1.push_back(closed);
+                    Self::merge_t2(&mut s.open2, &mut s.t2, cfg.t2_cap, closed);
+                }
+                None => open1 = Some(Agg::open(start1, v)),
+            }
+        }
+        s.open1 = open1;
+        self.samples += recorded;
+    }
+
+    /// Folds a closed /16 bucket into the /256 tier.
+    fn merge_t2(open: &mut Option<Agg>, ring: &mut VecDeque<Agg>, cap: usize, closed: Agg) {
+        let start = closed.start & !(T2_FACTOR - 1);
+        match open {
+            Some(a) if a.start == start => a.merge(&closed),
+            Some(a) => {
+                if ring.len() == cap {
+                    ring.pop_front();
+                }
+                ring.push_back(*a);
+                *open = Some(Agg { start, ..closed });
+            }
+            None => *open = Some(Agg { start, ..closed }),
+        }
+    }
+
+    /// The most recent sample of a series, if any.
+    pub fn last(&self, id: SeriesId) -> Option<(u64, f64)> {
+        self.series[id].raw.last()
+    }
+
+    /// Raw-tier samples of `id` in `[start, end]`, oldest first — the
+    /// flight recorder's incident window.
+    pub fn raw_window(&self, id: SeriesId, start: u64, end: u64) -> Vec<(u64, f64)> {
+        self.series[id].raw.iter().filter(|(p, _)| *p >= start && *p <= end).collect()
+    }
+
+    /// Range query. `step` picks the tier (downsample-aware): `< 16`
+    /// serves raw samples, `< 256` serves /16 buckets, anything larger
+    /// serves /256 buckets. The range is inclusive and clamps to what
+    /// each tier retains — asking for history that has aged out returns
+    /// the surviving suffix, never an error. Unknown metric → `None`.
+    pub fn query(&self, metric: &str, start: u64, end: u64, step: u64) -> Option<QueryResult> {
+        let id = self.lookup(metric)?;
+        let s = &self.series[id];
+        let (tier, resolution, points) = if step < T1_FACTOR {
+            let pts = s
+                .raw
+                .iter()
+                .filter(|(p, _)| *p >= start && *p <= end)
+                .map(|(p, v)| Agg::open(p, v))
+                .collect();
+            ("raw", 1, pts)
+        } else if step < T2_FACTOR {
+            ("t1", T1_FACTOR, Self::tier_range(&s.t1, s.open1, None, T1_FACTOR, start, end))
+        } else {
+            // The open /16 bucket has not been merged into /256 yet —
+            // project it in on demand so the coarse tier is as fresh as
+            // the fine one.
+            let open1 = s.open1.map(|a| Agg { start: a.start & !(T2_FACTOR - 1), ..a });
+            let (open2, extra) = match (s.open2, open1) {
+                (Some(mut o2), Some(o1)) if o2.start == o1.start => {
+                    o2.merge(&o1);
+                    (Some(o2), None)
+                }
+                (o2, o1) => (o2, o1),
+            };
+            ("t2", T2_FACTOR, Self::tier_range(&s.t2, open2, extra, T2_FACTOR, start, end))
+        };
+        Some(QueryResult { metric: s.name.clone(), tier, resolution, points })
+    }
+
+    fn tier_range(
+        ring: &VecDeque<Agg>,
+        open: Option<Agg>,
+        extra: Option<Agg>,
+        factor: u64,
+        start: u64,
+        end: u64,
+    ) -> Vec<Agg> {
+        // A bucket covering [s, s + factor) matches if it overlaps the
+        // inclusive [start, end]; the open (still folding) buckets count —
+        // they are the freshest data the tier has.
+        ring.iter()
+            .copied()
+            .chain(open)
+            .chain(extra)
+            .filter(|a| a.start <= end && a.start + factor > start)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SeriesStore {
+        SeriesStore::new(StoreConfig { raw_cap: 8, t1_cap: 4, t2_cap: 2 })
+    }
+
+    #[test]
+    fn series_registration_is_idempotent_and_dense() {
+        let mut st = store();
+        let a = st.series_id("obs_a");
+        let b = st.series_id("obs_b");
+        assert_eq!(st.series_id("obs_a"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(st.lookup("obs_b"), Some(1));
+        assert_eq!(st.lookup("nope"), None);
+        assert_eq!(st.names(), vec!["obs_a", "obs_b"]);
+    }
+
+    #[test]
+    fn raw_tier_keeps_the_newest_samples_only() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        for p in 0..20u64 {
+            st.record(id, p, p as f64);
+        }
+        let q = st.query("obs_x", 0, 100, 1).unwrap();
+        assert_eq!(q.tier, "raw");
+        let periods: Vec<u64> = q.points.iter().map(|a| a.start).collect();
+        assert_eq!(periods, (12..20).collect::<Vec<_>>(), "raw_cap=8 keeps the tail");
+        assert_eq!(st.last(id), Some((19, 19.0)));
+        assert_eq!(st.samples_total(), 20);
+    }
+
+    #[test]
+    fn tier1_buckets_fold_min_max_sum_count_last() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        for p in 0..33u64 {
+            st.record(id, p, p as f64);
+        }
+        // step=16 → t1: buckets [0,16), [16,32) closed, [32,...) open.
+        let q = st.query("obs_x", 0, 1000, 16).unwrap();
+        assert_eq!(q.tier, "t1");
+        assert_eq!(q.resolution, 16);
+        assert_eq!(q.points.len(), 3);
+        let b0 = q.points[0];
+        assert_eq!((b0.start, b0.min, b0.max, b0.count, b0.last), (0, 0.0, 15.0, 16, 15.0));
+        assert_eq!(b0.sum, (0..16).sum::<u64>() as f64);
+        let open = q.points[2];
+        assert_eq!((open.start, open.count, open.last), (32, 1, 32.0));
+    }
+
+    #[test]
+    fn tier2_serves_coarse_steps_and_bounds_memory() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        for p in 0..2000u64 {
+            st.record(id, p, 1.0);
+        }
+        let q = st.query("obs_x", 0, 10_000, 256).unwrap();
+        assert_eq!(q.tier, "t2");
+        // t2_cap=2 closed buckets + the open one survive.
+        assert_eq!(q.points.len(), 3);
+        assert_eq!(q.points[0].start, 1280, "oldest /256 buckets aged out");
+        assert!(q.points.iter().all(|a| a.count <= 256));
+    }
+
+    #[test]
+    fn query_range_filters_and_unknown_metric_is_none() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        for p in 0..8u64 {
+            st.record(id, p, p as f64);
+        }
+        let q = st.query("obs_x", 3, 5, 1).unwrap();
+        let periods: Vec<u64> = q.points.iter().map(|a| a.start).collect();
+        assert_eq!(periods, vec![3, 4, 5], "inclusive range");
+        assert!(st.query("nope", 0, 10, 1).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        st.record(id, 0, 1.0);
+        st.record(id, 1, f64::NAN);
+        st.record(id, 2, f64::INFINITY);
+        st.record(id, 3, 2.0);
+        assert_eq!(st.samples_total(), 2);
+        let q = st.query("obs_x", 0, 10, 16).unwrap();
+        assert_eq!(q.points.len(), 1);
+        let a = q.points[0];
+        assert_eq!((a.min, a.max, a.sum, a.count), (1.0, 2.0, 3.0, 2));
+    }
+
+    #[test]
+    fn sparse_series_keep_their_period_stamps() {
+        // Severity-style series record on change only; stamps survive.
+        let mut st = store();
+        let id = st.series_id("obs_sev");
+        st.record(id, 7, 1.0);
+        st.record(id, 90, 2.0);
+        let q = st.query("obs_sev", 0, 100, 1).unwrap();
+        let periods: Vec<u64> = q.points.iter().map(|a| a.start).collect();
+        assert_eq!(periods, vec![7, 90]);
+        // And the /16 tier buckets them by true period, not arrival order.
+        let q = st.query("obs_sev", 0, 100, 16).unwrap();
+        assert_eq!(q.points.iter().map(|a| a.start).collect::<Vec<_>>(), vec![0, 80]);
+    }
+
+    #[test]
+    fn record_batch_equals_per_sample_record() {
+        // Same stream through record() and record_batch() — spanning
+        // bucket closures, a non-finite sample, and a partial tail batch
+        // — must leave byte-identical tiers and counters.
+        let mut one = store();
+        let mut batch = store();
+        let a = one.series_id("obs_x");
+        let b = batch.series_id("obs_x");
+        let vals: Vec<f64> = (0..40).map(|p| if p == 21 { f64::NAN } else { p as f64 * 0.5 }).collect();
+        for (p, &v) in vals.iter().enumerate() {
+            one.record(a, p as u64, v);
+        }
+        for (i, chunk) in vals.chunks(16).enumerate() {
+            batch.record_batch(b, i as u64 * 16, chunk);
+        }
+        assert_eq!(one.samples_total(), batch.samples_total());
+        assert_eq!(one.last(a), batch.last(b));
+        for step in [1, 16, 256] {
+            let qa = one.query("obs_x", 0, 100, step).unwrap().to_json(0, 100, step);
+            let qb = batch.query("obs_x", 0, 100, step).unwrap().to_json(0, 100, step);
+            assert_eq!(qa, qb, "step {step}");
+        }
+    }
+
+    #[test]
+    fn query_json_is_byte_stable() {
+        let mut st = store();
+        let id = st.series_id("obs_x");
+        st.record(id, 0, 1.5);
+        st.record(id, 1, 0.25);
+        let q = st.query("obs_x", 0, 1, 1).unwrap();
+        let json = q.to_json(0, 1, 1);
+        assert_eq!(
+            json,
+            "{\"metric\":\"obs_x\",\"start\":0,\"end\":1,\"step\":1,\"tier\":\"raw\",\
+             \"resolution\":1,\"points\":[\
+             {\"period\":0,\"min\":1.5,\"max\":1.5,\"sum\":1.5,\"count\":1,\"last\":1.5},\
+             {\"period\":1,\"min\":0.25,\"max\":0.25,\"sum\":0.25,\"count\":1,\"last\":0.25}]}\n"
+        );
+        assert_eq!(json, st.query("obs_x", 0, 1, 1).unwrap().to_json(0, 1, 1));
+    }
+}

@@ -451,6 +451,21 @@ impl ControllerEvent {
 }
 
 impl TelemetryEvent {
+    /// Dense family index, aligned with [`crate::Interests`] bits — the
+    /// fan-out router keys its delivery lists on this.
+    pub fn family(&self) -> usize {
+        match self {
+            TelemetryEvent::Period(_) => 0,
+            TelemetryEvent::Controller { .. } => 1,
+            TelemetryEvent::ControllerStatus { .. } => 2,
+            TelemetryEvent::PartitionApplied { .. } => 3,
+            TelemetryEvent::Fault { .. } => 4,
+            TelemetryEvent::Decision(_) => 5,
+            TelemetryEvent::ScenarioSummary(_) => 6,
+            TelemetryEvent::Span(_) => 7,
+        }
+    }
+
     /// Coarse event-family label (used as the JSON `event` field and as a
     /// metric label).
     pub fn kind(&self) -> &'static str {

@@ -39,9 +39,11 @@ pub use event::{
     json_f64, json_opt_f64, json_str, ControllerCounters, ControllerEvent, DecisionEvent,
     FaultCounters, HoldReason, PeriodEvent, ResetCause, ScenarioSummaryEvent, TelemetryEvent,
 };
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Scalar};
 pub use ring::RingRecorder;
-pub use sink::{BufferedSink, CollectingSink, FanoutSink, JsonlSink, Telemetry, TelemetrySink};
+pub use sink::{
+    BufferedSink, CollectingSink, FanoutSink, Interests, JsonlSink, Telemetry, TelemetrySink,
+};
 pub use trace::{
     chrome_trace_json, stage, ChromeTraceBuilder, SpanEvent, SpanGuard, Tracer,
     STAGE_SECONDS_BOUNDS,

@@ -45,8 +45,13 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    /// Set the gauge.
+    /// Set the gauge. Non-finite values (NaN, ±Inf) are dropped: the
+    /// gauge keeps its last finite value, so one bad sample can never
+    /// poison the exposition or any downstream series store.
     pub fn set(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -77,7 +82,18 @@ pub struct Histogram {
 impl Histogram {
     /// Record one observation: one atomic per-bucket increment, one CAS
     /// loop for the sum, one count increment. No locks, no allocation.
+    ///
+    /// Non-finite observations (NaN, ±Inf) are dropped whole: a NaN
+    /// would otherwise poison `sum` forever through the CAS loop, and
+    /// ±Inf would land in the implicit overflow bucket while making
+    /// `sum` meaningless. Dropping the entire observation (bucket,
+    /// sum *and* count) keeps the invariant `sum/count = mean of what
+    /// was recorded` and is deterministic: the same stream always
+    /// yields the same exposition.
     pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         let core = &self.core;
         if let Some(i) = core.bounds.iter().position(|&b| v <= b) {
             core.buckets[i].fetch_add(1, Ordering::Relaxed);
@@ -130,12 +146,38 @@ struct Family {
     series: BTreeMap<Vec<(String, String)>, Metric>,
 }
 
+/// A lock-free read handle on one scalar series (counter or gauge), as
+/// enumerated by [`MetricsRegistry::scalars`]. Cloning shares the
+/// underlying atomic, so a scraper can cache these and read them later
+/// without touching the registry lock.
+#[derive(Clone)]
+pub enum Scalar {
+    /// A counter series; reads as the running total.
+    Counter(Counter),
+    /// A gauge series; reads as the last finite value set.
+    Gauge(Gauge),
+}
+
+impl Scalar {
+    /// Current value of the series (counters widen to `f64`).
+    pub fn value(&self) -> f64 {
+        match self {
+            Scalar::Counter(c) => c.get() as f64,
+            Scalar::Gauge(g) => g.get(),
+        }
+    }
+}
+
 /// Registry of metric families. Registration takes a short lock; the
 /// returned handles are lock-free. Re-registering the same name + label
 /// set returns a handle to the existing series, so components can look up
 /// their metrics idempotently.
 pub struct MetricsRegistry {
     families: Mutex<BTreeMap<String, Family>>,
+    /// Bumped whenever a *new* series is inserted (idempotent
+    /// re-registration does not count). Scrapers cache the scalar
+    /// handle list and refresh it only when this changes.
+    generation: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -154,7 +196,15 @@ fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        MetricsRegistry { families: Mutex::new(BTreeMap::new()) }
+        MetricsRegistry { families: Mutex::new(BTreeMap::new()), generation: AtomicU64::new(0) }
+    }
+
+    /// Registration epoch: bumped once per newly inserted series. A
+    /// scraper holding cached [`Scalar`] handles re-enumerates only when
+    /// this value changes, making a steady-state scrape a handful of
+    /// relaxed atomic loads.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Register (or look up) a counter series.
@@ -165,17 +215,21 @@ impl MetricsRegistry {
             help: help.to_string(),
             series: BTreeMap::new(),
         });
-        match fam
-            .series
-            .entry(sorted_labels(labels))
-            .or_insert_with(|| Metric::Counter(handle.clone()))
-        {
+        let mut inserted = false;
+        let got = match fam.series.entry(sorted_labels(labels)).or_insert_with(|| {
+            inserted = true;
+            Metric::Counter(handle.clone())
+        }) {
             Metric::Counter(c) => c.clone(),
             other => panic!(
                 "metric {name} already registered as {}, requested counter",
                 other.type_str()
             ),
+        };
+        if inserted {
+            self.generation.fetch_add(1, Ordering::Relaxed);
         }
+        got
     }
 
     /// Register (or look up) a gauge series.
@@ -186,17 +240,21 @@ impl MetricsRegistry {
             help: help.to_string(),
             series: BTreeMap::new(),
         });
-        match fam
-            .series
-            .entry(sorted_labels(labels))
-            .or_insert_with(|| Metric::Gauge(handle.clone()))
-        {
+        let mut inserted = false;
+        let got = match fam.series.entry(sorted_labels(labels)).or_insert_with(|| {
+            inserted = true;
+            Metric::Gauge(handle.clone())
+        }) {
             Metric::Gauge(g) => g.clone(),
             other => panic!(
                 "metric {name} already registered as {}, requested gauge",
                 other.type_str()
             ),
+        };
+        if inserted {
+            self.generation.fetch_add(1, Ordering::Relaxed);
         }
+        got
     }
 
     /// Register (or look up) a histogram series with the given finite
@@ -225,17 +283,44 @@ impl MetricsRegistry {
             help: help.to_string(),
             series: BTreeMap::new(),
         });
-        match fam
-            .series
-            .entry(sorted_labels(labels))
-            .or_insert_with(|| Metric::Histogram(handle.clone()))
-        {
+        let mut inserted = false;
+        let got = match fam.series.entry(sorted_labels(labels)).or_insert_with(|| {
+            inserted = true;
+            Metric::Histogram(handle.clone())
+        }) {
             Metric::Histogram(h) => h.clone(),
             other => panic!(
                 "metric {name} already registered as {}, requested histogram",
                 other.type_str()
             ),
+        };
+        if inserted {
+            self.generation.fetch_add(1, Ordering::Relaxed);
         }
+        got
+    }
+
+    /// Enumerate every scalar series (counters and gauges; histograms are
+    /// exposed through their own `_sum`/`_count` exposition and skipped
+    /// here) as `(rendered name, read handle)` pairs in deterministic
+    /// order: families by name, series by sorted label set. The rendered
+    /// name carries the labels exactly as `render` would print them
+    /// (`dicer_node_severity{node="3"}`), so a series store keyed on
+    /// these names matches the `/metrics` exposition one-to-one.
+    pub fn scalars(&self) -> Vec<(String, Scalar)> {
+        let families = self.families.lock();
+        let mut out = Vec::new();
+        for (name, fam) in families.iter() {
+            for (labels, metric) in fam.series.iter() {
+                let handle = match metric {
+                    Metric::Counter(c) => Scalar::Counter(c.clone()),
+                    Metric::Gauge(g) => Scalar::Gauge(g.clone()),
+                    Metric::Histogram(_) => continue,
+                };
+                out.push((format!("{}{}", name, render_labels(labels, &[])), handle));
+            }
+        }
+        out
     }
 
     /// Prometheus text exposition format 0.0.4. Deterministic: families in
@@ -399,5 +484,83 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("dicer_clash", "C.", &[]);
         reg.gauge("dicer_clash", "C.", &[]);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_whole() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("dicer_nf", "NF.", &[], &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(2.0);
+        // Only the two finite observations exist: bucket, sum AND count.
+        assert_eq!(h.count(), 2, "non-finite must not bump count");
+        assert_eq!(h.sum(), 2.5, "non-finite must not touch sum");
+        let text = reg.render();
+        assert!(text.contains("dicer_nf_bucket{le=\"1\"} 1"));
+        assert!(text.contains("dicer_nf_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dicer_nf_sum 2.5"));
+        // The same stream replayed renders identically (deterministic).
+        let reg2 = MetricsRegistry::new();
+        let h2 = reg2.histogram("dicer_nf", "NF.", &[], &[1.0, 10.0]);
+        for v in [0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0] {
+            h2.observe(v);
+        }
+        assert_eq!(text, reg2.render());
+    }
+
+    #[test]
+    fn gauge_keeps_last_finite_value_on_non_finite_set() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("dicer_nf_ways", "NF.", &[]);
+        g.set(7.0);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 7.0, "NaN set is dropped");
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 7.0, "+Inf set is dropped");
+        g.set(f64::NEG_INFINITY);
+        assert_eq!(g.get(), 7.0, "-Inf set is dropped");
+        g.set(3.0);
+        assert_eq!(g.get(), 3.0, "finite sets still land");
+    }
+
+    #[test]
+    fn generation_counts_new_series_only() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        reg.counter("dicer_g_total", "G.", &[]);
+        assert_eq!(reg.generation(), 1);
+        reg.counter("dicer_g_total", "G.", &[]); // idempotent lookup
+        assert_eq!(reg.generation(), 1, "re-registration is not a new series");
+        reg.gauge("dicer_g_ways", "G.", &[("node", "0")]);
+        reg.histogram("dicer_g_lat", "G.", &[], &[1.0]);
+        assert_eq!(reg.generation(), 3);
+    }
+
+    #[test]
+    fn scalars_enumerates_counters_and_gauges_with_rendered_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dicer_s_total", "S.", &[]).add(4);
+        reg.gauge("dicer_s_sev", "S.", &[("node", "1")]).set(2.0);
+        reg.gauge("dicer_s_sev", "S.", &[("node", "0")]).set(1.0);
+        reg.histogram("dicer_s_lat", "S.", &[], &[1.0]).observe(0.5);
+        let scalars = reg.scalars();
+        let names: Vec<&str> = scalars.iter().map(|(n, _)| n.as_str()).collect();
+        // Histograms skipped; deterministic family/label order.
+        assert_eq!(
+            names,
+            vec![
+                "dicer_s_sev{node=\"0\"}",
+                "dicer_s_sev{node=\"1\"}",
+                "dicer_s_total",
+            ]
+        );
+        let values: Vec<f64> = scalars.iter().map(|(_, s)| s.value()).collect();
+        assert_eq!(values, vec![1.0, 2.0, 4.0]);
+        // Handles stay live: later recording is visible without re-enumeration.
+        reg.counter("dicer_s_total", "S.", &[]).add(1);
+        assert_eq!(scalars[2].1.value(), 5.0);
     }
 }

@@ -306,6 +306,69 @@ mod tests {
     }
 
     #[test]
+    fn read_since_on_an_empty_ring_is_a_clean_no_op() {
+        let ring = RingRecorder::new(4);
+        assert_eq!(ring.cursor_now(), 0);
+        let (evs, next, skipped) = ring.read_since(0, 100);
+        assert!(evs.is_empty());
+        assert_eq!((next, skipped), (0, 0), "nothing emitted: nothing read, nothing skipped");
+        // max = 0 on an empty ring is equally harmless.
+        let (evs, next, skipped) = ring.read_since(0, 0);
+        assert!(evs.is_empty());
+        assert_eq!((next, skipped), (0, 0));
+    }
+
+    #[test]
+    fn exactly_lapped_cursor_resumes_at_the_oldest_live_slot() {
+        let ring = RingRecorder::new(4);
+        for i in 0..4 {
+            ring.emit(&numbered(i));
+        }
+        let cursor = 0;
+        // Writer laps the cursor by exactly one capacity: events 0..4 are
+        // overwritten by 4..8, so the reader from 0 skips exactly 4 and
+        // resumes at the oldest live slot (sequence 4).
+        for i in 4..8 {
+            ring.emit(&numbered(i));
+        }
+        let (evs, next, skipped) = ring.read_since(cursor, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(skipped, 4, "exact lap: exactly capacity events lost");
+        assert_eq!(next, 8);
+        // Resuming from `next` after the lap reads cleanly again.
+        ring.emit(&numbered(8));
+        let (evs, next, skipped) = ring.read_since(next, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![8]);
+        assert_eq!((next, skipped), (9, 0));
+    }
+
+    #[test]
+    fn multi_lap_skip_count_is_exact_and_resumes_at_oldest_live() {
+        let ring = RingRecorder::new(4);
+        let cursor = ring.cursor_now();
+        // 11 laps plus a partial: 47 events into 4 slots. The oldest live
+        // sequence is 43, so a reader from 0 must report exactly 43
+        // skipped — not a multiple-of-capacity approximation.
+        for i in 0..47 {
+            ring.emit(&numbered(i));
+        }
+        let (evs, next, skipped) = ring.read_since(cursor, 100);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![43, 44, 45, 46]);
+        assert_eq!(skipped, 43);
+        assert_eq!(next, 47);
+        // A cursor strictly inside the lost region skips only what is
+        // ahead of it, not the whole loss.
+        let (evs, _, skipped) = ring.read_since(40, 100);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(skipped, 3, "40, 41, 42 were overwritten; 43.. are live");
+        // A capped multi-lap read still reports the full skip: `skipped`
+        // counts overwrites, `max` only truncates the live tail.
+        let (evs, next, skipped) = ring.read_since(cursor, 2);
+        assert_eq!(evs.iter().map(period_of).collect::<Vec<_>>(), vec![43, 44]);
+        assert_eq!((next, skipped), (45, 43));
+    }
+
+    #[test]
     fn concurrent_producers_and_drainer_lose_nothing_unaccounted() {
         // Smoke test: N producer threads race a drainer; at the end every
         // emitted event is either drained, still retained, or counted as

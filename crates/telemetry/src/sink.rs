@@ -12,12 +12,62 @@ use parking_lot::Mutex;
 
 use crate::event::TelemetryEvent;
 
+/// Bitmask of [`TelemetryEvent`] families a sink wants delivered, one bit
+/// per [`TelemetryEvent::family`] index. Routing sinks (today:
+/// [`FanoutSink`]) consult it once at construction and skip uninterested
+/// sinks entirely, so a narrow sink (the observability plane wants only
+/// periods and controller statuses) pays no per-event dispatch for the
+/// families it ignores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interests(pub u16);
+
+impl Interests {
+    /// Every family, present and future (the default).
+    pub const ALL: Interests = Interests(u16::MAX);
+    /// `TelemetryEvent::Period`.
+    pub const PERIOD: Interests = Interests(1 << 0);
+    /// `TelemetryEvent::Controller`.
+    pub const CONTROLLER: Interests = Interests(1 << 1);
+    /// `TelemetryEvent::ControllerStatus`.
+    pub const CONTROLLER_STATUS: Interests = Interests(1 << 2);
+    /// `TelemetryEvent::PartitionApplied`.
+    pub const PARTITION_APPLIED: Interests = Interests(1 << 3);
+    /// `TelemetryEvent::Fault`.
+    pub const FAULT: Interests = Interests(1 << 4);
+    /// `TelemetryEvent::Decision`.
+    pub const DECISION: Interests = Interests(1 << 5);
+    /// `TelemetryEvent::ScenarioSummary`.
+    pub const SCENARIO_SUMMARY: Interests = Interests(1 << 6);
+    /// `TelemetryEvent::Span`.
+    pub const SPAN: Interests = Interests(1 << 7);
+
+    /// Whether the family with this [`TelemetryEvent::family`] index is
+    /// wanted.
+    pub fn wants(self, family: usize) -> bool {
+        self.0 & (1 << family) != 0
+    }
+}
+
+impl std::ops::BitOr for Interests {
+    type Output = Interests;
+    fn bitor(self, rhs: Interests) -> Interests {
+        Interests(self.0 | rhs.0)
+    }
+}
+
 /// Receives telemetry events. Implementations must be cheap and must not
 /// block for long: `emit` is called from simulation hot paths.
 pub trait TelemetrySink: Send + Sync {
     /// Deliver one event. Borrowed so disabled/filtering sinks pay no
     /// clone; sinks that retain events clone internally.
     fn emit(&self, event: &TelemetryEvent);
+
+    /// Which event families this sink wants. Defaults to everything;
+    /// narrow sinks override so routing sinks can skip them. Must be
+    /// constant for the sink's lifetime (routers read it once).
+    fn interests(&self) -> Interests {
+        Interests::ALL
+    }
 }
 
 /// A cheap, cloneable producer handle: either disabled (default) or a
@@ -204,22 +254,36 @@ impl Drop for BufferedSink {
     }
 }
 
-/// Delivers every event to each of a fixed set of sinks, in order.
+/// Delivers each event to every *interested* sink, in order. Delivery
+/// lists are precomputed per event family from each sink's
+/// [`TelemetrySink::interests`], so a sink never sees (or pays dispatch
+/// for) a family it declared out.
 pub struct FanoutSink {
     sinks: Vec<Arc<dyn TelemetrySink>>,
+    /// Sink indices to deliver to, per [`TelemetryEvent::family`] index.
+    routes: [Vec<usize>; 8],
 }
 
 impl FanoutSink {
     /// Fan out to `sinks` (delivery order = vector order).
     pub fn new(sinks: Vec<Arc<dyn TelemetrySink>>) -> Self {
-        FanoutSink { sinks }
+        let mut routes: [Vec<usize>; 8] = Default::default();
+        for (i, sink) in sinks.iter().enumerate() {
+            let interests = sink.interests();
+            for (family, route) in routes.iter_mut().enumerate() {
+                if interests.wants(family) {
+                    route.push(i);
+                }
+            }
+        }
+        FanoutSink { sinks, routes }
     }
 }
 
 impl TelemetrySink for FanoutSink {
     fn emit(&self, event: &TelemetryEvent) {
-        for sink in &self.sinks {
-            sink.emit(event);
+        for &i in &self.routes[event.family()] {
+            self.sinks[i].emit(event);
         }
     }
 }
@@ -317,5 +381,51 @@ mod tests {
         t.emit(&fault("x"));
         assert_eq!(a.events().len(), 1);
         assert_eq!(b.events().len(), 1);
+    }
+
+    /// Collector that only wants fault events.
+    struct FaultOnly(CollectingSink);
+
+    impl TelemetrySink for FaultOnly {
+        fn emit(&self, event: &TelemetryEvent) {
+            self.0.emit(event);
+        }
+        fn interests(&self) -> Interests {
+            Interests::FAULT
+        }
+    }
+
+    #[test]
+    fn fanout_routes_by_declared_interests() {
+        let narrow = Arc::new(FaultOnly(CollectingSink::new()));
+        let wide = Arc::new(CollectingSink::new());
+        let fan = FanoutSink::new(vec![narrow.clone(), wide.clone()]);
+        fan.emit(&fault("seen"));
+        fan.emit(&TelemetryEvent::Controller {
+            period: 0,
+            event: ControllerEvent::MissingPeriod,
+        });
+        assert_eq!(narrow.0.events().len(), 1, "non-fault families skip the narrow sink");
+        assert_eq!(wide.events().len(), 2, "default interests receive everything");
+    }
+
+    #[test]
+    fn interests_bits_align_with_event_families() {
+        for (interest, family) in [
+            (Interests::PERIOD, 0),
+            (Interests::CONTROLLER, 1),
+            (Interests::CONTROLLER_STATUS, 2),
+            (Interests::PARTITION_APPLIED, 3),
+            (Interests::FAULT, 4),
+            (Interests::DECISION, 5),
+            (Interests::SCENARIO_SUMMARY, 6),
+            (Interests::SPAN, 7),
+        ] {
+            assert!(interest.wants(family));
+            assert!(!interest.wants((family + 1) % 8));
+            assert!(Interests::ALL.wants(family));
+        }
+        let both = Interests::PERIOD | Interests::SPAN;
+        assert!(both.wants(0) && both.wants(7) && !both.wants(4));
     }
 }

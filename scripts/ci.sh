@@ -23,14 +23,19 @@
 #              round trip (record a trace, render the report, JSON-validate
 #              the Chrome export), the dicerd load test
 #              (results/BENCH_dicerd.json, >15% req/s regression gated),
-#              and a dicerd daemon smoke test (endpoints, conn metrics,
-#              live POST /control retargeting).
-#   --fast     clippy plus controller-stack + netd unit tests, the
+#              the observability-plane overhead benchmark
+#              (results/BENCH_obs.json, the bench hard-asserts the <3%
+#              managed-scenario budget and the gate fails a >15%
+#              throughput drop vs the committed baseline), and a dicerd
+#              daemon smoke test (endpoints, conn metrics, live POST
+#              /control retargeting, /query range reads, /alerts).
+#   --fast     clippy plus controller-stack + netd + obs unit tests, the
 #              conformance, fault-injection, sweep-determinism and
 #              fleet-determinism suites, the dicerd API suite (concurrent
 #              clients, control conformance, drain-on-quit), the
-#              placement-signal clause check, and the controller-registry
-#              coverage check — the inner-loop tier.
+#              SLO-alerting golden-bundle suite, the placement-signal
+#              clause check, and the controller-registry coverage check —
+#              the inner-loop tier.
 #   --update-baselines
 #              run the full tier but skip the perf regression gates,
 #              letting the freshly written BENCH_*.json files become the
@@ -71,17 +76,17 @@ if [ "$fast" -eq 1 ]; then
     # Scoped to the controller-stack crates the fast tier tests; the
     # workspace-wide sweep (which also lints the proptest suites) runs in
     # the full tier.
-    step "cargo clippy -D warnings (controller stack + netd)"
+    step "cargo clippy -D warnings (controller stack + netd + obs)"
     if cargo clippy --version >/dev/null 2>&1; then
         cargo clippy -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry \
-            -p dicer-netd --all-targets -- -D warnings || fail=1
+            -p dicer-netd -p dicer-obs --all-targets -- -D warnings || fail=1
     else
         echo "skipped: clippy not installed"
     fi
 
-    step "cargo test (controller stack + netd units)"
+    step "cargo test (controller stack + netd + obs units)"
     cargo test -q -p dicer-policy -p dicer-rdt -p dicer-membw -p dicer-telemetry \
-        -p dicer-netd --lib || fail=1
+        -p dicer-netd -p dicer-obs --lib || fail=1
 
     step "cargo test (conformance + fault injection)"
     cargo test -q --test controller_conformance --test fault_injection || fail=1
@@ -92,6 +97,13 @@ if [ "$fast" -eq 1 ]; then
     # responses; POST /control must follow its accepted/rejected table;
     # /quit must drain in-flight connections before the threads join.
     cargo test -q --test dicerd_api || fail=1
+
+    step "cargo test (SLO alerting: burn-rate fire period + golden incident bundle)"
+    # Replays the pinned scenario through the obs plane: the burn-rate
+    # page must fire at the committed period, and the cut incident bundle
+    # must stay byte-identical to tests/goldens/incident_burn_rate.jsonl
+    # regardless of thread count.
+    cargo test -q --test obs_alerting || fail=1
 
     step "registry coverage (every registered controller passes the contract)"
     # The conformance kit fails this test if any controller in the standard
@@ -373,6 +385,49 @@ PY
 fi
 rm -f "$dicerd_baseline"
 
+step "observability-plane overhead (results/BENCH_obs.json, perf gate vs baseline)"
+# The bench replays the long-horizon scenarios with the full obs plane
+# attached (store + rules + flight recorder + /metrics scrapes) and
+# hard-asserts the managed-scenario overhead stays under 3% of the
+# daemon-grade pipeline, plus bit-identity of the replay under
+# observation. The gate adds throughput drift detection: a >15% drop of
+# any scenario's observed periods/sec vs the committed baseline fails.
+obs_baseline="$(mktemp)"
+git show HEAD:results/BENCH_obs.json > "$obs_baseline" 2>/dev/null || true
+cargo run -q --release -p dicer-bench --bin obs_bench || fail=1
+if [ "$fail" -eq 0 ]; then
+    if [ "$update_baselines" -eq 1 ]; then
+        echo "WARNING: --update-baselines set; skipping the obs overhead gate." >&2
+    elif [ ! -s "$obs_baseline" ]; then
+        echo "note: no committed BENCH_obs.json baseline yet (first run);"
+        echo "note: gate skipped — commit results/BENCH_obs.json to arm it."
+    elif command -v python3 >/dev/null 2>&1; then
+        python3 - "$obs_baseline" results/BENCH_obs.json <<'PY' || { echo "observed throughput regressed >15% vs the committed baseline" >&2; fail=1; }
+import json, sys
+TOLERANCE = 0.15
+base = {s["name"]: s for s in json.load(open(sys.argv[1]))["scenarios"]}
+cur = {s["name"]: s for s in json.load(open(sys.argv[2]))["scenarios"]}
+bad = 0
+for name, b in sorted(base.items()):
+    c = cur.get(name)
+    if c is None:
+        print(f"  {name}: scenario missing from the fresh run", file=sys.stderr)
+        bad += 1
+        continue
+    old, new = b["obs_periods_per_sec"], c["obs_periods_per_sec"]
+    delta = (new - old) / old
+    verdict = "FAIL" if delta < -TOLERANCE else "ok"
+    print(f"  {name}: {old:.0f} -> {new:.0f} observed periods/s ({delta:+.1%}, overhead {c['overhead_pct']:+.2f}%) {verdict}")
+    if delta < -TOLERANCE:
+        bad += 1
+sys.exit(1 if bad else 0)
+PY
+    else
+        echo "note: python3 not installed, skipping the obs overhead gate"
+    fi
+fi
+rm -f "$obs_baseline"
+
 step "dicerd smoke test (start, scrape, retarget, shut down)"
 DICERD_PORT="${DICERD_PORT:-18950}"
 if command -v curl >/dev/null 2>&1; then
@@ -428,6 +483,19 @@ if command -v curl >/dev/null 2>&1; then
             [ "$code" = "400" ] || { echo "unknown control field must 400 (got $code)" >&2; fail=1; }
             code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/control")
             [ "$code" = "405" ] || { echo "GET /control must 405 (got $code)" >&2; fail=1; }
+            # Observability plane: /query serves period-series range reads
+            # (metric required, unknown params are strict 400s) and
+            # /alerts reports rule state; both are backed by the embedded
+            # store, so a healthy daemon answers them from period zero.
+            curl -sf "http://127.0.0.1:$DICERD_PORT/query?metric=obs_hp_ipc&step=1" \
+                | grep -q '"metric"' || { echo "bad /query payload" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' \
+                "http://127.0.0.1:$DICERD_PORT/query?metric=obs_hp_ipc&bogus=1")
+            [ "$code" = "400" ] || { echo "unknown /query param must 400 (got $code)" >&2; fail=1; }
+            curl -sf "http://127.0.0.1:$DICERD_PORT/alerts" \
+                | grep -q '"alerts_firing"' || { echo "bad /alerts payload" >&2; fail=1; }
+            code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DICERD_PORT/alerts?bogus=1")
+            [ "$code" = "400" ] || { echo "unknown /alerts param must 400 (got $code)" >&2; fail=1; }
             # Follow mode: the chunked NDJSON stream starts promptly (the
             # bounded read ends the connection; any output means the head
             # and first chunk framed correctly).

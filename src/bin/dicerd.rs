@@ -24,12 +24,18 @@
 //! Routes:
 //! - `GET /healthz`           — liveness; a small JSON body (crate version,
 //!   periods simulated so far, fleet node count, ring-buffer drops, the
-//!   active policy/workloads and the pause state) with `200 OK`.
+//!   alerts-firing count, the active policy/workloads and the pause state)
+//!   with `200 OK`.
 //! - `GET /metrics`           — Prometheus text format 0.0.4, deterministic layout.
 //! - `GET /events?n=K`        — newest `K` (default 100) bus events as a JSON array.
 //! - `GET /events?follow=1`   — endless NDJSON stream of new events (chunked);
 //!   slow readers skip oldest events and are told how many.
 //! - `GET /fleet`             — live fleet snapshot as JSON (fleet mode only).
+//! - `GET /query?metric=M`    — period-series range read from the observability
+//!   plane (`start=`/`end=` period bounds, `step=` picks the raw, /16 or
+//!   /256 downsampling tier).
+//! - `GET /alerts`            — firing alerts plus bounded resolved history;
+//!   firing rules also cut incident bundles under `results/incidents/`.
 //! - `POST /control`          — live retargeting: `policy=`, `hp=`, `be=`,
 //!   `pause=0|1` (form-encoded body), applied by the sim thread at the next
 //!   period boundary without a restart.
@@ -123,6 +129,7 @@ fn main() -> ExitCode {
         fleet_scheduler,
         seed,
         net: defaults.net,
+        incidents_dir: Some(std::path::PathBuf::from("results/incidents")),
     };
     cfg.net.max_conns = max_conns;
 

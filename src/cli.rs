@@ -143,6 +143,36 @@ pub fn parse_events_query(query: &str) -> Result<(Option<usize>, bool), String> 
     Ok((n, follow))
 }
 
+/// Interprets the `GET /query` query string of the daemon:
+/// `metric=NAME` (required, the series name verbatim), `start=P` /
+/// `end=P` (inclusive period range, defaults `0..=u64::MAX`), and
+/// `step=N` (≥ 1, default 1; the store picks the raw, /16 or /256 tier
+/// from it). Unknown or duplicated parameters are client errors via
+/// [`parse_query_params`].
+pub fn parse_range_query(query: &str) -> Result<(String, u64, u64, u64), String> {
+    let params = parse_query_params(query, &["metric", "start", "end", "step"])?;
+    let metric = match params.get("metric") {
+        Some(m) if !m.is_empty() => m.clone(),
+        _ => return Err("metric is required (e.g. /query?metric=obs_hp_norm_ipc)".to_string()),
+    };
+    let int = |key: &str, default: u64| -> Result<u64, String> {
+        match params.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<u64>().map_err(|e| format!("bad {key} {v:?}: {e}")),
+        }
+    };
+    let start = int("start", 0)?;
+    let end = int("end", u64::MAX)?;
+    let step = int("step", 1)?;
+    if step == 0 {
+        return Err("step must be at least 1".to_string());
+    }
+    if start > end {
+        return Err(format!("empty range: start {start} > end {end}"));
+    }
+    Ok((metric, start, end, step))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +280,34 @@ mod tests {
     fn malformed_events_query_is_an_error_not_a_fallback() {
         for bad in ["n=0", "n=x", "follow=2", "follow=yes", "follow=", "tail=1", "follow=1&follow=1"] {
             assert!(parse_events_query(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn range_query_parses_with_defaults() {
+        assert_eq!(
+            parse_range_query("metric=obs_hp_norm_ipc"),
+            Ok(("obs_hp_norm_ipc".to_string(), 0, u64::MAX, 1))
+        );
+        assert_eq!(
+            parse_range_query("metric=dicer_hp_ipc&start=100&end=200&step=16"),
+            Ok(("dicer_hp_ipc".to_string(), 100, 200, 16))
+        );
+    }
+
+    #[test]
+    fn malformed_range_query_is_an_error_not_a_fallback() {
+        for bad in [
+            "",
+            "metric=",
+            "start=1",
+            "metric=x&start=a",
+            "metric=x&step=0",
+            "metric=x&start=5&end=4",
+            "metric=x&window=3",
+            "metric=x&metric=y",
+        ] {
+            assert!(parse_range_query(bad).is_err(), "{bad:?} must be rejected");
         }
     }
 

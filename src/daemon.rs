@@ -29,7 +29,7 @@
 //! thread drains at run boundaries — a retarget never tears a period.
 
 use crate::appmodel::Catalog;
-use crate::cli::{parse_events_query, parse_query_params};
+use crate::cli::{parse_events_query, parse_query_params, parse_range_query};
 use crate::control::{parse_control_body, ControlRequest};
 use crate::experiments::runner::{run_colocation_traced_until, MAX_PERIODS};
 use crate::experiments::{SoloTable, SweepRunner};
@@ -38,6 +38,7 @@ use crate::netd::{
     EventLoop, Handler, Mailbox, Method, NetConfig, Reply, Request, ServerMetrics, StreamStatus,
     Streamer,
 };
+use crate::obs::{IncidentConfig, ObsConfig, ObsPlane, ObsSink};
 use crate::server::ServerConfig;
 use crate::telemetry::{
     Counter, FanoutSink, Gauge, Histogram, MetricsRegistry, RingRecorder, Telemetry,
@@ -79,6 +80,9 @@ pub struct DaemonConfig {
     pub seed: u64,
     /// Event-loop tuning (connection bound, tick, idle/drain budgets).
     pub net: NetConfig,
+    /// Where the flight recorder persists incident bundles (`None`
+    /// keeps them in memory; the binary passes `results/incidents`).
+    pub incidents_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -96,6 +100,7 @@ impl Default for DaemonConfig {
             fleet_scheduler: SchedulerKind::Migrate,
             seed: 42,
             net: NetConfig::default(),
+            incidents_dir: None,
         }
     }
 }
@@ -389,6 +394,7 @@ impl Streamer for EventStreamer {
 struct DicerdHandler {
     registry: Arc<MetricsRegistry>,
     ring: Arc<RingRecorder>,
+    obs: Arc<ObsPlane>,
     shutdown: Arc<AtomicBool>,
     mailbox: Arc<Mailbox<ControlRequest>>,
     status: Arc<Mutex<DaemonStatus>>,
@@ -408,11 +414,13 @@ impl DicerdHandler {
         let status = self.status.lock().unwrap().clone();
         let body = format!(
             "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_periods\":{},\"nodes\":{},\
-             \"events_dropped\":{},\"policy\":\"{}\",\"hp\":\"{}\",\"be\":\"{}\",\"paused\":{}}}\n",
+             \"events_dropped\":{},\"alerts_firing\":{},\"policy\":\"{}\",\"hp\":\"{}\",\
+             \"be\":\"{}\",\"paused\":{}}}\n",
             env!("CARGO_PKG_VERSION"),
             periods,
             self.fleet_nodes,
             self.ring.dropped(),
+            self.obs.firing_count(),
             status.policy,
             status.hp,
             status.be,
@@ -469,6 +477,44 @@ impl DicerdHandler {
         }
     }
 
+    /// `GET /query?metric=NAME[&start=P&end=P&step=N]`: a range read
+    /// from the observability plane's period-series store. Strict on
+    /// parameters (400), explicit on unknown series (404 naming what is
+    /// queryable).
+    fn query(&self, query: &str) -> Reply {
+        match parse_range_query(query) {
+            Err(e) => {
+                Reply::full("/query", "400 Bad Request", "application/json", json_error(&e))
+            }
+            Ok((metric, start, end, step)) => match self.obs.query_json(&metric, start, end, step)
+            {
+                Some(body) => Reply::full("/query", "200 OK", "application/json", body),
+                None => Reply::full(
+                    "/query",
+                    "404 Not Found",
+                    "application/json",
+                    json_error(&format!(
+                        "unknown metric {metric:?} — series are the obs_* keys plus every \
+                         scraped registry scalar"
+                    )),
+                ),
+            },
+        }
+    }
+
+    /// `GET /alerts`: currently firing alerts plus bounded resolved
+    /// history. Takes no parameters.
+    fn alerts(&self, query: &str) -> Reply {
+        match parse_query_params(query, &[]) {
+            Ok(_) => {
+                Reply::full("/alerts", "200 OK", "application/json", self.obs.alerts_json())
+            }
+            Err(e) => {
+                Reply::full("/alerts", "400 Bad Request", "application/json", json_error(&e))
+            }
+        }
+    }
+
     fn control(&self, req: &Request) -> Reply {
         let Ok(body) = std::str::from_utf8(&req.body) else {
             return Reply::full(
@@ -518,13 +564,15 @@ impl Handler for DicerdHandler {
             ),
             (Method::Get, "/events") => self.events(&req.query),
             (Method::Get, "/fleet") => self.fleet(&req.query),
+            (Method::Get, "/query") => self.query(&req.query),
+            (Method::Get, "/alerts") => self.alerts(&req.query),
             (Method::Get, "/quit") => {
                 self.shutdown.store(true, Ordering::Relaxed);
                 Reply::full("/quit", "200 OK", "text/plain", "shutting down\n")
             }
             (Method::Post, "/control") => self.control(req),
             // Known path, wrong verb: 405 names the one verb that works.
-            (_, "/healthz" | "/metrics" | "/events" | "/fleet" | "/quit") => {
+            (_, "/healthz" | "/metrics" | "/events" | "/fleet" | "/query" | "/alerts" | "/quit") => {
                 Reply::full("other", "405 Method Not Allowed", "text/plain", "GET only\n")
             }
             (_, "/control") => {
@@ -587,15 +635,33 @@ impl Daemon {
         let solo = SoloTable::build(&catalog, server_cfg);
 
         let registry = Arc::new(MetricsRegistry::new());
+        registry
+            .gauge(
+                "dicer_build_info",
+                "Build metadata carried in labels (the value is always 1)",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1.0);
         let ring = Arc::new(RingRecorder::new(cfg.ring_cap));
         let metrics_sink = Arc::new(MetricsSink::new(
             registry.clone(),
             solo.get(&cfg.hp).ipc_alone,
             server_cfg.link.capacity_gbps,
         ));
+        // The observability plane scrapes the registry each period (or
+        // fleet round), evaluates the alert rules, and cuts incident
+        // bundles off the same ring `/events` serves.
+        let obs = Arc::new(ObsPlane::new(ObsConfig {
+            hp_solo_ipc: Some(solo.get(&cfg.hp).ipc_alone),
+            incident: IncidentConfig { dir: cfg.incidents_dir.clone(), ..Default::default() },
+            ..Default::default()
+        }));
+        obs.attach_registry(&registry);
+        obs.attach_ring(ring.clone());
         let telemetry = Telemetry::new(Arc::new(FanoutSink::new(vec![
             ring.clone() as Arc<dyn TelemetrySink>,
             metrics_sink.clone(),
+            Arc::new(ObsSink::new(obs.clone())),
         ])));
 
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))
@@ -617,6 +683,7 @@ impl Daemon {
         let handler = DicerdHandler {
             registry: registry.clone(),
             ring: ring.clone(),
+            obs: obs.clone(),
             shutdown: shutdown.clone(),
             mailbox: mailbox.clone(),
             status: status.clone(),
@@ -634,6 +701,7 @@ impl Daemon {
             spawn_fleet_sim(FleetSim {
                 cfg: cfg.clone(),
                 registry,
+                obs,
                 shutdown: shutdown.clone(),
                 mailbox,
                 status,
@@ -648,6 +716,7 @@ impl Daemon {
                 be,
                 registry,
                 metrics_sink,
+                obs,
                 telemetry,
                 shutdown: shutdown.clone(),
                 mailbox,
@@ -673,6 +742,7 @@ struct ClassicSim {
     be: crate::appmodel::AppProfile,
     registry: Arc<MetricsRegistry>,
     metrics_sink: Arc<MetricsSink>,
+    obs: Arc<ObsPlane>,
     telemetry: Telemetry,
     shutdown: Arc<AtomicBool>,
     mailbox: Arc<Mailbox<ControlRequest>>,
@@ -694,6 +764,7 @@ fn spawn_classic_sim(sim: ClassicSim) -> JoinHandle<()> {
             mut be,
             registry,
             metrics_sink,
+            obs,
             telemetry,
             shutdown,
             mailbox,
@@ -756,6 +827,7 @@ fn spawn_classic_sim(sim: ClassicSim) -> JoinHandle<()> {
                     if let Some(name) = cr.hp {
                         hp = catalog.get(&name).expect("validated at the HTTP layer").clone();
                         metrics_sink.set_hp_solo_ipc(solo.get(&name).ipc_alone);
+                        obs.set_hp_solo_ipc(solo.get(&name).ipc_alone);
                     }
                     if let Some(name) = cr.be {
                         be = catalog.get(&name).expect("validated at the HTTP layer").clone();
@@ -835,6 +907,7 @@ fn spawn_classic_sim(sim: ClassicSim) -> JoinHandle<()> {
 struct FleetSim {
     cfg: DaemonConfig,
     registry: Arc<MetricsRegistry>,
+    obs: Arc<ObsPlane>,
     shutdown: Arc<AtomicBool>,
     mailbox: Arc<Mailbox<ControlRequest>>,
     status: Arc<Mutex<DaemonStatus>>,
@@ -847,7 +920,7 @@ struct FleetSim {
 /// refused 409 at the HTTP layer).
 fn spawn_fleet_sim(sim: FleetSim) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let FleetSim { cfg, registry, shutdown, mailbox, status, fleet_json } = sim;
+        let FleetSim { cfg, registry, obs, shutdown, mailbox, status, fleet_json } = sim;
         let fleet_cfg = FleetConfig::standard(cfg.fleet_nodes, u32::MAX, cfg.seed);
         let scheduler = cfg.fleet_scheduler.build(
             fleet_cfg.seed,
@@ -907,6 +980,10 @@ fn spawn_fleet_sim(sim: FleetSim) -> JoinHandle<()> {
             worst_severity.set(fleet_status.worst_severity.code() as f64);
             migrations_total.set(fleet_status.migrations as f64);
             *fleet_json.lock().unwrap() = fleet_status.to_json();
+            // Rounds are the fleet's period clock: one obs tick per round
+            // scrapes the per-node gauges set above into per-node series
+            // (plus the fleet aggregates) and evaluates the alert rules.
+            obs.tick();
             rounds += 1;
             if cfg.max_runs > 0 && rounds >= cfg.max_runs {
                 break;

@@ -16,6 +16,8 @@
 //! * [`telemetry`] — structured event bus, metrics registry, JSONL sinks.
 //! * [`netd`] — readiness-driven event-loop runtime (reactor, HTTP/1.1,
 //!   lock-free mailbox) the daemon serves its API on.
+//! * [`obs`] — observability plane: period-series store, SLO burn-rate
+//!   alerting, flight-recorder incident bundles.
 //! * [`daemon`] — the embeddable `dicerd` daemon (sim thread + event loop).
 //!
 //! ## Quickstart
@@ -40,6 +42,7 @@ pub mod daemon;
 
 pub use dicer_appmodel as appmodel;
 pub use dicer_netd as netd;
+pub use dicer_obs as obs;
 pub use dicer_cachesim as cachesim;
 pub use dicer_experiments as experiments;
 pub use dicer_fleet as fleet;

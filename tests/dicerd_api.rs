@@ -365,3 +365,71 @@ fn events_follow_streams_ndjson_until_shutdown() {
 
     daemon.join().expect("clean exit");
 }
+
+/// The observability-plane endpoints over the wire: `/query` serves
+/// range reads of both event-driven key series and scraped registry
+/// series with strict 400s and explicit 404s, `/alerts` serves the
+/// firing set, and `/healthz` + `/metrics` carry the new fields.
+#[test]
+fn query_and_alerts_serve_the_observability_plane() {
+    let daemon = start(DaemonConfig::default());
+    let addr = daemon.addr();
+
+    // Wait until at least one period landed in the store.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let q = get(addr, "/query?metric=obs_hp_ipc");
+        assert!(q.status.contains("200"), "{}", q.status);
+        if !q.body_str().contains("\"points\":[]") {
+            assert!(q.body_str().contains("\"metric\":\"obs_hp_ipc\""), "{}", q.body_str());
+            break;
+        }
+        assert!(Instant::now() < deadline, "no period samples arrived");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A scraped registry series is queryable too, at every tier.
+    for step in ["1", "16", "256"] {
+        let q = get(addr, &format!("/query?metric=dicer_periods_total&step={step}"));
+        assert!(q.status.contains("200"), "step {step}: {}", q.status);
+        assert!(
+            q.body_str().contains("\"metric\":\"dicer_periods_total\""),
+            "step {step}: {}",
+            q.body_str()
+        );
+    }
+
+    // Strict parameter contract: 400 names the offence, 404 the metric.
+    for (path, want) in [
+        ("/query", "400"),
+        ("/query?metric=obs_hp_ipc&bogus=1", "400"),
+        ("/query?metric=obs_hp_ipc&step=0", "400"),
+        ("/query?metric=obs_hp_ipc&start=9&end=3", "400"),
+        ("/query?metric=no_such_series", "404"),
+        ("/alerts?verbose=1", "400"),
+    ] {
+        let resp = get(addr, path);
+        assert!(resp.status.contains(want), "{path}: expected {want}, got {}", resp.status);
+        assert!(resp.body_str().contains("\"error\""), "{path}: {}", resp.body_str());
+    }
+
+    let alerts = get(addr, "/alerts");
+    assert!(alerts.status.contains("200"), "{}", alerts.status);
+    assert!(alerts.body_str().contains("\"alerts_firing\":"), "{}", alerts.body_str());
+
+    let health = get(addr, "/healthz");
+    assert!(health.body_str().contains("\"alerts_firing\":"), "{}", health.body_str());
+
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.body_str().contains("dicer_build_info{version="),
+        "build info gauge missing"
+    );
+    assert!(
+        metrics.body_str().contains("dicer_alerts_firing"),
+        "alerts-firing gauge missing"
+    );
+
+    daemon.shutdown();
+    daemon.join().expect("clean exit");
+}

@@ -1,0 +1,147 @@
+//! End-to-end deterministic alerting: a scripted overload scenario runs
+//! through the real Session runtime with the observability plane on the
+//! bus, the SLO burn-rate rule fires at a pinned period, and the flight
+//! recorder's incident bundle is byte-for-byte reproducible — pinned in
+//! `tests/goldens/incident_burn_rate.jsonl` (bootstrapped on first run,
+//! byte-compared thereafter) and identical across reruns and test/thread
+//! parallelism.
+//!
+//! The scenario: an eternal cache-friendly HP co-located with nine
+//! eternal bandwidth-hog BEs. DICER partitions the cache but has no
+//! bandwidth lever here, so the HP's normalized IPC sits below the SLO
+//! objective period after period; the multi-window burn-rate rule fires
+//! at the first evaluation where both windows are full. Every profile is
+//! hand-built (no catalog RNG), so the whole pipeline — samples, alert
+//! edges, bundle bytes — is environment-independent.
+
+use dicer::appmodel::{AppProfile, Archetype, MissCurve, Phase};
+use dicer::experiments::runner::run_colocation_instrumented;
+use dicer::experiments::SoloTable;
+use dicer::obs::{standard_rules, ObsConfig, ObsPlane, ObsSink};
+use dicer::policy::{DicerConfig, PolicyKind};
+use dicer::server::ServerConfig;
+use dicer::telemetry::{FanoutSink, RingRecorder, Telemetry, TelemetrySink};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Long enough for the standard burn-rate rule's 512-period long window
+/// to fill, plus slack to prove the alert stays firing.
+const PERIODS: u32 = 600;
+
+/// The standard rule set fires the burn-rate rule at the first full
+/// evaluation: period index `long - 1`.
+const PINNED_FIRE_PERIOD: u64 = 511;
+
+fn hp() -> AppProfile {
+    AppProfile::new(
+        "obs_hp",
+        Archetype::CacheFriendly,
+        vec![Phase {
+            insns: u64::MAX / 2,
+            base_cpi: 0.6,
+            apki: 22.0,
+            mlp: 3.0,
+            curve: MissCurve::parametric(0.4, 0.6, 1.3, 2.0),
+        }],
+    )
+}
+
+fn be() -> AppProfile {
+    AppProfile::new(
+        "obs_be_hog",
+        Archetype::CacheFriendly,
+        vec![Phase {
+            insns: u64::MAX / 2,
+            base_cpi: 0.5,
+            apki: 40.0,
+            mlp: 4.0,
+            curve: MissCurve::flat(0.9),
+        }],
+    )
+}
+
+/// Runs the scripted scenario once and returns the plane for inspection.
+fn run_scenario() -> Arc<ObsPlane> {
+    let (hp, be) = (hp(), be());
+    let solo = SoloTable::build_from_profiles([&hp, &be], ServerConfig::table1());
+    let plane = Arc::new(ObsPlane::new(ObsConfig {
+        hp_solo_ipc: Some(solo.get("obs_hp").ipc_alone),
+        // The burn-rate rule alone: one firing edge, one bundle.
+        rules: standard_rules().into_iter().take(1).collect(),
+        ..Default::default()
+    }));
+    let ring = Arc::new(RingRecorder::new(256));
+    plane.attach_ring(ring.clone());
+    let telemetry = Telemetry::new(Arc::new(FanoutSink::new(vec![
+        ring as Arc<dyn TelemetrySink>,
+        Arc::new(ObsSink::new(plane.clone())),
+    ])));
+    let out = run_colocation_instrumented(
+        &solo,
+        &hp,
+        &be,
+        10,
+        &PolicyKind::Dicer(DicerConfig::default()),
+        PERIODS,
+        &telemetry,
+    );
+    assert_eq!(out.periods, PERIODS, "the eternal BEs must keep the run at the cap");
+    assert!(
+        out.hp_norm_ipc < 0.95,
+        "the scenario must violate the SLO for the rule to have fired ({})",
+        out.hp_norm_ipc
+    );
+    plane
+}
+
+#[test]
+fn burn_rate_fires_at_the_pinned_period_and_bundle_matches_the_golden() {
+    let plane = run_scenario();
+
+    // The alert fired exactly once, at the pinned period, and is still
+    // firing at the end of the run (the overload never clears).
+    assert_eq!(plane.firing_count(), 1, "burn-rate alert must be firing");
+    assert_eq!(plane.incidents_total(), 1, "exactly one firing edge, one bundle");
+    let alerts = plane.alerts_json();
+    assert!(alerts.contains("\"alerts_firing\":1"), "{alerts}");
+    assert!(alerts.contains("\"rule\":\"hp-slo-burn-rate\""), "{alerts}");
+    assert!(alerts.contains(&format!("\"fired_period\":{PINNED_FIRE_PERIOD}")), "{alerts}");
+
+    let incidents = plane.incidents();
+    let (name, bundle) = &incidents[0];
+    assert_eq!(name, &format!("incident_hp-slo-burn-rate_p{PINNED_FIRE_PERIOD}.jsonl"));
+    assert!(bundle.contains("\"events\":[{\"event\":"), "ring events missing: {bundle}");
+    assert!(bundle.contains("\"controllers\":[{\"name\":\"DICER\""), "summaries missing: {bundle}");
+
+    // Byte-for-byte against the committed golden (bootstrapped once).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/incident_burn_rate.jsonl");
+    if path.exists() {
+        let pinned = std::fs::read_to_string(&path).expect("golden readable");
+        assert_eq!(
+            pinned,
+            *bundle,
+            "incident bundle diverged from the pinned golden {} — an intentional \
+             behaviour change must recut it",
+            path.display()
+        );
+    } else {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&path, bundle).expect("golden writable");
+        eprintln!("bootstrapped {}; commit it to pin the bundle", path.display());
+    }
+}
+
+/// The same scenario replayed concurrently on several threads produces
+/// identical bundles — alerting does not depend on scheduling, test
+/// parallelism, or how many jobs the harness runs with.
+#[test]
+fn alerting_is_reproducible_across_reruns_and_parallelism() {
+    let reference = run_scenario().incidents();
+    assert_eq!(reference.len(), 1);
+    let handles: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(|| run_scenario().incidents()))
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("scenario thread"), reference, "parallel replay diverged");
+    }
+}
